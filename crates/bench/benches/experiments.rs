@@ -1,0 +1,132 @@
+//! Criterion benches over the paper's experiment pipeline: one group per
+//! table/figure, on reduced instruction budgets so `cargo bench` finishes
+//! quickly. The full-budget numbers come from the `repro` binary; these
+//! benches track that each experiment *keeps regenerating* and how much
+//! host time it costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vcfr_bench::experiments as ex;
+use vcfr_core::DrcConfig;
+use vcfr_gadget::compare_surface;
+use vcfr_rewriter::{analyze_control_flow, disassemble, randomize, RandomizeConfig};
+use vcfr_sim::{emulate, simulate, EmulatorCostModel, Mode, SimConfig};
+
+const BUDGET: u64 = 40_000;
+
+fn bench_fig2_emulation(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("bzip2").unwrap();
+    c.bench_function("fig2/emulate_bzip2", |b| {
+        b.iter(|| {
+            emulate(black_box(&w.image), &EmulatorCostModel::default(), BUDGET)
+                .unwrap()
+                .host_cycles
+        })
+    });
+}
+
+fn bench_fig3_fig4_naive(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("hmmer").unwrap();
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(ex::SEED)).unwrap();
+    c.bench_function("fig3_fig4/baseline_vs_naive_hmmer", |b| {
+        b.iter(|| {
+            let base = simulate(Mode::Baseline(&w.image), &cfg, BUDGET).unwrap();
+            let naive = simulate(Mode::NaiveIlr(&rp), &cfg, BUDGET).unwrap();
+            black_box(naive.stats.ipc() / base.stats.ipc())
+        })
+    });
+}
+
+fn bench_table2_fig9_static(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("xalan").unwrap();
+    c.bench_function("table2_fig9/static_analysis_xalan", |b| {
+        b.iter(|| {
+            let d = disassemble(black_box(&w.image)).unwrap();
+            analyze_control_flow(&w.image, &d).direct_transfers
+        })
+    });
+}
+
+fn bench_fig11_gadgets(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("lbm").unwrap();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(ex::SEED)).unwrap();
+    c.bench_function("fig11/gadget_surface_lbm", |b| {
+        b.iter(|| compare_surface(black_box(&w.image), &rp).total_gadgets)
+    });
+}
+
+fn bench_fig12_fig13_vcfr(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("h264ref").unwrap();
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(ex::SEED)).unwrap();
+    c.bench_function("fig12_fig13/vcfr128_h264ref", |b| {
+        b.iter(|| {
+            simulate(
+                Mode::Vcfr { program: black_box(&rp), drc: DrcConfig::direct_mapped(128) },
+                &cfg,
+                BUDGET,
+            )
+            .unwrap()
+            .stats
+            .ipc()
+        })
+    });
+}
+
+fn bench_fig14_drc_sweep(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("gcc").unwrap();
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(ex::SEED)).unwrap();
+    c.bench_function("fig14/drc64_gcc", |b| {
+        b.iter(|| {
+            simulate(
+                Mode::Vcfr { program: black_box(&rp), drc: DrcConfig::direct_mapped(64) },
+                &cfg,
+                BUDGET,
+            )
+            .unwrap()
+            .stats
+            .drc
+            .unwrap()
+            .miss_rate()
+        })
+    });
+}
+
+fn bench_fig15_power(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("namd").unwrap();
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(ex::SEED)).unwrap();
+    let drc = DrcConfig::direct_mapped(128);
+    let out = simulate(Mode::Vcfr { program: &rp, drc }, &cfg, BUDGET).unwrap();
+    c.bench_function("fig15/power_model_namd", |b| {
+        b.iter(|| vcfr_power::analyze(black_box(&out.stats), &cfg, Some(drc)).drc_overhead_pct())
+    });
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    let w = vcfr_workloads::by_name("sjeng").unwrap();
+    c.bench_function("rewriter/randomize_sjeng", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            randomize(black_box(&w.image), &RandomizeConfig::with_seed(seed))
+                .unwrap()
+                .stats
+                .randomized
+        })
+    });
+}
+
+criterion_group!(
+    experiments,
+    bench_fig2_emulation,
+    bench_fig3_fig4_naive,
+    bench_table2_fig9_static,
+    bench_fig11_gadgets,
+    bench_fig12_fig13_vcfr,
+    bench_fig14_drc_sweep,
+    bench_fig15_power,
+    bench_rewriter
+);
+criterion_main!(experiments);

@@ -1,0 +1,319 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro                # run everything
+//! repro fig3 fig12     # run selected experiments
+//! ```
+
+use vcfr_bench::experiments::{self as ex, Matrix};
+
+fn want(args: &[String], name: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == name)
+}
+
+fn header(title: &str, paper: &str) {
+    println!("\n=== {title} ===");
+    println!("    paper: {paper}");
+}
+
+/// CI gate: recompute the headline numbers and fail (exit 1) when any
+/// leaves its calibrated band.
+fn check() -> bool {
+    let m = ex::run_matrix();
+    let mut ok = true;
+    let mut gate = |name: &str, value: f64, lo: f64, hi: f64| {
+        let pass = (lo..=hi).contains(&value);
+        println!(
+            "{} {:<28} {:>8.3}  (band {:.3}..{:.3})",
+            if pass { "PASS" } else { "FAIL" },
+            name,
+            value,
+            lo,
+            hi
+        );
+        ok &= pass;
+    };
+    gate("fig4 naive norm IPC mean", ex::mean(ex::fig4(&m).iter().map(|r| r.1)), 0.50, 0.75);
+    gate("fig12 vcfr speedup geomean", ex::geomean(ex::fig12(&m).iter().map(|r| r.1)), 1.4, 2.6);
+    gate("fig13 vcfr@64 norm IPC mean", ex::mean(ex::fig13(&m).iter().map(|r| r.3)), 0.94, 1.0);
+    gate(
+        "fig14 drc512 miss mean (%)",
+        ex::mean(ex::fig14(&m).iter().map(|r| r.1)),
+        0.0,
+        10.0,
+    );
+    gate("fig15 drc power mean (%)", ex::mean(ex::fig15(&m).iter().map(|r| r.1)), 0.0, 1.0);
+    let f11 = ex::fig11();
+    gate("fig11 removal mean (%)", ex::mean(f11.iter().map(|r| r.removal_pct)), 97.0, 100.0);
+    gate(
+        "fig11 payloads after (total)",
+        f11.iter().map(|r| r.payloads_after as f64).sum(),
+        0.0,
+        0.0,
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "check") {
+        let ok = check();
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    let needs_matrix =
+        ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));
+    let matrix: Option<Matrix> = needs_matrix.then(|| {
+        eprintln!("running the 11-app x 5-config simulation matrix ...");
+        ex::run_matrix()
+    });
+
+    if want(&args, "fig2") {
+        header("Figure 2 - instruction-level emulation slowdown", "hundreds of times vs native");
+        println!("{:<12} {:>14} {:>12}", "app", "emulated CPI", "slowdown");
+        let rows = ex::fig2();
+        for r in &rows {
+            println!("{:<12} {:>14.1} {:>11.0}x", r.name, r.emulated_cpi, r.slowdown);
+        }
+        println!(
+            "{:<12} {:>14} {:>11.0}x",
+            "mean",
+            "",
+            ex::mean(rows.iter().map(|r| r.slowdown))
+        );
+    }
+
+    if let Some(m) = matrix.as_ref() {
+        if want(&args, "fig3") {
+            header(
+                "Figure 3 - naive hardware ILR cache impact",
+                "IL1 miss ratio avg 9.4x; prefetch useless +28%; L2 pressure +36%",
+            );
+            println!(
+                "{:<12} {:>10} {:>10} {:>12} {:>20} {:>16}",
+                "app", "base IL1%", "naive IL1%", "miss ratio", "prefetch useless +pp",
+                "L2 pressure +%"
+            );
+            let rows = ex::fig3(m);
+            for r in &rows {
+                println!(
+                    "{:<12} {:>10.3} {:>10.2} {:>11.0}x {:>20.1} {:>16.1}",
+                    r.name, r.base_il1_pct, r.naive_il1_pct, r.il1_miss_ratio,
+                    r.prefetch_useless_delta_pct, r.l2_pressure_increase_pct
+                );
+            }
+            println!(
+                "{:<12} {:>10.3} {:>10.2} {:>11.0}x {:>20.1} {:>16.1}",
+                "mean",
+                ex::mean(rows.iter().map(|r| r.base_il1_pct)),
+                ex::mean(rows.iter().map(|r| r.naive_il1_pct)),
+                ex::geomean(rows.iter().map(|r| r.il1_miss_ratio)),
+                ex::mean(rows.iter().map(|r| r.prefetch_useless_delta_pct)),
+                ex::mean(rows.iter().map(|r| r.l2_pressure_increase_pct)),
+            );
+        }
+
+        if want(&args, "fig4") {
+            header("Figure 4 - naive hardware ILR normalized IPC", "mean ~= 0.61-0.66");
+            println!("{:<12} {:>16}", "app", "normalized IPC");
+            let rows = ex::fig4(m);
+            for (n, v) in &rows {
+                println!("{n:<12} {v:>16.3}");
+            }
+            println!("{:<12} {:>16.3}", "mean", ex::mean(rows.iter().map(|r| r.1)));
+        }
+    }
+
+    if want(&args, "table1") {
+        header("Table I - qualitative comparison", "as printed");
+        print!("{}", ex::table1());
+    }
+
+    if want(&args, "table2") {
+        header(
+            "Table II - static control-flow statistics",
+            "direct >> indirect; xalan has the most indirect calls",
+        );
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>12}",
+            "app", "direct", "indirect", "calls", "ind. calls"
+        );
+        for (n, s) in ex::table2() {
+            println!(
+                "{:<12} {:>10} {:>10} {:>10} {:>12}",
+                n, s.direct_transfers, s.indirect_transfers, s.function_calls,
+                s.indirect_function_calls
+            );
+        }
+    }
+
+    if want(&args, "fig9") {
+        header("Figure 9 - functions with/without ret", "both populations present");
+        println!("{:<12} {:>10} {:>12}", "app", "with ret", "without ret");
+        for (n, w, wo) in ex::fig9() {
+            println!("{n:<12} {w:>10} {wo:>12}");
+        }
+    }
+
+    if want(&args, "fig11") {
+        header(
+            "Figure 11 / SecV-B - gadget removal and payload assembly",
+            "~98% gadgets removed; payloads before: all, after: none",
+        );
+        println!(
+            "{:<12} {:>10} {:>10} {:>16} {:>15}",
+            "app", "gadgets", "removed%", "payloads before", "payloads after"
+        );
+        let rows = ex::fig11();
+        for r in &rows {
+            println!(
+                "{:<12} {:>10} {:>9.1}% {:>16} {:>15}",
+                r.name, r.total_gadgets, r.removal_pct, r.payloads_before, r.payloads_after
+            );
+        }
+        println!(
+            "{:<12} {:>10} {:>9.1}%",
+            "mean",
+            "",
+            ex::mean(rows.iter().map(|r| r.removal_pct))
+        );
+    }
+
+    if want(&args, "ablations") {
+        header(
+            "Ablations - DRC design space, context switches, page confinement",
+            "extensions beyond the paper (DESIGN.md SS6)",
+        );
+        println!("{:<42} {:>10} {:>10} {:>24}", "setting", "norm IPC", "DRC miss", "note");
+        for r in ex::ablations() {
+            println!(
+                "{:<42} {:>10.3} {:>9.1}% {:>24}",
+                r.setting, r.normalized_ipc, r.drc_miss_pct, r.note
+            );
+        }
+
+        header(
+            "SecIV-A option 1 - software return-address randomization",
+            "call -> push+jmp expansion 'expands size of the original program'",
+        );
+        println!("{:<12} {:>15} {:>12} {:>10}", "app", "calls expanded", "extra bytes", "growth");
+        for (n, calls, bytes, pct) in ex::call_expansion() {
+            println!("{n:<12} {calls:>15} {bytes:>12} {pct:>9.2}%");
+        }
+
+        header(
+            "SecV-C entropy - bits of placement uncertainty per instruction",
+            "large randomization space at instruction granularity",
+        );
+        for (n, bits) in ex::entropy() {
+            println!("{n:<12} {bits:>6.1} bits");
+        }
+    }
+
+    if want(&args, "variance") {
+        header(
+            "Layout sensitivity - 5 random layouts per app",
+            "conclusions should not depend on the particular layout drawn",
+        );
+        println!(
+            "{:<12} {:>12} {:>10} {:>12} {:>10}",
+            "app", "naive mean", "spread", "VCFR mean", "spread"
+        );
+        for (n, nm, ns, vm, vs) in
+            ex::seed_variance(&["bzip2", "hmmer", "h264ref", "lbm"], &[1, 2, 3, 4, 5])
+        {
+            println!("{n:<12} {nm:>12.3} {ns:>10.3} {vm:>12.3} {vs:>10.3}");
+        }
+    }
+
+    if want(&args, "multicore") {
+        header(
+            "SecIV-D demo - two cores, shared L2 (hmmer + h264ref)",
+            "randomization applies to multi-core 'with ease' (read-only text)",
+        );
+        println!(
+            "{:<16} {:>16} {:>16} {:>14}",
+            "pairing", "core0 norm IPC", "core1 norm IPC", "L2 miss rate"
+        );
+        for (p, a, b, l2) in ex::multicore_demo() {
+            println!("{p:<16} {a:>16.3} {b:>16.3} {l2:>13.1}%");
+        }
+    }
+
+    if want(&args, "ooo") {
+        header(
+            "SecIX preview - 4-wide out-of-order core",
+            "future work: 'extend the idea to the out-of-order superscalar processor'",
+        );
+        println!(
+            "{:<12} {:>10} {:>16} {:>16}",
+            "app", "base IPC", "naive norm IPC", "VCFR norm IPC"
+        );
+        let rows = ex::ooo_preview();
+        for (n, b, nv, vc) in &rows {
+            println!("{n:<12} {b:>10.3} {nv:>16.3} {vc:>16.3}");
+        }
+        println!(
+            "{:<12} {:>10.3} {:>16.3} {:>16.3}",
+            "mean",
+            ex::mean(rows.iter().map(|r| r.1)),
+            ex::mean(rows.iter().map(|r| r.2)),
+            ex::mean(rows.iter().map(|r| r.3)),
+        );
+    }
+
+    if let Some(m) = matrix.as_ref() {
+        if want(&args, "fig12") {
+            header("Figure 12 - VCFR speedup over naive hardware ILR", "mean 1.63x");
+            println!("{:<12} {:>10}", "app", "speedup");
+            let rows = ex::fig12(m);
+            for (n, v) in &rows {
+                println!("{n:<12} {v:>9.2}x");
+            }
+            println!("{:<12} {:>9.2}x", "mean", ex::geomean(rows.iter().map(|r| r.1)));
+        }
+
+        if want(&args, "fig13") {
+            header(
+                "Figure 13 - normalized IPC vs DRC size",
+                "512: ~98.9%; 64: ~97.9% of baseline",
+            );
+            println!("{:<12} {:>10} {:>10} {:>10}", "app", "DRC 512", "DRC 128", "DRC 64");
+            let rows = ex::fig13(m);
+            for (n, a, b, c) in &rows {
+                println!("{n:<12} {a:>10.3} {b:>10.3} {c:>10.3}");
+            }
+            println!(
+                "{:<12} {:>10.3} {:>10.3} {:>10.3}",
+                "mean",
+                ex::mean(rows.iter().map(|r| r.1)),
+                ex::mean(rows.iter().map(|r| r.2)),
+                ex::mean(rows.iter().map(|r| r.3)),
+            );
+        }
+
+        if want(&args, "fig14") {
+            header("Figure 14 - DRC miss rates", "512 entries: 4.5% avg; 64 entries: 20.6% avg");
+            println!("{:<12} {:>10} {:>10}", "app", "DRC 512", "DRC 64");
+            let rows = ex::fig14(m);
+            for (n, a, b) in &rows {
+                println!("{n:<12} {a:>9.1}% {b:>9.1}%");
+            }
+            println!(
+                "{:<12} {:>9.1}% {:>9.1}%",
+                "mean",
+                ex::mean(rows.iter().map(|r| r.1)),
+                ex::mean(rows.iter().map(|r| r.2)),
+            );
+        }
+
+        if want(&args, "fig15") {
+            header("Figure 15 - DRC dynamic power overhead", "0.18% of CPU dynamic power avg");
+            println!("{:<12} {:>12}", "app", "overhead");
+            let rows = ex::fig15(m);
+            for (n, v) in &rows {
+                println!("{n:<12} {v:>11.3}%");
+            }
+            println!("{:<12} {:>11.3}%", "mean", ex::mean(rows.iter().map(|r| r.1)));
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! One function per table/figure of the paper's evaluation.
+
+use vcfr_core::DrcConfig;
+use vcfr_gadget::compare_surface;
+use vcfr_isa::Image;
+use vcfr_rewriter::{
+    analyze_control_flow, disassemble, randomize, ControlFlowStats, RandomizeConfig,
+    RandomizedProgram,
+};
+use vcfr_sim::{emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel, Mode, OooConfig, SimConfig, SimStats};
+use vcfr_workloads::{by_name, fig2_suite, spec_suite, Workload};
+
+/// The randomization seed every experiment uses (results are
+/// deterministic end to end).
+pub const SEED: u64 = 2015;
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// All simulation results for one application.
+#[derive(Clone, Debug)]
+pub struct AppResults {
+    /// Application name.
+    pub name: &'static str,
+    /// Baseline (no randomization).
+    pub base: SimStats,
+    /// Naive hardware ILR over the scattered layout.
+    pub naive: SimStats,
+    /// VCFR with a 512-entry DRC.
+    pub vcfr512: SimStats,
+    /// VCFR with a 128-entry DRC.
+    pub vcfr128: SimStats,
+    /// VCFR with a 64-entry DRC.
+    pub vcfr64: SimStats,
+}
+
+/// Results for the whole SPEC-like suite.
+pub type Matrix = Vec<AppResults>;
+
+/// Randomizes a workload with the standard experiment configuration.
+pub fn randomize_workload(image: &Image) -> RandomizedProgram {
+    randomize(image, &RandomizeConfig::with_seed(SEED)).expect("workloads randomize")
+}
+
+/// Runs one application through every machine configuration.
+pub fn run_app(w: &Workload) -> AppResults {
+    let cfg = SimConfig::default();
+    let rp = randomize_workload(&w.image);
+    let base = simulate(Mode::Baseline(&w.image), &cfg, w.max_insts).expect("baseline runs");
+    let naive = simulate(Mode::NaiveIlr(&rp), &cfg, w.max_insts).expect("naive runs");
+    let run_vcfr = |entries: usize| {
+        simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(entries) },
+            &cfg,
+            w.max_insts,
+        )
+        .expect("vcfr runs")
+    };
+    let vcfr512 = run_vcfr(512);
+    let vcfr128 = run_vcfr(128);
+    let vcfr64 = run_vcfr(64);
+
+    // Functional equivalence across every mode is part of the harness.
+    assert_eq!(base.outcome.output, naive.outcome.output, "{}", w.name);
+    assert_eq!(base.outcome.output, vcfr128.outcome.output, "{}", w.name);
+
+    AppResults {
+        name: w.name,
+        base: base.stats,
+        naive: naive.stats,
+        vcfr512: vcfr512.stats,
+        vcfr128: vcfr128.stats,
+        vcfr64: vcfr64.stats,
+    }
+}
+
+/// Runs the full 11-application SPEC-like matrix (the expensive step all
+/// performance figures share), one thread per application.
+pub fn run_matrix() -> Matrix {
+    let suite = spec_suite();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = suite.iter().map(|w| s.spawn(move || run_app(w))).collect();
+        handles.into_iter().map(|h| h.join().expect("matrix worker panicked")).collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — emulation slowdown
+// ---------------------------------------------------------------------
+
+/// One row of Figure 2.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Host cycles per guest instruction under emulation.
+    pub emulated_cpi: f64,
+    /// Slowdown versus native execution of the same window.
+    pub slowdown: f64,
+}
+
+/// Figure 2: performance decrease of instruction-level emulation versus
+/// native execution (paper: hundreds of times).
+pub fn fig2() -> Vec<Fig2Row> {
+    let cfg = SimConfig::default();
+    fig2_suite()
+        .iter()
+        .map(|w| {
+            let native =
+                simulate(Mode::Baseline(&w.image), &cfg, w.max_insts).expect("baseline runs");
+            let emu = emulate(&w.image, &EmulatorCostModel::default(), w.max_insts)
+                .expect("emulation runs");
+            Fig2Row {
+                name: w.name,
+                emulated_cpi: emu.cycles_per_instruction(),
+                slowdown: emu.slowdown_vs(native.stats.cycles),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — naive ILR cache impact
+// ---------------------------------------------------------------------
+
+/// One row of Figure 3.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Baseline IL1 miss rate (percent).
+    pub base_il1_pct: f64,
+    /// Naive-ILR IL1 miss rate (percent).
+    pub naive_il1_pct: f64,
+    /// IL1 miss-rate ratio (naive / baseline). NOTE: the synthetic
+    /// baselines are nearly miss-free, which inflates this ratio
+    /// relative to the paper; read it together with the absolute rates.
+    pub il1_miss_ratio: f64,
+    /// Increase in useless-prefetch rate, percentage points.
+    pub prefetch_useless_delta_pct: f64,
+    /// Increase in L2 pressure (reads from the L1s), percent.
+    pub l2_pressure_increase_pct: f64,
+}
+
+/// Figure 3: the impact of the naive approach on the L1 and L2 caches.
+pub fn fig3(matrix: &Matrix) -> Vec<Fig3Row> {
+    matrix
+        .iter()
+        .map(|r| {
+            let base_rate = r.base.il1.miss_rate().max(1e-6);
+            let naive_rate = r.naive.il1.miss_rate();
+            let base_useless = r.base.il1.prefetch_useless_rate();
+            let naive_useless = r.naive.il1.prefetch_useless_rate();
+            let base_l2 = r.base.l2_reads_from_l1.max(1) as f64;
+            let naive_l2 = r.naive.l2_reads_from_l1 as f64;
+            Fig3Row {
+                name: r.name,
+                base_il1_pct: 100.0 * r.base.il1.miss_rate(),
+                naive_il1_pct: 100.0 * naive_rate,
+                il1_miss_ratio: naive_rate / base_rate,
+                prefetch_useless_delta_pct: 100.0 * (naive_useless - base_useless),
+                l2_pressure_increase_pct: 100.0 * (naive_l2 / base_l2 - 1.0),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — naive ILR IPC
+// ---------------------------------------------------------------------
+
+/// Figure 4: normalized IPC of straightforward hardware ILR (paper: mean
+/// ≈ 0.61–0.66 of baseline).
+pub fn fig4(matrix: &Matrix) -> Vec<(&'static str, f64)> {
+    matrix.iter().map(|r| (r.name, r.naive.ipc() / r.base.ipc())).collect()
+}
+
+// ---------------------------------------------------------------------
+// Table I — qualitative comparison
+// ---------------------------------------------------------------------
+
+/// Table I, reproduced programmatically from the three mode definitions.
+pub fn table1() -> String {
+    let rows = [
+        ("Execution", "no randomization", "randomized control flow", "randomized control flow"),
+        ("Instruction locality", "preserved", "destroyed", "preserved"),
+        ("Instruction prefetch", "effective", "not effective", "effective"),
+        ("Control flow diversity", "no diversity", "diversified", "diversified"),
+    ];
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<24} | {:<18} | {:<26} | {:<26}\n",
+        "", "No Randomization", "Naive Hardware ILR", "Our Approach (VCFR)"
+    ));
+    s.push_str(&"-".repeat(102));
+    s.push('\n');
+    for (k, a, b, c) in rows {
+        s.push_str(&format!("{k:<24} | {a:<18} | {b:<26} | {c:<26}\n"));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Table II / Figure 9 — static control-flow statistics
+// ---------------------------------------------------------------------
+
+/// Table II: per-application static control-transfer counts.
+pub fn table2() -> Vec<(&'static str, ControlFlowStats)> {
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let d = disassemble(&w.image).expect("workloads disassemble");
+            (w.name, analyze_control_flow(&w.image, &d))
+        })
+        .collect()
+}
+
+/// Figure 9: functions with and without `ret`, per application.
+pub fn fig9() -> Vec<(&'static str, u64, u64)> {
+    table2().into_iter().map(|(n, s)| (n, s.funcs_with_ret, s.funcs_without_ret)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 11 / §V-B — gadget surface
+// ---------------------------------------------------------------------
+
+/// One row of Figure 11.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Gadgets in the original binary.
+    pub total_gadgets: usize,
+    /// Percentage removed by randomization.
+    pub removal_pct: f64,
+    /// Payload templates assemblable before randomization.
+    pub payloads_before: usize,
+    /// Payload templates assemblable after.
+    pub payloads_after: usize,
+}
+
+/// Figure 11: gadget removal (paper: ≈98% average; payloads assemblable
+/// for every benchmark before, none after).
+///
+/// A small fail-over set is kept un-randomized (the library functions
+/// whose addresses the conservative analysis could not prove rewritable —
+/// here every 64th function symbol), matching the paper's residual
+/// surface.
+pub fn fig11() -> Vec<Fig11Row> {
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let keep: Vec<String> = w
+                .image
+                .symbols
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 64 == 7)
+                .map(|(_, s)| s.name.clone())
+                .collect();
+            let mut cfg = RandomizeConfig::with_seed(SEED);
+            cfg.keep_unrandomized = keep;
+            let rp = randomize(&w.image, &cfg).expect("workloads randomize");
+            let c = compare_surface(&w.image, &rp);
+            Fig11Row {
+                name: w.name,
+                total_gadgets: c.total_gadgets,
+                removal_pct: c.removal_pct(),
+                payloads_before: c.payloads_before,
+                payloads_after: c.payloads_after,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 12–15 — VCFR performance, DRC behaviour, power
+// ---------------------------------------------------------------------
+
+/// Figure 12: IPC speedup of VCFR (128-entry DRC) over naive hardware ILR
+/// (paper: mean 1.63×).
+pub fn fig12(matrix: &Matrix) -> Vec<(&'static str, f64)> {
+    matrix.iter().map(|r| (r.name, r.vcfr128.ipc() / r.naive.ipc())).collect()
+}
+
+/// Figure 13: normalized IPC under different DRC sizes (paper: ≥97.9% of
+/// baseline even with 64 entries).
+pub fn fig13(matrix: &Matrix) -> Vec<(&'static str, f64, f64, f64)> {
+    matrix
+        .iter()
+        .map(|r| {
+            let b = r.base.ipc();
+            (r.name, r.vcfr512.ipc() / b, r.vcfr128.ipc() / b, r.vcfr64.ipc() / b)
+        })
+        .collect()
+}
+
+/// Figure 14: DRC miss rates at 512 and 64 entries (paper: 4.5% and
+/// 20.6% average).
+pub fn fig14(matrix: &Matrix) -> Vec<(&'static str, f64, f64)> {
+    matrix
+        .iter()
+        .map(|r| {
+            let m512 = r.vcfr512.drc.expect("vcfr stats").miss_rate();
+            let m64 = r.vcfr64.drc.expect("vcfr stats").miss_rate();
+            (r.name, 100.0 * m512, 100.0 * m64)
+        })
+        .collect()
+}
+
+/// Figure 15: DRC dynamic power overhead at 128 entries (paper: 0.18% of
+/// CPU dynamic power on average).
+pub fn fig15(matrix: &Matrix) -> Vec<(&'static str, f64)> {
+    let cfg = SimConfig::default();
+    matrix
+        .iter()
+        .map(|r| {
+            let b = vcfr_power::analyze(&r.vcfr128, &cfg, Some(DrcConfig::direct_mapped(128)));
+            (r.name, b.drc_overhead_pct())
+        })
+        .collect()
+}
+
+/// Convenience used by tests: a reduced matrix over a few fast apps.
+pub fn run_small_matrix(names: &[&str], budget: u64) -> Matrix {
+    names
+        .iter()
+        .map(|n| {
+            let mut w = by_name(n).expect("known workload");
+            w.max_insts = w.max_insts.min(budget);
+            run_app(&w)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablations beyond the paper (see DESIGN.md §6)
+// ---------------------------------------------------------------------
+
+/// One ablation measurement.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// What was varied.
+    pub setting: String,
+    /// Normalized IPC versus the unmodified baseline machine.
+    pub normalized_ipc: f64,
+    /// DRC miss rate (where applicable).
+    pub drc_miss_pct: f64,
+    /// Extra note (e.g. iTLB misses).
+    pub note: String,
+}
+
+/// DRC design-space and system-level ablations on one representative
+/// call-heavy application (`gcc`).
+pub fn ablations() -> Vec<AblationRow> {
+    let w = by_name("gcc").expect("gcc exists");
+    let base_cfg = SimConfig::default();
+    let rp = randomize_workload(&w.image);
+    let base =
+        simulate(Mode::Baseline(&w.image), &base_cfg, w.max_insts).expect("baseline runs");
+    let base_ipc = base.stats.ipc();
+
+    let mut rows = Vec::new();
+    let mut push = |setting: String, stats: &SimStats, note: String| {
+        rows.push(AblationRow {
+            setting,
+            normalized_ipc: stats.ipc() / base_ipc,
+            drc_miss_pct: stats.drc.map(|d| 100.0 * d.miss_rate()).unwrap_or(0.0),
+            note,
+        });
+    };
+
+    // Associativity at fixed capacity (the paper argues direct-mapped
+    // suffices).
+    for (entries, ways) in [(128, 1), (128, 2), (128, 4)] {
+        let out = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig { entries, ways } },
+            &base_cfg,
+            w.max_insts,
+        )
+        .expect("vcfr runs");
+        push(format!("drc 128 entries, {ways}-way"), &out.stats, String::new());
+    }
+
+    // Backing store: shared L2 (paper) vs dedicated fixed-latency SRAM.
+    for (name, backing) in [
+        ("walks via shared L2 (paper)", DrcBacking::SharedL2),
+        ("dedicated store, 12 cycles", DrcBacking::Dedicated { latency: 12 }),
+        ("dedicated store, 30 cycles", DrcBacking::Dedicated { latency: 30 }),
+    ] {
+        let cfg = SimConfig { drc_backing: backing, ..base_cfg };
+        let out = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            w.max_insts,
+        )
+        .expect("vcfr runs");
+        push(format!("backing: {name}"), &out.stats, String::new());
+    }
+
+    // Context switches: flush the DRC periodically.
+    for interval in [None, Some(100_000u64), Some(20_000u64)] {
+        let cfg = SimConfig { drc_flush_interval: interval, ..base_cfg };
+        let out = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            w.max_insts,
+        )
+        .expect("vcfr runs");
+        let name = match interval {
+            None => "no context switches (paper)".to_string(),
+            Some(n) => format!("DRC flush every {n} insts"),
+        };
+        push(name, &out.stats, String::new());
+    }
+
+    // §IV-D page-confined randomization: how much of the naive-ILR pain
+    // does confinement recover, and what happens to the iTLB?
+    let full = simulate(Mode::NaiveIlr(&rp), &base_cfg, w.max_insts).expect("naive runs");
+    let mut conf_cfg = RandomizeConfig::with_seed(SEED);
+    conf_cfg.page_confined = true;
+    let rp_conf = randomize(&w.image, &conf_cfg).expect("confined randomize");
+    let confined =
+        simulate(Mode::NaiveIlr(&rp_conf), &base_cfg, w.max_insts).expect("confined runs");
+    push(
+        "naive ILR, full scatter".into(),
+        &full.stats,
+        format!("iTLB misses {}", full.stats.itlb.misses),
+    );
+    push(
+        "naive ILR, page-confined (§IV-D)".into(),
+        &confined.stats,
+        format!("iTLB misses {}", confined.stats.itlb.misses),
+    );
+
+    rows
+}
+
+/// §IV-A option 1 code-size study: expanding safely-randomizable calls
+/// into `push; jmp` per workload.
+pub fn call_expansion() -> Vec<(&'static str, usize, usize, f64)> {
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let mut cfg = RandomizeConfig::with_seed(SEED);
+            cfg.software_return_randomization = true;
+            let rp = randomize(&w.image, &cfg).expect("workloads randomize");
+            let text = w.image.text().bytes.len();
+            let growth = 100.0 * rp.stats.expansion_bytes as f64 / text as f64;
+            (w.name, rp.stats.software_expanded_calls, rp.stats.expansion_bytes, growth)
+        })
+        .collect()
+}
+
+/// Randomization entropy: bits of uncertainty per instruction position
+/// (§V-C: "since randomization is done at instruction granularity, there
+/// is a large randomization space").
+pub fn entropy() -> Vec<(&'static str, f64)> {
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let rp = randomize_workload(&w.image);
+            let span = (rp.region.1 - rp.region.0) as f64;
+            // Each instruction lands at any free byte of the region.
+            ((w).name, span.log2())
+        })
+        .collect()
+}
+
+/// §IX future-work preview: the three machines on a 4-wide out-of-order
+/// core. Returns `(app, baseline IPC, naive normalized, vcfr normalized)`.
+pub fn ooo_preview() -> Vec<(&'static str, f64, f64, f64)> {
+    let cfg = SimConfig::default();
+    let ooo = OooConfig::default();
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let rp = randomize_workload(&w.image);
+            let base =
+                simulate_ooo(Mode::Baseline(&w.image), &cfg, ooo, w.max_insts).expect("runs");
+            let naive =
+                simulate_ooo(Mode::NaiveIlr(&rp), &cfg, ooo, w.max_insts).expect("runs");
+            let vcfr = simulate_ooo(
+                Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+                &cfg,
+                ooo,
+                w.max_insts,
+            )
+            .expect("runs");
+            let b = base.stats.ipc();
+            (w.name, b, naive.stats.ipc() / b, vcfr.stats.ipc() / b)
+        })
+        .collect()
+}
+
+/// Layout-sensitivity study: the paper evaluates one randomized layout
+/// per binary; here each app is re-randomized with several seeds and the
+/// headline metrics are reported as mean ± spread, showing how much the
+/// conclusions depend on the particular layout drawn.
+pub fn seed_variance(names: &[&str], seeds: &[u64]) -> Vec<(String, f64, f64, f64, f64)> {
+    let cfg = SimConfig::default();
+    names
+        .iter()
+        .map(|name| {
+            let w = by_name(name).expect("known workload");
+            let base = simulate(Mode::Baseline(&w.image), &cfg, w.max_insts).expect("runs");
+            let mut naive_norm = Vec::new();
+            let mut vcfr_norm = Vec::new();
+            for &seed in seeds {
+                let rp = randomize(&w.image, &RandomizeConfig::with_seed(seed))
+                    .expect("randomizes");
+                let n = simulate(Mode::NaiveIlr(&rp), &cfg, w.max_insts).expect("runs");
+                let v = simulate(
+                    Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+                    &cfg,
+                    w.max_insts,
+                )
+                .expect("runs");
+                naive_norm.push(n.stats.ipc() / base.stats.ipc());
+                vcfr_norm.push(v.stats.ipc() / base.stats.ipc());
+            }
+            let spread = |v: &[f64]| {
+                let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            };
+            (
+                name.to_string(),
+                mean(naive_norm.iter().copied()),
+                spread(&naive_norm),
+                mean(vcfr_norm.iter().copied()),
+                spread(&vcfr_norm),
+            )
+        })
+        .collect()
+}
+
+/// §IV-D multi-core demonstration: two cores over a shared L2, each
+/// running a (differently) randomized program. Returns
+/// `(pairing, core0 norm IPC, core1 norm IPC, shared-L2 miss rate %)`.
+pub fn multicore_demo() -> Vec<(String, f64, f64, f64)> {
+    let cfg = SimConfig::default();
+    let a = by_name("hmmer").expect("known");
+    let b = by_name("h264ref").expect("known");
+    let budget = 300_000;
+
+    let solo = simulate_multicore(
+        &[Mode::Baseline(&a.image), Mode::Baseline(&b.image)],
+        &cfg,
+        budget,
+    )
+    .expect("runs");
+    let base0 = solo.per_core[0].ipc();
+    let base1 = solo.per_core[1].ipc();
+
+    let rp_a = randomize(&a.image, &RandomizeConfig::with_seed(SEED)).expect("randomizes");
+    let rp_b =
+        randomize(&b.image, &RandomizeConfig::with_seed(SEED + 1)).expect("randomizes");
+
+    let mut rows = Vec::new();
+    let vcfr = simulate_multicore(
+        &[
+            Mode::Vcfr { program: &rp_a, drc: DrcConfig::direct_mapped(128) },
+            Mode::Vcfr { program: &rp_b, drc: DrcConfig::direct_mapped(128) },
+        ],
+        &cfg,
+        budget,
+    )
+    .expect("runs");
+    rows.push((
+        "VCFR + VCFR".to_string(),
+        vcfr.per_core[0].ipc() / base0,
+        vcfr.per_core[1].ipc() / base1,
+        100.0 * vcfr.shared_l2.miss_rate(),
+    ));
+    let naive = simulate_multicore(
+        &[Mode::NaiveIlr(&rp_a), Mode::NaiveIlr(&rp_b)],
+        &cfg,
+        budget,
+    )
+    .expect("runs");
+    rows.push((
+        "naive + naive".to_string(),
+        naive.per_core[0].ipc() / base0,
+        naive.per_core[1].ipc() / base1,
+        100.0 * naive.shared_l2.miss_rate(),
+    ));
+    rows
+}

@@ -1,0 +1,18 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation over the synthetic workload suite.
+//!
+//! The `repro` binary prints the results; the criterion benches and the
+//! integration tests reuse the same functions. See `EXPERIMENTS.md` for
+//! the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+#[cfg(test)]
+mod tests;
+
+pub use experiments::{
+    fig11, fig12, fig13, fig14, fig15, fig2, fig3, fig4, fig9, run_app, run_matrix, table1,
+    table2, AppResults, Fig11Row, Fig2Row, Fig3Row, Matrix,
+};

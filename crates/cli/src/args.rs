@@ -1,0 +1,181 @@
+//! A minimal flag parser (no external dependency): positionals, `--flag`
+//! booleans, `--key value` options, repeatable options.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An argument-parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--key` option was given without a value.
+    MissingValue {
+        /// The option name.
+        key: String,
+    },
+    /// An option was not recognised.
+    Unknown {
+        /// The option name.
+        key: String,
+    },
+    /// A value failed to parse as the expected type.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required positional argument is missing.
+    MissingPositional {
+        /// What was expected.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue { key } => write!(f, "option --{key} needs a value"),
+            ArgsError::Unknown { key } => write!(f, "unknown option --{key}"),
+            ArgsError::BadValue { key, value } => {
+                write!(f, "option --{key}: cannot parse {value:?}")
+            }
+            ArgsError::MissingPositional { what } => write!(f, "missing argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed arguments: positionals plus options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: Vec<String>,
+    options: HashMap<String, Vec<String>>,
+}
+
+impl Args {
+    /// Parses raw arguments. `value_opts` lists the option names that
+    /// take a value; everything else starting with `--` is a boolean
+    /// flag from `flag_opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgsError`] for unknown options or missing values.
+    pub fn parse(
+        raw: &[String],
+        flag_opts: &[&str],
+        value_opts: &[&str],
+    ) -> Result<Args, ArgsError> {
+        let mut out = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if flag_opts.contains(&key) {
+                    out.flags.push(key.to_owned());
+                } else if value_opts.contains(&key) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgsError::MissingValue { key: key.to_owned() })?;
+                    out.options.entry(key.to_owned()).or_default().push(v.clone());
+                } else {
+                    return Err(ArgsError::Unknown { key: key.to_owned() });
+                }
+            } else {
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `n`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::MissingPositional`] when absent.
+    pub fn positional(&self, n: usize, what: &'static str) -> Result<&str, ArgsError> {
+        self.positionals
+            .get(n)
+            .map(String::as_str)
+            .ok_or(ArgsError::MissingPositional { what })
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Last value of an option, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of a repeatable option.
+    pub fn values(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.options.get(name).into_iter().flatten().map(String::as_str)
+    }
+
+    /// Parses an option value as an integer, with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::BadValue`] when present but unparsable.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: name.to_owned(),
+                value: v.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_flags_and_options() {
+        let a = Args::parse(
+            &raw(&["prog.img", "--verbose", "--seed", "42", "--keep", "f", "--keep", "g"]),
+            &["verbose"],
+            &["seed", "keep"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0, "file").unwrap(), "prog.img");
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.u64_or("seed", 0).unwrap(), 42);
+        assert_eq!(a.values("keep").collect::<Vec<_>>(), vec!["f", "g"]);
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let e = Args::parse(&raw(&["--nope"]), &[], &[]).unwrap_err();
+        assert_eq!(e, ArgsError::Unknown { key: "nope".into() });
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = Args::parse(&raw(&["--seed"]), &[], &["seed"]).unwrap_err();
+        assert_eq!(e, ArgsError::MissingValue { key: "seed".into() });
+    }
+
+    #[test]
+    fn bad_integer_rejected() {
+        let a = Args::parse(&raw(&["--seed", "xyz"]), &[], &["seed"]).unwrap();
+        assert!(matches!(a.u64_or("seed", 0), Err(ArgsError::BadValue { .. })));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&raw(&[]), &[], &["seed"]).unwrap();
+        assert_eq!(a.u64_or("seed", 7).unwrap(), 7);
+        assert!(a.positional(0, "file").is_err());
+    }
+}

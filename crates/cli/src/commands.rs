@@ -1,0 +1,562 @@
+//! The CLI commands. Each command is a plain function from parsed
+//! arguments to a rendered report string, so they are directly testable.
+
+use crate::args::{Args, ArgsError};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use vcfr_core::DrcConfig;
+use vcfr_gadget::{assemble_payload, classify, compare_surface, scan, templates, Capability};
+use vcfr_isa::{Image, Machine, IMAGE_MAGIC};
+use vcfr_rewriter::{
+    analyze_control_flow, disassemble, randomize, Cfg, RandomizeConfig, RandomizedProgram,
+    PROGRAM_MAGIC,
+};
+use vcfr_sim::{simulate, simulate_ooo, Mode, OooConfig, SimConfig, SimStats};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Either kind of on-disk artefact.
+pub enum Artefact {
+    /// A plain program image.
+    Image(Image),
+    /// A randomized program (image pair + tables).
+    Randomized(Box<RandomizedProgram>),
+}
+
+/// Loads a file, dispatching on its magic header.
+///
+/// # Errors
+///
+/// I/O failures and unknown/corrupt formats.
+pub fn load(path: &str) -> Result<Artefact, CliError> {
+    let bytes =
+        fs::read(Path::new(path)).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    if bytes.len() >= 8 && bytes[..8] == IMAGE_MAGIC {
+        return Ok(Artefact::Image(
+            Image::from_bytes(&bytes).map_err(|e| fail(format!("{path}: {e}")))?,
+        ));
+    }
+    if bytes.len() >= 8 && bytes[..8] == PROGRAM_MAGIC {
+        return Ok(Artefact::Randomized(Box::new(
+            RandomizedProgram::from_bytes(&bytes).map_err(|e| fail(format!("{path}: {e}")))?,
+        )));
+    }
+    Err(fail(format!("{path}: not a VCFR image or randomized program")))
+}
+
+fn load_image(path: &str) -> Result<Image, CliError> {
+    match load(path)? {
+        Artefact::Image(img) => Ok(img),
+        Artefact::Randomized(rp) => Ok(rp.original),
+    }
+}
+
+/// `vcfr build <workload> -o <file>` — builds a named synthetic workload
+/// and writes its image.
+pub fn cmd_build(args: &Args) -> Result<String, CliError> {
+    let name = args.positional(0, "workload name")?;
+    let out = args.value("o").ok_or_else(|| fail("missing -o/--o output path"))?;
+    let w = vcfr_workloads::by_name(name).ok_or_else(|| {
+        fail(format!("unknown workload {name:?}; known: {:?}", vcfr_workloads::SPEC_NAMES))
+    })?;
+    let bytes = w.image.to_bytes();
+    fs::write(out, &bytes).map_err(|e| fail(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "wrote {} ({} bytes, text {} bytes, {} symbols) — {}",
+        out,
+        bytes.len(),
+        w.image.text().bytes.len(),
+        w.image.symbols.len(),
+        w.description,
+    ))
+}
+
+/// `vcfr asm <file.s> --o <out>` — assembles textual source into an
+/// image file.
+pub fn cmd_asm(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "source file")?;
+    let out = args.value("o").ok_or_else(|| fail("missing -o/--o output path"))?;
+    let base = args.u64_or("base", 0x1000)? as u32;
+    let src =
+        fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let image = vcfr_isa::parse_asm(&src, base).map_err(|e| fail(format!("{path}: {e}")))?;
+    fs::write(out, image.to_bytes()).map_err(|e| fail(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "assembled {path} -> {out} ({} bytes of text, {} symbols, {} relocs)",
+        image.text().bytes.len(),
+        image.symbols.len(),
+        image.relocs.len()
+    ))
+}
+
+/// `vcfr disasm <file> [--blocks]` — disassembly listing, optionally as
+/// basic blocks.
+pub fn cmd_disasm(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let image = load_image(path)?;
+    let d = disassemble(&image).map_err(|e| fail(e.to_string()))?;
+    let mut out = String::new();
+    if args.flag("blocks") {
+        let targets = vcfr_rewriter::address_taken_targets(&image, &d);
+        let cfg = Cfg::build(&image, &d, &targets);
+        for (start, block) in &cfg.blocks {
+            let succs = cfg.succs.get(start).cloned().unwrap_or_default();
+            let _ = writeln!(out, "block {start:#x} -> {succs:x?}");
+            for (addr, inst) in &block.insts {
+                let _ = writeln!(out, "  {addr:#010x}  {inst}");
+            }
+        }
+    } else {
+        let by_addr: std::collections::BTreeMap<u32, &str> =
+            image.symbols.iter().map(|s| (s.addr, s.name.as_str())).collect();
+        for (addr, inst) in d.iter() {
+            if let Some(name) = by_addr.get(&addr) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let reach = if d.reachable.contains(&addr) { ' ' } else { '?' };
+            let _ = writeln!(out, "  {addr:#010x} {reach} {inst}");
+        }
+    }
+    Ok(out)
+}
+
+/// `vcfr run <file> [--max N]` — executes on the functional interpreter.
+/// Randomized artefacts run their scattered binary.
+pub fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let max = args.u64_or("max", 10_000_000)?;
+    let mut machine = match load(path)? {
+        Artefact::Image(img) => Machine::new(&img),
+        Artefact::Randomized(rp) => rp.scattered_machine(),
+    };
+    let outcome = machine.run(max).map_err(|e| fail(format!("fault: {e}")))?;
+    Ok(format!(
+        "stopped: {:?} after {} instructions\noutput: {:?}",
+        outcome.stop, outcome.steps, outcome.output
+    ))
+}
+
+/// `vcfr randomize <file> -o <out> [--seed N] [--page-confined]
+/// [--software-returns] [--keep sym ...]`.
+pub fn cmd_randomize(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let out = args.value("o").ok_or_else(|| fail("missing -o/--o output path"))?;
+    let image = load_image(path)?;
+    let mut cfg = RandomizeConfig::with_seed(args.u64_or("seed", 0)?);
+    cfg.page_confined = args.flag("page-confined");
+    cfg.software_return_randomization = args.flag("software-returns");
+    cfg.keep_unrandomized = args.values("keep").map(str::to_owned).collect();
+    let rp = randomize(&image, &cfg).map_err(|e| fail(e.to_string()))?;
+    fs::write(out, rp.to_bytes()).map_err(|e| fail(format!("cannot write {out}: {e}")))?;
+    let s = rp.stats;
+    Ok(format!(
+        "wrote {out}\n\
+         instructions: {} ({} randomized, {} pinned/kept)\n\
+         region: {:#x}..{:#x}\n\
+         branches rewritten: {}, data slots rewritten: {}\n\
+         fail-over entries: {}, scan pins: {}\n\
+         calls: {} total, {} safely software-randomizable, {} expanded (+{} bytes)",
+        s.instructions,
+        s.randomized,
+        s.unrandomized,
+        rp.region.0,
+        rp.region.1,
+        s.rewritten_branches,
+        s.rewritten_data_slots,
+        s.failover_entries,
+        s.pinned_by_scan,
+        s.call_sites,
+        s.safe_return_sites,
+        s.software_expanded_calls,
+        s.expansion_bytes,
+    ))
+}
+
+fn render_stats(stats: &SimStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "instructions: {}", stats.instructions);
+    let _ = writeln!(out, "cycles:       {}", stats.cycles);
+    let _ = writeln!(out, "IPC:          {:.3}", stats.ipc());
+    let _ = writeln!(
+        out,
+        "IL1: {} accesses, {} misses ({:.2}%)",
+        stats.il1.accesses,
+        stats.il1.misses,
+        100.0 * stats.il1.miss_rate()
+    );
+    let _ = writeln!(
+        out,
+        "DL1: {} accesses, {} misses ({:.2}%)",
+        stats.dl1.accesses,
+        stats.dl1.misses,
+        100.0 * stats.dl1.miss_rate()
+    );
+    let _ = writeln!(
+        out,
+        "L2:  {} accesses, {} misses; {} reads from L1",
+        stats.l2.accesses, stats.l2.misses, stats.l2_reads_from_l1
+    );
+    let _ = writeln!(
+        out,
+        "branches: {} predicted, {:.2}% mispredicted; BTB misses {}; RAS misses {}",
+        stats.branch.predictions,
+        100.0 * stats.branch.mispredict_rate(),
+        stats.branch.btb_misses,
+        stats.branch.ras_mispredictions
+    );
+    if let Some(drc) = stats.drc {
+        let _ = writeln!(
+            out,
+            "DRC: {} lookups ({} derand / {} rand), {:.2}% miss, {} walk cycles",
+            drc.lookups,
+            drc.derand_lookups,
+            drc.rand_lookups,
+            100.0 * drc.miss_rate(),
+            stats.drc_walk_cycles
+        );
+    }
+    let _ = writeln!(
+        out,
+        "stalls: fetch {}, data {}, redirect {}",
+        stats.fetch_stall_cycles, stats.load_stall_cycles, stats.redirect_stall_cycles
+    );
+    out
+}
+
+/// `vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+/// [--max N] [--seed N]`.
+pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let mode_name = args.value("mode").unwrap_or("baseline");
+    let max = args.u64_or("max", 2_000_000)?;
+    let drc_entries = args.u64_or("drc", 128)? as usize;
+    let seed = args.u64_or("seed", 0)?;
+    let cfg = SimConfig::default();
+
+    // Obtain the randomized program where needed.
+    let (image, rp) = match load(path)? {
+        Artefact::Image(img) => {
+            let rp = if mode_name != "baseline" {
+                Some(
+                    randomize(&img, &RandomizeConfig::with_seed(seed))
+                        .map_err(|e| fail(e.to_string()))?,
+                )
+            } else {
+                None
+            };
+            (img, rp)
+        }
+        Artefact::Randomized(rp) => (rp.original.clone(), Some(*rp)),
+    };
+
+    let mode = match (mode_name, rp.as_ref()) {
+        ("baseline", _) => Mode::Baseline(&image),
+        ("naive", Some(rp)) => Mode::NaiveIlr(rp),
+        ("vcfr", Some(rp)) => {
+            Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(drc_entries) }
+        }
+        (m, _) => return Err(fail(format!("unknown mode {m:?} (baseline|naive|vcfr)"))),
+    };
+
+    let out = if args.flag("ooo") {
+        simulate_ooo(mode, &cfg, OooConfig::default(), max)
+    } else {
+        simulate(mode, &cfg, max)
+    }
+    .map_err(|e| fail(e.to_string()))?;
+
+    let mut report = format!(
+        "mode: {}{}\n",
+        mode_name,
+        if args.flag("ooo") { " (4-wide out-of-order)" } else { "" }
+    );
+    report.push_str(&render_stats(&out.stats));
+    if let (Some(drc), true) = (out.stats.drc, mode_name == "vcfr") {
+        let _ = drc;
+        let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(drc_entries)));
+        let _ = writeln!(report, "DRC power overhead: {:.3}%", p.drc_overhead_pct());
+    }
+    Ok(report)
+}
+
+/// `vcfr gadgets <file> [--against <randomized-file>]`.
+pub fn cmd_gadgets(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let image = load_image(path)?;
+    let gadgets = scan(&image);
+    let mut by_cap: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for g in &gadgets {
+        for c in classify(g) {
+            let name = match c {
+                Capability::LoadReg(_) => "load-register",
+                Capability::WriteMem => "write-memory",
+                Capability::ReadMem => "read-memory",
+                Capability::MoveReg => "move-register",
+                Capability::Arith => "arithmetic",
+                Capability::Syscall => "syscall",
+                Capability::Pivot => "pivot",
+            };
+            *by_cap.entry(name).or_default() += 1;
+        }
+    }
+    let mut out = format!("{} gadgets in {}\n", gadgets.len(), path);
+    for (cap, n) in by_cap {
+        let _ = writeln!(out, "  {cap:<14} {n}");
+    }
+    if args.flag("payloads") {
+        for t in templates() {
+            match assemble_payload(&t, &gadgets, |_| true) {
+                Some(p) => {
+                    let words = p.stack_words(&gadgets);
+                    let _ = writeln!(
+                        out,
+                        "payload {:<18} chain {:x?} ({} stack words)",
+                        t.name,
+                        p.chain,
+                        words.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "payload {:<18} cannot be assembled", t.name);
+                }
+            }
+        }
+    }
+    if let Some(rand_path) = args.value("against") {
+        let rp = match load(rand_path)? {
+            Artefact::Randomized(rp) => *rp,
+            Artefact::Image(_) => {
+                return Err(fail(format!("{rand_path}: expected a randomized program")))
+            }
+        };
+        let c = compare_surface(&image, &rp);
+        let _ = writeln!(
+            out,
+            "against {}: {:.1}% removed ({} of {} usable); payloads {} -> {}",
+            rand_path,
+            c.removal_pct(),
+            c.usable_after,
+            c.total_gadgets,
+            c.payloads_before,
+            c.payloads_after
+        );
+    }
+    Ok(out)
+}
+
+/// `vcfr trace <file> [--count N] [--skip N]` — prints an execution
+/// trace (pc, instruction, control outcome) from the functional
+/// interpreter.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let count = args.u64_or("count", 32)?;
+    let skip = args.u64_or("skip", 0)?;
+    let mut machine = match load(path)? {
+        Artefact::Image(img) => Machine::new(&img),
+        Artefact::Randomized(rp) => rp.scattered_machine(),
+    };
+    let mut out = String::new();
+    for _ in 0..skip {
+        if machine.step().map_err(|e| fail(e.to_string()))?.is_none() {
+            break;
+        }
+    }
+    for _ in 0..count {
+        match machine.step().map_err(|e| fail(e.to_string()))? {
+            Some(info) => {
+                let note = match info.control {
+                    Some(cf) => match cf.taken_target() {
+                        Some(t) => format!("-> {t:#x}"),
+                        None => "(not taken)".into(),
+                    },
+                    None => String::new(),
+                };
+                let _ = writeln!(out, "{:#010x}  {:<28} {}", info.pc, info.inst.to_string(), note);
+            }
+            None => {
+                let _ = writeln!(out, "(stopped: {:?})", machine.stop_reason());
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `vcfr stats <file>` — static control-flow statistics (Table II /
+/// Figure 9 rows).
+pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "input file")?;
+    let image = load_image(path)?;
+    let d = disassemble(&image).map_err(|e| fail(e.to_string()))?;
+    let s = analyze_control_flow(&image, &d);
+    Ok(format!(
+        "instructions:            {}\n\
+         direct transfers:        {}\n\
+         indirect transfers:      {}\n\
+         function calls:          {}\n\
+         indirect function calls: {}\n\
+         returns:                 {}\n\
+         functions with ret:      {}\n\
+         functions without ret:   {}",
+        s.instructions,
+        s.direct_transfers,
+        s.indirect_transfers,
+        s.function_calls,
+        s.indirect_function_calls,
+        s.returns,
+        s.funcs_with_ret,
+        s.funcs_without_ret,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("vcfr-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn parse(raw: &[&str], flags: &[&str], values: &[&str]) -> Args {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw, flags, values).unwrap()
+    }
+
+    #[test]
+    fn build_run_roundtrip() {
+        let img_path = tmp("memcpy.img");
+        let a = parse(&["memcpy", "--o", &img_path], &[], &["o"]);
+        let msg = cmd_build(&a).unwrap();
+        assert!(msg.contains("wrote"));
+
+        let a = parse(&[&img_path], &[], &["max"]);
+        let msg = cmd_run(&a).unwrap();
+        assert!(msg.contains("output:"), "{msg}");
+    }
+
+    #[test]
+    fn randomize_then_run_and_gadgets() {
+        let img_path = tmp("bzip2.img");
+        let rand_path = tmp("bzip2.rand");
+        cmd_build(&parse(&["bzip2", "--o", &img_path], &[], &["o"])).unwrap();
+        let msg = cmd_randomize(&parse(
+            &[&img_path, "--o", &rand_path, "--seed", "5"],
+            &[],
+            &["o", "seed"],
+        ))
+        .unwrap();
+        assert!(msg.contains("randomized"));
+
+        // The randomized artefact runs and matches the original output.
+        let orig = cmd_run(&parse(&[&img_path], &[], &[])).unwrap();
+        let rand = cmd_run(&parse(&[&rand_path], &[], &[])).unwrap();
+        let tail = |s: &str| s.lines().last().unwrap().to_string();
+        assert_eq!(tail(&orig), tail(&rand));
+
+        let g = cmd_gadgets(&parse(
+            &[&img_path, "--against", &rand_path],
+            &[],
+            &["against"],
+        ))
+        .unwrap();
+        assert!(g.contains("% removed"), "{g}");
+    }
+
+    #[test]
+    fn simulate_all_modes() {
+        let img_path = tmp("hmmer.img");
+        cmd_build(&parse(&["hmmer", "--o", &img_path], &[], &["o"])).unwrap();
+        for mode in ["baseline", "naive", "vcfr"] {
+            let r = cmd_simulate(&parse(
+                &[&img_path, "--mode", mode, "--max", "50000"],
+                &["ooo"],
+                &["mode", "max", "drc", "seed"],
+            ))
+            .unwrap();
+            assert!(r.contains("IPC:"), "{mode}: {r}");
+        }
+        // OoO flag.
+        let r = cmd_simulate(&parse(
+            &[&img_path, "--ooo", "--max", "50000"],
+            &["ooo"],
+            &["mode", "max", "drc", "seed"],
+        ))
+        .unwrap();
+        assert!(r.contains("out-of-order"));
+    }
+
+    #[test]
+    fn disasm_and_stats() {
+        let img_path = tmp("lbm.img");
+        cmd_build(&parse(&["lbm", "--o", &img_path], &[], &["o"])).unwrap();
+        let listing = cmd_disasm(&parse(&[&img_path], &["blocks"], &[])).unwrap();
+        assert!(listing.contains("lib_init:"), "symbols shown");
+        let blocks = cmd_disasm(&parse(&[&img_path, "--blocks"], &["blocks"], &[])).unwrap();
+        assert!(blocks.contains("block 0x"));
+        let s = cmd_stats(&parse(&[&img_path], &[], &[])).unwrap();
+        assert!(s.contains("direct transfers"));
+    }
+
+    #[test]
+    fn asm_assembles_and_runs() {
+        let src_path = tmp("prog.s");
+        let img_path = tmp("prog.img");
+        fs::write(&src_path, "mov rax, 123\nout rax\nhalt\n").unwrap();
+        let msg = cmd_asm(&parse(
+            &[&src_path, "--o", &img_path],
+            &[],
+            &["o", "base"],
+        ))
+        .unwrap();
+        assert!(msg.contains("assembled"));
+        let run = cmd_run(&parse(&[&img_path], &[], &[])).unwrap();
+        assert!(run.contains("[123]"), "{run}");
+    }
+
+    #[test]
+    fn trace_shows_instructions_and_stops() {
+        let img_path = tmp("mcpy2.img");
+        cmd_build(&parse(&["memcpy", "--o", &img_path], &[], &["o"])).unwrap();
+        let t = cmd_trace(&parse(
+            &[&img_path, "--count", "5"],
+            &[],
+            &["count", "skip"],
+        ))
+        .unwrap();
+        assert_eq!(t.lines().count(), 5);
+        assert!(t.contains("call"), "first instruction is the lib_init call: {t}");
+    }
+
+    #[test]
+    fn bad_inputs_give_clean_errors() {
+        assert!(cmd_build(&parse(&["nonesuch", "--o", "/tmp/x"], &[], &["o"])).is_err());
+        assert!(cmd_run(&parse(&["/nonexistent/file"], &[], &[])).is_err());
+        let junk = tmp("junk.bin");
+        fs::write(&junk, b"garbage").unwrap();
+        let e = cmd_run(&parse(&[&junk], &[], &[])).unwrap_err();
+        assert!(e.to_string().contains("not a VCFR"));
+    }
+}

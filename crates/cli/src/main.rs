@@ -1,0 +1,74 @@
+//! `vcfr` — the command-line front end of the VCFR toolchain.
+//!
+//! ```text
+//! vcfr build <workload> --o <file>          build a synthetic workload image
+//! vcfr disasm <file> [--blocks]             disassemble (optionally as CFG blocks)
+//! vcfr run <file> [--max N]                 execute on the functional interpreter
+//! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
+//!                [--software-returns] [--keep SYM]...
+//! vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+//!                [--max N] [--seed N]
+//! vcfr gadgets <file> [--against <randomized>]
+//! vcfr stats <file>                         static control-flow statistics
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::CliError;
+
+const USAGE: &str = "\
+vcfr — hardware-supported instruction address space randomization toolchain
+
+USAGE:
+    vcfr build <workload> --o <file>
+    vcfr asm <file.s> --o <file> [--base ADDR]
+    vcfr disasm <file> [--blocks]
+    vcfr run <file> [--max N]
+    vcfr randomize <file> --o <out> [--seed N] [--page-confined]
+                   [--software-returns] [--keep SYM]...
+    vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+                   [--max N] [--seed N]
+    vcfr gadgets <file> [--against <randomized>] [--payloads]
+    vcfr stats <file>
+    vcfr trace <file> [--count N] [--skip N]
+";
+
+fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
+    match cmd {
+        "build" => commands::cmd_build(&Args::parse(rest, &[], &["o"])?),
+        "asm" => commands::cmd_asm(&Args::parse(rest, &[], &["o", "base"])?),
+        "disasm" => commands::cmd_disasm(&Args::parse(rest, &["blocks"], &[])?),
+        "run" => commands::cmd_run(&Args::parse(rest, &[], &["max"])?),
+        "randomize" => commands::cmd_randomize(&Args::parse(
+            rest,
+            &["page-confined", "software-returns"],
+            &["o", "seed", "keep"],
+        )?),
+        "simulate" => commands::cmd_simulate(&Args::parse(
+            rest,
+            &["ooo"],
+            &["mode", "drc", "max", "seed"],
+        )?),
+        "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
+        "stats" => commands::cmd_stats(&Args::parse(rest, &[], &[])?),
+        "trace" => commands::cmd_trace(&Args::parse(rest, &[], &["count", "skip"])?),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    match dispatch(cmd, rest) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

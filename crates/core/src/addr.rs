@@ -1,0 +1,87 @@
+//! Address-space newtypes.
+//!
+//! The whole point of VCFR is that two distinct instruction address spaces
+//! coexist; mixing them up is the classic bug in anything that touches the
+//! mechanism. These newtypes make the confusion a type error.
+
+use std::fmt;
+
+/// An address in the **original** (un-randomized) instruction space — the
+/// layout in which instruction bytes are stored in caches and memory, and
+/// in which branch prediction operates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrigAddr(pub u32);
+
+/// An address in the **randomized** instruction space — the only view the
+/// architecture exposes to software (and to attackers). The randomized
+/// program counter (RPC) holds one of these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RandAddr(pub u32);
+
+macro_rules! addr_impls {
+    ($t:ident) => {
+        impl $t {
+            /// Returns the raw 32-bit address value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the address advanced by `n` bytes (wrapping).
+            pub fn add(self, n: u32) -> $t {
+                $t(self.0.wrapping_add(n))
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#010x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u32> for $t {
+            fn from(v: u32) -> $t {
+                $t(v)
+            }
+        }
+
+        impl From<$t> for u32 {
+            fn from(v: $t) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+addr_impls!(OrigAddr);
+addr_impls!(RandAddr);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(OrigAddr(0x1000).to_string(), "0x00001000");
+        assert_eq!(RandAddr(0xdead_beef).to_string(), "0xdeadbeef");
+        assert_eq!(format!("{:x}", OrigAddr(255)), "ff");
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(OrigAddr(u32::MAX).add(1), OrigAddr(0));
+        assert_eq!(RandAddr(10).add(5), RandAddr(15));
+    }
+
+    #[test]
+    fn conversions() {
+        let o: OrigAddr = 7u32.into();
+        assert_eq!(u32::from(o), 7);
+        assert_eq!(o.raw(), 7);
+    }
+}

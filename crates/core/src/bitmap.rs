@@ -1,0 +1,152 @@
+//! The stack return-address bitmap (§IV-C).
+//!
+//! When the hardware pushes a *randomized* return address, it marks the
+//! stack slot in a bitmap so that a later plain load from that slot can be
+//! transparently de-randomized (supporting position-independent-code
+//! idioms and C++ exception unwinding that read return addresses off the
+//! stack). The bitmap lives in kernel-invisible pages like the
+//! translation tables; a small cache fronts it in hardware. This module
+//! models the architectural contents; the cycle simulator charges the
+//! timing.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+/// 4 KiB page / 8-byte slots = 512 bits = 8 × u64 words.
+const WORDS_PER_PAGE: usize = 8;
+
+/// Tracks which 8-byte stack slots currently hold randomized return
+/// addresses.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_core::StackBitmap;
+/// let mut bm = StackBitmap::new();
+/// bm.mark(0xeff8);
+/// assert!(bm.is_marked(0xeff8));
+/// bm.clear(0xeff8);
+/// assert!(!bm.is_marked(0xeff8));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StackBitmap {
+    pages: HashMap<u32, [u64; WORDS_PER_PAGE]>,
+    marked: u64,
+}
+
+impl StackBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> StackBitmap {
+        StackBitmap::default()
+    }
+
+    fn locate(addr: u32) -> (u32, usize, u64) {
+        let page = addr >> PAGE_SHIFT;
+        let slot = ((addr >> 3) & 511) as usize;
+        (page, slot / 64, 1u64 << (slot % 64))
+    }
+
+    /// Marks the slot containing `addr` as holding a randomized return
+    /// address. `addr` should be 8-byte aligned (the low bits are
+    /// ignored).
+    pub fn mark(&mut self, addr: u32) {
+        let (page, word, bit) = StackBitmap::locate(addr);
+        let words = self.pages.entry(page).or_insert([0; WORDS_PER_PAGE]);
+        if words[word] & bit == 0 {
+            words[word] |= bit;
+            self.marked += 1;
+        }
+    }
+
+    /// Clears the mark on the slot containing `addr` (e.g. once the
+    /// return address is consumed by `ret`).
+    pub fn clear(&mut self, addr: u32) {
+        let (page, word, bit) = StackBitmap::locate(addr);
+        if let Some(words) = self.pages.get_mut(&page) {
+            if words[word] & bit != 0 {
+                words[word] &= !bit;
+                self.marked -= 1;
+            }
+        }
+    }
+
+    /// Whether the slot containing `addr` holds a randomized return
+    /// address.
+    pub fn is_marked(&self, addr: u32) -> bool {
+        let (page, word, bit) = StackBitmap::locate(addr);
+        self.pages.get(&page).is_some_and(|w| w[word] & bit != 0)
+    }
+
+    /// Number of currently marked slots.
+    pub fn marked_count(&self) -> u64 {
+        self.marked
+    }
+
+    /// The virtual address of the bitmap word backing `addr`, for cache
+    /// modelling of bitmap-cache misses. `bitmap_base` is where the
+    /// kernel placed the bitmap pages.
+    pub fn word_addr(bitmap_base: u32, addr: u32) -> u32 {
+        let (page, word, _) = StackBitmap::locate(addr);
+        bitmap_base
+            .wrapping_add(page.wrapping_mul((WORDS_PER_PAGE * 8) as u32))
+            .wrapping_add((word * 8) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_test_clear() {
+        let mut bm = StackBitmap::new();
+        assert!(!bm.is_marked(0x1000));
+        bm.mark(0x1000);
+        assert!(bm.is_marked(0x1000));
+        assert_eq!(bm.marked_count(), 1);
+        bm.clear(0x1000);
+        assert!(!bm.is_marked(0x1000));
+        assert_eq!(bm.marked_count(), 0);
+    }
+
+    #[test]
+    fn slots_are_8_byte_granular() {
+        let mut bm = StackBitmap::new();
+        bm.mark(0x1008);
+        assert!(bm.is_marked(0x1008));
+        assert!(bm.is_marked(0x100f)); // same slot
+        assert!(!bm.is_marked(0x1010)); // next slot
+        assert!(!bm.is_marked(0x1000)); // previous slot
+    }
+
+    #[test]
+    fn idempotent_marking() {
+        let mut bm = StackBitmap::new();
+        bm.mark(0x2000);
+        bm.mark(0x2000);
+        assert_eq!(bm.marked_count(), 1);
+        bm.clear(0x2000);
+        bm.clear(0x2000);
+        assert_eq!(bm.marked_count(), 0);
+    }
+
+    #[test]
+    fn spans_many_pages() {
+        let mut bm = StackBitmap::new();
+        for i in 0..10_000u32 {
+            bm.mark(i * 8);
+        }
+        assert_eq!(bm.marked_count(), 10_000);
+        assert!(bm.is_marked(9_999 * 8));
+        assert!(!bm.is_marked(10_000 * 8));
+    }
+
+    #[test]
+    fn word_addresses_distinct_per_word() {
+        let a = StackBitmap::word_addr(0x5000_0000, 0x1000);
+        let b = StackBitmap::word_addr(0x5000_0000, 0x1000 + 64 * 8);
+        assert_ne!(a, b);
+        // Same slot → same word address.
+        assert_eq!(a, StackBitmap::word_addr(0x5000_0000, 0x1004));
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-instruction bijection between the original and randomized
+//! instruction spaces.
+
+use crate::{OrigAddr, RandAddr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error constructing a [`LayoutMap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Two instructions were assigned the same randomized address.
+    DuplicateRand {
+        /// The colliding randomized address.
+        rand: RandAddr,
+    },
+    /// The same original address was mapped twice.
+    DuplicateOrig {
+        /// The colliding original address.
+        orig: OrigAddr,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DuplicateRand { rand } => {
+                write!(f, "randomized address {rand} assigned twice")
+            }
+            LayoutError::DuplicateOrig { orig } => {
+                write!(f, "original address {orig} mapped twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A bijection `original instruction address ↔ randomized instruction
+/// address`, one pair per instruction.
+///
+/// The map is the rewriter's central artefact: the scattered binary image,
+/// the successor map and the translation tables are all derived from it.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_core::{LayoutMap, OrigAddr, RandAddr};
+/// let map = LayoutMap::from_pairs([
+///     (OrigAddr(0x1000), RandAddr(0x8f00)),
+///     (OrigAddr(0x1005), RandAddr(0x1234)),
+/// ]).unwrap();
+/// assert_eq!(map.to_rand(OrigAddr(0x1005)), Some(RandAddr(0x1234)));
+/// assert_eq!(map.to_orig(RandAddr(0x8f00)), Some(OrigAddr(0x1000)));
+/// assert_eq!(map.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LayoutMap {
+    rand_of: HashMap<OrigAddr, RandAddr>,
+    orig_of: HashMap<RandAddr, OrigAddr>,
+}
+
+impl LayoutMap {
+    /// Builds a map from `(original, randomized)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] if either side repeats — the map must be
+    /// a bijection.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (OrigAddr, RandAddr)>,
+    ) -> Result<LayoutMap, LayoutError> {
+        let mut m = LayoutMap::default();
+        for (o, r) in pairs {
+            m.insert(o, r)?;
+        }
+        Ok(m)
+    }
+
+    /// Adds one pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] on a duplicate original or randomized
+    /// address.
+    pub fn insert(&mut self, orig: OrigAddr, rand: RandAddr) -> Result<(), LayoutError> {
+        if self.rand_of.contains_key(&orig) {
+            return Err(LayoutError::DuplicateOrig { orig });
+        }
+        if self.orig_of.contains_key(&rand) {
+            return Err(LayoutError::DuplicateRand { rand });
+        }
+        self.rand_of.insert(orig, rand);
+        self.orig_of.insert(rand, orig);
+        Ok(())
+    }
+
+    /// Randomized address of an original instruction, if mapped.
+    pub fn to_rand(&self, orig: OrigAddr) -> Option<RandAddr> {
+        self.rand_of.get(&orig).copied()
+    }
+
+    /// Original address of a randomized instruction, if mapped.
+    pub fn to_orig(&self, rand: RandAddr) -> Option<OrigAddr> {
+        self.orig_of.get(&rand).copied()
+    }
+
+    /// Number of mapped instructions.
+    pub fn len(&self) -> usize {
+        self.rand_of.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rand_of.is_empty()
+    }
+
+    /// Iterates over `(original, randomized)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (OrigAddr, RandAddr)> + '_ {
+        self.rand_of.iter().map(|(o, r)| (*o, *r))
+    }
+
+    /// Iterates over all original addresses in the map.
+    pub fn origs(&self) -> impl Iterator<Item = OrigAddr> + '_ {
+        self.rand_of.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijection_enforced() {
+        let mut m = LayoutMap::default();
+        m.insert(OrigAddr(1), RandAddr(10)).unwrap();
+        assert_eq!(
+            m.insert(OrigAddr(1), RandAddr(11)),
+            Err(LayoutError::DuplicateOrig { orig: OrigAddr(1) })
+        );
+        assert_eq!(
+            m.insert(OrigAddr(2), RandAddr(10)),
+            Err(LayoutError::DuplicateRand { rand: RandAddr(10) })
+        );
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let m = LayoutMap::from_pairs([(OrigAddr(5), RandAddr(50))]).unwrap();
+        assert_eq!(m.to_rand(OrigAddr(5)), Some(RandAddr(50)));
+        assert_eq!(m.to_orig(RandAddr(50)), Some(OrigAddr(5)));
+        assert_eq!(m.to_rand(OrigAddr(6)), None);
+        assert_eq!(m.to_orig(RandAddr(51)), None);
+    }
+
+    #[test]
+    fn iteration_covers_all_pairs() {
+        let pairs = [(OrigAddr(1), RandAddr(9)), (OrigAddr(2), RandAddr(8))];
+        let m = LayoutMap::from_pairs(pairs).unwrap();
+        let mut got: Vec<_> = m.iter().collect();
+        got.sort();
+        assert_eq!(got, vec![(OrigAddr(1), RandAddr(9)), (OrigAddr(2), RandAddr(8))]);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Gadget discovery and classification.
+
+use std::collections::BTreeSet;
+use vcfr_isa::{decode, Addr, Image, Inst, Reg};
+
+/// Maximum instructions in a gadget (ROPgadget's default depth is
+/// comparable).
+pub const MAX_GADGET_LEN: usize = 5;
+
+/// The terminating instruction of a gadget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GadgetEnd {
+    /// Ends in `ret` — a classic ROP gadget.
+    Ret,
+    /// Ends in `jmp reg` — a JOP gadget.
+    JmpReg(Reg),
+    /// Ends in `call reg` — a COP gadget.
+    CallReg(Reg),
+    /// Ends in `jmp [m]` / `call [m]`.
+    Mem,
+}
+
+/// One discovered gadget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gadget {
+    /// Start address (any byte offset, aligned or not).
+    pub addr: Addr,
+    /// The decoded instruction sequence, terminator included.
+    pub insts: Vec<Inst>,
+    /// How it transfers control onward.
+    pub end: GadgetEnd,
+}
+
+impl Gadget {
+    /// Total encoded length in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.insts.iter().map(Inst::len).sum()
+    }
+}
+
+/// What a gadget gives an exploit writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// Pops a value from the attacker-controlled stack into a register.
+    LoadReg(Reg),
+    /// Writes a register through a register-addressed memory operand.
+    WriteMem,
+    /// Reads memory through a register-addressed operand.
+    ReadMem,
+    /// Moves a value between registers.
+    MoveReg,
+    /// Arithmetic/logic on a register.
+    Arith,
+    /// Raises a syscall (the `sys` instruction).
+    Syscall,
+    /// Ends in an attacker-steerable indirect transfer (pivot).
+    Pivot,
+}
+
+/// Scans the text section for gadgets at every byte offset.
+///
+/// A gadget is a sequence of 1..=[`MAX_GADGET_LEN`] (five) instructions with no
+/// interior control transfer, ending in `ret` or an indirect transfer.
+/// Direct branches abort a candidate (the attacker cannot steer them),
+/// as do `halt` and decode failures.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Reg};
+/// let mut a = Asm::new(0x1000);
+/// a.pop(Reg::Rdi);
+/// a.ret();
+/// let img = a.finish().unwrap();
+/// let gadgets = vcfr_gadget::scan(&img);
+/// assert!(gadgets.iter().any(|g| g.addr == 0x1000 && g.insts.len() == 2));
+/// ```
+pub fn scan(image: &Image) -> Vec<Gadget> {
+    let text = image.text();
+    let mut out = Vec::new();
+    for start in 0..text.bytes.len() {
+        let mut insts = Vec::new();
+        let mut off = start;
+        for _ in 0..MAX_GADGET_LEN {
+            let Ok(inst) = decode(&text.bytes[off..]) else { break };
+            off += inst.len();
+            let end = match inst {
+                Inst::Ret => Some(GadgetEnd::Ret),
+                Inst::JmpR { target } => Some(GadgetEnd::JmpReg(target)),
+                Inst::CallR { target } => Some(GadgetEnd::CallReg(target)),
+                Inst::JmpM { .. } | Inst::CallM { .. } => Some(GadgetEnd::Mem),
+                _ => None,
+            };
+            if let Some(end) = end {
+                insts.push(inst);
+                out.push(Gadget {
+                    addr: text.base + start as Addr,
+                    insts: insts.clone(),
+                    end,
+                });
+                break;
+            }
+            // Direct transfers and halts cannot appear inside a gadget.
+            if inst.is_control() || matches!(inst, Inst::Halt) {
+                break;
+            }
+            insts.push(inst);
+        }
+    }
+    out
+}
+
+/// Derives the capabilities of one gadget.
+pub fn classify(g: &Gadget) -> BTreeSet<Capability> {
+    let mut caps = BTreeSet::new();
+    // Only ret-gadgets give clean stack-sourced register loads; all
+    // indirect terminators give a pivot.
+    if g.end != GadgetEnd::Ret {
+        caps.insert(Capability::Pivot);
+    }
+    for inst in &g.insts {
+        match inst {
+            Inst::Pop { .. } if g.end == GadgetEnd::Ret => {
+                if let Inst::Pop { dst } = inst {
+                    caps.insert(Capability::LoadReg(*dst));
+                }
+            }
+            Inst::Store { .. } | Inst::StoreIdx { .. } | Inst::StoreB { .. } => {
+                caps.insert(Capability::WriteMem);
+            }
+            Inst::Load { .. } | Inst::LoadIdx { .. } | Inst::LoadB { .. } => {
+                caps.insert(Capability::ReadMem);
+            }
+            Inst::MovRR { .. } => {
+                caps.insert(Capability::MoveReg);
+            }
+            Inst::AluRR { .. }
+            | Inst::AluRI { .. }
+            | Inst::Neg { .. }
+            | Inst::Not { .. } => {
+                caps.insert(Capability::Arith);
+            }
+            // Unlike x86 (where the syscall number travels in a
+            // register the attacker controls), `sys` takes an immediate:
+            // only the shell syscall itself is attack-relevant.
+            Inst::Sys { num } if *num == vcfr_isa::SYS_SHELL => {
+                caps.insert(Capability::Syscall);
+            }
+            _ => {}
+        }
+    }
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcfr_isa::{AluOp, Asm};
+
+    #[test]
+    fn finds_pop_ret_and_classifies_it() {
+        let mut a = Asm::new(0x1000);
+        a.pop(Reg::Rdi);
+        a.pop(Reg::Rsi);
+        a.ret();
+        let img = a.finish().unwrap();
+        let gs = scan(&img);
+        let full = gs.iter().find(|g| g.addr == 0x1000).unwrap();
+        assert_eq!(full.insts.len(), 3);
+        let caps = classify(full);
+        assert!(caps.contains(&Capability::LoadReg(Reg::Rdi)));
+        assert!(caps.contains(&Capability::LoadReg(Reg::Rsi)));
+        // Suffix gadgets at +2 and +4 exist too (every byte offset).
+        assert!(gs.iter().any(|g| g.addr == 0x1002));
+        assert!(gs.iter().any(|g| g.addr == 0x1004 && g.insts.len() == 1));
+    }
+
+    #[test]
+    fn direct_branches_break_gadgets() {
+        let mut a = Asm::new(0x1000);
+        let l = a.label();
+        a.pop(Reg::Rax);
+        a.jmp(l);
+        a.bind(l);
+        a.ret();
+        let img = a.finish().unwrap();
+        let gs = scan(&img);
+        // No gadget starts at 0x1000 (pop; jmp aborts); the bare ret at
+        // 0x1007 is found.
+        assert!(!gs.iter().any(|g| g.addr == 0x1000));
+        assert!(gs.iter().any(|g| g.addr == 0x1007 && g.end == GadgetEnd::Ret));
+    }
+
+    #[test]
+    fn unaligned_bytes_yield_unintended_gadgets() {
+        // The 0x0303 immediate trick: `and r10, 0x0303` encodes
+        // [0x32, 0x0a, 0x03, 0x03, 0x00, 0x00]; at +2 that decodes as
+        // `sys 3; nop; nop; ...` — append a ret and the scanner must see
+        // a syscall gadget that the programmer never wrote.
+        let mut a = Asm::new(0x1000);
+        a.alu_ri(AluOp::And, Reg::R10, 0x0303);
+        a.ret();
+        let img = a.finish().unwrap();
+        let gs = scan(&img);
+        let sys_gadget = gs
+            .iter()
+            .find(|g| classify(g).contains(&Capability::Syscall))
+            .expect("unintended sys gadget");
+        assert_eq!(sys_gadget.addr, 0x1002);
+        assert_eq!(sys_gadget.end, GadgetEnd::Ret);
+    }
+
+    #[test]
+    fn jop_gadgets_classified_as_pivot() {
+        let mut a = Asm::new(0x1000);
+        a.alu_ri(AluOp::Add, Reg::Rax, 8);
+        a.jmp_r(Reg::Rax);
+        let img = a.finish().unwrap();
+        let gs = scan(&img);
+        let g = gs.iter().find(|g| g.addr == 0x1000).unwrap();
+        assert_eq!(g.end, GadgetEnd::JmpReg(Reg::Rax));
+        let caps = classify(g);
+        assert!(caps.contains(&Capability::Pivot));
+        assert!(caps.contains(&Capability::Arith));
+    }
+
+    #[test]
+    fn byte_len_sums_encodings() {
+        let g = Gadget {
+            addr: 0,
+            insts: vec![Inst::Pop { dst: Reg::Rax }, Inst::Ret],
+            end: GadgetEnd::Ret,
+        };
+        assert_eq!(g.byte_len(), 3);
+    }
+}

@@ -1,0 +1,612 @@
+//! A two-pass label assembler for building [`Image`]s programmatically.
+//!
+//! Because every instruction in the ISA has a length that does not depend
+//! on its operand values, layout is final as instructions are emitted and
+//! only branch displacements and absolute label immediates need a fix-up
+//! pass in [`Asm::finish`].
+
+use crate::error::AsmError;
+use crate::image::{Image, Reloc, Section, SectionKind, Symbol, SymbolKind};
+use crate::inst::{AluOp, Cond, Inst};
+use crate::{encode_into, Addr, Reg, SYS_OUTPUT};
+use std::collections::HashMap;
+
+/// An opaque handle to a not-yet-resolved code address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// The address of a blob allocated in the data section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DataRef(pub Addr);
+
+#[derive(Clone, Copy, Debug)]
+enum FixupKind {
+    /// Patch a `rel: i32` field so the branch lands on the label.
+    Rel,
+    /// Patch a `MovRI` immediate with the label's absolute address.
+    Abs,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fixup {
+    inst: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// Default distance between the text base and the data base.
+const DEFAULT_DATA_GAP: Addr = 0x10_0000;
+/// Default initial stack pointer.
+const DEFAULT_STACK_TOP: Addr = 0x0f00_0000;
+
+/// Incremental builder for a program [`Image`].
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Cond, Machine, Reg};
+///
+/// let mut a = Asm::new(0x1000);
+/// a.mov_ri(Reg::Rcx, 5);
+/// a.mov_ri(Reg::Rax, 0);
+/// let top = a.here();
+/// a.alu_ri(vcfr_isa::AluOp::Add, Reg::Rax, 2);
+/// a.alu_ri(vcfr_isa::AluOp::Sub, Reg::Rcx, 1);
+/// a.cmp_i(Reg::Rcx, 0);
+/// a.jcc(Cond::Ne, top);
+/// a.emit_output(Reg::Rax);
+/// a.halt();
+///
+/// let image = a.finish().unwrap();
+/// let out = Machine::new(&image).run(1_000).unwrap().output;
+/// assert_eq!(out, vec![10]);
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    text_base: Addr,
+    data_base: Addr,
+    stack_top: Addr,
+    insts: Vec<Inst>,
+    offsets: Vec<usize>,
+    cursor: usize,
+    fixups: Vec<Fixup>,
+    labels: Vec<Option<Addr>>,
+    named: HashMap<String, Label>,
+    symbols: Vec<Symbol>,
+    data: Vec<u8>,
+    data_relocs: Vec<(usize, Label)>,
+    entry: Option<Label>,
+}
+
+impl Asm {
+    /// Creates an assembler whose text section starts at `text_base`; the
+    /// data section is placed `0x10_0000` bytes above it.
+    pub fn new(text_base: Addr) -> Asm {
+        Asm::with_layout(text_base, text_base + DEFAULT_DATA_GAP, DEFAULT_STACK_TOP)
+    }
+
+    /// Creates an assembler with explicit section bases and stack top.
+    pub fn with_layout(text_base: Addr, data_base: Addr, stack_top: Addr) -> Asm {
+        Asm {
+            text_base,
+            data_base,
+            stack_top,
+            insts: Vec::new(),
+            offsets: Vec::new(),
+            cursor: 0,
+            fixups: Vec::new(),
+            labels: Vec::new(),
+            named: HashMap::new(),
+            symbols: Vec::new(),
+            data: Vec::new(),
+            data_relocs: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Returns the label associated with `name`, allocating it on first
+    /// use. Handy for forward references to functions by name.
+    pub fn named_label(&mut self, name: &str) -> Label {
+        if let Some(l) = self.named.get(name) {
+            return *l;
+        }
+        let l = self.label();
+        self.named.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder bug, not an input
+    /// error).
+    pub fn bind(&mut self, label: Label) {
+        let addr = self.addr_here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label {label:?} bound twice");
+        *slot = Some(addr);
+    }
+
+    /// Allocates a label, binds it to the current position and returns it.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Starts a named function here: binds (and returns) the function's
+    /// named label and records a [`SymbolKind::Func`] symbol.
+    pub fn func(&mut self, name: &str) -> Label {
+        let l = self.named_label(name);
+        self.bind(l);
+        self.symbols.push(Symbol {
+            name: name.to_owned(),
+            addr: self.addr_here(),
+            size: 0,
+            kind: SymbolKind::Func,
+        });
+        l
+    }
+
+    /// Records a [`SymbolKind::Func`] symbol at the current position
+    /// without touching any label (used by the textual assembler, where
+    /// the label may already be bound).
+    pub fn mark_symbol(&mut self, name: &str) {
+        self.symbols.push(Symbol {
+            name: name.to_owned(),
+            addr: self.addr_here(),
+            size: 0,
+            kind: SymbolKind::Func,
+        });
+    }
+
+    /// Marks the function label used as the program entry point; defaults
+    /// to the first instruction when never called.
+    pub fn set_entry(&mut self, label: Label) {
+        self.entry = Some(label);
+    }
+
+    /// Current text address (the address the next instruction will get).
+    pub fn addr_here(&self) -> Addr {
+        self.text_base.wrapping_add(self.cursor as Addr)
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.offsets.push(self.cursor);
+        self.cursor += inst.len();
+        self.insts.push(inst);
+    }
+
+    fn emit_fixed_up(&mut self, inst: Inst, label: Label, kind: FixupKind) {
+        self.fixups.push(Fixup { inst: self.insts.len(), label, kind });
+        self.emit(inst);
+    }
+
+    // ---- plain instructions -------------------------------------------
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Ret);
+    }
+
+    /// Emits `sys num`.
+    pub fn sys(&mut self, num: u8) {
+        self.emit(Inst::Sys { num });
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.emit(Inst::MovRR { dst, src });
+    }
+
+    /// Emits `mov dst, imm`.
+    pub fn mov_ri(&mut self, dst: Reg, imm: i64) {
+        self.emit(Inst::MovRI { dst, imm });
+    }
+
+    /// Emits `mov dst, &label` — loads the absolute address of a code
+    /// label (a function pointer).
+    pub fn mov_label(&mut self, dst: Reg, label: Label) {
+        self.emit_fixed_up(Inst::MovRI { dst, imm: 0 }, label, FixupKind::Abs);
+    }
+
+    /// Emits `lea dst, [base + disp]`.
+    pub fn lea(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.emit(Inst::Lea { dst, base, disp });
+    }
+
+    /// Emits a 64-bit load.
+    pub fn load(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.emit(Inst::Load { dst, base, disp });
+    }
+
+    /// Emits a 64-bit store.
+    pub fn store(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.emit(Inst::Store { base, disp, src });
+    }
+
+    /// Emits a scaled-index 64-bit load.
+    pub fn load_idx(&mut self, dst: Reg, base: Reg, index: Reg, scale: u8, disp: i32) {
+        self.emit(Inst::LoadIdx { dst, base, index, scale, disp });
+    }
+
+    /// Emits a scaled-index 64-bit store.
+    pub fn store_idx(&mut self, base: Reg, index: Reg, scale: u8, disp: i32, src: Reg) {
+        self.emit(Inst::StoreIdx { base, index, scale, disp, src });
+    }
+
+    /// Emits a byte load (zero-extending).
+    pub fn load_b(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.emit(Inst::LoadB { dst, base, disp });
+    }
+
+    /// Emits a byte store.
+    pub fn store_b(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.emit(Inst::StoreB { base, disp, src });
+    }
+
+    /// Emits `push src`.
+    pub fn push(&mut self, src: Reg) {
+        self.emit(Inst::Push { src });
+    }
+
+    /// Emits `pop dst`.
+    pub fn pop(&mut self, dst: Reg) {
+        self.emit(Inst::Pop { dst });
+    }
+
+    /// Emits `push imm`.
+    pub fn push_i(&mut self, imm: i32) {
+        self.emit(Inst::PushI { imm });
+    }
+
+    /// Emits `op dst, src`.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Reg, src: Reg) {
+        self.emit(Inst::AluRR { op, dst, src });
+    }
+
+    /// Emits `op dst, imm`.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Reg, imm: i32) {
+        self.emit(Inst::AluRI { op, dst, imm });
+    }
+
+    /// Emits `cmp lhs, rhs`.
+    pub fn cmp(&mut self, lhs: Reg, rhs: Reg) {
+        self.emit(Inst::Cmp { lhs, rhs });
+    }
+
+    /// Emits `cmp lhs, imm`.
+    pub fn cmp_i(&mut self, lhs: Reg, imm: i32) {
+        self.emit(Inst::CmpI { lhs, imm });
+    }
+
+    /// Emits `test lhs, rhs`.
+    pub fn test(&mut self, lhs: Reg, rhs: Reg) {
+        self.emit(Inst::Test { lhs, rhs });
+    }
+
+    /// Emits `neg dst`.
+    pub fn neg(&mut self, dst: Reg) {
+        self.emit(Inst::Neg { dst });
+    }
+
+    /// Emits `not dst`.
+    pub fn not(&mut self, dst: Reg) {
+        self.emit(Inst::Not { dst });
+    }
+
+    /// Emits `jmp label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.emit_fixed_up(Inst::Jmp { rel: 0 }, label, FixupKind::Rel);
+    }
+
+    /// Emits `jcc label`.
+    pub fn jcc(&mut self, cc: Cond, label: Label) {
+        self.emit_fixed_up(Inst::Jcc { cc, rel: 0 }, label, FixupKind::Rel);
+    }
+
+    /// Emits `call label`.
+    pub fn call(&mut self, label: Label) {
+        self.emit_fixed_up(Inst::Call { rel: 0 }, label, FixupKind::Rel);
+    }
+
+    /// Emits `call name`, resolving the function by named label.
+    pub fn call_named(&mut self, name: &str) {
+        let l = self.named_label(name);
+        self.call(l);
+    }
+
+    /// Emits `call reg` (indirect call).
+    pub fn call_r(&mut self, target: Reg) {
+        self.emit(Inst::CallR { target });
+    }
+
+    /// Emits `call [base + disp]` (indirect call through memory).
+    pub fn call_m(&mut self, base: Reg, disp: i32) {
+        self.emit(Inst::CallM { base, disp });
+    }
+
+    /// Emits `jmp reg` (indirect jump).
+    pub fn jmp_r(&mut self, target: Reg) {
+        self.emit(Inst::JmpR { target });
+    }
+
+    /// Emits `jmp [base + disp]` (jump-table dispatch).
+    pub fn jmp_m(&mut self, base: Reg, disp: i32) {
+        self.emit(Inst::JmpM { base, disp });
+    }
+
+    /// Emits the `sys 1` output convention: appends `reg` to the output
+    /// sink, preserving every register.
+    pub fn emit_output(&mut self, reg: Reg) {
+        if reg == Reg::Rax {
+            self.sys(SYS_OUTPUT);
+        } else {
+            self.push(Reg::Rax);
+            self.mov_rr(Reg::Rax, reg);
+            self.sys(SYS_OUTPUT);
+            self.pop(Reg::Rax);
+        }
+    }
+
+    /// Pads the text with `nop`s until the current address is a multiple
+    /// of `align` (which must be a power of two).
+    pub fn align_to(&mut self, align: Addr) {
+        debug_assert!(align.is_power_of_two());
+        while self.addr_here() & (align - 1) != 0 {
+            self.nop();
+        }
+    }
+
+    // ---- data ----------------------------------------------------------
+
+    fn data_here(&self) -> Addr {
+        self.data_base.wrapping_add(self.data.len() as Addr)
+    }
+
+    /// Appends raw bytes to the data section, returning their address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> DataRef {
+        let r = DataRef(self.data_here());
+        self.data.extend_from_slice(bytes);
+        r
+    }
+
+    /// Appends 64-bit words to the data section, returning their address.
+    pub fn data_u64s(&mut self, vals: &[u64]) -> DataRef {
+        let r = DataRef(self.data_here());
+        for v in vals {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        r
+    }
+
+    /// Reserves `len` zero bytes in the data section.
+    pub fn data_zeroed(&mut self, len: usize) -> DataRef {
+        let r = DataRef(self.data_here());
+        self.data.resize(self.data.len() + len, 0);
+        r
+    }
+
+    /// Appends a table of code pointers (one 8-byte slot per label) and
+    /// records a [`Reloc`] for each slot. This is how jump tables and
+    /// vtables are built.
+    pub fn data_ptr_table(&mut self, labels: &[Label]) -> DataRef {
+        let r = DataRef(self.data_here());
+        for l in labels {
+            self.data_relocs.push((self.data.len(), *l));
+            self.data.extend_from_slice(&0u64.to_le_bytes());
+        }
+        r
+    }
+
+    // ---- finish --------------------------------------------------------
+
+    /// Resolves all fix-ups and produces the final [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound, or [`AsmError::RelOutOfRange`] if a displacement
+    /// cannot be encoded.
+    pub fn finish(mut self) -> Result<Image, AsmError> {
+        // Resolve fix-ups against final label addresses.
+        for f in &self.fixups {
+            let target = self.labels[f.label.0].ok_or(AsmError::UnboundLabel { label: f.label.0 })?;
+            let inst = &mut self.insts[f.inst];
+            let at = self.text_base.wrapping_add(self.offsets[f.inst] as Addr);
+            match f.kind {
+                FixupKind::Rel => {
+                    let next = at.wrapping_add(inst.len() as Addr);
+                    let rel = target as i64 - next as i64;
+                    let rel32 =
+                        i32::try_from(rel).map_err(|_| AsmError::RelOutOfRange { at, rel })?;
+                    match inst {
+                        Inst::Jmp { rel } | Inst::Jcc { rel, .. } | Inst::Call { rel } => {
+                            *rel = rel32;
+                        }
+                        _ => unreachable!("rel fixup on non-branch"),
+                    }
+                }
+                FixupKind::Abs => match inst {
+                    Inst::MovRI { imm, .. } => *imm = target as i64,
+                    _ => unreachable!("abs fixup on non-mov"),
+                },
+            }
+        }
+
+        // Encode the text section.
+        let mut text = Vec::with_capacity(self.cursor);
+        for inst in &self.insts {
+            encode_into(inst, &mut text);
+        }
+        debug_assert_eq!(text.len(), self.cursor);
+
+        // Patch data relocations and collect them.
+        let mut relocs = Vec::with_capacity(self.data_relocs.len());
+        for (off, l) in &self.data_relocs {
+            let target = self.labels[l.0].ok_or(AsmError::UnboundLabel { label: l.0 })?;
+            self.data[*off..*off + 8].copy_from_slice(&(target as u64).to_le_bytes());
+            relocs.push(Reloc { at: self.data_base.wrapping_add(*off as Addr), target });
+        }
+
+        // Compute function symbol sizes from the next symbol (or text end).
+        let mut symbols = self.symbols;
+        symbols.sort_by_key(|s| s.addr);
+        let text_end = self.text_base.wrapping_add(text.len() as Addr);
+        for i in 0..symbols.len() {
+            let end = symbols.get(i + 1).map(|s| s.addr).unwrap_or(text_end);
+            symbols[i].size = end.wrapping_sub(symbols[i].addr);
+        }
+
+        let entry = match self.entry {
+            Some(l) => self.labels[l.0].ok_or(AsmError::UnboundLabel { label: l.0 })?,
+            None => self.text_base,
+        };
+
+        let mut sections = vec![Section { kind: SectionKind::Text, base: self.text_base, bytes: text }];
+        if !self.data.is_empty() {
+            sections.push(Section { kind: SectionKind::Data, base: self.data_base, bytes: self.data });
+        }
+
+        Ok(Image { sections, entry, stack_top: self.stack_top, symbols, relocs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode_at;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new(0x1000);
+        let fwd = a.label();
+        let back = a.here();
+        a.jmp(fwd);
+        a.nop();
+        a.bind(fwd);
+        a.jcc(Cond::Eq, back);
+        a.halt();
+        let img = a.finish().unwrap();
+
+        let text = &img.text().bytes;
+        let (jmp, next) = decode_at(text, 0).unwrap();
+        // jmp skips the nop: target = 0x1000 + 5 + rel = 0x1006.
+        assert_eq!(jmp.direct_target(0x1000), Some(0x1006));
+        let (_nop, next) = decode_at(text, next).unwrap();
+        let (jcc, _) = decode_at(text, next).unwrap();
+        assert_eq!(jcc.direct_target(0x1006), Some(0x1000));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new(0x1000);
+        let l = a.label();
+        a.jmp(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut a = Asm::new(0x1000);
+        let l = a.here();
+        a.bind(l);
+    }
+
+    #[test]
+    fn named_labels_are_shared() {
+        let mut a = Asm::new(0x1000);
+        a.call_named("f"); // forward reference
+        a.halt();
+        a.func("f");
+        a.ret();
+        let img = a.finish().unwrap();
+        let f = img.symbol("f").unwrap();
+        assert_eq!(f.addr, 0x1000 + 5 + 1);
+        assert_eq!(f.kind, SymbolKind::Func);
+        assert_eq!(f.size, 1);
+    }
+
+    #[test]
+    fn ptr_table_generates_relocs() {
+        let mut a = Asm::new(0x1000);
+        let f = a.label();
+        let g = a.label();
+        let table = a.data_ptr_table(&[f, g]);
+        a.jmp_m(Reg::Rbx, 0);
+        a.bind(f);
+        a.nop();
+        a.bind(g);
+        a.halt();
+        let img = a.finish().unwrap();
+        assert_eq!(img.relocs.len(), 2);
+        assert_eq!(img.relocs[0].at, table.0);
+        assert_eq!(img.relocs[0].target, 0x1000 + 6);
+        assert_eq!(img.relocs[1].target, 0x1000 + 7);
+        // The table contents hold the same targets.
+        let data = img.data().unwrap();
+        let slot0 = u64::from_le_bytes(data.bytes[0..8].try_into().unwrap());
+        assert_eq!(slot0, (0x1000 + 6) as u64);
+    }
+
+    #[test]
+    fn align_pads_with_nops() {
+        let mut a = Asm::new(0x1000);
+        a.ret(); // 1 byte
+        a.align_to(16);
+        assert_eq!(a.addr_here() % 16, 0);
+        a.halt();
+        let img = a.finish().unwrap();
+        assert_eq!(img.text().bytes.len(), 17);
+    }
+
+    #[test]
+    fn entry_defaults_to_text_base_and_can_be_overridden() {
+        let mut a = Asm::new(0x2000);
+        a.nop();
+        let main = a.func("main");
+        a.halt();
+        let mut b = Asm::new(0x2000);
+        b.nop();
+        b.halt();
+        assert_eq!(b.finish().unwrap().entry, 0x2000);
+        a.set_entry(main);
+        assert_eq!(a.finish().unwrap().entry, 0x2001);
+    }
+
+    #[test]
+    fn mov_label_holds_absolute_address() {
+        let mut a = Asm::new(0x1000);
+        let f = a.label();
+        a.mov_label(Reg::Rax, f);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let img = a.finish().unwrap();
+        let (mov, _) = decode_at(&img.text().bytes, 0).unwrap();
+        assert_eq!(mov, Inst::MovRI { dst: Reg::Rax, imm: 0x100b });
+    }
+}

@@ -1,0 +1,270 @@
+//! Instruction decoder: machine bytes → [`Inst`].
+
+use crate::encode::op;
+use crate::error::DecodeError;
+use crate::inst::{AluOp, Cond, Inst};
+use crate::inst::{ALL_ALU_OPS, ALL_CONDS};
+use crate::Reg;
+
+fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError::Truncated { needed: n, available: bytes.len() })
+    } else {
+        Ok(())
+    }
+}
+
+fn reg(b: u8) -> Result<Reg, DecodeError> {
+    Reg::from_index(b).ok_or(DecodeError::BadRegister { index: b })
+}
+
+fn pair(b: u8) -> Result<(Reg, Reg), DecodeError> {
+    Ok((reg(b >> 4)?, reg(b & 0x0f)?))
+}
+
+fn i32_at(bytes: &[u8], off: usize) -> i32 {
+    i32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+fn i64_at(bytes: &[u8], off: usize) -> i64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    i64::from_le_bytes(b)
+}
+
+/// Decodes the instruction at the start of `bytes`.
+///
+/// The slice may be longer than the instruction; exactly
+/// [`Inst::len`] bytes are consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode is unknown, a register or scale
+/// field is invalid, or the slice is shorter than the instruction.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{decode, Inst};
+/// assert_eq!(decode(&[0x00, 0xff]).unwrap(), Inst::Nop);
+/// assert!(decode(&[0xff]).is_err());
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Inst, DecodeError> {
+    need(bytes, 1)?;
+    let opc = bytes[0];
+    let inst = match opc {
+        op::NOP => Inst::Nop,
+        op::HALT => Inst::Halt,
+        op::RET => Inst::Ret,
+        op::SYS => {
+            need(bytes, 2)?;
+            Inst::Sys { num: bytes[1] }
+        }
+        op::MOV_RR => {
+            need(bytes, 2)?;
+            let (dst, src) = pair(bytes[1])?;
+            Inst::MovRR { dst, src }
+        }
+        op::MOV_RI => {
+            need(bytes, 10)?;
+            Inst::MovRI { dst: reg(bytes[1])?, imm: i64_at(bytes, 2) }
+        }
+        op::LEA => {
+            need(bytes, 6)?;
+            let (dst, base) = pair(bytes[1])?;
+            Inst::Lea { dst, base, disp: i32_at(bytes, 2) }
+        }
+        op::LOAD => {
+            need(bytes, 6)?;
+            let (dst, base) = pair(bytes[1])?;
+            Inst::Load { dst, base, disp: i32_at(bytes, 2) }
+        }
+        op::STORE => {
+            need(bytes, 6)?;
+            let (src, base) = pair(bytes[1])?;
+            Inst::Store { base, disp: i32_at(bytes, 2), src }
+        }
+        op::LOAD_IDX => {
+            need(bytes, 7)?;
+            let (dst, base) = pair(bytes[1])?;
+            let index = reg(bytes[2] >> 2)?;
+            let scale = bytes[2] & 0x3;
+            Inst::LoadIdx { dst, base, index, scale, disp: i32_at(bytes, 3) }
+        }
+        op::STORE_IDX => {
+            need(bytes, 7)?;
+            let (src, base) = pair(bytes[1])?;
+            let index = reg(bytes[2] >> 2)?;
+            let scale = bytes[2] & 0x3;
+            Inst::StoreIdx { base, index, scale, disp: i32_at(bytes, 3), src }
+        }
+        op::LOAD_B => {
+            need(bytes, 6)?;
+            let (dst, base) = pair(bytes[1])?;
+            Inst::LoadB { dst, base, disp: i32_at(bytes, 2) }
+        }
+        op::STORE_B => {
+            need(bytes, 6)?;
+            let (src, base) = pair(bytes[1])?;
+            Inst::StoreB { base, disp: i32_at(bytes, 2), src }
+        }
+        op::PUSH => {
+            need(bytes, 2)?;
+            Inst::Push { src: reg(bytes[1])? }
+        }
+        op::POP => {
+            need(bytes, 2)?;
+            Inst::Pop { dst: reg(bytes[1])? }
+        }
+        op::PUSH_I => {
+            need(bytes, 5)?;
+            Inst::PushI { imm: i32_at(bytes, 1) }
+        }
+        op::CMP => {
+            need(bytes, 2)?;
+            let (lhs, rhs) = pair(bytes[1])?;
+            Inst::Cmp { lhs, rhs }
+        }
+        op::CMP_I => {
+            need(bytes, 6)?;
+            Inst::CmpI { lhs: reg(bytes[1])?, imm: i32_at(bytes, 2) }
+        }
+        op::TEST => {
+            need(bytes, 2)?;
+            let (lhs, rhs) = pair(bytes[1])?;
+            Inst::Test { lhs, rhs }
+        }
+        op::NEG => {
+            need(bytes, 2)?;
+            Inst::Neg { dst: reg(bytes[1])? }
+        }
+        op::NOT => {
+            need(bytes, 2)?;
+            Inst::Not { dst: reg(bytes[1])? }
+        }
+        op::JMP => {
+            need(bytes, 5)?;
+            Inst::Jmp { rel: i32_at(bytes, 1) }
+        }
+        op::CALL => {
+            need(bytes, 5)?;
+            Inst::Call { rel: i32_at(bytes, 1) }
+        }
+        op::CALL_R => {
+            need(bytes, 2)?;
+            Inst::CallR { target: reg(bytes[1])? }
+        }
+        op::CALL_M => {
+            need(bytes, 6)?;
+            Inst::CallM { base: reg(bytes[1])?, disp: i32_at(bytes, 2) }
+        }
+        op::JMP_R => {
+            need(bytes, 2)?;
+            Inst::JmpR { target: reg(bytes[1])? }
+        }
+        op::JMP_M => {
+            need(bytes, 6)?;
+            Inst::JmpM { base: reg(bytes[1])?, disp: i32_at(bytes, 2) }
+        }
+        _ if (op::ALU_RR_BASE..op::ALU_RR_BASE + ALL_ALU_OPS.len() as u8).contains(&opc) => {
+            need(bytes, 2)?;
+            let alu = AluOp::from_u8(opc - op::ALU_RR_BASE).expect("range-checked alu op");
+            let (dst, src) = pair(bytes[1])?;
+            Inst::AluRR { op: alu, dst, src }
+        }
+        _ if (op::ALU_RI_BASE..op::ALU_RI_BASE + ALL_ALU_OPS.len() as u8).contains(&opc) => {
+            need(bytes, 6)?;
+            let alu = AluOp::from_u8(opc - op::ALU_RI_BASE).expect("range-checked alu op");
+            Inst::AluRI { op: alu, dst: reg(bytes[1])?, imm: i32_at(bytes, 2) }
+        }
+        _ if (op::JCC_BASE..op::JCC_BASE + ALL_CONDS.len() as u8).contains(&opc) => {
+            need(bytes, 5)?;
+            let cc = Cond::from_u8(opc - op::JCC_BASE).expect("range-checked cond");
+            Inst::Jcc { cc, rel: i32_at(bytes, 1) }
+        }
+        _ => return Err(DecodeError::BadOpcode { opcode: opc }),
+    };
+    Ok(inst)
+}
+
+/// Decodes the instruction at byte offset `off` within `bytes`, returning
+/// the instruction and the offset of the following instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when `off` is out of bounds or the bytes at
+/// `off` do not decode.
+pub fn decode_at(bytes: &[u8], off: usize) -> Result<(Inst, usize), DecodeError> {
+    let tail = bytes.get(off..).ok_or(DecodeError::Truncated { needed: 1, available: 0 })?;
+    let inst = decode(tail)?;
+    Ok((inst, off + inst.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::Reg;
+
+    #[test]
+    fn roundtrip_all_samples() {
+        for inst in crate::encode::tests::sample_insts() {
+            let bytes = encode(&inst);
+            let back = decode(&bytes).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst);
+        }
+    }
+
+    #[test]
+    fn truncated_slices_error_not_panic() {
+        for inst in crate::encode::tests::sample_insts() {
+            let bytes = encode(&inst);
+            for cut in 0..bytes.len() {
+                let r = decode(&bytes[..cut]);
+                if cut == 0 {
+                    assert!(matches!(r, Err(DecodeError::Truncated { .. })));
+                } else {
+                    assert!(r.is_err(), "{inst} decoded from {cut}/{} bytes", bytes.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_byte_value_decodes_or_errors() {
+        // Feed [opcode, 0, 0, ...] for each opcode byte: must never panic.
+        for opc in 0u8..=255 {
+            let buf = [opc, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+            let _ = decode(&buf);
+        }
+    }
+
+    #[test]
+    fn bad_register_nibble_is_rejected_where_possible() {
+        // op::PUSH with register index 16 (out of range).
+        let r = decode(&[crate::encode::op::PUSH, 16]);
+        assert_eq!(r, Err(DecodeError::BadRegister { index: 16 }));
+    }
+
+    #[test]
+    fn decode_at_walks_a_stream() {
+        let insts =
+            [Inst::Nop, Inst::Push { src: Reg::Rax }, Inst::Jmp { rel: -3 }, Inst::Halt];
+        let mut bytes = Vec::new();
+        for i in &insts {
+            crate::encode::encode_into(i, &mut bytes);
+        }
+        let mut off = 0;
+        for want in &insts {
+            let (got, next) = decode_at(&bytes, off).unwrap();
+            assert_eq!(got, *want);
+            off = next;
+        }
+        assert_eq!(off, bytes.len());
+    }
+
+    #[test]
+    fn decode_at_out_of_bounds() {
+        assert!(decode_at(&[0x00], 2).is_err());
+    }
+}

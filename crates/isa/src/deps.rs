@@ -1,0 +1,213 @@
+//! Register dependence metadata: which registers an instruction reads
+//! and writes. Used by the out-of-order timing model to build the
+//! dataflow graph.
+
+use crate::inst::Inst;
+use crate::Reg;
+
+/// A small fixed-capacity register set (an instruction touches at most
+/// four registers including the implicit stack pointer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegSet {
+    regs: [Option<Reg>; 4],
+    len: u8,
+}
+
+impl RegSet {
+    /// The empty set.
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    fn push(&mut self, r: Reg) {
+        if self.iter().any(|x| x == r) {
+            return;
+        }
+        self.regs[self.len as usize] = Some(r);
+        self.len += 1;
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+
+    /// Whether `r` is in the set.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.iter().any(|x| x == r)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.push(r);
+        }
+        s
+    }
+}
+
+impl Inst {
+    /// Registers this instruction reads (implicit `rsp` included for
+    /// stack operations).
+    pub fn reads(&self) -> RegSet {
+        use Inst::*;
+        let mut s = RegSet::new();
+        match *self {
+            Nop | Halt | Jmp { .. } | Jcc { .. } | PushI { .. } | Call { .. } | Sys { .. } => {}
+            MovRR { src, .. } => s.push(src),
+            MovRI { .. } => {}
+            Lea { base, .. } | Load { base, .. } | LoadB { base, .. } => s.push(base),
+            Store { base, src, .. } | StoreB { base, src, .. } => {
+                s.push(base);
+                s.push(src);
+            }
+            LoadIdx { base, index, .. } => {
+                s.push(base);
+                s.push(index);
+            }
+            StoreIdx { base, index, src, .. } => {
+                s.push(base);
+                s.push(index);
+                s.push(src);
+            }
+            Push { src } => s.push(src),
+            Pop { .. } => {}
+            AluRR { dst, src, .. } => {
+                s.push(dst);
+                s.push(src);
+            }
+            AluRI { dst, .. } | Neg { dst } | Not { dst } => s.push(dst),
+            Cmp { lhs, rhs } | Test { lhs, rhs } => {
+                s.push(lhs);
+                s.push(rhs);
+            }
+            CmpI { lhs, .. } => s.push(lhs),
+            CallR { target } | JmpR { target } => s.push(target),
+            CallM { base, .. } | JmpM { base, .. } => s.push(base),
+            Ret => {}
+        }
+        // Implicit stack pointer reads.
+        if matches!(
+            self,
+            Push { .. } | Pop { .. } | PushI { .. } | Call { .. } | CallR { .. }
+                | CallM { .. } | Ret
+        ) {
+            s.push(Reg::Rsp);
+        }
+        s
+    }
+
+    /// Registers this instruction writes (implicit `rsp` included for
+    /// stack operations).
+    pub fn writes(&self) -> RegSet {
+        use Inst::*;
+        let mut s = RegSet::new();
+        match *self {
+            MovRR { dst, .. }
+            | MovRI { dst, .. }
+            | Lea { dst, .. }
+            | Load { dst, .. }
+            | LoadB { dst, .. }
+            | LoadIdx { dst, .. }
+            | Pop { dst }
+            | AluRR { dst, .. }
+            | AluRI { dst, .. }
+            | Neg { dst }
+            | Not { dst } => s.push(dst),
+            _ => {}
+        }
+        if matches!(
+            self,
+            Push { .. } | Pop { .. } | PushI { .. } | Call { .. } | CallR { .. }
+                | CallM { .. } | Ret
+        ) {
+            s.push(Reg::Rsp);
+        }
+        s
+    }
+
+    /// Whether the instruction writes the flags register.
+    pub fn writes_flags(&self) -> bool {
+        matches!(
+            self,
+            Inst::AluRR { .. }
+                | Inst::AluRI { .. }
+                | Inst::Cmp { .. }
+                | Inst::CmpI { .. }
+                | Inst::Test { .. }
+                | Inst::Neg { .. }
+        )
+    }
+
+    /// Whether the instruction reads the flags register.
+    pub fn reads_flags(&self) -> bool {
+        matches!(self, Inst::Jcc { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AluOp;
+
+    #[test]
+    fn alu_reads_both_writes_dst() {
+        let i = Inst::AluRR { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rbx };
+        assert!(i.reads().contains(Reg::Rax));
+        assert!(i.reads().contains(Reg::Rbx));
+        assert_eq!(i.writes().iter().collect::<Vec<_>>(), vec![Reg::Rax]);
+        assert!(i.writes_flags());
+        assert!(!i.reads_flags());
+    }
+
+    #[test]
+    fn stack_ops_touch_rsp() {
+        for i in [
+            Inst::Push { src: Reg::Rdi },
+            Inst::Pop { dst: Reg::Rdi },
+            Inst::Call { rel: 0 },
+            Inst::Ret,
+        ] {
+            assert!(i.reads().contains(Reg::Rsp), "{i}");
+            assert!(i.writes().contains(Reg::Rsp), "{i}");
+        }
+    }
+
+    #[test]
+    fn loads_read_address_regs_and_write_dst() {
+        let i = Inst::LoadIdx { dst: Reg::Rax, base: Reg::Rbx, index: Reg::Rcx, scale: 3, disp: 0 };
+        let r = i.reads();
+        assert!(r.contains(Reg::Rbx) && r.contains(Reg::Rcx));
+        assert!(!r.contains(Reg::Rax));
+        assert!(i.writes().contains(Reg::Rax));
+    }
+
+    #[test]
+    fn jcc_reads_flags_only() {
+        let i = Inst::Jcc { cc: crate::Cond::Ne, rel: 4 };
+        assert!(i.reads_flags());
+        assert!(i.reads().is_empty());
+        assert!(i.writes().is_empty());
+    }
+
+    #[test]
+    fn regset_dedups() {
+        let i = Inst::AluRR { op: AluOp::Mul, dst: Reg::Rax, src: Reg::Rax };
+        assert_eq!(i.reads().len(), 1);
+        let s: RegSet = [Reg::Rax, Reg::Rax, Reg::Rbx].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Instruction encoder: [`Inst`] → machine bytes.
+//!
+//! The encoding is a single opcode byte followed by operand bytes. All
+//! multi-byte immediates and displacements are little-endian. Register
+//! pairs pack into one byte (`a << 4 | b`).
+
+use crate::inst::Inst;
+use crate::Reg;
+
+pub(crate) mod op {
+    //! Opcode byte assignments, shared by the encoder and decoder.
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const RET: u8 = 0x02;
+    pub const SYS: u8 = 0x03;
+    pub const MOV_RR: u8 = 0x10;
+    pub const MOV_RI: u8 = 0x11;
+    pub const LEA: u8 = 0x12;
+    pub const LOAD: u8 = 0x13;
+    pub const STORE: u8 = 0x14;
+    pub const LOAD_IDX: u8 = 0x15;
+    pub const STORE_IDX: u8 = 0x16;
+    pub const PUSH: u8 = 0x17;
+    pub const POP: u8 = 0x18;
+    pub const PUSH_I: u8 = 0x19;
+    pub const LOAD_B: u8 = 0x1a;
+    pub const STORE_B: u8 = 0x1b;
+    /// ALU register-register block: `0x20 + AluOp`.
+    pub const ALU_RR_BASE: u8 = 0x20;
+    /// ALU register-immediate block: `0x30 + AluOp`.
+    pub const ALU_RI_BASE: u8 = 0x30;
+    pub const CMP: u8 = 0x40;
+    pub const CMP_I: u8 = 0x41;
+    pub const TEST: u8 = 0x42;
+    pub const NEG: u8 = 0x43;
+    pub const NOT: u8 = 0x44;
+    pub const JMP: u8 = 0x50;
+    /// Conditional branch block: `0x51 + Cond` (12 condition codes).
+    pub const JCC_BASE: u8 = 0x51;
+    pub const CALL: u8 = 0x60;
+    pub const CALL_R: u8 = 0x61;
+    pub const CALL_M: u8 = 0x62;
+    pub const JMP_R: u8 = 0x63;
+    pub const JMP_M: u8 = 0x64;
+}
+
+fn pair(a: Reg, b: Reg) -> u8 {
+    ((a.index() as u8) << 4) | (b.index() as u8)
+}
+
+/// Appends the encoding of `inst` to `out` and returns the number of bytes
+/// written.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{encode_into, Inst};
+/// let mut buf = Vec::new();
+/// let n = encode_into(&Inst::Ret, &mut buf);
+/// assert_eq!((n, buf.as_slice()), (1, &[0x02u8][..]));
+/// ```
+pub fn encode_into(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match *inst {
+        Inst::Nop => out.push(op::NOP),
+        Inst::Halt => out.push(op::HALT),
+        Inst::Ret => out.push(op::RET),
+        Inst::Sys { num } => {
+            out.push(op::SYS);
+            out.push(num);
+        }
+        Inst::MovRR { dst, src } => {
+            out.push(op::MOV_RR);
+            out.push(pair(dst, src));
+        }
+        Inst::MovRI { dst, imm } => {
+            out.push(op::MOV_RI);
+            out.push(dst.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Lea { dst, base, disp } => {
+            out.push(op::LEA);
+            out.push(pair(dst, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::Load { dst, base, disp } => {
+            out.push(op::LOAD);
+            out.push(pair(dst, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::Store { base, disp, src } => {
+            out.push(op::STORE);
+            out.push(pair(src, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::LoadIdx { dst, base, index, scale, disp } => {
+            out.push(op::LOAD_IDX);
+            out.push(pair(dst, base));
+            out.push(((index.index() as u8) << 2) | (scale & 0x3));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::StoreIdx { base, index, scale, disp, src } => {
+            out.push(op::STORE_IDX);
+            out.push(pair(src, base));
+            out.push(((index.index() as u8) << 2) | (scale & 0x3));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::LoadB { dst, base, disp } => {
+            out.push(op::LOAD_B);
+            out.push(pair(dst, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::StoreB { base, disp, src } => {
+            out.push(op::STORE_B);
+            out.push(pair(src, base));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::Push { src } => {
+            out.push(op::PUSH);
+            out.push(src.index() as u8);
+        }
+        Inst::Pop { dst } => {
+            out.push(op::POP);
+            out.push(dst.index() as u8);
+        }
+        Inst::PushI { imm } => {
+            out.push(op::PUSH_I);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::AluRR { op: alu, dst, src } => {
+            out.push(op::ALU_RR_BASE + alu as u8);
+            out.push(pair(dst, src));
+        }
+        Inst::AluRI { op: alu, dst, imm } => {
+            out.push(op::ALU_RI_BASE + alu as u8);
+            out.push(dst.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Cmp { lhs, rhs } => {
+            out.push(op::CMP);
+            out.push(pair(lhs, rhs));
+        }
+        Inst::CmpI { lhs, imm } => {
+            out.push(op::CMP_I);
+            out.push(lhs.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Test { lhs, rhs } => {
+            out.push(op::TEST);
+            out.push(pair(lhs, rhs));
+        }
+        Inst::Neg { dst } => {
+            out.push(op::NEG);
+            out.push(dst.index() as u8);
+        }
+        Inst::Not { dst } => {
+            out.push(op::NOT);
+            out.push(dst.index() as u8);
+        }
+        Inst::Jmp { rel } => {
+            out.push(op::JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Jcc { cc, rel } => {
+            out.push(op::JCC_BASE + cc as u8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Call { rel } => {
+            out.push(op::CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::CallR { target } => {
+            out.push(op::CALL_R);
+            out.push(target.index() as u8);
+        }
+        Inst::CallM { base, disp } => {
+            out.push(op::CALL_M);
+            out.push(base.index() as u8);
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::JmpR { target } => {
+            out.push(op::JMP_R);
+            out.push(target.index() as u8);
+        }
+        Inst::JmpM { base, disp } => {
+            out.push(op::JMP_M);
+            out.push(base.index() as u8);
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+    }
+    let written = out.len() - start;
+    debug_assert_eq!(written, inst.len(), "encoded length mismatch for {inst}");
+    written
+}
+
+/// Encodes a single instruction into a fresh byte vector.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{decode, encode, Inst, Reg};
+/// let inst = Inst::Push { src: Reg::Rbp };
+/// let bytes = encode(&inst);
+/// assert_eq!(decode(&bytes).unwrap(), inst);
+/// ```
+pub fn encode(inst: &Inst) -> Vec<u8> {
+    let mut out = Vec::with_capacity(inst.len());
+    encode_into(inst, &mut out);
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::inst::{ALL_ALU_OPS, ALL_CONDS};
+
+    #[test]
+    fn encoded_length_matches_inst_len() {
+        let samples = sample_insts();
+        for inst in samples {
+            assert_eq!(encode(&inst).len(), inst.len(), "{inst}");
+        }
+    }
+
+    #[test]
+    fn alu_opcode_blocks_do_not_collide() {
+        // ALU RR block must stay below the ALU RI block, which must stay
+        // below the CMP opcode.
+        let top_rr = op::ALU_RR_BASE + (ALL_ALU_OPS.len() as u8 - 1);
+        let top_ri = op::ALU_RI_BASE + (ALL_ALU_OPS.len() as u8 - 1);
+        assert!(top_rr < op::ALU_RI_BASE);
+        assert!(top_ri < op::CMP);
+        let top_jcc = op::JCC_BASE + (ALL_CONDS.len() as u8 - 1);
+        assert!(top_jcc < op::CALL);
+    }
+
+    pub(crate) fn sample_insts() -> Vec<Inst> {
+        use crate::Reg::*;
+        let mut v = vec![
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Ret,
+            Inst::Sys { num: 3 },
+            Inst::MovRR { dst: Rax, src: R15 },
+            Inst::MovRI { dst: Rbx, imm: -1 },
+            Inst::MovRI { dst: Rbx, imm: i64::MAX },
+            Inst::Lea { dst: Rsi, base: Rbp, disp: -640 },
+            Inst::Load { dst: Rax, base: Rsp, disp: 8 },
+            Inst::Store { base: Rbp, disp: -16, src: Rdx },
+            Inst::LoadIdx { dst: R9, base: Rbx, index: Rcx, scale: 3, disp: 64 },
+            Inst::StoreIdx { base: Rbx, index: Rcx, scale: 0, disp: -1, src: R10 },
+            Inst::LoadB { dst: Rax, base: Rsi, disp: 0 },
+            Inst::StoreB { base: Rdi, disp: 1, src: Rax },
+            Inst::Push { src: Rbp },
+            Inst::Pop { dst: Rbp },
+            Inst::PushI { imm: 0x1234_5678 },
+            Inst::Cmp { lhs: Rax, rhs: Rbx },
+            Inst::CmpI { lhs: Rax, imm: 100 },
+            Inst::Test { lhs: Rax, rhs: Rax },
+            Inst::Neg { dst: Rcx },
+            Inst::Not { dst: Rcx },
+            Inst::Jmp { rel: -5 },
+            Inst::Call { rel: 1000 },
+            Inst::CallR { target: R11 },
+            Inst::CallM { base: Rbx, disp: 24 },
+            Inst::JmpR { target: Rax },
+            Inst::JmpM { base: R14, disp: -8 },
+        ];
+        for op in ALL_ALU_OPS {
+            v.push(Inst::AluRR { op, dst: Rax, src: Rcx });
+            v.push(Inst::AluRI { op, dst: Rdx, imm: 7 });
+        }
+        for cc in ALL_CONDS {
+            v.push(Inst::Jcc { cc, rel: 42 });
+        }
+        v
+    }
+}

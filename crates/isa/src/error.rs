@@ -1,0 +1,158 @@
+//! Error types for decoding, assembling and executing programs.
+
+use crate::Addr;
+use std::fmt;
+
+/// An error produced while decoding machine bytes into an [`crate::Inst`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode {
+        /// The offending opcode byte.
+        opcode: u8,
+    },
+    /// A register field held a value ≥ 16.
+    BadRegister {
+        /// The offending register index.
+        index: u8,
+    },
+    /// A scale field held a value ≥ 4.
+    BadScale {
+        /// The offending scale exponent.
+        scale: u8,
+    },
+    /// The byte slice ended before the instruction was complete.
+    Truncated {
+        /// Bytes required by the opcode.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { opcode } => write!(f, "invalid opcode byte {opcode:#04x}"),
+            DecodeError::BadRegister { index } => write!(f, "invalid register index {index}"),
+            DecodeError::BadScale { scale } => write!(f, "invalid scale exponent {scale}"),
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated instruction: needed {needed} bytes, had {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An error produced by [`crate::Asm::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`crate::Asm::bind`].
+    UnboundLabel {
+        /// Index of the unbound label.
+        label: usize,
+    },
+    /// A label was bound twice.
+    ReboundLabel {
+        /// Index of the rebound label.
+        label: usize,
+    },
+    /// A branch displacement overflowed the signed 32-bit field.
+    RelOutOfRange {
+        /// Address of the branch instruction.
+        at: Addr,
+        /// The displacement that did not fit.
+        rel: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label {label} was never bound"),
+            AsmError::ReboundLabel { label } => write!(f, "label {label} bound more than once"),
+            AsmError::RelOutOfRange { at, rel } => {
+                write!(f, "branch at {at:#x} displacement {rel} exceeds 32 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An architectural fault raised by [`crate::Machine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter pointed at bytes that do not decode.
+    Decode {
+        /// Faulting program counter.
+        pc: Addr,
+        /// Underlying decode error.
+        source: DecodeError,
+    },
+    /// Integer division by zero.
+    DivideByZero {
+        /// Faulting program counter.
+        pc: Addr,
+    },
+    /// A control transfer targeted an address outside any mapped section.
+    BadJumpTarget {
+        /// Faulting program counter.
+        pc: Addr,
+        /// The invalid target address.
+        target: Addr,
+    },
+    /// The step budget given to [`crate::Machine::run`] was exhausted.
+    StepLimit {
+        /// Program counter at the moment the budget ran out.
+        pc: Addr,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Decode { pc, source } => write!(f, "decode fault at {pc:#x}: {source}"),
+            ExecError::DivideByZero { pc } => write!(f, "division by zero at {pc:#x}"),
+            ExecError::BadJumpTarget { pc, target } => {
+                write!(f, "control transfer at {pc:#x} to unmapped target {target:#x}")
+            }
+            ExecError::StepLimit { pc } => write!(f, "step limit exhausted at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(DecodeError::BadOpcode { opcode: 0xff }),
+            Box::new(AsmError::UnboundLabel { label: 3 }),
+            Box::new(ExecError::DivideByZero { pc: 0x10 }),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn exec_error_exposes_decode_source() {
+        let e = ExecError::Decode { pc: 4, source: DecodeError::BadOpcode { opcode: 9 } };
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,842 @@
+//! Functional (architectural) interpreter for program [`Image`]s.
+//!
+//! The machine executes instructions with exact architectural semantics and
+//! emits a per-instruction [`StepInfo`] record. The cycle simulator in
+//! `vcfr-sim` is trace-driven: it replays these records through its timing
+//! model, so the interpreter here is the single source of architectural
+//! truth (used both for correctness tests of the binary rewriter and as
+//! the execution engine underneath every timing experiment).
+//!
+//! The interpreter assumes W^X: programs do not modify their own text.
+//! Decoded instructions are memoised per program counter.
+
+use crate::error::{DecodeError, ExecError};
+use crate::image::Image;
+use crate::inst::{AluOp, Cond, Inst};
+use crate::mem::Mem;
+use crate::{decode, Addr, Reg, MAX_INST_LEN, SYS_EXIT, SYS_OUTPUT, SYS_SHELL};
+use std::collections::HashMap;
+
+/// Why the machine stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halt,
+    /// The exit syscall (`sys 0`) was executed.
+    Exit,
+    /// The attack-marker syscall (`sys 3`) was executed — a ROP payload
+    /// "spawned a shell".
+    Shell,
+}
+
+/// A single data-memory access performed by an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Accessed virtual address.
+    pub addr: Addr,
+    /// Access size in bytes (1 or 8).
+    pub size: u8,
+    /// `true` for stores.
+    pub write: bool,
+}
+
+/// The control-flow outcome of one executed instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// A conditional direct branch.
+    Branch {
+        /// Whether the branch was taken.
+        taken: bool,
+        /// The (static) branch target.
+        target: Addr,
+    },
+    /// An unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: Addr,
+    },
+    /// An indirect jump (`jmp reg` / `jmp [m]`).
+    IndirectJump {
+        /// Resolved target.
+        target: Addr,
+    },
+    /// A direct call.
+    Call {
+        /// Call target.
+        target: Addr,
+        /// Return address pushed to the stack.
+        ret_addr: Addr,
+    },
+    /// An indirect call (`call reg` / `call [m]`).
+    IndirectCall {
+        /// Resolved target.
+        target: Addr,
+        /// Return address pushed to the stack.
+        ret_addr: Addr,
+    },
+    /// A `ret`.
+    Return {
+        /// Popped return target.
+        target: Addr,
+    },
+}
+
+impl ControlFlow {
+    /// The address control actually transferred to, if the transfer was
+    /// taken.
+    pub fn taken_target(&self) -> Option<Addr> {
+        match *self {
+            ControlFlow::Branch { taken: true, target }
+            | ControlFlow::Jump { target }
+            | ControlFlow::IndirectJump { target }
+            | ControlFlow::Call { target, .. }
+            | ControlFlow::IndirectCall { target, .. }
+            | ControlFlow::Return { target } => Some(target),
+            ControlFlow::Branch { taken: false, .. } => None,
+        }
+    }
+}
+
+/// Everything the timing model needs to know about one executed
+/// instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Program counter after this instruction.
+    pub next_pc: Addr,
+    /// Control-flow outcome, when the instruction is a transfer.
+    pub control: Option<ControlFlow>,
+    /// Up to two data-memory accesses (e.g. `call [m]` loads the target
+    /// and stores the return address).
+    pub mem: [Option<MemAccess>; 2],
+}
+
+impl StepInfo {
+    /// Iterates over the instruction's data-memory accesses.
+    pub fn mem_accesses(&self) -> impl Iterator<Item = MemAccess> + '_ {
+        self.mem.iter().flatten().copied()
+    }
+}
+
+/// Summary of a completed [`Machine::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Values emitted through the output syscall, in order.
+    pub output: Vec<u64>,
+    /// Number of instructions executed.
+    pub steps: u64,
+    /// Why execution stopped.
+    pub stop: StopReason,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    of: bool,
+}
+
+/// The functional interpreter.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Machine, Reg};
+/// let mut a = Asm::new(0x1000);
+/// a.mov_ri(Reg::Rax, 99);
+/// a.emit_output(Reg::Rax);
+/// a.halt();
+/// let img = a.finish().unwrap();
+/// let outcome = Machine::new(&img).run(100).unwrap();
+/// assert_eq!(outcome.output, vec![99]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    regs: [u64; 16],
+    flags: Flags,
+    pc: Addr,
+    mem: Mem,
+    output: Vec<u64>,
+    stopped: Option<StopReason>,
+    steps: u64,
+    code_ranges: Vec<(Addr, Addr)>,
+    icache: HashMap<Addr, Inst>,
+    fall_map: HashMap<Addr, Addr>,
+}
+
+impl Machine {
+    /// Creates a machine with `image` loaded, the stack pointer set to the
+    /// image's stack top and the program counter at its entry point.
+    pub fn new(image: &Image) -> Machine {
+        let mut mem = Mem::new();
+        image.load_into(&mut mem);
+        let mut regs = [0u64; 16];
+        regs[Reg::Rsp.index()] = image.stack_top as u64;
+        let code_ranges = image
+            .sections
+            .iter()
+            .filter(|s| s.kind == crate::image::SectionKind::Text)
+            .map(|s| (s.base, s.end()))
+            .collect();
+        Machine {
+            regs,
+            flags: Flags::default(),
+            pc: image.entry,
+            mem,
+            output: Vec::new(),
+            stopped: None,
+            steps: 0,
+            code_ranges,
+            icache: HashMap::new(),
+            fall_map: HashMap::new(),
+        }
+    }
+
+    /// Installs an ILR-style fall-through successor map ("rewrite rules"
+    /// in Hiser et al.'s terms): when the instruction at `pc` does not
+    /// transfer control, execution continues at `map[pc]` instead of
+    /// `pc + len`. Return addresses pushed by `call` follow the map too —
+    /// which is exactly how ILR randomizes return addresses.
+    ///
+    /// Branch displacement arithmetic is *not* affected: direct-branch
+    /// targets stay anchored at `pc + len`, so a rewriter computing
+    /// scattered-space displacements keeps full control.
+    pub fn set_fallthrough_map(&mut self, map: HashMap<Addr, Addr>) {
+        self.fall_map = map;
+    }
+
+    /// Additionally permits control transfers into `[lo, hi)`. Used when a
+    /// program legitimately spans several code regions (e.g. a scattered
+    /// ILR layout plus an un-randomized fail-over region).
+    pub fn allow_code_range(&mut self, lo: Addr, hi: Addr) {
+        self.code_ranges.push((lo, hi));
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Redirects execution (used by attack drivers and tests).
+    pub fn set_pc(&mut self, pc: Addr) {
+        self.pc = pc;
+    }
+
+    /// Reads register `r`.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes register `r`.
+    pub fn set_reg(&mut self, r: Reg, val: u64) {
+        self.regs[r.index()] = val;
+    }
+
+    /// Immutable view of memory.
+    pub fn mem(&self) -> &Mem {
+        &self.mem
+    }
+
+    /// Mutable view of memory (attack drivers overwrite the stack through
+    /// this, playing the role of a memory-corruption vulnerability).
+    pub fn mem_mut(&mut self) -> &mut Mem {
+        &mut self.mem
+    }
+
+    /// Values emitted so far through the output syscall.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Number of instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Why the machine stopped, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    fn in_code(&self, addr: Addr) -> bool {
+        self.code_ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+    }
+
+    fn fetch_decode(&mut self, pc: Addr) -> Result<Inst, ExecError> {
+        if let Some(inst) = self.icache.get(&pc) {
+            return Ok(*inst);
+        }
+        let mut buf = [0u8; MAX_INST_LEN];
+        self.mem.read_bytes(pc, &mut buf);
+        let inst = decode(&buf).map_err(|source| ExecError::Decode { pc, source })?;
+        self.icache.insert(pc, inst);
+        Ok(inst)
+    }
+
+    fn eval_cond(&self, cc: Cond) -> bool {
+        let f = self.flags;
+        match cc {
+            Cond::Eq => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::Lt => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::Gt => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+        }
+    }
+
+    fn set_zs(&mut self, r: u64) {
+        self.flags.zf = r == 0;
+        self.flags.sf = (r as i64) < 0;
+    }
+
+    fn flags_add(&mut self, a: u64, b: u64) -> u64 {
+        let r = a.wrapping_add(b);
+        self.flags.cf = r < a;
+        self.flags.of = ((a ^ r) & (b ^ r)) >> 63 != 0;
+        self.set_zs(r);
+        r
+    }
+
+    fn flags_sub(&mut self, a: u64, b: u64) -> u64 {
+        let r = a.wrapping_sub(b);
+        self.flags.cf = a < b;
+        self.flags.of = ((a ^ b) & (a ^ r)) >> 63 != 0;
+        self.set_zs(r);
+        r
+    }
+
+    fn flags_logic(&mut self, r: u64) -> u64 {
+        self.flags.cf = false;
+        self.flags.of = false;
+        self.set_zs(r);
+        r
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64, pc: Addr) -> Result<u64, ExecError> {
+        Ok(match op {
+            AluOp::Add => self.flags_add(a, b),
+            AluOp::Sub => self.flags_sub(a, b),
+            AluOp::And => self.flags_logic(a & b),
+            AluOp::Or => self.flags_logic(a | b),
+            AluOp::Xor => self.flags_logic(a ^ b),
+            AluOp::Shl => self.flags_logic(a.wrapping_shl((b & 63) as u32)),
+            AluOp::Shr => self.flags_logic(a.wrapping_shr((b & 63) as u32)),
+            AluOp::Sar => self.flags_logic(((a as i64).wrapping_shr((b & 63) as u32)) as u64),
+            AluOp::Mul => self.flags_logic(a.wrapping_mul(b)),
+            AluOp::Div => {
+                if b == 0 {
+                    return Err(ExecError::DivideByZero { pc });
+                }
+                self.flags_logic(a / b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return Err(ExecError::DivideByZero { pc });
+                }
+                self.flags_logic(a % b)
+            }
+        })
+    }
+
+    fn push64(&mut self, val: u64) -> MemAccess {
+        let sp = (self.regs[Reg::Rsp.index()] as Addr).wrapping_sub(8);
+        self.regs[Reg::Rsp.index()] = sp as u64;
+        self.mem.write_u64(sp, val);
+        MemAccess { addr: sp, size: 8, write: true }
+    }
+
+    fn pop64(&mut self) -> (u64, MemAccess) {
+        let sp = self.regs[Reg::Rsp.index()] as Addr;
+        let val = self.mem.read_u64(sp);
+        self.regs[Reg::Rsp.index()] = sp.wrapping_add(8) as u64;
+        (val, MemAccess { addr: sp, size: 8, write: false })
+    }
+
+    fn check_target(&self, pc: Addr, target: Addr) -> Result<Addr, ExecError> {
+        if self.in_code(target) {
+            Ok(target)
+        } else {
+            Err(ExecError::BadJumpTarget { pc, target })
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` once the machine has stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural faults ([`ExecError`]).
+    pub fn step(&mut self) -> Result<Option<StepInfo>, ExecError> {
+        if self.stopped.is_some() {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = self.fetch_decode(pc)?;
+        let len = inst.len() as u8;
+        // Anchor for pc-relative displacements (always the encoding end).
+        let anchor = pc.wrapping_add(len as Addr);
+        // Sequential successor and call return address: follows the ILR
+        // fall-through map when one is installed.
+        let fall = self.fall_map.get(&pc).copied().unwrap_or(anchor);
+        let mut next = fall;
+        let mut control = None;
+        let mut mem: [Option<MemAccess>; 2] = [None, None];
+
+        macro_rules! addr_of {
+            ($base:expr, $disp:expr) => {
+                (self.regs[$base.index()] as Addr).wrapping_add($disp as Addr)
+            };
+        }
+
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => self.stopped = Some(StopReason::Halt),
+            Inst::Sys { num } => match num {
+                SYS_EXIT => self.stopped = Some(StopReason::Exit),
+                SYS_OUTPUT => self.output.push(self.regs[Reg::Rax.index()]),
+                SYS_SHELL => self.stopped = Some(StopReason::Shell),
+                _ => {}
+            },
+            Inst::MovRR { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            Inst::MovRI { dst, imm } => self.regs[dst.index()] = imm as u64,
+            Inst::Lea { dst, base, disp } => {
+                self.regs[dst.index()] = addr_of!(base, disp) as u64;
+            }
+            Inst::Load { dst, base, disp } => {
+                let a = addr_of!(base, disp);
+                self.regs[dst.index()] = self.mem.read_u64(a);
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: false });
+            }
+            Inst::Store { base, disp, src } => {
+                let a = addr_of!(base, disp);
+                self.mem.write_u64(a, self.regs[src.index()]);
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: true });
+            }
+            Inst::LoadIdx { dst, base, index, scale, disp } => {
+                let a = addr_of!(base, disp)
+                    .wrapping_add((self.regs[index.index()] << scale) as Addr);
+                self.regs[dst.index()] = self.mem.read_u64(a);
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: false });
+            }
+            Inst::StoreIdx { base, index, scale, disp, src } => {
+                let a = addr_of!(base, disp)
+                    .wrapping_add((self.regs[index.index()] << scale) as Addr);
+                self.mem.write_u64(a, self.regs[src.index()]);
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: true });
+            }
+            Inst::LoadB { dst, base, disp } => {
+                let a = addr_of!(base, disp);
+                self.regs[dst.index()] = self.mem.read_u8(a) as u64;
+                mem[0] = Some(MemAccess { addr: a, size: 1, write: false });
+            }
+            Inst::StoreB { base, disp, src } => {
+                let a = addr_of!(base, disp);
+                self.mem.write_u8(a, self.regs[src.index()] as u8);
+                mem[0] = Some(MemAccess { addr: a, size: 1, write: true });
+            }
+            Inst::Push { src } => {
+                let v = self.regs[src.index()];
+                mem[0] = Some(self.push64(v));
+            }
+            Inst::Pop { dst } => {
+                let (v, acc) = self.pop64();
+                self.regs[dst.index()] = v;
+                mem[0] = Some(acc);
+            }
+            Inst::PushI { imm } => {
+                mem[0] = Some(self.push64(imm as i64 as u64));
+            }
+            Inst::AluRR { op, dst, src } => {
+                let r = self.alu(op, self.regs[dst.index()], self.regs[src.index()], pc)?;
+                self.regs[dst.index()] = r;
+            }
+            Inst::AluRI { op, dst, imm } => {
+                let r = self.alu(op, self.regs[dst.index()], imm as i64 as u64, pc)?;
+                self.regs[dst.index()] = r;
+            }
+            Inst::Cmp { lhs, rhs } => {
+                self.flags_sub(self.regs[lhs.index()], self.regs[rhs.index()]);
+            }
+            Inst::CmpI { lhs, imm } => {
+                self.flags_sub(self.regs[lhs.index()], imm as i64 as u64);
+            }
+            Inst::Test { lhs, rhs } => {
+                self.flags_logic(self.regs[lhs.index()] & self.regs[rhs.index()]);
+            }
+            Inst::Neg { dst } => {
+                let r = self.flags_sub(0, self.regs[dst.index()]);
+                self.regs[dst.index()] = r;
+            }
+            Inst::Not { dst } => self.regs[dst.index()] = !self.regs[dst.index()],
+            Inst::Jmp { rel } => {
+                let t = self.check_target(pc, anchor.wrapping_add(rel as Addr))?;
+                next = t;
+                control = Some(ControlFlow::Jump { target: t });
+            }
+            Inst::Jcc { cc, rel } => {
+                let t = anchor.wrapping_add(rel as Addr);
+                let taken = self.eval_cond(cc);
+                if taken {
+                    next = self.check_target(pc, t)?;
+                }
+                control = Some(ControlFlow::Branch { taken, target: t });
+            }
+            Inst::Call { rel } => {
+                let t = self.check_target(pc, anchor.wrapping_add(rel as Addr))?;
+                mem[0] = Some(self.push64(fall as u64));
+                next = t;
+                control = Some(ControlFlow::Call { target: t, ret_addr: fall });
+            }
+            Inst::CallR { target } => {
+                let t = self.check_target(pc, self.regs[target.index()] as Addr)?;
+                mem[0] = Some(self.push64(fall as u64));
+                next = t;
+                control = Some(ControlFlow::IndirectCall { target: t, ret_addr: fall });
+            }
+            Inst::CallM { base, disp } => {
+                let a = addr_of!(base, disp);
+                let t = self.mem.read_u64(a) as Addr;
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: false });
+                let t = self.check_target(pc, t)?;
+                mem[1] = Some(self.push64(fall as u64));
+                next = t;
+                control = Some(ControlFlow::IndirectCall { target: t, ret_addr: fall });
+            }
+            Inst::JmpR { target } => {
+                let t = self.check_target(pc, self.regs[target.index()] as Addr)?;
+                next = t;
+                control = Some(ControlFlow::IndirectJump { target: t });
+            }
+            Inst::JmpM { base, disp } => {
+                let a = addr_of!(base, disp);
+                let t = self.mem.read_u64(a) as Addr;
+                mem[0] = Some(MemAccess { addr: a, size: 8, write: false });
+                let t = self.check_target(pc, t)?;
+                next = t;
+                control = Some(ControlFlow::IndirectJump { target: t });
+            }
+            Inst::Ret => {
+                let (v, acc) = self.pop64();
+                mem[0] = Some(acc);
+                let t = self.check_target(pc, v as Addr)?;
+                next = t;
+                control = Some(ControlFlow::Return { target: t });
+            }
+        }
+
+        self.pc = next;
+        self.steps += 1;
+        Ok(Some(StepInfo { pc, inst, len, next_pc: next, control, mem }))
+    }
+
+    /// Runs until the program stops or `max_steps` instructions have
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimit`] when the budget is exhausted, or
+    /// any architectural fault raised along the way.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, ExecError> {
+        self.run_with(max_steps, |_| {})
+    }
+
+    /// Like [`Machine::run`] but invokes `observer` with every
+    /// [`StepInfo`] — the hook the trace-driven cycle simulator uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with(
+        &mut self,
+        max_steps: u64,
+        mut observer: impl FnMut(&StepInfo),
+    ) -> Result<RunOutcome, ExecError> {
+        let budget_end = self.steps + max_steps;
+        while self.steps < budget_end {
+            match self.step()? {
+                Some(info) => observer(&info),
+                None => {
+                    return Ok(RunOutcome {
+                        output: self.output.clone(),
+                        steps: self.steps,
+                        stop: self.stopped.expect("stopped machine has a reason"),
+                    })
+                }
+            }
+        }
+        // One more poll: the stop may have landed exactly on the budget.
+        if let Some(stop) = self.stopped {
+            return Ok(RunOutcome { output: self.output.clone(), steps: self.steps, stop });
+        }
+        Err(ExecError::StepLimit { pc: self.pc })
+    }
+}
+
+/// Convenience: decode errors at a pc wrap into [`ExecError::Decode`].
+impl From<(Addr, DecodeError)> for ExecError {
+    fn from((pc, source): (Addr, DecodeError)) -> Self {
+        ExecError::Decode { pc, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> RunOutcome {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let img = a.finish().unwrap();
+        Machine::new(&img).run(100_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let out = run_asm(|a| {
+            a.mov_ri(Reg::Rax, 10);
+            a.alu_ri(AluOp::Add, Reg::Rax, 32);
+            a.emit_output(Reg::Rax);
+            a.mov_ri(Reg::Rbx, 6);
+            a.alu_rr(AluOp::Mul, Reg::Rax, Reg::Rbx);
+            a.emit_output(Reg::Rax);
+            a.halt();
+        });
+        assert_eq!(out.output, vec![42, 252]);
+        assert_eq!(out.stop, StopReason::Halt);
+    }
+
+    #[test]
+    fn signed_and_unsigned_conditions() {
+        let out = run_asm(|a| {
+            // -1 < 1 signed, but -1 > 1 unsigned.
+            a.mov_ri(Reg::Rax, -1);
+            a.mov_ri(Reg::Rbx, 1);
+            a.cmp(Reg::Rax, Reg::Rbx);
+            let signed_lt = a.label();
+            let done = a.label();
+            a.jcc(Cond::Lt, signed_lt);
+            a.jmp(done);
+            a.bind(signed_lt);
+            a.mov_ri(Reg::Rcx, 1);
+            a.emit_output(Reg::Rcx);
+            a.cmp(Reg::Rax, Reg::Rbx);
+            let unsigned_above = a.label();
+            a.jcc(Cond::A, unsigned_above);
+            a.jmp(done);
+            a.bind(unsigned_above);
+            a.mov_ri(Reg::Rcx, 2);
+            a.emit_output(Reg::Rcx);
+            a.bind(done);
+            a.halt();
+        });
+        assert_eq!(out.output, vec![1, 2]);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let out = run_asm(|a| {
+            a.mov_ri(Reg::Rax, 5);
+            a.call_named("double");
+            a.emit_output(Reg::Rax);
+            a.halt();
+            a.func("double");
+            a.alu_rr(AluOp::Add, Reg::Rax, Reg::Rax);
+            a.ret();
+        });
+        assert_eq!(out.output, vec![10]);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let out = run_asm(|a| {
+            a.mov_ri(Reg::Rdi, 6);
+            a.call_named("fact");
+            a.emit_output(Reg::Rax);
+            a.halt();
+            a.func("fact");
+            a.cmp_i(Reg::Rdi, 1);
+            let rec = a.label();
+            a.jcc(Cond::Gt, rec);
+            a.mov_ri(Reg::Rax, 1);
+            a.ret();
+            a.bind(rec);
+            a.push(Reg::Rdi);
+            a.alu_ri(AluOp::Sub, Reg::Rdi, 1);
+            a.call_named("fact");
+            a.pop(Reg::Rdi);
+            a.alu_rr(AluOp::Mul, Reg::Rax, Reg::Rdi);
+            a.ret();
+        });
+        assert_eq!(out.output, vec![720]);
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let out = run_asm(|a| {
+            let c0 = a.label();
+            let c1 = a.label();
+            let c2 = a.label();
+            let table = a.data_ptr_table(&[c0, c1, c2]);
+            // select case rcx
+            a.mov_ri(Reg::Rcx, 1);
+            a.mov_ri(Reg::Rbx, table.0 as i64);
+            a.load_idx(Reg::Rdx, Reg::Rbx, Reg::Rcx, 3, 0);
+            a.jmp_r(Reg::Rdx);
+            a.bind(c0);
+            a.mov_ri(Reg::Rax, 100);
+            a.emit_output(Reg::Rax);
+            a.halt();
+            a.bind(c1);
+            a.mov_ri(Reg::Rax, 101);
+            a.emit_output(Reg::Rax);
+            a.halt();
+            a.bind(c2);
+            a.mov_ri(Reg::Rax, 102);
+            a.emit_output(Reg::Rax);
+            a.halt();
+        });
+        assert_eq!(out.output, vec![101]);
+    }
+
+    #[test]
+    fn indirect_call_through_memory() {
+        let out = run_asm(|a| {
+            let f = a.label();
+            let vtable = a.data_ptr_table(&[f]);
+            a.mov_ri(Reg::Rbx, vtable.0 as i64);
+            a.call_m(Reg::Rbx, 0);
+            a.emit_output(Reg::Rax);
+            a.halt();
+            a.bind(f);
+            a.mov_ri(Reg::Rax, 77);
+            a.ret();
+        });
+        assert_eq!(out.output, vec![77]);
+    }
+
+    #[test]
+    fn byte_memory_ops() {
+        let out = run_asm(|a| {
+            let buf = a.data_bytes(&[0u8; 8]);
+            a.mov_ri(Reg::Rbx, buf.0 as i64);
+            a.mov_ri(Reg::Rax, 0x1ff); // truncates to 0xff on byte store
+            a.store_b(Reg::Rbx, 3, Reg::Rax);
+            a.load_b(Reg::Rcx, Reg::Rbx, 3);
+            a.emit_output(Reg::Rcx);
+            a.halt();
+        });
+        assert_eq!(out.output, vec![0xff]);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 10);
+        a.mov_ri(Reg::Rbx, 0);
+        a.alu_rr(AluOp::Div, Reg::Rax, Reg::Rbx);
+        a.halt();
+        let img = a.finish().unwrap();
+        let err = Machine::new(&img).run(100).unwrap_err();
+        assert!(matches!(err, ExecError::DivideByZero { .. }));
+    }
+
+    #[test]
+    fn wild_jump_faults() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 0xdead_0000u32 as i64);
+        a.jmp_r(Reg::Rax);
+        let img = a.finish().unwrap();
+        let err = Machine::new(&img).run(100).unwrap_err();
+        assert!(matches!(err, ExecError::BadJumpTarget { target: 0xdead_0000, .. }));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut a = Asm::new(0x1000);
+        let spin = a.here();
+        a.jmp(spin);
+        let img = a.finish().unwrap();
+        let err = Machine::new(&img).run(10).unwrap_err();
+        assert!(matches!(err, ExecError::StepLimit { .. }));
+    }
+
+    #[test]
+    fn shell_syscall_stops_with_marker() {
+        let out = run_asm(|a| {
+            a.sys(SYS_SHELL);
+            a.halt();
+        });
+        assert_eq!(out.stop, StopReason::Shell);
+    }
+
+    #[test]
+    fn step_info_reports_memory_and_control() {
+        let mut a = Asm::new(0x1000);
+        a.push(Reg::Rax);
+        a.call_named("f");
+        a.halt();
+        a.func("f");
+        a.ret();
+        let img = a.finish().unwrap();
+        let mut m = Machine::new(&img);
+
+        let push = m.step().unwrap().unwrap();
+        assert_eq!(push.mem[0].map(|m| m.write), Some(true));
+        assert!(push.control.is_none());
+
+        let call = m.step().unwrap().unwrap();
+        match call.control {
+            Some(ControlFlow::Call { ret_addr, .. }) => assert_eq!(ret_addr, call.pc + 5),
+            other => panic!("expected call control flow, got {other:?}"),
+        }
+        assert_eq!(call.next_pc, img.symbol("f").unwrap().addr);
+
+        let ret = m.step().unwrap().unwrap();
+        match ret.control {
+            Some(ControlFlow::Return { target }) => assert_eq!(target, call.pc + 5),
+            other => panic!("expected return control flow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_observes_every_step() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 10);
+        let top = a.here();
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        let img = a.finish().unwrap();
+        let mut seen = 0u64;
+        let out = Machine::new(&img).run_with(10_000, |_| seen += 1).unwrap();
+        assert_eq!(seen, out.steps);
+        assert_eq!(out.stop, StopReason::Halt);
+    }
+
+    #[test]
+    fn stopped_machine_steps_to_none() {
+        let mut a = Asm::new(0x1000);
+        a.halt();
+        let img = a.finish().unwrap();
+        let mut m = Machine::new(&img);
+        assert!(m.step().unwrap().is_some());
+        assert!(m.step().unwrap().is_none());
+        assert_eq!(m.stop_reason(), Some(StopReason::Halt));
+    }
+}

@@ -1,0 +1,131 @@
+//! Sparse, page-granular flat memory.
+
+use crate::Addr;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: Addr = (PAGE_SIZE as Addr) - 1;
+
+/// A sparse byte-addressable memory covering the full 32-bit address space.
+///
+/// Pages (4 KiB) are allocated lazily on first touch; reads of untouched
+/// memory return zero, as a freshly mapped anonymous page would.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::Mem;
+/// let mut m = Mem::new();
+/// m.write_u64(0x8000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x8000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x9000), 0); // untouched page reads as zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mem {
+    pages: HashMap<Addr, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Mem {
+    /// Creates an empty memory.
+    pub fn new() -> Mem {
+        Mem::default()
+    }
+
+    /// Number of 4 KiB pages currently materialised.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads a little-endian 64-bit word (may straddle pages).
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 64-bit word (may straddle pages).
+    pub fn write_u64(&mut self, addr: Addr, val: u64) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Fills `out` with the bytes starting at `addr` (wrapping at the top
+    /// of the address space).
+    pub fn read_bytes(&self, addr: Addr, out: &mut [u8]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_u8(addr.wrapping_add(i as Addr));
+        }
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as Addr), *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Mem::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xffff_fff0), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn byte_and_word_access_agree() {
+        let mut m = Mem::new();
+        m.write_u64(100, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(100), 0x08); // little endian
+        assert_eq!(m.read_u8(107), 0x01);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = Mem::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles first/second page
+        m.write_u64(addr, u64::MAX);
+        assert_eq!(m.read_u64(addr), u64::MAX);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Mem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x5000 - 128, &data);
+        let mut back = vec![0u8; 256];
+        m.read_bytes(0x5000 - 128, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn wrapping_at_address_space_top() {
+        let mut m = Mem::new();
+        m.write_bytes(Addr::MAX, &[1, 2]);
+        assert_eq!(m.read_u8(Addr::MAX), 1);
+        assert_eq!(m.read_u8(0), 2);
+    }
+}

@@ -1,0 +1,541 @@
+//! A textual assembly front end for [`Asm`]: parse `.s` source into an
+//! [`Image`].
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! .entry main              ; entry point (defaults to the first instruction)
+//! .data    buf 256         ; reserve 256 zeroed bytes, symbol `buf`
+//! .words   tbl 1 2 3       ; 64-bit words, symbol `tbl`
+//! .ptrs    vt  f g         ; code-pointer table (relocations), symbol `vt`
+//!
+//! main:
+//!     mov   rcx, 10
+//!     mov   rbx, buf       ; data symbols become immediates
+//! loop:
+//!     add   rax, 2
+//!     load  rdx, [rbx+8]
+//!     loadx rdx, [rbx+rcx*8+0]
+//!     store [rbx+16], rdx
+//!     sub   rcx, 1
+//!     cmp   rcx, 0
+//!     jne   loop
+//!     call  square
+//!     out   rax            ; append rax to the output sink (sys 1)
+//!     halt
+//!
+//! square:
+//!     mul   rax, rax
+//!     ret
+//! ```
+//!
+//! Conditional jumps are `j` + the condition mnemonic (`jeq jne jlt jle
+//! jgt jge jb jae jbe ja js jns`). `mov r, label` loads a *code* label's
+//! absolute address (a function pointer).
+
+use crate::asm::{Asm, DataRef, Label};
+use crate::inst::{AluOp, Cond};
+use crate::{AsmError, Image, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A textual-assembly parse failure, with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> ParseError {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    crate::reg::ALL_REGS.iter().copied().find(|r| r.name() == tok)
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let tok = tok.trim();
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(hex, 16).ok()?;
+        Some(if tok.starts_with('-') { -v } else { v })
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// `[base+disp]` or `[base+index*scale+disp]` (disp optional, may be
+/// negative).
+#[derive(Debug)]
+enum MemOperand {
+    Simple { base: Reg, disp: i32 },
+    Indexed { base: Reg, index: Reg, scale: u8, disp: i32 },
+}
+
+fn parse_mem(tok: &str, line: usize) -> Result<MemOperand, ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [mem] operand, got {tok:?}")))?;
+    // Split on '+' but keep a possible leading '-' of the displacement.
+    let norm = inner.replace('-', "+-");
+    let parts: Vec<&str> = norm.split('+').filter(|p| !p.is_empty()).collect();
+    let base = parse_reg(parts.first().copied().unwrap_or(""))
+        .ok_or_else(|| err(line, format!("bad base register in {tok:?}")))?;
+    match parts.len() {
+        1 => Ok(MemOperand::Simple { base, disp: 0 }),
+        2 => {
+            if let Some((idx, scale)) = parts[1].split_once('*') {
+                let index = parse_reg(idx)
+                    .ok_or_else(|| err(line, format!("bad index register in {tok:?}")))?;
+                let scale = parse_scale(scale, line, tok)?;
+                Ok(MemOperand::Indexed { base, index, scale, disp: 0 })
+            } else {
+                let disp = parse_int(parts[1])
+                    .ok_or_else(|| err(line, format!("bad displacement in {tok:?}")))?;
+                Ok(MemOperand::Simple { base, disp: disp as i32 })
+            }
+        }
+        3 => {
+            let (idx, scale) = parts[1]
+                .split_once('*')
+                .ok_or_else(|| err(line, format!("expected index*scale in {tok:?}")))?;
+            let index = parse_reg(idx)
+                .ok_or_else(|| err(line, format!("bad index register in {tok:?}")))?;
+            let scale = parse_scale(scale, line, tok)?;
+            let disp = parse_int(parts[2])
+                .ok_or_else(|| err(line, format!("bad displacement in {tok:?}")))?;
+            Ok(MemOperand::Indexed { base, index, scale, disp: disp as i32 })
+        }
+        _ => Err(err(line, format!("too many terms in {tok:?}"))),
+    }
+}
+
+fn parse_scale(s: &str, line: usize, tok: &str) -> Result<u8, ParseError> {
+    match s {
+        "1" => Ok(0),
+        "2" => Ok(1),
+        "4" => Ok(2),
+        "8" => Ok(3),
+        _ => Err(err(line, format!("scale must be 1/2/4/8 in {tok:?}"))),
+    }
+}
+
+fn alu_of(mnemonic: &str) -> Option<AluOp> {
+    crate::inst::ALL_ALU_OPS.iter().copied().find(|op| op.name() == mnemonic)
+}
+
+fn cond_of(mnemonic: &str) -> Option<Cond> {
+    let cc = mnemonic.strip_prefix('j')?;
+    crate::inst::ALL_CONDS.iter().copied().find(|c| c.name() == cc)
+}
+
+/// Parses textual assembly into an [`Image`] with text at `text_base`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line, or an assembler
+/// error (e.g. an undefined label) mapped to line 0.
+///
+/// # Example
+///
+/// ```
+/// let src = "
+///     mov rax, 6
+///     mov rcx, 7
+///     mul rax, rcx
+///     out rax
+///     halt
+/// ";
+/// let image = vcfr_isa::parse_asm(src, 0x1000).unwrap();
+/// let out = vcfr_isa::Machine::new(&image).run(100).unwrap().output;
+/// assert_eq!(out, vec![42]);
+/// ```
+pub fn parse_asm(source: &str, text_base: crate::Addr) -> Result<Image, ParseError> {
+    let mut a = Asm::new(text_base);
+    let mut data_syms: HashMap<String, DataRef> = HashMap::new();
+    let mut entry: Option<Label> = None;
+
+    // Operand resolution: register, integer, data symbol (immediate
+    // address) or code label (absolute-address fix-up).
+    enum Val {
+        Reg(Reg),
+        Imm(i64),
+        CodeLabel(Label),
+    }
+    let resolve = |a: &mut Asm, data_syms: &HashMap<String, DataRef>, tok: &str| -> Val {
+        if let Some(r) = parse_reg(tok) {
+            Val::Reg(r)
+        } else if let Some(v) = parse_int(tok) {
+            Val::Imm(v)
+        } else if let Some(d) = data_syms.get(tok) {
+            Val::Imm(d.0 as i64)
+        } else {
+            Val::CodeLabel(a.named_label(tok))
+        }
+    };
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = code.strip_prefix('.') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            match toks.as_slice() {
+                ["entry", name] => entry = Some(a.named_label(name)),
+                ["data", name, size] => {
+                    let n = parse_int(size)
+                        .filter(|v| *v >= 0)
+                        .ok_or_else(|| err(line, "bad .data size"))?;
+                    let r = a.data_zeroed(n as usize);
+                    data_syms.insert((*name).to_owned(), r);
+                }
+                ["words", name, vals @ ..] => {
+                    let words: Option<Vec<u64>> =
+                        vals.iter().map(|v| parse_int(v).map(|x| x as u64)).collect();
+                    let words = words.ok_or_else(|| err(line, "bad .words value"))?;
+                    let r = a.data_u64s(&words);
+                    data_syms.insert((*name).to_owned(), r);
+                }
+                ["ptrs", name, labels @ ..] => {
+                    let ls: Vec<Label> = labels.iter().map(|l| a.named_label(l)).collect();
+                    let r = a.data_ptr_table(&ls);
+                    data_syms.insert((*name).to_owned(), r);
+                }
+                _ => return Err(err(line, format!("unknown directive .{rest}"))),
+            }
+            continue;
+        }
+
+        // Labels (possibly followed by an instruction on the same line).
+        let mut code = code;
+        while let Some(colon) = code.find(':') {
+            let (name, rest) = code.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            let l = a.named_label(name);
+            a.bind(l);
+            a.mark_symbol(name);
+            code = rest[1..].trim();
+        }
+        if code.is_empty() {
+            continue;
+        }
+
+        // Instruction.
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let ops: Vec<String> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(|s| s.trim().to_owned()).collect()
+        };
+        let want = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("{mnemonic} expects {n} operand(s), got {}", ops.len())))
+            }
+        };
+
+        match mnemonic {
+            "nop" => a.nop(),
+            "halt" => a.halt(),
+            "ret" => a.ret(),
+            "sys" => {
+                want(1)?;
+                let n = parse_int(&ops[0]).ok_or_else(|| err(line, "bad sys number"))?;
+                a.sys(n as u8);
+            }
+            "out" => {
+                want(1)?;
+                match resolve(&mut a, &data_syms, &ops[0]) {
+                    Val::Reg(r) => a.emit_output(r),
+                    _ => return Err(err(line, "out expects a register")),
+                }
+            }
+            "mov" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line, format!("bad register {:?}", ops[0])))?;
+                match resolve(&mut a, &data_syms, &ops[1]) {
+                    Val::Reg(src) => a.mov_rr(dst, src),
+                    Val::Imm(v) => a.mov_ri(dst, v),
+                    Val::CodeLabel(l) => a.mov_label(dst, l),
+                }
+            }
+            "lea" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                match parse_mem(&ops[1], line)? {
+                    MemOperand::Simple { base, disp } => a.lea(dst, base, disp),
+                    _ => return Err(err(line, "lea takes [base+disp]")),
+                }
+            }
+            "load" | "loadb" | "loadx" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                match (mnemonic, parse_mem(&ops[1], line)?) {
+                    ("load", MemOperand::Simple { base, disp }) => a.load(dst, base, disp),
+                    ("loadb", MemOperand::Simple { base, disp }) => a.load_b(dst, base, disp),
+                    ("loadx", MemOperand::Indexed { base, index, scale, disp }) => {
+                        a.load_idx(dst, base, index, scale, disp)
+                    }
+                    _ => return Err(err(line, format!("bad operand for {mnemonic}"))),
+                }
+            }
+            "store" | "storeb" | "storex" => {
+                want(2)?;
+                let src = parse_reg(&ops[1]).ok_or_else(|| err(line, "bad register"))?;
+                match (mnemonic, parse_mem(&ops[0], line)?) {
+                    ("store", MemOperand::Simple { base, disp }) => a.store(base, disp, src),
+                    ("storeb", MemOperand::Simple { base, disp }) => {
+                        a.store_b(base, disp, src)
+                    }
+                    ("storex", MemOperand::Indexed { base, index, scale, disp }) => {
+                        a.store_idx(base, index, scale, disp, src)
+                    }
+                    _ => return Err(err(line, format!("bad operand for {mnemonic}"))),
+                }
+            }
+            "push" => {
+                want(1)?;
+                match resolve(&mut a, &data_syms, &ops[0]) {
+                    Val::Reg(r) => a.push(r),
+                    Val::Imm(v) => a.push_i(v as i32),
+                    Val::CodeLabel(_) => return Err(err(line, "cannot push a code label")),
+                }
+            }
+            "pop" => {
+                want(1)?;
+                let r = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                a.pop(r);
+            }
+            "cmp" => {
+                want(2)?;
+                let lhs = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                match resolve(&mut a, &data_syms, &ops[1]) {
+                    Val::Reg(rhs) => a.cmp(lhs, rhs),
+                    Val::Imm(v) => a.cmp_i(lhs, v as i32),
+                    Val::CodeLabel(_) => return Err(err(line, "cannot compare a label")),
+                }
+            }
+            "test" => {
+                want(2)?;
+                let lhs = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                let rhs = parse_reg(&ops[1]).ok_or_else(|| err(line, "bad register"))?;
+                a.test(lhs, rhs);
+            }
+            "neg" => {
+                want(1)?;
+                let r = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                a.neg(r);
+            }
+            "not" => {
+                want(1)?;
+                let r = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                a.not(r);
+            }
+            "jmp" => {
+                want(1)?;
+                if ops[0].starts_with('[') {
+                    match parse_mem(&ops[0], line)? {
+                        MemOperand::Simple { base, disp } => a.jmp_m(base, disp),
+                        _ => return Err(err(line, "jmp [m] takes [base+disp]")),
+                    }
+                } else {
+                    match resolve(&mut a, &data_syms, &ops[0]) {
+                        Val::Reg(r) => a.jmp_r(r),
+                        Val::CodeLabel(l) => a.jmp(l),
+                        Val::Imm(_) => return Err(err(line, "jmp needs a label or register")),
+                    }
+                }
+            }
+            "call" => {
+                want(1)?;
+                if ops[0].starts_with('[') {
+                    match parse_mem(&ops[0], line)? {
+                        MemOperand::Simple { base, disp } => a.call_m(base, disp),
+                        _ => return Err(err(line, "call [m] takes [base+disp]")),
+                    }
+                } else {
+                    match resolve(&mut a, &data_syms, &ops[0]) {
+                        Val::Reg(r) => a.call_r(r),
+                        Val::CodeLabel(l) => a.call(l),
+                        Val::Imm(_) => return Err(err(line, "call needs a label or register")),
+                    }
+                }
+            }
+            m if alu_of(m).is_some() => {
+                want(2)?;
+                let op = alu_of(m).expect("checked");
+                let dst = parse_reg(&ops[0]).ok_or_else(|| err(line, "bad register"))?;
+                match resolve(&mut a, &data_syms, &ops[1]) {
+                    Val::Reg(src) => a.alu_rr(op, dst, src),
+                    Val::Imm(v) => a.alu_ri(op, dst, v as i32),
+                    Val::CodeLabel(_) => return Err(err(line, "ALU ops take reg or imm")),
+                }
+            }
+            m if cond_of(m).is_some() => {
+                want(1)?;
+                let cc = cond_of(m).expect("checked");
+                match resolve(&mut a, &data_syms, &ops[0]) {
+                    Val::CodeLabel(l) => a.jcc(cc, l),
+                    _ => return Err(err(line, format!("{m} needs a label"))),
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+        }
+    }
+
+    if let Some(e) = entry {
+        a.set_entry(e);
+    }
+    a.finish().map_err(ParseError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    #[test]
+    fn loops_calls_and_data() {
+        let src = "
+            ; sum of squares via a helper
+            .words seed 5
+            .entry main
+        main:
+            mov rbx, seed
+            load rcx, [rbx+0]
+            mov r9, 0
+        top:
+            mov rax, rcx
+            call square
+            add r9, rax
+            sub rcx, 1
+            cmp rcx, 0
+            jne top
+            out r9
+            halt
+        square:
+            mul rax, rax
+            ret
+        ";
+        let img = parse_asm(src, 0x1000).unwrap();
+        let out = Machine::new(&img).run(10_000).unwrap().output;
+        assert_eq!(out, vec![55]); // 25+16+9+4+1
+    }
+
+    #[test]
+    fn jump_tables_and_indexed_memory() {
+        let src = "
+            .ptrs table c0 c1 c2
+        main:
+            mov rcx, 2
+            mov rbx, table
+            loadx rdx, [rbx+rcx*8+0]
+            jmp rdx
+        c0: mov rax, 100
+            jmp done
+        c1: mov rax, 101
+            jmp done
+        c2: mov rax, 102
+        done:
+            out rax
+            halt
+        ";
+        let img = parse_asm(src, 0x1000).unwrap();
+        assert_eq!(img.relocs.len(), 3);
+        let out = Machine::new(&img).run(1_000).unwrap().output;
+        assert_eq!(out, vec![102]);
+    }
+
+    #[test]
+    fn negative_displacements_and_stores() {
+        let src = "
+            .data buf 64
+        main:
+            mov rbx, buf
+            add rbx, 32
+            mov rax, 7
+            store [rbx-8], rax
+            load rdx, [rbx-8]
+            out rdx
+            halt
+        ";
+        let img = parse_asm(src, 0x1000).unwrap();
+        let out = Machine::new(&img).run(1_000).unwrap().output;
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn function_pointers_via_mov_label() {
+        let src = "
+        main:
+            mov rax, target
+            call rax
+            out rax
+            halt
+        target:
+            mov rax, 31
+            ret
+        ";
+        let img = parse_asm(src, 0x1000).unwrap();
+        let out = Machine::new(&img).run(1_000).unwrap().output;
+        assert_eq!(out, vec![31]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("  nop\n  frobnicate rax\n", 0x1000).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_asm("mov rax\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("expects 2"));
+
+        let e = parse_asm("load rax, [nope+8]\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("base register"));
+
+        let e = parse_asm("jmp unbound_label\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("never bound"));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let src = "
+            mov rax, 0xff
+            and rax, 0x0f
+            out rax
+            halt
+        ";
+        let out = Machine::new(&parse_asm(src, 0x1000).unwrap()).run(100).unwrap().output;
+        assert_eq!(out, vec![0x0f]);
+    }
+}

@@ -1,0 +1,128 @@
+//! General-purpose register file definition.
+
+use std::fmt;
+
+/// One of the sixteen 64-bit general-purpose registers.
+///
+/// The names follow the x86-64 convention. [`Reg::Rsp`] is the stack
+/// pointer implicitly used by `push`/`pop`/`call`/`ret`; every other
+/// register is completely general.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::Reg;
+/// assert_eq!(Reg::from_index(4), Some(Reg::Rsp));
+/// assert_eq!(Reg::Rsp.index(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; also the value reported by the `sys 1` output syscall.
+    Rax = 0,
+    /// Counter register.
+    Rcx = 1,
+    /// Data register.
+    Rdx = 2,
+    /// Base register.
+    Rbx = 3,
+    /// Stack pointer (implicitly used by `push`/`pop`/`call`/`ret`).
+    Rsp = 4,
+    /// Frame pointer by convention.
+    Rbp = 5,
+    /// Source index.
+    Rsi = 6,
+    /// Destination index.
+    Rdi = 7,
+    /// Extended register 8.
+    R8 = 8,
+    /// Extended register 9.
+    R9 = 9,
+    /// Extended register 10.
+    R10 = 10,
+    /// Extended register 11.
+    R11 = 11,
+    /// Extended register 12.
+    R12 = 12,
+    /// Extended register 13.
+    R13 = 13,
+    /// Extended register 14.
+    R14 = 14,
+    /// Extended register 15.
+    R15 = 15,
+}
+
+/// All registers in index order. Useful for exhaustive iteration in tests.
+pub const ALL_REGS: [Reg; 16] = [
+    Reg::Rax,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rbx,
+    Reg::Rsp,
+    Reg::Rbp,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+];
+
+impl Reg {
+    /// Returns the encoding index (0–15) of the register.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with encoding index `i`, or `None` when
+    /// `i >= 16`.
+    pub fn from_index(i: u8) -> Option<Reg> {
+        ALL_REGS.get(i as usize).copied()
+    }
+
+    /// Returns the conventional lower-case mnemonic (`"rax"`, `"r12"`, …).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in ALL_REGS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i as u8), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::Rax.to_string(), "rax");
+        assert_eq!(Reg::Rsp.to_string(), "rsp");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+
+    #[test]
+    fn stack_pointer_is_index_4() {
+        assert_eq!(Reg::Rsp.index(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests: encode/decode is a bijection on valid
+//! instructions, and decoding never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use vcfr_isa::{decode, encode, AluOp, Cond, Inst, Reg, ALL_ALU_OPS, ALL_CONDS, ALL_REGS};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| ALL_REGS[i])
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0usize..ALL_ALU_OPS.len()).prop_map(|i| ALL_ALU_OPS[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0usize..ALL_CONDS.len()).prop_map(|i| ALL_CONDS[i])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        Just(Inst::Ret),
+        any::<u8>().prop_map(|num| Inst::Sys { num }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::Lea {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::Load {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(base, disp, src)| Inst::Store {
+            base,
+            disp,
+            src
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), 0u8..4, any::<i32>()).prop_map(
+            |(dst, base, index, scale, disp)| Inst::LoadIdx { dst, base, index, scale, disp }
+        ),
+        (arb_reg(), arb_reg(), arb_reg(), 0u8..4, any::<i32>()).prop_map(
+            |(base, index, src, scale, disp)| Inst::StoreIdx { base, index, scale, disp, src }
+        ),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::LoadB {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(base, disp, src)| Inst::StoreB {
+            base,
+            disp,
+            src
+        }),
+        arb_reg().prop_map(|src| Inst::Push { src }),
+        arb_reg().prop_map(|dst| Inst::Pop { dst }),
+        any::<i32>().prop_map(|imm| Inst::PushI { imm }),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
+        (arb_alu(), arb_reg(), any::<i32>()).prop_map(|(op, dst, imm)| Inst::AluRI {
+            op,
+            dst,
+            imm
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::Cmp { lhs, rhs }),
+        (arb_reg(), any::<i32>()).prop_map(|(lhs, imm)| Inst::CmpI { lhs, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::Test { lhs, rhs }),
+        arb_reg().prop_map(|dst| Inst::Neg { dst }),
+        arb_reg().prop_map(|dst| Inst::Not { dst }),
+        any::<i32>().prop_map(|rel| Inst::Jmp { rel }),
+        (arb_cond(), any::<i32>()).prop_map(|(cc, rel)| Inst::Jcc { cc, rel }),
+        any::<i32>().prop_map(|rel| Inst::Call { rel }),
+        arb_reg().prop_map(|target| Inst::CallR { target }),
+        (arb_reg(), any::<i32>()).prop_map(|(base, disp)| Inst::CallM { base, disp }),
+        arb_reg().prop_map(|target| Inst::JmpR { target }),
+        (arb_reg(), any::<i32>()).prop_map(|(base, disp)| Inst::JmpM { base, disp }),
+    ]
+}
+
+proptest! {
+    /// encode → decode recovers the exact instruction.
+    #[test]
+    fn roundtrip(inst in arb_inst()) {
+        let bytes = encode(&inst);
+        prop_assert_eq!(bytes.len(), inst.len());
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    /// Decoding arbitrary byte soup never panics, and any successful
+    /// decode re-encodes to a prefix of the input.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        if let Ok(inst) = decode(&bytes) {
+            let re = encode(&inst);
+            prop_assert!(re.len() <= bytes.len());
+            prop_assert_eq!(&bytes[..re.len()], &re[..]);
+        }
+    }
+
+    /// Instruction streams decode instruction-by-instruction at the
+    /// offsets the encoder produced.
+    #[test]
+    fn stream_walk(insts in proptest::collection::vec(arb_inst(), 1..64)) {
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for i in &insts {
+            offsets.push(bytes.len());
+            bytes.extend_from_slice(&encode(i));
+        }
+        for (i, off) in insts.iter().zip(offsets) {
+            let (got, _) = vcfr_isa::decode_at(&bytes, off).unwrap();
+            prop_assert_eq!(got, *i);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A McPAT-style analytic dynamic power model.
+//!
+//! The paper integrates a modified McPAT with XIOSim and reports the DRC's
+//! dynamic power as a fraction of total CPU dynamic power (Figure 15:
+//! 0.18% on average for a 128-entry DRC). This crate reproduces that
+//! pipeline: per-access energies for every SRAM structure from a
+//! CACTI-style size/associativity scaling law, activity counts from the
+//! cycle simulator, and a per-component dynamic power breakdown.
+//!
+//! Absolute watts are not the point (we model no specific process node);
+//! the *ratio* between a tiny direct-mapped DRC and the rest of the core
+//! is what Figure 15 reports, and the scaling law preserves it.
+//!
+//! # Example
+//!
+//! ```
+//! use vcfr_power::sram_access_energy_pj;
+//! // A 512 KB 8-way L2 costs far more per access than a 2 KB DRC.
+//! assert!(sram_access_energy_pj(512 * 1024, 8) > 10.0 * sram_access_energy_pj(2048, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+use vcfr_core::DrcConfig;
+use vcfr_sim::{SimConfig, SimStats};
+
+/// Per-access dynamic energy of an SRAM structure, in picojoules.
+///
+/// CACTI-style scaling: energy grows with the square root of capacity
+/// (bitline/wordline length) and linearly with the ways probed in
+/// parallel. A constant term covers decoders and sense amplifiers.
+pub fn sram_access_energy_pj(size_bytes: usize, ways: usize) -> f64 {
+    0.08 * (size_bytes as f64).sqrt() * (1.0 + 0.15 * (ways.saturating_sub(1)) as f64) + 0.4
+}
+
+/// Bytes per DRC entry (two 32-bit addresses plus tag/valid bits).
+const DRC_ENTRY_BYTES: usize = 8;
+
+/// Fixed per-instruction energy of the execution engine (decode, rename-
+/// free in-order control, register file, bypass, ALU), in pJ.
+const EXEC_PJ_PER_INST: f64 = 6.5;
+/// Clock tree and pipeline latch energy per cycle, in pJ.
+const CLOCK_PJ_PER_CYCLE: f64 = 9.0;
+
+/// One component's contribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Total dynamic energy over the run, in picojoules.
+    pub energy_pj: f64,
+}
+
+/// A dynamic power breakdown for one simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerBreakdown {
+    /// Per-component energies.
+    pub components: Vec<Component>,
+    /// Total dynamic power in milliwatts at the configured frequency.
+    pub total_mw: f64,
+    /// DRC dynamic power in milliwatts (0 for non-VCFR runs).
+    pub drc_mw: f64,
+    /// Run length in seconds (for power conversion).
+    pub seconds: f64,
+}
+
+impl PowerBreakdown {
+    /// DRC dynamic power as a percentage of total CPU dynamic power —
+    /// Figure 15's y-axis.
+    pub fn drc_overhead_pct(&self) -> f64 {
+        if self.total_mw == 0.0 {
+            0.0
+        } else {
+            100.0 * self.drc_mw / self.total_mw
+        }
+    }
+
+    /// Looks up one component's energy share (0..1).
+    pub fn share(&self, name: &str) -> f64 {
+        let total: f64 = self.components.iter().map(|c| c.energy_pj).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.energy_pj / total)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes the dynamic power breakdown of one simulation.
+///
+/// `drc` describes the DRC geometry when the run used VCFR; pass `None`
+/// for baseline and naive-ILR runs.
+pub fn analyze(stats: &SimStats, cfg: &SimConfig, drc: Option<DrcConfig>) -> PowerBreakdown {
+    let il1_e = sram_access_energy_pj(cfg.il1.size_bytes, cfg.il1.ways);
+    let dl1_e = sram_access_energy_pj(cfg.dl1.size_bytes, cfg.dl1.ways);
+    let l2_e = sram_access_energy_pj(cfg.l2.size_bytes, cfg.l2.ways);
+    let btb_e = sram_access_energy_pj(cfg.btb.entries * 8, cfg.btb.ways);
+    let pht_e = sram_access_energy_pj(1 << (cfg.gshare.history_bits.saturating_sub(2)), 1);
+    let itlb_e = sram_access_energy_pj(cfg.itlb_entries * 8, cfg.itlb_entries);
+    let dtlb_e = sram_access_energy_pj(cfg.dtlb_entries * 8, cfg.dtlb_entries);
+    let iq_e = sram_access_energy_pj(cfg.iq_entries * 16, 1);
+    let lsq_e = sram_access_energy_pj(cfg.lsq_entries * 16, 2);
+
+    let insts = stats.instructions as f64;
+    let mem_ops = (stats.dl1.accesses) as f64;
+
+    let mut components = vec![
+        Component { name: "il1", energy_pj: stats.il1.accesses as f64 * il1_e },
+        Component { name: "dl1", energy_pj: stats.dl1.accesses as f64 * dl1_e },
+        Component { name: "l2", energy_pj: stats.l2.accesses as f64 * l2_e },
+        Component {
+            name: "btb",
+            energy_pj: (stats.branch.btb_lookups * 2) as f64 * btb_e,
+        },
+        Component {
+            name: "bpred",
+            energy_pj: (stats.branch.predictions * 2) as f64 * pht_e,
+        },
+        Component { name: "itlb", energy_pj: stats.itlb.accesses as f64 * itlb_e },
+        Component { name: "dtlb", energy_pj: stats.dtlb.accesses as f64 * dtlb_e },
+        Component { name: "iq", energy_pj: insts * 2.0 * iq_e },
+        Component { name: "lsq", energy_pj: mem_ops * 2.0 * lsq_e },
+        Component { name: "exec", energy_pj: insts * EXEC_PJ_PER_INST },
+        Component { name: "clock", energy_pj: stats.cycles as f64 * CLOCK_PJ_PER_CYCLE },
+    ];
+
+    let mut drc_pj = 0.0;
+    if let (Some(dcfg), Some(dstats)) = (drc, stats.drc) {
+        let drc_e = sram_access_energy_pj(dcfg.entries * DRC_ENTRY_BYTES, dcfg.ways);
+        drc_pj = dstats.lookups as f64 * drc_e;
+        components.push(Component { name: "drc", energy_pj: drc_pj });
+    }
+
+    let seconds = stats.seconds(cfg.freq_ghz).max(1e-12);
+    let total_pj: f64 = components.iter().map(|c| c.energy_pj).sum();
+    PowerBreakdown {
+        components,
+        total_mw: total_pj * 1e-12 / seconds * 1e3,
+        drc_mw: drc_pj * 1e-12 / seconds * 1e3,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcfr_core::DrcStats;
+    use vcfr_sim::CacheStats;
+
+    fn fake_stats(vcfr: bool) -> SimStats {
+        SimStats {
+            instructions: 1_000_000,
+            cycles: 1_200_000,
+            il1: CacheStats { accesses: 400_000, misses: 2_000, ..CacheStats::default() },
+            dl1: CacheStats { accesses: 300_000, misses: 9_000, ..CacheStats::default() },
+            l2: CacheStats { accesses: 12_000, misses: 1_500, ..CacheStats::default() },
+            drc: vcfr.then(|| DrcStats {
+                lookups: 30_000,
+                misses: 2_000,
+                derand_lookups: 15_000,
+                rand_lookups: 15_000,
+            }),
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn energy_scaling_is_monotone() {
+        assert!(sram_access_energy_pj(64 * 1024, 2) > sram_access_energy_pj(32 * 1024, 2));
+        assert!(sram_access_energy_pj(32 * 1024, 4) > sram_access_energy_pj(32 * 1024, 2));
+    }
+
+    #[test]
+    fn drc_overhead_is_sub_percent() {
+        let cfg = SimConfig::default();
+        let b = analyze(&fake_stats(true), &cfg, Some(DrcConfig::direct_mapped(128)));
+        let pct = b.drc_overhead_pct();
+        assert!(pct > 0.0 && pct < 1.0, "DRC overhead {pct}%");
+    }
+
+    #[test]
+    fn baseline_has_no_drc_component() {
+        let cfg = SimConfig::default();
+        let b = analyze(&fake_stats(false), &cfg, None);
+        assert_eq!(b.drc_mw, 0.0);
+        assert_eq!(b.drc_overhead_pct(), 0.0);
+        assert_eq!(b.share("drc"), 0.0);
+        assert!(b.total_mw > 0.0);
+    }
+
+    #[test]
+    fn bigger_drc_costs_more_per_lookup() {
+        let cfg = SimConfig::default();
+        let small = analyze(&fake_stats(true), &cfg, Some(DrcConfig::direct_mapped(64)));
+        let large = analyze(&fake_stats(true), &cfg, Some(DrcConfig::direct_mapped(512)));
+        assert!(large.drc_mw > small.drc_mw);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let cfg = SimConfig::default();
+        let b = analyze(&fake_stats(true), &cfg, Some(DrcConfig::direct_mapped(128)));
+        let sum: f64 = ["il1", "dl1", "l2", "btb", "bpred", "itlb", "dtlb", "iq", "lsq", "exec", "clock", "drc"]
+            .iter()
+            .map(|n| b.share(n))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Static control-flow statistics: the numbers behind Table II and
+//! Figure 9 of the paper.
+
+use crate::disasm::Disassembly;
+use std::collections::BTreeMap;
+use vcfr_isa::{Addr, Image, Inst, SymbolKind};
+
+/// Static control-flow counts for one binary.
+///
+/// Table II reports, per SPEC application: direct control transfers,
+/// indirect control transfers, function calls and indirect function
+/// calls. Figure 9 reports functions with and without `ret` instructions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlFlowStats {
+    /// `jmp`/`jcc`/`call` with targets encoded in the instruction.
+    pub direct_transfers: u64,
+    /// `jmp reg`, `jmp [m]`, `call reg`, `call [m]` (register and
+    /// computed transfers, as in the paper's Table II).
+    pub indirect_transfers: u64,
+    /// All calls, direct and indirect.
+    pub function_calls: u64,
+    /// `call reg` and `call [m]` only.
+    pub indirect_function_calls: u64,
+    /// `ret` instructions.
+    pub returns: u64,
+    /// Function symbols whose body contains at least one `ret`.
+    pub funcs_with_ret: u64,
+    /// Function symbols whose body contains none (they leave via tail
+    /// jumps or other transfers — Figure 9's "functions without ret").
+    pub funcs_without_ret: u64,
+    /// Total instructions discovered.
+    pub instructions: u64,
+}
+
+/// Computes [`ControlFlowStats`] for a binary.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Reg};
+/// use vcfr_rewriter::{analyze_control_flow, disassemble};
+///
+/// let mut a = Asm::new(0x1000);
+/// a.call_named("f");
+/// a.halt();
+/// a.func("f");
+/// a.ret();
+/// let img = a.finish().unwrap();
+/// let d = disassemble(&img).unwrap();
+/// let s = analyze_control_flow(&img, &d);
+/// assert_eq!(s.direct_transfers, 1);
+/// assert_eq!(s.function_calls, 1);
+/// assert_eq!(s.funcs_with_ret, 1);
+/// ```
+pub fn analyze_control_flow(image: &Image, disasm: &Disassembly) -> ControlFlowStats {
+    let mut s = ControlFlowStats::default();
+
+    // Per-function ret presence.
+    let mut func_has_ret: BTreeMap<Addr, bool> = image
+        .symbols
+        .iter()
+        .filter(|sym| sym.kind == SymbolKind::Func)
+        .map(|sym| (sym.addr, false))
+        .collect();
+    let func_of = |addr: Addr| -> Option<Addr> {
+        image
+            .symbols
+            .iter()
+            .filter(|sym| sym.kind == SymbolKind::Func)
+            .find(|sym| addr >= sym.addr && addr < sym.addr.wrapping_add(sym.size))
+            .map(|sym| sym.addr)
+    };
+
+    for (addr, inst) in disasm.iter() {
+        s.instructions += 1;
+        match inst {
+            Inst::Jmp { .. } | Inst::Jcc { .. } => s.direct_transfers += 1,
+            Inst::Call { .. } => {
+                s.direct_transfers += 1;
+                s.function_calls += 1;
+            }
+            Inst::CallR { .. } | Inst::CallM { .. } => {
+                s.indirect_transfers += 1;
+                s.function_calls += 1;
+                s.indirect_function_calls += 1;
+            }
+            Inst::JmpR { .. } | Inst::JmpM { .. } => s.indirect_transfers += 1,
+            Inst::Ret => {
+                s.returns += 1;
+                if let Some(f) = func_of(addr) {
+                    func_has_ret.insert(f, true);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for has_ret in func_has_ret.values() {
+        if *has_ret {
+            s.funcs_with_ret += 1;
+        } else {
+            s.funcs_without_ret += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use vcfr_isa::{Asm, Cond, Reg};
+
+    #[test]
+    fn counts_every_class() {
+        let mut a = Asm::new(0x1000);
+        let l = a.label();
+        a.cmp_i(Reg::Rax, 0);
+        a.jcc(Cond::Eq, l); // direct
+        a.bind(l);
+        a.call_named("f"); // direct + call
+        a.call_r(Reg::Rbx); // indirect + call + indirect call
+        a.jmp_r(Reg::Rcx); // indirect
+        a.func("f");
+        a.ret();
+        let img = a.finish().unwrap();
+        let d = disassemble(&img).unwrap();
+        let s = analyze_control_flow(&img, &d);
+        assert_eq!(s.direct_transfers, 2);
+        assert_eq!(s.indirect_transfers, 2);
+        assert_eq!(s.function_calls, 2);
+        assert_eq!(s.indirect_function_calls, 1);
+        assert_eq!(s.returns, 1);
+    }
+
+    #[test]
+    fn functions_with_and_without_ret() {
+        let mut a = Asm::new(0x1000);
+        a.call_named("returns");
+        a.halt();
+        a.func("returns");
+        a.ret();
+        a.func("tail_exit");
+        let t = a.named_label("returns");
+        a.jmp(t); // leaves by tail jump: no ret
+        let img = a.finish().unwrap();
+        let d = disassemble(&img).unwrap();
+        let s = analyze_control_flow(&img, &d);
+        assert_eq!(s.funcs_with_ret, 1);
+        assert_eq!(s.funcs_without_ret, 1);
+    }
+
+    #[test]
+    fn instruction_total_matches_disassembly() {
+        let mut a = Asm::new(0x1000);
+        a.nop();
+        a.nop();
+        a.halt();
+        let img = a.finish().unwrap();
+        let d = disassemble(&img).unwrap();
+        let s = analyze_control_flow(&img, &d);
+        assert_eq!(s.instructions, d.len() as u64);
+    }
+}

@@ -1,0 +1,343 @@
+//! A generic set-associative cache with LRU replacement, write-back /
+//! write-allocate policy and prefetch bookkeeping.
+
+use crate::config::CacheConfig;
+use vcfr_isa::Addr;
+
+/// Event counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (reads + writes; excludes prefetch fills).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Demand writes.
+    pub writes: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Prefetches issued into this cache.
+    pub prefetches_issued: u64,
+    /// Demand accesses that hit on a line brought in by the prefetcher.
+    pub prefetch_hits: u64,
+    /// Prefetched lines evicted without ever being used.
+    pub prefetch_unused_evictions: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that were never used — the
+    /// "pre-fetch miss rate" axis of the paper's Figure 3.
+    pub fn prefetch_useless_rate(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            let used = self.prefetch_hits.min(self.prefetches_issued);
+            1.0 - used as f64 / self.prefetches_issued as f64
+        }
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// Address of a dirty line that must be written back, if the fill
+    /// evicted one.
+    pub writeback: Option<Addr>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    tag: Addr,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    lru: u64,
+}
+
+/// A set-associative cache model (tags only — data never flows through
+/// the timing simulator).
+///
+/// # Example
+///
+/// ```
+/// use vcfr_sim::{Cache, CacheConfig};
+/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 2 };
+/// let mut c = Cache::new(cfg);
+/// assert!(!c.access(0x40, false).hit);
+/// assert!(c.access(0x40, false).hit);
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is degenerate (zero sets/ways, or a
+    /// non-power-of-two set count or line size).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        assert!(sets > 0 && cfg.ways > 0, "cache must have sets and ways");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        Cache {
+            cfg,
+            sets,
+            lines: vec![Line::default(); sets * cfg.ways],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the counters but keeps the contents (post-warm-up reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_of(&self, addr: Addr) -> Addr {
+        addr & !(self.cfg.line_bytes as Addr - 1)
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        ((addr as usize) / self.cfg.line_bytes) & (self.sets - 1)
+    }
+
+    fn probe(&mut self, addr: Addr) -> Option<usize> {
+        let tag = self.line_of(addr);
+        let base = self.set_of(addr) * self.cfg.ways;
+        (0..self.cfg.ways).map(|w| base + w).find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    fn victim(&self, set_base: usize) -> usize {
+        (0..self.cfg.ways)
+            .map(|w| set_base + w)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                if l.valid {
+                    l.lru + 1
+                } else {
+                    0
+                }
+            })
+            .expect("ways > 0")
+    }
+
+    fn fill(&mut self, addr: Addr, prefetched: bool) -> Option<Addr> {
+        let tag = self.line_of(addr);
+        let base = self.set_of(addr) * self.cfg.ways;
+        let v = self.victim(base);
+        let old = self.lines[v];
+        let mut writeback = None;
+        if old.valid {
+            if old.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(old.tag);
+            }
+            if old.prefetched && !old.used {
+                self.stats.prefetch_unused_evictions += 1;
+            }
+        }
+        self.lines[v] =
+            Line { valid: true, tag, dirty: false, prefetched, used: false, lru: self.tick };
+        writeback
+    }
+
+    /// A demand access. On a miss the line is filled (the caller charges
+    /// the next-level latency and forwards any write-back).
+    pub fn access(&mut self, addr: Addr, write: bool) -> AccessResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+        if let Some(i) = self.probe(addr) {
+            let line = &mut self.lines[i];
+            line.lru = self.tick;
+            if line.prefetched && !line.used {
+                self.stats.prefetch_hits += 1;
+            }
+            line.used = true;
+            if write {
+                line.dirty = true;
+            }
+            return AccessResult { hit: true, writeback: None };
+        }
+        self.stats.misses += 1;
+        let writeback = self.fill(addr, false);
+        if write {
+            let i = self.probe(addr).expect("just filled");
+            self.lines[i].dirty = true;
+        }
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let tag = self.line_of(addr);
+        let base = self.set_of(addr) * self.cfg.ways;
+        (0..self.cfg.ways).any(|w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Inserts a line on behalf of the prefetcher. Returns the evicted
+    /// dirty line, if any. No demand counters change except
+    /// `prefetches_issued`.
+    pub fn prefetch_fill(&mut self, addr: Addr) -> Option<Addr> {
+        if self.contains(addr) {
+            return None;
+        }
+        self.tick += 1;
+        self.stats.prefetches_issued += 1;
+        self.fill(addr, true)
+    }
+
+    /// Invalidates everything (keeps counters).
+    pub fn flush(&mut self) {
+        self.lines.fill(Line::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B lines.
+        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn lru_within_a_set() {
+        let mut c = tiny();
+        // Set 0 holds lines 0x000, 0x080, 0x100 (all map to set 0).
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // refresh 0x000
+        c.access(0x100, false); // evicts 0x080 (LRU)
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let r = c.access(0x100, false); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn same_line_offsets_hit() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        assert!(c.access(0x7f, false).hit);
+        assert!(!c.access(0x80, false).hit);
+        assert_eq!(c.line_of(0x7f), 0x40);
+    }
+
+    #[test]
+    fn prefetch_accounting() {
+        let mut c = tiny();
+        c.prefetch_fill(0x000);
+        assert_eq!(c.stats().prefetches_issued, 1);
+        // Demand hit on the prefetched line counts once.
+        assert!(c.access(0x000, false).hit);
+        assert!(c.access(0x010, false).hit);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        assert!((c.stats().prefetch_useless_rate() - 0.0).abs() < 1e-12);
+
+        // An unused prefetch evicted counts as useless.
+        c.prefetch_fill(0x200); // set 0
+        c.access(0x080, false);
+        c.access(0x100, false); // set 0 pressure evicts something
+        c.access(0x180, false); // set 0 again
+        assert!(c.stats().prefetch_unused_evictions <= c.stats().prefetches_issued);
+    }
+
+    #[test]
+    fn prefetch_of_resident_line_is_a_no_op() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        c.prefetch_fill(0x40);
+        assert_eq!(c.stats().prefetches_issued, 0);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x040, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.flush();
+        assert!(!c.contains(0x000));
+        assert_eq!(c.stats().accesses, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x40, false).hit, "contents survive a stats reset");
+    }
+
+    #[test]
+    fn prefetch_useless_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.stats().prefetch_useless_rate(), 0.0);
+        c.prefetch_fill(0x000);
+        assert_eq!(c.stats().prefetch_useless_rate(), 1.0); // issued, unused
+        c.access(0x000, false);
+        assert_eq!(c.stats().prefetch_useless_rate(), 0.0); // now used
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn degenerate_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 192, ways: 1, line_bytes: 64, latency: 1 });
+    }
+}

@@ -1,0 +1,188 @@
+//! Machine configuration, defaulting to the paper's §VI-C parameters.
+
+/// Geometry and latency of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// DRAM timing in CPU cycles (DDR-style bank model with open-page
+/// policy, the behaviour DRAMSim2 provides the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (across all ranks).
+    pub banks: usize,
+    /// Bytes per row (row-buffer reach).
+    pub row_bytes: usize,
+    /// CAS latency: row already open and matching.
+    pub t_cas: u64,
+    /// RAS-to-CAS: activating a closed row.
+    pub t_rcd: u64,
+    /// Precharge: closing a conflicting open row.
+    pub t_rp: u64,
+    /// Cycles between refresh commands (tREFI).
+    pub t_refi: u64,
+    /// Duration of one refresh (tRFC).
+    pub t_rfc: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        // DDR3-ish timings scaled to a 1.6 GHz core clock.
+        DramConfig {
+            banks: 16,
+            row_bytes: 8192,
+            t_cas: 18,
+            t_rcd: 18,
+            t_rp: 18,
+            t_refi: 12_480,
+            t_rfc: 208,
+        }
+    }
+}
+
+/// Branch-direction predictor (2-level gshare) geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GshareConfig {
+    /// Global-history length and PHT index width, in bits.
+    pub history_bits: u32,
+}
+
+/// Branch target buffer geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+/// Where DRC misses are serviced from (§IV-B ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrcBacking {
+    /// The paper's design: walk the in-memory tables through the unified
+    /// L2 (falling through to DRAM), sharing capacity with code and data.
+    SharedL2,
+    /// A dedicated second-level translation store with a fixed access
+    /// latency (the alternative the paper rejects as wasteful silicon).
+    Dedicated {
+        /// Fixed walk latency in cycles.
+        latency: u64,
+    },
+}
+
+/// Full machine configuration.
+///
+/// Defaults reproduce the paper's simulated core: a 1.6 GHz single-issue
+/// in-order x86-style pipeline; 32 KB 2-way IL1 and DL1 (64-byte lines,
+/// 2-cycle); 512 KB 8-way unified L2 (12-cycle); 64-entry
+/// fully-associative I/D TLBs; 18-entry instruction queue; 32-entry
+/// load/store queue; gshare + BTB + RAS; next-line instruction
+/// prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Core frequency in GHz (used by the power model).
+    pub freq_ghz: f64,
+    /// L1 instruction cache.
+    pub il1: CacheConfig,
+    /// L1 data cache (write-back).
+    pub dl1: CacheConfig,
+    /// Unified second-level cache (also backs DRC walks).
+    pub l2: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Instruction TLB entries (fully associative).
+    pub itlb_entries: usize,
+    /// Data TLB entries (fully associative).
+    pub dtlb_entries: usize,
+    /// Page-walk penalty on a TLB miss, in cycles.
+    pub tlb_walk_cycles: u64,
+    /// Instruction queue capacity (macro-ops).
+    pub iq_entries: usize,
+    /// Load/store queue capacity.
+    pub lsq_entries: usize,
+    /// Direction predictor.
+    pub gshare: GshareConfig,
+    /// Branch target buffer.
+    pub btb: BtbConfig,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+    /// Front-end refill penalty on a mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// Penalty when a taken transfer misses the BTB (target discovered at
+    /// decode/execute).
+    pub btb_miss_penalty: u64,
+    /// Enable the next-line instruction prefetcher.
+    pub prefetch: bool,
+    /// Where DRC misses are serviced from.
+    pub drc_backing: DrcBacking,
+    /// Flush the DRC every N instructions, modelling context switches
+    /// (None = single-tenant run, the paper's setting).
+    pub drc_flush_interval: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            freq_ghz: 1.6,
+            il1: CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64, latency: 2 },
+            dl1: CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64, latency: 2 },
+            l2: CacheConfig { size_bytes: 512 * 1024, ways: 8, line_bytes: 64, latency: 12 },
+            dram: DramConfig::default(),
+            itlb_entries: 64,
+            dtlb_entries: 64,
+            tlb_walk_cycles: 24,
+            iq_entries: 18,
+            lsq_entries: 32,
+            gshare: GshareConfig { history_bits: 12 },
+            btb: BtbConfig { entries: 512, ways: 4 },
+            ras_entries: 16,
+            mispredict_penalty: 9,
+            btb_miss_penalty: 3,
+            prefetch: true,
+            drc_backing: DrcBacking::SharedL2,
+            drc_flush_interval: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.il1.size_bytes, 32 * 1024);
+        assert_eq!(c.il1.ways, 2);
+        assert_eq!(c.il1.latency, 2);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.iq_entries, 18);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.itlb_entries, 64);
+        assert!((c.freq_ghz - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = SimConfig::default();
+        assert_eq!(c.il1.sets(), 256);
+        assert_eq!(c.l2.sets(), 1024);
+    }
+}

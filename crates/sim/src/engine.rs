@@ -1,0 +1,820 @@
+//! The trace-driven cycle engine: an in-order single-issue pipeline
+//! (fetch → decode → alloc → exec → commit) timed over the architectural
+//! instruction stream of the functional interpreter.
+//!
+//! Three execution modes reproduce the paper's three machines:
+//!
+//! * [`Mode::Baseline`] — the original binary, no randomization;
+//! * [`Mode::NaiveIlr`] — straightforward hardware ILR: instructions are
+//!   fetched from their *scattered* randomized addresses (the address
+//!   mapping itself is free, as the paper assumes), destroying fetch
+//!   locality;
+//! * [`Mode::Vcfr`] — virtual control flow randomization: fetch stays in
+//!   the original space, and a [`Drc`] translates at control transfers,
+//!   calls, returns and marked stack loads, walking the in-memory tables
+//!   through the unified L2 on a miss.
+
+use crate::config::{DrcBacking, SimConfig};
+use crate::hierarchy::MemoryHierarchy;
+use crate::predict::{BranchStats, Btb, Gshare, Ras};
+use crate::stats::SimStats;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr, StackBitmap};
+use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, Machine, RunOutcome, StepInfo};
+use vcfr_rewriter::RandomizedProgram;
+
+/// Which machine to simulate.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode<'a> {
+    /// The original binary with no randomization.
+    Baseline(&'a Image),
+    /// Straightforward hardware ILR over the scattered layout.
+    NaiveIlr(&'a RandomizedProgram),
+    /// Virtual control flow randomization with a DRC of the given
+    /// geometry.
+    Vcfr {
+        /// The randomized program (layout + tables).
+        program: &'a RandomizedProgram,
+        /// DRC geometry.
+        drc: DrcConfig,
+    },
+}
+
+impl Mode<'_> {
+    /// The image the architecture executes (always the original
+    /// semantics).
+    pub(crate) fn image_ref(&self) -> &Image {
+        match self {
+            Mode::Baseline(img) => img,
+            Mode::NaiveIlr(rp) | Mode::Vcfr { program: rp, .. } => &rp.original,
+        }
+    }
+}
+
+/// Extra execution latency of long-running operations, shared by the
+/// in-order and out-of-order cores.
+pub(crate) fn exec_extra_cycles(inst: &Inst) -> u64 {
+    Engine::exec_extra(inst)
+}
+
+/// A simulation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The program faulted architecturally.
+    Exec(ExecError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "architectural fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+/// The result of a simulation: timing statistics plus the architectural
+/// outcome (output values, stop reason).
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Timing and event counters.
+    pub stats: SimStats,
+    /// The functional result.
+    pub outcome: RunOutcome,
+}
+
+/// Pipeline depth between fetch completion and execute.
+const DECODE_DEPTH: u64 = 3;
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    hier: MemoryHierarchy,
+    gshare: Gshare,
+    btb: Btb,
+    ras: Ras,
+    bstats: BranchStats,
+    fetch_time: u64,
+    backend_time: u64,
+    redirect_at: u64,
+    window_line: Option<Addr>,
+    iq: VecDeque<u64>,
+    drc: Option<Drc>,
+    bitmap: StackBitmap,
+    stack_rand: HashMap<Addr, u32>,
+    fetch_stall: u64,
+    load_stall: u64,
+    redirect_stall: u64,
+    drc_walk: u64,
+    instructions: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, drc: Option<DrcConfig>) -> Engine<'a> {
+        Engine {
+            cfg,
+            hier: MemoryHierarchy::new(cfg),
+            gshare: Gshare::new(cfg.gshare),
+            btb: Btb::new(cfg.btb),
+            ras: Ras::new(cfg.ras_entries),
+            bstats: BranchStats::default(),
+            fetch_time: 0,
+            backend_time: 0,
+            redirect_at: 0,
+            window_line: None,
+            iq: VecDeque::new(),
+            drc: drc.map(Drc::new),
+            bitmap: StackBitmap::new(),
+            stack_rand: HashMap::new(),
+            fetch_stall: 0,
+            load_stall: 0,
+            redirect_stall: 0,
+            drc_walk: 0,
+            instructions: 0,
+        }
+    }
+
+    fn exec_extra(inst: &Inst) -> u64 {
+        use vcfr_isa::AluOp::*;
+        match inst {
+            Inst::AluRR { op, .. } | Inst::AluRI { op, .. } => match op {
+                Mul => 2,
+                Div | Rem => 12,
+                _ => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn redirect(&mut self, at: u64) {
+        if at > self.redirect_at {
+            self.redirect_stall += at - self.redirect_at.max(self.fetch_time);
+            self.redirect_at = at;
+        }
+    }
+
+    /// One instruction through the timing model. `fetch_pc` is the
+    /// address instruction bytes are fetched from (mode-dependent);
+    /// `key` maps architectural addresses into predictor space.
+    fn step(
+        &mut self,
+        info: &StepInfo,
+        fetch_pc: Addr,
+        key: &impl Fn(Addr) -> Addr,
+        vcfr: Option<&RandomizedProgram>,
+    ) {
+        self.instructions += 1;
+        let cfg = self.cfg;
+
+        // Context-switch model: periodically invalidate the DRC (other
+        // processes own it in between).
+        if let (Some(interval), Some(drc)) = (cfg.drc_flush_interval, self.drc.as_mut()) {
+            if interval > 0 && self.instructions % interval == 0 {
+                drc.flush();
+            }
+        }
+
+        // ---- fetch ------------------------------------------------------
+        let mut start = self.fetch_time.max(self.redirect_at);
+        if self.iq.len() >= cfg.iq_entries {
+            if let Some(oldest) = self.iq.pop_front() {
+                start = start.max(oldest);
+            }
+        }
+        let mut stall = 0;
+        let line_bytes = cfg.il1.line_bytes as Addr;
+        let first = fetch_pc & !(line_bytes - 1);
+        let last = (fetch_pc + info.len as Addr - 1) & !(line_bytes - 1);
+        let mut line = first;
+        loop {
+            if self.window_line != Some(line) {
+                stall += self.hier.fetch_line(line, start);
+                self.window_line = Some(line);
+            }
+            if line == last {
+                break;
+            }
+            line += line_bytes;
+        }
+        let fetch_done = start + 1 + stall;
+        self.fetch_stall += stall;
+        self.fetch_time = fetch_done;
+
+        // ---- backend ----------------------------------------------------
+        let exec_start = (self.backend_time + 1).max(fetch_done + DECODE_DEPTH);
+        self.iq.push_back(exec_start);
+
+        let mut exec_end = exec_start + Engine::exec_extra(&info.inst);
+        for acc in info.mem_accesses() {
+            let lat = self.hier.data_access(acc.addr, acc.write, exec_start);
+            self.load_stall += lat;
+            exec_end += lat;
+        }
+
+        // ---- VCFR mediation layer ----------------------------------------
+        if let (Some(rp), Some(_)) = (vcfr, self.drc.as_ref()) {
+            self.vcfr_events(info, rp, exec_start, &mut exec_end);
+        }
+
+        // ---- control flow ------------------------------------------------
+        if let Some(cf) = info.control {
+            self.control(info, cf, key, vcfr, fetch_done, exec_end);
+            // A taken transfer resets the byte queue: the fetch unit
+            // re-fetches the target line even when it is the line it was
+            // already streaming (XIOSim's byteQ behaviour).
+            if cf.taken_target().is_some() {
+                self.window_line = None;
+            }
+        }
+
+        self.backend_time = exec_end;
+    }
+
+    fn vcfr_events(
+        &mut self,
+        info: &StepInfo,
+        rp: &RandomizedProgram,
+        exec_start: u64,
+        exec_end: &mut u64,
+    ) {
+        let drc = self.drc.as_mut().expect("vcfr mode has a DRC");
+
+        // Stack-slot hygiene and marked-slot loads (§IV-C): any read of a
+        // slot holding a randomized return address is transparently
+        // de-randomized (one DRC lookup); any unrelated overwrite clears
+        // the mark.
+        for acc in info.mem_accesses() {
+            if acc.write {
+                let is_call_push = matches!(
+                    info.control,
+                    Some(ControlFlow::Call { .. }) | Some(ControlFlow::IndirectCall { .. })
+                );
+                if !is_call_push && self.bitmap.is_marked(acc.addr) {
+                    self.bitmap.clear(acc.addr);
+                    self.stack_rand.remove(&acc.addr);
+                }
+            } else if self.bitmap.is_marked(acc.addr)
+                && !matches!(info.control, Some(ControlFlow::Return { .. }))
+            {
+                if let Some(v) = self.stack_rand.get(&acc.addr).copied() {
+                    if let Ok(l) = drc.derandomize(RandAddr(v), &rp.table) {
+                        if !l.hit {
+                            let walk = match self.cfg.drc_backing {
+                                DrcBacking::SharedL2 => {
+                                    self.hier.table_walk(l.entry_addr, exec_start)
+                                }
+                                DrcBacking::Dedicated { latency } => latency,
+                            };
+                            self.drc_walk += walk;
+                            *exec_end += walk;
+                        }
+                    }
+                }
+            }
+        }
+
+        match info.control {
+            // A call pushes the *randomized* return address: one
+            // randomization lookup, plus bitmap marking of the slot. The
+            // walk on a miss happens in the store's shadow (the push need
+            // not retire before younger instructions execute on an
+            // in-order store buffer), so it contributes table traffic but
+            // no stall.
+            Some(ControlFlow::Call { ret_addr, .. })
+            | Some(ControlFlow::IndirectCall { ret_addr, .. }) => {
+                if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
+                    if !l.hit {
+                        let walk = match self.cfg.drc_backing {
+                            DrcBacking::SharedL2 => {
+                                self.hier.table_walk(l.entry_addr, exec_start)
+                            }
+                            DrcBacking::Dedicated { latency } => latency,
+                        };
+                        self.drc_walk += walk;
+                    }
+                    if let Some(push) = info.mem_accesses().find(|a| a.write) {
+                        self.bitmap.mark(push.addr);
+                        self.stack_rand.insert(push.addr, l.translated);
+                    }
+                }
+            }
+            // Return-address bookkeeping; the de-randomization of the
+            // popped target happens in the control-flow handler, where
+            // prediction correctness decides whether the walk is on the
+            // critical path.
+            Some(ControlFlow::Return { .. }) => {
+                if let Some(pop) = info.mem_accesses().next() {
+                    self.bitmap.clear(pop.addr);
+                    self.stack_rand.remove(&pop.addr);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// De-randomizes a transfer target through the DRC; returns the walk
+    /// latency on a miss (0 on a hit). The *caller* decides whether that
+    /// latency lands on the critical path: when the orig-space predictors
+    /// were right, fetch already streams down the correct path and the
+    /// walk completes in its shadow; only a redirect must wait for it.
+    fn vcfr_derand(&mut self, target: Addr, rp: &RandomizedProgram, now: u64) -> u64 {
+        let drc = self.drc.as_mut().expect("vcfr mode has a DRC");
+        let rand = rp.rand_or_orig(target);
+        if let Ok(l) = drc.derandomize(RandAddr(rand), &rp.table) {
+            if !l.hit {
+                let walk = match self.cfg.drc_backing {
+                    DrcBacking::SharedL2 => self.hier.table_walk(l.entry_addr, now),
+                    DrcBacking::Dedicated { latency } => latency,
+                };
+                self.drc_walk += walk;
+                return walk;
+            }
+        }
+        0
+    }
+
+    fn control(
+        &mut self,
+        info: &StepInfo,
+        cf: ControlFlow,
+        key: &impl Fn(Addr) -> Addr,
+        vcfr: Option<&RandomizedProgram>,
+        fetch_done: u64,
+        exec_end: u64,
+    ) {
+        let cfg = self.cfg;
+        let kpc = key(info.pc);
+        match cf {
+            ControlFlow::Branch { taken, target } => {
+                self.bstats.predictions += 1;
+                let predicted = self.gshare.predict(kpc);
+                self.gshare.update(kpc, taken);
+                if predicted != taken {
+                    self.bstats.mispredictions += 1;
+                    // A mispredicted *taken* branch redirects to a
+                    // randomized target: the redirect waits for the DRC.
+                    let walk = match (taken, vcfr) {
+                        (true, Some(rp)) => self.vcfr_derand(target, rp, exec_end),
+                        _ => 0,
+                    };
+                    self.redirect(exec_end + cfg.mispredict_penalty + walk);
+                } else if taken {
+                    self.taken_target_lookup(kpc, key(target), target, vcfr, fetch_done, exec_end);
+                }
+            }
+            ControlFlow::Jump { target } => {
+                self.taken_target_lookup(kpc, key(target), target, vcfr, fetch_done, exec_end);
+            }
+            ControlFlow::Call { target, ret_addr } => {
+                self.taken_target_lookup(kpc, key(target), target, vcfr, fetch_done, exec_end);
+                self.ras.push(key(ret_addr));
+            }
+            ControlFlow::IndirectCall { target, ret_addr } => {
+                self.indirect_target_lookup(kpc, key(target), target, vcfr, exec_end);
+                self.ras.push(key(ret_addr));
+            }
+            ControlFlow::IndirectJump { target } => {
+                self.indirect_target_lookup(kpc, key(target), target, vcfr, exec_end);
+            }
+            ControlFlow::Return { target } => {
+                self.bstats.ras_predictions += 1;
+                // The popped randomized return address always consults the
+                // DRC to recover the orig-space fetch address; a correct
+                // RAS prediction hides the walk.
+                let walk = match vcfr {
+                    Some(rp) => self.vcfr_derand(target, rp, exec_end),
+                    None => 0,
+                };
+                match self.ras.pop() {
+                    Some(p) if p == key(target) => {}
+                    _ => {
+                        self.bstats.ras_mispredictions += 1;
+                        self.redirect(exec_end + cfg.mispredict_penalty + walk);
+                    }
+                }
+            }
+        }
+    }
+
+    fn taken_target_lookup(
+        &mut self,
+        kpc: Addr,
+        ktarget: Addr,
+        target: Addr,
+        vcfr: Option<&RandomizedProgram>,
+        fetch_done: u64,
+        exec_end: u64,
+    ) {
+        self.bstats.btb_lookups += 1;
+        match self.btb.lookup(kpc) {
+            Some(t) if t == ktarget => {}
+            found => {
+                if found.is_none() {
+                    self.bstats.btb_misses += 1;
+                } else {
+                    self.bstats.btb_wrong_target += 1;
+                }
+                // In VCFR mode a BTB miss means the cached translation is
+                // absent too: the redirect additionally waits for the DRC.
+                let walk = match vcfr {
+                    Some(rp) => self.vcfr_derand(target, rp, exec_end),
+                    None => 0,
+                };
+                self.redirect(fetch_done + self.cfg.btb_miss_penalty + walk);
+                self.btb.update(kpc, ktarget);
+            }
+        }
+    }
+
+    fn indirect_target_lookup(
+        &mut self,
+        kpc: Addr,
+        ktarget: Addr,
+        target: Addr,
+        vcfr: Option<&RandomizedProgram>,
+        exec_end: u64,
+    ) {
+        self.bstats.btb_lookups += 1;
+        // Indirect targets live in the randomized space; every resolution
+        // consults the DRC (hidden when the BTB was right).
+        let walk = match vcfr {
+            Some(rp) => self.vcfr_derand(target, rp, exec_end),
+            None => 0,
+        };
+        match self.btb.lookup(kpc) {
+            Some(t) if t == ktarget => {}
+            found => {
+                if found.is_none() {
+                    self.bstats.btb_misses += 1;
+                } else {
+                    self.bstats.btb_wrong_target += 1;
+                }
+                self.redirect(exec_end + self.cfg.mispredict_penalty + walk);
+                self.btb.update(kpc, ktarget);
+            }
+        }
+    }
+
+    fn stats_now(&self) -> SimStats {
+        SimStats {
+            instructions: self.instructions,
+            cycles: self.backend_time.max(self.fetch_time),
+            il1: self.hier.il1.stats(),
+            dl1: self.hier.dl1.stats(),
+            l2: self.hier.l2.stats(),
+            itlb: self.hier.itlb.stats(),
+            dtlb: self.hier.dtlb.stats(),
+            dram: self.hier.dram.stats(),
+            branch: self.bstats,
+            drc: self.drc.as_ref().map(|d| d.stats()),
+            drc_walk_cycles: self.drc_walk,
+            fetch_stall_cycles: self.fetch_stall,
+            load_stall_cycles: self.load_stall,
+            redirect_stall_cycles: self.redirect_stall,
+            l2_reads_from_l1: self.hier.l2_reads_from_l1,
+        }
+    }
+
+    fn into_stats(self) -> SimStats {
+        self.stats_now()
+    }
+}
+
+/// One interval of a sampled simulation (see [`simulate_sampled`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalSample {
+    /// Index of the first instruction in the interval.
+    pub first_inst: u64,
+    /// Instructions in the interval.
+    pub instructions: u64,
+    /// Cycles the interval took.
+    pub cycles: u64,
+    /// Interval IPC.
+    pub ipc: f64,
+    /// Interval IL1 miss rate.
+    pub il1_miss_rate: f64,
+    /// Interval DRC miss rate (0 outside VCFR mode).
+    pub drc_miss_rate: f64,
+}
+
+/// Runs one program to completion (or `max_insts`) under `mode`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Exec`] when the program faults; reaching
+/// `max_insts` is *not* an error — the run is truncated, mirroring the
+/// paper's 500-million-instruction windows.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Reg};
+/// use vcfr_sim::{simulate, Mode, SimConfig};
+///
+/// let mut a = Asm::new(0x1000);
+/// a.mov_ri(Reg::Rax, 7);
+/// a.emit_output(Reg::Rax);
+/// a.halt();
+/// let img = a.finish().unwrap();
+/// let out = simulate(Mode::Baseline(&img), &SimConfig::default(), 1_000).unwrap();
+/// assert_eq!(out.outcome.output, vec![7]);
+/// assert!(out.stats.cycles > 0);
+/// ```
+pub fn simulate(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64) -> Result<SimOutput, SimError> {
+    let (out, _) = simulate_inner(mode, cfg, max_insts, None)?;
+    Ok(out)
+}
+
+/// Like [`simulate`], but additionally returns one [`IntervalSample`] per
+/// `interval` committed instructions — the phase-behaviour view
+/// (per-interval IPC, IL1 and DRC miss rates).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_sampled(
+    mode: Mode<'_>,
+    cfg: &SimConfig,
+    max_insts: u64,
+    interval: u64,
+) -> Result<(SimOutput, Vec<IntervalSample>), SimError> {
+    let (out, samples) = simulate_inner(mode, cfg, max_insts, Some(interval.max(1)))?;
+    Ok((out, samples))
+}
+
+fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every: Option<u64>) -> Result<(SimOutput, Vec<IntervalSample>), SimError> {
+    let image = mode.image_ref();
+    let mut machine = Machine::new(image);
+
+    let drc_cfg = match &mode {
+        Mode::Vcfr { drc, .. } => Some(*drc),
+        _ => None,
+    };
+    let mut engine = Engine::new(cfg, drc_cfg);
+
+    // Hide the translation-table pages from user space (TLB
+    // page-visibility bit).
+    if let Mode::Vcfr { program, .. } = &mode {
+        let base = program.table.base();
+        for page in 0..64u32 {
+            engine.hier.dtlb.set_invisible(base + page * 4096);
+        }
+    }
+
+    let identity = |a: Addr| a;
+    let mut samples = Vec::new();
+    let mut last = engine.stats_now();
+    let mut take_sample = |engine: &Engine<'_>, last: &mut SimStats| {
+        let now = engine.stats_now();
+        let insts = now.instructions - last.instructions;
+        if insts == 0 {
+            return;
+        }
+        let cycles = now.cycles.saturating_sub(last.cycles).max(1);
+        let il1_acc = (now.il1.accesses - last.il1.accesses).max(1);
+        let il1_miss = now.il1.misses - last.il1.misses;
+        let (drc_l, drc_m) = match (now.drc, last.drc) {
+            (Some(n), Some(l)) => (n.lookups - l.lookups, n.misses - l.misses),
+            _ => (0, 0),
+        };
+        samples.push(IntervalSample {
+            first_inst: last.instructions,
+            instructions: insts,
+            cycles,
+            ipc: insts as f64 / cycles as f64,
+            il1_miss_rate: il1_miss as f64 / il1_acc as f64,
+            drc_miss_rate: if drc_l == 0 { 0.0 } else { drc_m as f64 / drc_l as f64 },
+        });
+        *last = now;
+    };
+    let outcome = loop {
+        if engine.instructions >= max_insts {
+            break RunOutcome {
+                output: machine.output().to_vec(),
+                steps: machine.steps(),
+                stop: machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
+            };
+        }
+        let Some(info) = machine.step()? else {
+            break RunOutcome {
+                output: machine.output().to_vec(),
+                steps: machine.steps(),
+                stop: machine.stop_reason().expect("stopped machine has a reason"),
+            };
+        };
+        match &mode {
+            Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
+            Mode::NaiveIlr(rp) => {
+                let key = |a: Addr| rp.rand_or_orig(a);
+                engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
+            }
+            Mode::Vcfr { program, .. } => {
+                engine.step(&info, info.pc, &identity, Some(program));
+            }
+        }
+        if let Some(every) = sample_every {
+            if engine.instructions % every == 0 {
+                take_sample(&engine, &mut last);
+            }
+        }
+    };
+    if sample_every.is_some() {
+        take_sample(&engine, &mut last);
+    }
+
+    Ok((SimOutput { stats: engine.into_stats(), outcome }, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcfr_isa::{AluOp, Asm, Cond, Reg};
+    use vcfr_rewriter::{randomize, RandomizeConfig};
+
+    /// A loop calling ~120 small functions per iteration: the hot code
+    /// footprint (~10 KB) fits the 32 KB IL1 in the original layout but
+    /// occupies ~1800 lines when scattered per instruction — exactly the
+    /// regime in which naive hardware ILR thrashes.
+    fn workload() -> Image {
+        const FUNCS: usize = 120;
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 40);
+        a.mov_ri(Reg::Rax, 0);
+        let top = a.here();
+        for i in 0..FUNCS {
+            a.call_named(&format!("f{i}"));
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.emit_output(Reg::Rax);
+        a.halt();
+        for i in 0..FUNCS {
+            a.func(&format!("f{i}"));
+            for _ in 0..6 {
+                a.alu_ri(AluOp::Add, Reg::Rax, 1);
+            }
+            a.ret();
+        }
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn baseline_reaches_high_ipc_on_a_hot_loop() {
+        let img = workload();
+        let out = simulate(Mode::Baseline(&img), &SimConfig::default(), 1_000_000).unwrap();
+        assert_eq!(out.outcome.output, vec![40 * 120 * 6]);
+        let ipc = out.stats.ipc();
+        assert!(ipc > 0.7, "baseline IPC {ipc} too low");
+        assert!(out.stats.il1.miss_rate() < 0.05, "il1 {}", out.stats.il1.miss_rate());
+    }
+
+    #[test]
+    fn naive_ilr_destroys_fetch_locality() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let base = simulate(Mode::Baseline(&img), &SimConfig::default(), 1_000_000).unwrap();
+        let naive = simulate(Mode::NaiveIlr(&rp), &SimConfig::default(), 1_000_000).unwrap();
+        // Same architectural result.
+        assert_eq!(naive.outcome.output, base.outcome.output);
+        // Dramatically worse IL1 behaviour and IPC.
+        assert!(
+            naive.stats.il1.miss_rate() > 4.0 * base.stats.il1.miss_rate().max(1e-6),
+            "naive {} vs base {}",
+            naive.stats.il1.miss_rate(),
+            base.stats.il1.miss_rate()
+        );
+        assert!(naive.stats.ipc() < base.stats.ipc());
+    }
+
+    #[test]
+    fn vcfr_preserves_locality_and_ipc() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        let base = simulate(Mode::Baseline(&img), &cfg, 1_000_000).unwrap();
+        let naive = simulate(Mode::NaiveIlr(&rp), &cfg, 1_000_000).unwrap();
+        let vcfr = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(vcfr.outcome.output, base.outcome.output);
+        // VCFR keeps the IL1 behaviour of the baseline ...
+        assert!(vcfr.stats.il1.miss_rate() < 2.0 * base.stats.il1.miss_rate().max(1e-4));
+        // ... and sits between baseline and naive in IPC, close to base.
+        // (This microbench has 120 uniformly hot call sites — far harsher
+        // on the DRC than SPEC-like code — so the bound is loose here;
+        // the workload-level experiments assert the ~2% paper bound.)
+        assert!(vcfr.stats.ipc() > naive.stats.ipc());
+        assert!(vcfr.stats.ipc() > 0.8 * base.stats.ipc());
+        // The DRC actually worked.
+        let drc = vcfr.stats.drc.expect("vcfr mode records DRC stats");
+        assert!(drc.lookups > 0);
+    }
+
+    #[test]
+    fn drc_size_monotonicity() {
+        // A call-heavy workload with many distinct sites.
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 300);
+        let top = a.here();
+        for i in 0..40 {
+            a.call_named(&format!("f{i}"));
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        for i in 0..40 {
+            a.func(&format!("f{i}"));
+            a.alu_ri(AluOp::Add, Reg::Rax, 1);
+            a.ret();
+        }
+        let img = a.finish().unwrap();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(2)).unwrap();
+        let cfg = SimConfig::default();
+        let small = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(16) },
+            &cfg,
+            1_000_000,
+        )
+        .unwrap();
+        let large = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(512) },
+            &cfg,
+            1_000_000,
+        )
+        .unwrap();
+        let ms = small.stats.drc.unwrap().miss_rate();
+        let ml = large.stats.drc.unwrap().miss_rate();
+        assert!(ms > ml, "16-entry miss rate {ms} should exceed 512-entry {ml}");
+        assert!(large.stats.ipc() >= small.stats.ipc());
+    }
+
+    #[test]
+    fn truncation_at_max_insts() {
+        let img = workload();
+        let out = simulate(Mode::Baseline(&img), &SimConfig::default(), 100).unwrap();
+        assert_eq!(out.stats.instructions, 100);
+    }
+
+    #[test]
+    fn branch_predictor_learns_the_loop() {
+        // A long-running tight loop: the single conditional branch must
+        // become near-perfectly predicted.
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 20_000);
+        let top = a.here();
+        a.call_named("leaf");
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        a.func("leaf");
+        a.ret();
+        let img = a.finish().unwrap();
+        let out = simulate(Mode::Baseline(&img), &SimConfig::default(), 1_000_000).unwrap();
+        assert!(out.stats.branch.mispredict_rate() < 0.01);
+        assert!(out.stats.branch.ras_mispredictions < 10);
+    }
+
+    #[test]
+    fn sampled_simulation_partitions_the_run() {
+        let img = workload();
+        let (out, samples) =
+            simulate_sampled(Mode::Baseline(&img), &SimConfig::default(), 1_000_000, 10_000)
+                .unwrap();
+        assert!(!samples.is_empty());
+        let total_insts: u64 = samples.iter().map(|s| s.instructions).sum();
+        assert_eq!(total_insts, out.stats.instructions);
+        let total_cycles: u64 = samples.iter().map(|s| s.cycles).sum();
+        // Interval cycles tile the run (up to the max(fetch, backend)
+        // slack in the final snapshot).
+        assert!(total_cycles <= out.stats.cycles + samples.len() as u64);
+        for s in &samples {
+            assert!(s.ipc > 0.0 && s.ipc <= 1.0 + 1e-9);
+            assert!((0.0..=1.0).contains(&s.il1_miss_rate));
+        }
+    }
+
+    #[test]
+    fn exec_fault_propagates() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 1);
+        a.mov_ri(Reg::Rbx, 0);
+        a.alu_rr(AluOp::Div, Reg::Rax, Reg::Rbx);
+        a.halt();
+        let img = a.finish().unwrap();
+        let err = simulate(Mode::Baseline(&img), &SimConfig::default(), 100).unwrap_err();
+        assert!(matches!(err, SimError::Exec(ExecError::DivideByZero { .. })));
+    }
+}

@@ -1,0 +1,458 @@
+//! Multi-core demonstration (§IV-D): "since our approach only randomizes
+//! instruction address space, which contains read-only data, it can be
+//! applied to multi-core or multi-processor based systems with ease."
+//!
+//! Two (or more) cores, each with private L1s/TLBs/predictors/DRC, share
+//! the unified L2 and DRAM — including the randomization-table walks, so
+//! table traffic from one core competes with the other core's code and
+//! data exactly as the single-core design's shared-L2 argument implies.
+//!
+//! Cores are advanced by a global event loop that always steps the core
+//! with the smallest local backend time, so shared-resource state (L2
+//! contents, DRAM bank timing) is touched in approximately global time
+//! order.
+
+use crate::cache::Cache;
+use crate::config::{DrcBacking, SimConfig};
+use crate::dram::Dram;
+use crate::engine::{exec_extra_cycles, Mode, SimError};
+use crate::predict::{BranchStats, Btb, Gshare, Ras};
+use crate::stats::SimStats;
+use crate::tlb::Tlb;
+use vcfr_core::{Drc, OrigAddr, RandAddr};
+use vcfr_isa::{Addr, ControlFlow, Machine, StepInfo};
+use vcfr_rewriter::RandomizedProgram;
+
+/// Per-core results of a multi-core run.
+#[derive(Clone, Debug)]
+pub struct MultiCoreOutput {
+    /// Statistics per core (L2/DRAM counters are shared and reported in
+    /// [`MultiCoreOutput::shared_l2`]).
+    pub per_core: Vec<SimStats>,
+    /// The shared L2's counters.
+    pub shared_l2: crate::cache::CacheStats,
+    /// Wall-clock cycles (the slowest core's finish time).
+    pub cycles: u64,
+}
+
+struct Shared {
+    l2: Cache,
+    dram: Dram,
+}
+
+impl Shared {
+    fn access(&mut self, addr: Addr, now: u64, l2_latency: u64) -> u64 {
+        let r = self.l2.access(addr, false);
+        if r.hit {
+            l2_latency
+        } else {
+            let done = self.dram.access(addr, now + l2_latency);
+            done - now
+        }
+    }
+}
+
+struct Core<'a> {
+    machine: Machine,
+    rp: Option<&'a RandomizedProgram>,
+    naive: bool,
+    il1: Cache,
+    dl1: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    gshare: Gshare,
+    btb: Btb,
+    ras: Ras,
+    bstats: BranchStats,
+    drc: Option<Drc>,
+    fetch_time: u64,
+    backend_time: u64,
+    redirect_at: u64,
+    window_line: Option<Addr>,
+    instructions: u64,
+    fetch_stall: u64,
+    load_stall: u64,
+    drc_walk: u64,
+    done: bool,
+}
+
+impl<'a> Core<'a> {
+    fn new(cfg: &SimConfig, mode: &Mode<'a>) -> Core<'a> {
+        let (machine, rp, naive, drc) = match mode {
+            Mode::Baseline(img) => (Machine::new(img), None, false, None),
+            Mode::NaiveIlr(rp) => (Machine::new(&rp.original), Some(*rp), true, None),
+            Mode::Vcfr { program, drc } => {
+                (Machine::new(&program.original), Some(*program), false, Some(Drc::new(*drc)))
+            }
+        };
+        Core {
+            machine,
+            rp,
+            naive,
+            il1: Cache::new(cfg.il1),
+            dl1: Cache::new(cfg.dl1),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            gshare: Gshare::new(cfg.gshare),
+            btb: Btb::new(cfg.btb),
+            ras: Ras::new(cfg.ras_entries),
+            bstats: BranchStats::default(),
+            drc,
+            fetch_time: 0,
+            backend_time: 0,
+            redirect_at: 0,
+            window_line: None,
+            instructions: 0,
+            fetch_stall: 0,
+            load_stall: 0,
+            drc_walk: 0,
+            done: false,
+        }
+    }
+
+    fn fetch_addr(&self, pc: Addr) -> Addr {
+        match (self.naive, self.rp) {
+            (true, Some(rp)) => rp.rand_or_orig(pc),
+            _ => pc,
+        }
+    }
+
+    fn key(&self, a: Addr) -> Addr {
+        match (self.naive, self.rp) {
+            (true, Some(rp)) => rp.rand_or_orig(a),
+            _ => a,
+        }
+    }
+
+    fn derand_walk(
+        &mut self,
+        target: Addr,
+        shared: &mut Shared,
+        cfg: &SimConfig,
+        now: u64,
+    ) -> u64 {
+        let (Some(drc), Some(rp)) = (self.drc.as_mut(), self.rp) else { return 0 };
+        let rand = rp.rand_or_orig(target);
+        match drc.derandomize(RandAddr(rand), &rp.table) {
+            Ok(l) if !l.hit => {
+                let w = match cfg.drc_backing {
+                    DrcBacking::SharedL2 => shared.access(l.entry_addr, now, cfg.l2.latency),
+                    DrcBacking::Dedicated { latency } => latency,
+                };
+                self.drc_walk += w;
+                w
+            }
+            _ => 0,
+        }
+    }
+
+    /// Steps one instruction; returns `Err` on an architectural fault.
+    fn step(&mut self, shared: &mut Shared, cfg: &SimConfig) -> Result<(), SimError> {
+        let Some(info) = self.machine.step()? else {
+            self.done = true;
+            return Ok(());
+        };
+        let info: StepInfo = info;
+        self.instructions += 1;
+
+        // ---- fetch ----------------------------------------------------
+        let fetch_pc = self.fetch_addr(info.pc);
+        let start = self.fetch_time.max(self.redirect_at);
+        let line_bytes = cfg.il1.line_bytes as Addr;
+        let first = fetch_pc & !(line_bytes - 1);
+        let last = (fetch_pc + info.len as Addr - 1) & !(line_bytes - 1);
+        let mut stall = 0;
+        let mut line = first;
+        loop {
+            if self.window_line != Some(line) {
+                if !self.itlb.access(line, true) {
+                    stall += cfg.tlb_walk_cycles;
+                }
+                let r = self.il1.access(line, false);
+                if !r.hit {
+                    stall += shared.access(line, start, cfg.l2.latency);
+                }
+                self.window_line = Some(line);
+            }
+            if line == last {
+                break;
+            }
+            line += line_bytes;
+        }
+        let fetch_done = start + 1 + stall;
+        self.fetch_stall += stall;
+        self.fetch_time = fetch_done;
+
+        // ---- backend --------------------------------------------------
+        let exec_start = (self.backend_time + 1).max(fetch_done + 3);
+        let mut exec_end = exec_start + exec_extra_cycles(&info.inst);
+        for acc in info.mem_accesses() {
+            if !self.dtlb.access(acc.addr, true) {
+                exec_end += cfg.tlb_walk_cycles;
+            }
+            let r = self.dl1.access(acc.addr, acc.write);
+            if !r.hit && !acc.write {
+                let l = shared.access(acc.addr, exec_start, cfg.l2.latency);
+                self.load_stall += l;
+                exec_end += l;
+            }
+        }
+        // ---- VCFR call-side randomization lookup ------------------------
+        if let (Some(rp), Some(_)) = (self.rp, self.drc.as_ref()) {
+            if !self.naive {
+                if let Some(
+                    ControlFlow::Call { ret_addr, .. } | ControlFlow::IndirectCall { ret_addr, .. },
+                ) = info.control
+                {
+                    let drc = self.drc.as_mut().expect("checked");
+                    if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
+                        if !l.hit {
+                            let w = match cfg.drc_backing {
+                                DrcBacking::SharedL2 => {
+                                    shared.access(l.entry_addr, exec_start, cfg.l2.latency)
+                                }
+                                DrcBacking::Dedicated { latency } => latency,
+                            };
+                            self.drc_walk += w;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- control flow -----------------------------------------------
+        if let Some(cf) = info.control {
+            let kpc = self.key(info.pc);
+            let vcfr_active = self.drc.is_some() && !self.naive;
+            match cf {
+                ControlFlow::Branch { taken, target } => {
+                    self.bstats.predictions += 1;
+                    let predicted = self.gshare.predict(kpc);
+                    self.gshare.update(kpc, taken);
+                    if predicted != taken {
+                        self.bstats.mispredictions += 1;
+                        let w = if taken && vcfr_active {
+                            self.derand_walk(target, shared, cfg, exec_end)
+                        } else {
+                            0
+                        };
+                        self.redirect_at =
+                            self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
+                    }
+                }
+                ControlFlow::Jump { target }
+                | ControlFlow::Call { target, .. } => {
+                    let ktarget = self.key(target);
+                    self.bstats.btb_lookups += 1;
+                    if self.btb.lookup(kpc) != Some(ktarget) {
+                        self.bstats.btb_misses += 1;
+                        let w = if vcfr_active {
+                            self.derand_walk(target, shared, cfg, exec_end)
+                        } else {
+                            0
+                        };
+                        self.redirect_at =
+                            self.redirect_at.max(fetch_done + cfg.btb_miss_penalty + w);
+                        self.btb.update(kpc, ktarget);
+                    }
+                    if let ControlFlow::Call { ret_addr, .. } = cf {
+                        self.ras.push(self.key(ret_addr));
+                    }
+                }
+                ControlFlow::IndirectJump { target }
+                | ControlFlow::IndirectCall { target, .. } => {
+                    let ktarget = self.key(target);
+                    self.bstats.btb_lookups += 1;
+                    let w = if vcfr_active {
+                        self.derand_walk(target, shared, cfg, exec_end)
+                    } else {
+                        0
+                    };
+                    if self.btb.lookup(kpc) != Some(ktarget) {
+                        self.bstats.btb_misses += 1;
+                        self.redirect_at =
+                            self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
+                        self.btb.update(kpc, ktarget);
+                    }
+                    if let ControlFlow::IndirectCall { ret_addr, .. } = cf {
+                        self.ras.push(self.key(ret_addr));
+                    }
+                }
+                ControlFlow::Return { target } => {
+                    self.bstats.ras_predictions += 1;
+                    let w = if vcfr_active {
+                        self.derand_walk(target, shared, cfg, exec_end)
+                    } else {
+                        0
+                    };
+                    match self.ras.pop() {
+                        Some(p) if p == self.key(target) => {}
+                        _ => {
+                            self.bstats.ras_mispredictions += 1;
+                            self.redirect_at =
+                                self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
+                        }
+                    }
+                }
+            }
+            if cf.taken_target().is_some() {
+                self.window_line = None;
+            }
+        }
+        self.backend_time = exec_end;
+        Ok(())
+    }
+
+    fn stats(&self) -> SimStats {
+        SimStats {
+            instructions: self.instructions,
+            cycles: self.backend_time.max(self.fetch_time),
+            il1: self.il1.stats(),
+            dl1: self.dl1.stats(),
+            itlb: self.itlb.stats(),
+            dtlb: self.dtlb.stats(),
+            branch: self.bstats,
+            drc: self.drc.as_ref().map(|d| d.stats()),
+            drc_walk_cycles: self.drc_walk,
+            fetch_stall_cycles: self.fetch_stall,
+            load_stall_cycles: self.load_stall,
+            ..SimStats::default()
+        }
+    }
+}
+
+/// Runs several programs concurrently on private cores over a shared
+/// L2 + DRAM, up to `max_insts` instructions per core.
+///
+/// # Errors
+///
+/// Returns [`SimError::Exec`] if any core's program faults.
+///
+/// # Example
+///
+/// See the `multicore` integration tests.
+pub fn simulate_multicore(
+    modes: &[Mode<'_>],
+    cfg: &SimConfig,
+    max_insts: u64,
+) -> Result<MultiCoreOutput, SimError> {
+    let mut shared = Shared { l2: Cache::new(cfg.l2), dram: Dram::new(cfg.dram) };
+    let mut cores: Vec<Core<'_>> = modes.iter().map(|m| Core::new(cfg, m)).collect();
+
+    loop {
+        // Advance the live core with the smallest local time.
+        let next = cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done && c.instructions < max_insts)
+            .min_by_key(|(_, c)| c.backend_time)
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+        cores[i].step(&mut shared, cfg)?;
+    }
+
+    let per_core: Vec<SimStats> = cores.iter().map(Core::stats).collect();
+    let cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+    Ok(MultiCoreOutput { per_core, shared_l2: shared.l2.stats(), cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcfr_core::DrcConfig;
+    use vcfr_rewriter::{randomize, RandomizeConfig};
+
+    fn program() -> vcfr_isa::Image {
+        vcfr_workloads_stub()
+    }
+
+    // A local stand-in so this crate does not depend on vcfr-workloads:
+    // a call-heavy loop with data accesses.
+    fn vcfr_workloads_stub() -> vcfr_isa::Image {
+        use vcfr_isa::{AluOp, Asm, Cond, Reg};
+        let mut a = Asm::new(0x1000);
+        let buf = a.data_zeroed(4096);
+        a.mov_ri(Reg::Rbx, buf.0 as i64);
+        a.mov_ri(Reg::Rcx, 2_000);
+        let top = a.here();
+        a.call_named("work");
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.emit_output(Reg::Rax);
+        a.halt();
+        a.func("work");
+        a.load(Reg::Rax, Reg::Rbx, 0);
+        a.alu_ri(AluOp::Add, Reg::Rax, 1);
+        a.store(Reg::Rbx, 0, Reg::Rax);
+        a.ret();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn two_baseline_cores_both_finish_correctly() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let out = simulate_multicore(
+            &[Mode::Baseline(&img), Mode::Baseline(&img)],
+            &cfg,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(out.per_core.len(), 2);
+        for s in &out.per_core {
+            assert!(s.instructions > 10_000);
+            assert!(s.ipc() > 0.5);
+        }
+        assert!(out.shared_l2.accesses > 0);
+    }
+
+    #[test]
+    fn two_vcfr_cores_share_the_l2_with_small_overhead() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let rp1 = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let rp2 = randomize(&img, &RandomizeConfig::with_seed(2)).unwrap();
+        let solo = simulate_multicore(
+            &[Mode::Baseline(&img), Mode::Baseline(&img)],
+            &cfg,
+            500_000,
+        )
+        .unwrap();
+        let vcfr = simulate_multicore(
+            &[
+                Mode::Vcfr { program: &rp1, drc: DrcConfig::direct_mapped(128) },
+                Mode::Vcfr { program: &rp2, drc: DrcConfig::direct_mapped(128) },
+            ],
+            &cfg,
+            500_000,
+        )
+        .unwrap();
+        for (b, v) in solo.per_core.iter().zip(&vcfr.per_core) {
+            assert!(
+                v.ipc() > 0.9 * b.ipc(),
+                "vcfr core too slow: {} vs {}",
+                v.ipc(),
+                b.ipc()
+            );
+            assert!(v.drc.unwrap().lookups > 0);
+        }
+    }
+
+    #[test]
+    fn cores_can_run_different_modes() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(3)).unwrap();
+        let out = simulate_multicore(
+            &[Mode::Baseline(&img), Mode::NaiveIlr(&rp)],
+            &cfg,
+            200_000,
+        )
+        .unwrap();
+        // The naive core suffers; the baseline core shares the L2 but
+        // keeps most of its performance.
+        assert!(out.per_core[1].ipc() <= out.per_core[0].ipc());
+        assert!(out.cycles >= out.per_core[0].cycles);
+    }
+}

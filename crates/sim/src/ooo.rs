@@ -1,0 +1,603 @@
+//! Out-of-order superscalar extension — the paper's §IX future work
+//! ("we will explore and extend the idea to the out-of-order superscalar
+//! processor").
+//!
+//! A trace-driven dataflow model: instructions dispatch in order at up to
+//! `width` per cycle into a `rob_entries`-deep window, issue when their
+//! register/flag/memory-order dependences are satisfied (execution
+//! resources are idealised — a standard limit-study simplification,
+//! stated here so the numbers are read correctly), and commit in order at
+//! up to `width` per cycle. The front end, memory hierarchy, predictors
+//! and the VCFR/DRC mediation layer are the same components the in-order
+//! model uses, so the three machines (baseline / naive ILR / VCFR) remain
+//! directly comparable.
+
+use crate::config::{DrcBacking, SimConfig};
+use crate::hierarchy::MemoryHierarchy;
+use crate::predict::{BranchStats, Btb, Gshare, Ras};
+use crate::stats::SimStats;
+use crate::engine::{Mode, SimError, SimOutput};
+use std::collections::VecDeque;
+use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr};
+use vcfr_isa::{Addr, ControlFlow, Machine, Reg, RunOutcome, StepInfo};
+use vcfr_rewriter::RandomizedProgram;
+
+/// Geometry of the out-of-order core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OooConfig {
+    /// Fetch/dispatch/commit width (instructions per cycle).
+    pub width: usize,
+    /// Reorder-buffer depth.
+    pub rob_entries: usize,
+}
+
+impl Default for OooConfig {
+    fn default() -> OooConfig {
+        OooConfig { width: 4, rob_entries: 128 }
+    }
+}
+
+/// Pipeline depth between fetch and dispatch.
+const DECODE_DEPTH: u64 = 4;
+/// Depth between the last execution cycle and retirement.
+const COMMIT_DEPTH: u64 = 2;
+
+struct OooEngine<'a> {
+    cfg: &'a SimConfig,
+    ooo: OooConfig,
+    hier: MemoryHierarchy,
+    gshare: Gshare,
+    btb: Btb,
+    ras: Ras,
+    bstats: BranchStats,
+    // Front end.
+    fetch_cycle: u64,
+    fetch_slots: usize,
+    redirect_at: u64,
+    window_line: Option<Addr>,
+    // Dataflow state.
+    reg_ready: [u64; 16],
+    flags_ready: u64,
+    last_store_done: u64,
+    // In-order retire bookkeeping.
+    rob: VecDeque<u64>,
+    lsq: VecDeque<u64>,
+    commit_cycle: u64,
+    commit_slots: usize,
+    last_retire: u64,
+    // VCFR.
+    drc: Option<Drc>,
+    drc_walk: u64,
+    fetch_stall: u64,
+    load_stall: u64,
+    instructions: u64,
+}
+
+impl<'a> OooEngine<'a> {
+    fn new(cfg: &'a SimConfig, ooo: OooConfig, drc: Option<DrcConfig>) -> OooEngine<'a> {
+        OooEngine {
+            cfg,
+            ooo,
+            hier: MemoryHierarchy::new(cfg),
+            gshare: Gshare::new(cfg.gshare),
+            btb: Btb::new(cfg.btb),
+            ras: Ras::new(cfg.ras_entries),
+            bstats: BranchStats::default(),
+            fetch_cycle: 0,
+            fetch_slots: 0,
+            redirect_at: 0,
+            window_line: None,
+            reg_ready: [0; 16],
+            flags_ready: 0,
+            last_store_done: 0,
+            rob: VecDeque::new(),
+            lsq: VecDeque::new(),
+            commit_cycle: 0,
+            commit_slots: 0,
+            last_retire: 0,
+            drc: drc.map(Drc::new),
+            drc_walk: 0,
+            fetch_stall: 0,
+            load_stall: 0,
+            instructions: 0,
+        }
+    }
+
+    fn walk(&mut self, entry_addr: Addr, now: u64) -> u64 {
+        match self.cfg.drc_backing {
+            DrcBacking::SharedL2 => self.hier.table_walk(entry_addr, now),
+            DrcBacking::Dedicated { latency } => latency,
+        }
+    }
+
+    fn derand(&mut self, target: Addr, rp: &RandomizedProgram, now: u64) -> u64 {
+        let drc = self.drc.as_mut().expect("vcfr has a DRC");
+        let rand = rp.rand_or_orig(target);
+        match drc.derandomize(RandAddr(rand), &rp.table) {
+            Ok(l) if !l.hit => {
+                let w = self.walk(l.entry_addr, now);
+                self.drc_walk += w;
+                w
+            }
+            _ => 0,
+        }
+    }
+
+    fn step(
+        &mut self,
+        info: &StepInfo,
+        fetch_pc: Addr,
+        key: &impl Fn(Addr) -> Addr,
+        vcfr: Option<&RandomizedProgram>,
+    ) {
+        self.instructions += 1;
+        let cfg = self.cfg;
+
+        // ---- fetch (width per cycle, same byte-queue/line model) -------
+        if self.redirect_at > self.fetch_cycle {
+            self.fetch_cycle = self.redirect_at;
+            self.fetch_slots = 0;
+        }
+        let line_bytes = cfg.il1.line_bytes as Addr;
+        let first = fetch_pc & !(line_bytes - 1);
+        let last = (fetch_pc + info.len as Addr - 1) & !(line_bytes - 1);
+        let mut stall = 0;
+        let mut line = first;
+        loop {
+            if self.window_line != Some(line) {
+                stall += self.hier.fetch_line(line, self.fetch_cycle);
+                self.window_line = Some(line);
+            }
+            if line == last {
+                break;
+            }
+            line += line_bytes;
+        }
+        if stall > 0 {
+            self.fetch_cycle += stall;
+            self.fetch_slots = 0;
+            self.fetch_stall += stall;
+        }
+        let fetch_done = self.fetch_cycle;
+        self.fetch_slots += 1;
+        if self.fetch_slots >= self.ooo.width {
+            self.fetch_cycle += 1;
+            self.fetch_slots = 0;
+        }
+
+        // ---- dispatch: in order, ROB-limited -----------------------------
+        let mut dispatch = fetch_done + DECODE_DEPTH;
+        if self.rob.len() >= self.ooo.rob_entries {
+            if let Some(oldest_retire) = self.rob.pop_front() {
+                dispatch = dispatch.max(oldest_retire);
+            }
+        }
+
+        // ---- issue: dataflow ---------------------------------------------
+        let mut ready = dispatch;
+        for r in info.inst.reads().iter() {
+            ready = ready.max(self.reg_ready[r.index()]);
+        }
+        if info.inst.reads_flags() {
+            ready = ready.max(self.flags_ready);
+        }
+        // Conservative memory ordering: loads wait for the youngest older
+        // store, stores serialise behind each other.
+        let is_load = info.mem_accesses().any(|a| !a.write);
+        let is_store = info.mem_accesses().any(|a| a.write);
+        if is_load || is_store {
+            ready = ready.max(self.last_store_done);
+            // LSQ capacity: a memory op cannot enter until the oldest
+            // in-flight one completes when the queue is full.
+            if self.lsq.len() >= self.cfg.lsq_entries {
+                if let Some(oldest) = self.lsq.pop_front() {
+                    ready = ready.max(oldest);
+                }
+            }
+        }
+
+        let mut lat = 1 + crate::engine::exec_extra_cycles(&info.inst);
+        for acc in info.mem_accesses() {
+            let l = self.hier.data_access(acc.addr, acc.write, ready);
+            self.load_stall += l;
+            if !acc.write {
+                lat += l;
+            }
+        }
+        let mut exec_done = ready + lat;
+
+        // ---- VCFR mediation ------------------------------------------------
+        if let Some(rp) = vcfr {
+            match info.control {
+                Some(ControlFlow::Call { ret_addr, .. })
+                | Some(ControlFlow::IndirectCall { ret_addr, .. }) => {
+                    let drc = self.drc.as_mut().expect("vcfr has a DRC");
+                    if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
+                        if !l.hit {
+                            let w = self.walk(l.entry_addr, ready);
+                            self.drc_walk += w;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // ---- control flow ----------------------------------------------------
+        if let Some(cf) = info.control {
+            let kpc = key(info.pc);
+            match cf {
+                ControlFlow::Branch { taken, target } => {
+                    self.bstats.predictions += 1;
+                    let predicted = self.gshare.predict(kpc);
+                    self.gshare.update(kpc, taken);
+                    if predicted != taken {
+                        self.bstats.mispredictions += 1;
+                        let w = match (taken, vcfr) {
+                            (true, Some(rp)) => self.derand(target, rp, exec_done),
+                            _ => 0,
+                        };
+                        self.redirect_at =
+                            self.redirect_at.max(exec_done + cfg.mispredict_penalty + w);
+                    } else if taken {
+                        self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                    }
+                }
+                ControlFlow::Jump { target } => {
+                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                }
+                ControlFlow::Call { target, ret_addr } => {
+                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                    self.ras.push(key(ret_addr));
+                }
+                ControlFlow::IndirectCall { target, ret_addr } => {
+                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done);
+                    self.ras.push(key(ret_addr));
+                }
+                ControlFlow::IndirectJump { target } => {
+                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done);
+                }
+                ControlFlow::Return { target } => {
+                    self.bstats.ras_predictions += 1;
+                    let w = match vcfr {
+                        Some(rp) => self.derand(target, rp, exec_done),
+                        None => 0,
+                    };
+                    match self.ras.pop() {
+                        Some(p) if p == key(target) => {}
+                        _ => {
+                            self.bstats.ras_mispredictions += 1;
+                            self.redirect_at =
+                                self.redirect_at.max(exec_done + cfg.mispredict_penalty + w);
+                        }
+                    }
+                }
+            }
+            if cf.taken_target().is_some() {
+                self.window_line = None;
+            }
+            // A resolved transfer pins the dataflow: younger instructions
+            // were fetched after the redirect anyway.
+            exec_done = exec_done.max(ready + 1);
+        }
+
+        // ---- writeback ----------------------------------------------------
+        for r in info.inst.writes().iter() {
+            // Stack-pointer updates are cheap renames in real cores: they
+            // complete at dispatch, not after the memory access.
+            let done = if r == Reg::Rsp { ready + 1 } else { exec_done };
+            self.reg_ready[r.index()] = self.reg_ready[r.index()].max(done);
+        }
+        if info.inst.writes_flags() {
+            self.flags_ready = self.flags_ready.max(exec_done);
+        }
+        if is_store {
+            self.last_store_done = self.last_store_done.max(exec_done);
+        }
+        if is_load || is_store {
+            self.lsq.push_back(exec_done);
+        }
+
+        // ---- in-order commit, width per cycle ------------------------------
+        let mut retire = (exec_done + COMMIT_DEPTH).max(self.last_retire);
+        if retire > self.commit_cycle {
+            self.commit_cycle = retire;
+            self.commit_slots = 0;
+        }
+        self.commit_slots += 1;
+        if self.commit_slots >= self.ooo.width {
+            self.commit_cycle += 1;
+            self.commit_slots = 0;
+        }
+        retire = retire.max(self.commit_cycle);
+        self.last_retire = retire;
+        self.rob.push_back(retire);
+    }
+
+    fn taken_lookup(
+        &mut self,
+        kpc: Addr,
+        ktarget: Addr,
+        target: Addr,
+        vcfr: Option<&RandomizedProgram>,
+        fetch_done: u64,
+        exec_done: u64,
+    ) {
+        self.bstats.btb_lookups += 1;
+        match self.btb.lookup(kpc) {
+            Some(t) if t == ktarget => {}
+            found => {
+                if found.is_none() {
+                    self.bstats.btb_misses += 1;
+                } else {
+                    self.bstats.btb_wrong_target += 1;
+                }
+                let w = match vcfr {
+                    Some(rp) => self.derand(target, rp, exec_done),
+                    None => 0,
+                };
+                self.redirect_at =
+                    self.redirect_at.max(fetch_done + self.cfg.btb_miss_penalty + w);
+                self.btb.update(kpc, ktarget);
+            }
+        }
+    }
+
+    fn indirect_lookup(
+        &mut self,
+        kpc: Addr,
+        ktarget: Addr,
+        target: Addr,
+        vcfr: Option<&RandomizedProgram>,
+        exec_done: u64,
+    ) {
+        self.bstats.btb_lookups += 1;
+        let w = match vcfr {
+            Some(rp) => self.derand(target, rp, exec_done),
+            None => 0,
+        };
+        match self.btb.lookup(kpc) {
+            Some(t) if t == ktarget => {}
+            found => {
+                if found.is_none() {
+                    self.bstats.btb_misses += 1;
+                } else {
+                    self.bstats.btb_wrong_target += 1;
+                }
+                self.redirect_at =
+                    self.redirect_at.max(exec_done + self.cfg.mispredict_penalty + w);
+                self.btb.update(kpc, ktarget);
+            }
+        }
+    }
+
+    fn into_stats(self) -> SimStats {
+        SimStats {
+            instructions: self.instructions,
+            cycles: self.last_retire.max(self.fetch_cycle),
+            il1: self.hier.il1.stats(),
+            dl1: self.hier.dl1.stats(),
+            l2: self.hier.l2.stats(),
+            itlb: self.hier.itlb.stats(),
+            dtlb: self.hier.dtlb.stats(),
+            dram: self.hier.dram.stats(),
+            branch: self.bstats,
+            drc: self.drc.as_ref().map(|d| d.stats()),
+            drc_walk_cycles: self.drc_walk,
+            fetch_stall_cycles: self.fetch_stall,
+            load_stall_cycles: self.load_stall,
+            redirect_stall_cycles: 0,
+            l2_reads_from_l1: self.hier.l2_reads_from_l1,
+        }
+    }
+}
+
+/// Runs one program on the out-of-order core model.
+///
+/// # Errors
+///
+/// Returns [`SimError::Exec`] when the program faults architecturally.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Reg};
+/// use vcfr_sim::{simulate, simulate_ooo, Mode, OooConfig, SimConfig};
+///
+/// let mut a = Asm::new(0x1000);
+/// for i in 0..64 {
+///     a.mov_ri(vcfr_isa::ALL_REGS[(i % 8) + 8], i as i64); // independent work
+/// }
+/// a.halt();
+/// let img = a.finish().unwrap();
+/// let cfg = SimConfig::default();
+/// let scalar = simulate(Mode::Baseline(&img), &cfg, 1_000).unwrap();
+/// let wide = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 1_000).unwrap();
+/// assert!(wide.stats.ipc() > scalar.stats.ipc());
+/// ```
+pub fn simulate_ooo(
+    mode: Mode<'_>,
+    cfg: &SimConfig,
+    ooo: OooConfig,
+    max_insts: u64,
+) -> Result<SimOutput, SimError> {
+    let image = mode.image_ref();
+    let mut machine = Machine::new(image);
+    let drc_cfg = match &mode {
+        Mode::Vcfr { drc, .. } => Some(*drc),
+        _ => None,
+    };
+    let mut engine = OooEngine::new(cfg, ooo, drc_cfg);
+
+    let identity = |a: Addr| a;
+    let outcome = loop {
+        if engine.instructions >= max_insts {
+            break RunOutcome {
+                output: machine.output().to_vec(),
+                steps: machine.steps(),
+                stop: machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
+            };
+        }
+        let Some(info) = machine.step()? else {
+            break RunOutcome {
+                output: machine.output().to_vec(),
+                steps: machine.steps(),
+                stop: machine.stop_reason().expect("stopped machine has a reason"),
+            };
+        };
+        match &mode {
+            Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
+            Mode::NaiveIlr(rp) => {
+                let key = |a: Addr| rp.rand_or_orig(a);
+                engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
+            }
+            Mode::Vcfr { program, .. } => {
+                engine.step(&info, info.pc, &identity, Some(program));
+            }
+        }
+    };
+
+    Ok(SimOutput { stats: engine.into_stats(), outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use vcfr_isa::{AluOp, Asm, Cond, Image, Reg};
+    use vcfr_rewriter::{randomize, RandomizeConfig};
+
+    /// Independent parallel work: an OoO core must beat the scalar core.
+    fn ilp_workload() -> Image {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 2_000);
+        let top = a.here();
+        // Eight independent chains per iteration.
+        for r in [Reg::Rax, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11]
+        {
+            a.alu_ri(AluOp::Add, r, 3);
+            a.alu_ri(AluOp::Xor, r, 0x55);
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// A single serial dependence chain: OoO gains nothing.
+    fn serial_workload() -> Image {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 2_000);
+        let top = a.here();
+        for _ in 0..8 {
+            a.alu_ri(AluOp::Add, Reg::Rax, 3);
+            a.alu_ri(AluOp::Mul, Reg::Rax, 3);
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn ooo_exploits_ilp() {
+        let img = ilp_workload();
+        let cfg = SimConfig::default();
+        let scalar = simulate(Mode::Baseline(&img), &cfg, 1_000_000).unwrap();
+        let wide = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 1_000_000)
+            .unwrap();
+        assert!(
+            wide.stats.ipc() > 1.8 * scalar.stats.ipc(),
+            "ooo {} vs scalar {}",
+            wide.stats.ipc(),
+            scalar.stats.ipc()
+        );
+        assert!(wide.stats.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn serial_chains_cap_ooo_gains() {
+        let img = serial_workload();
+        let cfg = SimConfig::default();
+        let wide = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 1_000_000)
+            .unwrap();
+        // The mul-latency chain limits IPC well below width.
+        assert!(wide.stats.ipc() < 1.5, "ipc {}", wide.stats.ipc());
+    }
+
+    #[test]
+    fn width_one_ooo_tracks_the_inorder_core() {
+        let img = ilp_workload();
+        let cfg = SimConfig::default();
+        let narrow = simulate_ooo(
+            Mode::Baseline(&img),
+            &cfg,
+            OooConfig { width: 1, rob_entries: 128 },
+            1_000_000,
+        )
+        .unwrap();
+        // Width-1 caps at IPC 1 regardless of ILP.
+        assert!(narrow.stats.ipc() <= 1.0 + 1e-9);
+        assert!(narrow.stats.ipc() > 0.5);
+    }
+
+    #[test]
+    fn vcfr_overhead_stays_small_on_the_ooo_core() {
+        let img = ilp_workload();
+        let cfg = SimConfig::default();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let base = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 1_000_000)
+            .unwrap();
+        let naive =
+            simulate_ooo(Mode::NaiveIlr(&rp), &cfg, OooConfig::default(), 1_000_000).unwrap();
+        let vcfr = simulate_ooo(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            OooConfig::default(),
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(base.outcome.output, vcfr.outcome.output);
+        assert!(vcfr.stats.ipc() > 0.85 * base.stats.ipc());
+        assert!(vcfr.stats.ipc() >= naive.stats.ipc());
+    }
+
+    #[test]
+    fn rob_depth_matters_under_memory_latency() {
+        // Pointer-chase-ish loads: a deeper window overlaps more misses.
+        let mut a = Asm::new(0x1000);
+        let buf = a.data_zeroed(1 << 16);
+        a.mov_ri(Reg::Rbx, buf.0 as i64);
+        a.mov_ri(Reg::Rcx, 3_000);
+        a.mov_ri(Reg::Rdx, 0);
+        let top = a.here();
+        // Two independent strided loads per iteration.
+        a.load_idx(Reg::Rax, Reg::Rbx, Reg::Rdx, 3, 0);
+        a.load_idx(Reg::R8, Reg::Rbx, Reg::Rdx, 3, 8 * 1024);
+        a.alu_ri(AluOp::Add, Reg::Rdx, 17);
+        a.alu_ri(AluOp::And, Reg::Rdx, 0xfff);
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        let img = a.finish().unwrap();
+        let cfg = SimConfig::default();
+        let shallow = simulate_ooo(
+            Mode::Baseline(&img),
+            &cfg,
+            OooConfig { width: 4, rob_entries: 4 },
+            1_000_000,
+        )
+        .unwrap();
+        let deep = simulate_ooo(
+            Mode::Baseline(&img),
+            &cfg,
+            OooConfig { width: 4, rob_entries: 256 },
+            1_000_000,
+        )
+        .unwrap();
+        assert!(deep.stats.ipc() >= shallow.stats.ipc());
+    }
+}

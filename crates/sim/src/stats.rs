@@ -1,0 +1,75 @@
+//! Aggregate statistics of one simulation.
+
+use crate::cache::CacheStats;
+use crate::dram::DramStats;
+use crate::predict::BranchStats;
+use crate::tlb::TlbStats;
+use vcfr_core::DrcStats;
+
+/// Everything measured during one run of the cycle simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// L1 instruction cache counters.
+    pub il1: CacheStats,
+    /// L1 data cache counters.
+    pub dl1: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Instruction TLB counters.
+    pub itlb: TlbStats,
+    /// Data TLB counters.
+    pub dtlb: TlbStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Branch prediction counters.
+    pub branch: BranchStats,
+    /// DRC counters (only in VCFR mode).
+    pub drc: Option<DrcStats>,
+    /// Cycles spent walking the in-memory translation tables on DRC
+    /// misses.
+    pub drc_walk_cycles: u64,
+    /// Cycles the frontend stalled on instruction fetch (IL1 misses,
+    /// iTLB walks).
+    pub fetch_stall_cycles: u64,
+    /// Cycles the backend stalled on data accesses.
+    pub load_stall_cycles: u64,
+    /// Cycles lost to control-flow redirects (mispredictions, BTB
+    /// misses, DRC-miss redirects).
+    pub redirect_stall_cycles: u64,
+    /// Reads the L1s (and prefetcher) issued into the L2 — the paper's
+    /// "L2 pressure".
+    pub l2_reads_from_l1: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Simulated wall-clock seconds at the given core frequency.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_time() {
+        let s = SimStats { instructions: 800, cycles: 1000, ..SimStats::default() };
+        assert!((s.ipc() - 0.8).abs() < 1e-12);
+        assert!((s.seconds(1.6) - 1000.0 / 1.6e9).abs() < 1e-18);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+}

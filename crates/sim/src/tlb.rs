@@ -1,0 +1,167 @@
+//! Fully-associative translation lookaside buffers with the paper's
+//! page-visibility extension.
+//!
+//! The paper hides the randomization tables (and the stack bitmap) from
+//! user space by adding a visibility bit to each TLB entry; pages holding
+//! the tables are invisible to user-mode instructions and only reachable
+//! by the DRC fill hardware.
+
+use std::collections::HashMap;
+use vcfr_isa::Addr;
+
+const PAGE_SHIFT: u32 = 12;
+
+/// TLB counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups.
+    pub accesses: u64,
+    /// Misses (page walks).
+    pub misses: u64,
+    /// User-mode accesses rejected because the page is invisible.
+    pub visibility_faults: u64,
+}
+
+impl TlbStats {
+    /// Miss rate (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A fully-associative, LRU TLB.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_sim::Tlb;
+/// let mut t = Tlb::new(64);
+/// assert!(!t.access(0x1000, true));  // cold miss
+/// assert!(t.access(0x1fff, true));   // same page hits
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: usize,
+    map: HashMap<Addr, u64>,
+    invisible: HashMap<Addr, bool>,
+    stats: TlbStats,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` fully-associative entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is zero.
+    pub fn new(entries: usize) -> Tlb {
+        assert!(entries > 0, "TLB needs at least one entry");
+        Tlb {
+            entries,
+            map: HashMap::with_capacity(entries),
+            invisible: HashMap::new(),
+            stats: TlbStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Clears counters (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Marks the page containing `addr` invisible to user-mode
+    /// instructions (the paper's page-visibility bit, cleared).
+    pub fn set_invisible(&mut self, addr: Addr) {
+        self.invisible.insert(addr >> PAGE_SHIFT, true);
+    }
+
+    /// Whether a *user-mode* access to `addr` is architecturally
+    /// permitted. Hardware table walks ignore this.
+    pub fn user_visible(&mut self, addr: Addr) -> bool {
+        if self.invisible.get(&(addr >> PAGE_SHIFT)).copied().unwrap_or(false) {
+            self.stats.visibility_faults += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Looks up the page of `addr`; returns `true` on a hit. A miss
+    /// installs the translation (evicting the LRU entry when full).
+    /// `user` distinguishes user-mode accesses for the stats only.
+    pub fn access(&mut self, addr: Addr, _user: bool) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let page = addr >> PAGE_SHIFT;
+        if let Some(lru) = self.map.get_mut(&page) {
+            *lru = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.entries {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, &lru)| lru)
+                .map(|(&p, _)| p)
+                .expect("non-empty map");
+            self.map.remove(&victim);
+        }
+        self.map.insert(page, self.tick);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000, true));
+        assert!(t.access(0x1abc, true));
+        assert!(!t.access(0x2000, true));
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000, true);
+        t.access(0x2000, true);
+        t.access(0x1000, true); // refresh page 1
+        t.access(0x3000, true); // evicts page 2
+        assert!(t.access(0x1000, true));
+        assert!(!t.access(0x2000, true));
+    }
+
+    #[test]
+    fn visibility_bit_blocks_user_access() {
+        let mut t = Tlb::new(4);
+        t.set_invisible(0x4000_0000);
+        assert!(!t.user_visible(0x4000_0123));
+        assert!(t.user_visible(0x1000));
+        assert_eq!(t.stats().visibility_faults, 1);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut t = Tlb::new(8);
+        t.access(0x1000, true);
+        t.access(0x1100, true);
+        t.access(0x1200, true);
+        t.access(0x2000, true);
+        assert!((t.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! `gcc` stand-in: IR interpretation over a large, irregular code base.
+//!
+//! gcc stresses the front end with a huge instruction footprint, dense
+//! direct calls, and switch dispatch (jump tables). The stand-in runs an
+//! IR "optimizer": a dispatch loop over a pseudo-random opcode stream
+//! jumping through a 64-entry handler table, plus a battery of 96 pass
+//! functions called round-robin each pass to keep the static footprint
+//! large and the hot set wide.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const HANDLERS: usize = 48;
+const PASS_FUNCS: usize = 96;
+const IR_LEN: usize = 4096;
+const PASSES: usize = 5;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+
+    let ir: Vec<u64> = util::pseudo_u64s(IR_LEN, 0x6cc).into_iter().map(|v| v % HANDLERS as u64).collect();
+    let ir_data = a.data_u64s(&ir);
+    let handler_labels: Vec<_> = (0..HANDLERS).map(|_| a.label()).collect();
+    let table = a.data_ptr_table(&handler_labels);
+
+    // r12 = IR base, r13 = handler table, r15 = dispatch continuation,
+    // r9 = checksum, rbx = IR cursor, rbp = pass counter.
+    a.mov_ri(Reg::R12, ir_data.0 as i64);
+    a.mov_ri(Reg::R13, table.0 as i64);
+    a.mov_ri(Reg::R9, 0);
+    a.mov_ri(Reg::Rbp, PASSES as i64);
+
+    let pass_top = a.here();
+    // A few optimizer passes (direct calls into the wide code base).
+    for k in 0..12 {
+        let f = (k * 7 + 3) % PASS_FUNCS;
+        a.call_named(&format!("pass{f}"));
+    }
+    // Dispatch loop.
+    a.mov_ri(Reg::Rbx, 0);
+    let dispatch = a.here();
+    let cont = a.label();
+    a.mov_label(Reg::R15, cont);
+    a.load_idx(Reg::Rax, Reg::R12, Reg::Rbx, 3, 0); // opcode
+    a.load_idx(Reg::R10, Reg::R13, Reg::Rax, 3, 0); // handler ptr
+    a.jmp_r(Reg::R10);
+    a.bind(cont);
+    a.alu_ri(AluOp::Add, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, IR_LEN as i32);
+    a.jcc(Cond::Ne, dispatch);
+    a.alu_ri(AluOp::Sub, Reg::Rbp, 1);
+    a.cmp_i(Reg::Rbp, 0);
+    a.jcc(Cond::Ne, pass_top);
+
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    // Handlers: distinct little transformations on the checksum; each
+    // ends with an indirect jump back to the dispatch continuation.
+    for (i, l) in handler_labels.iter().enumerate() {
+        a.bind(*l);
+        a.alu_ri(AluOp::Add, Reg::R9, (i as i32) * 3 + 1);
+        // Realistic handler bulk: compiled IR transforms are dozens of
+        // instructions, which keeps the indirect-dispatch rate low and
+        // the footprint wide.
+        for r in 0..2 {
+            a.mov_rr(Reg::R11, Reg::R9);
+            a.alu_ri(AluOp::Shr, Reg::R11, ((i + r) % 11 + 1) as i32);
+            a.alu_rr(AluOp::Xor, Reg::R9, Reg::R11);
+            a.alu_ri(AluOp::And, Reg::R9, 0x3fff_ffff);
+        }
+        match i % 4 {
+            0 => {
+                a.mov_rr(Reg::R11, Reg::R9);
+                a.alu_ri(AluOp::Shr, Reg::R11, 3);
+                a.alu_rr(AluOp::Xor, Reg::R9, Reg::R11);
+            }
+            1 => {
+                a.alu_ri(AluOp::Mul, Reg::R9, 3);
+                a.alu_ri(AluOp::And, Reg::R9, 0x7fff_ffff);
+            }
+            2 => {
+                a.mov_rr(Reg::R11, Reg::R9);
+                a.alu_ri(AluOp::Shl, Reg::R11, 2);
+                a.alu_rr(AluOp::Add, Reg::R9, Reg::R11);
+                a.alu_ri(AluOp::And, Reg::R9, 0x3fff_ffff);
+            }
+            _ => {
+                a.not(Reg::R9);
+                a.alu_ri(AluOp::And, Reg::R9, 0xfff_ffff);
+            }
+        }
+        a.jmp_r(Reg::R15);
+    }
+
+    // The optimizer pass battery: direct-call targets with bodies large
+    // enough to matter for the instruction footprint.
+    for f in 0..PASS_FUNCS {
+        a.func(&format!("pass{f}"));
+        a.alu_ri(AluOp::Add, Reg::R9, f as i32);
+        for r in 0..6 {
+            a.mov_rr(Reg::R11, Reg::R9);
+            a.alu_ri(AluOp::Shr, Reg::R11, ((f + r) % 13 + 1) as i32);
+            a.alu_rr(AluOp::Xor, Reg::R9, Reg::R11);
+        }
+        a.alu_ri(AluOp::And, Reg::R9, 0x7fff_ffff);
+        a.ret();
+    }
+
+    util::emit_runtime_lib(&mut a, 96, 2);
+    Workload {
+        name: "gcc",
+        description: "IR dispatch over a jump table plus a wide battery of pass functions",
+        image: a.finish().expect("gcc assembles"),
+        max_insts: 1_500_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_reaches_every_handler_class() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+
+    #[test]
+    fn dispatch_is_table_driven() {
+        // One reloc per handler: the jump table the paper's Table II
+        // counts as computed control transfers.
+        let w = build();
+        assert_eq!(w.image.relocs.len(), HANDLERS);
+        let d = vcfr_isa_disasm(&w.image);
+        assert!(d > 2000, "instructions: {d}");
+    }
+
+    fn vcfr_isa_disasm(img: &vcfr_isa::Image) -> usize {
+        // Local linear count of decoded instructions.
+        let text = img.text();
+        let mut off = 0;
+        let mut n = 0;
+        while off < text.bytes.len() {
+            match vcfr_isa::decode(&text.bytes[off..]) {
+                Ok(i) => {
+                    off += i.len();
+                    n += 1;
+                }
+                Err(_) => off += 1,
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn static_footprint_is_large() {
+        let w = build();
+        // gcc is the big-code benchmark: several thousand instructions.
+        assert!(w.image.text().bytes.len() > 4000, "{}", w.image.text().bytes.len());
+    }
+}

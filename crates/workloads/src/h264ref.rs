@@ -1,0 +1,153 @@
+//! `h264ref` stand-in: block motion estimation.
+//!
+//! h264ref's encoder spends its time computing sums of absolute
+//! differences (SAD) between a current macroblock and candidate positions
+//! in the reference frame: dense byte loads, an abs() branch per pixel,
+//! and a family of per-mode block comparison routines (widening the hot
+//! code footprint).
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const FRAME_DIM: usize = 128;
+const BLOCK: usize = 16;
+const SEARCH_STEP: usize = 3;
+const SEARCH_SPAN: usize = 21; // ±10 around the block origin
+const MODES: usize = 8;
+const BLOCKS: usize = 3;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let frame = util::data_random_bytes(&mut a, FRAME_DIM * FRAME_DIM, 0x264);
+    let cur = util::data_random_bytes(&mut a, BLOCK * BLOCK, 0x265);
+
+    // r14 = frame, r15 = current block, r9 = best-SAD accumulator.
+    a.mov_ri(Reg::R14, frame.0 as i64);
+    a.mov_ri(Reg::R15, cur.0 as i64);
+    a.mov_ri(Reg::R9, 0);
+
+    for b in 0..BLOCKS {
+        let origin = (b * 24 + 12) * FRAME_DIM + (b * 16 + 10);
+        a.mov_ri(Reg::Rbx, 0); // dy step index
+        let dy_loop = a.here();
+        // Rate-control helpers per search row.
+        for k in 0..4 {
+            a.call_named(&format!("lib{}", (k * 11 + 3) % 64));
+        }
+        a.mov_ri(Reg::Rdx, 0); // dx step index
+        let dx_loop = a.here();
+        // rdi = &frame[origin + dy*STEP*DIM + dx*STEP]
+        a.mov_rr(Reg::Rdi, Reg::Rbx);
+        a.alu_ri(AluOp::Mul, Reg::Rdi, (SEARCH_STEP * FRAME_DIM) as i32);
+        a.mov_rr(Reg::R10, Reg::Rdx);
+        a.alu_ri(AluOp::Mul, Reg::R10, SEARCH_STEP as i32);
+        a.alu_rr(AluOp::Add, Reg::Rdi, Reg::R10);
+        a.alu_ri(AluOp::Add, Reg::Rdi, origin as i32);
+        a.alu_rr(AluOp::Add, Reg::Rdi, Reg::R14);
+        // rsi = current block; dispatch to the per-mode SAD routine.
+        a.mov_rr(Reg::Rsi, Reg::R15);
+        let mode = (b + 1) % MODES;
+        a.call_named(&format!("sad_mode{mode}"));
+        a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+        a.alu_ri(AluOp::Add, Reg::Rdx, 1);
+        a.cmp_i(Reg::Rdx, (SEARCH_SPAN / SEARCH_STEP) as i32);
+        a.jcc(Cond::Ne, dx_loop);
+        a.alu_ri(AluOp::Add, Reg::Rbx, 1);
+        a.cmp_i(Reg::Rbx, (SEARCH_SPAN / SEARCH_STEP) as i32);
+        a.jcc(Cond::Ne, dy_loop);
+    }
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    // Row SAD: 16 pixels of |cur[i] - ref[i]|.
+    // rsi = cur row, rdi = ref row → rax = row SAD. Clobbers r10, r11.
+    a.func("sad_row16");
+    a.mov_ri(Reg::Rax, 0);
+    for px in 0..BLOCK {
+        a.load_b(Reg::R10, Reg::Rsi, px as i32);
+        a.load_b(Reg::R11, Reg::Rdi, px as i32);
+        a.alu_rr(AluOp::Sub, Reg::R10, Reg::R11);
+        let non_neg = a.label();
+        a.test(Reg::R10, Reg::R10);
+        a.jcc(Cond::Ns, non_neg);
+        a.neg(Reg::R10);
+        a.bind(non_neg);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::R10);
+    }
+    a.ret();
+
+    // Per-mode block SAD: walk 16 rows with mode-specific bookkeeping.
+    // rsi = cur block, rdi = ref position → rax = block SAD.
+    for m in 0..MODES {
+        a.func(&format!("sad_mode{m}"));
+        a.push(Reg::Rbx);
+        a.push(Reg::R12);
+        a.push(Reg::Rsi);
+        a.push(Reg::Rdi);
+        a.mov_ri(Reg::R12, 0); // block SAD
+        a.mov_ri(Reg::Rbx, BLOCK as i64); // row counter
+        let row_loop = a.here();
+        a.call_named("sad_row16");
+        a.alu_rr(AluOp::Add, Reg::R12, Reg::Rax);
+        // Mode flavour: early-skip heuristics differ per mode (adds
+        // distinct static code without changing the result).
+        a.alu_ri(AluOp::Add, Reg::R12, 0); // anchor
+        for _ in 0..m {
+            a.nop();
+        }
+        a.alu_ri(AluOp::Add, Reg::Rsi, BLOCK as i32);
+        a.alu_ri(AluOp::Add, Reg::Rdi, FRAME_DIM as i32);
+        a.alu_ri(AluOp::Sub, Reg::Rbx, 1);
+        a.cmp_i(Reg::Rbx, 0);
+        a.jcc(Cond::Ne, row_loop);
+        a.mov_rr(Reg::Rax, Reg::R12);
+        a.pop(Reg::Rdi);
+        a.pop(Reg::Rsi);
+        a.pop(Reg::R12);
+        a.pop(Reg::Rbx);
+        a.ret();
+    }
+
+    util::emit_runtime_lib(&mut a, 64, 7);
+    Workload {
+        name: "h264ref",
+        description: "SAD motion search over a reference frame",
+        image: a.finish().expect("h264ref assembles"),
+        max_insts: 900_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sad_checksum_matches_host_model() {
+        let out = build().run_reference().unwrap();
+        // Host model of the same search.
+        let frame = util::pseudo_bytes(FRAME_DIM * FRAME_DIM, 0x264);
+        let cur = util::pseudo_bytes(BLOCK * BLOCK, 0x265);
+        let mut total = 0u64;
+        for b in 0..BLOCKS {
+            let origin = (b * 24 + 12) * FRAME_DIM + (b * 16 + 10);
+            for dy in 0..SEARCH_SPAN / SEARCH_STEP {
+                for dx in 0..SEARCH_SPAN / SEARCH_STEP {
+                    let pos = origin + dy * SEARCH_STEP * FRAME_DIM + dx * SEARCH_STEP;
+                    let mut sad = 0u64;
+                    for r in 0..BLOCK {
+                        for c in 0..BLOCK {
+                            let a = cur[r * BLOCK + c] as i64;
+                            let bb = frame[pos + r * FRAME_DIM + c] as i64;
+                            sad += (a - bb).unsigned_abs();
+                        }
+                    }
+                    total = total.wrapping_add(sad);
+                }
+            }
+        }
+        assert_eq!(out.output, vec![total]);
+    }
+}

@@ -1,0 +1,95 @@
+//! `hmmer` stand-in: profile-HMM dynamic programming.
+//!
+//! hmmer's hot loop is the Viterbi recurrence over match/insert/delete
+//! score rows — sequential array walks with a three-way max implemented
+//! as compare-and-branch. Medium, very regular hot loop with
+//! data-dependent (but statistically biased) branches.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const SEQ: usize = 160;
+const MODEL: usize = 48;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let emis = util::data_random_u64s(&mut a, MODEL * 2, 0x4a11);
+    let row_m = a.data_zeroed((MODEL + 1) * 8);
+    let row_i = a.data_zeroed((MODEL + 1) * 8);
+
+    // r14 = emis base, r12 = row_m base, r13 = row_i base.
+    a.mov_ri(Reg::R14, emis.0 as i64);
+    a.mov_ri(Reg::R12, row_m.0 as i64);
+    a.mov_ri(Reg::R13, row_i.0 as i64);
+    a.mov_ri(Reg::R9, 0); // best score accumulator
+    a.mov_ri(Reg::Rbx, SEQ as i64); // sequence position loop
+
+    let seq_loop = a.here();
+    // Per-position helper calls (post-processing, trace-back bookkeeping).
+    for k in 0..12 {
+        a.call_named(&format!("lib{}", (k * 7 + 2) % 64));
+    }
+    a.mov_ri(Reg::Rcx, (MODEL / 6) as i64); // model state loop, x6 unrolled
+    a.mov_ri(Reg::Rdx, 0); // j (state index)
+    let state_loop = a.here();
+    for _u in 0..6 {
+    // m_prev = row_m[j], i_prev = row_i[j]
+    a.load_idx(Reg::Rax, Reg::R12, Reg::Rdx, 3, 0);
+    a.load_idx(Reg::R10, Reg::R13, Reg::Rdx, 3, 0);
+    // three-way max surrogate: max(m_prev + e0, i_prev + e1)
+    a.load_idx(Reg::R11, Reg::R14, Reg::Rdx, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R11, 0xffff);
+    a.alu_rr(AluOp::Add, Reg::Rax, Reg::R11);
+    a.load_idx(Reg::R11, Reg::R14, Reg::Rdx, 3, (MODEL * 8) as i32);
+    a.alu_ri(AluOp::And, Reg::R11, 0xffff);
+    a.alu_rr(AluOp::Add, Reg::R10, Reg::R11);
+    a.cmp(Reg::Rax, Reg::R10);
+    let keep_m = a.label();
+    a.jcc(Cond::Ae, keep_m);
+    a.mov_rr(Reg::Rax, Reg::R10);
+    a.bind(keep_m);
+    // Score decay keeps values bounded across the whole run.
+    a.alu_ri(AluOp::Shr, Reg::Rax, 1);
+    // row_m[j+1] = max, row_i[j] = max - gap
+    a.store_idx(Reg::R12, Reg::Rdx, 3, 8, Reg::Rax);
+    a.mov_rr(Reg::R10, Reg::Rax);
+    a.alu_ri(AluOp::Shr, Reg::R10, 2);
+    a.store_idx(Reg::R13, Reg::Rdx, 3, 0, Reg::R10);
+    a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+    a.alu_ri(AluOp::Add, Reg::Rdx, 1);
+    }
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, state_loop);
+    a.alu_ri(AluOp::Sub, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, 0);
+    a.jcc(Cond::Ne, seq_loop);
+
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 64, 4);
+    Workload {
+        name: "hmmer",
+        description: "profile-HMM Viterbi recurrence (DP array walks)",
+        image: a.finish().expect("hmmer assembles"),
+        max_insts: 400_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_is_deterministic_and_nontrivial() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert!(out.output[0] > 0);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+}

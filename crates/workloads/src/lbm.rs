@@ -1,0 +1,100 @@
+//! `lbm` stand-in: lattice-Boltzmann stencil sweep.
+//!
+//! lbm streams a 3-D fluid grid with neighbour gathers; the stand-in is a
+//! 2-D five-point stencil alternating between two grids. Regular, highly
+//! predictable, with a medium hot loop and large sequential data.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const DIM: usize = 48;
+const STEPS: usize = 6;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let grid_a = util::data_random_u64s(&mut a, DIM * DIM, 0x1b31);
+    let grid_b = a.data_zeroed(DIM * DIM * 8);
+    let row_bytes = (DIM * 8) as i32;
+
+    for step in 0..STEPS {
+        let (src, dst) =
+            if step % 2 == 0 { (grid_a.0, grid_b.0) } else { (grid_b.0, grid_a.0) };
+        // rsi = &src[row 1], rdi = &dst[row 1].
+        a.mov_ri(Reg::Rsi, src as i64 + row_bytes as i64);
+        a.mov_ri(Reg::Rdi, dst as i64 + row_bytes as i64);
+        a.mov_ri(Reg::Rbx, (DIM - 2) as i64); // rows
+        let row_loop = a.here();
+        // Boundary-handling helpers per row.
+        for k in 0..6 {
+            a.call_named(&format!("lib{}", (k * 7 + step) % 48));
+        }
+        a.mov_ri(Reg::Rcx, (DIM - 2) as i64); // cols
+        a.mov_ri(Reg::Rdx, 8); // byte offset of column 1
+        let col_loop = a.here();
+        // centre + four neighbours.
+        a.lea(Reg::R10, Reg::Rsi, 0);
+        a.alu_rr(AluOp::Add, Reg::R10, Reg::Rdx);
+        a.load(Reg::Rax, Reg::R10, 0);
+        a.load(Reg::R11, Reg::R10, -8);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::R11);
+        a.load(Reg::R11, Reg::R10, 8);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::R11);
+        a.load(Reg::R11, Reg::R10, -row_bytes);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::R11);
+        a.load(Reg::R11, Reg::R10, row_bytes);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::R11);
+        // Relaxation: divide by 4 (shift) to keep values bounded.
+        a.alu_ri(AluOp::Shr, Reg::Rax, 2);
+        a.lea(Reg::R10, Reg::Rdi, 0);
+        a.alu_rr(AluOp::Add, Reg::R10, Reg::Rdx);
+        a.store(Reg::R10, 0, Reg::Rax);
+        a.alu_ri(AluOp::Add, Reg::Rdx, 8);
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, col_loop);
+        a.alu_ri(AluOp::Add, Reg::Rsi, row_bytes);
+        a.alu_ri(AluOp::Add, Reg::Rdi, row_bytes);
+        a.alu_ri(AluOp::Sub, Reg::Rbx, 1);
+        a.cmp_i(Reg::Rbx, 0);
+        a.jcc(Cond::Ne, row_loop);
+    }
+
+    // Checksum the final grid.
+    let final_grid = if STEPS % 2 == 0 { grid_a.0 } else { grid_b.0 };
+    a.mov_ri(Reg::Rsi, final_grid as i64);
+    a.mov_ri(Reg::Rcx, (DIM * DIM) as i64);
+    a.mov_ri(Reg::R9, 0);
+    let sum = a.here();
+    a.load(Reg::Rax, Reg::Rsi, 0);
+    a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+    a.alu_ri(AluOp::Add, Reg::Rsi, 8);
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, sum);
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 48, 8);
+    Workload {
+        name: "lbm",
+        description: "five-point stencil sweeps over alternating grids",
+        image: a.finish().expect("lbm assembles"),
+        max_insts: 600_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_converges_deterministically() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+}

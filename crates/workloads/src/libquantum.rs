@@ -1,0 +1,94 @@
+//! `libquantum` stand-in: quantum register gate simulation.
+//!
+//! libquantum applies gates as streaming passes over a large amplitude
+//! array with bit manipulation — a tiny, perfectly-predictable hot loop
+//! over a big sequential data set. The stand-in applies NOT / CNOT /
+//! phase-flip style transforms (xor, shift, conditional flip) pass by
+//! pass.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const AMPS: usize = 8192;
+const PASSES: usize = 8;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let reg = util::data_random_u64s(&mut a, AMPS, 0x9a37);
+
+    a.mov_ri(Reg::R9, 0); // checksum
+    for p in 0..PASSES {
+        // Gate setup helpers before each streaming pass.
+        for k in 0..8 {
+            a.call_named(&format!("lib{}", (k * 3 + p) % 48));
+        }
+        a.mov_ri(Reg::Rsi, reg.0 as i64);
+        a.mov_ri(Reg::Rcx, (AMPS / 4) as i64);
+        let gate = a.here();
+        for u in 0..4u8 {
+        a.load(Reg::Rax, Reg::Rsi, u as i32 * 8);
+        match p % 4 {
+            0 => {
+                // sigma-x: flip target bit.
+                a.alu_ri(AluOp::Xor, Reg::Rax, 1 << (p % 16));
+            }
+            1 => {
+                // controlled flip: if control bit set, flip target.
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Shr, Reg::R10, (p % 8) as i32);
+                a.alu_ri(AluOp::And, Reg::R10, 1);
+                let skip = a.label();
+                a.cmp_i(Reg::R10, 0);
+                a.jcc(Cond::Eq, skip);
+                a.alu_ri(AluOp::Xor, Reg::Rax, 0x100);
+                a.bind(skip);
+            }
+            2 => {
+                // phase rotation surrogate: rotate-ish mix.
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Shl, Reg::R10, 7);
+                a.alu_rr(AluOp::Xor, Reg::Rax, Reg::R10);
+            }
+            _ => {
+                // amplitude decay surrogate.
+                a.alu_ri(AluOp::Shr, Reg::Rax, 1);
+                a.alu_ri(AluOp::Add, Reg::Rax, 0x5555);
+            }
+        }
+        a.store(Reg::Rsi, u as i32 * 8, Reg::Rax);
+        a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+        }
+        a.alu_ri(AluOp::Add, Reg::Rsi, 32);
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, gate);
+    }
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 48, 6);
+    Workload {
+        name: "libquantum",
+        description: "streaming gate passes over an amplitude array",
+        image: a.finish().expect("libquantum assembles"),
+        max_insts: 900_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let w = build();
+        let a = w.run_reference().unwrap();
+        let b = w.run_reference().unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output.len(), 1);
+        assert_ne!(a.output[0], 0);
+    }
+}

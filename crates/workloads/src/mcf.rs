@@ -1,0 +1,126 @@
+//! `mcf` stand-in: pointer-chasing network simplex.
+//!
+//! mcf is famously memory-latency bound: it chases arc/node pointers
+//! through a working set far larger than the caches. The stand-in builds
+//! a randomly-permuted linked list (64-byte nodes, one per cache line)
+//! and traverses it repeatedly, accumulating node payloads — tiny code,
+//! dreadful data locality.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const NODES: usize = 4096;
+const PASSES: i64 = 10;
+/// Node layout: { next_ptr: u64, payload: u64, pad: 48 bytes }.
+const NODE_BYTES: usize = 64;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+
+    // Host-side: build node storage whose next pointers follow a
+    // pseudo-random cyclic permutation (Fisher–Yates with our xorshift).
+    let mut order: Vec<usize> = (0..NODES).collect();
+    let rnd = util::pseudo_u64s(NODES, 0x3cf5);
+    for i in (1..NODES).rev() {
+        let j = (rnd[i] as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    let nodes = a.data_zeroed(NODES * NODE_BYTES);
+    let node_addr = |i: usize| nodes.0 as u64 + (i * NODE_BYTES) as u64;
+    let mut raw = vec![0u8; NODES * NODE_BYTES];
+    for w in 0..NODES {
+        let cur = order[w];
+        let next = order[(w + 1) % NODES];
+        let off = cur * NODE_BYTES;
+        raw[off..off + 8].copy_from_slice(&node_addr(next).to_le_bytes());
+        raw[off + 8..off + 16].copy_from_slice(&(rnd[cur] & 0xffff).to_le_bytes());
+    }
+
+    // rsi = cursor, r9 = checksum.
+    a.mov_ri(Reg::R9, 0);
+    a.mov_ri(Reg::Rbx, PASSES);
+    let pass = a.here();
+    // Pricing helpers between iterations (call/return traffic).
+    for k in 0..8 {
+        a.call_named(&format!("lib{}", (k * 5 + 2) % 48));
+    }
+    a.mov_ri(Reg::Rsi, node_addr(order[0]) as i64);
+    a.mov_ri(Reg::Rcx, NODES as i64);
+    let chase = a.here();
+    a.load(Reg::Rax, Reg::Rsi, 8); // payload
+    a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+    a.load(Reg::Rsi, Reg::Rsi, 0); // next
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, chase);
+    // Arc-pricing phase: a wide, flat scan over the node array (the
+    // primal pricing loops of real mcf are similarly large code bodies).
+    a.mov_ri(Reg::Rsi, nodes.0 as i64);
+    a.mov_ri(Reg::Rcx, (NODES / 16) as i64);
+    let price = a.here();
+    a.call_named("lib5");
+    a.call_named("lib9");
+    for k in 0..16 {
+        a.load(Reg::Rax, Reg::Rsi, (k * NODE_BYTES) as i32 + 8);
+        a.mov_rr(Reg::R10, Reg::Rax);
+        a.alu_ri(AluOp::Shr, Reg::R10, 3);
+        a.alu_rr(AluOp::Xor, Reg::Rax, Reg::R10);
+        a.alu_ri(AluOp::And, Reg::Rax, 0xffff);
+        a.mov_rr(Reg::R11, Reg::Rax);
+        a.alu_ri(AluOp::Shl, Reg::R11, 2);
+        a.alu_rr(AluOp::Add, Reg::R11, Reg::Rax);
+        a.alu_ri(AluOp::And, Reg::R11, 0x3_ffff);
+        a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+    }
+    a.alu_ri(AluOp::Add, Reg::Rsi, (16 * NODE_BYTES) as i32);
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, price);
+    a.alu_ri(AluOp::Sub, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, 0);
+    a.jcc(Cond::Ne, pass);
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 48, 3);
+    let mut image = a.finish().expect("mcf assembles");
+    // Patch the node storage bytes in place (data_zeroed reserved them).
+    let data = image
+        .sections
+        .iter_mut()
+        .find(|s| s.kind == vcfr_isa::SectionKind::Data)
+        .expect("mcf has data");
+    let off = (nodes.0 - data.base) as usize;
+    data.bytes[off..off + raw.len()].copy_from_slice(&raw);
+
+    Workload {
+        name: "mcf",
+        description: "randomly-permuted linked-list traversal (latency bound)",
+        image,
+        max_insts: 1_500_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traverses_every_node_each_pass() {
+        let out = build().run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        // Traversal payload sum plus the pricing-phase folds, per pass.
+        let rnd = util::pseudo_u64s(NODES, 0x3cf5);
+        let chase: u64 = (0..NODES).map(|i| rnd[i] & 0xffff).sum();
+        let price: u64 = (0..NODES)
+            .map(|i| {
+                let payload = rnd[i] & 0xffff;
+                (payload ^ (payload >> 3)) & 0xffff
+            })
+            .sum();
+        assert_eq!(out.output[0], (chase + price) * PASSES as u64);
+    }
+}

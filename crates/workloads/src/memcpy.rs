@@ -1,0 +1,74 @@
+//! `memcpy` micro-kernel (Figure 2 set): a tight word-copy loop.
+//!
+//! The smallest instruction footprint in the suite — a handful of lines —
+//! which makes it the extreme case for per-instruction emulation overhead
+//! (Figure 2) while being nearly immune to scattering (its few
+//! instructions fit any cache even when randomized).
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const WORDS: usize = 1024;
+const PASSES: i64 = 24;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let src = util::data_random_u64s(&mut a, WORDS, 0x3333);
+    let dst = a.data_zeroed(WORDS * 8);
+
+    a.mov_ri(Reg::Rbx, PASSES);
+    let pass = a.here();
+    a.mov_ri(Reg::Rsi, src.0 as i64);
+    a.mov_ri(Reg::Rdi, dst.0 as i64);
+    a.mov_ri(Reg::Rcx, (WORDS / 4) as i64);
+    let copy = a.here();
+    for k in 0..4 {
+        a.load(Reg::Rax, Reg::Rsi, k * 8);
+        a.store(Reg::Rdi, k * 8, Reg::Rax);
+    }
+    a.alu_ri(AluOp::Add, Reg::Rsi, 32);
+    a.alu_ri(AluOp::Add, Reg::Rdi, 32);
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, copy);
+    a.alu_ri(AluOp::Sub, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, 0);
+    a.jcc(Cond::Ne, pass);
+
+    // Checksum the destination.
+    a.mov_ri(Reg::Rdi, dst.0 as i64);
+    a.mov_ri(Reg::Rcx, WORDS as i64);
+    a.mov_ri(Reg::R9, 0);
+    let sum = a.here();
+    a.load(Reg::Rax, Reg::Rdi, 0);
+    a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+    a.alu_ri(AluOp::Add, Reg::Rdi, 8);
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, sum);
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 48, 12);
+    Workload {
+        name: "memcpy",
+        description: "tight word-copy loop (minimal instruction footprint)",
+        image: a.finish().expect("memcpy assembles"),
+        max_insts: 300_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_matches_source_sum() {
+        let out = build().run_reference().unwrap();
+        let want: u64 = util::pseudo_u64s(WORDS, 0x3333).iter().fold(0u64, |s, v| s.wrapping_add(*v));
+        assert_eq!(out.output, vec![want]);
+    }
+}

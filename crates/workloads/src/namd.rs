@@ -1,0 +1,106 @@
+//! `namd` stand-in: molecular-dynamics force kernel.
+//!
+//! namd's inner loop accumulates pairwise force contributions —
+//! multiply-add chains over coordinate arrays with a cutoff test. The
+//! stand-in walks particle pairs from a neighbour list and accumulates a
+//! squared-distance-weighted sum; multiply-heavy with highly predictable
+//! control.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const PARTICLES: usize = 1024;
+const NEIGHBOURS: usize = 12;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let xs = util::data_random_u64s(&mut a, PARTICLES, 0x11a);
+    let ys = util::data_random_u64s(&mut a, PARTICLES, 0x22b);
+    let zs = util::data_random_u64s(&mut a, PARTICLES, 0x33c);
+    // Neighbour list: pseudo-random partner indices.
+    let nl: Vec<u64> = util::pseudo_u64s(PARTICLES * NEIGHBOURS, 0x44d)
+        .into_iter()
+        .map(|v| v % PARTICLES as u64)
+        .collect();
+    let neigh = a.data_u64s(&nl);
+
+    a.mov_ri(Reg::R12, xs.0 as i64);
+    a.mov_ri(Reg::R13, ys.0 as i64);
+    a.mov_ri(Reg::R14, zs.0 as i64);
+    a.mov_ri(Reg::R15, neigh.0 as i64);
+    a.mov_ri(Reg::R9, 0); // energy accumulator
+    a.mov_ri(Reg::Rbx, 0); // particle index i
+
+    let i_loop = a.here();
+    // Per-particle bookkeeping helpers (exclusion lists, cell updates).
+    for k in 0..4 {
+        a.call_named(&format!("lib{}", (k * 9 + 1) % 64));
+    }
+    // Load coordinates of i (masked to keep products in range).
+    a.load_idx(Reg::Rsi, Reg::R12, Reg::Rbx, 3, 0);
+    a.alu_ri(AluOp::And, Reg::Rsi, 0xfff);
+    a.load_idx(Reg::Rdi, Reg::R13, Reg::Rbx, 3, 0);
+    a.alu_ri(AluOp::And, Reg::Rdi, 0xfff);
+    a.load_idx(Reg::R8, Reg::R14, Reg::Rbx, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R8, 0xfff);
+    // rdx = &neigh[i * NEIGHBOURS]; the neighbour loop is fully
+    // unrolled, as compiled MD force kernels are — a large flat body.
+    a.mov_rr(Reg::Rdx, Reg::Rbx);
+    a.alu_ri(AluOp::Mul, Reg::Rdx, NEIGHBOURS as i32);
+    for k in 0..NEIGHBOURS {
+    a.load_idx(Reg::Rax, Reg::R15, Reg::Rdx, 3, (k * 8) as i32); // j = neigh[k]
+    // dx² + dy² + dz²
+    a.load_idx(Reg::R10, Reg::R12, Reg::Rax, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R10, 0xfff);
+    a.alu_rr(AluOp::Sub, Reg::R10, Reg::Rsi);
+    a.alu_rr(AluOp::Mul, Reg::R10, Reg::R10);
+    a.mov_rr(Reg::R11, Reg::R10);
+    a.load_idx(Reg::R10, Reg::R13, Reg::Rax, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R10, 0xfff);
+    a.alu_rr(AluOp::Sub, Reg::R10, Reg::Rdi);
+    a.alu_rr(AluOp::Mul, Reg::R10, Reg::R10);
+    a.alu_rr(AluOp::Add, Reg::R11, Reg::R10);
+    a.load_idx(Reg::R10, Reg::R14, Reg::Rax, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R10, 0xfff);
+    a.alu_rr(AluOp::Sub, Reg::R10, Reg::R8);
+    a.alu_rr(AluOp::Mul, Reg::R10, Reg::R10);
+    a.alu_rr(AluOp::Add, Reg::R11, Reg::R10);
+    // Cutoff: only near pairs contribute (biased branch).
+    a.cmp_i(Reg::R11, 0x40_0000);
+    let skip = a.label();
+    a.jcc(Cond::A, skip);
+    a.alu_rr(AluOp::Add, Reg::R9, Reg::R11);
+    a.bind(skip);
+    }
+    a.alu_ri(AluOp::Add, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, PARTICLES as i32);
+    a.jcc(Cond::Ne, i_loop);
+
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    util::emit_runtime_lib(&mut a, 64, 10);
+    Workload {
+        name: "namd",
+        description: "pairwise force accumulation over a neighbour list",
+        image: a.finish().expect("namd assembles"),
+        max_insts: 600_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_deterministic() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert!(out.output[0] > 0);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+}

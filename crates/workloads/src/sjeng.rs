@@ -1,0 +1,156 @@
+//! `sjeng` stand-in: recursive game-tree search.
+//!
+//! sjeng (chess) is recursion- and branch-heavy: deep call chains
+//! exercising the return-address stack, data-dependent evaluation
+//! branches and table lookups. The stand-in runs a fixed-depth negamax
+//! over a synthetic move tree with a table-driven leaf evaluator.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const DEPTH: i64 = 4;
+const BRANCHING: i64 = 7;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+    let piece_table = util::data_random_u64s(&mut a, 256, 0x53e6);
+    let board = a.data_zeroed(64 * 8);
+
+    // r13 = piece table, r14 = board.
+    a.mov_ri(Reg::R13, piece_table.0 as i64);
+    a.mov_ri(Reg::R14, board.0 as i64);
+    a.mov_ri(Reg::Rdi, DEPTH);
+    a.mov_ri(Reg::Rsi, 0x1a2b); // position hash seed
+    a.call_named("search");
+    a.emit_output(Reg::Rax);
+    a.halt();
+
+    // search(depth=rdi, hash=rsi) -> rax
+    a.func("search");
+    a.cmp_i(Reg::Rdi, 0);
+    let recurse = a.label();
+    a.jcc(Cond::Ne, recurse);
+    a.call_named("evaluate");
+    a.ret();
+    a.bind(recurse);
+    a.call_named("movegen");
+    // Save caller state.
+    a.push(Reg::Rbx);
+    a.push(Reg::R12);
+    a.push(Reg::Rdi);
+    a.push(Reg::Rsi);
+    a.mov_ri(Reg::Rbx, 0); // move index
+    a.mov_ri(Reg::R12, i64::MIN + 1); // best score
+
+    let move_loop = a.here();
+    // "Make move": mutate one board square derived from (hash, move).
+    a.load(Reg::Rdi, Reg::Rsp, 8); // reload depth
+    a.load(Reg::Rsi, Reg::Rsp, 0); // reload hash
+    a.mov_rr(Reg::Rax, Reg::Rsi);
+    a.alu_rr(AluOp::Add, Reg::Rax, Reg::Rbx);
+    a.alu_ri(AluOp::Mul, Reg::Rax, 0x45d9)
+    ;
+    a.alu_ri(AluOp::And, Reg::Rax, 63);
+    a.store_idx(Reg::R14, Reg::Rax, 3, 0, Reg::Rsi);
+    // Recurse with depth-1 and a new hash.
+    a.alu_ri(AluOp::Sub, Reg::Rdi, 1);
+    a.mov_rr(Reg::R10, Reg::Rsi);
+    a.alu_ri(AluOp::Shl, Reg::R10, 3);
+    a.alu_rr(AluOp::Xor, Reg::Rsi, Reg::R10);
+    a.alu_rr(AluOp::Add, Reg::Rsi, Reg::Rbx);
+    a.call_named("search");
+    // Negamax fold: best = max(best, -score) via compare.
+    a.neg(Reg::Rax);
+    a.cmp(Reg::Rax, Reg::R12);
+    let not_better = a.label();
+    a.jcc(Cond::Le, not_better);
+    a.mov_rr(Reg::R12, Reg::Rax);
+    a.bind(not_better);
+    a.alu_ri(AluOp::Add, Reg::Rbx, 1);
+    a.cmp_i(Reg::Rbx, BRANCHING as i32);
+    a.jcc(Cond::Ne, move_loop);
+
+    a.mov_rr(Reg::Rax, Reg::R12);
+    a.pop(Reg::Rsi);
+    a.pop(Reg::Rdi);
+    a.pop(Reg::R12);
+    a.pop(Reg::Rbx);
+    a.ret();
+
+    // movegen(hash=rsi): scores candidate moves into the board scratch
+    // area (pure bookkeeping; clobbers rax/r10/r11 only).
+    a.func("movegen");
+    for k in 0..8 {
+        a.mov_rr(Reg::Rax, Reg::Rsi);
+        a.alu_ri(AluOp::Shr, Reg::Rax, (k % 5) as i32);
+        a.alu_ri(AluOp::And, Reg::Rax, 255);
+        a.load_idx(Reg::R10, Reg::R13, Reg::Rax, 3, 0);
+        a.alu_ri(AluOp::And, Reg::R10, 0xff);
+        a.mov_rr(Reg::R11, Reg::Rax);
+        a.alu_ri(AluOp::And, Reg::R11, 63);
+        a.store_idx(Reg::R14, Reg::R11, 3, 0, Reg::R10);
+    }
+    a.ret();
+
+    // evaluate(hash=rsi) -> rax: table-driven leaf score.
+    a.func("evaluate");
+    a.mov_rr(Reg::Rax, Reg::Rsi);
+    a.alu_ri(AluOp::And, Reg::Rax, 255);
+    a.load_idx(Reg::Rax, Reg::R13, Reg::Rax, 3, 0);
+    a.alu_ri(AluOp::And, Reg::Rax, 0xffff);
+    // Positional term from the board.
+    a.mov_rr(Reg::R10, Reg::Rsi);
+    a.alu_ri(AluOp::Shr, Reg::R10, 4);
+    a.alu_ri(AluOp::And, Reg::R10, 63);
+    a.load_idx(Reg::R10, Reg::R14, Reg::R10, 3, 0);
+    a.alu_ri(AluOp::And, Reg::R10, 0xff);
+    a.alu_rr(AluOp::Add, Reg::Rax, Reg::R10);
+    // Mobility bonus: biased data-dependent branch.
+    a.test(Reg::Rsi, Reg::Rsi);
+    let no_bonus = a.label();
+    a.jcc(Cond::S, no_bonus);
+    a.alu_ri(AluOp::Add, Reg::Rax, 64);
+    a.bind(no_bonus);
+    a.ret();
+
+    util::emit_runtime_lib(&mut a, 64, 5);
+    Workload {
+        name: "sjeng",
+        description: "fixed-depth negamax with table-driven evaluation",
+        image: a.finish().expect("sjeng assembles"),
+        max_insts: 1_200_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_returns_a_stable_score() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+
+    #[test]
+    fn search_and_evaluate_are_symbols() {
+        let w = build();
+        for name in ["search", "evaluate", "movegen", "lib_init"] {
+            assert!(w.image.symbol(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn tree_size_is_as_designed() {
+        // Nodes = (B^(D+1)-1)/(B-1); instruction count scales with it.
+        let w = build();
+        let out = w.run_reference().unwrap();
+        let nodes: u64 = (0..=DEPTH).map(|d| (BRANCHING as u64).pow(d as u32)).sum();
+        assert!(out.steps > nodes * 10, "steps {} nodes {nodes}", out.steps);
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared helpers for the workload generators.
+
+use vcfr_isa::{AluOp, Asm, Cond, DataRef, Reg};
+
+/// Deterministic pseudo-random byte buffer (xorshift-based, host side).
+pub fn pseudo_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        out.push((s >> 32) as u8);
+    }
+    out
+}
+
+/// Deterministic pseudo-random u64 buffer.
+pub fn pseudo_u64s(len: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        out.push(s);
+    }
+    out
+}
+
+/// Emits a pseudo-random byte buffer into the data section.
+pub fn data_random_bytes(a: &mut Asm, len: usize, seed: u64) -> DataRef {
+    let bytes = pseudo_bytes(len, seed);
+    a.data_bytes(&bytes)
+}
+
+/// Emits a pseudo-random word buffer into the data section.
+pub fn data_random_u64s(a: &mut Asm, len: usize, seed: u64) -> DataRef {
+    let words = pseudo_u64s(len, seed);
+    a.data_u64s(&words)
+}
+
+/// Emits a synthetic statically-linked runtime library: `funcs` small
+/// utility functions plus a `lib_init` that calls the first eight of
+/// them once at program start.
+///
+/// Real SPEC binaries are statically linked (§VI-A: "the rewriter only
+/// works for statically linked binary with all the libraries embedded"),
+/// so their text contains thousands of mostly-cold library functions —
+/// which is exactly where ROP gadgets live and what Table II / Figure 9
+/// count. The function bodies rotate through realistic shapes:
+///
+/// * push/pop prologue-epilogue pairs (the classic `pop r; ret` gadget
+///   tails),
+/// * stack-relative spills (write-memory gadgets),
+/// * ALU helper chains,
+/// * an immediate whose bytes decode, unaligned, to `sys 3` — the
+///   unintended-instruction phenomenon of variable-length ISAs that
+///   yields "syscall gadgets",
+/// * occasional tail-jump exits (functions *without* `ret`, Figure 9).
+///
+/// The caller must invoke `a.call_named("lib_init")` near its entry.
+pub fn emit_runtime_lib(a: &mut Asm, funcs: usize, seed: u64) {
+    assert!(funcs >= 8, "need at least the eight warm functions");
+
+    a.func("lib_init");
+    a.push(Reg::Rbx);
+    for f in 0..8 {
+        a.call_named(&format!("lib{f}"));
+    }
+    a.pop(Reg::Rbx);
+    a.ret();
+
+    let mix = pseudo_u64s(funcs, seed ^ 0x11b);
+    for f in 0..funcs {
+        a.func(&format!("lib{f}"));
+        match mix[f] % 6 {
+            // Prologue/epilogue: pop-reg gadget tails.
+            0 => {
+                a.push(Reg::Rbx);
+                a.push(Reg::R12);
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Add, Reg::R10, (f as i32) + 1);
+                a.pop(Reg::R12);
+                a.pop(Reg::Rbx);
+                a.ret();
+            }
+            // Stack spill: write-memory gadget.
+            1 => {
+                a.store(Reg::Rsp, -16, Reg::Rax);
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Xor, Reg::R10, f as i32);
+                a.load(Reg::Rax, Reg::Rsp, -16);
+                a.ret();
+            }
+            // ALU helper.
+            2 => {
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Shl, Reg::R10, ((f % 5) + 1) as i32);
+                a.alu_rr(AluOp::Xor, Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::And, Reg::R10, 0x7fff_ffff);
+                a.ret();
+            }
+            // The "0x0303" immediate: bytes that decode unaligned to
+            // `sys 3` — a syscall gadget hiding in plain data.
+            3 => {
+                a.alu_ri(AluOp::And, Reg::R10, 0x0303);
+                a.ret();
+            }
+            // Conditional helper with an early exit.
+            4 => {
+                a.test(Reg::Rax, Reg::Rax);
+                let early = a.label();
+                a.jcc(Cond::S, early);
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Add, Reg::R10, 7);
+                a.bind(early);
+                a.ret();
+            }
+            // Tail-jump exit: a function WITHOUT ret (Figure 9's
+            // second population). Jumps to the next function's entry.
+            _ => {
+                a.mov_rr(Reg::R10, Reg::Rax);
+                a.alu_ri(AluOp::Or, Reg::R10, 1);
+                let next = a.named_label(&format!("lib{}", (f + 1) % funcs));
+                a.jmp(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(pseudo_bytes(64, 7), pseudo_bytes(64, 7));
+        assert_ne!(pseudo_bytes(64, 7), pseudo_bytes(64, 8));
+        assert_eq!(pseudo_u64s(8, 1), pseudo_u64s(8, 1));
+    }
+
+    #[test]
+    fn lengths_respected() {
+        assert_eq!(pseudo_bytes(1000, 3).len(), 1000);
+        assert_eq!(pseudo_u64s(17, 3).len(), 17);
+    }
+}

@@ -1,0 +1,137 @@
+//! `xalan` stand-in: XSLT-style virtual dispatch over a node tree.
+//!
+//! xalancbmk is the indirect-call champion of the paper's Table II
+//! (15,465 static indirect calls). The stand-in walks a "DOM" of 4096
+//! nodes, each carrying a function pointer to one of 48 type handlers
+//! (`call [node]` — memory-indirect virtual dispatch), and additionally
+//! touches a wide battery of template functions each pass to keep the
+//! code footprint large.
+
+use crate::util;
+use crate::Workload;
+use vcfr_isa::{AluOp, Cond, Reg};
+
+const NODE_TYPES: usize = 48;
+const NODES: usize = 4096;
+const TEMPLATES: usize = 144;
+const PASSES: usize = 4;
+/// Node layout: { handler: fn ptr, value: u64 }.
+const NODE_STRIDE: i32 = 16;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut a = vcfr_isa::Asm::new(0x1000);
+    a.call_named("lib_init");
+
+    let handler_labels: Vec<_> = (0..NODE_TYPES).map(|_| a.label()).collect();
+    // Interleave per-node records: [handler ptr, value].
+    let types: Vec<u64> =
+        util::pseudo_u64s(NODES, 0xa1a).into_iter().map(|v| v % NODE_TYPES as u64).collect();
+    let values = util::pseudo_u64s(NODES, 0xb2b);
+    let mut first_node = None;
+    for n in 0..NODES {
+        let r = a.data_ptr_table(&[handler_labels[types[n] as usize]]);
+        a.data_u64s(&[values[n] & 0xffff]);
+        if n == 0 {
+            first_node = Some(r);
+        }
+    }
+    let nodes_base = first_node.expect("at least one node").0;
+
+    // r12 = node cursor, r9 = checksum, rbp = pass counter.
+    a.mov_ri(Reg::R9, 0);
+    a.mov_ri(Reg::Rbp, PASSES as i64);
+    let pass_top = a.here();
+    // Touch a slice of the template battery (direct calls).
+    for k in 0..6 {
+        a.call_named(&format!("template{}", (k * 29 + 7) % TEMPLATES));
+    }
+    a.mov_ri(Reg::R12, nodes_base as i64);
+    a.mov_ri(Reg::Rcx, (NODES / 8) as i64);
+    let walk = a.here();
+    // Eight distinct virtual-call sites per iteration: real xalancbmk is
+    // the static indirect-call champion of the paper's Table II, so the
+    // stand-in carries many call sites, not just many dynamic calls.
+    for _ in 0..8 {
+        a.call_m(Reg::R12, 0); // virtual dispatch on the node's handler
+        a.alu_ri(AluOp::Add, Reg::R12, NODE_STRIDE);
+    }
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, walk);
+    a.alu_ri(AluOp::Sub, Reg::Rbp, 1);
+    a.cmp_i(Reg::Rbp, 0);
+    a.jcc(Cond::Ne, pass_top);
+
+    a.emit_output(Reg::R9);
+    a.halt();
+
+    // Type handlers: read the node's value ([r12 + 8]) and fold it into
+    // the checksum in a type-specific way; return to the walker.
+    for (i, l) in handler_labels.iter().enumerate() {
+        a.bind(*l);
+        // The label marks a function entry for the stats machinery.
+        a.load(Reg::Rax, Reg::R12, 8);
+        a.alu_ri(AluOp::Add, Reg::Rax, (i as i32) * 11 + 1);
+        // Template-instantiation bulk: real handlers format, test and
+        // copy — dozens of instructions per virtual call.
+        for r in 0..2 {
+            a.mov_rr(Reg::R10, Reg::Rax);
+            a.alu_ri(AluOp::Shl, Reg::R10, ((i + r) % 9 + 1) as i32);
+            a.alu_rr(AluOp::Xor, Reg::Rax, Reg::R10);
+            a.alu_ri(AluOp::And, Reg::Rax, 0x3fff_ffff);
+        }
+        match i % 3 {
+            0 => a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax),
+            1 => a.alu_rr(AluOp::Xor, Reg::R9, Reg::Rax),
+            _ => {
+                a.alu_ri(AluOp::And, Reg::Rax, 0xffff);
+                a.alu_rr(AluOp::Add, Reg::R9, Reg::Rax);
+                a.mov_rr(Reg::R10, Reg::R9);
+                a.alu_ri(AluOp::Shr, Reg::R10, 5);
+                a.alu_rr(AluOp::Xor, Reg::R9, Reg::R10);
+            }
+        }
+        a.ret();
+    }
+
+    // Template battery: direct-call targets inflating the footprint.
+    for t in 0..TEMPLATES {
+        a.func(&format!("template{t}"));
+        a.alu_ri(AluOp::Add, Reg::R9, t as i32);
+        for r in 0..5 {
+            a.mov_rr(Reg::R10, Reg::R9);
+            a.alu_ri(AluOp::Shl, Reg::R10, ((t + r) % 7 + 1) as i32);
+            a.alu_rr(AluOp::Xor, Reg::R9, Reg::R10);
+            a.alu_ri(AluOp::And, Reg::R9, 0x7fff_ffff);
+        }
+        a.ret();
+    }
+
+    util::emit_runtime_lib(&mut a, 96, 9);
+    Workload {
+        name: "xalan",
+        description: "virtual dispatch over a node tree (indirect-call heavy)",
+        image: a.finish().expect("xalan assembles"),
+        max_insts: 1_200_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_dispatch_completes() {
+        let w = build();
+        let out = w.run_reference().unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output, w.run_reference().unwrap().output);
+    }
+
+    #[test]
+    fn every_node_has_a_relocated_handler() {
+        let w = build();
+        assert_eq!(w.image.relocs.len(), NODES);
+    }
+}

@@ -1,0 +1,63 @@
+//! DRC design-space sweep: size and associativity ablation (§VII and the
+//! paper's claim that a small *direct-mapped* DRC suffices because the
+//! miss penalty is only an L2 access).
+//!
+//! ```text
+//! cargo run --release --example drc_sweep [workload]
+//! ```
+
+use vcfr::core::DrcConfig;
+use vcfr::rewriter::{randomize, RandomizeConfig};
+use vcfr::sim::{simulate, Mode, SimConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".into());
+    let w = vcfr::workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}; try one of {:?}", vcfr::workloads::SPEC_NAMES));
+
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(7)).expect("randomizes");
+    let base = simulate(Mode::Baseline(&w.image), &cfg, w.max_insts).expect("baseline");
+
+    println!("workload: {} — {}", w.name, w.description);
+    println!("baseline IPC: {:.3}\n", base.stats.ipc());
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>14}",
+        "entries", "ways", "miss rate", "norm. IPC", "walk cycles"
+    );
+
+    // Size sweep at the paper's direct-mapped design point, then the
+    // associativity ablation the paper argues is unnecessary.
+    let sweep: &[(usize, usize)] = &[
+        (16, 1),
+        (32, 1),
+        (64, 1),
+        (128, 1),
+        (256, 1),
+        (512, 1),
+        (128, 2),
+        (128, 4),
+    ];
+    for &(entries, ways) in sweep {
+        let out = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig { entries, ways } },
+            &cfg,
+            w.max_insts,
+        )
+        .expect("vcfr");
+        let drc = out.stats.drc.expect("drc stats");
+        println!(
+            "{:>8} {:>6} {:>11.1}% {:>12.3} {:>14}",
+            entries,
+            ways,
+            100.0 * drc.miss_rate(),
+            out.stats.ipc() / base.stats.ipc(),
+            out.stats.drc_walk_cycles,
+        );
+    }
+    println!(
+        "\nEven at 64 direct-mapped entries the slowdown stays small: DRC misses\n\
+         are serviced by the unified L2, so the penalty per miss is ~{} cycles.",
+        cfg.l2.latency
+    );
+}

@@ -1,0 +1,55 @@
+//! Phase-behaviour trace: per-interval IPC of the three machines over a
+//! workload's execution, as an ASCII time series.
+//!
+//! ```text
+//! cargo run --release --example phase_trace [workload]
+//! ```
+
+use vcfr::core::DrcConfig;
+use vcfr::rewriter::{randomize, RandomizeConfig};
+use vcfr::sim::{simulate_sampled, IntervalSample, Mode, SimConfig};
+
+fn bar(v: f64, max: f64) -> String {
+    let cells = ((v / max) * 40.0).round() as usize;
+    "#".repeat(cells.min(40))
+}
+
+fn render(name: &str, samples: &[IntervalSample]) {
+    println!("\n{name}:");
+    for s in samples.iter().take(24) {
+        println!(
+            "  @{:>8}  ipc {:>5.2} |{:<40}| il1 {:>5.2}%  drc {:>5.1}%",
+            s.first_inst,
+            s.ipc,
+            bar(s.ipc, 1.0),
+            100.0 * s.il1_miss_rate,
+            100.0 * s.drc_miss_rate,
+        );
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let w = vcfr::workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let cfg = SimConfig::default();
+    let interval = w.max_insts / 24;
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(3)).expect("randomizes");
+
+    let (_, base) =
+        simulate_sampled(Mode::Baseline(&w.image), &cfg, w.max_insts, interval).expect("runs");
+    let (_, naive) =
+        simulate_sampled(Mode::NaiveIlr(&rp), &cfg, w.max_insts, interval).expect("runs");
+    let (_, vcfr) = simulate_sampled(
+        Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+        &cfg,
+        w.max_insts,
+        interval,
+    )
+    .expect("runs");
+
+    println!("workload: {} — {} (interval = {} insts)", w.name, w.description, interval);
+    render("baseline", &base);
+    render("naive hardware ILR", &naive);
+    render("VCFR (DRC 128)", &vcfr);
+}

@@ -1,0 +1,39 @@
+; Table-free CRC-ish checksum of a data blob, with a helper function
+; and a jump-table dispatch on the low bits.
+.words input 7 1 9 4 4 2 8 5
+.ptrs  disp  even odd
+.entry main
+
+main:
+    mov  rbx, input
+    mov  rcx, 8
+    mov  r9, 0
+loop:
+    load rax, [rbx+0]
+    call fold
+    mov  rdx, rax
+    and  rdx, 1
+    mov  r8, disp
+    loadx r10, [r8+rdx*8+0]
+    call r10
+    add  rbx, 8
+    sub  rcx, 1
+    cmp  rcx, 0
+    jne  loop
+    out  r9
+    halt
+
+fold:                   ; rax = (rax * 31) ^ (rax >> 3)
+    mov  r10, rax
+    mul  rax, 31
+    shr  r10, 3
+    xor  rax, r10
+    ret
+
+even:                   ; accumulate evens additively
+    add  r9, rax
+    ret
+
+odd:                    ; fold odds with xor
+    xor  r9, rax
+    ret

@@ -1,0 +1,17 @@
+; Iterative Fibonacci: prints fib(1)..fib(12).
+.entry main
+
+main:
+    mov  rsi, 1        ; fib(i-1)
+    mov  rdi, 0        ; fib(i-2)
+    mov  rcx, 12
+top:
+    mov  rax, rsi
+    add  rax, rdi      ; fib(i)
+    out  rax
+    mov  rdi, rsi
+    mov  rsi, rax
+    sub  rcx, 1
+    cmp  rcx, 0
+    jne  top
+    halt

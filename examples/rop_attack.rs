@@ -1,0 +1,124 @@
+//! End-to-end ROP attack demo (§II threat model, §V security analysis).
+//!
+//! A vulnerable service copies attacker-controlled input into a
+//! fixed-size stack buffer without a bounds check, overwriting its own
+//! return address. The attacker aims the corrupted return address at an
+//! *unintended* gadget — a `sys 3` ("spawn shell") hiding inside the
+//! bytes of an immediate — using addresses read from the publicly
+//! distributed binary.
+//!
+//! The attack succeeds against the original layout and is contained by
+//! instruction address space randomization: the injected address no
+//! longer names executable code in the randomized instruction space.
+//!
+//! ```text
+//! cargo run --release --example rop_attack
+//! ```
+
+use vcfr::gadget::{classify, scan, Capability};
+use vcfr::isa::{Addr, AluOp, Asm, ExecError, Image, Machine, Reg, StopReason};
+use vcfr::rewriter::{randomize, RandomizeConfig};
+
+const INPUT_WORDS: usize = 7;
+
+/// Builds the vulnerable service. Returns the image and the address of
+/// the attacker-writable input buffer.
+fn vulnerable_service() -> (Image, Addr) {
+    let mut a = Asm::new(0x1000);
+    let input = a.data_zeroed(INPUT_WORDS * 8);
+
+    // main: process the request, then report success.
+    a.call_named("process_input");
+    a.mov_ri(Reg::Rax, 200); // "HTTP 200", so to speak
+    a.emit_output(Reg::Rax);
+    a.halt();
+
+    // process_input: reads a length word, then copies that many words
+    // into a 5-word stack buffer — with no bounds check. A length of 6
+    // lands the last word on the saved return address. (The classic bug.)
+    a.func("process_input");
+    a.mov_ri(Reg::Rbx, input.0 as i64);
+    a.load(Reg::Rcx, Reg::Rbx, 0); // attacker-controlled length
+    a.mov_ri(Reg::Rdx, 0);
+    let copy = a.here();
+    let done = a.label();
+    a.cmp(Reg::Rdx, Reg::Rcx);
+    a.jcc(vcfr::isa::Cond::Ge, done);
+    a.load_idx(Reg::Rax, Reg::Rbx, Reg::Rdx, 3, 8);
+    a.store_idx(Reg::Rsp, Reg::Rdx, 3, -40, Reg::Rax);
+    a.alu_ri(AluOp::Add, Reg::Rdx, 1);
+    a.jmp(copy);
+    a.bind(done);
+    a.ret();
+
+    // An innocent helper whose immediate bytes hide `sys 3` at +2 — the
+    // unintended-instruction phenomenon of variable-length encodings.
+    a.func("crc_step");
+    a.alu_ri(AluOp::And, Reg::R10, 0x0303);
+    a.ret();
+
+    (a.finish().expect("assembles"), input.0)
+}
+
+fn main() {
+    let (image, input_addr) = vulnerable_service();
+
+    // -- The attacker studies the public binary offline. ----------------
+    let gadgets = scan(&image);
+    let shell_gadget = gadgets
+        .iter()
+        .find(|g| classify(g).contains(&Capability::Syscall))
+        .expect("the binary leaks a syscall gadget");
+    println!("attacker found a syscall gadget at {:#x}:", shell_gadget.addr);
+    for inst in &shell_gadget.insts {
+        println!("    {inst}");
+    }
+
+    // Payload: length 6 (overflowing the 5-word buffer), 5 words of
+    // filler, then the gadget address over the saved return address.
+    let mut payload = [0u64; INPUT_WORDS];
+    payload[0] = 6;
+    payload[1..6].fill(0x4141_4141_4141_4141);
+    payload[6] = shell_gadget.addr as u64;
+
+    // -- Attack 1: the original binary. ----------------------------------
+    let mut victim = Machine::new(&image);
+    for (i, w) in payload.iter().enumerate() {
+        victim.mem_mut().write_u64(input_addr + (i * 8) as Addr, *w);
+    }
+    match victim.run(10_000) {
+        Ok(out) if out.stop == StopReason::Shell => {
+            println!("\n[original layout]   ATTACK SUCCEEDED: shell spawned via ROP");
+        }
+        other => panic!("expected the attack to succeed on the original binary: {other:?}"),
+    }
+
+    // -- Attack 2: the same payload against the randomized binary. -------
+    let rp = randomize(&image, &RandomizeConfig::with_seed(0xc0ffee)).expect("randomizes");
+    // First, the honest run still works:
+    let honest = rp.scattered_machine().run(10_000).expect("honest run");
+    assert_eq!(honest.output, vec![200]);
+
+    let mut victim = rp.scattered_machine();
+    for (i, w) in payload.iter().enumerate() {
+        victim.mem_mut().write_u64(input_addr + (i * 8) as Addr, *w);
+    }
+    match victim.run(10_000) {
+        Err(ExecError::BadJumpTarget { target, .. }) => {
+            println!(
+                "[randomized layout] ATTACK CONTAINED: {target:#x} is not executable code \
+                 in the randomized instruction space"
+            );
+        }
+        Ok(out) if out.stop == StopReason::Shell => {
+            panic!("randomization failed to stop the attack");
+        }
+        other => println!("[randomized layout] attack failed differently: {other:?}"),
+    }
+
+    // The translation tables agree: the address the attacker needs is
+    // tagged as randomized, so hardware refuses to enter it.
+    let verdict = rp.table.derand(vcfr::core::RandAddr(shell_gadget.addr));
+    println!("table verdict for {:#x}: {verdict:?}", shell_gadget.addr);
+    assert!(verdict.is_err());
+}

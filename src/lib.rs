@@ -1,0 +1,34 @@
+//! # VCFR — hardware-supported instruction address space randomization
+//!
+//! A reproduction of *"Enhancing Software Dependability and Security with
+//! Hardware Supported Instruction Address Space Randomization"* (DSN 2015).
+//!
+//! This facade crate re-exports every subsystem of the workspace so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`isa`] — the variable-length x86-style instruction set, assembler and
+//!   functional interpreter.
+//! * [`core`] — the paper's contribution as a library: address-space
+//!   newtypes, randomization/de-randomization tables and the DRC lookup
+//!   buffer model.
+//! * [`rewriter`] — the static binary rewriter: disassembly, CFG recovery,
+//!   indirect-target analyses and the per-instruction ILR randomizer.
+//! * [`sim`] — the cycle-based core model with Baseline / naive-ILR / VCFR
+//!   execution modes.
+//! * [`power`] — the McPAT-style dynamic power model.
+//! * [`gadget`] — the ROPgadget-style scanner and payload assembler.
+//! * [`workloads`] — the synthetic SPEC CPU2006-like benchmark programs.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use vcfr_core as core;
+pub use vcfr_gadget as gadget;
+pub use vcfr_isa as isa;
+pub use vcfr_power as power;
+pub use vcfr_rewriter as rewriter;
+pub use vcfr_sim as sim;
+pub use vcfr_workloads as workloads;

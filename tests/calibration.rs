@@ -1,0 +1,48 @@
+//! Calibration regression guards: the headline paper-shape numbers must
+//! stay inside their bands.
+//!
+//! These run the full 11-app × 5-config matrix, which is only reasonable
+//! in release mode, so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release -p vcfr --test calibration -- --ignored
+//! ```
+
+use vcfr_bench::experiments as ex;
+
+#[test]
+#[ignore = "full matrix; run with --release -- --ignored"]
+fn headline_numbers_stay_in_their_bands() {
+    let m = ex::run_matrix();
+
+    // Figure 4: naive ILR normalized IPC, paper mean 0.61–0.66.
+    let fig4 = ex::mean(ex::fig4(&m).iter().map(|r| r.1));
+    assert!((0.50..=0.75).contains(&fig4), "fig4 mean {fig4}");
+
+    // Figure 12: VCFR speedup over naive, paper 1.63x.
+    let fig12 = ex::geomean(ex::fig12(&m).iter().map(|r| r.1));
+    assert!((1.4..=2.6).contains(&fig12), "fig12 geomean {fig12}");
+
+    // Figure 13: VCFR at 64-entry DRC keeps ≥94% of baseline on average.
+    let fig13_64 = ex::mean(ex::fig13(&m).iter().map(|r| r.3));
+    assert!(fig13_64 >= 0.94, "fig13@64 mean {fig13_64}");
+
+    // Figure 14: monotone DRC miss rates, sane magnitudes.
+    let (m512, m64): (Vec<f64>, Vec<f64>) =
+        ex::fig14(&m).iter().map(|r| (r.1, r.2)).unzip();
+    assert!(ex::mean(m512.iter().copied()) < ex::mean(m64.iter().copied()));
+    assert!(ex::mean(m64.iter().copied()) < 35.0);
+
+    // Figure 15: DRC power overhead stays sub-percent on average.
+    let fig15 = ex::mean(ex::fig15(&m).iter().map(|r| r.1));
+    assert!(fig15 < 1.0, "fig15 mean {fig15}%");
+}
+
+#[test]
+#[ignore = "full security sweep; run with --release -- --ignored"]
+fn gadget_removal_stays_above_97_percent() {
+    let rows = ex::fig11();
+    let mean = ex::mean(rows.iter().map(|r| r.removal_pct));
+    assert!(mean > 97.0, "fig11 mean {mean}%");
+    assert!(rows.iter().all(|r| r.payloads_after == 0));
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the disassembler and CFG builder:
+//! robustness on arbitrary byte soup and structural invariants on
+//! well-formed programs.
+
+use proptest::prelude::*;
+use vcfr::isa::{Image, Section, SectionKind};
+use vcfr::rewriter::{address_taken_targets, disassemble, Cfg, Terminator};
+
+/// Wraps arbitrary bytes as a text section with a halt-terminated entry
+/// so recursive descent stops immediately and the sweep has to cope with
+/// the soup.
+fn soup_image(bytes: Vec<u8>) -> Image {
+    let mut text = vec![0x01]; // halt at the entry
+    text.extend(bytes);
+    Image {
+        sections: vec![Section { kind: SectionKind::Text, base: 0x1000, bytes: text }],
+        entry: 0x1000,
+        stack_top: 0xf000,
+        symbols: vec![],
+        relocs: vec![],
+    }
+}
+
+proptest! {
+    /// The sweeping disassembler must never panic and never fabricate
+    /// instructions outside the section.
+    #[test]
+    fn sweep_is_total_and_in_bounds(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let img = soup_image(bytes);
+        let end = img.text().end();
+        if let Ok(d) = disassemble(&img) {
+            for (addr, inst) in d.iter() {
+                prop_assert!(addr >= 0x1000);
+                prop_assert!(addr + inst.len() as u32 <= end);
+            }
+            // The entry halt is always reachable.
+            prop_assert!(d.reachable.contains(&0x1000));
+        }
+    }
+
+    /// CFG invariants over arbitrary (tiny, halt-prefixed) programs:
+    /// blocks are non-empty, disjoint in address, and every successor
+    /// edge points at a real block start.
+    #[test]
+    fn cfg_structural_invariants(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let img = soup_image(bytes);
+        let Ok(d) = disassemble(&img) else { return Ok(()) };
+        let targets = address_taken_targets(&img, &d);
+        let cfg = Cfg::build(&img, &d, &targets);
+
+        let mut prev_end = 0u32;
+        for (start, block) in &cfg.blocks {
+            prop_assert!(!block.insts.is_empty());
+            prop_assert_eq!(*start, block.insts[0].0);
+            prop_assert!(*start >= prev_end, "blocks overlap");
+            prev_end = block.end();
+            // Instructions inside a block are contiguous.
+            let mut expect = *start;
+            for (a, i) in &block.insts {
+                prop_assert_eq!(*a, expect);
+                expect = a + i.len() as u32;
+            }
+        }
+        for (from, succs) in &cfg.succs {
+            prop_assert!(cfg.blocks.contains_key(from));
+            for s in succs {
+                prop_assert!(cfg.blocks.contains_key(s), "dangling edge {from:#x}->{s:#x}");
+            }
+        }
+        for (to, preds) in &cfg.preds {
+            for p in preds {
+                prop_assert!(
+                    cfg.succs.get(p).map(|ss| ss.contains(to)).unwrap_or(false),
+                    "pred/succ asymmetry {p:#x}->{to:#x}"
+                );
+            }
+        }
+        // Terminator sanity: return/halt blocks have no successors.
+        for (start, block) in &cfg.blocks {
+            if matches!(block.term, Terminator::Return | Terminator::Halt) {
+                prop_assert!(cfg.succs[start].is_empty());
+            }
+        }
+    }
+
+    /// Image persistence round-trips even for soup sections.
+    #[test]
+    fn image_persistence_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let img = soup_image(bytes);
+        let back = Image::from_bytes(&img.to_bytes()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+}
+
+proptest! {
+    /// Artefact deserialization is total: arbitrary bytes (including
+    /// valid magic prefixes followed by garbage) never panic.
+    #[test]
+    fn persistence_never_panics(mut bytes in proptest::collection::vec(any::<u8>(), 0..256),
+                                use_magic in any::<bool>()) {
+        if use_magic && bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(b"VCFRIMG1");
+        }
+        let _ = Image::from_bytes(&bytes);
+        if use_magic && bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(b"VCFRRP01");
+        }
+        let _ = vcfr::rewriter::RandomizedProgram::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate security checks: the Figure 11 / §V-B pipeline on real
+//! workload binaries.
+
+use vcfr::gadget::{assemble_payload, compare_surface, execute_rop, scan, templates};
+use vcfr::rewriter::{randomize, RandomizeConfig};
+
+#[test]
+fn full_randomization_removes_all_gadgets() {
+    for name in ["bzip2", "xalan"] {
+        let w = vcfr::workloads::by_name(name).unwrap();
+        let rp = randomize(&w.image, &RandomizeConfig::with_seed(4)).unwrap();
+        let c = compare_surface(&w.image, &rp);
+        assert!(c.total_gadgets > 100, "{name}: only {} gadgets", c.total_gadgets);
+        // The conservative pointer scan may pin a few instructions at
+        // their original addresses (possible unrelocated code pointers),
+        // leaving a tiny residue — but never enough to assemble anything.
+        assert!(
+            c.usable_after * 100 <= c.total_gadgets,
+            "{name}: {} of {} gadgets survive",
+            c.usable_after,
+            c.total_gadgets
+        );
+        assert_eq!(c.payloads_after, 0, "{name}");
+        assert!(c.payloads_before >= 2, "{name}: {}", c.payloads_before);
+    }
+}
+
+#[test]
+fn failover_residue_is_small_and_insufficient_for_payloads() {
+    for name in ["hmmer", "gcc"] {
+        let w = vcfr::workloads::by_name(name).unwrap();
+        let keep: Vec<String> = w
+            .image
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 64 == 7)
+            .map(|(_, s)| s.name.clone())
+            .collect();
+        assert!(!keep.is_empty());
+        let mut cfg = RandomizeConfig::with_seed(4);
+        cfg.keep_unrandomized = keep;
+        let rp = randomize(&w.image, &cfg).unwrap();
+        let c = compare_surface(&w.image, &rp);
+        assert!(c.removal_pct() > 90.0, "{name}: {}", c.removal_pct());
+        assert_eq!(c.payloads_after, 0, "{name}");
+    }
+}
+
+#[test]
+fn workload_binaries_have_rich_gadget_populations() {
+    // The modified-ROPgadget premise: the *original* binaries offer
+    // enough material that at least two payload templates assemble.
+    for name in vcfr::workloads::SPEC_NAMES {
+        let w = vcfr::workloads::by_name(name).unwrap();
+        let gadgets = scan(&w.image);
+        assert!(gadgets.len() > 50, "{name}: {} gadgets", gadgets.len());
+        let assembled = templates()
+            .iter()
+            .filter(|t| assemble_payload(t, &gadgets, |_| true).is_some())
+            .count();
+        assert!(assembled >= 2, "{name}: only {assembled} templates assemble");
+    }
+}
+
+#[test]
+fn entropy_across_seeds_scatters_the_same_gadget() {
+    // The same gadget byte sequence lands at wildly different addresses
+    // across seeds — the randomization-space argument of §V-C.
+    let w = vcfr::workloads::by_name("lbm").unwrap();
+    let probe = w.image.entry;
+    let mut homes = std::collections::BTreeSet::new();
+    for seed in 0..8 {
+        let rp = randomize(&w.image, &RandomizeConfig::with_seed(seed)).unwrap();
+        homes.insert(rp.rand_or_orig(probe));
+    }
+    assert_eq!(homes.len(), 8, "layouts repeat: {homes:?}");
+}
+
+#[test]
+fn assembled_rop_chains_execute_before_and_fault_after() {
+    // End-to-end §V-B: build the actual stack words for a spawn-shell
+    // chain from a workload binary, execute them, then show the same
+    // bytes are inert against the randomized layout.
+    let w = vcfr::workloads::by_name("sjeng").unwrap();
+    let gadgets = scan(&w.image);
+    let shell = templates().into_iter().find(|t| t.name == "spawn-shell").unwrap();
+    let payload = assemble_payload(&shell, &gadgets, |_| true).expect("assembles");
+    let words = payload.stack_words(&gadgets);
+
+    let stop = execute_rop(&w.image, &words, 10_000).expect("chain runs on the original");
+    assert_eq!(stop, vcfr::isa::StopReason::Shell);
+
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(8)).unwrap();
+    let outcome = execute_rop(&rp.scattered, &words, 10_000);
+    assert!(
+        !matches!(outcome, Ok(vcfr::isa::StopReason::Shell)),
+        "chain must not pop a shell on the randomized binary: {outcome:?}"
+    );
+}
+
+#[test]
+fn function_pointer_hijack_is_contained() {
+    // A data-only attack: overwrite a vtable slot with an original-space
+    // gadget address. On the original binary the next virtual dispatch
+    // executes the gadget; on the randomized binary the stale
+    // original-space address is no longer executable code.
+    let w = vcfr::workloads::by_name("xalan").unwrap();
+    let gadgets = scan(&w.image);
+    let sys_gadget = gadgets
+        .iter()
+        .find(|g| vcfr::gadget::classify(g).contains(&vcfr::gadget::Capability::Syscall))
+        .expect("xalan leaks a syscall gadget");
+    let slot = w.image.relocs[0].at;
+
+    // Original binary: hijack succeeds.
+    let mut victim = vcfr::isa::Machine::new(&w.image);
+    victim.mem_mut().write_u64(slot, sys_gadget.addr as u64);
+    let out = victim.run(w.max_insts);
+    assert!(
+        matches!(out, Ok(ref o) if o.stop == vcfr::isa::StopReason::Shell),
+        "hijack should succeed on the original binary: {out:?}"
+    );
+
+    // Randomized binary: the same overwrite faults at dispatch.
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(9)).unwrap();
+    let mut victim = rp.scattered_machine();
+    victim.mem_mut().write_u64(slot, sys_gadget.addr as u64);
+    let out = victim.run(w.max_insts);
+    assert!(
+        matches!(out, Err(vcfr::isa::ExecError::BadJumpTarget { .. })),
+        "hijack must be contained on the randomized binary: {out:?}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate checks of the timing pipeline: the orderings the paper's
+//! performance figures rest on must hold on reduced runs.
+
+use vcfr::core::DrcConfig;
+use vcfr::rewriter::{randomize, RandomizeConfig};
+use vcfr::sim::{simulate, Mode, SimConfig};
+
+const BUDGET: u64 = 150_000;
+
+struct Quad {
+    base: vcfr::sim::SimStats,
+    naive: vcfr::sim::SimStats,
+    vcfr64: vcfr::sim::SimStats,
+    vcfr512: vcfr::sim::SimStats,
+}
+
+fn run(name: &str) -> Quad {
+    let w = vcfr::workloads::by_name(name).expect("known workload");
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(11)).unwrap();
+    let base = simulate(Mode::Baseline(&w.image), &cfg, BUDGET).unwrap();
+    let naive = simulate(Mode::NaiveIlr(&rp), &cfg, BUDGET).unwrap();
+    let v64 = simulate(
+        Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) },
+        &cfg,
+        BUDGET,
+    )
+    .unwrap();
+    let v512 = simulate(
+        Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(512) },
+        &cfg,
+        BUDGET,
+    )
+    .unwrap();
+    Quad { base: base.stats, naive: naive.stats, vcfr64: v64.stats, vcfr512: v512.stats }
+}
+
+#[test]
+fn vcfr_beats_naive_and_tracks_baseline() {
+    for name in ["gcc", "h264ref", "bzip2"] {
+        let q = run(name);
+        assert!(
+            q.vcfr512.ipc() > q.naive.ipc(),
+            "{name}: vcfr {} <= naive {}",
+            q.vcfr512.ipc(),
+            q.naive.ipc()
+        );
+        assert!(
+            q.vcfr512.ipc() > 0.9 * q.base.ipc(),
+            "{name}: vcfr too slow ({} vs {})",
+            q.vcfr512.ipc(),
+            q.base.ipc()
+        );
+    }
+}
+
+#[test]
+fn naive_ilr_raises_il1_misses_and_l2_pressure() {
+    for name in ["gcc", "xalan"] {
+        let q = run(name);
+        assert!(q.naive.il1.misses > 3 * q.base.il1.misses.max(1), "{name}");
+        assert!(q.naive.l2_reads_from_l1 > q.base.l2_reads_from_l1, "{name}");
+    }
+}
+
+#[test]
+fn drc_scaling_is_monotone() {
+    for name in ["gcc", "xalan"] {
+        let q = run(name);
+        let m64 = q.vcfr64.drc.unwrap().miss_rate();
+        let m512 = q.vcfr512.drc.unwrap().miss_rate();
+        assert!(m512 <= m64, "{name}: {m512} > {m64}");
+        assert!(q.vcfr512.ipc() >= q.vcfr64.ipc(), "{name}");
+    }
+}
+
+#[test]
+fn vcfr_preserves_branch_prediction_quality() {
+    // §IV-D: predictions operate in the original space, so rates match
+    // the baseline exactly (same predictor, same trace, same keys).
+    let q = run("sjeng");
+    assert_eq!(q.base.branch.predictions, q.vcfr512.branch.predictions);
+    assert_eq!(q.base.branch.mispredictions, q.vcfr512.branch.mispredictions);
+}
+
+#[test]
+fn power_overhead_is_sub_percent_at_128_entries() {
+    let w = vcfr::workloads::by_name("hmmer").unwrap();
+    let cfg = SimConfig::default();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(11)).unwrap();
+    let drc = DrcConfig::direct_mapped(128);
+    let out = simulate(Mode::Vcfr { program: &rp, drc }, &cfg, BUDGET).unwrap();
+    let p = vcfr::power::analyze(&out.stats, &cfg, Some(drc));
+    let pct = p.drc_overhead_pct();
+    assert!(pct > 0.0 && pct < 1.5, "DRC power overhead {pct}%");
+}

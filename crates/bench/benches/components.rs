@@ -111,6 +111,28 @@ fn bench_drc(c: &mut Criterion) {
     });
 }
 
+fn bench_engine_hot_loop(c: &mut Criterion) {
+    use vcfr_sim::{simulate, Mode, SimConfig};
+    // The cycle engine's per-instruction path end to end (fetch, caches,
+    // DRC, predictors) on a real workload — the loop the dense decode
+    // index and flat maps exist to keep fast.
+    let w = vcfr_workloads::by_name("bzip2").expect("suite workload");
+    let rp = vcfr_bench::experiments::randomize_workload(&w.image);
+    let cfg = SimConfig::default();
+    c.bench_function("sim/engine_hot_loop", |b| {
+        b.iter(|| {
+            simulate(
+                Mode::Vcfr { program: black_box(&rp), drc: DrcConfig::direct_mapped(128) },
+                &cfg,
+                20_000,
+            )
+            .unwrap()
+            .stats
+            .instructions
+        })
+    });
+}
+
 criterion_group!(
     components,
     bench_encode_decode,
@@ -118,6 +140,7 @@ criterion_group!(
     bench_cache,
     bench_dram,
     bench_predictor,
-    bench_drc
+    bench_drc,
+    bench_engine_hot_loop
 );
 criterion_main!(components);

@@ -3,9 +3,15 @@
 //! ```text
 //! repro                # run everything
 //! repro fig3 fig12     # run selected experiments
+//! repro check --threads 4   # CI gate on an explicit worker count
 //! ```
+//!
+//! Whenever the simulation matrix runs, per-run wall-clock timing is
+//! written to `BENCH_repro.json` in the current directory. The worker
+//! count comes from `--threads N` (or `N` via `--threads=N`), falling
+//! back to `RAYON_NUM_THREADS` and then the machine's parallelism.
 
-use vcfr_bench::experiments::{self as ex, Matrix};
+use vcfr_bench::experiments::{self as ex, Matrix, MatrixTiming};
 
 fn want(args: &[String], name: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == name)
@@ -16,10 +22,75 @@ fn header(title: &str, paper: &str) {
     println!("    paper: {paper}");
 }
 
+/// Pulls `--threads N` / `--threads=N` out of `args` (so the remaining
+/// arguments are plain experiment names), returning the worker count.
+fn parse_threads(args: &mut Vec<String>) -> usize {
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" && i + 1 < args.len() {
+            threads = args[i + 1].parse::<usize>().ok();
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+            threads = v.parse::<usize>().ok();
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    threads.filter(|&n| n > 0).unwrap_or_else(ex::default_threads)
+}
+
+/// Writes the matrix timing record (the benchmark artefact CI archives)
+/// as hand-rolled JSON — the harness has no serialization dependency.
+fn write_bench_json(t: &MatrixTiming) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"threads\": {},\n", t.threads));
+    s.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str(&format!("  \"randomize_s\": {:.6},\n", t.randomize_s));
+    s.push_str(&format!("  \"matrix_wall_s\": {:.6},\n", t.wall_s));
+    let total_insts: u64 = t.runs.iter().map(|r| r.instructions).sum();
+    let sim_s: f64 = t.runs.iter().map(|r| r.wall_s).sum();
+    s.push_str(&format!("  \"total_instructions\": {total_insts},\n"));
+    s.push_str(&format!(
+        "  \"aggregate_insts_per_s\": {:.1},\n",
+        total_insts as f64 / sim_s.max(1e-9)
+    ));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in t.runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"mode\": \"{}\", \"instructions\": {}, \
+             \"wall_s\": {:.6}, \"insts_per_s\": {:.1}}}{}\n",
+            r.app,
+            r.mode,
+            r.instructions,
+            r.wall_s,
+            r.insts_per_s,
+            if i + 1 < t.runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_repro.json", &s) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_repro.json ({} runs, {:.2}s matrix wall, {} thread{})",
+            t.runs.len(),
+            t.wall_s,
+            t.threads,
+            if t.threads == 1 { "" } else { "s" }
+        ),
+        Err(e) => eprintln!("warning: could not write BENCH_repro.json: {e}"),
+    }
+}
+
 /// CI gate: recompute the headline numbers and fail (exit 1) when any
 /// leaves its calibrated band.
-fn check() -> bool {
-    let m = ex::run_matrix();
+fn check(threads: usize) -> bool {
+    let (m, timing) = ex::run_matrix_timed(threads);
+    write_bench_json(&timing);
     let mut ok = true;
     let mut gate = |name: &str, value: f64, lo: f64, hi: f64| {
         let pass = (lo..=hi).contains(&value);
@@ -55,16 +126,19 @@ fn check() -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_threads(&mut args);
     if args.iter().any(|a| a == "check") {
-        let ok = check();
+        let ok = check(threads);
         std::process::exit(if ok { 0 } else { 1 });
     }
     let needs_matrix =
         ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));
     let matrix: Option<Matrix> = needs_matrix.then(|| {
-        eprintln!("running the 11-app x 5-config simulation matrix ...");
-        ex::run_matrix()
+        eprintln!("running the 11-app x 5-config simulation matrix on {threads} thread(s) ...");
+        let (m, timing) = ex::run_matrix_timed(threads);
+        write_bench_json(&timing);
+        m
     });
 
     if want(&args, "fig2") {

@@ -1,5 +1,7 @@
 //! One function per table/figure of the paper's evaluation.
 
+use std::sync::Mutex;
+use std::time::Instant;
 use vcfr_core::DrcConfig;
 use vcfr_gadget::compare_surface;
 use vcfr_isa::Image;
@@ -10,39 +12,11 @@ use vcfr_rewriter::{
 use vcfr_sim::{emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel, Mode, OooConfig, SimConfig, SimStats};
 use vcfr_workloads::{by_name, fig2_suite, spec_suite, Workload};
 
+pub use crate::{geomean, mean};
+
 /// The randomization seed every experiment uses (results are
 /// deterministic end to end).
 pub const SEED: u64 = 2015;
-
-/// Geometric mean of an iterator of positive values.
-pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
-    let mut log_sum = 0.0;
-    let mut n = 0usize;
-    for v in vals {
-        log_sum += v.max(1e-12).ln();
-        n += 1;
-    }
-    if n == 0 {
-        0.0
-    } else {
-        (log_sum / n as f64).exp()
-    }
-}
-
-/// Arithmetic mean.
-pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for v in vals {
-        sum += v;
-        n += 1;
-    }
-    if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
-    }
-}
 
 /// All simulation results for one application.
 #[derive(Clone, Debug)]
@@ -69,7 +43,168 @@ pub fn randomize_workload(image: &Image) -> RandomizedProgram {
     randomize(image, &RandomizeConfig::with_seed(SEED)).expect("workloads randomize")
 }
 
-/// Runs one application through every machine configuration.
+/// The five machine configurations of the experiment matrix, in column
+/// order.
+pub const MODE_NAMES: [&str; 5] = ["base", "naive", "vcfr512", "vcfr128", "vcfr64"];
+
+/// Builds the [`Mode`] for matrix column `mode_idx`.
+fn matrix_mode<'a>(mode_idx: usize, image: &'a Image, rp: &'a RandomizedProgram) -> Mode<'a> {
+    match mode_idx {
+        0 => Mode::Baseline(image),
+        1 => Mode::NaiveIlr(rp),
+        2 => Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(512) },
+        3 => Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(128) },
+        4 => Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(64) },
+        _ => unreachable!("matrix has five configurations"),
+    }
+}
+
+/// Wall-clock measurement of one simulator run.
+#[derive(Clone, Debug)]
+pub struct RunTiming {
+    /// Application name.
+    pub app: &'static str,
+    /// Machine configuration (one of [`MODE_NAMES`]).
+    pub mode: &'static str,
+    /// Instructions the run committed.
+    pub instructions: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Simulated instructions per host second.
+    pub insts_per_s: f64,
+}
+
+/// Timing of a whole experiment matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixTiming {
+    /// One record per (application, configuration) simulator run.
+    pub runs: Vec<RunTiming>,
+    /// Wall-clock seconds the randomization stage took (sum over apps).
+    pub randomize_s: f64,
+    /// Wall-clock seconds for the whole matrix (randomize + simulate).
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Worker-thread count for the parallel experiment matrix: the
+/// `RAYON_NUM_THREADS` environment variable when set (the conventional
+/// knob for this kind of fan-out), otherwise the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `f` over `items` on `threads` workers, returning the results in
+/// item order. Items are handed out from a shared queue, so reassembly
+/// is deterministic regardless of scheduling.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let results = Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
+    let workers = threads.clamp(1, n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Pop from the front so execution order follows item
+                // order (single-threaded runs are exactly serial).
+                let job = {
+                    let mut q = queue.lock().expect("queue lock");
+                    if q.is_empty() {
+                        None
+                    } else {
+                        Some(q.remove(0))
+                    }
+                };
+                let Some((i, item)) = job else { break };
+                let r = f(i, item);
+                results.lock().expect("results lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// Runs the matrix over an arbitrary workload slice on `threads`
+/// workers: first every randomization (one job per app), then every
+/// simulator run (one job per app × configuration), so the fan-out is
+/// `5 × apps` wide and no figure ever re-simulates.
+pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming) {
+    let t_total = Instant::now();
+    let cfg = SimConfig::default();
+
+    // Stage 1: randomize each app once; every configuration shares the
+    // result.
+    let t_rand = Instant::now();
+    let programs = parallel_map(suite.iter().collect(), threads, |_, w: &Workload| {
+        randomize_workload(&w.image)
+    });
+    let randomize_s = t_rand.elapsed().as_secs_f64();
+
+    // Stage 2: one job per (app, configuration) cell.
+    let cells: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|a| (0..MODE_NAMES.len()).map(move |m| (a, m))).collect();
+    let outputs = parallel_map(cells, threads, |_, (a, m)| {
+        let w = &suite[a];
+        let t = Instant::now();
+        let out = simulate(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts)
+            .expect("matrix cell runs");
+        let wall_s = t.elapsed().as_secs_f64();
+        let instructions = out.stats.instructions;
+        let timing = RunTiming {
+            app: w.name,
+            mode: MODE_NAMES[m],
+            instructions,
+            wall_s,
+            insts_per_s: instructions as f64 / wall_s.max(1e-9),
+        };
+        (out, timing)
+    });
+
+    let mut rows = Matrix::new();
+    let mut runs = Vec::with_capacity(outputs.len());
+    for (a, cell) in outputs.chunks_exact(MODE_NAMES.len()).enumerate() {
+        let w = &suite[a];
+        // Functional equivalence across every mode is part of the
+        // harness: randomization must never change program semantics.
+        for (out, _) in &cell[1..] {
+            assert_eq!(cell[0].0.outcome.output, out.outcome.output, "{}", w.name);
+        }
+        rows.push(AppResults {
+            name: w.name,
+            base: cell[0].0.stats,
+            naive: cell[1].0.stats,
+            vcfr512: cell[2].0.stats,
+            vcfr128: cell[3].0.stats,
+            vcfr64: cell[4].0.stats,
+        });
+        runs.extend(cell.iter().map(|(_, t)| t.clone()));
+    }
+    let timing = MatrixTiming {
+        runs,
+        randomize_s,
+        wall_s: t_total.elapsed().as_secs_f64(),
+        threads: threads.max(1),
+    };
+    (rows, timing)
+}
+
+/// Runs one application through every machine configuration, serially on
+/// the calling thread.
 pub fn run_app(w: &Workload) -> AppResults {
     let cfg = SimConfig::default();
     let rp = randomize_workload(&w.image);
@@ -89,7 +224,9 @@ pub fn run_app(w: &Workload) -> AppResults {
 
     // Functional equivalence across every mode is part of the harness.
     assert_eq!(base.outcome.output, naive.outcome.output, "{}", w.name);
+    assert_eq!(base.outcome.output, vcfr512.outcome.output, "{}", w.name);
     assert_eq!(base.outcome.output, vcfr128.outcome.output, "{}", w.name);
+    assert_eq!(base.outcome.output, vcfr64.outcome.output, "{}", w.name);
 
     AppResults {
         name: w.name,
@@ -101,14 +238,24 @@ pub fn run_app(w: &Workload) -> AppResults {
     }
 }
 
+/// Like [`run_app`], but routed through the parallel matrix machinery
+/// (the determinism guard in the test suite compares the two paths
+/// bit for bit).
+pub fn run_app_parallel(w: &Workload, threads: usize) -> AppResults {
+    let (mut m, _) = matrix_over(std::slice::from_ref(w), threads);
+    m.pop().expect("one app in, one row out")
+}
+
 /// Runs the full 11-application SPEC-like matrix (the expensive step all
-/// performance figures share), one thread per application.
+/// performance figures share) on [`default_threads`] workers.
 pub fn run_matrix() -> Matrix {
-    let suite = spec_suite();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = suite.iter().map(|w| s.spawn(move || run_app(w))).collect();
-        handles.into_iter().map(|h| h.join().expect("matrix worker panicked")).collect()
-    })
+    run_matrix_timed(default_threads()).0
+}
+
+/// [`run_matrix`] with an explicit worker count, also returning per-run
+/// wall-clock timing (the `BENCH_repro.json` payload).
+pub fn run_matrix_timed(threads: usize) -> (Matrix, MatrixTiming) {
+    matrix_over(&spec_suite(), threads)
 }
 
 // ---------------------------------------------------------------------

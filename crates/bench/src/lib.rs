@@ -13,6 +13,54 @@ pub mod experiments;
 mod tests;
 
 pub use experiments::{
-    fig11, fig12, fig13, fig14, fig15, fig2, fig3, fig4, fig9, run_app, run_matrix, table1,
-    table2, AppResults, Fig11Row, Fig2Row, Fig3Row, Matrix,
+    default_threads, fig11, fig12, fig13, fig14, fig15, fig2, fig3, fig4, fig9, matrix_over,
+    run_app, run_app_parallel, run_matrix, run_matrix_timed, table1, table2, AppResults,
+    Fig11Row, Fig2Row, Fig3Row, Matrix, MatrixTiming, RunTiming, MODE_NAMES,
 };
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod mean_tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+    }
+}

@@ -279,12 +279,14 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         (m, _) => return Err(fail(format!("unknown mode {m:?} (baseline|naive|vcfr)"))),
     };
 
+    let host = std::time::Instant::now();
     let out = if args.flag("ooo") {
         simulate_ooo(mode, &cfg, OooConfig::default(), max)
     } else {
         simulate(mode, &cfg, max)
     }
     .map_err(|e| fail(e.to_string()))?;
+    let host_s = host.elapsed().as_secs_f64();
 
     let mut report = format!(
         "mode: {}{}\n",
@@ -292,6 +294,12 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         if args.flag("ooo") { " (4-wide out-of-order)" } else { "" }
     );
     report.push_str(&render_stats(&out.stats));
+    let _ = writeln!(
+        report,
+        "host wall: {:.3}s ({:.1}M simulated insts/s)",
+        host_s,
+        out.stats.instructions as f64 / host_s.max(1e-9) / 1e6
+    );
     if let (Some(drc), true) = (out.stats.drc, mode_name == "vcfr") {
         let _ = drc;
         let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(drc_entries)));

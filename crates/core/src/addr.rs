@@ -27,6 +27,10 @@ macro_rules! addr_impls {
             }
 
             /// Returns the address advanced by `n` bytes (wrapping).
+            // Deliberately not `std::ops::Add`: the operand is a byte
+            // count, not another address, and call sites read better
+            // with the method form.
+            #[allow(clippy::should_implement_trait)]
             pub fn add(self, n: u32) -> $t {
                 $t(self.0.wrapping_add(n))
             }

@@ -9,14 +9,17 @@
 //! models the architectural contents; the cycle simulator charges the
 //! timing.
 
-use std::collections::HashMap;
-
 const PAGE_SHIFT: u32 = 12;
 /// 4 KiB page / 8-byte slots = 512 bits = 8 × u64 words.
 const WORDS_PER_PAGE: usize = 8;
 
 /// Tracks which 8-byte stack slots currently hold randomized return
 /// addresses.
+///
+/// A program's stack touches a handful of pages, so the page store is a
+/// flat association list searched linearly with the hot page kept in
+/// front — the simulator consults the bitmap on every memory access in
+/// VCFR mode, and this avoids hashing on that path.
 ///
 /// # Example
 ///
@@ -30,7 +33,7 @@ const WORDS_PER_PAGE: usize = 8;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct StackBitmap {
-    pages: HashMap<u32, [u64; WORDS_PER_PAGE]>,
+    pages: Vec<(u32, [u64; WORDS_PER_PAGE])>,
     marked: u64,
 }
 
@@ -46,12 +49,29 @@ impl StackBitmap {
         (page, slot / 64, 1u64 << (slot % 64))
     }
 
+    /// Index of `page` in the store, moving it to the front on a repeat
+    /// hit so the hot stack page is found in one comparison.
+    fn find(&mut self, page: u32) -> Option<usize> {
+        let at = self.pages.iter().position(|&(p, _)| p == page)?;
+        if at != 0 {
+            self.pages.swap(0, at);
+        }
+        Some(0)
+    }
+
     /// Marks the slot containing `addr` as holding a randomized return
     /// address. `addr` should be 8-byte aligned (the low bits are
     /// ignored).
     pub fn mark(&mut self, addr: u32) {
         let (page, word, bit) = StackBitmap::locate(addr);
-        let words = self.pages.entry(page).or_insert([0; WORDS_PER_PAGE]);
+        let at = match self.find(page) {
+            Some(at) => at,
+            None => {
+                self.pages.insert(0, (page, [0; WORDS_PER_PAGE]));
+                0
+            }
+        };
+        let words = &mut self.pages[at].1;
         if words[word] & bit == 0 {
             words[word] |= bit;
             self.marked += 1;
@@ -62,7 +82,8 @@ impl StackBitmap {
     /// return address is consumed by `ret`).
     pub fn clear(&mut self, addr: u32) {
         let (page, word, bit) = StackBitmap::locate(addr);
-        if let Some(words) = self.pages.get_mut(&page) {
+        if let Some(at) = self.find(page) {
+            let words = &mut self.pages[at].1;
             if words[word] & bit != 0 {
                 words[word] &= !bit;
                 self.marked -= 1;
@@ -73,8 +94,14 @@ impl StackBitmap {
     /// Whether the slot containing `addr` holds a randomized return
     /// address.
     pub fn is_marked(&self, addr: u32) -> bool {
+        if self.marked == 0 {
+            return false;
+        }
         let (page, word, bit) = StackBitmap::locate(addr);
-        self.pages.get(&page).is_some_and(|w| w[word] & bit != 0)
+        self.pages
+            .iter()
+            .find(|&&(p, _)| p == page)
+            .is_some_and(|(_, w)| w[word] & bit != 0)
     }
 
     /// Number of currently marked slots.

@@ -57,7 +57,20 @@ impl std::error::Error for LayoutError {}
 pub struct LayoutMap {
     rand_of: HashMap<OrigAddr, RandAddr>,
     orig_of: HashMap<RandAddr, OrigAddr>,
+    /// Dense forward index: `fwd[orig - fwd_base]` is the randomized
+    /// address ([`NO_RAND`] when unmapped). Original addresses cover the
+    /// (small, contiguous) text section, so the array stays compact; the
+    /// simulator performs a forward lookup per simulated instruction in
+    /// naive-ILR mode, and this keeps hashing off that path.
+    fwd_base: u32,
+    fwd: Vec<u32>,
+    /// Whether any pair maps to [`NO_RAND`] itself, in which case a
+    /// dense miss must be double-checked against the hash map.
+    has_sentinel_rand: bool,
 }
+
+/// Dense-index slot value for "unmapped".
+const NO_RAND: u32 = u32::MAX;
 
 impl LayoutMap {
     /// Builds a map from `(original, randomized)` pairs.
@@ -91,12 +104,40 @@ impl LayoutMap {
         }
         self.rand_of.insert(orig, rand);
         self.orig_of.insert(rand, orig);
+        self.dense_set(orig.0, rand.0);
         Ok(())
     }
 
+    fn dense_set(&mut self, orig: u32, rand: u32) {
+        if rand == NO_RAND {
+            self.has_sentinel_rand = true;
+            return;
+        }
+        if self.fwd.is_empty() {
+            self.fwd_base = orig;
+        } else if orig < self.fwd_base {
+            let shift = (self.fwd_base - orig) as usize;
+            let mut grown = vec![NO_RAND; shift + self.fwd.len()];
+            grown[shift..].copy_from_slice(&self.fwd);
+            self.fwd = grown;
+            self.fwd_base = orig;
+        }
+        let off = (orig - self.fwd_base) as usize;
+        if off >= self.fwd.len() {
+            self.fwd.resize(off + 1, NO_RAND);
+        }
+        self.fwd[off] = rand;
+    }
+
     /// Randomized address of an original instruction, if mapped.
+    #[inline]
     pub fn to_rand(&self, orig: OrigAddr) -> Option<RandAddr> {
-        self.rand_of.get(&orig).copied()
+        let off = orig.0.wrapping_sub(self.fwd_base) as usize;
+        match self.fwd.get(off) {
+            Some(&r) if r != NO_RAND => Some(RandAddr(r)),
+            _ if !self.has_sentinel_rand => None,
+            _ => self.rand_of.get(&orig).copied(),
+        }
     }
 
     /// Original address of a randomized instruction, if mapped.
@@ -151,6 +192,30 @@ mod tests {
         assert_eq!(m.to_orig(RandAddr(50)), Some(OrigAddr(5)));
         assert_eq!(m.to_rand(OrigAddr(6)), None);
         assert_eq!(m.to_orig(RandAddr(51)), None);
+    }
+
+    #[test]
+    fn out_of_order_inserts_rebase_the_dense_index() {
+        let mut m = LayoutMap::default();
+        m.insert(OrigAddr(0x2000), RandAddr(7)).unwrap();
+        m.insert(OrigAddr(0x1000), RandAddr(8)).unwrap();
+        m.insert(OrigAddr(0x3000), RandAddr(9)).unwrap();
+        assert_eq!(m.to_rand(OrigAddr(0x1000)), Some(RandAddr(8)));
+        assert_eq!(m.to_rand(OrigAddr(0x2000)), Some(RandAddr(7)));
+        assert_eq!(m.to_rand(OrigAddr(0x3000)), Some(RandAddr(9)));
+        assert_eq!(m.to_rand(OrigAddr(0x2001)), None);
+        assert_eq!(m.to_rand(OrigAddr(0x0fff)), None);
+        assert_eq!(m.to_rand(OrigAddr(0x3001)), None);
+    }
+
+    #[test]
+    fn sentinel_valued_randomized_address_still_resolves() {
+        let mut m = LayoutMap::default();
+        m.insert(OrigAddr(10), RandAddr(u32::MAX)).unwrap();
+        m.insert(OrigAddr(11), RandAddr(20)).unwrap();
+        assert_eq!(m.to_rand(OrigAddr(10)), Some(RandAddr(u32::MAX)));
+        assert_eq!(m.to_rand(OrigAddr(11)), Some(RandAddr(20)));
+        assert_eq!(m.to_orig(RandAddr(u32::MAX)), Some(OrigAddr(10)));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! A self-contained stand-in for the subset of the `criterion` crate
+//! this workspace's benches use, so the build has no network
+//! dependency.
+//!
+//! Each [`Criterion::bench_function`] call warms the closure up, picks
+//! an iteration count targeting a fixed measurement window, and prints
+//! `name: <mean> ns/iter (n iterations)`. There are no statistical
+//! refinements, plots, or baselines — the numbers are indicative, and
+//! the benches double as smoke tests of the measured code paths. When
+//! invoked with `--test` (as `cargo test --benches` does) every bench
+//! runs exactly one iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement window each benchmark aims to fill.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations per benchmark.
+const MAX_ITERS: u64 = 100_000;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    /// Substring filters from the command line (`cargo bench -- foo`);
+    /// empty means "run everything", matching real criterion.
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for a in std::env::args().skip(1) {
+            if a == "--test" {
+                test_mode = true;
+            } else if !a.starts_with('-') {
+                filters.push(a);
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark (skipped when a command-line filter is
+    /// present and `name` matches none of them).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warm-up / test-mode run: one iteration.
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return self;
+        }
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        b.iters = iters;
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+        println!("{name}: {per_iter:.0} ns/iter ({iters} iterations)");
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the driver-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion { test_mode: false, filters: Vec::new() };
+        let mut total = 0u64;
+        c.bench_function("smoke/sum", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(1);
+                total
+            })
+        });
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benches() {
+        let mut c =
+            Criterion { test_mode: true, filters: vec!["hot_loop".to_string()] };
+        let mut matched = 0u64;
+        let mut skipped = 0u64;
+        c.bench_function("sim/engine_hot_loop", |b| b.iter(|| matched += 1));
+        c.bench_function("isa/decode", |b| b.iter(|| skipped += 1));
+        assert_eq!(matched, 1);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, filters: Vec::new() };
+        let mut calls = 0u64;
+        c.bench_function("smoke/once", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+}

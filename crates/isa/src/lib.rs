@@ -40,6 +40,7 @@
 
 mod asm;
 mod decode;
+mod decoded;
 mod deps;
 mod encode;
 mod error;
@@ -54,6 +55,7 @@ pub mod wire;
 
 pub use asm::{Asm, DataRef, Label};
 pub use decode::{decode, decode_at};
+pub use decoded::DecodedImage;
 pub use deps::RegSet;
 pub use encode::{encode, encode_into};
 pub use error::{AsmError, DecodeError, ExecError};

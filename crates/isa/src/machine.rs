@@ -10,6 +10,7 @@
 //! The interpreter assumes W^X: programs do not modify their own text.
 //! Decoded instructions are memoised per program counter.
 
+use crate::decoded::DecodedImage;
 use crate::error::{DecodeError, ExecError};
 use crate::image::Image;
 use crate::inst::{AluOp, Cond, Inst};
@@ -165,9 +166,7 @@ pub struct Machine {
     output: Vec<u64>,
     stopped: Option<StopReason>,
     steps: u64,
-    code_ranges: Vec<(Addr, Addr)>,
-    icache: HashMap<Addr, Inst>,
-    fall_map: HashMap<Addr, Addr>,
+    decoded: DecodedImage,
 }
 
 impl Machine {
@@ -178,12 +177,6 @@ impl Machine {
         image.load_into(&mut mem);
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = image.stack_top as u64;
-        let code_ranges = image
-            .sections
-            .iter()
-            .filter(|s| s.kind == crate::image::SectionKind::Text)
-            .map(|s| (s.base, s.end()))
-            .collect();
         Machine {
             regs,
             flags: Flags::default(),
@@ -192,9 +185,7 @@ impl Machine {
             output: Vec::new(),
             stopped: None,
             steps: 0,
-            code_ranges,
-            icache: HashMap::new(),
-            fall_map: HashMap::new(),
+            decoded: DecodedImage::new(image),
         }
     }
 
@@ -208,14 +199,14 @@ impl Machine {
     /// targets stay anchored at `pc + len`, so a rewriter computing
     /// scattered-space displacements keeps full control.
     pub fn set_fallthrough_map(&mut self, map: HashMap<Addr, Addr>) {
-        self.fall_map = map;
+        self.decoded.set_fallthrough(&map);
     }
 
     /// Additionally permits control transfers into `[lo, hi)`. Used when a
     /// program legitimately spans several code regions (e.g. a scattered
     /// ILR layout plus an un-randomized fail-over region).
     pub fn allow_code_range(&mut self, lo: Addr, hi: Addr) {
-        self.code_ranges.push((lo, hi));
+        self.decoded.add_range(lo, hi);
     }
 
     /// Current program counter.
@@ -265,17 +256,17 @@ impl Machine {
     }
 
     fn in_code(&self, addr: Addr) -> bool {
-        self.code_ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+        self.decoded.contains(addr)
     }
 
     fn fetch_decode(&mut self, pc: Addr) -> Result<Inst, ExecError> {
-        if let Some(inst) = self.icache.get(&pc) {
-            return Ok(*inst);
+        if let Some(inst) = self.decoded.get(pc) {
+            return Ok(inst);
         }
         let mut buf = [0u8; MAX_INST_LEN];
         self.mem.read_bytes(pc, &mut buf);
         let inst = decode(&buf).map_err(|source| ExecError::Decode { pc, source })?;
-        self.icache.insert(pc, inst);
+        self.decoded.insert(pc, inst);
         Ok(inst)
     }
 
@@ -391,7 +382,7 @@ impl Machine {
         let anchor = pc.wrapping_add(len as Addr);
         // Sequential successor and call return address: follows the ILR
         // fall-through map when one is installed.
-        let fall = self.fall_map.get(&pc).copied().unwrap_or(anchor);
+        let fall = self.decoded.fall(pc).unwrap_or(anchor);
         let mut next = fall;
         let mut control = None;
         let mut mem: [Option<MemAccess>; 2] = [None, None];

@@ -1,16 +1,23 @@
 //! Sparse, page-granular flat memory.
 
 use crate::Addr;
-use std::collections::HashMap;
+use std::fmt;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: Addr = (PAGE_SIZE as Addr) - 1;
+/// Pages in the 32-bit address space.
+const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
 
 /// A sparse byte-addressable memory covering the full 32-bit address space.
 ///
 /// Pages (4 KiB) are allocated lazily on first touch; reads of untouched
 /// memory return zero, as a freshly mapped anonymous page would.
+///
+/// The page table is a directly-indexed vector (one slot per possible
+/// page), so every access resolves in O(1) with no hashing; word and bulk
+/// accesses that stay within one page go through a single page lookup and
+/// a slice copy.
 ///
 /// # Example
 ///
@@ -21,9 +28,22 @@ const PAGE_MASK: Addr = (PAGE_SIZE as Addr) - 1;
 /// assert_eq!(m.read_u64(0x8000), 0xdead_beef);
 /// assert_eq!(m.read_u64(0x9000), 0); // untouched page reads as zero
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone)]
 pub struct Mem {
-    pages: HashMap<Addr, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
+    live: usize,
+}
+
+impl Default for Mem {
+    fn default() -> Mem {
+        Mem { pages: vec![None; NUM_PAGES], live: 0 }
+    }
+}
+
+impl fmt::Debug for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mem").field("pages", &self.live).finish()
+    }
 }
 
 impl Mem {
@@ -34,50 +54,98 @@ impl Mem {
 
     /// Number of 4 KiB pages currently materialised.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.live
+    }
+
+    #[inline]
+    fn page(&self, addr: Addr) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages[(addr >> PAGE_SHIFT) as usize].as_deref()
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        let slot = &mut self.pages[(addr >> PAGE_SHIFT) as usize];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE]));
+            self.live += 1;
+        }
+        slot.as_deref_mut().expect("slot just filled")
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: Addr) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr) {
             Some(p) => p[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: Addr, val: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = val;
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = val;
     }
 
     /// Reads a little-endian 64-bit word (may straddle pages).
+    #[inline]
     pub fn read_u64(&self, addr: Addr) -> u64 {
-        let mut b = [0u8; 8];
-        self.read_bytes(addr, &mut b);
-        u64::from_le_bytes(b)
+        let off = (addr & PAGE_MASK) as usize;
+        if off <= PAGE_SIZE - 8 {
+            match self.page(addr) {
+                Some(p) => {
+                    u64::from_le_bytes(p[off..off + 8].try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            self.read_bytes(addr, &mut b);
+            u64::from_le_bytes(b)
+        }
     }
 
     /// Writes a little-endian 64-bit word (may straddle pages).
+    #[inline]
     pub fn write_u64(&mut self, addr: Addr, val: u64) {
-        self.write_bytes(addr, &val.to_le_bytes());
+        let off = (addr & PAGE_MASK) as usize;
+        if off <= PAGE_SIZE - 8 {
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        } else {
+            self.write_bytes(addr, &val.to_le_bytes());
+        }
     }
 
     /// Fills `out` with the bytes starting at `addr` (wrapping at the top
     /// of the address space).
     pub fn read_bytes(&self, addr: Addr, out: &mut [u8]) {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.read_u8(addr.wrapping_add(i as Addr));
+        let mut addr = addr;
+        let mut out = out;
+        while !out.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = out.len().min(PAGE_SIZE - off);
+            let (chunk, rest) = out.split_at_mut(n);
+            match self.page(addr) {
+                Some(p) => chunk.copy_from_slice(&p[off..off + n]),
+                None => chunk.fill(0),
+            }
+            out = rest;
+            addr = addr.wrapping_add(n as Addr);
         }
     }
 
-    /// Writes `bytes` starting at `addr`.
+    /// Writes `bytes` starting at `addr` (wrapping at the top of the
+    /// address space).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as Addr), *b);
+        let mut addr = addr;
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = bytes.len().min(PAGE_SIZE - off);
+            let (chunk, rest) = bytes.split_at(n);
+            self.page_mut(addr)[off..off + n].copy_from_slice(chunk);
+            bytes = rest;
+            addr = addr.wrapping_add(n as Addr);
         }
     }
 }
@@ -127,5 +195,22 @@ mod tests {
         m.write_bytes(Addr::MAX, &[1, 2]);
         assert_eq!(m.read_u8(Addr::MAX), 1);
         assert_eq!(m.read_u8(0), 2);
+    }
+
+    #[test]
+    fn word_straddling_the_address_space_top_wraps() {
+        let mut m = Mem::new();
+        m.write_u64(Addr::MAX - 3, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(Addr::MAX - 3), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(0), 0x44); // bytes 4..8 wrapped to page zero
+    }
+
+    #[test]
+    fn bulk_read_spans_mapped_and_unmapped_pages() {
+        let mut m = Mem::new();
+        m.write_u8(0x1fff, 0xaa); // page 1 mapped, page 2 untouched
+        let mut back = [0xffu8; 4];
+        m.read_bytes(0x1ffe, &mut back);
+        assert_eq!(back, [0x00, 0xaa, 0x00, 0x00]);
     }
 }

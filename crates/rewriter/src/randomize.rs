@@ -197,7 +197,7 @@ fn unrandomized_ranges(image: &Image, cfg: &RandomizeConfig) -> Vec<(Addr, Addr)
     image
         .symbols
         .iter()
-        .filter(|s| cfg.keep_unrandomized.iter().any(|n| *n == s.name))
+        .filter(|s| cfg.keep_unrandomized.contains(&s.name))
         .map(|s| (s.addr, s.addr.wrapping_add(s.size)))
         .collect()
 }

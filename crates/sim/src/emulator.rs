@@ -12,7 +12,7 @@
 //! Costs are per *phase* so ablations can vary them; defaults correspond
 //! to a threaded interpreter on a core with the same 1.6 GHz clock.
 
-use vcfr_isa::{ExecError, Image, Inst, Machine};
+use vcfr_isa::{ExecError, Image, Machine};
 
 /// Host-cycle cost of each interpreter phase, per guest instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,11 +106,9 @@ pub fn emulate(
         let mem = info.mem_accesses().count() as u64;
         report.mem_accesses += mem;
         report.host_cycles += cost.per_mem_access * mem;
-        if matches!(info.inst, i if i.is_control()) || matches!(info.inst, Inst::Halt) {
-            if info.inst.is_control() {
-                report.control_transfers += 1;
-                report.host_cycles += cost.per_control_transfer;
-            }
+        if info.inst.is_control() {
+            report.control_transfers += 1;
+            report.host_cycles += cost.per_control_transfer;
         }
     }
     Ok(report)

@@ -15,10 +15,11 @@
 //!   through the unified L2 on a miss.
 
 use crate::config::{DrcBacking, SimConfig};
+use crate::flatmap::FlatMap;
 use crate::hierarchy::MemoryHierarchy;
 use crate::predict::{BranchStats, Btb, Gshare, Ras};
 use crate::stats::SimStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr, StackBitmap};
 use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, Machine, RunOutcome, StepInfo};
@@ -108,7 +109,7 @@ struct Engine<'a> {
     iq: VecDeque<u64>,
     drc: Option<Drc>,
     bitmap: StackBitmap,
-    stack_rand: HashMap<Addr, u32>,
+    stack_rand: FlatMap,
     fetch_stall: u64,
     load_stall: u64,
     redirect_stall: u64,
@@ -132,7 +133,7 @@ impl<'a> Engine<'a> {
             iq: VecDeque::new(),
             drc: drc.map(Drc::new),
             bitmap: StackBitmap::new(),
-            stack_rand: HashMap::new(),
+            stack_rand: FlatMap::new(),
             fetch_stall: 0,
             load_stall: 0,
             redirect_stall: 0,
@@ -176,7 +177,7 @@ impl<'a> Engine<'a> {
         // Context-switch model: periodically invalidate the DRC (other
         // processes own it in between).
         if let (Some(interval), Some(drc)) = (cfg.drc_flush_interval, self.drc.as_mut()) {
-            if interval > 0 && self.instructions % interval == 0 {
+            if interval > 0 && self.instructions.is_multiple_of(interval) {
                 drc.flush();
             }
         }
@@ -258,12 +259,12 @@ impl<'a> Engine<'a> {
                 );
                 if !is_call_push && self.bitmap.is_marked(acc.addr) {
                     self.bitmap.clear(acc.addr);
-                    self.stack_rand.remove(&acc.addr);
+                    self.stack_rand.remove(acc.addr);
                 }
             } else if self.bitmap.is_marked(acc.addr)
                 && !matches!(info.control, Some(ControlFlow::Return { .. }))
             {
-                if let Some(v) = self.stack_rand.get(&acc.addr).copied() {
+                if let Some(v) = self.stack_rand.get(acc.addr) {
                     if let Ok(l) = drc.derandomize(RandAddr(v), &rp.table) {
                         if !l.hit {
                             let walk = match self.cfg.drc_backing {
@@ -312,7 +313,7 @@ impl<'a> Engine<'a> {
             Some(ControlFlow::Return { .. }) => {
                 if let Some(pop) = info.mem_accesses().next() {
                     self.bitmap.clear(pop.addr);
-                    self.stack_rand.remove(&pop.addr);
+                    self.stack_rand.remove(pop.addr);
                 }
             }
             _ => {}
@@ -620,7 +621,7 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
             }
         }
         if let Some(every) = sample_every {
-            if engine.instructions % every == 0 {
+            if engine.instructions.is_multiple_of(every) {
                 take_sample(&engine, &mut last);
             }
         }

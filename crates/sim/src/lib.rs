@@ -45,6 +45,7 @@ mod config;
 mod dram;
 mod emulator;
 mod engine;
+mod flatmap;
 mod hierarchy;
 mod multicore;
 mod ooo;
@@ -57,6 +58,7 @@ pub use config::{BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, S
 pub use dram::{Dram, DramStats};
 pub use emulator::{emulate, EmulationReport, EmulatorCostModel};
 pub use engine::{simulate, simulate_sampled, IntervalSample, Mode, SimError, SimOutput};
+pub use flatmap::FlatMap;
 pub use hierarchy::MemoryHierarchy;
 pub use multicore::{simulate_multicore, MultiCoreOutput};
 pub use ooo::{simulate_ooo, OooConfig};

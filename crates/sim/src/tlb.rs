@@ -5,8 +5,14 @@
 //! user space by adding a visibility bit to each TLB entry; pages holding
 //! the tables are invisible to user-mode instructions and only reachable
 //! by the DRC fill hardware.
+//!
+//! The TLB stores its residents in flat parallel arrays (tag and LRU
+//! tick) fronted by an open-addressed page→slot index and a
+//! most-recently-used hint: the common same-page-again case is one
+//! comparison, any other hit is a couple of probes, and the LRU victim
+//! scan only runs on capacity misses.
 
-use std::collections::HashMap;
+use crate::flatmap::FlatMap;
 use vcfr_isa::Addr;
 
 const PAGE_SHIFT: u32 = 12;
@@ -46,8 +52,16 @@ impl TlbStats {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     entries: usize,
-    map: HashMap<Addr, u64>,
-    invisible: HashMap<Addr, bool>,
+    /// Resident page numbers; parallel to `ticks`.
+    pages: Vec<Addr>,
+    /// Last-use time of each resident page.
+    ticks: Vec<u64>,
+    /// Page number → slot in `pages`/`ticks`.
+    index: FlatMap,
+    /// Index of the most recently hit entry (fast path).
+    mru: usize,
+    /// Sorted page numbers with the visibility bit cleared.
+    invisible: Vec<Addr>,
     stats: TlbStats,
     tick: u64,
 }
@@ -62,8 +76,11 @@ impl Tlb {
         assert!(entries > 0, "TLB needs at least one entry");
         Tlb {
             entries,
-            map: HashMap::with_capacity(entries),
-            invisible: HashMap::new(),
+            pages: Vec::with_capacity(entries),
+            ticks: Vec::with_capacity(entries),
+            index: FlatMap::new(),
+            mru: 0,
+            invisible: Vec::new(),
             stats: TlbStats::default(),
             tick: 0,
         }
@@ -82,13 +99,18 @@ impl Tlb {
     /// Marks the page containing `addr` invisible to user-mode
     /// instructions (the paper's page-visibility bit, cleared).
     pub fn set_invisible(&mut self, addr: Addr) {
-        self.invisible.insert(addr >> PAGE_SHIFT, true);
+        let page = addr >> PAGE_SHIFT;
+        if let Err(at) = self.invisible.binary_search(&page) {
+            self.invisible.insert(at, page);
+        }
     }
 
     /// Whether a *user-mode* access to `addr` is architecturally
     /// permitted. Hardware table walks ignore this.
     pub fn user_visible(&mut self, addr: Addr) -> bool {
-        if self.invisible.get(&(addr >> PAGE_SHIFT)).copied().unwrap_or(false) {
+        if !self.invisible.is_empty()
+            && self.invisible.binary_search(&(addr >> PAGE_SHIFT)).is_ok()
+        {
             self.stats.visibility_faults += 1;
             false
         } else {
@@ -103,21 +125,40 @@ impl Tlb {
         self.tick += 1;
         self.stats.accesses += 1;
         let page = addr >> PAGE_SHIFT;
-        if let Some(lru) = self.map.get_mut(&page) {
-            *lru = self.tick;
+        if let Some(&hit) = self.pages.get(self.mru) {
+            if hit == page {
+                self.ticks[self.mru] = self.tick;
+                return true;
+            }
+        }
+        if let Some(at) = self.index.get(page) {
+            let at = at as usize;
+            self.ticks[at] = self.tick;
+            self.mru = at;
             return true;
         }
         self.stats.misses += 1;
-        if self.map.len() >= self.entries {
+        if self.pages.len() >= self.entries {
+            // Evict the least recently used entry (ticks are unique, so
+            // the victim is deterministic).
             let victim = self
-                .map
+                .ticks
                 .iter()
-                .min_by_key(|(_, &lru)| lru)
-                .map(|(&p, _)| p)
-                .expect("non-empty map");
-            self.map.remove(&victim);
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, _)| i)
+                .expect("non-empty TLB");
+            self.index.remove(self.pages[victim]);
+            self.index.insert(page, victim as u32);
+            self.pages[victim] = page;
+            self.ticks[victim] = self.tick;
+            self.mru = victim;
+        } else {
+            self.mru = self.pages.len();
+            self.index.insert(page, self.mru as u32);
+            self.pages.push(page);
+            self.ticks.push(self.tick);
         }
-        self.map.insert(page, self.tick);
         false
     }
 }
@@ -163,5 +204,26 @@ mod tests {
         t.access(0x1200, true);
         t.access(0x2000, true);
         assert!((t.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_pages_defeat_the_mru_hint_but_still_hit() {
+        let mut t = Tlb::new(4);
+        t.access(0x1000, true);
+        t.access(0x2000, true);
+        for _ in 0..10 {
+            assert!(t.access(0x1000, true));
+            assert!(t.access(0x2000, true));
+        }
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn duplicate_set_invisible_is_idempotent() {
+        let mut t = Tlb::new(4);
+        t.set_invisible(0x5000);
+        t.set_invisible(0x5fff); // same page
+        assert!(!t.user_visible(0x5800));
+        assert_eq!(t.stats().visibility_faults, 1);
     }
 }

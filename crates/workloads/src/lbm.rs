@@ -63,7 +63,7 @@ pub fn build() -> Workload {
     }
 
     // Checksum the final grid.
-    let final_grid = if STEPS % 2 == 0 { grid_a.0 } else { grid_b.0 };
+    let final_grid = if STEPS.is_multiple_of(2) { grid_a.0 } else { grid_b.0 };
     a.mov_ri(Reg::Rsi, final_grid as i64);
     a.mov_ri(Reg::Rcx, (DIM * DIM) as i64);
     a.mov_ri(Reg::R9, 0);

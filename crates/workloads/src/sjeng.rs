@@ -85,7 +85,7 @@ pub fn build() -> Workload {
     a.func("movegen");
     for k in 0..8 {
         a.mov_rr(Reg::Rax, Reg::Rsi);
-        a.alu_ri(AluOp::Shr, Reg::Rax, (k % 5) as i32);
+        a.alu_ri(AluOp::Shr, Reg::Rax, k % 5);
         a.alu_ri(AluOp::And, Reg::Rax, 255);
         a.load_idx(Reg::R10, Reg::R13, Reg::Rax, 3, 0);
         a.alu_ri(AluOp::And, Reg::R10, 0xff);

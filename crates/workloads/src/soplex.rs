@@ -66,7 +66,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::Rcx, (COLS / 32) as i64);
     let update = a.here();
     for k in 0..32 {
-        a.load(Reg::R10, Reg::Rsi, (k * 8) as i32);
+        a.load(Reg::R10, Reg::Rsi, k * 8);
         a.alu_ri(AluOp::Mul, Reg::R10, 3);
         a.alu_ri(AluOp::And, Reg::R10, 0x3_ffff);
         a.mov_rr(Reg::R11, Reg::R10);

@@ -72,9 +72,9 @@ pub fn emit_runtime_lib(a: &mut Asm, funcs: usize, seed: u64) {
     a.ret();
 
     let mix = pseudo_u64s(funcs, seed ^ 0x11b);
-    for f in 0..funcs {
+    for (f, m) in mix.iter().enumerate() {
         a.func(&format!("lib{f}"));
-        match mix[f] % 6 {
+        match m % 6 {
             // Prologue/epilogue: pop-reg gadget tails.
             0 => {
                 a.push(Reg::Rbx);

@@ -1,0 +1,18 @@
+# Developer entry points. `just` is optional — every recipe is one
+# cargo command, and `.cargo/config.toml` provides the same commands as
+# `cargo repro-check` / `cargo bench-smoke` when `just` is absent.
+
+# Run the CI gate and the engine hot-loop criterion smoke.
+bench: repro-check bench-smoke
+
+# Recompute the experiment matrix and gate the headline numbers.
+repro-check:
+    cargo run --release -p vcfr-bench --bin repro -- check
+
+# Criterion smoke of the cycle engine's per-instruction path.
+bench-smoke:
+    cargo bench -p vcfr-bench --bench components -- engine_hot_loop
+
+# Full test suite across the workspace.
+test:
+    cargo test --workspace

@@ -4,14 +4,20 @@
 //! repro                # run everything
 //! repro fig3 fig12     # run selected experiments
 //! repro check --threads 4   # CI gate on an explicit worker count
+//! repro obs-smoke      # tiny observability end-to-end check
 //! ```
 //!
 //! Whenever the simulation matrix runs, per-run wall-clock timing is
-//! written to `BENCH_repro.json` in the current directory. The worker
-//! count comes from `--threads N` (or `N` via `--threads=N`), falling
-//! back to `RAYON_NUM_THREADS` and then the machine's parallelism.
+//! written to `BENCH_repro.json` in the current directory and one run
+//! manifest per (app, configuration) cell goes to `results/manifests/`.
+//! The worker count comes from `--threads N` (or `N` via `--threads=N`),
+//! falling back to `RAYON_NUM_THREADS` and then the machine's
+//! parallelism.
 
+use std::path::Path;
 use vcfr_bench::experiments::{self as ex, Matrix, MatrixTiming};
+use vcfr_bench::manifests;
+use vcfr_obs::{CycleAccounting, Manifest};
 
 fn want(args: &[String], name: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == name)
@@ -41,40 +47,11 @@ fn parse_threads(args: &mut Vec<String>) -> usize {
     threads.filter(|&n| n > 0).unwrap_or_else(ex::default_threads)
 }
 
-/// Writes the matrix timing record (the benchmark artefact CI archives)
-/// as hand-rolled JSON — the harness has no serialization dependency.
-fn write_bench_json(t: &MatrixTiming) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str(&format!("  \"threads\": {},\n", t.threads));
-    s.push_str(&format!(
-        "  \"host_cores\": {},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    ));
-    s.push_str(&format!("  \"randomize_s\": {:.6},\n", t.randomize_s));
-    s.push_str(&format!("  \"matrix_wall_s\": {:.6},\n", t.wall_s));
-    let total_insts: u64 = t.runs.iter().map(|r| r.instructions).sum();
-    let sim_s: f64 = t.runs.iter().map(|r| r.wall_s).sum();
-    s.push_str(&format!("  \"total_instructions\": {total_insts},\n"));
-    s.push_str(&format!(
-        "  \"aggregate_insts_per_s\": {:.1},\n",
-        total_insts as f64 / sim_s.max(1e-9)
-    ));
-    s.push_str("  \"runs\": [\n");
-    for (i, r) in t.runs.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"app\": \"{}\", \"mode\": \"{}\", \"instructions\": {}, \
-             \"wall_s\": {:.6}, \"insts_per_s\": {:.1}}}{}\n",
-            r.app,
-            r.mode,
-            r.instructions,
-            r.wall_s,
-            r.insts_per_s,
-            if i + 1 < t.runs.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_repro.json", &s) {
+/// Writes the benchmark artefacts of a matrix run: the timing record
+/// (`BENCH_repro.json`, shared writer in `vcfr-obs`) and one run
+/// manifest per (app, configuration) cell under `results/manifests/`.
+fn write_artifacts(m: &Matrix, t: &MatrixTiming) {
+    match manifests::bench_record(t).write_to(Path::new("BENCH_repro.json")) {
         Ok(()) => eprintln!(
             "wrote BENCH_repro.json ({} runs, {:.2}s matrix wall, {} thread{})",
             t.runs.len(),
@@ -84,13 +61,92 @@ fn write_bench_json(t: &MatrixTiming) {
         ),
         Err(e) => eprintln!("warning: could not write BENCH_repro.json: {e}"),
     }
+    let ms = manifests::build_matrix_manifests(m, t);
+    match manifests::write_manifests(Path::new("results/manifests"), &ms) {
+        Ok(n) => eprintln!("wrote {n} run manifests to results/manifests/"),
+        Err(e) => eprintln!("warning: could not write run manifests: {e}"),
+    }
+}
+
+/// Tiny end-to-end check of the observability layer: runs one small app
+/// through all five configurations, audits the cycle accounting of every
+/// cell, and verifies manifests round-trip and are canonically identical
+/// across worker-thread counts.
+fn obs_smoke() -> bool {
+    let mut w = vcfr_workloads::by_name("bzip2").expect("bzip2 exists");
+    w.max_insts = w.max_insts.min(60_000);
+    let suite = [w];
+    eprintln!("obs-smoke: bzip2 x 5 configs, {} inst budget per run", suite[0].max_insts);
+
+    let (m1, t1) = ex::matrix_over(&suite, 1);
+    let (m2, t2) = ex::matrix_over(&suite, 2);
+    let ms1 = manifests::build_matrix_manifests(&m1, &t1);
+    let ms2 = manifests::build_matrix_manifests(&m2, &t2);
+    let mut ok = true;
+
+    // Manifests are byte-identical across thread counts once the
+    // volatile host block is stripped.
+    for (a, b) in ms1.iter().zip(&ms2) {
+        if a.canonical_bytes() != b.canonical_bytes() {
+            eprintln!("FAIL {}: canonical manifest differs between 1 and 2 threads", a.file_name());
+            ok = false;
+        }
+    }
+
+    // Every cell's cycle accounting passes the audit; the identity terms
+    // survive the manifest round trip.
+    let dir = Path::new("target/obs-smoke-manifests");
+    if let Err(e) = manifests::write_manifests(dir, &ms1) {
+        eprintln!("FAIL: could not write manifests: {e}");
+        return false;
+    }
+    for m in &ms1 {
+        let text = match std::fs::read_to_string(dir.join(m.file_name())) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {}: unreadable: {e}", m.file_name());
+                ok = false;
+                continue;
+            }
+        };
+        let back = match Manifest::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", m.file_name());
+                ok = false;
+                continue;
+            }
+        };
+        let audit = back.json().get("audit").and_then(CycleAccounting::from_json);
+        let Some(accounting) = audit else {
+            eprintln!("FAIL {}: manifest has no audit block", m.file_name());
+            ok = false;
+            continue;
+        };
+        let report = accounting.audit();
+        if report.passed() {
+            println!(
+                "PASS {:<22} {:>9} cycles, coverage {:.3}",
+                m.file_name(),
+                accounting.cycles,
+                accounting.coverage()
+            );
+        } else {
+            ok = false;
+            for f in &report.failures {
+                eprintln!("FAIL {}: {f}", m.file_name());
+            }
+        }
+    }
+    println!("obs-smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
 }
 
 /// CI gate: recompute the headline numbers and fail (exit 1) when any
 /// leaves its calibrated band.
 fn check(threads: usize) -> bool {
     let (m, timing) = ex::run_matrix_timed(threads);
-    write_bench_json(&timing);
+    write_artifacts(&m, &timing);
     let mut ok = true;
     let mut gate = |name: &str, value: f64, lo: f64, hi: f64| {
         let pass = (lo..=hi).contains(&value);
@@ -132,12 +188,15 @@ fn main() {
         let ok = check(threads);
         std::process::exit(if ok { 0 } else { 1 });
     }
+    if args.iter().any(|a| a == "obs-smoke") {
+        std::process::exit(if obs_smoke() { 0 } else { 1 });
+    }
     let needs_matrix =
         ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));
     let matrix: Option<Matrix> = needs_matrix.then(|| {
         eprintln!("running the 11-app x 5-config simulation matrix on {threads} thread(s) ...");
         let (m, timing) = ex::run_matrix_timed(threads);
-        write_bench_json(&timing);
+        write_artifacts(&m, &timing);
         m
     });
 

@@ -9,7 +9,10 @@ use vcfr_rewriter::{
     analyze_control_flow, disassemble, randomize, ControlFlowStats, RandomizeConfig,
     RandomizedProgram,
 };
-use vcfr_sim::{emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel, Mode, OooConfig, SimConfig, SimStats};
+use vcfr_sim::{
+    emulate, simulate, simulate_multicore, simulate_ooo, simulate_sampled, DrcBacking,
+    EmulatorCostModel, IntervalSample, Mode, OooConfig, SimConfig, SimStats,
+};
 use vcfr_workloads::{by_name, fig2_suite, spec_suite, Workload};
 
 pub use crate::{geomean, mean};
@@ -59,7 +62,11 @@ fn matrix_mode<'a>(mode_idx: usize, image: &'a Image, rp: &'a RandomizedProgram)
     }
 }
 
-/// Wall-clock measurement of one simulator run.
+/// Interval samples taken per matrix run: each run is cut into this many
+/// slices for the manifest's phase-behaviour view.
+pub const SAMPLES_PER_RUN: u64 = 10;
+
+/// Wall-clock measurement (and interval samples) of one simulator run.
 #[derive(Clone, Debug)]
 pub struct RunTiming {
     /// Application name.
@@ -72,6 +79,9 @@ pub struct RunTiming {
     pub wall_s: f64,
     /// Simulated instructions per host second.
     pub insts_per_s: f64,
+    /// Interval samples ([`SAMPLES_PER_RUN`] slices; deterministic — a
+    /// pure function of the workload and configuration).
+    pub samples: Vec<IntervalSample>,
 }
 
 /// Timing of a whole experiment matrix.
@@ -161,8 +171,10 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
     let outputs = parallel_map(cells, threads, |_, (a, m)| {
         let w = &suite[a];
         let t = Instant::now();
-        let out = simulate(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts)
-            .expect("matrix cell runs");
+        let interval = (w.max_insts / SAMPLES_PER_RUN).max(1);
+        let (out, samples) =
+            simulate_sampled(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts, interval)
+                .expect("matrix cell runs");
         let wall_s = t.elapsed().as_secs_f64();
         let instructions = out.stats.instructions;
         let timing = RunTiming {
@@ -171,6 +183,7 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
             instructions,
             wall_s,
             insts_per_s: instructions as f64 / wall_s.max(1e-9),
+            samples,
         };
         (out, timing)
     });

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manifests;
 
 #[cfg(test)]
 mod tests;
@@ -17,6 +18,7 @@ pub use experiments::{
     run_app, run_app_parallel, run_matrix, run_matrix_timed, table1, table2, AppResults,
     Fig11Row, Fig2Row, Fig3Row, Matrix, MatrixTiming, RunTiming, MODE_NAMES,
 };
+pub use manifests::{bench_record, build_manifest, build_matrix_manifests, write_manifests};
 
 /// Geometric mean of an iterator of positive values.
 pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {

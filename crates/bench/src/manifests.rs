@@ -1,0 +1,173 @@
+//! Per-run manifest construction: one `vcfr-obs` manifest per
+//! (application, configuration) cell of the experiment matrix, written
+//! to `results/manifests/` by the `repro` binary and consumed by
+//! `vcfr report`.
+//!
+//! Everything except the volatile `host` block is a pure function of
+//! (workload, seed, machine configuration), so the canonical byte form
+//! of every manifest is identical across worker-thread counts.
+
+use crate::experiments::{AppResults, Matrix, MatrixTiming, MODE_NAMES, SEED};
+use std::io;
+use std::path::Path;
+use vcfr_obs::{fingerprint, BenchRecord, BenchRun, Json, Manifest};
+use vcfr_sim::{IntervalSample, SimConfig, SimStats};
+
+/// DRC entries per matrix column (`None` for the non-VCFR machines).
+fn drc_entries(mode: &str) -> Option<u64> {
+    match mode {
+        "vcfr512" => Some(512),
+        "vcfr128" => Some(128),
+        "vcfr64" => Some(64),
+        _ => None,
+    }
+}
+
+/// The manifest `config` block: the standard matrix configuration plus a
+/// fingerprint that changes when any machine parameter, the mode, or the
+/// seed does.
+fn config_json(mode: &str) -> Json {
+    let cfg = SimConfig::default();
+    let mut j = Json::obj();
+    j.set("fingerprint", Json::Str(fingerprint(&format!("{cfg:?} mode={mode} seed={SEED}"))));
+    j.set("seed", Json::U64(SEED));
+    j.set("freq_ghz", Json::F64(cfg.freq_ghz));
+    j.set("il1_bytes", Json::U64(cfg.il1.size_bytes as u64));
+    j.set("dl1_bytes", Json::U64(cfg.dl1.size_bytes as u64));
+    j.set("l2_bytes", Json::U64(cfg.l2.size_bytes as u64));
+    match drc_entries(mode) {
+        Some(n) => j.set("drc_entries", Json::U64(n)),
+        None => j.set("drc_entries", Json::Null),
+    };
+    j
+}
+
+/// One interval sample as a manifest array element.
+fn sample_json(s: &IntervalSample) -> Json {
+    let mut j = Json::obj();
+    j.set("first_inst", Json::U64(s.first_inst));
+    j.set("instructions", Json::U64(s.instructions));
+    j.set("cycles", Json::U64(s.cycles));
+    j.set("ipc", Json::F64(s.ipc));
+    j.set("il1_miss_rate", Json::F64(s.il1_miss_rate));
+    j.set("drc_miss_rate", Json::F64(s.drc_miss_rate));
+    j
+}
+
+/// The manifest `derived` block: the headline per-run metrics the
+/// report renders without re-deriving from raw counters.
+fn derived_json(stats: &SimStats) -> Json {
+    let mut j = Json::obj();
+    j.set("ipc", Json::F64(stats.ipc()));
+    j.set("il1_miss_rate", Json::F64(stats.il1.miss_rate()));
+    j.set("dl1_miss_rate", Json::F64(stats.dl1.miss_rate()));
+    j.set("branch_mispredict_rate", Json::F64(stats.branch.mispredict_rate()));
+    j.set(
+        "drc_miss_rate",
+        match stats.drc {
+            Some(d) => Json::F64(d.miss_rate()),
+            None => Json::Null,
+        },
+    );
+    j
+}
+
+/// The manifest `audit` block: the cycle-accounting identity terms plus
+/// the audit verdict at the default tolerance.
+fn audit_json(stats: &SimStats) -> Json {
+    let accounting = stats.accounting();
+    let report = accounting.audit();
+    let mut j = accounting.to_json();
+    j.set("tolerance", Json::F64(report.tolerance));
+    j.set("passed", Json::Bool(report.passed()));
+    j
+}
+
+/// Builds the manifest for one matrix cell.
+pub fn build_manifest(
+    app: &str,
+    mode: &str,
+    stats: &SimStats,
+    samples: &[IntervalSample],
+    host: Json,
+) -> Manifest {
+    let mut m = Manifest::new(app, mode);
+    m.set_config(config_json(mode));
+    m.set_counters(&stats.snapshot());
+    m.set_derived(derived_json(stats));
+    m.set_audit(audit_json(stats));
+    m.set_samples(samples.iter().map(sample_json).collect());
+    m.set_host(host);
+    m
+}
+
+/// The stats for matrix column `mode_idx` of one application row.
+fn mode_stats(r: &AppResults, mode_idx: usize) -> &SimStats {
+    match mode_idx {
+        0 => &r.base,
+        1 => &r.naive,
+        2 => &r.vcfr512,
+        3 => &r.vcfr128,
+        4 => &r.vcfr64,
+        _ => unreachable!("matrix has five configurations"),
+    }
+}
+
+/// Builds one manifest per (application, configuration) cell from the
+/// matrix results and the per-run timing.
+pub fn build_matrix_manifests(matrix: &Matrix, timing: &MatrixTiming) -> Vec<Manifest> {
+    let mut out = Vec::with_capacity(matrix.len() * MODE_NAMES.len());
+    for row in matrix {
+        for (mi, mode) in MODE_NAMES.iter().enumerate() {
+            let run = timing
+                .runs
+                .iter()
+                .find(|r| r.app == row.name && r.mode == *mode)
+                .expect("every cell has a timing record");
+            let mut host = Json::obj();
+            host.set("wall_s", Json::F64(run.wall_s));
+            host.set("insts_per_s", Json::F64(run.insts_per_s));
+            host.set("threads", Json::U64(timing.threads as u64));
+            out.push(build_manifest(row.name, mode, mode_stats(row, mi), &run.samples, host));
+        }
+    }
+    out
+}
+
+/// Writes each manifest to `dir` under its conventional file name,
+/// creating the directory; returns how many were written.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_manifests(dir: &Path, manifests: &[Manifest]) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    for m in manifests {
+        std::fs::write(dir.join(m.file_name()), m.to_string_pretty())?;
+    }
+    Ok(manifests.len())
+}
+
+/// The `BENCH_repro.json` record of one matrix run (shared writer in
+/// `vcfr-obs`; schema v2 with host metadata and per-run throughput).
+pub fn bench_record(t: &MatrixTiming) -> BenchRecord {
+    let (host_cores, cargo_profile) = BenchRecord::host_defaults();
+    BenchRecord {
+        threads: t.threads,
+        host_cores,
+        cargo_profile,
+        randomize_s: t.randomize_s,
+        matrix_wall_s: t.wall_s,
+        runs: t
+            .runs
+            .iter()
+            .map(|r| BenchRun {
+                app: r.app.to_string(),
+                mode: r.mode.to_string(),
+                instructions: r.instructions,
+                wall_s: r.wall_s,
+                insts_per_s: r.insts_per_s,
+            })
+            .collect(),
+    }
+}

@@ -12,6 +12,7 @@ use vcfr_rewriter::{
     analyze_control_flow, disassemble, randomize, Cfg, RandomizeConfig, RandomizedProgram,
     PROGRAM_MAGIC,
 };
+use vcfr_obs::{fingerprint, CycleAccounting, Json, Manifest};
 use vcfr_sim::{simulate, simulate_ooo, Mode, OooConfig, SimConfig, SimStats};
 
 /// A CLI failure with a user-facing message.
@@ -225,27 +226,103 @@ fn render_stats(stats: &SimStats) -> String {
         stats.branch.btb_misses,
         stats.branch.ras_mispredictions
     );
+    let cyc = stats.cycles.max(1) as f64;
+    let pct = |v: u64| 100.0 * v as f64 / cyc;
     if let Some(drc) = stats.drc {
         let _ = writeln!(
             out,
-            "DRC: {} lookups ({} derand / {} rand), {:.2}% miss, {} walk cycles",
+            "DRC: {} lookups ({} derand / {} rand), {:.2}% miss, {} walk cycles ({:.1}% of cycles)",
             drc.lookups,
             drc.derand_lookups,
             drc.rand_lookups,
             100.0 * drc.miss_rate(),
-            stats.drc_walk_cycles
+            stats.drc_walk_cycles,
+            pct(stats.drc_walk_cycles)
         );
     }
     let _ = writeln!(
         out,
-        "stalls: fetch {}, data {}, redirect {}",
-        stats.fetch_stall_cycles, stats.load_stall_cycles, stats.redirect_stall_cycles
+        "stalls: fetch {} ({:.1}%), data {} ({:.1}%), redirect {} ({:.1}%)",
+        stats.fetch_stall_cycles,
+        pct(stats.fetch_stall_cycles),
+        stats.load_stall_cycles,
+        pct(stats.load_stall_cycles),
+        stats.redirect_stall_cycles,
+        pct(stats.redirect_stall_cycles)
+    );
+    let _ = writeln!(
+        out,
+        "busy:   {} cycles ({:.1}%: {} issue + {} long-op extra)",
+        stats.busy_cycles(),
+        pct(stats.busy_cycles()),
+        stats.instructions,
+        stats.exec_extra_cycles
     );
     out
 }
 
+/// Builds the single-run manifest written by `vcfr simulate --manifest`.
+/// Same schema as the experiment-matrix manifests, with an empty sample
+/// array (the one-shot run is not interval-sampled).
+fn single_run_manifest(
+    app: &str,
+    mode_name: &str,
+    drc_entries: usize,
+    seed: u64,
+    ooo: bool,
+    stats: &SimStats,
+    host_s: f64,
+) -> Manifest {
+    let cfg = SimConfig::default();
+    let mut config = Json::obj();
+    config.set(
+        "fingerprint",
+        Json::Str(fingerprint(&format!(
+            "{cfg:?} mode={mode_name} drc={drc_entries} seed={seed} ooo={ooo}"
+        ))),
+    );
+    config.set("seed", Json::U64(seed));
+    config.set("freq_ghz", Json::F64(cfg.freq_ghz));
+    config.set(
+        "drc_entries",
+        if mode_name == "vcfr" { Json::U64(drc_entries as u64) } else { Json::Null },
+    );
+    let mut derived = Json::obj();
+    derived.set("ipc", Json::F64(stats.ipc()));
+    derived.set("il1_miss_rate", Json::F64(stats.il1.miss_rate()));
+    derived.set("dl1_miss_rate", Json::F64(stats.dl1.miss_rate()));
+    derived.set("branch_mispredict_rate", Json::F64(stats.branch.mispredict_rate()));
+    derived.set(
+        "drc_miss_rate",
+        match stats.drc {
+            Some(d) => Json::F64(d.miss_rate()),
+            None => Json::Null,
+        },
+    );
+    let accounting = stats.accounting();
+    let audit = accounting.audit();
+    let mut audit_json = accounting.to_json();
+    audit_json.set("tolerance", Json::F64(audit.tolerance));
+    audit_json.set("passed", Json::Bool(audit.passed()));
+    let mut host = Json::obj();
+    host.set("wall_s", Json::F64(host_s));
+    host.set("insts_per_s", Json::F64(stats.instructions as f64 / host_s.max(1e-9)));
+    let mut m = Manifest::new(app, mode_name);
+    m.set_config(config);
+    m.set_counters(&stats.snapshot());
+    m.set_derived(derived);
+    m.set_audit(audit_json);
+    m.set_samples(Vec::new());
+    m.set_host(host);
+    m
+}
+
 /// `vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-/// [--max N] [--seed N]`.
+/// [--max N] [--seed N] [--audit] [--manifest <out.json>]`.
+///
+/// `--audit` appends the cycle-accounting audit and fails the command
+/// when the identity checks do not hold; `--manifest` writes the run as
+/// a `vcfr-obs` manifest readable by `vcfr report`.
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let mode_name = args.value("mode").unwrap_or("baseline");
@@ -305,7 +382,201 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(drc_entries)));
         let _ = writeln!(report, "DRC power overhead: {:.3}%", p.drc_overhead_pct());
     }
+    if args.flag("audit") {
+        let audit = out.stats.accounting().audit();
+        report.push_str(&audit.render());
+        if !audit.passed() {
+            return Err(CliError(report));
+        }
+    }
+    if let Some(mpath) = args.value("manifest") {
+        let app = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path);
+        let m = single_run_manifest(
+            app,
+            mode_name,
+            drc_entries,
+            seed,
+            args.flag("ooo"),
+            &out.stats,
+            host_s,
+        );
+        fs::write(mpath, m.to_string_pretty())
+            .map_err(|e| fail(format!("cannot write {mpath}: {e}")))?;
+        let _ = writeln!(report, "manifest: wrote {mpath}");
+    }
     Ok(report)
+}
+
+/// Column order of the standard experiment matrix; unknown modes sort
+/// after the known ones, alphabetically.
+fn mode_rank(mode: &str) -> usize {
+    match mode {
+        "base" | "baseline" => 0,
+        "naive" => 1,
+        "vcfr512" => 2,
+        "vcfr128" => 3,
+        "vcfr64" => 4,
+        "vcfr" => 5,
+        _ => 6,
+    }
+}
+
+/// Loads and validates every `*.json` manifest in a directory, sorted by
+/// (app, matrix column).
+fn load_manifest_dir(dir: &str) -> Result<Vec<Manifest>, CliError> {
+    let rd = fs::read_dir(dir).map_err(|e| fail(format!("cannot read {dir}: {e}")))?;
+    let mut paths: Vec<std::path::PathBuf> = rd
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let text = fs::read_to_string(&p)
+            .map_err(|e| fail(format!("cannot read {}: {e}", p.display())))?;
+        out.push(
+            Manifest::from_str(&text).map_err(|e| fail(format!("{}: {e}", p.display())))?,
+        );
+    }
+    if out.is_empty() {
+        return Err(fail(format!("{dir}: no manifest *.json files")));
+    }
+    out.sort_by(|a, b| {
+        (a.app(), mode_rank(a.mode()), a.mode()).cmp(&(b.app(), mode_rank(b.mode()), b.mode()))
+    });
+    Ok(out)
+}
+
+/// Renders the per-run comparison table plus the per-mode slowdown
+/// summary (geomean of cycles vs the same app's base run).
+fn render_report(dir: &str, manifests: &[Manifest]) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut base_cycles: BTreeMap<&str, u64> = BTreeMap::new();
+    for m in manifests {
+        if matches!(m.mode(), "base" | "baseline") {
+            base_cycles.insert(m.app(), m.counter("sim.cycles"));
+        }
+    }
+    let apps: BTreeSet<&str> = manifests.iter().map(Manifest::app).collect();
+    let mut out = format!("{} run manifests in {dir} ({} apps)\n\n", manifests.len(), apps.len());
+    let _ = writeln!(
+        out,
+        "{:<12} {:<8} {:>6} {:>9} {:>7} {:>7} {:>7} {:>6} {:>7}  audit",
+        "app", "mode", "IPC", "slowdown", "IL1%", "DRC%", "fetch%", "load%", "redir%"
+    );
+    let mut slowdowns: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for m in manifests {
+        let cycles = m.counter("sim.cycles");
+        let slow = base_cycles
+            .get(m.app())
+            .filter(|&&b| b > 0)
+            .map(|&b| cycles as f64 / b as f64);
+        if let Some(s) = slow {
+            if !matches!(m.mode(), "base" | "baseline") {
+                slowdowns.entry(m.mode()).or_default().push(s);
+            }
+        }
+        let acc = m.json().get("audit").and_then(CycleAccounting::from_json);
+        let spct = |v: u64| match acc {
+            Some(a) if a.cycles > 0 => 100.0 * v as f64 / a.cycles as f64,
+            _ => 0.0,
+        };
+        let (fp, lp, rp) = match acc {
+            Some(a) => (spct(a.fetch_stall), spct(a.load_stall), spct(a.redirect_stall)),
+            None => (0.0, 0.0, 0.0),
+        };
+        let verdict = match m.json().get_path("audit.passed") {
+            Some(Json::Bool(true)) => "PASS",
+            Some(Json::Bool(false)) => "FAIL",
+            _ => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<8} {:>6.3} {:>9} {:>7.2} {:>7} {:>7.1} {:>6.1} {:>7.1}  {}",
+            m.app(),
+            m.mode(),
+            m.derived("ipc").unwrap_or(0.0),
+            slow.map_or_else(|| "-".into(), |s| format!("{s:.3}x")),
+            100.0 * m.derived("il1_miss_rate").unwrap_or(0.0),
+            m.derived("drc_miss_rate")
+                .map_or_else(|| "-".into(), |r| format!("{:.2}", 100.0 * r)),
+            fp,
+            lp,
+            rp,
+            verdict,
+        );
+    }
+    if !slowdowns.is_empty() {
+        let _ = writeln!(out, "\nslowdown vs base (geomean over apps with a base run):");
+        for (mode, vals) in &slowdowns {
+            let g =
+                (vals.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / vals.len() as f64).exp();
+            let _ = writeln!(out, "  {mode:<8} {g:.3}x ({} runs)", vals.len());
+        }
+    }
+    out
+}
+
+/// Diffs two manifest directories through their canonical
+/// (host-stripped) byte forms, pairing runs by `<app>__<mode>` name.
+fn render_diff(ours_dir: &str, ours: &[Manifest], theirs_dir: &str, theirs: &[Manifest]) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+    let a: BTreeMap<String, &Manifest> = ours.iter().map(|m| (m.file_name(), m)).collect();
+    let b: BTreeMap<String, &Manifest> = theirs.iter().map(|m| (m.file_name(), m)).collect();
+    let keys: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let (mut identical, mut differing, mut only_left, mut only_right) = (0usize, 0, 0, 0);
+    let mut lines = String::new();
+    for k in keys {
+        match (a.get(k), b.get(k)) {
+            (Some(x), Some(y)) if x.canonical_bytes() == y.canonical_bytes() => identical += 1,
+            (Some(x), Some(y)) => {
+                differing += 1;
+                let (xc, yc) = (x.counter("sim.cycles"), y.counter("sim.cycles"));
+                let delta =
+                    if xc > 0 { 100.0 * (yc as f64 - xc as f64) / xc as f64 } else { 0.0 };
+                let _ = writeln!(
+                    lines,
+                    "  {k}: cycles {xc} -> {yc} ({delta:+.2}%), ipc {:.3} -> {:.3}",
+                    x.derived("ipc").unwrap_or(0.0),
+                    y.derived("ipc").unwrap_or(0.0)
+                );
+            }
+            (Some(_), None) => {
+                only_left += 1;
+                let _ = writeln!(lines, "  {k}: only in {ours_dir}");
+            }
+            (None, Some(_)) => {
+                only_right += 1;
+                let _ = writeln!(lines, "  {k}: only in {theirs_dir}");
+            }
+            (None, None) => unreachable!("key came from one of the two maps"),
+        }
+    }
+    let mut out = format!(
+        "comparing {ours_dir} ({} runs) against {theirs_dir} ({} runs)\n\
+         identical: {identical}, differing: {differing}, \
+         only-left: {only_left}, only-right: {only_right}\n",
+        ours.len(),
+        theirs.len(),
+    );
+    out.push_str(&lines);
+    out
+}
+
+/// `vcfr report <manifest-dir> [--against <manifest-dir>]` — renders a
+/// comparison table from run manifests written by the experiment matrix
+/// (or `simulate --manifest`), or diffs two manifest directories.
+pub fn cmd_report(args: &Args) -> Result<String, CliError> {
+    let dir = args.positional(0, "manifest directory")?;
+    let manifests = load_manifest_dir(dir)?;
+    match args.value("against") {
+        Some(other) => {
+            let theirs = load_manifest_dir(other)?;
+            Ok(render_diff(dir, &manifests, other, &theirs))
+        }
+        None => Ok(render_report(dir, &manifests)),
+    }
 }
 
 /// `vcfr gadgets <file> [--against <randomized-file>]`.
@@ -556,6 +827,70 @@ mod tests {
         .unwrap();
         assert_eq!(t.lines().count(), 5);
         assert!(t.contains("call"), "first instruction is the lib_init call: {t}");
+    }
+
+    #[test]
+    fn simulate_audit_manifest_and_report() {
+        let img_path = tmp("hmmer-obs.img");
+        cmd_build(&parse(&["hmmer", "--o", &img_path], &[], &["o"])).unwrap();
+        let man_dir = std::env::temp_dir().join("vcfr-cli-tests").join("report-manifests");
+        let _ = fs::remove_dir_all(&man_dir);
+        fs::create_dir_all(&man_dir).unwrap();
+        let base_m = man_dir.join("hmmer-obs__baseline.json");
+        let vcfr_m = man_dir.join("hmmer-obs__vcfr.json");
+
+        let flags: &[&str] = &["ooo", "audit"];
+        let values: &[&str] = &["mode", "max", "drc", "seed", "manifest"];
+        let r = cmd_simulate(&parse(
+            &[&img_path, "--audit", "--manifest", base_m.to_str().unwrap(), "--max", "50000"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(r.contains("audit: PASS"), "{r}");
+        assert!(r.contains("stalls: fetch") && r.contains("%"), "{r}");
+        assert!(r.contains("busy:"), "{r}");
+        cmd_simulate(&parse(
+            &[
+                &img_path,
+                "--mode",
+                "vcfr",
+                "--audit",
+                "--manifest",
+                vcfr_m.to_str().unwrap(),
+                "--max",
+                "50000",
+            ],
+            flags,
+            values,
+        ))
+        .unwrap();
+
+        // The written manifests validate and carry the run identity.
+        let m = Manifest::from_str(&fs::read_to_string(&vcfr_m).unwrap()).unwrap();
+        assert_eq!(m.app(), "hmmer-obs");
+        assert_eq!(m.mode(), "vcfr");
+        assert!(m.counter("sim.cycles") > 0);
+
+        // The report renders both runs with a slowdown column.
+        let dir = man_dir.to_str().unwrap().to_string();
+        let rep = cmd_report(&parse(&[&dir], &[], &["against"])).unwrap();
+        assert!(rep.contains("hmmer-obs"), "{rep}");
+        assert!(rep.contains("slowdown"), "{rep}");
+        assert!(rep.contains("1.000x"), "base run slows down by exactly 1x: {rep}");
+        assert!(rep.contains("PASS"), "{rep}");
+        assert!(rep.contains("slowdown vs base"), "{rep}");
+
+        // Diffing a directory against itself finds every run identical.
+        let diff =
+            cmd_report(&parse(&[&dir, "--against", &dir], &[], &["against"])).unwrap();
+        assert!(diff.contains("identical: 2, differing: 0"), "{diff}");
+
+        // An empty directory is a clean error.
+        let empty = std::env::temp_dir().join("vcfr-cli-tests").join("no-manifests");
+        fs::create_dir_all(&empty).unwrap();
+        let e = cmd_report(&parse(&[empty.to_str().unwrap()], &[], &["against"])).unwrap_err();
+        assert!(e.to_string().contains("no manifest"), "{e}");
     }
 
     #[test]

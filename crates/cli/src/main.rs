@@ -7,9 +7,10 @@
 //! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
 //!                [--software-returns] [--keep SYM]...
 //! vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-//!                [--max N] [--seed N]
+//!                [--max N] [--seed N] [--audit] [--manifest <out.json>]
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
+//! vcfr report <manifest-dir> [--against <manifest-dir>]
 //! ```
 
 mod args;
@@ -29,10 +30,11 @@ USAGE:
     vcfr randomize <file> --o <out> [--seed N] [--page-confined]
                    [--software-returns] [--keep SYM]...
     vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-                   [--max N] [--seed N]
+                   [--max N] [--seed N] [--audit] [--manifest <out.json>]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
+    vcfr report <manifest-dir> [--against <manifest-dir>]
 ";
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
@@ -48,9 +50,10 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         )?),
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
-            &["ooo"],
-            &["mode", "drc", "max", "seed"],
+            &["ooo", "audit"],
+            &["mode", "drc", "max", "seed", "manifest"],
         )?),
+        "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
         "stats" => commands::cmd_stats(&Args::parse(rest, &[], &[])?),
         "trace" => commands::cmd_trace(&Args::parse(rest, &[], &["count", "skip"])?),

@@ -530,7 +530,7 @@ mod tests {
             Inst::MovRI { dst: Reg::Rax, imm: i64::MIN },
         ];
         for inst in samples {
-            assert!(inst.len() >= 1 && inst.len() <= MAX_INST_LEN, "{inst}");
+            assert!((1..=MAX_INST_LEN).contains(&inst.len()), "{inst}");
             assert!(!inst.is_empty());
         }
     }

@@ -1,0 +1,256 @@
+//! Cycle-accounting audits: does the simulator's stall decomposition
+//! actually explain its total cycle count?
+//!
+//! The engine runs two clocks (front end and back end) and reports
+//! `cycles = max(fetch_time, backend_time)`, so the per-category stall
+//! counters are neither disjoint (front- and back-end stalls overlap in
+//! time) nor exhaustive to the cycle (pipeline-refill bubbles after a
+//! redirect are charged to the redirect penalty constants). The audit
+//! therefore checks three *calibrated* identities instead of exact
+//! equality:
+//!
+//! 1. **floor** — `cycles ≥ busy + load_stall`: the back-end clock
+//!    advances at least one cycle per instruction plus every long-op and
+//!    load-stall cycle, exactly;
+//! 2. **coverage** — `busy + fetch + load + redirect + drc_walk ≥
+//!    (1 − tol) · cycles`: every cycle is claimed by some category;
+//! 3. **overlap bound** — `busy + fetch + load + redirect ≤
+//!    (2 + tol) · cycles`: two clocks can each claim a cycle, never
+//!    more. DRC walk cycles are excluded here: walks are accounted even
+//!    when they complete in the shadow of a store or a correct
+//!    prediction, so on DRC-thrashing workloads they are not bounded by
+//!    wall-clock cycles at all.
+
+use crate::json::Json;
+
+/// Default relative tolerance of the audit (see module docs; calibrated
+/// against the full 11-app × 5-config experiment matrix).
+pub const DEFAULT_TOLERANCE: f64 = 0.12;
+
+/// The terms of one run's cycle-accounting identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleAccounting {
+    /// Total cycles the run reported.
+    pub cycles: u64,
+    /// Busy issue cycles: one per committed instruction plus long-op
+    /// (mul/div) extra cycles.
+    pub busy: u64,
+    /// Front-end fetch stall cycles (IL1 misses, iTLB walks).
+    pub fetch_stall: u64,
+    /// Back-end data stall cycles.
+    pub load_stall: u64,
+    /// Control-flow redirect stall cycles.
+    pub redirect_stall: u64,
+    /// DRC table-walk cycles (VCFR mode only; 0 elsewhere).
+    pub drc_walk: u64,
+}
+
+impl CycleAccounting {
+    /// Cycles claimed by some category (categories may overlap).
+    pub fn accounted(&self) -> u64 {
+        self.busy + self.fetch_stall + self.load_stall + self.redirect_stall + self.drc_walk
+    }
+
+    /// The time-like categories: every term here is bounded by one of
+    /// the two pipeline clocks (unlike `drc_walk`, which also counts
+    /// walks hidden in the shadow of other work).
+    pub fn time_like(&self) -> u64 {
+        self.busy + self.fetch_stall + self.load_stall + self.redirect_stall
+    }
+
+    /// `accounted / cycles` (0 on an empty run).
+    pub fn coverage(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.accounted() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Runs the audit at [`DEFAULT_TOLERANCE`].
+    pub fn audit(&self) -> AuditReport {
+        self.audit_with_tolerance(DEFAULT_TOLERANCE)
+    }
+
+    /// Runs the audit with an explicit relative tolerance.
+    pub fn audit_with_tolerance(&self, tolerance: f64) -> AuditReport {
+        let mut failures = Vec::new();
+        if self.cycles < self.busy + self.load_stall {
+            failures.push(format!(
+                "floor violated: cycles {} < busy {} + load_stall {}",
+                self.cycles, self.busy, self.load_stall
+            ));
+        }
+        // Empty runs (0 instructions) trivially pass the ratio checks.
+        if self.cycles > 0 {
+            let cov = self.coverage();
+            if cov < 1.0 - tolerance {
+                failures.push(format!(
+                    "coverage {:.4} below {:.4}: {} of {} cycles unattributed",
+                    cov,
+                    1.0 - tolerance,
+                    self.cycles.saturating_sub(self.accounted()),
+                    self.cycles
+                ));
+            }
+            let time_like = self.time_like() as f64 / self.cycles as f64;
+            if time_like > 2.0 + tolerance {
+                failures.push(format!(
+                    "overlap bound exceeded: time-like coverage {:.4} > {:.4}",
+                    time_like,
+                    2.0 + tolerance
+                ));
+            }
+        }
+        AuditReport { accounting: *self, tolerance, failures }
+    }
+
+    /// The identity terms as a JSON object (manifest `audit` block).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("cycles", Json::U64(self.cycles));
+        j.set("busy", Json::U64(self.busy));
+        j.set("fetch_stall", Json::U64(self.fetch_stall));
+        j.set("load_stall", Json::U64(self.load_stall));
+        j.set("redirect_stall", Json::U64(self.redirect_stall));
+        j.set("drc_walk", Json::U64(self.drc_walk));
+        j.set("coverage", Json::F64(self.coverage()));
+        j
+    }
+
+    /// Rebuilds the terms from a manifest `audit` block.
+    pub fn from_json(j: &Json) -> Option<CycleAccounting> {
+        Some(CycleAccounting {
+            cycles: j.get("cycles")?.as_u64()?,
+            busy: j.get("busy")?.as_u64()?,
+            fetch_stall: j.get("fetch_stall")?.as_u64()?,
+            load_stall: j.get("load_stall")?.as_u64()?,
+            redirect_stall: j.get("redirect_stall")?.as_u64()?,
+            drc_walk: j.get("drc_walk")?.as_u64()?,
+        })
+    }
+}
+
+/// The outcome of one cycle-accounting audit.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// The audited terms.
+    pub accounting: CycleAccounting,
+    /// The tolerance used.
+    pub tolerance: f64,
+    /// Human-readable failures; empty means the audit passed.
+    pub failures: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether every identity held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A short multi-line rendering (CLI `--audit` output).
+    pub fn render(&self) -> String {
+        let a = &self.accounting;
+        let pct = |v: u64| {
+            if a.cycles == 0 {
+                0.0
+            } else {
+                100.0 * v as f64 / a.cycles as f64
+            }
+        };
+        let mut out = format!(
+            "cycle accounting: {} cycles; busy {} ({:.1}%), fetch stall {} ({:.1}%), \
+             load stall {} ({:.1}%), redirect stall {} ({:.1}%), drc walk {} ({:.1}%)\n\
+             coverage {:.3} (tolerance {:.2})\n",
+            a.cycles,
+            a.busy,
+            pct(a.busy),
+            a.fetch_stall,
+            pct(a.fetch_stall),
+            a.load_stall,
+            pct(a.load_stall),
+            a.redirect_stall,
+            pct(a.redirect_stall),
+            a.drc_walk,
+            pct(a.drc_walk),
+            a.coverage(),
+            self.tolerance,
+        );
+        if self.passed() {
+            out.push_str("audit: PASS\n");
+        } else {
+            for f in &self.failures {
+                out.push_str("audit FAIL: ");
+                out.push_str(f);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_accounting_passes() {
+        let a = CycleAccounting {
+            cycles: 1000,
+            busy: 700,
+            fetch_stall: 200,
+            load_stall: 80,
+            redirect_stall: 40,
+            drc_walk: 0,
+        };
+        let r = a.audit();
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!((a.coverage() - 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unattributed_cycles_fail_coverage() {
+        let a = CycleAccounting { cycles: 1000, busy: 500, ..CycleAccounting::default() };
+        let r = a.audit();
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("coverage"));
+        assert!(r.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn floor_check_catches_impossible_cycle_counts() {
+        let a = CycleAccounting { cycles: 10, busy: 50, ..CycleAccounting::default() };
+        assert!(a.audit().failures.iter().any(|f| f.contains("floor")));
+    }
+
+    #[test]
+    fn overlap_bound_catches_runaway_double_counting() {
+        let a = CycleAccounting {
+            cycles: 100,
+            busy: 100,
+            fetch_stall: 150,
+            load_stall: 0,
+            redirect_stall: 100,
+            drc_walk: 0,
+        };
+        assert!(a.audit().failures.iter().any(|f| f.contains("overlap")));
+    }
+
+    #[test]
+    fn empty_run_passes_trivially() {
+        assert!(CycleAccounting::default().audit().passed());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = CycleAccounting {
+            cycles: 9,
+            busy: 5,
+            fetch_stall: 1,
+            load_stall: 2,
+            redirect_stall: 1,
+            drc_walk: 3,
+        };
+        assert_eq!(CycleAccounting::from_json(&a.to_json()), Some(a));
+    }
+}

@@ -1,0 +1,37 @@
+//! `vcfr-obs` — the offline observability layer of the VCFR workspace.
+//!
+//! Like the `vcfr-rand`/`vcfr-proptest` shims, this crate has **zero
+//! external dependencies**; everything is hand-rolled so the workspace
+//! builds with no network. It provides:
+//!
+//! * [`Json`] / [`parse_json`] — a deterministic JSON emitter and a
+//!   small parser (the only serialization machinery in the workspace);
+//! * [`Registry`] / [`Snapshot`] — hierarchical dotted-name counters and
+//!   wall-clock spans (`sim.il1.miss`, `sim.drc.walk_cycles`, …);
+//! * [`TraceRing`] — a fixed-capacity ring of the last N pipeline
+//!   events, the simulator's post-mortem trace;
+//! * [`CycleAccounting`] / [`AuditReport`] — the cycle-accounting audit
+//!   (`busy + stalls ≈ cycles`, tolerance-checked);
+//! * [`Manifest`] — per-(app, config) run manifests with a schema
+//!   version and a canonical (volatile-free) byte form;
+//! * [`BenchRecord`] — the shared `BENCH_repro.json` writer.
+//!
+//! See `docs/observability.md` for the naming scheme and schemas.
+
+#![warn(missing_docs)]
+
+mod audit;
+mod bench_json;
+mod json;
+mod manifest;
+mod registry;
+mod ring;
+
+pub use audit::{AuditReport, CycleAccounting, DEFAULT_TOLERANCE};
+pub use bench_json::{BenchRecord, BenchRun, BENCH_SCHEMA_VERSION};
+pub use json::{parse_json, Json, JsonError};
+pub use manifest::{
+    fingerprint, Manifest, ManifestError, MANIFEST_KIND, MANIFEST_SCHEMA_VERSION,
+};
+pub use registry::{Registry, Snapshot};
+pub use ring::TraceRing;

@@ -1,0 +1,191 @@
+//! A counter/span registry with hierarchical dotted names.
+//!
+//! Hot paths keep their counters as plain struct fields (a string-keyed
+//! map per event would dominate the simulator's per-instruction cost);
+//! at run end those fields are folded into a [`Registry`] under stable
+//! dotted names (`sim.il1.miss`, `sim.drc.walk_cycles`, …). Coarser
+//! layers — the bench harness, the CLI — use the registry directly,
+//! including wall-clock spans for multi-stage pipelines.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A named-counter and named-span registry.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    /// Span durations in seconds.
+    spans: BTreeMap<String, f64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the counter `name` to `value`.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Records a span duration in seconds (accumulating re-entries).
+    pub fn record_span_secs(&mut self, name: &str, secs: f64) {
+        *self.spans.entry(name.to_owned()).or_insert(0.0) += secs;
+    }
+
+    /// Times `f`, recording its duration under `name`.
+    pub fn span<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.record_span_secs(name, t.elapsed().as_secs_f64());
+        out
+    }
+
+    /// The current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// An immutable, name-sorted snapshot of every counter and span.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            spans: self.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Registry`]: counters and spans, sorted by
+/// name, serialisable to deterministic JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, seconds)` pairs, sorted by name.
+    pub spans: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Builds a counters-only snapshot from `(name, value)` pairs (the
+    /// bridge hot-path stats use); pairs are sorted by name.
+    pub fn from_counters(pairs: impl IntoIterator<Item = (String, u64)>) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = pairs.into_iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        counters.dedup_by(|a, b| a.0 == b.0);
+        Snapshot { counters, spans: Vec::new() }
+    }
+
+    /// The value of one counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Serialises as a *nested* JSON object: dotted names become object
+    /// paths (`sim.il1.miss` → `{"sim": {"il1": {"miss": N}}}`), keys
+    /// sorted at every level, spans under a top-level `"spans"` object.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        for (name, v) in &self.counters {
+            insert_path(&mut root, name, Json::U64(*v));
+        }
+        if !self.spans.is_empty() {
+            let mut spans = Json::obj();
+            for (name, secs) in &self.spans {
+                spans.set(name, Json::F64(*secs));
+            }
+            root.set("spans", spans);
+        }
+        root
+    }
+}
+
+/// Inserts `value` at the dotted `path`, creating intermediate objects.
+/// Because callers iterate name-sorted pairs, sibling keys come out
+/// sorted, keeping the emission deterministic.
+fn insert_path(root: &mut Json, path: &str, value: Json) {
+    let mut cur = root;
+    let mut parts = path.split('.').peekable();
+    while let Some(part) = parts.next() {
+        if parts.peek().is_none() {
+            cur.set(part, value);
+            return;
+        }
+        if cur.get(part).map(|v| !matches!(v, Json::Obj(_))).unwrap_or(true) {
+            cur.set(part, Json::obj());
+        }
+        let Json::Obj(pairs) = cur else { unreachable!("set keeps objects") };
+        cur = &mut pairs.iter_mut().find(|(k, _)| k == part).expect("just set").1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_and_read_back() {
+        let mut r = Registry::new();
+        r.add("sim.il1.miss", 3);
+        r.add("sim.il1.miss", 2);
+        r.set("sim.cycles", 100);
+        assert_eq!(r.counter("sim.il1.miss"), 5);
+        assert_eq!(r.counter("sim.cycles"), 100);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_nested() {
+        let mut r = Registry::new();
+        r.set("sim.il1.miss", 7);
+        r.set("sim.il1.access", 100);
+        r.set("sim.cycles", 50);
+        let s = r.snapshot();
+        assert_eq!(s.counter("sim.il1.miss"), 7);
+        let j = s.to_json();
+        assert_eq!(j.get_path("sim.il1.miss").unwrap().as_u64(), Some(7));
+        assert_eq!(j.get_path("sim.cycles").unwrap().as_u64(), Some(50));
+        // Deterministic: emitting twice gives identical bytes.
+        assert_eq!(j.pretty(), s.to_json().pretty());
+    }
+
+    #[test]
+    fn spans_record_time() {
+        let mut r = Registry::new();
+        let v = r.span("stage.work", || 42);
+        assert_eq!(v, 42);
+        let s = r.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert!(s.spans[0].1 >= 0.0);
+        assert!(s.to_json().get_path("spans").is_some());
+    }
+
+    #[test]
+    fn from_counters_sorts_and_dedups() {
+        let s = Snapshot::from_counters(vec![
+            ("b".into(), 2),
+            ("a".into(), 1),
+            ("b".into(), 9),
+        ]);
+        assert_eq!(s.counter("a"), 1);
+        assert_eq!(s.counter("b"), 2);
+        assert_eq!(s.counters.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_leaf_and_branch_names_resolve_to_branch() {
+        // "a" then "a.b": the later branch wins over the leaf.
+        let s = Snapshot::from_counters(vec![("a".into(), 1), ("a.b".into(), 2)]);
+        let j = s.to_json();
+        assert_eq!(j.get_path("a.b").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,142 @@
+//! A fixed-capacity ring buffer holding the last N events.
+//!
+//! The simulator pushes one record per pipeline event; when a run
+//! faults, the ring's contents become the post-mortem trace attached to
+//! the error. Pushes are branch-light (one index mask, one slot write),
+//! so the ring can sit on the per-instruction path.
+
+/// A ring buffer keeping the most recent `capacity` items.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_obs::TraceRing;
+/// let mut r = TraceRing::new(2);
+/// r.push(1);
+/// r.push(2);
+/// r.push(3);
+/// assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceRing<T> {
+    slots: Vec<T>,
+    /// Capacity rounded up to a power of two; 0 disables recording.
+    cap: usize,
+    /// Total items ever pushed.
+    pushed: u64,
+}
+
+impl<T: Clone> TraceRing<T> {
+    /// A ring keeping the last `capacity` items (rounded up to a power
+    /// of two; a zero capacity disables recording entirely).
+    pub fn new(capacity: usize) -> TraceRing<T> {
+        let cap = if capacity == 0 { 0 } else { capacity.next_power_of_two() };
+        TraceRing { slots: Vec::with_capacity(cap), cap, pushed: 0 }
+    }
+
+    /// Whether recording is disabled (zero capacity).
+    pub fn is_disabled(&self) -> bool {
+        self.cap == 0
+    }
+
+    /// Records one item, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.cap == 0 {
+            return;
+        }
+        let at = (self.pushed as usize) & (self.cap - 1);
+        if at < self.slots.len() {
+            self.slots[at] = item;
+        } else {
+            self.slots.push(item);
+        }
+        self.pushed += 1;
+    }
+
+    /// Items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total items ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let split = if self.cap > 0 && self.slots.len() == self.cap {
+            (self.pushed as usize) & (self.cap - 1)
+        } else {
+            0
+        };
+        self.slots[split..].iter().chain(self.slots[..split].iter())
+    }
+
+    /// The retained items, oldest → newest.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_last_n_in_order() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![6, 7, 8, 9]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 10);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = TraceRing::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.to_vec(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_no_op() {
+        let mut r = TraceRing::new(0);
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert!(r.is_empty());
+        assert!(r.is_disabled());
+        assert_eq!(r.total_pushed(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_rounds_up() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        // Rounded to 4 slots.
+        assert_eq!(r.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exactly_full_boundary() {
+        let mut r = TraceRing::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![0, 1, 2, 3]);
+        r.push(4);
+        assert_eq!(r.to_vec(), vec![1, 2, 3, 4]);
+    }
+}

@@ -157,7 +157,7 @@ mod tests {
             il1: CacheStats { accesses: 400_000, misses: 2_000, ..CacheStats::default() },
             dl1: CacheStats { accesses: 300_000, misses: 9_000, ..CacheStats::default() },
             l2: CacheStats { accesses: 12_000, misses: 1_500, ..CacheStats::default() },
-            drc: vcfr.then(|| DrcStats {
+            drc: vcfr.then_some(DrcStats {
                 lookups: 30_000,
                 misses: 2_000,
                 derand_lookups: 15_000,

@@ -420,8 +420,8 @@ mod tests {
         let mut vals: Vec<bool> = safety.values().copied().collect();
         // Sites in address order: call plain, call pic, call_r.
         assert_eq!(vals.len(), 3);
-        assert_eq!(vals.remove(0), true);
-        assert_eq!(vals.remove(0), false);
-        assert_eq!(vals.remove(0), false);
+        assert!(vals.remove(0));
+        assert!(!vals.remove(0));
+        assert!(!vals.remove(0));
     }
 }

@@ -133,6 +133,10 @@ pub struct SimConfig {
     /// Flush the DRC every N instructions, modelling context switches
     /// (None = single-tenant run, the paper's setting).
     pub drc_flush_interval: Option<u64>,
+    /// Capacity of the post-mortem trace ring (last N pipeline events,
+    /// rounded up to a power of two; 0 disables tracing). The ring is
+    /// dumped into [`crate::SimError::Exec`] when a program faults.
+    pub trace_events: usize,
 }
 
 impl Default for SimConfig {
@@ -156,6 +160,7 @@ impl Default for SimConfig {
             prefetch: true,
             drc_backing: DrcBacking::SharedL2,
             drc_flush_interval: None,
+            trace_events: 64,
         }
     }
 }

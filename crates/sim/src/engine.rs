@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr, StackBitmap};
 use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, Machine, RunOutcome, StepInfo};
+use vcfr_obs::TraceRing;
 use vcfr_rewriter::RandomizedProgram;
 
 /// Which machine to simulate.
@@ -59,17 +60,84 @@ pub(crate) fn exec_extra_cycles(inst: &Inst) -> u64 {
     Engine::exec_extra(inst)
 }
 
-/// A simulation failure.
+/// One entry in the post-mortem trace ring: something the pipeline did
+/// at a point in simulated time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Committed-instruction sequence number (1-based).
+    pub seq: u64,
+    /// Architectural PC of the instruction the event belongs to.
+    pub pc: Addr,
+    /// Simulated cycle the event is anchored to.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The kinds of pipeline events the trace ring records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The instruction left the timing model.
+    Commit,
+    /// Instruction fetch stalled (IL1 miss, iTLB walk).
+    FetchStall {
+        /// Stall cycles.
+        cycles: u64,
+    },
+    /// The front end was redirected (misprediction, BTB miss,
+    /// DRC-miss redirect).
+    Redirect {
+        /// Cycle fetch resumes at.
+        resume_at: u64,
+    },
+    /// A DRC miss walked the in-memory translation tables.
+    DrcWalk {
+        /// Walk latency in cycles.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} pc={:#x} cycle={} ", self.seq, self.pc, self.cycle)?;
+        match self.kind {
+            TraceEventKind::Commit => write!(f, "commit"),
+            TraceEventKind::FetchStall { cycles } => write!(f, "fetch stall {cycles}"),
+            TraceEventKind::Redirect { resume_at } => {
+                write!(f, "redirect, fetch resumes at {resume_at}")
+            }
+            TraceEventKind::DrcWalk { cycles } => write!(f, "drc walk {cycles}"),
+        }
+    }
+}
+
+/// A simulation failure.
+#[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// The program faulted architecturally.
-    Exec(ExecError),
+    Exec {
+        /// The architectural fault.
+        cause: ExecError,
+        /// The last pipeline events before the fault (contents of the
+        /// trace ring, oldest first; empty when tracing is disabled or
+        /// the fault did not pass through the timing engine).
+        trace: Vec<TraceEvent>,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Exec(e) => write!(f, "architectural fault: {e}"),
+            SimError::Exec { cause, trace } => {
+                write!(f, "architectural fault: {cause}")?;
+                if !trace.is_empty() {
+                    write!(f, "\nlast {} pipeline events:", trace.len())?;
+                    for e in trace {
+                        write!(f, "\n  {e}")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -78,7 +146,7 @@ impl std::error::Error for SimError {}
 
 impl From<ExecError> for SimError {
     fn from(e: ExecError) -> SimError {
-        SimError::Exec(e)
+        SimError::Exec { cause: e, trace: Vec::new() }
     }
 }
 
@@ -114,7 +182,19 @@ struct Engine<'a> {
     load_stall: u64,
     redirect_stall: u64,
     drc_walk: u64,
+    exec_extra: u64,
     instructions: u64,
+    trace: TraceRing<TraceEvent>,
+    /// PC of the instruction currently stepping (for events recorded in
+    /// helpers that don't see `StepInfo`).
+    cur_pc: Addr,
+}
+
+/// Records one trace event. A free function so call sites can borrow the
+/// ring alongside other `Engine` fields (e.g. while the DRC is borrowed).
+#[inline]
+fn trace_push(trace: &mut TraceRing<TraceEvent>, seq: u64, pc: Addr, cycle: u64, kind: TraceEventKind) {
+    trace.push(TraceEvent { seq, pc, cycle, kind });
 }
 
 impl<'a> Engine<'a> {
@@ -138,8 +218,16 @@ impl<'a> Engine<'a> {
             load_stall: 0,
             redirect_stall: 0,
             drc_walk: 0,
+            exec_extra: 0,
             instructions: 0,
+            trace: TraceRing::new(cfg.trace_events),
+            cur_pc: 0,
         }
+    }
+
+    /// Packages an architectural fault with the post-mortem trace.
+    fn fault(&self, cause: ExecError) -> SimError {
+        SimError::Exec { cause, trace: self.trace.to_vec() }
     }
 
     fn exec_extra(inst: &Inst) -> u64 {
@@ -158,6 +246,13 @@ impl<'a> Engine<'a> {
         if at > self.redirect_at {
             self.redirect_stall += at - self.redirect_at.max(self.fetch_time);
             self.redirect_at = at;
+            trace_push(
+                &mut self.trace,
+                self.instructions,
+                self.cur_pc,
+                at,
+                TraceEventKind::Redirect { resume_at: at },
+            );
         }
     }
 
@@ -172,6 +267,7 @@ impl<'a> Engine<'a> {
         vcfr: Option<&RandomizedProgram>,
     ) {
         self.instructions += 1;
+        self.cur_pc = info.pc;
         let cfg = self.cfg;
 
         // Context-switch model: periodically invalidate the DRC (other
@@ -207,12 +303,23 @@ impl<'a> Engine<'a> {
         let fetch_done = start + 1 + stall;
         self.fetch_stall += stall;
         self.fetch_time = fetch_done;
+        if stall > 0 {
+            trace_push(
+                &mut self.trace,
+                self.instructions,
+                info.pc,
+                fetch_done,
+                TraceEventKind::FetchStall { cycles: stall },
+            );
+        }
 
         // ---- backend ----------------------------------------------------
         let exec_start = (self.backend_time + 1).max(fetch_done + DECODE_DEPTH);
         self.iq.push_back(exec_start);
 
-        let mut exec_end = exec_start + Engine::exec_extra(&info.inst);
+        let extra = Engine::exec_extra(&info.inst);
+        self.exec_extra += extra;
+        let mut exec_end = exec_start + extra;
         for acc in info.mem_accesses() {
             let lat = self.hier.data_access(acc.addr, acc.write, exec_start);
             self.load_stall += lat;
@@ -236,6 +343,7 @@ impl<'a> Engine<'a> {
         }
 
         self.backend_time = exec_end;
+        trace_push(&mut self.trace, self.instructions, info.pc, exec_end, TraceEventKind::Commit);
     }
 
     fn vcfr_events(
@@ -275,6 +383,15 @@ impl<'a> Engine<'a> {
                             };
                             self.drc_walk += walk;
                             *exec_end += walk;
+                            if walk > 0 {
+                                trace_push(
+                                    &mut self.trace,
+                                    self.instructions,
+                                    self.cur_pc,
+                                    exec_start,
+                                    TraceEventKind::DrcWalk { cycles: walk },
+                                );
+                            }
                         }
                     }
                 }
@@ -299,6 +416,15 @@ impl<'a> Engine<'a> {
                             DrcBacking::Dedicated { latency } => latency,
                         };
                         self.drc_walk += walk;
+                        if walk > 0 {
+                            trace_push(
+                                &mut self.trace,
+                                self.instructions,
+                                self.cur_pc,
+                                exec_start,
+                                TraceEventKind::DrcWalk { cycles: walk },
+                            );
+                        }
                     }
                     if let Some(push) = info.mem_accesses().find(|a| a.write) {
                         self.bitmap.mark(push.addr);
@@ -335,6 +461,15 @@ impl<'a> Engine<'a> {
                     DrcBacking::Dedicated { latency } => latency,
                 };
                 self.drc_walk += walk;
+                if walk > 0 {
+                    trace_push(
+                        &mut self.trace,
+                        self.instructions,
+                        self.cur_pc,
+                        now,
+                        TraceEventKind::DrcWalk { cycles: walk },
+                    );
+                }
                 return walk;
             }
         }
@@ -480,6 +615,7 @@ impl<'a> Engine<'a> {
             load_stall_cycles: self.load_stall,
             redirect_stall_cycles: self.redirect_stall,
             l2_reads_from_l1: self.hier.l2_reads_from_l1,
+            exec_extra_cycles: self.exec_extra,
         }
     }
 
@@ -595,6 +731,10 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
         });
         *last = now;
     };
+    // Next-threshold sampling: one compare per instruction instead of a
+    // division (the sample check sits on the hot loop).
+    let stride = sample_every.unwrap_or(0);
+    let mut next_sample = sample_every.unwrap_or(u64::MAX);
     let outcome = loop {
         if engine.instructions >= max_insts {
             break RunOutcome {
@@ -603,7 +743,7 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
                 stop: machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
             };
         }
-        let Some(info) = machine.step()? else {
+        let Some(info) = machine.step().map_err(|e| engine.fault(e))? else {
             break RunOutcome {
                 output: machine.output().to_vec(),
                 steps: machine.steps(),
@@ -620,10 +760,9 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
                 engine.step(&info, info.pc, &identity, Some(program));
             }
         }
-        if let Some(every) = sample_every {
-            if engine.instructions.is_multiple_of(every) {
-                take_sample(&engine, &mut last);
-            }
+        if engine.instructions >= next_sample {
+            take_sample(&engine, &mut last);
+            next_sample += stride;
         }
     };
     if sample_every.is_some() {
@@ -808,7 +947,51 @@ mod tests {
     }
 
     #[test]
-    fn exec_fault_propagates() {
+    fn sampling_interval_of_one_yields_one_sample_per_instruction() {
+        let img = workload();
+        let (out, samples) =
+            simulate_sampled(Mode::Baseline(&img), &SimConfig::default(), 500, 1).unwrap();
+        assert_eq!(samples.len() as u64, out.stats.instructions);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.first_inst, i as u64);
+            assert_eq!(s.instructions, 1);
+        }
+        // Interval 0 clamps to 1 rather than dividing by zero.
+        let (_, zero) =
+            simulate_sampled(Mode::Baseline(&img), &SimConfig::default(), 500, 0).unwrap();
+        assert_eq!(zero.len(), samples.len());
+    }
+
+    #[test]
+    fn sampling_interval_longer_than_the_run_yields_one_final_sample() {
+        let img = workload();
+        let (out, samples) =
+            simulate_sampled(Mode::Baseline(&img), &SimConfig::default(), 1_000, u64::MAX)
+                .unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].first_inst, 0);
+        assert_eq!(samples[0].instructions, out.stats.instructions);
+    }
+
+    #[test]
+    fn last_partial_interval_is_flushed_and_samples_tile_the_run() {
+        let img = workload();
+        let (out, samples) =
+            simulate_sampled(Mode::Baseline(&img), &SimConfig::default(), 1_000, 300).unwrap();
+        assert_eq!(out.stats.instructions, 1_000, "workload outlives the window");
+        let lens: Vec<u64> = samples.iter().map(|s| s.instructions).collect();
+        assert_eq!(lens, vec![300, 300, 300, 100], "three full intervals + the partial tail");
+        // Intervals are contiguous and partition the run exactly.
+        let mut next = 0;
+        for s in &samples {
+            assert_eq!(s.first_inst, next);
+            next += s.instructions;
+        }
+        assert_eq!(next, out.stats.instructions);
+    }
+
+    #[test]
+    fn exec_fault_propagates_with_trace() {
         let mut a = Asm::new(0x1000);
         a.mov_ri(Reg::Rax, 1);
         a.mov_ri(Reg::Rbx, 0);
@@ -816,6 +999,53 @@ mod tests {
         a.halt();
         let img = a.finish().unwrap();
         let err = simulate(Mode::Baseline(&img), &SimConfig::default(), 100).unwrap_err();
-        assert!(matches!(err, SimError::Exec(ExecError::DivideByZero { .. })));
+        let SimError::Exec { cause, trace } = &err;
+        assert!(matches!(cause, ExecError::DivideByZero { .. }));
+        // The two movs committed before the fault; their events are in
+        // the post-mortem ring and in the rendered error.
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|e| e.kind == TraceEventKind::Commit));
+        let shown = err.to_string();
+        assert!(shown.contains("architectural fault"));
+        assert!(shown.contains("pipeline events"));
+        assert!(shown.contains("commit"));
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 1);
+        a.mov_ri(Reg::Rbx, 0);
+        a.alu_rr(AluOp::Div, Reg::Rax, Reg::Rbx);
+        a.halt();
+        let img = a.finish().unwrap();
+        let cfg = SimConfig { trace_events: 0, ..SimConfig::default() };
+        let err = simulate(Mode::Baseline(&img), &cfg, 100).unwrap_err();
+        let SimError::Exec { trace, .. } = &err;
+        assert!(trace.is_empty());
+        assert!(!err.to_string().contains("pipeline events"));
+    }
+
+    #[test]
+    fn cycle_accounting_audit_passes_in_every_mode() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        for (name, out) in [
+            ("base", simulate(Mode::Baseline(&img), &cfg, 200_000).unwrap()),
+            ("naive", simulate(Mode::NaiveIlr(&rp), &cfg, 200_000).unwrap()),
+            (
+                "vcfr",
+                simulate(
+                    Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+                    &cfg,
+                    200_000,
+                )
+                .unwrap(),
+            ),
+        ] {
+            let report = out.stats.accounting().audit();
+            assert!(report.passed(), "{name}: {:?}", report.failures);
+        }
     }
 }

@@ -213,8 +213,8 @@ mod tests {
         h.data_access(0x0000, true, 0);
         // Evict by filling the set: DL1 = 256 sets × 2 ways, same set
         // every 16 KiB.
-        h.data_access(0x0000 + 16 * 1024, false, 10);
-        h.data_access(0x0000 + 32 * 1024, false, 20);
+        h.data_access(16 * 1024, false, 10);
+        h.data_access(32 * 1024, false, 20);
         assert_eq!(h.dl1.stats().writebacks, 1);
     }
 

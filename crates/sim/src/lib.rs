@@ -57,7 +57,10 @@ pub use cache::{AccessResult, Cache, CacheStats};
 pub use config::{BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, SimConfig};
 pub use dram::{Dram, DramStats};
 pub use emulator::{emulate, EmulationReport, EmulatorCostModel};
-pub use engine::{simulate, simulate_sampled, IntervalSample, Mode, SimError, SimOutput};
+pub use engine::{
+    simulate, simulate_sampled, IntervalSample, Mode, SimError, SimOutput, TraceEvent,
+    TraceEventKind,
+};
 pub use flatmap::FlatMap;
 pub use hierarchy::MemoryHierarchy;
 pub use multicore::{simulate_multicore, MultiCoreOutput};

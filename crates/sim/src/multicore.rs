@@ -73,6 +73,7 @@ struct Core<'a> {
     fetch_stall: u64,
     load_stall: u64,
     drc_walk: u64,
+    exec_extra: u64,
     done: bool,
 }
 
@@ -106,6 +107,7 @@ impl<'a> Core<'a> {
             fetch_stall: 0,
             load_stall: 0,
             drc_walk: 0,
+            exec_extra: 0,
             done: false,
         }
     }
@@ -185,7 +187,9 @@ impl<'a> Core<'a> {
 
         // ---- backend --------------------------------------------------
         let exec_start = (self.backend_time + 1).max(fetch_done + 3);
-        let mut exec_end = exec_start + exec_extra_cycles(&info.inst);
+        let extra = exec_extra_cycles(&info.inst);
+        self.exec_extra += extra;
+        let mut exec_end = exec_start + extra;
         for acc in info.mem_accesses() {
             if !self.dtlb.access(acc.addr, true) {
                 exec_end += cfg.tlb_walk_cycles;
@@ -316,6 +320,7 @@ impl<'a> Core<'a> {
             drc_walk_cycles: self.drc_walk,
             fetch_stall_cycles: self.fetch_stall,
             load_stall_cycles: self.load_stall,
+            exec_extra_cycles: self.exec_extra,
             ..SimStats::default()
         }
     }

@@ -70,6 +70,7 @@ struct OooEngine<'a> {
     drc_walk: u64,
     fetch_stall: u64,
     load_stall: u64,
+    exec_extra: u64,
     instructions: u64,
 }
 
@@ -99,6 +100,7 @@ impl<'a> OooEngine<'a> {
             drc_walk: 0,
             fetch_stall: 0,
             load_stall: 0,
+            exec_extra: 0,
             instructions: 0,
         }
     }
@@ -196,7 +198,9 @@ impl<'a> OooEngine<'a> {
             }
         }
 
-        let mut lat = 1 + crate::engine::exec_extra_cycles(&info.inst);
+        let extra = crate::engine::exec_extra_cycles(&info.inst);
+        self.exec_extra += extra;
+        let mut lat = 1 + extra;
         for acc in info.mem_accesses() {
             let l = self.hier.data_access(acc.addr, acc.write, ready);
             self.load_stall += l;
@@ -388,6 +392,7 @@ impl<'a> OooEngine<'a> {
             load_stall_cycles: self.load_stall,
             redirect_stall_cycles: 0,
             l2_reads_from_l1: self.hier.l2_reads_from_l1,
+            exec_extra_cycles: self.exec_extra,
         }
     }
 }

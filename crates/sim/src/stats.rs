@@ -43,6 +43,9 @@ pub struct SimStats {
     /// Reads the L1s (and prefetcher) issued into the L2 — the paper's
     /// "L2 pressure".
     pub l2_reads_from_l1: u64,
+    /// Extra execute cycles of long-running operations (mul/div), the
+    /// non-unit part of the busy-cycle term in the accounting audit.
+    pub exec_extra_cycles: u64,
 }
 
 impl SimStats {
@@ -59,6 +62,77 @@ impl SimStats {
     pub fn seconds(&self, freq_ghz: f64) -> f64 {
         self.cycles as f64 / (freq_ghz * 1e9)
     }
+
+    /// Busy issue cycles: one per committed instruction plus long-op
+    /// extra cycles.
+    pub fn busy_cycles(&self) -> u64 {
+        self.instructions + self.exec_extra_cycles
+    }
+
+    /// The cycle-accounting identity terms of this run.
+    pub fn accounting(&self) -> vcfr_obs::CycleAccounting {
+        vcfr_obs::CycleAccounting {
+            cycles: self.cycles,
+            busy: self.busy_cycles(),
+            fetch_stall: self.fetch_stall_cycles,
+            load_stall: self.load_stall_cycles,
+            redirect_stall: self.redirect_stall_cycles,
+            drc_walk: self.drc_walk_cycles,
+        }
+    }
+
+    /// Every counter as a registry snapshot under hierarchical `sim.*`
+    /// names (`sim.il1.miss`, `sim.drc.walk_cycles`, …) — the manifest
+    /// `counters` block.
+    pub fn snapshot(&self) -> vcfr_obs::Snapshot {
+        let mut counters = vec![
+            ("sim.instructions".into(), self.instructions),
+            ("sim.cycles".into(), self.cycles),
+            ("sim.exec.extra_cycles".into(), self.exec_extra_cycles),
+            ("sim.stall.fetch".into(), self.fetch_stall_cycles),
+            ("sim.stall.load".into(), self.load_stall_cycles),
+            ("sim.stall.redirect".into(), self.redirect_stall_cycles),
+            ("sim.l2.reads_from_l1".into(), self.l2_reads_from_l1),
+            ("sim.drc.walk_cycles".into(), self.drc_walk_cycles),
+        ];
+        let mut cache = |name: &str, c: &CacheStats| {
+            counters.push((format!("sim.{name}.access"), c.accesses));
+            counters.push((format!("sim.{name}.miss"), c.misses));
+            counters.push((format!("sim.{name}.write"), c.writes));
+            counters.push((format!("sim.{name}.writeback"), c.writebacks));
+            counters.push((format!("sim.{name}.prefetch.issued"), c.prefetches_issued));
+            counters.push((format!("sim.{name}.prefetch.hit"), c.prefetch_hits));
+            counters
+                .push((format!("sim.{name}.prefetch.unused_eviction"), c.prefetch_unused_evictions));
+        };
+        cache("il1", &self.il1);
+        cache("dl1", &self.dl1);
+        cache("l2", &self.l2);
+        for (name, t) in [("itlb", &self.itlb), ("dtlb", &self.dtlb)] {
+            counters.push((format!("sim.{name}.access"), t.accesses));
+            counters.push((format!("sim.{name}.miss"), t.misses));
+            counters.push((format!("sim.{name}.visibility_fault"), t.visibility_faults));
+        }
+        counters.push(("sim.dram.access".into(), self.dram.accesses));
+        counters.push(("sim.dram.row_hit".into(), self.dram.row_hits));
+        counters.push(("sim.dram.row_miss".into(), self.dram.row_misses));
+        counters.push(("sim.dram.row_conflict".into(), self.dram.row_conflicts));
+        counters.push(("sim.dram.refresh_delay".into(), self.dram.refresh_delays));
+        counters.push(("sim.branch.prediction".into(), self.branch.predictions));
+        counters.push(("sim.branch.misprediction".into(), self.branch.mispredictions));
+        counters.push(("sim.branch.btb.lookup".into(), self.branch.btb_lookups));
+        counters.push(("sim.branch.btb.miss".into(), self.branch.btb_misses));
+        counters.push(("sim.branch.btb.wrong_target".into(), self.branch.btb_wrong_target));
+        counters.push(("sim.branch.ras.prediction".into(), self.branch.ras_predictions));
+        counters.push(("sim.branch.ras.misprediction".into(), self.branch.ras_mispredictions));
+        if let Some(d) = self.drc {
+            counters.push(("sim.drc.lookup".into(), d.lookups));
+            counters.push(("sim.drc.miss".into(), d.misses));
+            counters.push(("sim.drc.derand_lookup".into(), d.derand_lookups));
+            counters.push(("sim.drc.rand_lookup".into(), d.rand_lookups));
+        }
+        vcfr_obs::Snapshot::from_counters(counters)
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +145,44 @@ mod tests {
         assert!((s.ipc() - 0.8).abs() < 1e-12);
         assert!((s.seconds(1.6) - 1000.0 / 1.6e9).abs() < 1e-18);
         assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn accounting_terms_mirror_the_stat_fields() {
+        let s = SimStats {
+            instructions: 800,
+            cycles: 1000,
+            exec_extra_cycles: 50,
+            fetch_stall_cycles: 100,
+            load_stall_cycles: 60,
+            redirect_stall_cycles: 40,
+            drc_walk_cycles: 30,
+            ..SimStats::default()
+        };
+        let a = s.accounting();
+        assert_eq!(a.cycles, 1000);
+        assert_eq!(a.busy, 850);
+        assert_eq!(a.fetch_stall, 100);
+        assert_eq!(a.load_stall, 60);
+        assert_eq!(a.redirect_stall, 40);
+        assert_eq!(a.drc_walk, 30);
+    }
+
+    #[test]
+    fn snapshot_uses_hierarchical_names() {
+        let mut s = SimStats { instructions: 12, cycles: 34, ..SimStats::default() };
+        s.il1.misses = 5;
+        s.drc = Some(DrcStats { lookups: 9, misses: 2, derand_lookups: 7, rand_lookups: 2 });
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("sim.instructions"), 12);
+        assert_eq!(snap.counter("sim.cycles"), 34);
+        assert_eq!(snap.counter("sim.il1.miss"), 5);
+        assert_eq!(snap.counter("sim.drc.lookup"), 9);
+        // Baseline runs (no DRC) simply omit the DRC lookup counters.
+        assert!(!SimStats::default()
+            .snapshot()
+            .counters
+            .iter()
+            .any(|(k, _)| k == "sim.drc.lookup"));
     }
 }

@@ -1,0 +1,65 @@
+//! Property tests for the open-addressed [`FlatMap`]: arbitrary
+//! insert/remove/get interleavings agree with a `std::collections::HashMap`
+//! model, with keys drawn from a small domain so probe chains collide and
+//! backward-shift deletion runs constantly.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vcfr_sim::FlatMap;
+
+/// One scripted operation: (selector, key index, value).
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((any::<u8>(), 0u32..64, any::<u32>()), 1..400)
+}
+
+proptest! {
+    /// The map agrees with the `HashMap` model after every operation.
+    #[test]
+    fn matches_hashmap_model(ops in arb_ops()) {
+        let mut m = FlatMap::new();
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for (sel, ki, val) in ops {
+            // Stack-like keys: 8-byte-strided addresses.
+            let key = 0xe000 + ki * 8;
+            match sel % 3 {
+                0 => {
+                    m.insert(key, val);
+                    model.insert(key, val);
+                }
+                1 => prop_assert_eq!(m.remove(key), model.remove(&key)),
+                _ => prop_assert_eq!(m.get(key), model.get(&key).copied()),
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        // Every surviving entry is reachable: backward-shift deletion
+        // never left a hole that truncates a probe chain.
+        for (&k, &v) in &model {
+            prop_assert_eq!(m.get(k), Some(v));
+        }
+        // And no deleted key resurfaces.
+        for ki in 0..64u32 {
+            let key = 0xe000 + ki * 8;
+            if !model.contains_key(&key) {
+                prop_assert_eq!(m.get(key), None);
+            }
+        }
+    }
+
+    /// Removing any subset of a colliding cluster leaves the rest intact.
+    #[test]
+    fn deletion_preserves_the_rest(keep_mask in any::<u32>(), n in 1u32..32) {
+        let mut m = FlatMap::new();
+        for i in 0..n {
+            m.insert(0xf000 + i * 8, i);
+        }
+        for i in 0..n {
+            if keep_mask & (1 << i) == 0 {
+                prop_assert_eq!(m.remove(0xf000 + i * 8), Some(i));
+            }
+        }
+        for i in 0..n {
+            let expect = if keep_mask & (1 << i) != 0 { Some(i) } else { None };
+            prop_assert_eq!(m.get(0xf000 + i * 8), expect);
+        }
+    }
+}

@@ -13,6 +13,11 @@ repro-check:
 bench-smoke:
     cargo bench -p vcfr-bench --bench components -- engine_hot_loop
 
+# Observability smoke: manifests byte-identical across thread counts,
+# parse round trip, and audit identity (see docs/observability.md).
+obs-smoke:
+    cargo run --release -p vcfr-bench --bin repro -- obs-smoke
+
 # Full test suite across the workspace.
 test:
     cargo test --workspace

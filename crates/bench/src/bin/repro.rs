@@ -5,6 +5,8 @@
 //! repro fig3 fig12     # run selected experiments
 //! repro check --threads 4   # CI gate on an explicit worker count
 //! repro obs-smoke      # tiny observability end-to-end check
+//! repro faults         # 11-app fault-injection campaign (base vs VCFR)
+//! repro faults-smoke   # 1-app seeded campaign + determinism check
 //! ```
 //!
 //! Whenever the simulation matrix runs, per-run wall-clock timing is
@@ -16,7 +18,7 @@
 
 use std::path::Path;
 use vcfr_bench::experiments::{self as ex, Matrix, MatrixTiming};
-use vcfr_bench::manifests;
+use vcfr_bench::{campaign, manifests};
 use vcfr_obs::{CycleAccounting, Manifest};
 
 fn want(args: &[String], name: &str) -> bool {
@@ -142,6 +144,95 @@ fn obs_smoke() -> bool {
     ok
 }
 
+/// Runs the fault-injection campaign over `suite`, prints the coverage
+/// table, and writes one manifest per (app, configuration) cell under
+/// `out_dir`.
+fn run_faults(
+    suite: &[vcfr_workloads::Workload],
+    threads: usize,
+    out_dir: &Path,
+) -> Vec<campaign::CampaignCell> {
+    eprintln!(
+        "fault campaign: {} app(s) x {{base, vcfr128}}, {} faults per run, {} thread(s) ...",
+        suite.len(),
+        campaign::FAULTS_PER_RUN,
+        threads
+    );
+    let cells = campaign::run_campaign(suite, threads);
+    header(
+        "Fault-injection campaign - detection coverage",
+        "the dependability half: the mediation layer detects corrupted control-flow state",
+    );
+    print!("{}", campaign::coverage_table(&cells));
+    let ms = manifests::build_campaign_manifests(&cells, threads);
+    match manifests::write_manifests(out_dir, &ms) {
+        Ok(n) => eprintln!("wrote {n} campaign manifests to {}/", out_dir.display()),
+        Err(e) => eprintln!("warning: could not write campaign manifests: {e}"),
+    }
+    cells
+}
+
+/// Tiny end-to-end check of the fault campaign: one app, seeded
+/// schedule, manifests byte-identical across worker-thread counts, every
+/// cell's cycle accounting auditable, and VCFR strictly ahead of the
+/// baseline on detection coverage.
+fn faults_smoke() -> bool {
+    let mut w = vcfr_workloads::by_name("bzip2").expect("bzip2 exists");
+    w.max_insts = w.max_insts.min(60_000);
+    let suite = [w];
+    eprintln!("faults-smoke: bzip2 x {{base, vcfr128}}, {} inst budget", suite[0].max_insts);
+
+    let cells = run_faults(&suite, 1, Path::new("target/faults-smoke-manifests"));
+    let again = campaign::run_campaign(&suite, 2);
+    let ms1 = manifests::build_campaign_manifests(&cells, 1);
+    let ms2 = manifests::build_campaign_manifests(&again, 2);
+    let mut ok = true;
+
+    for (a, b) in ms1.iter().zip(&ms2) {
+        if a.canonical_bytes() != b.canonical_bytes() {
+            eprintln!(
+                "FAIL {}: canonical manifest differs between 1 and 2 threads",
+                a.file_name()
+            );
+            ok = false;
+        }
+    }
+    for (cell, m) in cells.iter().zip(&ms1) {
+        let audit = m.json().get("audit").and_then(CycleAccounting::from_json);
+        match audit.map(|a| a.audit()) {
+            Some(report) if report.passed() => {
+                println!(
+                    "PASS {:<26} {:>3} injected, coverage {:.3}",
+                    m.file_name(),
+                    cell.faults.injected,
+                    cell.faults.coverage()
+                );
+            }
+            Some(report) => {
+                ok = false;
+                for f in &report.failures {
+                    eprintln!("FAIL {}: {f}", m.file_name());
+                }
+            }
+            None => {
+                ok = false;
+                eprintln!("FAIL {}: manifest has no audit block", m.file_name());
+            }
+        }
+    }
+    let (base, vcfr) = (&cells[0], &cells[1]);
+    if vcfr.faults.coverage() <= base.faults.coverage() {
+        eprintln!(
+            "FAIL: vcfr coverage {:.3} does not beat baseline {:.3}",
+            vcfr.faults.coverage(),
+            base.faults.coverage()
+        );
+        ok = false;
+    }
+    println!("faults-smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
 /// CI gate: recompute the headline numbers and fail (exit 1) when any
 /// leaves its calibrated band.
 fn check(threads: usize) -> bool {
@@ -190,6 +281,12 @@ fn main() {
     }
     if args.iter().any(|a| a == "obs-smoke") {
         std::process::exit(if obs_smoke() { 0 } else { 1 });
+    }
+    if args.iter().any(|a| a == "faults-smoke") {
+        std::process::exit(if faults_smoke() { 0 } else { 1 });
+    }
+    if want(&args, "faults") {
+        run_faults(&vcfr_workloads::spec_suite(), threads, Path::new("results/faults"));
     }
     let needs_matrix =
         ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));

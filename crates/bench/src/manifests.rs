@@ -7,10 +7,11 @@
 //! (workload, seed, machine configuration), so the canonical byte form
 //! of every manifest is identical across worker-thread counts.
 
+use crate::campaign::{CampaignCell, FAULTS_PER_RUN};
 use crate::experiments::{AppResults, Matrix, MatrixTiming, MODE_NAMES, SEED};
 use std::io;
 use std::path::Path;
-use vcfr_obs::{fingerprint, BenchRecord, BenchRun, Json, Manifest};
+use vcfr_obs::{fingerprint, BenchRecord, BenchRun, Json, Manifest, Snapshot};
 use vcfr_sim::{IntervalSample, SimConfig, SimStats};
 
 /// DRC entries per matrix column (`None` for the non-VCFR machines).
@@ -146,6 +147,66 @@ pub fn write_manifests(dir: &Path, manifests: &[Manifest]) -> io::Result<usize> 
         std::fs::write(dir.join(m.file_name()), m.to_string_pretty())?;
     }
     Ok(manifests.len())
+}
+
+/// The manifest `config` block of a fault-campaign cell: the matrix
+/// configuration plus the campaign parameters (fault count, policy),
+/// all folded into the fingerprint.
+fn fault_config_json(mode: &str) -> Json {
+    let mut j = config_json(mode);
+    j.set("faults_per_run", Json::U64(FAULTS_PER_RUN as u64));
+    j.set("containment_policy", Json::Str("recover".into()));
+    j.set(
+        "fingerprint",
+        Json::Str(fingerprint(&format!(
+            "faults mode={mode} seed={SEED} count={FAULTS_PER_RUN} policy=recover"
+        ))),
+    );
+    j
+}
+
+/// Builds the manifest for one fault-campaign cell: the standard
+/// `sim.*` counters plus the `fault.*` counters, detection coverage in
+/// the `derived` block, and the usual cycle-accounting audit (faulted
+/// runs stay auditable — recovery charges are ordinary stall cycles).
+pub fn build_fault_manifest(cell: &CampaignCell, host: Json) -> Manifest {
+    let mode = format!("faults-{}", cell.mode);
+    let mut m = Manifest::new(cell.app, &mode);
+    m.set_config(fault_config_json(cell.mode));
+    let mut counters = cell.stats.snapshot().counters;
+    let f = &cell.faults;
+    counters.extend([
+        ("fault.injected".to_string(), f.injected),
+        ("fault.detected.parity".to_string(), f.detected_parity),
+        ("fault.detected.translation".to_string(), f.detected_translation),
+        ("fault.detected.visibility".to_string(), f.detected_visibility),
+        ("fault.detected.decode".to_string(), f.detected_decode),
+        ("fault.contained".to_string(), f.contained),
+        ("fault.silent".to_string(), f.silent),
+        ("fault.masked".to_string(), f.masked),
+        ("fault.emergency_rerands".to_string(), f.emergency_rerands),
+    ]);
+    m.set_counters(&Snapshot::from_counters(counters));
+    let mut d = derived_json(&cell.stats);
+    d.set("fault_coverage", Json::F64(f.coverage()));
+    d.set("fault_detected", Json::U64(f.detected()));
+    m.set_derived(d);
+    m.set_audit(audit_json(&cell.stats));
+    m.set_host(host);
+    m
+}
+
+/// One manifest per campaign cell (host block carries the thread count
+/// only; the canonical bytes are thread-independent).
+pub fn build_campaign_manifests(cells: &[CampaignCell], threads: usize) -> Vec<Manifest> {
+    cells
+        .iter()
+        .map(|c| {
+            let mut host = Json::obj();
+            host.set("threads", Json::U64(threads as u64));
+            build_fault_manifest(c, host)
+        })
+        .collect()
 }
 
 /// The `BENCH_repro.json` record of one matrix run (shared writer in

@@ -242,14 +242,23 @@ fn render_stats(stats: &SimStats) -> String {
     }
     let _ = writeln!(
         out,
-        "stalls: fetch {} ({:.1}%), data {} ({:.1}%), redirect {} ({:.1}%)",
+        "stalls: fetch {} ({:.1}%), data {} ({:.1}%), redirect {} ({:.1}%), rerand {} ({:.1}%)",
         stats.fetch_stall_cycles,
         pct(stats.fetch_stall_cycles),
         stats.load_stall_cycles,
         pct(stats.load_stall_cycles),
         stats.redirect_stall_cycles,
-        pct(stats.redirect_stall_cycles)
+        pct(stats.redirect_stall_cycles),
+        stats.rerand_stall_cycles,
+        pct(stats.rerand_stall_cycles)
     );
+    if stats.rerand_epochs > 0 {
+        let _ = writeln!(
+            out,
+            "rerand: {} epoch swaps ({} stall cycles: quiesce + table rebuild + DRC flush)",
+            stats.rerand_epochs, stats.rerand_stall_cycles
+        );
+    }
     let _ = writeln!(
         out,
         "busy:   {} cycles ({:.1}%: {} issue + {} long-op extra)",
@@ -264,16 +273,17 @@ fn render_stats(stats: &SimStats) -> String {
 /// Builds the single-run manifest written by `vcfr simulate --manifest`.
 /// Same schema as the experiment-matrix manifests, with an empty sample
 /// array (the one-shot run is not interval-sampled).
+#[allow(clippy::too_many_arguments)]
 fn single_run_manifest(
     app: &str,
     mode_name: &str,
+    cfg: &SimConfig,
     drc_entries: usize,
     seed: u64,
     ooo: bool,
     stats: &SimStats,
     host_s: f64,
 ) -> Manifest {
-    let cfg = SimConfig::default();
     let mut config = Json::obj();
     config.set(
         "fingerprint",
@@ -318,18 +328,32 @@ fn single_run_manifest(
 }
 
 /// `vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-/// [--max N] [--seed N] [--audit] [--manifest <out.json>]`.
+/// [--max N] [--seed N] [--rerand-epoch N] [--audit]
+/// [--manifest <out.json>]`.
 ///
 /// `--audit` appends the cycle-accounting audit and fails the command
-/// when the identity checks do not hold; `--manifest` writes the run as
-/// a `vcfr-obs` manifest readable by `vcfr report`.
+/// when the identity checks do not hold; `--rerand-epoch N` re-randomizes
+/// the live layout every N committed instructions (VCFR only), charging
+/// the quiesce + table-rebuild + DRC-flush pause as rerand stall cycles;
+/// `--manifest` writes the run as a `vcfr-obs` manifest readable by
+/// `vcfr report`.
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let mode_name = args.value("mode").unwrap_or("baseline");
     let max = args.u64_or("max", 2_000_000)?;
     let drc_entries = args.u64_or("drc", 128)? as usize;
     let seed = args.u64_or("seed", 0)?;
-    let cfg = SimConfig::default();
+    let rerand_epoch = args.u64_or("rerand-epoch", 0)?;
+    if rerand_epoch > 0 && mode_name != "vcfr" {
+        return Err(fail("--rerand-epoch requires --mode vcfr (live table swaps need the DRC)"));
+    }
+    if rerand_epoch > 0 && args.flag("ooo") {
+        return Err(fail("--rerand-epoch is not modeled on the out-of-order core"));
+    }
+    let cfg = SimConfig {
+        rerand_epoch: (rerand_epoch > 0).then_some(rerand_epoch),
+        ..SimConfig::default()
+    };
 
     // Obtain the randomized program where needed.
     let (image, rp) = match load(path)? {
@@ -394,6 +418,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         let m = single_run_manifest(
             app,
             mode_name,
+            &cfg,
             drc_entries,
             seed,
             args.flag("ooo"),
@@ -785,6 +810,54 @@ mod tests {
         ))
         .unwrap();
         assert!(r.contains("out-of-order"));
+    }
+
+    #[test]
+    fn simulate_rerand_epoch_audits_and_reports_the_pause() {
+        let img_path = tmp("hmmer-rr.img");
+        cmd_build(&parse(&["hmmer", "--o", &img_path], &[], &["o"])).unwrap();
+        let flags: &[&str] = &["ooo", "audit"];
+        let values: &[&str] = &["mode", "max", "drc", "seed", "rerand-epoch", "manifest"];
+        let r = cmd_simulate(&parse(
+            &[
+                &img_path,
+                "--mode",
+                "vcfr",
+                "--rerand-epoch",
+                "8000",
+                "--max",
+                "50000",
+                "--audit",
+            ],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(r.contains("audit: PASS"), "{r}");
+        assert!(r.contains("rerand") && r.contains("epoch swaps"), "{r}");
+        let swaps: u64 = r
+            .lines()
+            .find(|l| l.starts_with("rerand:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(swaps >= 3, "expected several epoch swaps in 50k insts: {r}");
+
+        // The pause needs VCFR's mediation hardware and the in-order core.
+        let e = cmd_simulate(&parse(
+            &[&img_path, "--rerand-epoch", "8000", "--max", "50000"],
+            flags,
+            values,
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--mode vcfr"), "{e}");
+        let e = cmd_simulate(&parse(
+            &[&img_path, "--mode", "vcfr", "--ooo", "--rerand-epoch", "8000"],
+            flags,
+            values,
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("out-of-order"), "{e}");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
 //!                [--software-returns] [--keep SYM]...
 //! vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-//!                [--max N] [--seed N] [--audit] [--manifest <out.json>]
+//!                [--max N] [--seed N] [--rerand-epoch N] [--audit]
+//!                [--manifest <out.json>]
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
 //! vcfr report <manifest-dir> [--against <manifest-dir>]
@@ -30,7 +31,8 @@ USAGE:
     vcfr randomize <file> --o <out> [--seed N] [--page-confined]
                    [--software-returns] [--keep SYM]...
     vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-                   [--max N] [--seed N] [--audit] [--manifest <out.json>]
+                   [--max N] [--seed N] [--rerand-epoch N] [--audit]
+                   [--manifest <out.json>]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
@@ -51,7 +53,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
             &["ooo", "audit"],
-            &["mode", "drc", "max", "seed", "manifest"],
+            &["mode", "drc", "max", "seed", "rerand-epoch", "manifest"],
         )?),
         "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),

@@ -153,6 +153,25 @@ impl Drc {
         self.lines.fill(INVALID_LINE);
     }
 
+    /// Models a transient bit flip landing in DRC entry `lane` (taken
+    /// modulo the buffer size). Each entry carries parity, so a flip in a
+    /// *valid* entry is detected on the next probe and the line is
+    /// scrubbed (invalidated) — the translation refills from the
+    /// in-memory table on its next use, surfacing as an ordinary miss.
+    /// Returns `true` when a valid entry was scrubbed, `false` when the
+    /// flip landed in an invalid entry and is architecturally masked.
+    pub fn scrub_entry(&mut self, lane: usize) -> bool {
+        let at = lane % self.lines.len();
+        let was_valid = self.lines[at].valid;
+        self.lines[at] = INVALID_LINE;
+        was_valid
+    }
+
+    /// Number of currently valid entries (fault-campaign observability).
+    pub fn valid_entries(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
     fn key(kind: EntryKind, addr: u32) -> u64 {
         let kind_bit = match kind {
             EntryKind::Derand => 0u64,
@@ -339,5 +358,25 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panic() {
         let _ = Drc::direct_mapped(96);
+    }
+
+    #[test]
+    fn scrub_detects_valid_entries_and_masks_invalid_ones() {
+        let t = table(1);
+        let mut drc = Drc::direct_mapped(64);
+        let l = drc.derandomize(RandAddr(0x9000), &t).unwrap();
+        assert!(!l.hit);
+        assert_eq!(drc.valid_entries(), 1);
+        // The filled entry sits at set_index(0x9000).
+        let at = (0x9000u32 >> 2) as usize & 63;
+        assert!(drc.scrub_entry(at), "flip in a valid entry is parity-detected");
+        assert_eq!(drc.valid_entries(), 0);
+        assert!(!drc.scrub_entry(at), "flip in an already-invalid entry is masked");
+        // The scrubbed translation refills as a normal miss, same value.
+        let l2 = drc.derandomize(RandAddr(0x9000), &t).unwrap();
+        assert!(!l2.hit);
+        assert_eq!(l2.translated, 0x1000);
+        // Lane indices wrap modulo the buffer size.
+        assert!(!drc.scrub_entry(at + 64 * 3 + 1));
     }
 }

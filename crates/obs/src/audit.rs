@@ -9,12 +9,14 @@
 //! therefore checks three *calibrated* identities instead of exact
 //! equality:
 //!
-//! 1. **floor** — `cycles ≥ busy + load_stall`: the back-end clock
-//!    advances at least one cycle per instruction plus every long-op and
-//!    load-stall cycle, exactly;
-//! 2. **coverage** — `busy + fetch + load + redirect + drc_walk ≥
-//!    (1 − tol) · cycles`: every cycle is claimed by some category;
-//! 3. **overlap bound** — `busy + fetch + load + redirect ≤
+//! 1. **floor** — `cycles ≥ busy + load_stall + rerand_stall`: the
+//!    back-end clock advances at least one cycle per instruction plus
+//!    every long-op, load-stall, and re-randomization pause cycle,
+//!    exactly;
+//! 2. **coverage** — `busy + fetch + load + redirect + drc_walk +
+//!    rerand ≥ (1 − tol) · cycles`: every cycle is claimed by some
+//!    category;
+//! 3. **overlap bound** — `busy + fetch + load + redirect + rerand ≤
 //!    (2 + tol) · cycles`: two clocks can each claim a cycle, never
 //!    more. DRC walk cycles are excluded here: walks are accounted even
 //!    when they complete in the shadow of a store or a correct
@@ -43,19 +45,28 @@ pub struct CycleAccounting {
     pub redirect_stall: u64,
     /// DRC table-walk cycles (VCFR mode only; 0 elsewhere).
     pub drc_walk: u64,
+    /// Cycles the whole pipeline paused for epoch re-randomization
+    /// (DRC flush + translation-table rebuild; 0 without `--rerand-epoch`).
+    pub rerand_stall: u64,
 }
 
 impl CycleAccounting {
     /// Cycles claimed by some category (categories may overlap).
     pub fn accounted(&self) -> u64 {
-        self.busy + self.fetch_stall + self.load_stall + self.redirect_stall + self.drc_walk
+        self.busy
+            + self.fetch_stall
+            + self.load_stall
+            + self.redirect_stall
+            + self.drc_walk
+            + self.rerand_stall
     }
 
     /// The time-like categories: every term here is bounded by one of
     /// the two pipeline clocks (unlike `drc_walk`, which also counts
-    /// walks hidden in the shadow of other work).
+    /// walks hidden in the shadow of other work). Re-randomization pauses
+    /// advance both clocks in lockstep, so they are time-like too.
     pub fn time_like(&self) -> u64 {
-        self.busy + self.fetch_stall + self.load_stall + self.redirect_stall
+        self.busy + self.fetch_stall + self.load_stall + self.redirect_stall + self.rerand_stall
     }
 
     /// `accounted / cycles` (0 on an empty run).
@@ -75,10 +86,12 @@ impl CycleAccounting {
     /// Runs the audit with an explicit relative tolerance.
     pub fn audit_with_tolerance(&self, tolerance: f64) -> AuditReport {
         let mut failures = Vec::new();
-        if self.cycles < self.busy + self.load_stall {
+        // The back-end clock advances exactly one cycle per instruction
+        // plus long-op, load-stall and re-randomization-pause cycles.
+        if self.cycles < self.busy + self.load_stall + self.rerand_stall {
             failures.push(format!(
-                "floor violated: cycles {} < busy {} + load_stall {}",
-                self.cycles, self.busy, self.load_stall
+                "floor violated: cycles {} < busy {} + load_stall {} + rerand_stall {}",
+                self.cycles, self.busy, self.load_stall, self.rerand_stall
             ));
         }
         // Empty runs (0 instructions) trivially pass the ratio checks.
@@ -114,11 +127,14 @@ impl CycleAccounting {
         j.set("load_stall", Json::U64(self.load_stall));
         j.set("redirect_stall", Json::U64(self.redirect_stall));
         j.set("drc_walk", Json::U64(self.drc_walk));
+        j.set("rerand_stall", Json::U64(self.rerand_stall));
         j.set("coverage", Json::F64(self.coverage()));
         j
     }
 
-    /// Rebuilds the terms from a manifest `audit` block.
+    /// Rebuilds the terms from a manifest `audit` block. `rerand_stall`
+    /// defaults to 0 so manifests written before the field existed still
+    /// parse.
     pub fn from_json(j: &Json) -> Option<CycleAccounting> {
         Some(CycleAccounting {
             cycles: j.get("cycles")?.as_u64()?,
@@ -127,6 +143,7 @@ impl CycleAccounting {
             load_stall: j.get("load_stall")?.as_u64()?,
             redirect_stall: j.get("redirect_stall")?.as_u64()?,
             drc_walk: j.get("drc_walk")?.as_u64()?,
+            rerand_stall: j.get("rerand_stall").map_or(Some(0), Json::as_u64)?,
         })
     }
 }
@@ -160,7 +177,8 @@ impl AuditReport {
         };
         let mut out = format!(
             "cycle accounting: {} cycles; busy {} ({:.1}%), fetch stall {} ({:.1}%), \
-             load stall {} ({:.1}%), redirect stall {} ({:.1}%), drc walk {} ({:.1}%)\n\
+             load stall {} ({:.1}%), redirect stall {} ({:.1}%), drc walk {} ({:.1}%), \
+             rerand (DRC flush + table rebuild) {} ({:.1}%)\n\
              coverage {:.3} (tolerance {:.2})\n",
             a.cycles,
             a.busy,
@@ -173,6 +191,8 @@ impl AuditReport {
             pct(a.redirect_stall),
             a.drc_walk,
             pct(a.drc_walk),
+            a.rerand_stall,
+            pct(a.rerand_stall),
             a.coverage(),
             self.tolerance,
         );
@@ -202,6 +222,7 @@ mod tests {
             load_stall: 80,
             redirect_stall: 40,
             drc_walk: 0,
+            rerand_stall: 0,
         };
         let r = a.audit();
         assert!(r.passed(), "{:?}", r.failures);
@@ -232,6 +253,7 @@ mod tests {
             load_stall: 0,
             redirect_stall: 100,
             drc_walk: 0,
+            rerand_stall: 0,
         };
         assert!(a.audit().failures.iter().any(|f| f.contains("overlap")));
     }
@@ -250,7 +272,47 @@ mod tests {
             load_stall: 2,
             redirect_stall: 1,
             drc_walk: 3,
+            rerand_stall: 2,
         };
         assert_eq!(CycleAccounting::from_json(&a.to_json()), Some(a));
+    }
+
+    #[test]
+    fn old_manifests_without_rerand_stall_still_parse() {
+        // An audit block written before the field existed.
+        let mut j = Json::obj();
+        j.set("cycles", Json::U64(9));
+        j.set("busy", Json::U64(5));
+        j.set("fetch_stall", Json::U64(1));
+        j.set("load_stall", Json::U64(2));
+        j.set("redirect_stall", Json::U64(1));
+        j.set("drc_walk", Json::U64(3));
+        let b = CycleAccounting::from_json(&j).unwrap();
+        assert_eq!(b.rerand_stall, 0);
+        assert_eq!(b.cycles, 9);
+    }
+
+    #[test]
+    fn rerand_stall_participates_in_the_identities() {
+        // Covered: rerand cycles count toward coverage ...
+        let a = CycleAccounting {
+            cycles: 1000,
+            busy: 600,
+            load_stall: 100,
+            rerand_stall: 250,
+            ..CycleAccounting::default()
+        };
+        assert!(a.audit().passed(), "{:?}", a.audit().failures);
+        // ... and toward the floor: claiming more pause than the clock
+        // advanced is a violation.
+        let b = CycleAccounting {
+            cycles: 900,
+            busy: 600,
+            load_stall: 100,
+            rerand_stall: 250,
+            ..CycleAccounting::default()
+        };
+        assert!(b.audit().failures.iter().any(|f| f.contains("floor")));
+        assert!(a.audit().render().contains("rerand"));
     }
 }

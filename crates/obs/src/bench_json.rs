@@ -82,7 +82,15 @@ impl BenchRecord {
                 o.set("mode", Json::Str(r.mode.clone()));
                 o.set("instructions", Json::U64(r.instructions));
                 o.set("wall_s", Json::F64(r.wall_s));
-                o.set("insts_per_s", Json::F64(r.insts_per_s));
+                // A zero-duration run (a timer too coarse to see the run,
+                // or an empty run) has no meaningful rate; `null` from the
+                // non-finite float path would be indistinguishable from a
+                // writer bug, so emit an explicit sentinel instead.
+                if r.wall_s > 0.0 && r.insts_per_s.is_finite() {
+                    o.set("insts_per_s", Json::F64(r.insts_per_s));
+                } else {
+                    o.set("insts_per_s", Json::Str("unmeasured".into()));
+                }
                 o
             })
             .collect();
@@ -148,6 +156,29 @@ mod tests {
                 .as_f64(),
             Some(4000.0)
         );
+    }
+
+    #[test]
+    fn zero_duration_run_emits_a_sentinel_not_null() {
+        let mut r = record();
+        r.runs.push(BenchRun {
+            app: "stub".into(),
+            mode: "base".into(),
+            instructions: 0,
+            wall_s: 0.0,
+            insts_per_s: f64::INFINITY,
+        });
+        let j = r.to_json();
+        let runs = j.get("runs").unwrap().as_arr().unwrap();
+        let rate = runs[2].get("insts_per_s").unwrap();
+        assert_eq!(rate.as_str(), Some("unmeasured"));
+        // The document still parses, and measured runs keep their number.
+        let parsed = parse_json(&j.pretty()).unwrap();
+        let parsed_runs = parsed.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(parsed_runs[2].get("insts_per_s").unwrap().as_str(), Some("unmeasured"));
+        assert_eq!(parsed_runs[0].get("insts_per_s").unwrap().as_f64(), Some(4000.0));
+        // No bare `null` leaked out of the non-finite float path.
+        assert!(!j.pretty().contains("null"), "{}", j.pretty());
     }
 
     #[test]

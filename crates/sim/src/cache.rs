@@ -139,20 +139,23 @@ impl Cache {
     }
 
     fn victim(&self, set_base: usize) -> usize {
+        // An invalid way is always preferred; only fall back to the LRU
+        // scan when the whole set is valid. (Folding both cases into one
+        // keyed min via `lru + 1` overflows when a tick reaches u64::MAX.)
+        if let Some(free) =
+            (0..self.cfg.ways).map(|w| set_base + w).find(|&i| !self.lines[i].valid)
+        {
+            return free;
+        }
         (0..self.cfg.ways)
             .map(|w| set_base + w)
-            .min_by_key(|&i| {
-                let l = &self.lines[i];
-                if l.valid {
-                    l.lru + 1
-                } else {
-                    0
-                }
-            })
+            .min_by_key(|&i| self.lines[i].lru)
             .expect("ways > 0")
     }
 
-    fn fill(&mut self, addr: Addr, prefetched: bool) -> Option<Addr> {
+    /// Fills the line containing `addr`, returning the slot it landed in
+    /// and the evicted dirty line's address, if any.
+    fn fill(&mut self, addr: Addr, prefetched: bool) -> (usize, Option<Addr>) {
         let tag = self.line_of(addr);
         let base = self.set_of(addr) * self.cfg.ways;
         let v = self.victim(base);
@@ -169,7 +172,7 @@ impl Cache {
         }
         self.lines[v] =
             Line { valid: true, tag, dirty: false, prefetched, used: false, lru: self.tick };
-        writeback
+        (v, writeback)
     }
 
     /// A demand access. On a miss the line is filled (the caller charges
@@ -193,10 +196,9 @@ impl Cache {
             return AccessResult { hit: true, writeback: None };
         }
         self.stats.misses += 1;
-        let writeback = self.fill(addr, false);
+        let (slot, writeback) = self.fill(addr, false);
         if write {
-            let i = self.probe(addr).expect("just filled");
-            self.lines[i].dirty = true;
+            self.lines[slot].dirty = true;
         }
         AccessResult { hit: false, writeback }
     }
@@ -220,7 +222,7 @@ impl Cache {
         }
         self.tick += 1;
         self.stats.prefetches_issued += 1;
-        self.fill(addr, true)
+        self.fill(addr, true).1
     }
 
     /// Invalidates everything (keeps counters).
@@ -339,5 +341,45 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn degenerate_geometry_panics() {
         let _ = Cache::new(CacheConfig { size_bytes: 192, ways: 1, line_bytes: 64, latency: 1 });
+    }
+
+    #[test]
+    fn victim_survives_a_saturated_lru_tick() {
+        // Regression: the old victim scan computed `lru + 1` to rank
+        // invalid ways first, which overflowed in debug builds when a
+        // line's tick was u64::MAX.
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x080, false); // set 0 now full
+        let base = c.set_of(0x000) * c.cfg.ways;
+        c.lines[base].lru = u64::MAX;
+        // Filling a third line into set 0 must evict the *other* way
+        // (lower tick), not panic.
+        c.access(0x100, false);
+        assert!(c.contains(0x000), "the most recently used line survives");
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn victim_prefers_an_invalid_way_over_any_lru() {
+        let mut c = tiny();
+        c.access(0x000, false); // one way of set 0 valid, one free
+        let base = c.set_of(0x000) * c.cfg.ways;
+        c.lines[base].lru = u64::MAX; // even a stale-looking tick loses to a free way
+        c.access(0x080, false);
+        assert!(c.contains(0x000), "a free way absorbed the fill");
+        assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn write_miss_marks_the_filled_line_dirty() {
+        let mut c = tiny();
+        let r = c.access(0x000, true);
+        assert!(!r.hit);
+        // The freshly filled line is dirty: evicting it must write back.
+        c.access(0x080, false);
+        let r = c.access(0x100, false);
+        assert_eq!(r.writeback, Some(0x000));
     }
 }

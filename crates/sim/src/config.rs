@@ -133,6 +133,10 @@ pub struct SimConfig {
     /// Flush the DRC every N instructions, modelling context switches
     /// (None = single-tenant run, the paper's setting).
     pub drc_flush_interval: Option<u64>,
+    /// Live re-randomization: every N instructions a VCFR run swaps to a
+    /// freshly re-randomized layout (§V-C), paying the DRC-flush and
+    /// table-rebuild cycle cost (None = static layout, the default).
+    pub rerand_epoch: Option<u64>,
     /// Capacity of the post-mortem trace ring (last N pipeline events,
     /// rounded up to a power of two; 0 disables tracing). The ring is
     /// dumped into [`crate::SimError::Exec`] when a program faults.
@@ -160,6 +164,7 @@ impl Default for SimConfig {
             prefetch: true,
             drc_backing: DrcBacking::SharedL2,
             drc_flush_interval: None,
+            rerand_epoch: None,
             trace_events: 64,
         }
     }

@@ -15,13 +15,19 @@
 //!   through the unified L2 on a miss.
 
 use crate::config::{DrcBacking, SimConfig};
+use crate::faults::{
+    ContainmentPolicy, FaultOutcome, FaultPersistence, FaultPlan, FaultRecord, FaultStats,
+    FaultTarget, ScheduledFault,
+};
 use crate::flatmap::FlatMap;
 use crate::hierarchy::MemoryHierarchy;
 use crate::predict::{BranchStats, Btb, Gshare, Ras};
 use crate::stats::SimStats;
 use std::collections::VecDeque;
 use std::fmt;
-use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr, StackBitmap};
+use vcfr_core::{
+    rerandomize, Drc, DrcConfig, LayoutMap, OrigAddr, RandAddr, StackBitmap, TranslationTable,
+};
 use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, Machine, RunOutcome, StepInfo};
 use vcfr_obs::TraceRing;
 use vcfr_rewriter::RandomizedProgram;
@@ -95,6 +101,21 @@ pub enum TraceEventKind {
         /// Walk latency in cycles.
         cycles: u64,
     },
+    /// A scheduled fault was injected into the mediation state.
+    FaultInjected {
+        /// Where the flip landed.
+        target: FaultTarget,
+    },
+    /// The mediation layer detected an injected fault.
+    FaultDetected {
+        /// Where the flip landed.
+        target: FaultTarget,
+    },
+    /// An epoch re-randomization swapped the live layout and tables.
+    Rerand {
+        /// Pipeline pause charged for the swap.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -107,6 +128,9 @@ impl fmt::Display for TraceEvent {
                 write!(f, "redirect, fetch resumes at {resume_at}")
             }
             TraceEventKind::DrcWalk { cycles } => write!(f, "drc walk {cycles}"),
+            TraceEventKind::FaultInjected { target } => write!(f, "fault injected into {target}"),
+            TraceEventKind::FaultDetected { target } => write!(f, "fault in {target} detected"),
+            TraceEventKind::Rerand { cycles } => write!(f, "rerand epoch swap, {cycles} cycles"),
         }
     }
 }
@@ -123,6 +147,17 @@ pub enum SimError {
         /// the fault did not pass through the timing engine).
         trace: Vec<TraceEvent>,
     },
+    /// An injected sticky fault could not be contained under
+    /// [`ContainmentPolicy::Halt`]: the machine stopped rather than run
+    /// on corrupted translation state.
+    Fault {
+        /// Committed-instruction count at the halt.
+        at_inst: u64,
+        /// The structure holding the uncorrectable fault.
+        target: FaultTarget,
+        /// The last pipeline events before the halt.
+        trace: Vec<TraceEvent>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -130,6 +165,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::Exec { cause, trace } => {
                 write!(f, "architectural fault: {cause}")?;
+                if !trace.is_empty() {
+                    write!(f, "\nlast {} pipeline events:", trace.len())?;
+                    for e in trace {
+                        write!(f, "\n  {e}")?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::Fault { at_inst, target, trace } => {
+                write!(f, "uncorrectable sticky fault in {target} at instruction {at_inst} (policy: halt)")?;
                 if !trace.is_empty() {
                     write!(f, "\nlast {} pipeline events:", trace.len())?;
                     for e in trace {
@@ -163,6 +208,14 @@ pub struct SimOutput {
 /// Pipeline depth between fetch completion and execute.
 const DECODE_DEPTH: u64 = 3;
 
+/// Fixed cost of an epoch swap: drain the pipeline, flush the DRC, and
+/// switch the table base registers.
+const RERAND_QUIESCE_CYCLES: u64 = 200;
+/// Per-entry cost of rebuilding the in-memory translation tables.
+const RERAND_ENTRY_CYCLES: u64 = 2;
+/// Per-slot cost of rewriting a live randomized return address.
+const RERAND_SLOT_CYCLES: u64 = 4;
+
 struct Engine<'a> {
     cfg: &'a SimConfig,
     hier: MemoryHierarchy,
@@ -178,6 +231,19 @@ struct Engine<'a> {
     drc: Option<Drc>,
     bitmap: StackBitmap,
     stack_rand: FlatMap,
+    /// Original return address held by each marked slot, kept in lockstep
+    /// with `stack_rand` so epoch swaps can re-randomize live slots.
+    stack_orig: FlatMap,
+    /// Layout of the current re-randomization epoch (None before the
+    /// first swap: `rp.layout` is live).
+    epoch_layout: Option<LayoutMap>,
+    /// Tables of the current epoch, rebuilt at `rp.table.base()` so the
+    /// invisible TLB pages stay valid across swaps.
+    epoch_table: Option<TranslationTable>,
+    rerand_epochs: u64,
+    rerand_stall: u64,
+    fstats: FaultStats,
+    frecords: Vec<FaultRecord>,
     fetch_stall: u64,
     load_stall: u64,
     redirect_stall: u64,
@@ -214,6 +280,13 @@ impl<'a> Engine<'a> {
             drc: drc.map(Drc::new),
             bitmap: StackBitmap::new(),
             stack_rand: FlatMap::new(),
+            stack_orig: FlatMap::new(),
+            epoch_layout: None,
+            epoch_table: None,
+            rerand_epochs: 0,
+            rerand_stall: 0,
+            fstats: FaultStats::default(),
+            frecords: Vec::new(),
             fetch_stall: 0,
             load_stall: 0,
             redirect_stall: 0,
@@ -275,6 +348,14 @@ impl<'a> Engine<'a> {
         if let (Some(interval), Some(drc)) = (cfg.drc_flush_interval, self.drc.as_mut()) {
             if interval > 0 && self.instructions.is_multiple_of(interval) {
                 drc.flush();
+            }
+        }
+
+        // Live re-randomization (§V-C): every N instructions a VCFR run
+        // swaps to a fresh layout, paying the flush-and-rebuild pause.
+        if let (Some(epoch), Some(rp)) = (cfg.rerand_epoch, vcfr) {
+            if epoch > 0 && self.instructions.is_multiple_of(epoch) {
+                self.rerand_swap(rp);
             }
         }
 
@@ -354,6 +435,8 @@ impl<'a> Engine<'a> {
         exec_end: &mut u64,
     ) {
         let drc = self.drc.as_mut().expect("vcfr mode has a DRC");
+        // Direct field access keeps the borrow disjoint from `drc`.
+        let table = self.epoch_table.as_ref().unwrap_or(&rp.table);
 
         // Stack-slot hygiene and marked-slot loads (§IV-C): any read of a
         // slot holding a randomized return address is transparently
@@ -368,12 +451,13 @@ impl<'a> Engine<'a> {
                 if !is_call_push && self.bitmap.is_marked(acc.addr) {
                     self.bitmap.clear(acc.addr);
                     self.stack_rand.remove(acc.addr);
+                    self.stack_orig.remove(acc.addr);
                 }
             } else if self.bitmap.is_marked(acc.addr)
                 && !matches!(info.control, Some(ControlFlow::Return { .. }))
             {
                 if let Some(v) = self.stack_rand.get(acc.addr) {
-                    if let Ok(l) = drc.derandomize(RandAddr(v), &rp.table) {
+                    if let Ok(l) = drc.derandomize(RandAddr(v), table) {
                         if !l.hit {
                             let walk = match self.cfg.drc_backing {
                                 DrcBacking::SharedL2 => {
@@ -407,7 +491,7 @@ impl<'a> Engine<'a> {
             // no stall.
             Some(ControlFlow::Call { ret_addr, .. })
             | Some(ControlFlow::IndirectCall { ret_addr, .. }) => {
-                if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
+                if let Ok(l) = drc.randomize(OrigAddr(ret_addr), table) {
                     if !l.hit {
                         let walk = match self.cfg.drc_backing {
                             DrcBacking::SharedL2 => {
@@ -429,6 +513,7 @@ impl<'a> Engine<'a> {
                     if let Some(push) = info.mem_accesses().find(|a| a.write) {
                         self.bitmap.mark(push.addr);
                         self.stack_rand.insert(push.addr, l.translated);
+                        self.stack_orig.insert(push.addr, ret_addr);
                     }
                 }
             }
@@ -440,6 +525,7 @@ impl<'a> Engine<'a> {
                 if let Some(pop) = info.mem_accesses().next() {
                     self.bitmap.clear(pop.addr);
                     self.stack_rand.remove(pop.addr);
+                    self.stack_orig.remove(pop.addr);
                 }
             }
             _ => {}
@@ -453,8 +539,12 @@ impl<'a> Engine<'a> {
     /// walk completes in its shadow; only a redirect must wait for it.
     fn vcfr_derand(&mut self, target: Addr, rp: &RandomizedProgram, now: u64) -> u64 {
         let drc = self.drc.as_mut().expect("vcfr mode has a DRC");
-        let rand = rp.rand_or_orig(target);
-        if let Ok(l) = drc.derandomize(RandAddr(rand), &rp.table) {
+        let table = self.epoch_table.as_ref().unwrap_or(&rp.table);
+        let rand = match &self.epoch_layout {
+            Some(m) => m.to_rand(OrigAddr(target)).map(|r| r.raw()).unwrap_or(target),
+            None => rp.rand_or_orig(target),
+        };
+        if let Ok(l) = drc.derandomize(RandAddr(rand), table) {
             if !l.hit {
                 let walk = match self.cfg.drc_backing {
                     DrcBacking::SharedL2 => self.hier.table_walk(l.entry_addr, now),
@@ -474,6 +564,192 @@ impl<'a> Engine<'a> {
             }
         }
         0
+    }
+
+    /// Swaps to a freshly re-randomized layout (§V-C): the pipeline
+    /// quiesces, the DRC is flushed, the in-memory tables are rebuilt at
+    /// the same base, and every live marked stack slot is rewritten to
+    /// hold its new randomized return address. The whole pause is charged
+    /// by advancing both clocks, so the cycle-accounting floor identity
+    /// (`cycles ≥ busy + load + rerand`) holds exactly.
+    fn rerand_swap(&mut self, rp: &RandomizedProgram) {
+        self.rerand_epochs += 1;
+        // Deterministic per epoch: seeded by the epoch ordinal alone.
+        let seed = 0x5eed_0000_0000_0000u64 ^ self.rerand_epochs;
+        let cur = self.epoch_layout.as_ref().unwrap_or(&rp.layout);
+        let fresh = rerandomize(cur, rp.region.0, rp.region.1, seed);
+        let mut table = TranslationTable::from_layout(&fresh, rp.table.base());
+        for a in rp.table.unrandomized_addrs() {
+            table.add_unrandomized(a);
+        }
+        // Hardware rewrites live randomized return addresses in place;
+        // slots holding fail-over (un-randomized) addresses keep them.
+        let remapped: Vec<(Addr, u32)> = self
+            .stack_orig
+            .iter()
+            .map(|(slot, orig)| {
+                (slot, fresh.to_rand(OrigAddr(orig)).map(|r| r.raw()).unwrap_or(orig))
+            })
+            .collect();
+        let slots = remapped.len() as u64;
+        for (slot, rand) in remapped {
+            self.stack_rand.insert(slot, rand);
+        }
+        if let Some(drc) = self.drc.as_mut() {
+            drc.flush();
+        }
+        let cost = RERAND_QUIESCE_CYCLES
+            + table.len() as u64 * RERAND_ENTRY_CYCLES
+            + slots * RERAND_SLOT_CYCLES;
+        let now = self.backend_time.max(self.fetch_time) + cost;
+        self.rerand_stall += cost;
+        self.fetch_time = now;
+        self.backend_time = now;
+        self.redirect_at = self.redirect_at.max(now);
+        self.window_line = None;
+        trace_push(
+            &mut self.trace,
+            self.instructions,
+            self.cur_pc,
+            now,
+            TraceEventKind::Rerand { cycles: cost },
+        );
+        self.epoch_layout = Some(fresh);
+        self.epoch_table = Some(table);
+    }
+
+    /// Injects one scheduled fault, classifying its outcome against the
+    /// live structures. Injection is counterfactual — the golden
+    /// architectural run is never corrupted — but detected faults charge
+    /// their trap-and-refill recovery to the pipeline, and a sticky table
+    /// fault either triggers an emergency re-randomization or halts the
+    /// machine, per `policy`.
+    fn inject_fault(
+        &mut self,
+        f: &ScheduledFault,
+        image: &Image,
+        rp: Option<&RandomizedProgram>,
+        policy: ContainmentPolicy,
+    ) -> Result<FaultOutcome, SimError> {
+        trace_push(
+            &mut self.trace,
+            self.instructions,
+            self.cur_pc,
+            self.backend_time,
+            TraceEventKind::FaultInjected { target: f.target },
+        );
+        let bit = 1u32 << (f.bit % 32);
+        let outcome = match (f.target, rp) {
+            // Baseline machine: the mediation hardware does not exist, so
+            // flips aimed at it land in dead state; a corrupted PC is only
+            // caught when it leaves the text segment.
+            (
+                FaultTarget::DrcEntry | FaultTarget::TableSlot | FaultTarget::StackBitmap,
+                None,
+            ) => FaultOutcome::Masked,
+            (FaultTarget::Rpc | FaultTarget::Upc, None) => {
+                if image.in_text(self.cur_pc ^ bit) {
+                    FaultOutcome::Silent
+                } else {
+                    FaultOutcome::DetectedDecodeFailure
+                }
+            }
+            // A flip in a valid DRC entry trips its parity on the next
+            // probe and the entry scrubs (the refill is a natural miss, so
+            // no extra charge); an invalid entry absorbs the flip.
+            (FaultTarget::DrcEntry, Some(_)) => match self.drc.as_mut() {
+                Some(drc) => {
+                    if drc.scrub_entry(f.lane as usize) {
+                        FaultOutcome::DetectedParityScrub
+                    } else {
+                        FaultOutcome::Masked
+                    }
+                }
+                None => FaultOutcome::Masked,
+            },
+            // Table slots are parity-protected too. A transient flip
+            // scrubs and the slot rewrites from the layout; a sticky one
+            // keeps re-asserting and must be contained.
+            (FaultTarget::TableSlot, Some(rp)) => match f.persistence {
+                FaultPersistence::Transient => FaultOutcome::DetectedParityScrub,
+                FaultPersistence::Sticky => match policy {
+                    ContainmentPolicy::Recover => {
+                        self.rerand_swap(rp);
+                        self.fstats.emergency_rerands += 1;
+                        FaultOutcome::Contained
+                    }
+                    ContainmentPolicy::Halt => {
+                        return Err(SimError::Fault {
+                            at_inst: self.instructions,
+                            target: f.target,
+                            trace: self.trace.to_vec(),
+                        });
+                    }
+                },
+            },
+            // A flipped randomized PC almost never lands on another valid
+            // randomized address: de-randomization rejects it — the same
+            // prohibited/unmapped check that stops an attacker. Classify
+            // through the pure table walk so the DRC state and stats of
+            // the golden run are untouched.
+            (FaultTarget::Rpc, Some(rp)) => {
+                let rand = match &self.epoch_layout {
+                    Some(m) => {
+                        m.to_rand(OrigAddr(self.cur_pc)).map(|r| r.raw()).unwrap_or(self.cur_pc)
+                    }
+                    None => rp.rand_or_orig(self.cur_pc),
+                };
+                let table = self.epoch_table.as_ref().unwrap_or(&rp.table);
+                match table.derand(RandAddr(rand ^ bit)) {
+                    Err(_) => FaultOutcome::DetectedTranslationFault,
+                    Ok(o) if o.raw() == self.cur_pc => FaultOutcome::Masked,
+                    Ok(_) => FaultOutcome::Silent,
+                }
+            }
+            // A flipped un-randomized (fetch-space) PC: the TLB
+            // page-visibility bit catches wanders into table pages,
+            // decode catches exits from the text segment.
+            (FaultTarget::Upc, Some(_)) => {
+                let flipped = self.cur_pc ^ bit;
+                if !self.hier.dtlb.user_visible(flipped) {
+                    self.hier.dtlb.record_visibility_fault();
+                    FaultOutcome::DetectedVisibilityFault
+                } else if !image.in_text(flipped) {
+                    FaultOutcome::DetectedDecodeFailure
+                } else {
+                    FaultOutcome::Silent
+                }
+            }
+            // A flipped bitmap word either spuriously de-randomizes a
+            // plain value or returns a raw randomized address — both fail
+            // de-randomization when any slot is live; an idle bitmap
+            // absorbs the flip.
+            (FaultTarget::StackBitmap, Some(_)) => {
+                if self.bitmap.marked_count() > 0 {
+                    FaultOutcome::DetectedTranslationFault
+                } else {
+                    FaultOutcome::Masked
+                }
+            }
+        };
+        if outcome.detected() {
+            trace_push(
+                &mut self.trace,
+                self.instructions,
+                self.cur_pc,
+                self.backend_time,
+                TraceEventKind::FaultDetected { target: f.target },
+            );
+            // Trap-and-refill recovery for faults caught on the fetch
+            // path (containment already charged the full swap).
+            if outcome != FaultOutcome::Contained && outcome != FaultOutcome::DetectedParityScrub
+            {
+                let resume =
+                    self.backend_time.max(self.fetch_time) + self.cfg.mispredict_penalty;
+                self.redirect(resume);
+            }
+        }
+        Ok(outcome)
     }
 
     fn control(
@@ -616,6 +892,8 @@ impl<'a> Engine<'a> {
             redirect_stall_cycles: self.redirect_stall,
             l2_reads_from_l1: self.hier.l2_reads_from_l1,
             exec_extra_cycles: self.exec_extra,
+            rerand_epochs: self.rerand_epochs,
+            rerand_stall_cycles: self.rerand_stall,
         }
     }
 
@@ -665,8 +943,41 @@ pub struct IntervalSample {
 /// assert!(out.stats.cycles > 0);
 /// ```
 pub fn simulate(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64) -> Result<SimOutput, SimError> {
-    let (out, _) = simulate_inner(mode, cfg, max_insts, None)?;
+    let (out, _, _, _) = simulate_inner(mode, cfg, max_insts, None, None)?;
     Ok(out)
+}
+
+/// The result of a fault-injection run (see [`simulate_faulted`]).
+#[derive(Clone, Debug)]
+pub struct FaultedRun {
+    /// Timing statistics and architectural outcome. Injection is
+    /// counterfactual, so the functional output equals an un-faulted
+    /// run's; only the timing carries the recovery costs.
+    pub sim: SimOutput,
+    /// Aggregate fault counters.
+    pub faults: FaultStats,
+    /// Per-fault resolutions, in injection order.
+    pub records: Vec<FaultRecord>,
+}
+
+/// Like [`simulate`], but injects the scheduled faults of `plan` and
+/// classifies how the machine resolves each one — the dependability
+/// campaign's inner loop. The same `(mode, cfg, max_insts, plan)` always
+/// produces the same result, bit for bit.
+///
+/// # Errors
+///
+/// Returns [`SimError::Exec`] when the program faults architecturally,
+/// and [`SimError::Fault`] when a sticky table fault hits under
+/// [`ContainmentPolicy::Halt`].
+pub fn simulate_faulted(
+    mode: Mode<'_>,
+    cfg: &SimConfig,
+    max_insts: u64,
+    plan: &FaultPlan,
+) -> Result<FaultedRun, SimError> {
+    let (sim, _, faults, records) = simulate_inner(mode, cfg, max_insts, None, Some(plan))?;
+    Ok(FaultedRun { sim, faults, records })
 }
 
 /// Like [`simulate`], but additionally returns one [`IntervalSample`] per
@@ -682,11 +993,19 @@ pub fn simulate_sampled(
     max_insts: u64,
     interval: u64,
 ) -> Result<(SimOutput, Vec<IntervalSample>), SimError> {
-    let (out, samples) = simulate_inner(mode, cfg, max_insts, Some(interval.max(1)))?;
+    let (out, samples, _, _) = simulate_inner(mode, cfg, max_insts, Some(interval.max(1)), None)?;
     Ok((out, samples))
 }
 
-fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every: Option<u64>) -> Result<(SimOutput, Vec<IntervalSample>), SimError> {
+type InnerResult = (SimOutput, Vec<IntervalSample>, FaultStats, Vec<FaultRecord>);
+
+fn simulate_inner(
+    mode: Mode<'_>,
+    cfg: &SimConfig,
+    max_insts: u64,
+    sample_every: Option<u64>,
+    plan: Option<&FaultPlan>,
+) -> Result<InnerResult, SimError> {
     let image = mode.image_ref();
     let mut machine = Machine::new(image);
 
@@ -704,6 +1023,12 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
             engine.hier.dtlb.set_invisible(base + page * 4096);
         }
     }
+
+    let fault_rp: Option<&RandomizedProgram> = match &mode {
+        Mode::Vcfr { program, .. } => Some(program),
+        _ => None,
+    };
+    let mut fault_idx = 0usize;
 
     let identity = |a: Addr| a;
     let mut samples = Vec::new();
@@ -760,6 +1085,22 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
                 engine.step(&info, info.pc, &identity, Some(program));
             }
         }
+        if let Some(p) = plan {
+            while let Some(f) = p.faults.get(fault_idx) {
+                if f.at_inst > engine.instructions {
+                    break;
+                }
+                let outcome = engine.inject_fault(f, image, fault_rp, p.policy)?;
+                engine.fstats.record(outcome);
+                engine.frecords.push(FaultRecord {
+                    at_inst: engine.instructions,
+                    target: f.target,
+                    persistence: f.persistence,
+                    outcome,
+                });
+                fault_idx += 1;
+            }
+        }
         if engine.instructions >= next_sample {
             take_sample(&engine, &mut last);
             next_sample += stride;
@@ -769,7 +1110,9 @@ fn simulate_inner(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64, sample_every:
         take_sample(&engine, &mut last);
     }
 
-    Ok((SimOutput { stats: engine.into_stats(), outcome }, samples))
+    let fstats = engine.fstats;
+    let frecords = std::mem::take(&mut engine.frecords);
+    Ok((SimOutput { stats: engine.into_stats(), outcome }, samples, fstats, frecords))
 }
 
 #[cfg(test)]
@@ -999,7 +1342,9 @@ mod tests {
         a.halt();
         let img = a.finish().unwrap();
         let err = simulate(Mode::Baseline(&img), &SimConfig::default(), 100).unwrap_err();
-        let SimError::Exec { cause, trace } = &err;
+        let SimError::Exec { cause, trace } = &err else {
+            panic!("expected an architectural fault, got {err:?}");
+        };
         assert!(matches!(cause, ExecError::DivideByZero { .. }));
         // The two movs committed before the fault; their events are in
         // the post-mortem ring and in the rendered error.
@@ -1021,7 +1366,9 @@ mod tests {
         let img = a.finish().unwrap();
         let cfg = SimConfig { trace_events: 0, ..SimConfig::default() };
         let err = simulate(Mode::Baseline(&img), &cfg, 100).unwrap_err();
-        let SimError::Exec { trace, .. } = &err;
+        let SimError::Exec { trace, .. } = &err else {
+            panic!("expected an architectural fault, got {err:?}");
+        };
         assert!(trace.is_empty());
         assert!(!err.to_string().contains("pipeline events"));
     }
@@ -1047,5 +1394,171 @@ mod tests {
             let report = out.stats.accounting().audit();
             assert!(report.passed(), "{name}: {:?}", report.failures);
         }
+    }
+
+    #[test]
+    fn rerand_epochs_swap_layouts_without_changing_the_output() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        let still = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            300_000,
+        )
+        .unwrap();
+        // The microbench commits ~38k instructions; an 8k epoch gives
+        // several swaps before the run ends.
+        let ecfg = SimConfig { rerand_epoch: Some(8_000), ..cfg };
+        let swapped = simulate(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &ecfg,
+            300_000,
+        )
+        .unwrap();
+        // Same architectural result; the swaps only cost time.
+        assert_eq!(swapped.outcome.output, still.outcome.output);
+        assert!(swapped.stats.rerand_epochs >= 3, "epochs {}", swapped.stats.rerand_epochs);
+        assert!(swapped.stats.rerand_stall_cycles > 0);
+        assert!(swapped.stats.cycles > still.stats.cycles, "swaps are not free");
+        // The pause is visible and the identities still hold.
+        let report = swapped.stats.accounting().audit();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn rerand_epoch_runs_are_deterministic() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(3)).unwrap();
+        let cfg = SimConfig { rerand_epoch: Some(9_000), ..SimConfig::default() };
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+        let a = simulate(mode(), &cfg, 200_000).unwrap();
+        let b = simulate(mode(), &cfg, 200_000).unwrap();
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.rerand_stall_cycles, b.stats.rerand_stall_cycles);
+        assert_eq!(a.stats.rerand_epochs, b.stats.rerand_epochs);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_counterfactual() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        // Schedule within the run's ~38k committed instructions so every
+        // fault actually injects.
+        let plan = FaultPlan::generate(2015, 48, 30_000);
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+        let clean = simulate(mode(), &cfg, 150_000).unwrap();
+        let a = simulate_faulted(mode(), &cfg, 150_000, &plan).unwrap();
+        let b = simulate_faulted(mode(), &cfg, 150_000, &plan).unwrap();
+        // Injection never corrupts the architectural run ...
+        assert_eq!(a.sim.outcome.output, clean.outcome.output);
+        // ... and the whole faulted run is reproducible, records and all.
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.sim.stats.cycles, b.sim.stats.cycles);
+        assert_eq!(a.faults.injected, 48);
+        assert_eq!(a.records.len(), 48);
+        // Recovery has a price: detected faults slow the run down.
+        if a.faults.detected() > 0 {
+            assert!(a.sim.stats.cycles >= clean.stats.cycles);
+        }
+        // The timing stays auditable under injection.
+        let report = a.sim.stats.accounting().audit();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn vcfr_detects_more_faults_than_the_baseline() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::generate(2015, 64, 30_000);
+        let base = simulate_faulted(Mode::Baseline(&img), &cfg, 150_000, &plan).unwrap();
+        let vcfr = simulate_faulted(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            150_000,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(base.faults.injected, vcfr.faults.injected);
+        // The mediation layer is exactly the hardware that notices
+        // corrupted control-flow state: coverage must improve.
+        assert!(
+            vcfr.faults.coverage() > base.faults.coverage(),
+            "vcfr {} vs base {}",
+            vcfr.faults.coverage(),
+            base.faults.coverage()
+        );
+        assert!(vcfr.faults.detected() > base.faults.detected());
+        // Baseline masks every flip aimed at hardware it doesn't have.
+        assert_eq!(base.faults.detected_parity, 0);
+        assert_eq!(base.faults.detected_translation, 0);
+        assert_eq!(base.faults.detected_visibility, 0);
+    }
+
+    #[test]
+    fn sticky_table_faults_trigger_emergency_rerand_under_recover() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        let plan = FaultPlan {
+            faults: vec![ScheduledFault {
+                at_inst: 500,
+                target: FaultTarget::TableSlot,
+                bit: 3,
+                lane: 9,
+                persistence: FaultPersistence::Sticky,
+            }],
+            policy: ContainmentPolicy::Recover,
+        };
+        let out = simulate_faulted(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            50_000,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(out.faults.contained, 1);
+        assert_eq!(out.faults.emergency_rerands, 1);
+        assert_eq!(out.sim.stats.rerand_epochs, 1, "the repair is an epoch swap");
+        assert!(out.sim.stats.rerand_stall_cycles > 0);
+        assert_eq!(out.records[0].outcome, FaultOutcome::Contained);
+    }
+
+    #[test]
+    fn sticky_table_faults_halt_under_the_halt_policy() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig::default();
+        let plan = FaultPlan {
+            faults: vec![ScheduledFault {
+                at_inst: 500,
+                target: FaultTarget::TableSlot,
+                bit: 3,
+                lane: 9,
+                persistence: FaultPersistence::Sticky,
+            }],
+            policy: ContainmentPolicy::Halt,
+        };
+        let err = simulate_faulted(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            50_000,
+            &plan,
+        )
+        .unwrap_err();
+        match &err {
+            SimError::Fault { at_inst, target, trace } => {
+                assert_eq!(*at_inst, 500);
+                assert_eq!(*target, FaultTarget::TableSlot);
+                assert!(!trace.is_empty(), "the post-mortem ring is attached");
+            }
+            other => panic!("expected SimError::Fault, got {other:?}"),
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("uncorrectable sticky fault"));
+        assert!(shown.contains("table-slot"));
     }
 }

@@ -64,6 +64,13 @@ impl FlatMap {
         self.len == 0
     }
 
+    /// Iterates over the entries in slot order. The order is a function
+    /// of the insertion history only (no per-process hash seed), so it is
+    /// stable across runs and hosts.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u32)> + '_ {
+        self.slots.iter().filter(|s| s.used).map(|s| (s.key, s.val))
+    }
+
     #[inline]
     fn home(&self, key: Addr) -> usize {
         // Fibonacci hashing: spreads consecutive (8-byte-strided) stack
@@ -223,6 +230,21 @@ mod tests {
         for (&k, &v) in &reference {
             assert_eq!(m.get(k), Some(v));
         }
+    }
+
+    #[test]
+    fn iter_yields_every_live_entry_once() {
+        let mut m = FlatMap::new();
+        for i in 0..100u32 {
+            m.insert(i * 8, i);
+        }
+        for i in 0..50u32 {
+            m.remove(i * 16); // every other entry
+        }
+        let mut got: Vec<(u32, u32)> = m.iter().collect();
+        got.sort_unstable();
+        let want: Vec<(u32, u32)> = (0..100u32).filter(|i| i % 2 == 1).map(|i| (i * 8, i)).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod config;
 mod dram;
 mod emulator;
 mod engine;
+mod faults;
 mod flatmap;
 mod hierarchy;
 mod multicore;
@@ -58,8 +59,12 @@ pub use config::{BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, S
 pub use dram::{Dram, DramStats};
 pub use emulator::{emulate, EmulationReport, EmulatorCostModel};
 pub use engine::{
-    simulate, simulate_sampled, IntervalSample, Mode, SimError, SimOutput, TraceEvent,
-    TraceEventKind,
+    simulate, simulate_faulted, simulate_sampled, FaultedRun, IntervalSample, Mode, SimError,
+    SimOutput, TraceEvent, TraceEventKind,
+};
+pub use faults::{
+    ContainmentPolicy, FaultOutcome, FaultPersistence, FaultPlan, FaultRecord, FaultStats,
+    FaultTarget, ScheduledFault,
 };
 pub use flatmap::FlatMap;
 pub use hierarchy::MemoryHierarchy;

@@ -393,6 +393,8 @@ impl<'a> OooEngine<'a> {
             redirect_stall_cycles: 0,
             l2_reads_from_l1: self.hier.l2_reads_from_l1,
             exec_extra_cycles: self.exec_extra,
+            rerand_epochs: 0,
+            rerand_stall_cycles: 0,
         }
     }
 }

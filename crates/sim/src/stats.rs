@@ -46,6 +46,12 @@ pub struct SimStats {
     /// Extra execute cycles of long-running operations (mul/div), the
     /// non-unit part of the busy-cycle term in the accounting audit.
     pub exec_extra_cycles: u64,
+    /// Epoch re-randomizations performed during the run (live table
+    /// swaps; 0 without `rerand_epoch`).
+    pub rerand_epochs: u64,
+    /// Cycles the pipeline paused for epoch re-randomization (DRC flush
+    /// plus table rebuild plus stack re-mapping).
+    pub rerand_stall_cycles: u64,
 }
 
 impl SimStats {
@@ -78,6 +84,7 @@ impl SimStats {
             load_stall: self.load_stall_cycles,
             redirect_stall: self.redirect_stall_cycles,
             drc_walk: self.drc_walk_cycles,
+            rerand_stall: self.rerand_stall_cycles,
         }
     }
 
@@ -94,6 +101,8 @@ impl SimStats {
             ("sim.stall.redirect".into(), self.redirect_stall_cycles),
             ("sim.l2.reads_from_l1".into(), self.l2_reads_from_l1),
             ("sim.drc.walk_cycles".into(), self.drc_walk_cycles),
+            ("sim.rerand.epochs".into(), self.rerand_epochs),
+            ("sim.stall.rerand".into(), self.rerand_stall_cycles),
         ];
         let mut cache = |name: &str, c: &CacheStats| {
             counters.push((format!("sim.{name}.access"), c.accesses));
@@ -157,6 +166,7 @@ mod tests {
             load_stall_cycles: 60,
             redirect_stall_cycles: 40,
             drc_walk_cycles: 30,
+            rerand_stall_cycles: 20,
             ..SimStats::default()
         };
         let a = s.accounting();
@@ -166,6 +176,7 @@ mod tests {
         assert_eq!(a.load_stall, 60);
         assert_eq!(a.redirect_stall, 40);
         assert_eq!(a.drc_walk, 30);
+        assert_eq!(a.rerand_stall, 20);
     }
 
     #[test]

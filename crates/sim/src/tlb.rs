@@ -107,15 +107,30 @@ impl Tlb {
 
     /// Whether a *user-mode* access to `addr` is architecturally
     /// permitted. Hardware table walks ignore this.
-    pub fn user_visible(&mut self, addr: Addr) -> bool {
-        if !self.invisible.is_empty()
-            && self.invisible.binary_search(&(addr >> PAGE_SHIFT)).is_ok()
-        {
-            self.stats.visibility_faults += 1;
-            false
-        } else {
-            true
+    ///
+    /// This is the pure query — speculative or repeated checks do not
+    /// touch the counters. An access that actually *takes* the fault is
+    /// recorded with [`Tlb::record_visibility_fault`] (or in one step via
+    /// [`Tlb::check_user_access`]).
+    pub fn user_visible(&self, addr: Addr) -> bool {
+        self.invisible.is_empty()
+            || self.invisible.binary_search(&(addr >> PAGE_SHIFT)).is_err()
+    }
+
+    /// Counts one architectural visibility fault (a user-mode access that
+    /// reached an invisible page and trapped).
+    pub fn record_visibility_fault(&mut self) {
+        self.stats.visibility_faults += 1;
+    }
+
+    /// A committed user-mode permission check: returns the visibility
+    /// verdict and records a fault when the access is blocked.
+    pub fn check_user_access(&mut self, addr: Addr) -> bool {
+        let visible = self.user_visible(addr);
+        if !visible {
+            self.record_visibility_fault();
         }
+        visible
     }
 
     /// Looks up the page of `addr`; returns `true` on a hit. A miss
@@ -191,9 +206,26 @@ mod tests {
     fn visibility_bit_blocks_user_access() {
         let mut t = Tlb::new(4);
         t.set_invisible(0x4000_0000);
-        assert!(!t.user_visible(0x4000_0123));
-        assert!(t.user_visible(0x1000));
+        assert!(!t.check_user_access(0x4000_0123));
+        assert!(t.check_user_access(0x1000));
         assert_eq!(t.stats().visibility_faults, 1);
+    }
+
+    #[test]
+    fn visibility_query_is_pure() {
+        // Regression: `user_visible` used to bump `visibility_faults` on
+        // every blocked query, so speculative or repeated checks inflated
+        // the counter. The query is now side-effect free; only an access
+        // that takes the fault records one.
+        let mut t = Tlb::new(4);
+        t.set_invisible(0x4000_0000);
+        for _ in 0..10 {
+            assert!(!t.user_visible(0x4000_0123));
+        }
+        assert_eq!(t.stats().visibility_faults, 0, "queries alone never count");
+        assert!(!t.check_user_access(0x4000_0123));
+        assert!(!t.check_user_access(0x4000_0ffc));
+        assert_eq!(t.stats().visibility_faults, 2, "one fault per committed access");
     }
 
     #[test]
@@ -223,7 +255,7 @@ mod tests {
         let mut t = Tlb::new(4);
         t.set_invisible(0x5000);
         t.set_invisible(0x5fff); // same page
-        assert!(!t.user_visible(0x5800));
+        assert!(!t.check_user_access(0x5800));
         assert_eq!(t.stats().visibility_faults, 1);
     }
 }

@@ -1,0 +1,106 @@
+//! Property tests for the fully-associative LRU [`Tlb`]: arbitrary
+//! access interleavings agree with a `BTreeMap`-based reference model.
+//! Pages are drawn from a domain slightly larger than the TLB so
+//! capacity eviction and the MRU fast path are exercised constantly, and
+//! the visibility machinery is checked against a plain set: the pure
+//! query never counts, the committed check counts exactly once per
+//! blocked access.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vcfr_sim::Tlb;
+
+const PAGE: u32 = 4096;
+
+/// Reference model: page number → last-use tick, bounded to `entries`
+/// residents by evicting the minimum tick.
+struct ModelTlb {
+    entries: usize,
+    resident: BTreeMap<u32, u64>,
+    tick: u64,
+    misses: u64,
+}
+
+impl ModelTlb {
+    fn new(entries: usize) -> ModelTlb {
+        ModelTlb { entries, resident: BTreeMap::new(), tick: 0, misses: 0 }
+    }
+
+    fn access(&mut self, addr: u32) -> bool {
+        self.tick += 1;
+        let page = addr / PAGE;
+        if self.resident.contains_key(&page) {
+            self.resident.insert(page, self.tick);
+            return true;
+        }
+        self.misses += 1;
+        if self.resident.len() >= self.entries {
+            let victim = *self
+                .resident
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(p, _)| p)
+                .expect("non-empty model");
+            self.resident.remove(&victim);
+        }
+        self.resident.insert(page, self.tick);
+        false
+    }
+}
+
+/// One scripted access: (page index, offset within the page).
+fn arb_accesses() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    // 12 distinct pages against an 8-entry TLB: hits, misses and
+    // evictions all occur; repeated indices drive the MRU fast path.
+    proptest::collection::vec((0u32..12, 0u32..PAGE), 1..600)
+}
+
+proptest! {
+    /// Hit/miss verdicts and the miss counter agree with the reference
+    /// model after every access — in particular after evictions, and on
+    /// same-page re-accesses where a stale MRU hint would lie.
+    #[test]
+    fn matches_btreemap_model(ops in arb_accesses()) {
+        let mut t = Tlb::new(8);
+        let mut model = ModelTlb::new(8);
+        for (pi, off) in ops {
+            let addr = 0x10_0000 + pi * PAGE + off;
+            prop_assert_eq!(t.access(addr, true), model.access(addr));
+            prop_assert_eq!(t.stats().misses, model.misses);
+        }
+    }
+
+    /// The visibility query is pure and page-granular: `user_visible`
+    /// agrees with a set of invisible pages, never counts a fault, and
+    /// `check_user_access` counts exactly one fault per blocked access.
+    #[test]
+    fn visibility_agrees_with_a_set_model(
+        invisible_mask in any::<u16>(),
+        probes in proptest::collection::vec((0u32..16, 0u32..PAGE), 1..100),
+    ) {
+        let mut t = Tlb::new(8);
+        for pi in 0..16u32 {
+            if invisible_mask & (1 << pi) != 0 {
+                t.set_invisible(0x20_0000 + pi * PAGE);
+            }
+        }
+        // Pure queries leave the counter untouched.
+        for &(pi, off) in &probes {
+            let addr = 0x20_0000 + pi * PAGE + off;
+            let expect = invisible_mask & (1 << pi) == 0;
+            prop_assert_eq!(t.user_visible(addr), expect);
+        }
+        prop_assert_eq!(t.stats().visibility_faults, 0);
+        // Committed checks count one fault per blocked access.
+        let mut blocked = 0u64;
+        for &(pi, off) in &probes {
+            let addr = 0x20_0000 + pi * PAGE + off;
+            let expect = invisible_mask & (1 << pi) == 0;
+            prop_assert_eq!(t.check_user_access(addr), expect);
+            if !expect {
+                blocked += 1;
+            }
+        }
+        prop_assert_eq!(t.stats().visibility_faults, blocked);
+    }
+}

@@ -18,6 +18,12 @@ bench-smoke:
 obs-smoke:
     cargo run --release -p vcfr-bench --bin repro -- obs-smoke
 
+# Fault-injection smoke: seeded 1-app campaign, determinism across
+# thread counts, audits, VCFR > baseline coverage
+# (see docs/fault-injection.md).
+faults-smoke:
+    cargo run --release -p vcfr-bench --bin repro -- faults-smoke
+
 # Full test suite across the workspace.
 test:
     cargo test --workspace

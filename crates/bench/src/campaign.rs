@@ -13,7 +13,7 @@
 use crate::experiments::{parallel_map, randomize_workload, SEED};
 use std::fmt::Write as _;
 use vcfr_core::DrcConfig;
-use vcfr_sim::{simulate_faulted, ContainmentPolicy, FaultPlan, FaultStats, Mode, SimConfig, SimStats};
+use vcfr_sim::{ContainmentPolicy, FaultPlan, FaultStats, Mode, Session, SimConfig, SimStats};
 use vcfr_workloads::Workload;
 
 /// Faults injected per (app, configuration) run.
@@ -50,7 +50,7 @@ pub fn fault_plan_for(app: &str, max_insts: u64) -> FaultPlan {
 
 /// Runs the campaign over `suite` on `threads` workers: each app is
 /// randomized once, then every (app, {base, vcfr128}) cell runs the same
-/// per-app fault schedule through [`simulate_faulted`]. Results are in
+/// per-app fault schedule through a faulted [`Session`]. Results are in
 /// (app-major, [`CAMPAIGN_MODES`]) order regardless of scheduling.
 pub fn run_campaign(suite: &[Workload], threads: usize) -> Vec<CampaignCell> {
     let cfg = SimConfig::default();
@@ -66,12 +66,15 @@ pub fn run_campaign(suite: &[Workload], threads: usize) -> Vec<CampaignCell> {
             0 => Mode::Baseline(&w.image),
             _ => Mode::Vcfr { program: &programs[a], drc: DrcConfig::direct_mapped(128) },
         };
-        let run = simulate_faulted(mode, &cfg, w.max_insts, &plan).expect("campaign cell runs");
+        let outcome = Session::new(mode, &cfg, w.max_insts)
+            .map(|s| s.with_faults(&plan))
+            .and_then(|mut s| s.run())
+            .expect("campaign cell runs");
         CampaignCell {
             app: w.name,
             mode: CAMPAIGN_MODES[m],
-            faults: run.faults,
-            stats: run.sim.stats,
+            faults: outcome.faults,
+            stats: outcome.output.stats,
         }
     })
 }

@@ -1,6 +1,5 @@
 //! One function per table/figure of the paper's evaluation.
 
-use std::sync::Mutex;
 use std::time::Instant;
 use vcfr_core::DrcConfig;
 use vcfr_gadget::compare_surface;
@@ -10,11 +9,12 @@ use vcfr_rewriter::{
     RandomizedProgram,
 };
 use vcfr_sim::{
-    emulate, simulate, simulate_multicore, simulate_ooo, simulate_sampled, DrcBacking,
-    EmulatorCostModel, IntervalSample, Mode, OooConfig, SimConfig, SimStats,
+    emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel,
+    IntervalSample, Mode, OooConfig, Session, SimConfig, SimStats,
 };
 use vcfr_workloads::{by_name, fig2_suite, spec_suite, Workload};
 
+pub use crate::pool::parallel_map;
 pub use crate::{geomean, mean};
 
 /// The randomization seed every experiment uses (results are
@@ -109,46 +109,6 @@ pub fn default_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-/// Runs `f` over `items` on `threads` workers, returning the results in
-/// item order. Items are handed out from a shared queue, so reassembly
-/// is deterministic regardless of scheduling.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let n = items.len();
-    let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
-    let results = Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
-    let workers = threads.clamp(1, n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                // Pop from the front so execution order follows item
-                // order (single-threaded runs are exactly serial).
-                let job = {
-                    let mut q = queue.lock().expect("queue lock");
-                    if q.is_empty() {
-                        None
-                    } else {
-                        Some(q.remove(0))
-                    }
-                };
-                let Some((i, item)) = job else { break };
-                let r = f(i, item);
-                results.lock().expect("results lock")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
-}
-
 /// Runs the matrix over an arbitrary workload slice on `threads`
 /// workers: first every randomization (one job per app), then every
 /// simulator run (one job per app × configuration), so the fan-out is
@@ -172,9 +132,11 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
         let w = &suite[a];
         let t = Instant::now();
         let interval = (w.max_insts / SAMPLES_PER_RUN).max(1);
-        let (out, samples) =
-            simulate_sampled(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts, interval)
-                .expect("matrix cell runs");
+        let outcome = Session::new(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts)
+            .map(|s| s.with_sampling(interval))
+            .and_then(|mut s| s.run())
+            .expect("matrix cell runs");
+        let (out, samples) = (outcome.output, outcome.samples);
         let wall_s = t.elapsed().as_secs_f64();
         let instructions = out.stats.instructions;
         let timing = RunTiming {
@@ -221,19 +183,17 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
 pub fn run_app(w: &Workload) -> AppResults {
     let cfg = SimConfig::default();
     let rp = randomize_workload(&w.image);
-    let base = simulate(Mode::Baseline(&w.image), &cfg, w.max_insts).expect("baseline runs");
-    let naive = simulate(Mode::NaiveIlr(&rp), &cfg, w.max_insts).expect("naive runs");
-    let run_vcfr = |entries: usize| {
-        simulate(
-            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(entries) },
-            &cfg,
-            w.max_insts,
-        )
-        .expect("vcfr runs")
+    let run = |mode: Mode| {
+        Session::new(mode, &cfg, w.max_insts)
+            .and_then(|mut s| s.run())
+            .expect("app runs")
+            .output
     };
-    let vcfr512 = run_vcfr(512);
-    let vcfr128 = run_vcfr(128);
-    let vcfr64 = run_vcfr(64);
+    let base = run(Mode::Baseline(&w.image));
+    let naive = run(Mode::NaiveIlr(&rp));
+    let vcfr512 = run(Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(512) });
+    let vcfr128 = run(Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) });
+    let vcfr64 = run(Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) });
 
     // Functional equivalence across every mode is part of the harness.
     assert_eq!(base.outcome.output, naive.outcome.output, "{}", w.name);

@@ -10,6 +10,7 @@
 pub mod campaign;
 pub mod experiments;
 pub mod manifests;
+pub mod pool;
 
 #[cfg(test)]
 mod tests;
@@ -26,6 +27,7 @@ pub use manifests::{
     bench_record, build_campaign_manifests, build_fault_manifest, build_manifest,
     build_matrix_manifests, write_manifests,
 };
+pub use pool::{parallel_map, PoolFull, WorkerPool};
 
 /// Geometric mean of an iterator of positive values.
 pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {

@@ -1,0 +1,232 @@
+//! Shared worker machinery: the scoped [`parallel_map`] fan-out the
+//! experiment matrix uses, and the long-lived bounded [`WorkerPool`] the
+//! batch-simulation service schedules jobs on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Runs `f` over `items` on `threads` workers, returning the results in
+/// item order. Items are handed out from a shared queue, so reassembly
+/// is deterministic regardless of scheduling.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let results = Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
+    let workers = threads.clamp(1, n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Pop from the front so execution order follows item
+                // order (single-threaded runs are exactly serial).
+                let job = {
+                    let mut q = queue.lock().expect("queue lock");
+                    if q.is_empty() {
+                        None
+                    } else {
+                        Some(q.remove(0))
+                    }
+                };
+                let Some((i, item)) = job else { break };
+                let r = f(i, item);
+                results.lock().expect("results lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// Returned by [`WorkerPool::try_submit`] when the bounded queue is at
+/// capacity (or the pool is shutting down); carries the rejected job
+/// back to the caller so nothing is silently dropped.
+#[derive(Debug)]
+pub struct PoolFull<J>(pub J);
+
+struct State<J> {
+    queue: VecDeque<J>,
+    in_flight: usize,
+    shutting_down: bool,
+}
+
+struct Shared<J> {
+    state: Mutex<State<J>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A long-lived pool of worker threads draining a bounded job queue.
+///
+/// Unlike [`parallel_map`] (a scoped, borrow-friendly fan-out over a
+/// fixed item list), the pool accepts jobs for as long as it lives and
+/// applies backpressure: [`WorkerPool::try_submit`] rejects a job when
+/// the queue is full instead of buffering without bound. The service
+/// daemon leans on exactly that property to bound its admission queue.
+pub struct WorkerPool<J: Send + 'static> {
+    shared: Arc<Shared<J>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads that each run `handler` over submitted
+    /// jobs. At most `capacity` jobs wait in the queue at a time.
+    pub fn new<F>(workers: usize, capacity: usize, handler: F) -> WorkerPool<J>
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                shutting_down: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handler = Arc::new(handler);
+        let threads = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut st = shared.state.lock().expect("pool lock");
+                        loop {
+                            if let Some(j) = st.queue.pop_front() {
+                                st.in_flight += 1;
+                                shared.not_full.notify_all();
+                                break Some(j);
+                            }
+                            if st.shutting_down {
+                                break None;
+                            }
+                            st = shared.not_empty.wait(st).expect("pool lock");
+                        }
+                    };
+                    let Some(job) = job else { return };
+                    handler(job);
+                    shared.state.lock().expect("pool lock").in_flight -= 1;
+                    // Wake both submitters waiting for space and
+                    // drainers waiting for quiescence.
+                    shared.not_full.notify_all();
+                })
+            })
+            .collect();
+        WorkerPool { shared, workers: Mutex::new(threads) }
+    }
+
+    /// Enqueues a job, or returns it in [`PoolFull`] when the queue is
+    /// at capacity or the pool is shutting down. Never blocks.
+    pub fn try_submit(&self, job: J) -> Result<(), PoolFull<J>> {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        if st.shutting_down || st.queue.len() >= self.shared.capacity {
+            return Err(PoolFull(job));
+        }
+        st.queue.push_back(job);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue plus jobs a worker is running.
+    pub fn pending(&self) -> usize {
+        let st = self.shared.state.lock().expect("pool lock");
+        st.queue.len() + st.in_flight
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while !st.queue.is_empty() || st.in_flight > 0 {
+            st = self.shared.not_full.wait(st).expect("pool lock");
+        }
+    }
+
+    /// Stops the pool without draining: workers finish their current
+    /// job, abandon anything still queued, and are joined. Queued jobs
+    /// stay wherever the caller persisted them (the service daemon
+    /// re-enqueues them from disk on its next start).
+    pub fn stop(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutting_down = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for h in self.workers.lock().expect("workers lock").drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Finishes all queued jobs, then stops and joins the workers.
+    pub fn shutdown(self) {
+        self.drain();
+        self.stop();
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_job() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new(3, 64, move |n: usize| {
+            d.fetch_add(n, Ordering::SeqCst);
+        });
+        for n in 1..=10 {
+            pool.try_submit(n).expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        // One worker parked on a gate so the queue genuinely fills.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let pool = WorkerPool::new(1, 2, move |_: usize| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().expect("gate");
+            while !*open {
+                open = cv.wait(open).expect("gate");
+            }
+        });
+        pool.try_submit(0).expect("first job admitted");
+        // Once the worker takes job 0 (and parks on the gate), both
+        // queue slots become free; retry until they are.
+        for n in [1usize, 2] {
+            while pool.try_submit(n).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        let rejected = pool.try_submit(3);
+        assert!(matches!(rejected, Err(PoolFull(3))), "queue at capacity rejects");
+        let (lock, cv) = &*gate;
+        *lock.lock().expect("gate") = true;
+        cv.notify_all();
+        pool.drain();
+        assert_eq!(pool.pending(), 0);
+        pool.shutdown();
+    }
+}

@@ -13,28 +13,65 @@ use vcfr_rewriter::{
     PROGRAM_MAGIC,
 };
 use vcfr_obs::{fingerprint, CycleAccounting, Json, Manifest};
-use vcfr_sim::{simulate, simulate_ooo, Mode, OooConfig, SimConfig, SimStats};
+use vcfr_sim::{simulate_ooo, Mode, OooConfig, Session, SimConfig, SimStats, VcfrError};
 
-/// A CLI failure with a user-facing message.
+/// A CLI failure. Usage mistakes exit with status 2, everything else
+/// with status 1; simulation-stack failures stay typed all the way to
+/// the exit-code decision instead of being flattened into strings.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(ArgsError),
+    /// The simulation stack failed (config, run, or checkpoint).
+    Vcfr(VcfrError),
+    /// The batch-simulation service failed (daemon or client side).
+    Service(vcfr_service::ServiceError),
+    /// Any other failure, already rendered for the user.
+    Msg(String),
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Vcfr(e) => write!(f, "{e}"),
+            CliError::Service(e) => write!(f, "{e}"),
+            CliError::Msg(s) => f.write_str(s),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(e) => Some(e),
+            CliError::Vcfr(e) => Some(e),
+            CliError::Service(e) => Some(e),
+            CliError::Msg(_) => None,
+        }
+    }
+}
+
+impl From<vcfr_service::ServiceError> for CliError {
+    fn from(e: vcfr_service::ServiceError) -> CliError {
+        CliError::Service(e)
+    }
+}
 
 impl From<ArgsError> for CliError {
     fn from(e: ArgsError) -> CliError {
-        CliError(e.to_string())
+        CliError::Usage(e)
+    }
+}
+
+impl From<VcfrError> for CliError {
+    fn from(e: VcfrError) -> CliError {
+        CliError::Vcfr(e)
     }
 }
 
 fn fail(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::Msg(msg.into())
 }
 
 /// Either kind of on-disk artefact.
@@ -383,10 +420,10 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let host = std::time::Instant::now();
     let out = if args.flag("ooo") {
         simulate_ooo(mode, &cfg, OooConfig::default(), max)
+            .map_err(|e| CliError::Vcfr(VcfrError::Sim(e)))?
     } else {
-        simulate(mode, &cfg, max)
-    }
-    .map_err(|e| fail(e.to_string()))?;
+        Session::new(mode, &cfg, max)?.run()?.output
+    };
     let host_s = host.elapsed().as_secs_f64();
 
     let mut report = format!(
@@ -410,7 +447,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         let audit = out.stats.accounting().audit();
         report.push_str(&audit.render());
         if !audit.passed() {
-            return Err(CliError(report));
+            return Err(CliError::Msg(report));
         }
     }
     if let Some(mpath) = args.value("manifest") {

@@ -12,10 +12,15 @@
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
 //! vcfr report <manifest-dir> [--against <manifest-dir>]
+//! vcfr serve [--dir D]                      run the batch-simulation daemon
+//! vcfr submit <workload> [--dir D] [...]    queue a job on the daemon
+//! vcfr jobs [--dir D]                       list the daemon's jobs
+//! vcfr shutdown [--dir D]                   checkpoint everything and exit
 //! ```
 
 mod args;
 mod commands;
+mod serve;
 
 use args::Args;
 use commands::CliError;
@@ -37,6 +42,12 @@ USAGE:
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
     vcfr report <manifest-dir> [--against <manifest-dir>]
+    vcfr serve [--dir D] [--port P] [--workers N] [--queue N]
+    vcfr submit <workload> [--mode baseline|naive|vcfr] [--drc N] [--max N]
+                   [--seed N] [--rerand-epoch N] [--checkpoint-every N]
+                   [--dir D] [--watch]
+    vcfr jobs [--dir D]
+    vcfr shutdown [--dir D]
 ";
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
@@ -59,7 +70,19 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
         "stats" => commands::cmd_stats(&Args::parse(rest, &[], &[])?),
         "trace" => commands::cmd_trace(&Args::parse(rest, &[], &["count", "skip"])?),
-        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+        "serve" => serve::cmd_serve(&Args::parse(
+            rest,
+            &[],
+            &["dir", "port", "workers", "queue"],
+        )?),
+        "submit" => serve::cmd_submit(&Args::parse(
+            rest,
+            &["watch"],
+            &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "dir"],
+        )?),
+        "jobs" => serve::cmd_jobs(&Args::parse(rest, &[], &["dir"])?),
+        "shutdown" => serve::cmd_shutdown(&Args::parse(rest, &[], &["dir"])?),
+        other => Err(CliError::Msg(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
@@ -73,7 +96,10 @@ fn main() {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(match e {
+                CliError::Usage(_) => 2,
+                _ => 1,
+            });
         }
     }
 }

@@ -1,0 +1,98 @@
+//! The service-facing subcommands: `vcfr serve` runs the daemon,
+//! `vcfr submit` / `vcfr jobs` / `vcfr shutdown` talk to it.
+
+use crate::args::Args;
+use crate::commands::CliError;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use vcfr_service::{serve, Client, JobSpec, ServeOptions};
+
+fn state_dir(args: &Args) -> PathBuf {
+    PathBuf::from(args.value("dir").unwrap_or("results/service"))
+}
+
+/// `vcfr serve [--dir D] [--port P] [--workers N] [--queue N]` — runs
+/// the batch-simulation daemon until a client asks it to shut down.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let opts = ServeOptions {
+        dir: state_dir(args),
+        port: args.u64_or("port", 0)? as u16,
+        workers: args.u64_or("workers", 2)? as usize,
+        queue_capacity: args.u64_or("queue", 16)? as usize,
+    };
+    serve(&opts)?;
+    Ok(format!("service stopped; state in {}", opts.dir.display()))
+}
+
+/// `vcfr submit <workload> [--mode M] [--drc N] [--max N] [--seed N]
+/// [--rerand-epoch N] [--checkpoint-every N] [--dir D] [--watch]`.
+pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let mut spec = JobSpec::new(args.positional(0, "workload name")?);
+    if let Some(mode) = args.value("mode") {
+        spec.mode = mode.to_string();
+    }
+    spec.drc_entries = args.u64_or("drc", spec.drc_entries as u64)? as usize;
+    spec.max_insts = args.u64_or("max", spec.max_insts)?;
+    spec.seed = args.u64_or("seed", spec.seed)?;
+    spec.checkpoint_every = args.u64_or("checkpoint-every", spec.checkpoint_every)?;
+    if args.value("rerand-epoch").is_some() {
+        spec.rerand_epoch = Some(args.u64_or("rerand-epoch", 0)?);
+    }
+    spec.validate()?;
+
+    let mut client = Client::connect(&state_dir(args))?;
+    let id = client.submit(&spec)?;
+    let mut out = format!("job {id} submitted: {} {}", spec.workload, spec.mode);
+    if args.flag("watch") {
+        out.push('\n');
+        client.watch(id, |ev| {
+            let insts = ev.get("instructions").and_then(|v| v.as_u64()).unwrap_or(0);
+            let phase = ev.get("phase").and_then(|v| v.as_str()).unwrap_or("?");
+            let _ = writeln!(out, "  job {id}: {phase} at {insts} instructions");
+        })?;
+        out.pop();
+    }
+    Ok(out)
+}
+
+/// `vcfr jobs [--dir D]` — lists every job the daemon knows about.
+pub fn cmd_jobs(args: &Args) -> Result<String, CliError> {
+    let mut client = Client::connect(&state_dir(args))?;
+    let jobs = client.jobs()?;
+    if jobs.is_empty() {
+        return Ok("no jobs".to_string());
+    }
+    let mut out = format!(
+        "{:>4}  {:<12} {:<10} {:<8} {:>14}/{:<14} {:>6}\n",
+        "id", "workload", "mode", "phase", "insts", "budget", "ckpts"
+    );
+    for j in &jobs {
+        let field = |k: &str| j.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let num = |k: &str| j.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<12} {:<10} {:<8} {:>14}/{:<14} {:>6}{}",
+            num("id"),
+            field("workload"),
+            field("mode"),
+            field("phase"),
+            num("instructions"),
+            num("max_insts"),
+            num("checkpoints"),
+            match j.get("error").and_then(|v| v.as_str()) {
+                Some(e) => format!("  error: {e}"),
+                None => String::new(),
+            },
+        );
+    }
+    out.pop();
+    Ok(out)
+}
+
+/// `vcfr shutdown [--dir D]` — asks the daemon to checkpoint every
+/// in-flight job and exit.
+pub fn cmd_shutdown(args: &Args) -> Result<String, CliError> {
+    let mut client = Client::connect(&state_dir(args))?;
+    client.shutdown()?;
+    Ok("shutdown requested; in-flight jobs checkpointed".to_string())
+}

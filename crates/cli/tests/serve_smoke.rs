@@ -1,0 +1,148 @@
+//! End-to-end smoke of the batch-simulation service: start a daemon,
+//! submit two jobs, hard-kill the daemon mid-run (SIGKILL — no drain),
+//! restart it over the same state directory, and check that the resumed
+//! jobs finish with manifests byte-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const VCFR: &str = env!("CARGO_BIN_EXE_vcfr");
+
+/// Kills the daemon on every exit path so a failing assert never leaks
+/// a background process.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn start_daemon(dir: &Path) -> Daemon {
+    let child = Command::new(VCFR)
+        .args(["serve", "--dir"])
+        .arg(dir)
+        .args(["--workers", "2", "--queue", "8"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    Daemon(child)
+}
+
+fn wait_for(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Submits the two smoke jobs in a fixed order (so they get ids 1 and 2
+/// in every run) and returns once both are admitted.
+fn submit_jobs(dir: &Path) {
+    for (workload, drc) in [("bzip2", "64"), ("hmmer", "128")] {
+        wait_for(&format!("submission of {workload}"), || {
+            let out = Command::new(VCFR)
+                .args(["submit", workload, "--dir"])
+                .arg(dir)
+                .args([
+                    "--mode",
+                    "vcfr",
+                    "--drc",
+                    drc,
+                    "--max",
+                    "4000000",
+                    "--rerand-epoch",
+                    "9000",
+                    "--checkpoint-every",
+                    "25000",
+                ])
+                .output()
+                .expect("submit runs");
+            out.status.success()
+        });
+    }
+}
+
+fn manifest(dir: &Path, id: u64) -> PathBuf {
+    dir.join("jobs").join(format!("job-{id}.manifest.json"))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vcfr-serve-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shutdown(dir: &Path) {
+    wait_for("shutdown request", || {
+        let acknowledged = Command::new(VCFR)
+            .args(["shutdown", "--dir"])
+            .arg(dir)
+            .output()
+            .expect("shutdown runs")
+            .status
+            .success();
+        // The daemon removes its endpoint file on the way out, so a gone
+        // endpoint also means the shutdown took — even if the daemon won
+        // the race and closed the connection before acknowledging.
+        acknowledged || !dir.join("endpoint").exists()
+    });
+}
+
+#[test]
+fn killed_daemon_resumes_jobs_bit_identically() {
+    // Interrupted timeline: submit, hard-kill at the first checkpoint,
+    // restart, let the jobs finish from their snapshots.
+    let dir_a = fresh_dir("a");
+    {
+        let daemon = start_daemon(&dir_a);
+        submit_jobs(&dir_a);
+        // As soon as any snapshot hits the disk, pull the plug. (If the
+        // machine is so fast both jobs already finished, proceed — the
+        // restart then simply has nothing to resume.)
+        wait_for("a checkpoint file", || {
+            let snapshot_on_disk = std::fs::read_dir(dir_a.join("jobs")).is_ok_and(|entries| {
+                entries.flatten().any(|e| {
+                    e.file_name().to_str().is_some_and(|n| n.ends_with(".ckpt"))
+                })
+            });
+            snapshot_on_disk || (manifest(&dir_a, 1).exists() && manifest(&dir_a, 2).exists())
+        });
+        drop(daemon); // SIGKILL, mid-run
+    }
+    {
+        let _daemon = start_daemon(&dir_a);
+        wait_for("resumed manifests", || {
+            manifest(&dir_a, 1).exists() && manifest(&dir_a, 2).exists()
+        });
+        shutdown(&dir_a);
+    }
+
+    // Reference timeline: the same two jobs, never interrupted.
+    let dir_b = fresh_dir("b");
+    {
+        let _daemon = start_daemon(&dir_b);
+        submit_jobs(&dir_b);
+        wait_for("reference manifests", || {
+            manifest(&dir_b, 1).exists() && manifest(&dir_b, 2).exists()
+        });
+        shutdown(&dir_b);
+    }
+
+    for id in [1, 2] {
+        let resumed = std::fs::read(manifest(&dir_a, id)).expect("resumed manifest");
+        let reference = std::fs::read(manifest(&dir_b, id)).expect("reference manifest");
+        assert!(!resumed.is_empty());
+        assert_eq!(
+            resumed, reference,
+            "job {id}: manifest of the killed-and-resumed run differs from the straight run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

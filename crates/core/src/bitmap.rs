@@ -9,6 +9,8 @@
 //! models the architectural contents; the cycle simulator charges the
 //! timing.
 
+use vcfr_isa::wire::{Reader, WireError, Writer};
+
 const PAGE_SHIFT: u32 = 12;
 /// 4 KiB page / 8-byte slots = 512 bits = 8 × u64 words.
 const WORDS_PER_PAGE: usize = 8;
@@ -109,6 +111,49 @@ impl StackBitmap {
         self.marked
     }
 
+    /// Serialises the bitmap (checkpoint support). Pages are written in
+    /// their current association-list order so the restored bitmap keeps
+    /// the same move-to-front search behaviour.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.pages.len() as u64);
+        for (page, words) in &self.pages {
+            w.u32(*page);
+            for word in words {
+                w.u64(*word);
+            }
+        }
+        w.u64(self.marked);
+    }
+
+    /// Rebuilds a bitmap from [`StackBitmap::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or when the stored mark count
+    /// disagrees with the page contents (corrupt stream).
+    pub fn restore(r: &mut Reader<'_>) -> Result<StackBitmap, WireError> {
+        let n = r.u64()?;
+        if n > u32::MAX as u64 {
+            return Err(WireError::LengthOutOfRange { len: n });
+        }
+        let mut bm = StackBitmap::new();
+        let mut popcount = 0u64;
+        for _ in 0..n {
+            let page = r.u32()?;
+            let mut words = [0u64; WORDS_PER_PAGE];
+            for word in &mut words {
+                *word = r.u64()?;
+                popcount += word.count_ones() as u64;
+            }
+            bm.pages.push((page, words));
+        }
+        bm.marked = r.u64()?;
+        if bm.marked != popcount {
+            return Err(WireError::LengthOutOfRange { len: bm.marked });
+        }
+        Ok(bm)
+    }
+
     /// The virtual address of the bitmap word backing `addr`, for cache
     /// modelling of bitmap-cache misses. `bitmap_base` is where the
     /// kernel placed the bitmap pages.
@@ -166,6 +211,40 @@ mod tests {
         assert_eq!(bm.marked_count(), 10_000);
         assert!(bm.is_marked(9_999 * 8));
         assert!(!bm.is_marked(10_000 * 8));
+    }
+
+    #[test]
+    fn save_restore_preserves_marks_and_page_order() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut bm = StackBitmap::new();
+        bm.mark(0x1000);
+        bm.mark(0x2008);
+        bm.mark(0x1000); // idempotent; also moves page 1 to the front
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        bm.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let back = StackBitmap::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.marked_count(), 2);
+        assert!(back.is_marked(0x1000));
+        assert!(back.is_marked(0x2008));
+        assert!(!back.is_marked(0x3000));
+        assert_eq!(back.pages, bm.pages);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_mark_count() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut bm = StackBitmap::new();
+        bm.mark(0x1000);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        bm.save(&mut w);
+        let mut buf = w.into_bytes();
+        let at = buf.len() - 1;
+        buf[at] ^= 1; // corrupt the trailing mark count
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(StackBitmap::restore(&mut r).is_err());
     }
 
     #[test]

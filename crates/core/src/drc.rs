@@ -16,6 +16,7 @@
 
 use crate::table::{EntryKind, TranslateError, TranslationTable};
 use crate::{OrigAddr, RandAddr};
+use vcfr_isa::wire::{Reader, WireError, Writer};
 
 /// Configuration of a [`Drc`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -241,6 +242,59 @@ impl Drc {
         Ok(DrcLookup { hit: false, translated: e.to, unrandomized: e.unrandomized, entry_addr })
     }
 
+    /// Serialises the full cache state (checkpoint support): every line
+    /// in set order, then the counters and the LRU tick, so a restored
+    /// DRC replays hits, misses and evictions bit-identically.
+    pub fn save(&self, w: &mut Writer) {
+        for line in &self.lines {
+            w.u8(u8::from(line.valid));
+            w.u64(line.key);
+            w.u32(line.value);
+            w.u8(u8::from(line.unrandomized));
+            w.u64(line.lru);
+        }
+        w.u64(self.stats.lookups);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.derand_lookups);
+        w.u64(self.stats.rand_lookups);
+        w.u64(self.tick);
+    }
+
+    /// Rebuilds a DRC from [`Drc::save`] output. The geometry is not part
+    /// of the stream; the caller supplies the same `cfg` the saved DRC
+    /// was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or malformed flag bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` itself is invalid (see [`Drc::new`]).
+    pub fn restore(cfg: DrcConfig, r: &mut Reader<'_>) -> Result<Drc, WireError> {
+        let mut drc = Drc::new(cfg);
+        for line in &mut drc.lines {
+            let valid = r.u8()?;
+            if valid > 1 {
+                return Err(WireError::BadTag { tag: valid });
+            }
+            let key = r.u64()?;
+            let value = r.u32()?;
+            let unrandomized = r.u8()?;
+            if unrandomized > 1 {
+                return Err(WireError::BadTag { tag: unrandomized });
+            }
+            let lru = r.u64()?;
+            *line = Line { valid: valid == 1, key, value, unrandomized: unrandomized == 1, lru };
+        }
+        drc.stats.lookups = r.u64()?;
+        drc.stats.misses = r.u64()?;
+        drc.stats.derand_lookups = r.u64()?;
+        drc.stats.rand_lookups = r.u64()?;
+        drc.tick = r.u64()?;
+        Ok(drc)
+    }
+
     /// De-randomizes an architectural address (RPC → UPC).
     ///
     /// # Errors
@@ -358,6 +412,43 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panic() {
         let _ = Drc::direct_mapped(96);
+    }
+
+    #[test]
+    fn save_restore_preserves_contents_counters_and_lru() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let t = table(3);
+        let mut drc = Drc::new(DrcConfig { entries: 4, ways: 2 });
+        drc.derandomize(RandAddr(0x9000), &t).unwrap();
+        drc.derandomize(RandAddr(0x9200), &t).unwrap();
+        drc.randomize(OrigAddr(0x1004), &t).unwrap();
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        drc.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let mut back = Drc::restore(drc.config(), &mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.stats(), drc.stats());
+        assert_eq!(back.valid_entries(), drc.valid_entries());
+        // Both copies evolve identically from here (same LRU victims).
+        for addr in [0x9000u32, 0x9100, 0x9200, 0x9000] {
+            let a = drc.derandomize(RandAddr(addr), &t).unwrap();
+            let b = back.derandomize(RandAddr(addr), &t).unwrap();
+            assert_eq!(a, b, "addr {addr:#x}");
+        }
+        assert_eq!(back.stats(), drc.stats());
+    }
+
+    #[test]
+    fn restore_rejects_bad_flag_byte() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let drc = Drc::direct_mapped(2);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        drc.save(&mut w);
+        let mut buf = w.into_bytes();
+        buf[8] = 7; // first line's valid flag
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(Drc::restore(drc.config(), &mut r).is_err());
     }
 
     #[test]

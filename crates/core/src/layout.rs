@@ -4,6 +4,7 @@
 use crate::{OrigAddr, RandAddr};
 use std::collections::HashMap;
 use std::fmt;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 
 /// An error constructing a [`LayoutMap`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,6 +165,41 @@ impl LayoutMap {
     pub fn origs(&self) -> impl Iterator<Item = OrigAddr> + '_ {
         self.rand_of.keys().copied()
     }
+
+    /// Serialises the map (checkpoint support) as `(original,
+    /// randomized)` pairs in sorted original-address order, so the byte
+    /// form is deterministic.
+    pub fn save(&self, w: &mut Writer) {
+        let mut pairs: Vec<(u32, u32)> = self.iter().map(|(o, r)| (o.0, r.0)).collect();
+        pairs.sort_unstable();
+        w.u64(pairs.len() as u64);
+        for (o, r) in pairs {
+            w.u32(o);
+            w.u32(r);
+        }
+    }
+
+    /// Rebuilds a map from [`LayoutMap::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input, an implausible pair count, or
+    /// duplicated addresses (a valid save never contains them).
+    pub fn restore(r: &mut Reader<'_>) -> Result<LayoutMap, WireError> {
+        let n = r.u64()?;
+        if n > 1 << 28 {
+            return Err(WireError::LengthOutOfRange { len: n });
+        }
+        let mut m = LayoutMap::default();
+        for _ in 0..n {
+            let o = r.u32()?;
+            let rand = r.u32()?;
+            if m.insert(OrigAddr(o), RandAddr(rand)).is_err() {
+                return Err(WireError::LengthOutOfRange { len: n });
+            }
+        }
+        Ok(m)
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +252,45 @@ mod tests {
         assert_eq!(m.to_rand(OrigAddr(10)), Some(RandAddr(u32::MAX)));
         assert_eq!(m.to_rand(OrigAddr(11)), Some(RandAddr(20)));
         assert_eq!(m.to_orig(RandAddr(u32::MAX)), Some(OrigAddr(10)));
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_lookups() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let m = LayoutMap::from_pairs([
+            (OrigAddr(0x2000), RandAddr(7)),
+            (OrigAddr(0x1000), RandAddr(8)),
+            (OrigAddr(10), RandAddr(u32::MAX)), // sentinel-valued rand
+        ])
+        .unwrap();
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        m.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let back = LayoutMap::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.to_rand(OrigAddr(0x1000)), Some(RandAddr(8)));
+        assert_eq!(back.to_rand(OrigAddr(10)), Some(RandAddr(u32::MAX)));
+        assert_eq!(back.to_orig(RandAddr(7)), Some(OrigAddr(0x2000)));
+        // Byte form is stable under a second save.
+        let mut w2 = Writer::with_magic(*b"VCFRTEST");
+        back.save(&mut w2);
+        assert_eq!(w2.into_bytes(), buf);
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_pairs() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        w.u64(2);
+        w.u32(5);
+        w.u32(50);
+        w.u32(5); // duplicate original address
+        w.u32(51);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(LayoutMap::restore(&mut r).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::{LayoutMap, OrigAddr, RandAddr};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 
 /// Which direction a [`TableEntry`] translates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -246,6 +247,79 @@ impl TranslationTable {
     pub fn unrandomized_addrs(&self) -> impl Iterator<Item = OrigAddr> + '_ {
         self.unrandomized.iter().map(|a| OrigAddr(*a))
     }
+
+    /// Serialises the tables (checkpoint support). Hash-map contents are
+    /// written in sorted key order so the byte form is deterministic
+    /// regardless of insertion history.
+    pub fn save(&self, w: &mut Writer) {
+        fn sorted_map(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+            let mut v: Vec<(u32, u32)> = m.iter().map(|(k, val)| (*k, *val)).collect();
+            v.sort_unstable();
+            v
+        }
+        fn sorted_set(s: &HashSet<u32>) -> Vec<u32> {
+            let mut v: Vec<u32> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+        for map in [&self.derand, &self.rand] {
+            let pairs = sorted_map(map);
+            w.u64(pairs.len() as u64);
+            for (k, v) in pairs {
+                w.u32(k);
+                w.u32(v);
+            }
+        }
+        for set in [&self.unrandomized, &self.tagged] {
+            let addrs = sorted_set(set);
+            w.u64(addrs.len() as u64);
+            for a in addrs {
+                w.u32(a);
+            }
+        }
+        w.u32(self.base);
+        w.u32(self.capacity_mask);
+    }
+
+    /// Rebuilds the tables from [`TranslationTable::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or an implausible entry count.
+    pub fn restore(r: &mut Reader<'_>) -> Result<TranslationTable, WireError> {
+        const MAX_ENTRIES: u64 = 1 << 28;
+        fn read_map(r: &mut Reader<'_>) -> Result<HashMap<u32, u32>, WireError> {
+            let n = r.u64()?;
+            if n > MAX_ENTRIES {
+                return Err(WireError::LengthOutOfRange { len: n });
+            }
+            let mut m = HashMap::with_capacity(n as usize);
+            for _ in 0..n {
+                let k = r.u32()?;
+                let v = r.u32()?;
+                m.insert(k, v);
+            }
+            Ok(m)
+        }
+        fn read_set(r: &mut Reader<'_>) -> Result<HashSet<u32>, WireError> {
+            let n = r.u64()?;
+            if n > MAX_ENTRIES {
+                return Err(WireError::LengthOutOfRange { len: n });
+            }
+            let mut s = HashSet::with_capacity(n as usize);
+            for _ in 0..n {
+                s.insert(r.u32()?);
+            }
+            Ok(s)
+        }
+        let derand = read_map(r)?;
+        let rand = read_map(r)?;
+        let unrandomized = read_set(r)?;
+        let tagged = read_set(r)?;
+        let base = r.u32()?;
+        let capacity_mask = r.u32()?;
+        Ok(TranslationTable { derand, rand, unrandomized, tagged, base, capacity_mask })
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +406,42 @@ mod tests {
         let mut got: Vec<u32> = t.unrandomized_addrs().map(|a| a.raw()).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0x3000, 0x3004]);
+    }
+
+    #[test]
+    fn save_restore_roundtrip_is_deterministic() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut t = table();
+        t.add_unrandomized(OrigAddr(0x3000));
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        t.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let back = TranslationTable::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.derand(RandAddr(0xa000)).unwrap(), OrigAddr(0x1000));
+        assert_eq!(back.rand(OrigAddr(0x1005)).unwrap(), RandAddr(0xb000));
+        assert_eq!(back.derand(RandAddr(0x3000)).unwrap(), OrigAddr(0x3000));
+        assert!(back.derand(RandAddr(0x1000)).is_err());
+        assert_eq!(back.base(), t.base());
+        assert_eq!(
+            back.entry_addr(EntryKind::Derand, 0xa000),
+            t.entry_addr(EntryKind::Derand, 0xa000)
+        );
+        // Saving the restored table reproduces the same bytes.
+        let mut w2 = Writer::with_magic(*b"VCFRTEST");
+        back.save(&mut w2);
+        assert_eq!(w2.into_bytes(), buf);
+    }
+
+    #[test]
+    fn restore_rejects_absurd_entry_count() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        w.u64(u64::MAX); // claimed derand entry count
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(TranslationTable::restore(&mut r).is_err());
     }
 
     #[test]

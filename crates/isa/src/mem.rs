@@ -1,5 +1,6 @@
 //! Sparse, page-granular flat memory.
 
+use crate::wire::{Reader, WireError, Writer};
 use crate::Addr;
 use std::fmt;
 
@@ -134,6 +135,46 @@ impl Mem {
         }
     }
 
+    /// Serialises the materialised pages (checkpoint support): the page
+    /// count followed by each live page's index and raw bytes, in index
+    /// order, so the byte form is deterministic.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.live as u64);
+        for (idx, page) in self.pages.iter().enumerate() {
+            if let Some(p) = page {
+                w.u32(idx as u32);
+                w.bytes(&p[..]);
+            }
+        }
+    }
+
+    /// Rebuilds a memory from [`Mem::save`] output, restoring the exact
+    /// set of materialised pages.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or malformed input.
+    pub fn restore(r: &mut Reader<'_>) -> Result<Mem, WireError> {
+        let live = r.u64()?;
+        if live > NUM_PAGES as u64 {
+            return Err(WireError::LengthOutOfRange { len: live });
+        }
+        let mut mem = Mem::new();
+        for _ in 0..live {
+            let idx = r.u32()? as usize;
+            let bytes = r.bytes()?;
+            if idx >= NUM_PAGES || bytes.len() != PAGE_SIZE {
+                return Err(WireError::LengthOutOfRange { len: bytes.len() as u64 });
+            }
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            if mem.pages[idx].replace(page).is_none() {
+                mem.live += 1;
+            }
+        }
+        Ok(mem)
+    }
+
     /// Writes `bytes` starting at `addr` (wrapping at the top of the
     /// address space).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
@@ -203,6 +244,37 @@ mod tests {
         m.write_u64(Addr::MAX - 3, 0x1122_3344_5566_7788);
         assert_eq!(m.read_u64(Addr::MAX - 3), 0x1122_3344_5566_7788);
         assert_eq!(m.read_u8(0), 0x44); // bytes 4..8 wrapped to page zero
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_pages() {
+        let mut m = Mem::new();
+        m.write_u64(0x8000, 0xdead_beef);
+        m.write_bytes(Addr::MAX - 1, &[1, 2, 3]); // wraps to page zero
+        m.write_u8(0x123_4567, 0x5a);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        m.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let back = Mem::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.page_count(), m.page_count());
+        assert_eq!(back.read_u64(0x8000), 0xdead_beef);
+        assert_eq!(back.read_u8(Addr::MAX - 1), 1);
+        assert_eq!(back.read_u8(0), 3);
+        assert_eq!(back.read_u8(0x123_4567), 0x5a);
+        assert_eq!(back.read_u8(0x9999), 0);
+    }
+
+    #[test]
+    fn restore_rejects_truncated_input() {
+        let mut m = Mem::new();
+        m.write_u8(0x1000, 7);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        m.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf[..buf.len() - 3], *b"VCFRTEST").unwrap();
+        assert!(Mem::restore(&mut r).is_err());
     }
 
     #[test]

@@ -39,6 +39,39 @@ impl<T: Clone> TraceRing<T> {
         self.cap == 0
     }
 
+    /// Rebuilds a ring from its externalised parts (checkpoint support):
+    /// the original `capacity`, the retained `items` oldest → newest (as
+    /// returned by [`TraceRing::to_vec`]) and the original
+    /// [`TraceRing::total_pushed`] count. The reconstructed ring pushes,
+    /// iterates and evicts exactly like the one it was saved from.
+    pub fn from_parts(capacity: usize, items: Vec<T>, pushed: u64) -> TraceRing<T> {
+        let mut ring = TraceRing::new(capacity);
+        if ring.cap == 0 {
+            return ring;
+        }
+        if items.len() == ring.cap {
+            // Full ring: place each item back at the slot position the
+            // push cursor implies, so future pushes evict in the same
+            // order.
+            let mask = ring.cap - 1;
+            let first = (pushed as usize).wrapping_sub(items.len());
+            let mut slots: Vec<Option<T>> = (0..ring.cap).map(|_| None).collect();
+            for (i, item) in items.into_iter().enumerate() {
+                slots[first.wrapping_add(i) & mask] = Some(item);
+            }
+            ring.slots = slots.into_iter().map(|s| s.expect("full ring")).collect();
+            ring.pushed = pushed;
+        } else {
+            // Partially filled: slots only wrap once the ring has filled,
+            // so the push count equals the item count and appending
+            // reproduces the layout.
+            for item in items {
+                ring.push(item);
+            }
+        }
+        ring
+    }
+
     /// Records one item, evicting the oldest when full.
     #[inline]
     pub fn push(&mut self, item: T) {
@@ -127,6 +160,33 @@ mod tests {
         }
         // Rounded to 4 slots.
         assert_eq!(r.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_parts_reconstructs_any_fill_level() {
+        for total in [0usize, 2, 4, 7, 23] {
+            let mut orig = TraceRing::new(4);
+            for i in 0..total {
+                orig.push(i);
+            }
+            let rebuilt = TraceRing::from_parts(4, orig.to_vec(), orig.total_pushed());
+            assert_eq!(rebuilt.to_vec(), orig.to_vec(), "total={total}");
+            assert_eq!(rebuilt.len(), orig.len());
+            // Future pushes behave identically.
+            let (mut a, mut b) = (orig, rebuilt);
+            for i in 100..110 {
+                a.push(i);
+                b.push(i);
+                assert_eq!(a.to_vec(), b.to_vec(), "total={total} after push {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_zero_capacity_stays_disabled() {
+        let r = TraceRing::from_parts(0, vec![1, 2, 3], 3);
+        assert!(r.is_disabled());
+        assert!(r.is_empty());
     }
 
     #[test]

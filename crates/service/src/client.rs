@@ -1,0 +1,154 @@
+//! A blocking JSON-lines client for the daemon, used by the `vcfr
+//! submit` / `vcfr jobs` subcommands and the smoke tests.
+
+use crate::protocol::{JobSpec, ServiceError, ENDPOINT_FILE};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::Path;
+use vcfr_obs::{parse_json, Json};
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects via the endpoint file in the service state directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when no daemon has published an
+    /// endpoint there; [`ServiceError::Io`] when the connect fails
+    /// (e.g. a stale endpoint file after a hard kill).
+    pub fn connect(dir: &Path) -> Result<Client, ServiceError> {
+        let path = dir.join(ENDPOINT_FILE);
+        let addr = std::fs::read_to_string(&path).map_err(|_| {
+            ServiceError::Protocol(format!(
+                "no service endpoint at {} (is `vcfr serve` running?)",
+                path.display()
+            ))
+        })?;
+        let stream = TcpStream::connect(addr.trim())?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn roundtrip(&mut self, req: &Json) -> Result<Json, ServiceError> {
+        writeln!(self.writer, "{}", req.compact())?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> Result<Json, ServiceError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Protocol("daemon closed the connection".to_string()));
+        }
+        Ok(parse_json(&line)?)
+    }
+
+    /// Checks a `{"ok": …}` response, surfacing the daemon's error.
+    fn expect_ok(resp: Json) -> Result<Json, ServiceError> {
+        match resp.get("ok") {
+            Some(Json::Bool(true)) => Ok(resp),
+            _ => Err(ServiceError::Protocol(
+                resp.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("daemon refused the request")
+                    .to_string(),
+            )),
+        }
+    }
+
+    fn op(name: &str) -> Json {
+        let mut j = Json::obj();
+        j.set("op", Json::Str(name.to_string()));
+        j
+    }
+
+    /// Liveness probe; returns the daemon's job count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn ping(&mut self) -> Result<u64, ServiceError> {
+        let resp = Self::expect_ok(self.roundtrip(&Self::op("ping"))?)?;
+        Ok(resp.get("jobs").and_then(Json::as_u64).unwrap_or(0))
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when the daemon refuses it (invalid
+    /// spec, or the bounded queue is full).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServiceError> {
+        let mut req = Self::op("submit");
+        req.set("job", spec.to_json());
+        let resp = Self::expect_ok(self.roundtrip(&req)?)?;
+        resp.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("submit response lacks an id".to_string()))
+    }
+
+    /// Lists every job the daemon knows about, as status objects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn jobs(&mut self) -> Result<Vec<Json>, ServiceError> {
+        let resp = Self::expect_ok(self.roundtrip(&Self::op("jobs"))?)?;
+        Ok(resp.get("jobs").and_then(Json::as_arr).unwrap_or(&[]).to_vec())
+    }
+
+    /// One job's status object.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] for unknown ids.
+    pub fn status(&mut self, id: u64) -> Result<Json, ServiceError> {
+        let mut req = Self::op("status");
+        req.set("id", Json::U64(id));
+        let resp = Self::expect_ok(self.roundtrip(&req)?)?;
+        resp.get("job")
+            .cloned()
+            .ok_or_else(|| ServiceError::Protocol("status response lacks a job".to_string()))
+    }
+
+    /// Streams status events for `id`, invoking `on_event` per line,
+    /// until the daemon sends the `end` event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<(), ServiceError> {
+        let mut req = Self::op("watch");
+        req.set("id", Json::U64(id));
+        writeln!(self.writer, "{}", req.compact())?;
+        loop {
+            let line = self.read_line()?;
+            if let Some(err) = line.get("error").and_then(Json::as_str) {
+                return Err(ServiceError::Protocol(err.to_string()));
+            }
+            if line.get("event").and_then(Json::as_str) == Some("end") {
+                return Ok(());
+            }
+            on_event(&line);
+        }
+    }
+
+    /// Asks the daemon to checkpoint everything and exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        Self::expect_ok(self.roundtrip(&Self::op("shutdown"))?)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,558 @@
+//! The `vcfr serve` daemon: a localhost TCP listener, a bounded worker
+//! pool, and a checkpoint-backed job store under the state directory.
+//!
+//! On-disk layout (everything written atomically via tmp + rename, so a
+//! hard kill never leaves a half-written file):
+//!
+//! ```text
+//! <dir>/endpoint                   bound host:port (removed on graceful exit)
+//! <dir>/jobs/job-<id>.json         job spec + phase
+//! <dir>/jobs/job-<id>.ckpt         latest engine checkpoint (versioned)
+//! <dir>/jobs/job-<id>.manifest.json  canonical run manifest, once done
+//! ```
+
+use crate::protocol::{err_response, ok_response, JobPhase, JobSpec, ServiceError, ENDPOINT_FILE};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use vcfr_bench::{build_manifest, WorkerPool};
+use vcfr_core::DrcConfig;
+use vcfr_obs::{parse_json, Json};
+use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
+use vcfr_sim::{Mode, Session, SessionStatus, SimConfig};
+use vcfr_workloads::by_name;
+
+/// How the daemon is configured.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// State directory (endpoint file, job store, checkpoints).
+    pub dir: PathBuf,
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Jobs the admission queue holds before `submit` is refused.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            dir: PathBuf::from("results/service"),
+            port: 0,
+            workers: 2,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// One job's live state (the registry entry watchers poll).
+struct JobState {
+    spec: JobSpec,
+    phase: JobPhase,
+    instructions: u64,
+    cycles: u64,
+    checkpoints: u64,
+    error: Option<String>,
+    /// Bumped on every change so watchers only emit fresh lines.
+    seq: u64,
+}
+
+struct Inner {
+    jobs_dir: PathBuf,
+    stopping: AtomicBool,
+    jobs: Mutex<BTreeMap<u64, JobState>>,
+    changed: Condvar,
+}
+
+impl Inner {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Mutates one registry entry and wakes every watcher.
+    fn update<F: FnOnce(&mut JobState)>(&self, id: u64, f: F) {
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        if let Some(st) = jobs.get_mut(&id) {
+            f(st);
+            st.seq += 1;
+        }
+        self.changed.notify_all();
+    }
+}
+
+fn job_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.json"))
+}
+
+fn ckpt_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.ckpt"))
+}
+
+fn manifest_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.manifest.json"))
+}
+
+/// Writes `bytes` to `path` atomically: a hard kill leaves either the
+/// old file or the new one, never a torn write.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("service-write")
+    ));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Persists one job's spec + phase (progress lives in the checkpoint).
+fn persist_job(dir: &Path, id: u64, st: &JobState) -> std::io::Result<()> {
+    let mut j = Json::obj();
+    j.set("id", Json::U64(id));
+    j.set("spec", st.spec.to_json());
+    j.set("phase", Json::Str(st.phase.as_str().to_string()));
+    match &st.error {
+        Some(e) => j.set("error", Json::Str(e.clone())),
+        None => j.set("error", Json::Null),
+    };
+    write_atomic(&job_file(dir, id), j.pretty().as_bytes())
+}
+
+/// One status object (shared by `jobs`, `status`, and `watch` lines).
+fn status_json(id: u64, st: &JobState) -> Json {
+    let mut j = Json::obj();
+    j.set("id", Json::U64(id));
+    j.set("workload", Json::Str(st.spec.workload.clone()));
+    j.set("mode", Json::Str(st.spec.mode.clone()));
+    j.set("phase", Json::Str(st.phase.as_str().to_string()));
+    j.set("instructions", Json::U64(st.instructions));
+    j.set("max_insts", Json::U64(st.spec.max_insts));
+    j.set("cycles", Json::U64(st.cycles));
+    j.set("checkpoints", Json::U64(st.checkpoints));
+    match &st.error {
+        Some(e) => j.set("error", Json::Str(e.clone())),
+        None => j.set("error", Json::Null),
+    };
+    j
+}
+
+/// Reloads the job store: terminal jobs keep their phase for listings,
+/// everything else is re-admitted as queued (a `running` phase on disk
+/// can only mean the previous daemon died mid-run).
+fn load_jobs(jobs_dir: &Path) -> (BTreeMap<u64, JobState>, Vec<u64>) {
+    let mut jobs = BTreeMap::new();
+    let mut resumable = Vec::new();
+    let Ok(entries) = std::fs::read_dir(jobs_dir) else {
+        return (jobs, resumable);
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with("job-") || !name.ends_with(".json") || name.contains(".manifest") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
+        let Ok(doc) = parse_json(&text) else { continue };
+        let Some(id) = doc.get("id").and_then(Json::as_u64) else { continue };
+        let Some(spec) = doc.get("spec").and_then(|s| JobSpec::from_json(s).ok()) else {
+            continue;
+        };
+        let phase = doc
+            .get("phase")
+            .and_then(Json::as_str)
+            .and_then(JobPhase::from_disk)
+            .unwrap_or(JobPhase::Queued);
+        let error = doc.get("error").and_then(Json::as_str).map(str::to_string);
+        if !phase.is_terminal() {
+            resumable.push(id);
+        }
+        jobs.insert(
+            id,
+            JobState {
+                spec,
+                phase,
+                instructions: 0,
+                cycles: 0,
+                checkpoints: 0,
+                error,
+                seq: 0,
+            },
+        );
+    }
+    resumable.sort_unstable();
+    (jobs, resumable)
+}
+
+/// The manifest mode column for a job spec (`base` / `naive` /
+/// `vcfr<entries>`, matching the experiment-matrix vocabulary).
+fn manifest_mode(spec: &JobSpec) -> String {
+    match spec.mode.as_str() {
+        "baseline" => "base".to_string(),
+        "naive" => "naive".to_string(),
+        _ => format!("vcfr{}", spec.drc_entries),
+    }
+}
+
+/// Marks a job failed, in the registry and on disk.
+fn fail_job(inner: &Inner, id: u64, msg: String) {
+    inner.update(id, |st| {
+        st.phase = JobPhase::Failed;
+        st.error = Some(msg);
+    });
+    let jobs = inner.jobs.lock().expect("registry lock");
+    if let Some(st) = jobs.get(&id) {
+        let _ = persist_job(&inner.jobs_dir, id, st);
+    }
+}
+
+/// Simulates one job to completion (or to the next graceful-shutdown
+/// window), checkpointing after every chunk.
+fn run_job(inner: &Inner, id: u64) {
+    let spec = {
+        let jobs = inner.jobs.lock().expect("registry lock");
+        match jobs.get(&id) {
+            Some(st) if !st.phase.is_terminal() => st.spec.clone(),
+            _ => return,
+        }
+    };
+    if inner.stopping() {
+        return; // stays queued on disk; the next start re-admits it
+    }
+
+    let Some(w) = by_name(&spec.workload) else {
+        fail_job(inner, id, format!("unknown workload {:?}", spec.workload));
+        return;
+    };
+    let cfg = match SimConfig::builder()
+        .rerand_epoch(spec.rerand_epoch)
+        .drc_entries((spec.mode == "vcfr").then_some(spec.drc_entries))
+        .build()
+    {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            fail_job(inner, id, e.to_string());
+            return;
+        }
+    };
+    let rp: Option<RandomizedProgram> = if spec.mode == "baseline" {
+        None
+    } else {
+        match randomize(&w.image, &RandomizeConfig::with_seed(spec.seed)) {
+            Ok(rp) => Some(rp),
+            Err(e) => {
+                fail_job(inner, id, format!("randomization failed: {e}"));
+                return;
+            }
+        }
+    };
+    let mode = match spec.mode.as_str() {
+        "baseline" => Mode::Baseline(&w.image),
+        "naive" => Mode::NaiveIlr(rp.as_ref().expect("non-baseline has a layout")),
+        _ => Mode::Vcfr {
+            program: rp.as_ref().expect("non-baseline has a layout"),
+            drc: DrcConfig::direct_mapped(spec.drc_entries),
+        },
+    };
+    let session = Session::new(mode, &cfg, spec.max_insts)
+        .map(|s| s.with_sampling((spec.max_insts / 10).max(1)));
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            fail_job(inner, id, e.to_string());
+            return;
+        }
+    };
+
+    // Resume from the latest snapshot, if the previous daemon left one.
+    let ckpt_path = ckpt_file(&inner.jobs_dir, id);
+    if let Ok(bytes) = std::fs::read(&ckpt_path) {
+        if let Err(e) = session.restore(&bytes) {
+            fail_job(inner, id, format!("checkpoint rejected: {e}"));
+            return;
+        }
+    }
+
+    inner.update(id, |st| {
+        st.phase = JobPhase::Running;
+        st.instructions = session.instructions();
+    });
+
+    loop {
+        if inner.stopping() {
+            // Graceful drain: snapshot, then park the job as queued so
+            // the next start resumes exactly here.
+            let _ = write_atomic(&ckpt_path, &session.checkpoint());
+            inner.update(id, |st| st.phase = JobPhase::Queued);
+            return;
+        }
+        match session.run_for(spec.checkpoint_every) {
+            Err(e) => {
+                fail_job(inner, id, e.to_string());
+                return;
+            }
+            Ok(SessionStatus::Running) => {
+                let _ = write_atomic(&ckpt_path, &session.checkpoint());
+                let stats = session.stats_now();
+                inner.update(id, |st| {
+                    st.instructions = stats.instructions;
+                    st.cycles = stats.cycles;
+                    st.checkpoints += 1;
+                });
+            }
+            Ok(SessionStatus::Done(out)) => {
+                let manifest = build_manifest(
+                    &spec.workload,
+                    &manifest_mode(&spec),
+                    &out.output.stats,
+                    &out.samples,
+                    Json::obj(),
+                );
+                let written = write_atomic(
+                    &manifest_file(&inner.jobs_dir, id),
+                    manifest.canonical_bytes().as_bytes(),
+                );
+                let _ = std::fs::remove_file(&ckpt_path);
+                match written {
+                    Ok(()) => inner.update(id, |st| {
+                        st.phase = JobPhase::Done;
+                        st.instructions = out.output.stats.instructions;
+                        st.cycles = out.output.stats.cycles;
+                    }),
+                    Err(e) => inner.update(id, |st| {
+                        st.phase = JobPhase::Failed;
+                        st.error = Some(format!("manifest write failed: {e}"));
+                    }),
+                }
+                let jobs = inner.jobs.lock().expect("registry lock");
+                if let Some(st) = jobs.get(&id) {
+                    let _ = persist_job(&inner.jobs_dir, id, st);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Handles the `submit` op: validate, persist, admit.
+fn handle_submit(
+    inner: &Inner,
+    pool: &WorkerPool<u64>,
+    next_id: &Mutex<u64>,
+    req: &Json,
+) -> Json {
+    let Some(job) = req.get("job") else {
+        return err_response("submit needs a \"job\" object");
+    };
+    let spec = match JobSpec::from_json(job) {
+        Ok(spec) => spec,
+        Err(e) => return err_response(&e.to_string()),
+    };
+    if by_name(&spec.workload).is_none() {
+        return err_response(&format!("unknown workload {:?}", spec.workload));
+    }
+    let id = {
+        let mut next = next_id.lock().expect("id lock");
+        let id = *next;
+        *next += 1;
+        id
+    };
+    let st = JobState {
+        spec,
+        phase: JobPhase::Queued,
+        instructions: 0,
+        cycles: 0,
+        checkpoints: 0,
+        error: None,
+        seq: 0,
+    };
+    // Persist before admitting: a kill right after this line still
+    // leaves a resumable job on disk.
+    if let Err(e) = persist_job(&inner.jobs_dir, id, &st) {
+        return err_response(&format!("cannot persist job: {e}"));
+    }
+    inner.jobs.lock().expect("registry lock").insert(id, st);
+    if pool.try_submit(id).is_err() {
+        inner.jobs.lock().expect("registry lock").remove(&id);
+        let _ = std::fs::remove_file(job_file(&inner.jobs_dir, id));
+        return err_response("queue full; retry later");
+    }
+    let mut resp = ok_response();
+    resp.set("id", Json::U64(id));
+    resp
+}
+
+/// Streams `{"event":"status"}` lines for one job until it reaches a
+/// terminal phase (or the daemon starts shutting down).
+fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    let mut last_seq: Option<u64> = None;
+    loop {
+        let (line, terminal) = {
+            let mut jobs = inner.jobs.lock().expect("registry lock");
+            loop {
+                let Some(st) = jobs.get(&id) else {
+                    return writeln!(out, "{}", err_response("no such job").compact());
+                };
+                if last_seq != Some(st.seq) || st.phase.is_terminal() || inner.stopping() {
+                    last_seq = Some(st.seq);
+                    let mut line = status_json(id, st);
+                    line.set("event", Json::Str("status".to_string()));
+                    break (line, st.phase.is_terminal() || inner.stopping());
+                }
+                let (guard, _) = inner
+                    .changed
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .expect("registry lock");
+                jobs = guard;
+            }
+        };
+        writeln!(out, "{}", line.compact())?;
+        if terminal {
+            let mut end = Json::obj();
+            end.set("event", Json::Str("end".to_string()));
+            end.set("id", Json::U64(id));
+            return writeln!(out, "{}", end.compact());
+        }
+    }
+}
+
+/// Serves one client connection (requests are handled sequentially on
+/// the connection's own thread).
+fn handle_conn(
+    stream: TcpStream,
+    inner: Arc<Inner>,
+    pool: Arc<WorkerPool<u64>>,
+    next_id: Arc<Mutex<u64>>,
+    addr: std::net::SocketAddr,
+) {
+    let Ok(reader) = stream.try_clone() else { return };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match parse_json(&line) {
+            Err(e) => err_response(&format!("malformed request: {e}")),
+            Ok(req) => match req.get("op").and_then(Json::as_str) {
+                Some("ping") => {
+                    let mut r = ok_response();
+                    r.set("service", Json::Str("vcfr-serve".to_string()));
+                    r.set(
+                        "jobs",
+                        Json::U64(inner.jobs.lock().expect("registry lock").len() as u64),
+                    );
+                    r
+                }
+                Some("submit") => handle_submit(&inner, &pool, &next_id, &req),
+                Some("jobs") => {
+                    let jobs = inner.jobs.lock().expect("registry lock");
+                    let mut r = ok_response();
+                    r.set(
+                        "jobs",
+                        Json::Arr(jobs.iter().map(|(id, st)| status_json(*id, st)).collect()),
+                    );
+                    r
+                }
+                Some("status") => match req.get("id").and_then(Json::as_u64) {
+                    None => err_response("status needs a job id"),
+                    Some(id) => {
+                        let jobs = inner.jobs.lock().expect("registry lock");
+                        match jobs.get(&id) {
+                            None => err_response("no such job"),
+                            Some(st) => {
+                                let mut r = ok_response();
+                                r.set("job", status_json(id, st));
+                                r
+                            }
+                        }
+                    }
+                },
+                Some("watch") => match req.get("id").and_then(Json::as_u64) {
+                    None => err_response("watch needs a job id"),
+                    Some(id) => {
+                        if handle_watch(&inner, &mut writer, id).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                },
+                Some("shutdown") => {
+                    // Acknowledge before triggering the stop, so the
+                    // reply reaches the client even if the daemon wins
+                    // the race and exits first.
+                    if writeln!(writer, "{}", ok_response().compact()).is_err() {
+                        return;
+                    }
+                    inner.stopping.store(true, Ordering::SeqCst);
+                    inner.changed.notify_all();
+                    // Wake the accept loop so `serve` can wind down.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                _ => err_response("unknown op"),
+            },
+        };
+        if writeln!(writer, "{}", resp.compact()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs the daemon until a client sends `shutdown`: binds 127.0.0.1,
+/// writes the endpoint file, re-admits every non-terminal job found in
+/// the state directory, then accepts JSON-lines clients.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] when the state directory or the socket cannot
+/// be set up. Per-job failures never abort the daemon — they are
+/// recorded in the job's status.
+pub fn serve(opts: &ServeOptions) -> Result<(), ServiceError> {
+    let jobs_dir = opts.dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir)?;
+    let (jobs, resumable) = load_jobs(&jobs_dir);
+    let next_id = Arc::new(Mutex::new(jobs.keys().max().map_or(1, |m| m + 1)));
+    let inner = Arc::new(Inner {
+        jobs_dir,
+        stopping: AtomicBool::new(false),
+        jobs: Mutex::new(jobs),
+        changed: Condvar::new(),
+    });
+
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+    let addr = listener.local_addr()?;
+
+    let pool_inner = Arc::clone(&inner);
+    let pool = Arc::new(WorkerPool::new(
+        opts.workers,
+        opts.queue_capacity.max(resumable.len()),
+        move |id| run_job(&pool_inner, id),
+    ));
+    for id in resumable {
+        let _ = pool.try_submit(id);
+    }
+
+    // The endpoint file is the last thing written: once it exists,
+    // clients may connect.
+    write_atomic(&opts.dir.join(ENDPOINT_FILE), format!("{addr}\n").as_bytes())?;
+
+    for conn in listener.incoming() {
+        if inner.stopping() {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let inner = Arc::clone(&inner);
+        let pool = Arc::clone(&pool);
+        let next_id = Arc::clone(&next_id);
+        std::thread::spawn(move || handle_conn(stream, inner, pool, next_id, addr));
+    }
+
+    // Workers observe `stopping` at their next chunk boundary,
+    // checkpoint, and park their job as queued.
+    pool.stop();
+    let _ = std::fs::remove_file(opts.dir.join(ENDPOINT_FILE));
+    Ok(())
+}

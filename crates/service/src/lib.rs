@@ -1,0 +1,22 @@
+//! `vcfr-service` — the checkpointable batch-simulation service.
+//!
+//! `vcfr serve` runs a long-lived daemon that listens on a localhost
+//! TCP socket, accepts JSON-lines job requests, schedules them on a
+//! bounded [`vcfr_bench::WorkerPool`], and streams status events back.
+//! Every job is a [`vcfr_sim::Session`] driven in bounded chunks; after
+//! each chunk the daemon snapshots the live engine state to disk with
+//! the versioned checkpoint format, so a killed daemon resumes every
+//! in-flight job bit-identically on the next start.
+//!
+//! The wire protocol, the on-disk job layout, and the checkpoint
+//! versioning policy are documented in `docs/service.md`.
+
+#![warn(missing_docs)]
+
+mod client;
+mod daemon;
+mod protocol;
+
+pub use client::Client;
+pub use daemon::{serve, ServeOptions};
+pub use protocol::{JobPhase, JobSpec, ServiceError, ENDPOINT_FILE};

@@ -1,0 +1,273 @@
+//! The JSON-lines wire protocol and the job vocabulary shared by the
+//! daemon and the client.
+//!
+//! Every request and every response is one JSON object per line (the
+//! deterministic `vcfr-obs` emitter is the codec — no new serialization
+//! machinery). Requests carry an `"op"` discriminant; responses carry
+//! `"ok"` (or, on the `watch` stream, an `"event"` discriminant).
+
+use vcfr_obs::{Json, JsonError};
+use vcfr_sim::VcfrError;
+
+/// File (inside the service state directory) holding the daemon's bound
+/// `host:port`, written on startup and removed on graceful shutdown.
+pub const ENDPOINT_FILE: &str = "endpoint";
+
+/// What a submitted job should simulate. The spec is the *complete*
+/// identity of a run: the daemon rebuilds the workload image and the
+/// randomized layout from `(workload, seed)` deterministically, so a
+/// checkpoint plus its spec is enough to resume in a fresh process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload name (`vcfr_workloads::by_name`).
+    pub workload: String,
+    /// Machine configuration: `"baseline"`, `"naive"`, or `"vcfr"`.
+    pub mode: String,
+    /// DRC entries for `"vcfr"` runs.
+    pub drc_entries: usize,
+    /// Instruction budget.
+    pub max_insts: u64,
+    /// Randomization seed.
+    pub seed: u64,
+    /// Live re-randomization epoch (VCFR only), in instructions.
+    pub rerand_epoch: Option<u64>,
+    /// Instructions between engine snapshots.
+    pub checkpoint_every: u64,
+}
+
+impl JobSpec {
+    /// A VCFR run of `workload` with the standard experiment defaults.
+    pub fn new(workload: &str) -> JobSpec {
+        JobSpec {
+            workload: workload.to_string(),
+            mode: "vcfr".to_string(),
+            drc_entries: 128,
+            max_insts: 1_000_000,
+            seed: vcfr_bench::experiments::SEED,
+            rerand_epoch: None,
+            checkpoint_every: 100_000,
+        }
+    }
+
+    /// Checks the combinations the service refuses at admission (the
+    /// `Session` constructor re-checks the simulator-level ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] naming the inconsistent field.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if !matches!(self.mode.as_str(), "baseline" | "naive" | "vcfr") {
+            return Err(ServiceError::Protocol(format!(
+                "mode must be baseline, naive, or vcfr (got {:?})",
+                self.mode
+            )));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(ServiceError::Protocol(
+                "checkpoint_every must be at least 1 instruction".to_string(),
+            ));
+        }
+        if self.max_insts == 0 {
+            return Err(ServiceError::Protocol(
+                "max_insts must be at least 1 instruction".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The spec as a JSON object (field order fixed, so re-emitting is
+    /// byte-stable).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("workload", Json::Str(self.workload.clone()));
+        j.set("mode", Json::Str(self.mode.clone()));
+        j.set("drc", Json::U64(self.drc_entries as u64));
+        j.set("max_insts", Json::U64(self.max_insts));
+        j.set("seed", Json::U64(self.seed));
+        match self.rerand_epoch {
+            Some(n) => j.set("rerand_epoch", Json::U64(n)),
+            None => j.set("rerand_epoch", Json::Null),
+        };
+        j.set("checkpoint_every", Json::U64(self.checkpoint_every));
+        j
+    }
+
+    /// Parses a spec object, applying the [`JobSpec::new`] defaults for
+    /// absent optional fields.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on missing/ill-typed fields.
+    pub fn from_json(j: &Json) -> Result<JobSpec, ServiceError> {
+        let workload = j
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::Protocol("job needs a workload name".to_string()))?;
+        let mut spec = JobSpec::new(workload);
+        if let Some(m) = j.get("mode") {
+            spec.mode = m
+                .as_str()
+                .ok_or_else(|| ServiceError::Protocol("mode must be a string".to_string()))?
+                .to_string();
+        }
+        let u64_field = |key: &str, default: u64| -> Result<u64, ServiceError> {
+            match j.get(key) {
+                None | Some(Json::Null) => Ok(default),
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ServiceError::Protocol(format!("{key} must be an unsigned integer"))
+                }),
+            }
+        };
+        spec.drc_entries = u64_field("drc", spec.drc_entries as u64)? as usize;
+        spec.max_insts = u64_field("max_insts", spec.max_insts)?;
+        spec.seed = u64_field("seed", spec.seed)?;
+        spec.checkpoint_every = u64_field("checkpoint_every", spec.checkpoint_every)?;
+        spec.rerand_epoch = match j.get("rerand_epoch") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ServiceError::Protocol("rerand_epoch must be an unsigned integer".to_string())
+            })?),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted (or re-admitted after a restart), waiting for a worker.
+    Queued,
+    /// A worker is simulating it right now.
+    Running,
+    /// Finished; its manifest is on disk.
+    Done,
+    /// Aborted with an error (recorded in the status).
+    Failed,
+}
+
+impl JobPhase {
+    /// The wire/on-disk name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire/on-disk name. `running` maps to [`JobPhase::Queued`]
+    /// deliberately: on disk it can only mean the daemon died mid-run,
+    /// and the job must be re-admitted.
+    pub fn from_disk(s: &str) -> Option<JobPhase> {
+        Some(match s {
+            "queued" | "running" => JobPhase::Queued,
+            "done" => JobPhase::Done,
+            "failed" => JobPhase::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Failed)
+    }
+}
+
+/// Everything that can go wrong between a client and the daemon.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Socket or state-directory I/O failed.
+    Io(std::io::Error),
+    /// A malformed request/response, or an error the peer reported.
+    Protocol(String),
+    /// The simulator rejected or aborted a run.
+    Sim(VcfrError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "service protocol error: {msg}"),
+            ServiceError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Protocol(_) => None,
+            ServiceError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> ServiceError {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<VcfrError> for ServiceError {
+    fn from(e: VcfrError) -> ServiceError {
+        ServiceError::Sim(e)
+    }
+}
+
+impl From<JsonError> for ServiceError {
+    fn from(e: JsonError) -> ServiceError {
+        ServiceError::Protocol(format!("malformed JSON line: {e}"))
+    }
+}
+
+/// A `{"ok": false, "error": …}` response line.
+pub(crate) fn err_response(msg: &str) -> Json {
+    let mut j = Json::obj();
+    j.set("ok", Json::Bool(false));
+    j.set("error", Json::Str(msg.to_string()));
+    j
+}
+
+/// A `{"ok": true}` response line ready for extra fields.
+pub(crate) fn ok_response() -> Json {
+    let mut j = Json::obj();
+    j.set("ok", Json::Bool(true));
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = JobSpec::new("bzip2");
+        spec.rerand_epoch = Some(40_000);
+        spec.max_insts = 123_456;
+        let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_admission() {
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("mode", Json::Str("turbo".into()));
+        assert!(JobSpec::from_json(&j).is_err());
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("checkpoint_every", Json::U64(0));
+        assert!(JobSpec::from_json(&j).is_err());
+        assert!(JobSpec::from_json(&Json::obj()).is_err());
+    }
+
+    #[test]
+    fn on_disk_running_jobs_requeue() {
+        assert_eq!(JobPhase::from_disk("running"), Some(JobPhase::Queued));
+        assert_eq!(JobPhase::from_disk("done"), Some(JobPhase::Done));
+        assert!(JobPhase::from_disk("done").expect("parses").is_terminal());
+        assert_eq!(JobPhase::from_disk("nonsense"), None);
+    }
+}

@@ -2,6 +2,7 @@
 //! write-allocate policy and prefetch bookkeeping.
 
 use crate::config::CacheConfig;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 /// Event counters of one cache.
@@ -229,6 +230,68 @@ impl Cache {
     pub fn flush(&mut self) {
         self.lines.fill(Line::default());
     }
+
+    /// Serialises the full cache state — lines, counters and the LRU
+    /// tick — so a restored cache replays hits and evictions identically
+    /// (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        for line in &self.lines {
+            let flags = u8::from(line.valid)
+                | u8::from(line.dirty) << 1
+                | u8::from(line.prefetched) << 2
+                | u8::from(line.used) << 3;
+            w.u8(flags);
+            w.u32(line.tag);
+            w.u64(line.lru);
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.writebacks);
+        w.u64(self.stats.prefetches_issued);
+        w.u64(self.stats.prefetch_hits);
+        w.u64(self.stats.prefetch_unused_evictions);
+        w.u64(self.tick);
+    }
+
+    /// Rebuilds a cache from [`Cache::save`] output; the caller supplies
+    /// the same geometry the saved cache was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or malformed flag bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` itself is degenerate (see [`Cache::new`]).
+    pub fn restore(cfg: CacheConfig, r: &mut Reader<'_>) -> Result<Cache, WireError> {
+        let mut c = Cache::new(cfg);
+        for line in &mut c.lines {
+            let flags = r.u8()?;
+            if flags > 0b1111 {
+                return Err(WireError::BadTag { tag: flags });
+            }
+            let tag = r.u32()?;
+            let lru = r.u64()?;
+            *line = Line {
+                valid: flags & 1 != 0,
+                tag,
+                dirty: flags & 2 != 0,
+                prefetched: flags & 4 != 0,
+                used: flags & 8 != 0,
+                lru,
+            };
+        }
+        c.stats.accesses = r.u64()?;
+        c.stats.misses = r.u64()?;
+        c.stats.writes = r.u64()?;
+        c.stats.writebacks = r.u64()?;
+        c.stats.prefetches_issued = r.u64()?;
+        c.stats.prefetch_hits = r.u64()?;
+        c.stats.prefetch_unused_evictions = r.u64()?;
+        c.tick = r.u64()?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +433,39 @@ mod tests {
         c.access(0x080, false);
         assert!(c.contains(0x000), "a free way absorbed the fill");
         assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn save_restore_replays_identically() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        c.prefetch_fill(0x200);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        c.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let mut back = Cache::restore(c.config(), &mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.stats(), c.stats());
+        // Both copies evolve identically (same LRU victims, writebacks).
+        for (addr, write) in [(0x100u32, false), (0x000, false), (0x180, true), (0x080, false)] {
+            assert_eq!(back.access(addr, write), c.access(addr, write), "addr {addr:#x}");
+        }
+        assert_eq!(back.stats(), c.stats());
+    }
+
+    #[test]
+    fn restore_rejects_bad_flag_byte() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let c = tiny();
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        c.save(&mut w);
+        let mut buf = w.into_bytes();
+        buf[8] = 0xf0; // first line's flag byte
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(Cache::restore(c.config(), &mut r).is_err());
     }
 
     #[test]

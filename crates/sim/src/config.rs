@@ -1,5 +1,7 @@
 //! Machine configuration, defaulting to the paper's §VI-C parameters.
 
+use crate::error::VcfrError;
+
 /// Geometry and latency of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -143,6 +145,145 @@ pub struct SimConfig {
     pub trace_events: usize,
 }
 
+impl SimConfig {
+    /// A validated builder starting from the paper's default machine.
+    ///
+    /// Prefer this over struct-literal assembly: inconsistent knob
+    /// combinations (a re-randomization epoch with no DRC to flush, an
+    /// audit that needs the trace ring with tracing disabled, a zero
+    /// interval) are rejected at construction instead of surfacing as
+    /// mid-run panics.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::from_config(SimConfig::default())
+    }
+}
+
+/// Builder for [`SimConfig`] (see [`SimConfig::builder`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+    drc_entries: Option<usize>,
+    audit: bool,
+}
+
+impl SimConfigBuilder {
+    /// A builder starting from an existing configuration (used by the
+    /// experiment matrix to derive ablation variants).
+    pub fn from_config(cfg: SimConfig) -> SimConfigBuilder {
+        SimConfigBuilder { cfg, drc_entries: None, audit: false }
+    }
+
+    /// Core frequency in GHz.
+    pub fn freq_ghz(mut self, v: f64) -> Self {
+        self.cfg.freq_ghz = v;
+        self
+    }
+
+    /// L1 instruction cache geometry.
+    pub fn il1(mut self, v: CacheConfig) -> Self {
+        self.cfg.il1 = v;
+        self
+    }
+
+    /// L1 data cache geometry.
+    pub fn dl1(mut self, v: CacheConfig) -> Self {
+        self.cfg.dl1 = v;
+        self
+    }
+
+    /// Unified L2 geometry.
+    pub fn l2(mut self, v: CacheConfig) -> Self {
+        self.cfg.l2 = v;
+        self
+    }
+
+    /// Next-line instruction prefetcher on/off.
+    pub fn prefetch(mut self, v: bool) -> Self {
+        self.cfg.prefetch = v;
+        self
+    }
+
+    /// Where DRC misses are serviced from.
+    pub fn drc_backing(mut self, v: DrcBacking) -> Self {
+        self.cfg.drc_backing = v;
+        self
+    }
+
+    /// Flush the DRC every N instructions (context-switch model).
+    pub fn drc_flush_interval(mut self, v: Option<u64>) -> Self {
+        self.cfg.drc_flush_interval = v;
+        self
+    }
+
+    /// Live re-randomization epoch length in instructions.
+    pub fn rerand_epoch(mut self, v: Option<u64>) -> Self {
+        self.cfg.rerand_epoch = v;
+        self
+    }
+
+    /// Post-mortem trace ring capacity (0 disables tracing).
+    pub fn trace_events(mut self, v: usize) -> Self {
+        self.cfg.trace_events = v;
+        self
+    }
+
+    /// Declares the DRC size this configuration will run against
+    /// (validation only — the DRC itself is picked per [`crate::Mode`]).
+    /// `Some(0)` means "VCFR mode with a zero-entry DRC", which is
+    /// always rejected; `None` means baseline/naive-ILR (no DRC).
+    pub fn drc_entries(mut self, v: Option<usize>) -> Self {
+        self.drc_entries = v;
+        self
+    }
+
+    /// Declares that the run will be cycle-audited, which requires the
+    /// post-mortem trace ring to be enabled.
+    pub fn for_audit(mut self, v: bool) -> Self {
+        self.audit = v;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`VcfrError::Config`] describing the first inconsistent knob
+    /// combination found.
+    pub fn build(self) -> Result<SimConfig, VcfrError> {
+        let cfg = self.cfg;
+        if let Some(entries) = self.drc_entries {
+            if entries == 0 {
+                return Err(VcfrError::Config("a VCFR run needs a non-empty DRC (entries = 0)".into()));
+            }
+        }
+        if let Some(epoch) = cfg.rerand_epoch {
+            if epoch == 0 {
+                return Err(VcfrError::Config(
+                    "rerand_epoch must be positive (use None to disable re-randomization)".into(),
+                ));
+            }
+            if self.drc_entries.is_none() {
+                return Err(VcfrError::Config(
+                    "rerand_epoch requires a VCFR run with a DRC (live table swaps flush it)".into(),
+                ));
+            }
+        }
+        if let Some(interval) = cfg.drc_flush_interval {
+            if interval == 0 {
+                return Err(VcfrError::Config(
+                    "drc_flush_interval must be positive (use None for a single-tenant run)".into(),
+                ));
+            }
+        }
+        if self.audit && cfg.trace_events == 0 {
+            return Err(VcfrError::Config(
+                "a cycle audit needs the post-mortem trace ring (trace_events = 0 disables it)".into(),
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
@@ -194,5 +335,45 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.il1.sets(), 256);
         assert_eq!(c.l2.sets(), 1024);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = SimConfig::builder().build().unwrap();
+        assert_eq!(built, SimConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_combos() {
+        assert!(SimConfig::builder().rerand_epoch(Some(0)).build().is_err());
+        assert!(SimConfig::builder()
+            .rerand_epoch(Some(1000))
+            .drc_entries(None)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .rerand_epoch(Some(1000))
+            .drc_entries(Some(0))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder().for_audit(true).trace_events(0).build().is_err());
+        assert!(SimConfig::builder().drc_flush_interval(Some(0)).build().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_consistent_combos() {
+        let cfg = SimConfig::builder()
+            .rerand_epoch(Some(50_000))
+            .drc_entries(Some(128))
+            .for_audit(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.rerand_epoch, Some(50_000));
+        let cfg = SimConfig::builder()
+            .prefetch(false)
+            .drc_backing(DrcBacking::Dedicated { latency: 8 })
+            .build()
+            .unwrap();
+        assert!(!cfg.prefetch);
     }
 }

@@ -3,6 +3,7 @@
 //! behaviour DRAMSim2 contributes to the paper's simulation stack.
 
 use crate::config::DramConfig;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 /// Access counters of the [`Dram`] model.
@@ -75,6 +76,57 @@ impl Dram {
     /// Clears the counters (keeps bank state).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// Serialises the bank state and counters (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        for bank in &self.banks {
+            match bank.open_row {
+                Some(row) => {
+                    w.u8(1);
+                    w.u64(row);
+                }
+                None => {
+                    w.u8(0);
+                    w.u64(0);
+                }
+            }
+            w.u64(bank.busy_until);
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_misses);
+        w.u64(self.stats.row_conflicts);
+        w.u64(self.stats.refresh_delays);
+    }
+
+    /// Rebuilds a memory from [`Dram::save`] output; the caller supplies
+    /// the same `cfg` the saved model was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or a malformed open-row tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` itself is invalid (see [`Dram::new`]).
+    pub fn restore(cfg: DramConfig, r: &mut Reader<'_>) -> Result<Dram, WireError> {
+        let mut d = Dram::new(cfg);
+        for bank in &mut d.banks {
+            let tag = r.u8()?;
+            if tag > 1 {
+                return Err(WireError::BadTag { tag });
+            }
+            let row = r.u64()?;
+            bank.open_row = (tag == 1).then_some(row);
+            bank.busy_until = r.u64()?;
+        }
+        d.stats.accesses = r.u64()?;
+        d.stats.row_hits = r.u64()?;
+        d.stats.row_misses = r.u64()?;
+        d.stats.row_conflicts = r.u64()?;
+        d.stats.refresh_delays = r.u64()?;
+        Ok(d)
     }
 
     fn map(&self, addr: Addr) -> (usize, u64) {
@@ -182,6 +234,29 @@ mod tests {
         let t = d.access(0x0, 2010); // phase 10 < t_rfc
         assert!(t >= 2100 + cfg.t_rcd + cfg.t_cas);
         assert_eq!(d.stats().refresh_delays, 1);
+    }
+
+    #[test]
+    fn save_restore_replays_identically() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut d = dram();
+        let mut now = 0;
+        for i in 0..5 {
+            now = d.access(i * 64, now);
+        }
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        d.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let mut back = Dram::restore(DramConfig { t_refi: 1_000_000, ..DramConfig::default() }, &mut r)
+            .unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.stats(), d.stats());
+        // Same row-buffer and bank-timing decisions from here on.
+        for addr in [0x0u32, 0x4000, 0x40, 0x8000] {
+            assert_eq!(back.access(addr, now), d.access(addr, now), "addr {addr:#x}");
+        }
+        assert_eq!(back.stats(), d.stats());
     }
 
     #[test]

@@ -28,7 +28,8 @@ use std::fmt;
 use vcfr_core::{
     rerandomize, Drc, DrcConfig, LayoutMap, OrigAddr, RandAddr, StackBitmap, TranslationTable,
 };
-use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, Machine, RunOutcome, StepInfo};
+use vcfr_isa::wire::{Reader, WireError, Writer};
+use vcfr_isa::{Addr, ControlFlow, ExecError, Image, Inst, RunOutcome, StepInfo};
 use vcfr_obs::TraceRing;
 use vcfr_rewriter::RandomizedProgram;
 
@@ -216,44 +217,44 @@ const RERAND_ENTRY_CYCLES: u64 = 2;
 /// Per-slot cost of rewriting a live randomized return address.
 const RERAND_SLOT_CYCLES: u64 = 4;
 
-struct Engine<'a> {
-    cfg: &'a SimConfig,
-    hier: MemoryHierarchy,
-    gshare: Gshare,
-    btb: Btb,
-    ras: Ras,
-    bstats: BranchStats,
-    fetch_time: u64,
-    backend_time: u64,
-    redirect_at: u64,
-    window_line: Option<Addr>,
-    iq: VecDeque<u64>,
-    drc: Option<Drc>,
-    bitmap: StackBitmap,
-    stack_rand: FlatMap,
+pub(crate) struct Engine {
+    pub(crate) cfg: SimConfig,
+    pub(crate) hier: MemoryHierarchy,
+    pub(crate) gshare: Gshare,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) bstats: BranchStats,
+    pub(crate) fetch_time: u64,
+    pub(crate) backend_time: u64,
+    pub(crate) redirect_at: u64,
+    pub(crate) window_line: Option<Addr>,
+    pub(crate) iq: VecDeque<u64>,
+    pub(crate) drc: Option<Drc>,
+    pub(crate) bitmap: StackBitmap,
+    pub(crate) stack_rand: FlatMap,
     /// Original return address held by each marked slot, kept in lockstep
     /// with `stack_rand` so epoch swaps can re-randomize live slots.
-    stack_orig: FlatMap,
+    pub(crate) stack_orig: FlatMap,
     /// Layout of the current re-randomization epoch (None before the
     /// first swap: `rp.layout` is live).
-    epoch_layout: Option<LayoutMap>,
+    pub(crate) epoch_layout: Option<LayoutMap>,
     /// Tables of the current epoch, rebuilt at `rp.table.base()` so the
     /// invisible TLB pages stay valid across swaps.
-    epoch_table: Option<TranslationTable>,
-    rerand_epochs: u64,
-    rerand_stall: u64,
-    fstats: FaultStats,
-    frecords: Vec<FaultRecord>,
-    fetch_stall: u64,
-    load_stall: u64,
-    redirect_stall: u64,
-    drc_walk: u64,
-    exec_extra: u64,
-    instructions: u64,
-    trace: TraceRing<TraceEvent>,
+    pub(crate) epoch_table: Option<TranslationTable>,
+    pub(crate) rerand_epochs: u64,
+    pub(crate) rerand_stall: u64,
+    pub(crate) fstats: FaultStats,
+    pub(crate) frecords: Vec<FaultRecord>,
+    pub(crate) fetch_stall: u64,
+    pub(crate) load_stall: u64,
+    pub(crate) redirect_stall: u64,
+    pub(crate) drc_walk: u64,
+    pub(crate) exec_extra: u64,
+    pub(crate) instructions: u64,
+    pub(crate) trace: TraceRing<TraceEvent>,
     /// PC of the instruction currently stepping (for events recorded in
     /// helpers that don't see `StepInfo`).
-    cur_pc: Addr,
+    pub(crate) cur_pc: Addr,
 }
 
 /// Records one trace event. A free function so call sites can borrow the
@@ -263,10 +264,10 @@ fn trace_push(trace: &mut TraceRing<TraceEvent>, seq: u64, pc: Addr, cycle: u64,
     trace.push(TraceEvent { seq, pc, cycle, kind });
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, drc: Option<DrcConfig>) -> Engine<'a> {
+impl Engine {
+    pub(crate) fn new(cfg: &SimConfig, drc: Option<DrcConfig>) -> Engine {
         Engine {
-            cfg,
+            cfg: *cfg,
             hier: MemoryHierarchy::new(cfg),
             gshare: Gshare::new(cfg.gshare),
             btb: Btb::new(cfg.btb),
@@ -299,7 +300,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Packages an architectural fault with the post-mortem trace.
-    fn fault(&self, cause: ExecError) -> SimError {
+    pub(crate) fn fault(&self, cause: ExecError) -> SimError {
         SimError::Exec { cause, trace: self.trace.to_vec() }
     }
 
@@ -332,7 +333,7 @@ impl<'a> Engine<'a> {
     /// One instruction through the timing model. `fetch_pc` is the
     /// address instruction bytes are fetched from (mode-dependent);
     /// `key` maps architectural addresses into predictor space.
-    fn step(
+    pub(crate) fn step(
         &mut self,
         info: &StepInfo,
         fetch_pc: Addr,
@@ -624,7 +625,7 @@ impl<'a> Engine<'a> {
     /// their trap-and-refill recovery to the pipeline, and a sticky table
     /// fault either triggers an emergency re-randomization or halts the
     /// machine, per `policy`.
-    fn inject_fault(
+    pub(crate) fn inject_fault(
         &mut self,
         f: &ScheduledFault,
         image: &Image,
@@ -874,7 +875,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn stats_now(&self) -> SimStats {
+    pub(crate) fn stats_now(&self) -> SimStats {
         SimStats {
             instructions: self.instructions,
             cycles: self.backend_time.max(self.fetch_time),
@@ -897,9 +898,343 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn into_stats(self) -> SimStats {
-        self.stats_now()
+    /// Serialises the entire engine state in field-declaration order
+    /// (checkpoint support). The configuration itself is *not* written:
+    /// the checkpoint envelope's context fingerprint pins it, and
+    /// [`Engine::restore`] rebuilds from the same `cfg`.
+    pub(crate) fn save(&self, w: &mut Writer) {
+        self.hier.save(w);
+        self.gshare.save(w);
+        self.btb.save(w);
+        self.ras.save(w);
+        let b = &self.bstats;
+        w.u64(b.predictions);
+        w.u64(b.mispredictions);
+        w.u64(b.btb_lookups);
+        w.u64(b.btb_misses);
+        w.u64(b.btb_wrong_target);
+        w.u64(b.ras_predictions);
+        w.u64(b.ras_mispredictions);
+        w.u64(self.fetch_time);
+        w.u64(self.backend_time);
+        w.u64(self.redirect_at);
+        match self.window_line {
+            Some(line) => {
+                w.u8(1);
+                w.u32(line);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.iq.len() as u64);
+        for &t in &self.iq {
+            w.u64(t);
+        }
+        match &self.drc {
+            Some(d) => {
+                w.u8(1);
+                d.save(w);
+            }
+            None => w.u8(0),
+        }
+        self.bitmap.save(w);
+        self.stack_rand.save(w);
+        self.stack_orig.save(w);
+        match &self.epoch_layout {
+            Some(m) => {
+                w.u8(1);
+                m.save(w);
+            }
+            None => w.u8(0),
+        }
+        match &self.epoch_table {
+            Some(t) => {
+                w.u8(1);
+                t.save(w);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.rerand_epochs);
+        w.u64(self.rerand_stall);
+        save_fault_stats(&self.fstats, w);
+        w.u64(self.frecords.len() as u64);
+        for rec in &self.frecords {
+            w.u64(rec.at_inst);
+            w.u8(target_tag(rec.target));
+            w.u8(persistence_tag(rec.persistence));
+            w.u8(outcome_tag(rec.outcome));
+        }
+        w.u64(self.fetch_stall);
+        w.u64(self.load_stall);
+        w.u64(self.redirect_stall);
+        w.u64(self.drc_walk);
+        w.u64(self.exec_extra);
+        w.u64(self.instructions);
+        w.u64(self.trace.total_pushed());
+        let items = self.trace.to_vec();
+        w.u64(items.len() as u64);
+        for e in &items {
+            save_trace_event(e, w);
+        }
+        w.u32(self.cur_pc);
     }
+
+    /// Rebuilds an engine from [`Engine::save`] output. `cfg` and `drc`
+    /// must match the configuration the saved engine ran under (the
+    /// checkpoint envelope enforces this before the bytes get here).
+    pub(crate) fn restore(
+        cfg: &SimConfig,
+        drc: Option<DrcConfig>,
+        r: &mut Reader<'_>,
+    ) -> Result<Engine, WireError> {
+        let hier = MemoryHierarchy::restore(cfg, r)?;
+        let gshare = Gshare::restore(cfg.gshare, r)?;
+        let btb = Btb::restore(cfg.btb, r)?;
+        let ras = Ras::restore(r)?;
+        let bstats = BranchStats {
+            predictions: r.u64()?,
+            mispredictions: r.u64()?,
+            btb_lookups: r.u64()?,
+            btb_misses: r.u64()?,
+            btb_wrong_target: r.u64()?,
+            ras_predictions: r.u64()?,
+            ras_mispredictions: r.u64()?,
+        };
+        let fetch_time = r.u64()?;
+        let backend_time = r.u64()?;
+        let redirect_at = r.u64()?;
+        let window_line = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        let n_iq = r.u64()?;
+        if n_iq > 1 << 20 {
+            return Err(WireError::LengthOutOfRange { len: n_iq });
+        }
+        let mut iq = VecDeque::with_capacity(n_iq as usize);
+        for _ in 0..n_iq {
+            iq.push_back(r.u64()?);
+        }
+        let drc = match (r.u8()?, drc) {
+            (0, None) => None,
+            (1, Some(cfg)) => Some(Drc::restore(cfg, r)?),
+            (tag, _) => return Err(WireError::BadTag { tag }),
+        };
+        let bitmap = StackBitmap::restore(r)?;
+        let stack_rand = FlatMap::restore(r)?;
+        let stack_orig = FlatMap::restore(r)?;
+        let epoch_layout = match r.u8()? {
+            0 => None,
+            1 => Some(LayoutMap::restore(r)?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        let epoch_table = match r.u8()? {
+            0 => None,
+            1 => Some(TranslationTable::restore(r)?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        let rerand_epochs = r.u64()?;
+        let rerand_stall = r.u64()?;
+        let fstats = load_fault_stats(r)?;
+        let n_rec = r.u64()?;
+        if n_rec > 1 << 32 {
+            return Err(WireError::LengthOutOfRange { len: n_rec });
+        }
+        let mut frecords = Vec::with_capacity(n_rec as usize);
+        for _ in 0..n_rec {
+            frecords.push(FaultRecord {
+                at_inst: r.u64()?,
+                target: target_from_tag(r.u8()?)?,
+                persistence: persistence_from_tag(r.u8()?)?,
+                outcome: outcome_from_tag(r.u8()?)?,
+            });
+        }
+        let fetch_stall = r.u64()?;
+        let load_stall = r.u64()?;
+        let redirect_stall = r.u64()?;
+        let drc_walk = r.u64()?;
+        let exec_extra = r.u64()?;
+        let instructions = r.u64()?;
+        let pushed = r.u64()?;
+        let n_trace = r.u64()?;
+        if n_trace > 1 << 24 || n_trace > pushed {
+            return Err(WireError::LengthOutOfRange { len: n_trace });
+        }
+        let mut items = Vec::with_capacity(n_trace as usize);
+        for _ in 0..n_trace {
+            items.push(load_trace_event(r)?);
+        }
+        let trace = TraceRing::from_parts(cfg.trace_events, items, pushed);
+        let cur_pc = r.u32()?;
+        Ok(Engine {
+            cfg: *cfg,
+            hier,
+            gshare,
+            btb,
+            ras,
+            bstats,
+            fetch_time,
+            backend_time,
+            redirect_at,
+            window_line,
+            iq,
+            drc,
+            bitmap,
+            stack_rand,
+            stack_orig,
+            epoch_layout,
+            epoch_table,
+            rerand_epochs,
+            rerand_stall,
+            fstats,
+            frecords,
+            fetch_stall,
+            load_stall,
+            redirect_stall,
+            drc_walk,
+            exec_extra,
+            instructions,
+            trace,
+            cur_pc,
+        })
+    }
+}
+
+fn target_tag(t: FaultTarget) -> u8 {
+    match t {
+        FaultTarget::DrcEntry => 0,
+        FaultTarget::TableSlot => 1,
+        FaultTarget::Rpc => 2,
+        FaultTarget::Upc => 3,
+        FaultTarget::StackBitmap => 4,
+    }
+}
+
+fn target_from_tag(tag: u8) -> Result<FaultTarget, WireError> {
+    Ok(match tag {
+        0 => FaultTarget::DrcEntry,
+        1 => FaultTarget::TableSlot,
+        2 => FaultTarget::Rpc,
+        3 => FaultTarget::Upc,
+        4 => FaultTarget::StackBitmap,
+        tag => return Err(WireError::BadTag { tag }),
+    })
+}
+
+fn persistence_tag(p: FaultPersistence) -> u8 {
+    match p {
+        FaultPersistence::Transient => 0,
+        FaultPersistence::Sticky => 1,
+    }
+}
+
+fn persistence_from_tag(tag: u8) -> Result<FaultPersistence, WireError> {
+    Ok(match tag {
+        0 => FaultPersistence::Transient,
+        1 => FaultPersistence::Sticky,
+        tag => return Err(WireError::BadTag { tag }),
+    })
+}
+
+fn outcome_tag(o: FaultOutcome) -> u8 {
+    match o {
+        FaultOutcome::DetectedParityScrub => 0,
+        FaultOutcome::DetectedTranslationFault => 1,
+        FaultOutcome::DetectedVisibilityFault => 2,
+        FaultOutcome::DetectedDecodeFailure => 3,
+        FaultOutcome::Silent => 4,
+        FaultOutcome::Masked => 5,
+        FaultOutcome::Contained => 6,
+    }
+}
+
+fn outcome_from_tag(tag: u8) -> Result<FaultOutcome, WireError> {
+    Ok(match tag {
+        0 => FaultOutcome::DetectedParityScrub,
+        1 => FaultOutcome::DetectedTranslationFault,
+        2 => FaultOutcome::DetectedVisibilityFault,
+        3 => FaultOutcome::DetectedDecodeFailure,
+        4 => FaultOutcome::Silent,
+        5 => FaultOutcome::Masked,
+        6 => FaultOutcome::Contained,
+        tag => return Err(WireError::BadTag { tag }),
+    })
+}
+
+fn save_fault_stats(s: &FaultStats, w: &mut Writer) {
+    w.u64(s.injected);
+    w.u64(s.detected_parity);
+    w.u64(s.detected_translation);
+    w.u64(s.detected_visibility);
+    w.u64(s.detected_decode);
+    w.u64(s.contained);
+    w.u64(s.silent);
+    w.u64(s.masked);
+    w.u64(s.emergency_rerands);
+}
+
+fn load_fault_stats(r: &mut Reader<'_>) -> Result<FaultStats, WireError> {
+    Ok(FaultStats {
+        injected: r.u64()?,
+        detected_parity: r.u64()?,
+        detected_translation: r.u64()?,
+        detected_visibility: r.u64()?,
+        detected_decode: r.u64()?,
+        contained: r.u64()?,
+        silent: r.u64()?,
+        masked: r.u64()?,
+        emergency_rerands: r.u64()?,
+    })
+}
+
+fn save_trace_event(e: &TraceEvent, w: &mut Writer) {
+    w.u64(e.seq);
+    w.u32(e.pc);
+    w.u64(e.cycle);
+    match e.kind {
+        TraceEventKind::Commit => w.u8(0),
+        TraceEventKind::FetchStall { cycles } => {
+            w.u8(1);
+            w.u64(cycles);
+        }
+        TraceEventKind::Redirect { resume_at } => {
+            w.u8(2);
+            w.u64(resume_at);
+        }
+        TraceEventKind::DrcWalk { cycles } => {
+            w.u8(3);
+            w.u64(cycles);
+        }
+        TraceEventKind::FaultInjected { target } => {
+            w.u8(4);
+            w.u8(target_tag(target));
+        }
+        TraceEventKind::FaultDetected { target } => {
+            w.u8(5);
+            w.u8(target_tag(target));
+        }
+        TraceEventKind::Rerand { cycles } => {
+            w.u8(6);
+            w.u64(cycles);
+        }
+    }
+}
+
+fn load_trace_event(r: &mut Reader<'_>) -> Result<TraceEvent, WireError> {
+    let seq = r.u64()?;
+    let pc = r.u32()?;
+    let cycle = r.u64()?;
+    let kind = match r.u8()? {
+        0 => TraceEventKind::Commit,
+        1 => TraceEventKind::FetchStall { cycles: r.u64()? },
+        2 => TraceEventKind::Redirect { resume_at: r.u64()? },
+        3 => TraceEventKind::DrcWalk { cycles: r.u64()? },
+        4 => TraceEventKind::FaultInjected { target: target_from_tag(r.u8()?)? },
+        5 => TraceEventKind::FaultDetected { target: target_from_tag(r.u8()?)? },
+        6 => TraceEventKind::Rerand { cycles: r.u64()? },
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    Ok(TraceEvent { seq, pc, cycle, kind })
 }
 
 /// One interval of a sampled simulation (see [`simulate_sampled`]).
@@ -943,8 +1278,21 @@ pub struct IntervalSample {
 /// assert!(out.stats.cycles > 0);
 /// ```
 pub fn simulate(mode: Mode<'_>, cfg: &SimConfig, max_insts: u64) -> Result<SimOutput, SimError> {
-    let (out, _, _, _) = simulate_inner(mode, cfg, max_insts, None, None)?;
-    Ok(out)
+    let outcome = crate::session::Session::new(mode, cfg, max_insts)
+        .and_then(|mut s| s.run())
+        .map_err(unwrap_sim_error)?;
+    Ok(outcome.output)
+}
+
+/// Collapses a [`crate::VcfrError`] back into the legacy [`SimError`]
+/// signature of [`simulate`] and friends. Configuration and checkpoint
+/// errors cannot arise on these paths (they take no checkpoint and any
+/// config reaches the engine unvalidated, as before), so they panic.
+fn unwrap_sim_error(e: crate::VcfrError) -> SimError {
+    match e {
+        crate::VcfrError::Sim(e) => e,
+        other => panic!("legacy simulate entry point hit a non-simulation error: {other}"),
+    }
 }
 
 /// The result of a fault-injection run (see [`simulate_faulted`]).
@@ -976,8 +1324,11 @@ pub fn simulate_faulted(
     max_insts: u64,
     plan: &FaultPlan,
 ) -> Result<FaultedRun, SimError> {
-    let (sim, _, faults, records) = simulate_inner(mode, cfg, max_insts, None, Some(plan))?;
-    Ok(FaultedRun { sim, faults, records })
+    let outcome = crate::session::Session::new(mode, cfg, max_insts)
+        .map(|s| s.with_faults(plan))
+        .and_then(|mut s| s.run())
+        .map_err(unwrap_sim_error)?;
+    Ok(FaultedRun { sim: outcome.output, faults: outcome.faults, records: outcome.records })
 }
 
 /// Like [`simulate`], but additionally returns one [`IntervalSample`] per
@@ -993,127 +1344,13 @@ pub fn simulate_sampled(
     max_insts: u64,
     interval: u64,
 ) -> Result<(SimOutput, Vec<IntervalSample>), SimError> {
-    let (out, samples, _, _) = simulate_inner(mode, cfg, max_insts, Some(interval.max(1)), None)?;
-    Ok((out, samples))
+    let outcome = crate::session::Session::new(mode, cfg, max_insts)
+        .map(|s| s.with_sampling(interval))
+        .and_then(|mut s| s.run())
+        .map_err(unwrap_sim_error)?;
+    Ok((outcome.output, outcome.samples))
 }
 
-type InnerResult = (SimOutput, Vec<IntervalSample>, FaultStats, Vec<FaultRecord>);
-
-fn simulate_inner(
-    mode: Mode<'_>,
-    cfg: &SimConfig,
-    max_insts: u64,
-    sample_every: Option<u64>,
-    plan: Option<&FaultPlan>,
-) -> Result<InnerResult, SimError> {
-    let image = mode.image_ref();
-    let mut machine = Machine::new(image);
-
-    let drc_cfg = match &mode {
-        Mode::Vcfr { drc, .. } => Some(*drc),
-        _ => None,
-    };
-    let mut engine = Engine::new(cfg, drc_cfg);
-
-    // Hide the translation-table pages from user space (TLB
-    // page-visibility bit).
-    if let Mode::Vcfr { program, .. } = &mode {
-        let base = program.table.base();
-        for page in 0..64u32 {
-            engine.hier.dtlb.set_invisible(base + page * 4096);
-        }
-    }
-
-    let fault_rp: Option<&RandomizedProgram> = match &mode {
-        Mode::Vcfr { program, .. } => Some(program),
-        _ => None,
-    };
-    let mut fault_idx = 0usize;
-
-    let identity = |a: Addr| a;
-    let mut samples = Vec::new();
-    let mut last = engine.stats_now();
-    let mut take_sample = |engine: &Engine<'_>, last: &mut SimStats| {
-        let now = engine.stats_now();
-        let insts = now.instructions - last.instructions;
-        if insts == 0 {
-            return;
-        }
-        let cycles = now.cycles.saturating_sub(last.cycles).max(1);
-        let il1_acc = (now.il1.accesses - last.il1.accesses).max(1);
-        let il1_miss = now.il1.misses - last.il1.misses;
-        let (drc_l, drc_m) = match (now.drc, last.drc) {
-            (Some(n), Some(l)) => (n.lookups - l.lookups, n.misses - l.misses),
-            _ => (0, 0),
-        };
-        samples.push(IntervalSample {
-            first_inst: last.instructions,
-            instructions: insts,
-            cycles,
-            ipc: insts as f64 / cycles as f64,
-            il1_miss_rate: il1_miss as f64 / il1_acc as f64,
-            drc_miss_rate: if drc_l == 0 { 0.0 } else { drc_m as f64 / drc_l as f64 },
-        });
-        *last = now;
-    };
-    // Next-threshold sampling: one compare per instruction instead of a
-    // division (the sample check sits on the hot loop).
-    let stride = sample_every.unwrap_or(0);
-    let mut next_sample = sample_every.unwrap_or(u64::MAX);
-    let outcome = loop {
-        if engine.instructions >= max_insts {
-            break RunOutcome {
-                output: machine.output().to_vec(),
-                steps: machine.steps(),
-                stop: machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
-            };
-        }
-        let Some(info) = machine.step().map_err(|e| engine.fault(e))? else {
-            break RunOutcome {
-                output: machine.output().to_vec(),
-                steps: machine.steps(),
-                stop: machine.stop_reason().expect("stopped machine has a reason"),
-            };
-        };
-        match &mode {
-            Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
-            Mode::NaiveIlr(rp) => {
-                let key = |a: Addr| rp.rand_or_orig(a);
-                engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
-            }
-            Mode::Vcfr { program, .. } => {
-                engine.step(&info, info.pc, &identity, Some(program));
-            }
-        }
-        if let Some(p) = plan {
-            while let Some(f) = p.faults.get(fault_idx) {
-                if f.at_inst > engine.instructions {
-                    break;
-                }
-                let outcome = engine.inject_fault(f, image, fault_rp, p.policy)?;
-                engine.fstats.record(outcome);
-                engine.frecords.push(FaultRecord {
-                    at_inst: engine.instructions,
-                    target: f.target,
-                    persistence: f.persistence,
-                    outcome,
-                });
-                fault_idx += 1;
-            }
-        }
-        if engine.instructions >= next_sample {
-            take_sample(&engine, &mut last);
-            next_sample += stride;
-        }
-    };
-    if sample_every.is_some() {
-        take_sample(&engine, &mut last);
-    }
-
-    let fstats = engine.fstats;
-    let frecords = std::mem::take(&mut engine.frecords);
-    Ok((SimOutput { stats: engine.into_stats(), outcome }, samples, fstats, frecords))
-}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,75 @@
+//! The unified error hierarchy of the simulation stack.
+//!
+//! Everything the facade ([`crate::Session`]) can fail with funnels into
+//! [`VcfrError`]: invalid configurations are rejected at construction,
+//! architectural/security faults surface as [`SimError`], and checkpoint
+//! problems as [`CheckpointError`]. All variants implement
+//! [`std::error::Error`] with `source()` chains, so callers (bench, cli,
+//! the service) render and classify them uniformly instead of matching on
+//! strings.
+
+use crate::checkpoint::CheckpointError;
+use crate::engine::SimError;
+use std::fmt;
+
+/// Any failure of the simulation stack.
+#[derive(Clone, Debug)]
+pub enum VcfrError {
+    /// The requested configuration is internally inconsistent and was
+    /// rejected before the run started.
+    Config(String),
+    /// The simulated program faulted (execution error or an injected
+    /// fault that escaped containment).
+    Sim(SimError),
+    /// A checkpoint could not be decoded or does not belong to this run.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for VcfrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcfrError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            VcfrError::Sim(e) => write!(f, "{e}"),
+            VcfrError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VcfrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VcfrError::Config(_) => None,
+            VcfrError::Sim(e) => Some(e),
+            VcfrError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for VcfrError {
+    fn from(e: SimError) -> VcfrError {
+        VcfrError::Sim(e)
+    }
+}
+
+impl From<CheckpointError> for VcfrError {
+    fn from(e: CheckpointError) -> VcfrError {
+        VcfrError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = VcfrError::Config("rerand without a DRC".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.source().is_none());
+
+        let e = VcfrError::Checkpoint(CheckpointError::Version { found: 9 });
+        assert!(e.to_string().contains("version"));
+        assert!(e.source().is_some());
+    }
+}

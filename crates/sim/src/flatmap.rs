@@ -7,6 +7,7 @@
 //! hash with linear probing and backward-shift deletion, so the common
 //! case is one multiply and one probe.
 
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 /// Initial table capacity (power of two).
@@ -158,6 +159,51 @@ impl FlatMap {
         Some(val)
     }
 
+    /// Serialises the raw slot array (checkpoint support). The physical
+    /// probe layout is preserved — not just the entries — because
+    /// [`FlatMap::iter`] order is part of the deterministic behaviour a
+    /// restored simulation must replay.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.slots.len() as u64);
+        w.u64(self.len as u64);
+        for s in &self.slots {
+            w.u8(u8::from(s.used));
+            w.u32(s.key);
+            w.u32(s.val);
+        }
+    }
+
+    /// Rebuilds a map from [`FlatMap::save`] output, bit-identical slot
+    /// layout included.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input, a degenerate capacity, or an
+    /// entry count that disagrees with the used slots.
+    pub fn restore(r: &mut Reader<'_>) -> Result<FlatMap, WireError> {
+        let cap = r.u64()?;
+        if cap > 1 << 32 || !(cap as usize).is_power_of_two() || (cap as usize) < MIN_CAP {
+            return Err(WireError::LengthOutOfRange { len: cap });
+        }
+        let len = r.u64()? as usize;
+        let mut slots = Vec::with_capacity(cap as usize);
+        let mut used = 0usize;
+        for _ in 0..cap {
+            let flag = r.u8()?;
+            if flag > 1 {
+                return Err(WireError::BadTag { tag: flag });
+            }
+            let key = r.u32()?;
+            let val = r.u32()?;
+            used += flag as usize;
+            slots.push(Slot { key, val, used: flag == 1 });
+        }
+        if used != len {
+            return Err(WireError::LengthOutOfRange { len: len as u64 });
+        }
+        Ok(FlatMap { slots, len, mask: cap as usize - 1 })
+    }
+
     fn grow(&mut self) {
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; (self.mask + 1) * 2]);
         self.mask = self.slots.len() - 1;
@@ -245,6 +291,42 @@ mod tests {
         got.sort_unstable();
         let want: Vec<(u32, u32)> = (0..100u32).filter(|i| i % 2 == 1).map(|i| (i * 8, i)).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn save_restore_preserves_slot_layout() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut m = FlatMap::new();
+        for i in 0..200u32 {
+            m.insert(i * 8, i);
+        }
+        for i in 0..100u32 {
+            m.remove(i * 16);
+        }
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        m.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let back = FlatMap::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), m.len());
+        // Physical layout — and therefore iteration order — is identical.
+        let a: Vec<(u32, u32)> = m.iter().collect();
+        let b: Vec<(u32, u32)> = back.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_entry_count() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut m = FlatMap::new();
+        m.insert(8, 1);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        m.save(&mut w);
+        let mut buf = w.into_bytes();
+        buf[16] ^= 0xff; // corrupt the stored entry count
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(FlatMap::restore(&mut r).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::cache::Cache;
 use crate::config::SimConfig;
 use crate::dram::Dram;
 use crate::tlb::Tlb;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 /// The full cache/TLB/DRAM stack of one core.
@@ -125,6 +126,36 @@ impl MemoryHierarchy {
         self.l2_then_dram(entry_addr, now)
     }
 
+    /// Serialises every component of the hierarchy (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        self.il1.save(w);
+        self.dl1.save(w);
+        self.l2.save(w);
+        self.itlb.save(w);
+        self.dtlb.save(w);
+        self.dram.save(w);
+        w.u64(self.l2_reads_from_l1);
+    }
+
+    /// Rebuilds a hierarchy from [`MemoryHierarchy::save`] output; `cfg`
+    /// must be the configuration the saved hierarchy was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or malformed input.
+    pub fn restore(cfg: &SimConfig, r: &mut Reader<'_>) -> Result<MemoryHierarchy, WireError> {
+        Ok(MemoryHierarchy {
+            il1: Cache::restore(cfg.il1, r)?,
+            dl1: Cache::restore(cfg.dl1, r)?,
+            l2: Cache::restore(cfg.l2, r)?,
+            itlb: Tlb::restore(r)?,
+            dtlb: Tlb::restore(r)?,
+            dram: Dram::restore(cfg.dram, r)?,
+            l2_reads_from_l1: r.u64()?,
+            cfg: *cfg,
+        })
+    }
+
     /// Resets every component's counters (contents stay warm).
     pub fn reset_stats(&mut self) {
         self.il1.reset_stats();
@@ -216,6 +247,37 @@ mod tests {
         h.data_access(16 * 1024, false, 10);
         h.data_access(32 * 1024, false, 20);
         assert_eq!(h.dl1.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn save_restore_replays_identically() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let cfg = SimConfig::default();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut now = 0;
+        for i in 0..20u32 {
+            now += h.fetch_line(0x1000 + i * 64, now);
+            now += h.data_access(0x9000 + i * 8, i % 3 == 0, now);
+            now += 1;
+        }
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        h.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let mut back = MemoryHierarchy::restore(&cfg, &mut r).unwrap();
+        assert!(r.is_exhausted());
+        // Both hierarchies produce the same stalls from here on.
+        for i in 0..20u32 {
+            let a = h.fetch_line(0x2000 + i * 32, now + i as u64);
+            let b = back.fetch_line(0x2000 + i * 32, now + i as u64);
+            assert_eq!(a, b, "fetch {i}");
+            let a = h.data_access(0x9000 + i * 4, false, now + i as u64);
+            let b = back.data_access(0x9000 + i * 4, false, now + i as u64);
+            assert_eq!(a, b, "data {i}");
+        }
+        assert_eq!(back.il1.stats(), h.il1.stats());
+        assert_eq!(back.dram.stats(), h.dram.stats());
+        assert_eq!(back.l2_reads_from_l1, h.l2_reads_from_l1);
     }
 
     #[test]

@@ -41,21 +41,28 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod checkpoint;
 mod config;
 mod dram;
 mod emulator;
 mod engine;
+mod error;
 mod faults;
 mod flatmap;
 mod hierarchy;
 mod multicore;
 mod ooo;
 mod predict;
+mod session;
 mod stats;
 mod tlb;
 
 pub use cache::{AccessResult, Cache, CacheStats};
-pub use config::{BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, SimConfig};
+pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use config::{
+    BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, SimConfig, SimConfigBuilder,
+};
+pub use error::VcfrError;
 pub use dram::{Dram, DramStats};
 pub use emulator::{emulate, EmulationReport, EmulatorCostModel};
 pub use engine::{
@@ -71,5 +78,6 @@ pub use hierarchy::MemoryHierarchy;
 pub use multicore::{simulate_multicore, MultiCoreOutput};
 pub use ooo::{simulate_ooo, OooConfig};
 pub use predict::{BranchStats, Btb, Gshare, Ras};
+pub use session::{Session, SessionOutcome, SessionStatus};
 pub use stats::SimStats;
 pub use tlb::{Tlb, TlbStats};

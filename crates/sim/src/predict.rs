@@ -3,6 +3,7 @@
 //! complement.
 
 use crate::config::{BtbConfig, GshareConfig};
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 /// Direction-predictor counters.
@@ -72,6 +73,31 @@ impl Gshare {
         }
         self.history = ((self.history << 1) | taken as u64) & self.mask;
     }
+
+    /// Serialises the history register and pattern table (checkpoint
+    /// support).
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.history);
+        w.bytes(&self.pht);
+    }
+
+    /// Rebuilds a predictor from [`Gshare::save`] output; `cfg` must
+    /// match the saved predictor's configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or a table size that disagrees
+    /// with `cfg`.
+    pub fn restore(cfg: GshareConfig, r: &mut Reader<'_>) -> Result<Gshare, WireError> {
+        let mut g = Gshare::new(cfg);
+        g.history = r.u64()?;
+        let pht = r.bytes()?;
+        if pht.len() != g.pht.len() {
+            return Err(WireError::LengthOutOfRange { len: pht.len() as u64 });
+        }
+        g.pht.copy_from_slice(pht);
+        Ok(g)
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -139,6 +165,43 @@ impl Btb {
             .expect("ways > 0");
         self.lines[victim] = BtbLine { valid: true, tag: pc, target, lru: self.tick };
     }
+
+    /// Serialises every line plus the LRU tick (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        for line in &self.lines {
+            w.u8(u8::from(line.valid));
+            w.u32(line.tag);
+            w.u32(line.target);
+            w.u64(line.lru);
+        }
+        w.u64(self.tick);
+    }
+
+    /// Rebuilds a BTB from [`Btb::save`] output; `cfg` must match the
+    /// saved BTB's geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or a malformed valid flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` itself is degenerate (see [`Btb::new`]).
+    pub fn restore(cfg: BtbConfig, r: &mut Reader<'_>) -> Result<Btb, WireError> {
+        let mut b = Btb::new(cfg);
+        for line in &mut b.lines {
+            let valid = r.u8()?;
+            if valid > 1 {
+                return Err(WireError::BadTag { tag: valid });
+            }
+            let tag = r.u32()?;
+            let target = r.u32()?;
+            let lru = r.u64()?;
+            *line = BtbLine { valid: valid == 1, tag, target, lru };
+        }
+        b.tick = r.u64()?;
+        Ok(b)
+    }
 }
 
 /// A fixed-depth return address stack that wraps on overflow, as
@@ -178,6 +241,40 @@ impl Ras {
         self.top = (self.top + self.stack.len() - 1) % self.stack.len();
         self.depth -= 1;
         Some(v)
+    }
+
+    /// Serialises the stack contents and cursors (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.stack.len() as u64);
+        for v in &self.stack {
+            w.u32(*v);
+        }
+        w.u64(self.top as u64);
+        w.u64(self.depth as u64);
+    }
+
+    /// Rebuilds a RAS from [`Ras::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or out-of-range cursors.
+    pub fn restore(r: &mut Reader<'_>) -> Result<Ras, WireError> {
+        let n = r.u64()?;
+        if n == 0 || n > 1 << 20 {
+            return Err(WireError::LengthOutOfRange { len: n });
+        }
+        let mut ras = Ras::new(n as usize);
+        for slot in &mut ras.stack {
+            *slot = r.u32()?;
+        }
+        let top = r.u64()?;
+        let depth = r.u64()?;
+        if top >= n || depth > n {
+            return Err(WireError::LengthOutOfRange { len: top.max(depth) });
+        }
+        ras.top = top as usize;
+        ras.depth = depth as usize;
+        Ok(ras)
     }
 }
 
@@ -239,6 +336,49 @@ mod tests {
         assert_eq!(b.lookup(0x10), Some(1));
         assert_eq!(b.lookup(0x20), None);
         assert_eq!(b.lookup(0x30), Some(3));
+    }
+
+    #[test]
+    fn predictors_save_restore_roundtrip() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut g = Gshare::new(GshareConfig { history_bits: 8 });
+        let mut b = Btb::new(BtbConfig { entries: 8, ways: 2 });
+        let mut ras = Ras::new(4);
+        for i in 0..50u32 {
+            g.update(0x1000 + i * 4, i % 3 != 0);
+            b.update(0x1000 + (i % 5) * 4, 0x2000 + i);
+        }
+        ras.push(0x100);
+        ras.push(0x200);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        g.save(&mut w);
+        b.save(&mut w);
+        ras.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let g2 = Gshare::restore(GshareConfig { history_bits: 8 }, &mut r).unwrap();
+        let mut b2 = Btb::restore(BtbConfig { entries: 8, ways: 2 }, &mut r).unwrap();
+        let mut ras2 = Ras::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        for i in 0..60u32 {
+            let pc = 0x1000 + i * 4;
+            assert_eq!(g2.predict(pc), g.predict(pc), "pc {pc:#x}");
+            assert_eq!(b2.lookup(pc), b.lookup(pc), "pc {pc:#x}");
+        }
+        assert_eq!(ras2.pop(), ras.pop());
+        assert_eq!(ras2.pop(), ras.pop());
+        assert_eq!(ras2.pop(), None);
+    }
+
+    #[test]
+    fn gshare_restore_rejects_mismatched_table_size() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let g = Gshare::new(GshareConfig { history_bits: 8 });
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        g.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(Gshare::restore(GshareConfig { history_bits: 10 }, &mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! The unified run facade: one [`Session`] type behind every way the
+//! workspace executes a simulation — the CLI's `simulate`, the bench
+//! harness's experiment matrix, the fault-injection campaign, and the
+//! `vcfr serve` daemon all construct a `Session` and drive it.
+//!
+//! A session owns the functional machine and the timing engine together,
+//! validates the configuration against the mode before the first cycle,
+//! and — unlike the old free-function entry points — can stop at an
+//! instruction budget ([`Session::run_for`]), serialize its complete
+//! state into a versioned checkpoint ([`Session::checkpoint`]) and
+//! resume bit-identically in a fresh process ([`Session::restore`]).
+
+use crate::checkpoint::{self, CheckpointError, PAYLOAD_MAGIC};
+use crate::config::SimConfig;
+use crate::engine::{Engine, IntervalSample, Mode, SimOutput};
+use crate::error::VcfrError;
+use crate::faults::{FaultPlan, FaultRecord, FaultStats};
+use crate::stats::SimStats;
+use vcfr_isa::wire::{Reader, WireError, Writer};
+use vcfr_isa::{Addr, Machine, RunOutcome};
+use vcfr_rewriter::RandomizedProgram;
+
+/// Everything a finished session produced.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Timing statistics plus the architectural result.
+    pub output: SimOutput,
+    /// One entry per sampling interval (empty unless
+    /// [`Session::with_sampling`] was used).
+    pub samples: Vec<IntervalSample>,
+    /// Aggregate fault counters (all zero without a fault plan).
+    pub faults: FaultStats,
+    /// Per-fault resolutions, in injection order.
+    pub records: Vec<FaultRecord>,
+}
+
+/// What [`Session::run_for`] came back with.
+#[derive(Clone, Debug)]
+pub enum SessionStatus {
+    /// The budget ran out first; call [`Session::run_for`] again (and
+    /// perhaps [`Session::checkpoint`] in between).
+    Running,
+    /// The program finished (halt, exit, or `max_insts` truncation).
+    Done(Box<SessionOutcome>),
+}
+
+/// One simulation run: machine + engine + sampling and fault cursors,
+/// drivable to completion or in bounded slices.
+///
+/// # Example
+///
+/// ```
+/// use vcfr_isa::{Asm, Reg};
+/// use vcfr_sim::{Mode, Session, SimConfig};
+///
+/// let mut a = Asm::new(0x1000);
+/// a.mov_ri(Reg::Rax, 7);
+/// a.emit_output(Reg::Rax);
+/// a.halt();
+/// let img = a.finish().unwrap();
+/// let out = Session::new(Mode::Baseline(&img), &SimConfig::default(), 1_000)
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(out.output.outcome.output, vec![7]);
+/// ```
+pub struct Session<'a> {
+    mode: Mode<'a>,
+    cfg: SimConfig,
+    max_insts: u64,
+    machine: Machine,
+    engine: Engine,
+    plan: Option<FaultPlan>,
+    fault_idx: usize,
+    samples: Vec<IntervalSample>,
+    last: SimStats,
+    stride: u64,
+    next_sample: u64,
+    finished: Option<SessionOutcome>,
+}
+
+impl<'a> Session<'a> {
+    /// Builds a session, rejecting configurations the engine cannot
+    /// honour under `mode` before any state is constructed.
+    ///
+    /// # Errors
+    ///
+    /// [`VcfrError::Config`] on an inconsistent request — re-randomization
+    /// outside VCFR mode, a zero-entry DRC, or a zero-instruction epoch.
+    pub fn new(mode: Mode<'a>, cfg: &SimConfig, max_insts: u64) -> Result<Session<'a>, VcfrError> {
+        if cfg.rerand_epoch == Some(0) {
+            return Err(VcfrError::Config(
+                "rerand_epoch of 0 instructions would re-randomize before every instruction"
+                    .into(),
+            ));
+        }
+        if cfg.rerand_epoch.is_some() && !matches!(mode, Mode::Vcfr { .. }) {
+            return Err(VcfrError::Config(
+                "rerand_epoch requires a VCFR run (live table swaps flush the DRC)".into(),
+            ));
+        }
+        if let Mode::Vcfr { drc, .. } = &mode {
+            if drc.entries == 0 {
+                return Err(VcfrError::Config(
+                    "a VCFR run needs a non-empty DRC (entries = 0)".into(),
+                ));
+            }
+        }
+        let machine = Machine::new(mode.image_ref());
+        let drc_cfg = match &mode {
+            Mode::Vcfr { drc, .. } => Some(*drc),
+            _ => None,
+        };
+        let mut engine = Engine::new(cfg, drc_cfg);
+        // Hide the translation-table pages from user space (TLB
+        // page-visibility bit).
+        if let Mode::Vcfr { program, .. } = &mode {
+            let base = program.table.base();
+            for page in 0..64u32 {
+                engine.hier.dtlb.set_invisible(base + page * 4096);
+            }
+        }
+        let last = engine.stats_now();
+        Ok(Session {
+            mode,
+            cfg: *cfg,
+            max_insts,
+            machine,
+            engine,
+            plan: None,
+            fault_idx: 0,
+            samples: Vec::new(),
+            last,
+            stride: 0,
+            next_sample: u64::MAX,
+            finished: None,
+        })
+    }
+
+    /// Enables interval sampling: one [`IntervalSample`] per `interval`
+    /// committed instructions (clamped to 1).
+    pub fn with_sampling(mut self, interval: u64) -> Session<'a> {
+        let interval = interval.max(1);
+        self.stride = interval;
+        self.next_sample = interval;
+        self
+    }
+
+    /// Schedules the faults of `plan` for injection.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Session<'a> {
+        self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Committed instructions so far.
+    pub fn instructions(&self) -> u64 {
+        self.engine.instructions
+    }
+
+    /// A snapshot of the counters at this point of the run.
+    pub fn stats_now(&self) -> SimStats {
+        self.engine.stats_now()
+    }
+
+    /// Runs to completion (or `max_insts`).
+    ///
+    /// # Errors
+    ///
+    /// [`VcfrError::Sim`] when the program faults architecturally or an
+    /// injected sticky fault halts the machine.
+    pub fn run(&mut self) -> Result<SessionOutcome, VcfrError> {
+        match self.run_for(u64::MAX)? {
+            SessionStatus::Done(out) => Ok(*out),
+            SessionStatus::Running => unreachable!("an unbounded budget always finishes"),
+        }
+    }
+
+    /// Runs at most `budget` more instructions; returns
+    /// [`SessionStatus::Running`] when the budget ran out first. Calling
+    /// again after completion returns the same [`SessionStatus::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run`].
+    pub fn run_for(&mut self, budget: u64) -> Result<SessionStatus, VcfrError> {
+        if let Some(out) = &self.finished {
+            return Ok(SessionStatus::Done(Box::new(out.clone())));
+        }
+        let stop_at = self.engine.instructions.saturating_add(budget.max(1));
+        let identity = |a: Addr| a;
+        loop {
+            if self.engine.instructions >= self.max_insts {
+                let outcome = RunOutcome {
+                    output: self.machine.output().to_vec(),
+                    steps: self.machine.steps(),
+                    stop: self.machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
+                };
+                return Ok(SessionStatus::Done(Box::new(self.finish(outcome))));
+            }
+            let step = self.machine.step();
+            let Some(info) = step.map_err(|e| VcfrError::Sim(self.engine.fault(e)))? else {
+                let outcome = RunOutcome {
+                    output: self.machine.output().to_vec(),
+                    steps: self.machine.steps(),
+                    stop: self.machine.stop_reason().expect("stopped machine has a reason"),
+                };
+                return Ok(SessionStatus::Done(Box::new(self.finish(outcome))));
+            };
+            match &self.mode {
+                Mode::Baseline(_) => self.engine.step(&info, info.pc, &identity, None),
+                Mode::NaiveIlr(rp) => {
+                    let key = |a: Addr| rp.rand_or_orig(a);
+                    self.engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
+                }
+                Mode::Vcfr { program, .. } => {
+                    self.engine.step(&info, info.pc, &identity, Some(program));
+                }
+            }
+            if let Some(p) = &self.plan {
+                let image = self.mode.image_ref();
+                let fault_rp: Option<&RandomizedProgram> = match &self.mode {
+                    Mode::Vcfr { program, .. } => Some(program),
+                    _ => None,
+                };
+                while let Some(f) = p.faults.get(self.fault_idx) {
+                    if f.at_inst > self.engine.instructions {
+                        break;
+                    }
+                    let outcome = self
+                        .engine
+                        .inject_fault(f, image, fault_rp, p.policy)
+                        .map_err(VcfrError::Sim)?;
+                    self.engine.fstats.record(outcome);
+                    self.engine.frecords.push(FaultRecord {
+                        at_inst: self.engine.instructions,
+                        target: f.target,
+                        persistence: f.persistence,
+                        outcome,
+                    });
+                    self.fault_idx += 1;
+                }
+            }
+            if self.engine.instructions >= self.next_sample {
+                self.take_sample();
+                self.next_sample += self.stride;
+            }
+            if self.engine.instructions >= stop_at {
+                return Ok(SessionStatus::Running);
+            }
+        }
+    }
+
+    /// Folds the interval since the last sample into `self.samples`.
+    fn take_sample(&mut self) {
+        let now = self.engine.stats_now();
+        let last = &mut self.last;
+        let insts = now.instructions - last.instructions;
+        if insts == 0 {
+            return;
+        }
+        let cycles = now.cycles.saturating_sub(last.cycles).max(1);
+        let il1_acc = (now.il1.accesses - last.il1.accesses).max(1);
+        let il1_miss = now.il1.misses - last.il1.misses;
+        let (drc_l, drc_m) = match (now.drc, last.drc) {
+            (Some(n), Some(l)) => (n.lookups - l.lookups, n.misses - l.misses),
+            _ => (0, 0),
+        };
+        self.samples.push(IntervalSample {
+            first_inst: last.instructions,
+            instructions: insts,
+            cycles,
+            ipc: insts as f64 / cycles as f64,
+            il1_miss_rate: il1_miss as f64 / il1_acc as f64,
+            drc_miss_rate: if drc_l == 0 { 0.0 } else { drc_m as f64 / drc_l as f64 },
+        });
+        *last = now;
+    }
+
+    fn finish(&mut self, outcome: RunOutcome) -> SessionOutcome {
+        if self.stride > 0 {
+            self.take_sample();
+        }
+        let out = SessionOutcome {
+            output: SimOutput { stats: self.engine.stats_now(), outcome },
+            samples: self.samples.clone(),
+            faults: self.engine.fstats,
+            records: self.engine.frecords.clone(),
+        };
+        self.finished = Some(out.clone());
+        out
+    }
+
+    /// The FNV-1a 64 fingerprint of everything that determines this run:
+    /// configuration, mode (including DRC geometry), instruction window,
+    /// sampling stride and fault plan. Stored in the checkpoint envelope;
+    /// [`Session::restore`] refuses bytes taken under a different one.
+    pub fn context(&self) -> u64 {
+        let mode_desc = match &self.mode {
+            Mode::Baseline(_) => "baseline".to_string(),
+            Mode::NaiveIlr(_) => "naive-ilr".to_string(),
+            Mode::Vcfr { drc, .. } => format!("vcfr drc={drc:?}"),
+        };
+        checkpoint::context_fingerprint(&format!(
+            "{:?} | mode={} | max_insts={} | stride={} | plan={:?}",
+            self.cfg, mode_desc, self.max_insts, self.stride, self.plan
+        ))
+    }
+
+    /// Serialises the live session into a self-validating, versioned
+    /// checkpoint (see [`crate::checkpoint`] for the format and version
+    /// policy). Restoring it with [`Session::restore`] and running on
+    /// produces bit-identical results to never having stopped.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::with_magic(PAYLOAD_MAGIC);
+        self.machine.save(&mut w);
+        self.engine.save(&mut w);
+        w.u64(self.fault_idx as u64);
+        w.u64(self.samples.len() as u64);
+        for s in &self.samples {
+            w.u64(s.first_inst);
+            w.u64(s.instructions);
+            w.u64(s.cycles);
+            w.u64(s.ipc.to_bits());
+            w.u64(s.il1_miss_rate.to_bits());
+            w.u64(s.drc_miss_rate.to_bits());
+        }
+        self.last.save(&mut w);
+        w.u64(self.next_sample);
+        checkpoint::seal(self.context(), &w.into_bytes())
+    }
+
+    /// Replaces this session's state with a checkpoint taken by an
+    /// identically-configured session (same mode, config, window,
+    /// sampling and plan — enforced via the context fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`VcfrError::Checkpoint`] when the bytes are corrupt, truncated,
+    /// from a different format version, or from a different run
+    /// configuration.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), VcfrError> {
+        let payload = checkpoint::open(bytes, self.context())?;
+        let wire = |e: WireError| VcfrError::Checkpoint(CheckpointError::Wire(e));
+        let mut r = Reader::with_magic(&payload, PAYLOAD_MAGIC).map_err(wire)?;
+        let machine = Machine::restore(self.mode.image_ref(), &mut r).map_err(wire)?;
+        let drc_cfg = match &self.mode {
+            Mode::Vcfr { drc, .. } => Some(*drc),
+            _ => None,
+        };
+        let engine = Engine::restore(&self.cfg, drc_cfg, &mut r).map_err(wire)?;
+        let fault_idx = r.u64().map_err(wire)? as usize;
+        if let Some(p) = &self.plan {
+            if fault_idx > p.faults.len() {
+                return Err(VcfrError::Checkpoint(CheckpointError::Corrupt));
+            }
+        } else if fault_idx > 0 {
+            return Err(VcfrError::Checkpoint(CheckpointError::Corrupt));
+        }
+        let n_samples = r.u64().map_err(wire)?;
+        if n_samples > 1 << 32 {
+            return Err(wire(WireError::LengthOutOfRange { len: n_samples }));
+        }
+        let mut samples = Vec::with_capacity(n_samples as usize);
+        for _ in 0..n_samples {
+            samples.push(IntervalSample {
+                first_inst: r.u64().map_err(wire)?,
+                instructions: r.u64().map_err(wire)?,
+                cycles: r.u64().map_err(wire)?,
+                ipc: f64::from_bits(r.u64().map_err(wire)?),
+                il1_miss_rate: f64::from_bits(r.u64().map_err(wire)?),
+                drc_miss_rate: f64::from_bits(r.u64().map_err(wire)?),
+            });
+        }
+        let last = SimStats::restore(&mut r).map_err(wire)?;
+        let next_sample = r.u64().map_err(wire)?;
+        if !r.is_exhausted() {
+            return Err(wire(WireError::Truncated));
+        }
+        self.machine = machine;
+        self.engine = engine;
+        self.fault_idx = fault_idx;
+        self.samples = samples;
+        self.last = last;
+        self.next_sample = next_sample;
+        self.finished = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use vcfr_core::DrcConfig;
+    use vcfr_isa::{AluOp, Asm, Cond, Reg};
+    use vcfr_rewriter::{randomize, RandomizeConfig};
+
+    fn workload() -> vcfr_isa::Image {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 200);
+        a.mov_ri(Reg::Rax, 0);
+        let top = a.here();
+        for i in 0..12 {
+            a.call_named(&format!("f{i}"));
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.emit_output(Reg::Rax);
+        a.halt();
+        for i in 0..12 {
+            a.func(&format!("f{i}"));
+            a.alu_ri(AluOp::Add, Reg::Rax, 1);
+            a.ret();
+        }
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn session_matches_legacy_simulate() {
+        let img = workload();
+        let cfg = SimConfig::default();
+        let legacy = crate::simulate(Mode::Baseline(&img), &cfg, 100_000).unwrap();
+        let out =
+            Session::new(Mode::Baseline(&img), &cfg, 100_000).unwrap().run().unwrap();
+        assert_eq!(out.output.outcome.output, legacy.outcome.output);
+        assert_eq!(out.output.stats, legacy.stats);
+    }
+
+    #[test]
+    fn chunked_run_equals_one_shot() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig { rerand_epoch: Some(3_000), ..SimConfig::default() };
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) };
+        let one = Session::new(mode(), &cfg, 50_000).unwrap().run().unwrap();
+        let mut s = Session::new(mode(), &cfg, 50_000).unwrap();
+        let mut chunks = 0;
+        let chunked = loop {
+            match s.run_for(1_234).unwrap() {
+                SessionStatus::Running => chunks += 1,
+                SessionStatus::Done(out) => break *out,
+            }
+        };
+        assert!(chunks > 2, "the budget actually sliced the run");
+        assert_eq!(chunked.output.stats, one.output.stats);
+        assert_eq!(chunked.output.outcome, one.output.outcome);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(2)).unwrap();
+        let cfg = SimConfig { rerand_epoch: Some(2_500), ..SimConfig::default() };
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) };
+        let plan = FaultPlan::generate(2015, 16, 8_000);
+        let straight = Session::new(mode(), &cfg, 30_000)
+            .unwrap()
+            .with_sampling(1_000)
+            .with_faults(&plan)
+            .run()
+            .unwrap();
+
+        let mut first =
+            Session::new(mode(), &cfg, 30_000).unwrap().with_sampling(1_000).with_faults(&plan);
+        assert!(matches!(first.run_for(7_000).unwrap(), SessionStatus::Running));
+        let snap = first.checkpoint();
+        drop(first);
+
+        let mut resumed =
+            Session::new(mode(), &cfg, 30_000).unwrap().with_sampling(1_000).with_faults(&plan);
+        resumed.restore(&snap).unwrap();
+        let out = resumed.run().unwrap();
+        assert_eq!(out.output.stats, straight.output.stats);
+        assert_eq!(out.output.outcome, straight.output.outcome);
+        assert_eq!(out.samples, straight.samples);
+        assert_eq!(out.records, straight.records);
+        assert_eq!(out.faults, straight.faults);
+        // And the post-resume checkpoint stream stays stable too.
+        let again = resumed.checkpoint();
+        resumed.restore(&again).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_corrupt_checkpoints() {
+        let img = workload();
+        let cfg = SimConfig::default();
+        let mut s = Session::new(Mode::Baseline(&img), &cfg, 10_000).unwrap();
+        s.run_for(2_000).unwrap();
+        let snap = s.checkpoint();
+
+        // Different window → different context.
+        let mut other = Session::new(Mode::Baseline(&img), &cfg, 20_000).unwrap();
+        assert!(matches!(
+            other.restore(&snap),
+            Err(VcfrError::Checkpoint(CheckpointError::ContextMismatch))
+        ));
+
+        // Flipped payload byte → corrupt.
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let mut same = Session::new(Mode::Baseline(&img), &cfg, 10_000).unwrap();
+        assert!(matches!(
+            same.restore(&bad),
+            Err(VcfrError::Checkpoint(CheckpointError::Corrupt))
+        ));
+    }
+
+    #[test]
+    fn new_rejects_inconsistent_mode_config_combos() {
+        let img = workload();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let cfg = SimConfig { rerand_epoch: Some(1_000), ..SimConfig::default() };
+        let err = Session::new(Mode::Baseline(&img), &cfg, 1_000).err().unwrap();
+        assert!(err.to_string().contains("VCFR"), "{err}");
+        let err = Session::new(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(0) },
+            &SimConfig::default(),
+            1_000,
+        )
+        .err()
+        .unwrap();
+        assert!(err.to_string().contains("DRC"), "{err}");
+        let zero = SimConfig { rerand_epoch: Some(0), ..SimConfig::default() };
+        assert!(Session::new(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) },
+            &zero,
+            1_000
+        )
+        .is_err());
+    }
+}

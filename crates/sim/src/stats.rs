@@ -5,6 +5,7 @@ use crate::dram::DramStats;
 use crate::predict::BranchStats;
 use crate::tlb::TlbStats;
 use vcfr_core::DrcStats;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 
 /// Everything measured during one run of the cycle simulator.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -86,6 +87,121 @@ impl SimStats {
             drc_walk: self.drc_walk_cycles,
             rerand_stall: self.rerand_stall_cycles,
         }
+    }
+
+    /// Serialises every counter (checkpoint support). The field order is
+    /// fixed by this method and its inverse; bumping it requires a new
+    /// checkpoint format version.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.instructions);
+        w.u64(self.cycles);
+        for c in [&self.il1, &self.dl1, &self.l2] {
+            w.u64(c.accesses);
+            w.u64(c.misses);
+            w.u64(c.writes);
+            w.u64(c.writebacks);
+            w.u64(c.prefetches_issued);
+            w.u64(c.prefetch_hits);
+            w.u64(c.prefetch_unused_evictions);
+        }
+        for t in [&self.itlb, &self.dtlb] {
+            w.u64(t.accesses);
+            w.u64(t.misses);
+            w.u64(t.visibility_faults);
+        }
+        w.u64(self.dram.accesses);
+        w.u64(self.dram.row_hits);
+        w.u64(self.dram.row_misses);
+        w.u64(self.dram.row_conflicts);
+        w.u64(self.dram.refresh_delays);
+        w.u64(self.branch.predictions);
+        w.u64(self.branch.mispredictions);
+        w.u64(self.branch.btb_lookups);
+        w.u64(self.branch.btb_misses);
+        w.u64(self.branch.btb_wrong_target);
+        w.u64(self.branch.ras_predictions);
+        w.u64(self.branch.ras_mispredictions);
+        match self.drc {
+            Some(d) => {
+                w.u8(1);
+                w.u64(d.lookups);
+                w.u64(d.misses);
+                w.u64(d.derand_lookups);
+                w.u64(d.rand_lookups);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.drc_walk_cycles);
+        w.u64(self.fetch_stall_cycles);
+        w.u64(self.load_stall_cycles);
+        w.u64(self.redirect_stall_cycles);
+        w.u64(self.l2_reads_from_l1);
+        w.u64(self.exec_extra_cycles);
+        w.u64(self.rerand_epochs);
+        w.u64(self.rerand_stall_cycles);
+    }
+
+    /// Rebuilds the counters from [`SimStats::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or a malformed DRC tag.
+    pub fn restore(r: &mut Reader<'_>) -> Result<SimStats, WireError> {
+        let mut s = SimStats { instructions: r.u64()?, cycles: r.u64()?, ..SimStats::default() };
+        let cache = |r: &mut Reader<'_>| -> Result<CacheStats, WireError> {
+            Ok(CacheStats {
+                accesses: r.u64()?,
+                misses: r.u64()?,
+                writes: r.u64()?,
+                writebacks: r.u64()?,
+                prefetches_issued: r.u64()?,
+                prefetch_hits: r.u64()?,
+                prefetch_unused_evictions: r.u64()?,
+            })
+        };
+        s.il1 = cache(r)?;
+        s.dl1 = cache(r)?;
+        s.l2 = cache(r)?;
+        let tlb = |r: &mut Reader<'_>| -> Result<TlbStats, WireError> {
+            Ok(TlbStats { accesses: r.u64()?, misses: r.u64()?, visibility_faults: r.u64()? })
+        };
+        s.itlb = tlb(r)?;
+        s.dtlb = tlb(r)?;
+        s.dram = DramStats {
+            accesses: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            refresh_delays: r.u64()?,
+        };
+        s.branch = BranchStats {
+            predictions: r.u64()?,
+            mispredictions: r.u64()?,
+            btb_lookups: r.u64()?,
+            btb_misses: r.u64()?,
+            btb_wrong_target: r.u64()?,
+            ras_predictions: r.u64()?,
+            ras_mispredictions: r.u64()?,
+        };
+        s.drc = match r.u8()? {
+            0 => None,
+            1 => Some(DrcStats {
+                lookups: r.u64()?,
+                misses: r.u64()?,
+                derand_lookups: r.u64()?,
+                rand_lookups: r.u64()?,
+            }),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        s.drc_walk_cycles = r.u64()?;
+        s.fetch_stall_cycles = r.u64()?;
+        s.load_stall_cycles = r.u64()?;
+        s.redirect_stall_cycles = r.u64()?;
+        s.l2_reads_from_l1 = r.u64()?;
+        s.exec_extra_cycles = r.u64()?;
+        s.rerand_epochs = r.u64()?;
+        s.rerand_stall_cycles = r.u64()?;
+        Ok(s)
     }
 
     /// Every counter as a registry snapshot under hierarchical `sim.*`
@@ -177,6 +293,25 @@ mod tests {
         assert_eq!(a.redirect_stall, 40);
         assert_eq!(a.drc_walk, 30);
         assert_eq!(a.rerand_stall, 20);
+    }
+
+    #[test]
+    fn save_restore_roundtrip_is_exact() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut s = SimStats { instructions: 12, cycles: 34, ..SimStats::default() };
+        s.il1.misses = 5;
+        s.branch.ras_mispredictions = 2;
+        s.drc = Some(DrcStats { lookups: 9, misses: 2, derand_lookups: 7, rand_lookups: 2 });
+        s.rerand_epochs = 3;
+        for stats in [s, SimStats::default()] {
+            let mut w = Writer::with_magic(*b"VCFRTEST");
+            stats.save(&mut w);
+            let buf = w.into_bytes();
+            let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+            let back = SimStats::restore(&mut r).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(back, stats);
+        }
     }
 
     #[test]

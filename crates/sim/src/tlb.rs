@@ -13,6 +13,7 @@
 //! scan only runs on capacity misses.
 
 use crate::flatmap::FlatMap;
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
 const PAGE_SHIFT: u32 = 12;
@@ -133,6 +134,72 @@ impl Tlb {
         visible
     }
 
+    /// Serialises the full TLB state (checkpoint support): residents,
+    /// per-entry LRU ticks, the MRU hint, the page→slot index (raw slot
+    /// layout), the invisible-page set and the counters.
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.entries as u64);
+        w.u64(self.pages.len() as u64);
+        for p in &self.pages {
+            w.u32(*p);
+        }
+        for t in &self.ticks {
+            w.u64(*t);
+        }
+        self.index.save(w);
+        w.u64(self.mru as u64);
+        w.u64(self.invisible.len() as u64);
+        for p in &self.invisible {
+            w.u32(*p);
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.visibility_faults);
+        w.u64(self.tick);
+    }
+
+    /// Rebuilds a TLB from [`Tlb::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input or inconsistent sizes (more
+    /// residents than entries, an out-of-range MRU hint).
+    pub fn restore(r: &mut Reader<'_>) -> Result<Tlb, WireError> {
+        let entries = r.u64()?;
+        if entries == 0 || entries > 1 << 24 {
+            return Err(WireError::LengthOutOfRange { len: entries });
+        }
+        let live = r.u64()?;
+        if live > entries {
+            return Err(WireError::LengthOutOfRange { len: live });
+        }
+        let mut tlb = Tlb::new(entries as usize);
+        for _ in 0..live {
+            tlb.pages.push(r.u32()?);
+        }
+        for _ in 0..live {
+            tlb.ticks.push(r.u64()?);
+        }
+        tlb.index = FlatMap::restore(r)?;
+        let mru = r.u64()?;
+        if mru > entries {
+            return Err(WireError::LengthOutOfRange { len: mru });
+        }
+        tlb.mru = mru as usize;
+        let n_invisible = r.u64()?;
+        if n_invisible > 1 << 24 {
+            return Err(WireError::LengthOutOfRange { len: n_invisible });
+        }
+        for _ in 0..n_invisible {
+            tlb.invisible.push(r.u32()?);
+        }
+        tlb.stats.accesses = r.u64()?;
+        tlb.stats.misses = r.u64()?;
+        tlb.stats.visibility_faults = r.u64()?;
+        tlb.tick = r.u64()?;
+        Ok(tlb)
+    }
+
     /// Looks up the page of `addr`; returns `true` on a hit. A miss
     /// installs the translation (evicting the LRU entry when full).
     /// `user` distinguishes user-mode accesses for the stats only.
@@ -248,6 +315,40 @@ mod tests {
             assert!(t.access(0x2000, true));
         }
         assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn save_restore_replays_identically() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut t = Tlb::new(2);
+        t.set_invisible(0x4000_0000);
+        t.access(0x1000, true);
+        t.access(0x2000, true);
+        t.access(0x1000, true);
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        t.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        let mut back = Tlb::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.stats(), t.stats());
+        assert!(!back.user_visible(0x4000_0123));
+        // Same eviction decisions from here on.
+        for addr in [0x3000u32, 0x1000, 0x2000, 0x3000] {
+            assert_eq!(back.access(addr, true), t.access(addr, true), "addr {addr:#x}");
+        }
+        assert_eq!(back.stats(), t.stats());
+    }
+
+    #[test]
+    fn restore_rejects_more_residents_than_entries() {
+        use vcfr_isa::wire::{Reader, Writer};
+        let mut w = Writer::with_magic(*b"VCFRTEST");
+        w.u64(2); // entries
+        w.u64(3); // claimed residents > entries
+        let buf = w.into_bytes();
+        let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
+        assert!(Tlb::restore(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! End-to-end checkpoint/resume contract over a real workload: a
+//! mid-run snapshot restored into a *freshly constructed* session must
+//! finish with byte-identical results, and damaged or mismatched
+//! snapshots must be rejected, never silently half-restored.
+
+use vcfr_core::DrcConfig;
+use vcfr_rewriter::{randomize, RandomizeConfig};
+use vcfr_sim::{
+    CheckpointError, Mode, Session, SessionStatus, SimConfig, VcfrError, CHECKPOINT_MAGIC,
+};
+use vcfr_workloads::by_name;
+
+const BUDGET: u64 = 40_000;
+
+fn cfg() -> SimConfig {
+    SimConfig { rerand_epoch: Some(9_000), ..SimConfig::default() }
+}
+
+/// A VCFR session over the bzip2 workload with sampling on — the same
+/// shape the batch service runs.
+fn fresh(rp: &vcfr_rewriter::RandomizedProgram) -> Session<'_> {
+    Session::new(
+        Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(64) },
+        &cfg(),
+        BUDGET,
+    )
+    .expect("session builds")
+    .with_sampling(BUDGET / 10)
+}
+
+#[test]
+fn mid_run_snapshot_resumes_bit_identically() {
+    let w = by_name("bzip2").expect("bzip2 exists");
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(7)).expect("randomizes");
+
+    let mut straight = fresh(&rp);
+    let reference = straight.run().expect("straight run finishes");
+
+    let mut first = fresh(&rp);
+    assert!(
+        matches!(first.run_for(12_000).expect("chunk runs"), SessionStatus::Running),
+        "the snapshot is taken mid-run, not after completion"
+    );
+    let snap = first.checkpoint();
+    assert_eq!(&snap[..8], &CHECKPOINT_MAGIC[..], "envelope leads with the magic");
+    drop(first);
+
+    let mut resumed = fresh(&rp);
+    resumed.restore(&snap).expect("snapshot restores");
+    let out = resumed.run().expect("resumed run finishes");
+
+    assert_eq!(out.output.stats, reference.output.stats);
+    assert_eq!(out.output.outcome, reference.output.outcome);
+    assert_eq!(out.samples, reference.samples);
+
+    // Byte-level identity, not just field equality: the final engine
+    // snapshots of the two histories serialize to the same bytes.
+    assert_eq!(straight.checkpoint(), resumed.checkpoint());
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected() {
+    let w = by_name("bzip2").expect("bzip2 exists");
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(7)).expect("randomizes");
+    let mut s = fresh(&rp);
+    s.run_for(8_000).expect("chunk runs");
+    let snap = s.checkpoint();
+
+    // A flipped payload byte fails the integrity hash.
+    let mut bad = snap.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    assert!(matches!(
+        fresh(&rp).restore(&bad),
+        Err(VcfrError::Checkpoint(CheckpointError::Corrupt))
+    ));
+
+    // A damaged magic never reaches the payload at all.
+    let mut bad = snap.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        fresh(&rp).restore(&bad),
+        Err(VcfrError::Checkpoint(CheckpointError::Wire(_)))
+    ));
+
+    // Truncation is detected, not read past.
+    let short = &snap[..snap.len() - 3];
+    assert!(fresh(&rp).restore(short).is_err());
+}
+
+#[test]
+fn version_and_context_mismatches_are_rejected() {
+    let w = by_name("bzip2").expect("bzip2 exists");
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(7)).expect("randomizes");
+    let mut s = fresh(&rp);
+    s.run_for(8_000).expect("chunk runs");
+    let snap = s.checkpoint();
+
+    // The version lives right after the magic; a future format must be
+    // refused with the found version, per the policy in docs/service.md.
+    let mut future = snap.clone();
+    future[8] += 1;
+    match fresh(&rp).restore(&future) {
+        Err(VcfrError::Checkpoint(CheckpointError::Version { found })) => {
+            assert_eq!(found, vcfr_sim::CHECKPOINT_VERSION + 1);
+        }
+        other => panic!("expected a version rejection, got {other:?}"),
+    }
+
+    // A session with a different configuration refuses the snapshot.
+    let mut other = Session::new(
+        Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+        &cfg(),
+        BUDGET,
+    )
+    .expect("session builds")
+    .with_sampling(BUDGET / 10);
+    assert!(matches!(
+        other.restore(&snap),
+        Err(VcfrError::Checkpoint(CheckpointError::ContextMismatch))
+    ));
+}

@@ -24,6 +24,12 @@ obs-smoke:
 faults-smoke:
     cargo run --release -p vcfr-bench --bin repro -- faults-smoke
 
+# Service smoke: start the batch daemon, submit two jobs, SIGKILL it
+# mid-run, restart, and byte-compare the resumed manifests against an
+# uninterrupted run (see docs/service.md).
+serve-smoke:
+    cargo test --release -p vcfr-cli --test serve_smoke
+
 # Full test suite across the workspace.
 test:
     cargo test --workspace

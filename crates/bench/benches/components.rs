@@ -133,6 +133,63 @@ fn bench_engine_hot_loop(c: &mut Criterion) {
     });
 }
 
+/// A long straight-line register-only body in a short loop: the shape
+/// the superblock fast path exists for.
+fn straightline_image(body: usize, loops: i64) -> vcfr_isa::Image {
+    let mut a = Asm::new(0x1000);
+    a.mov_ri(Reg::Rcx, loops);
+    let top = a.here();
+    for k in 0..body {
+        match k % 3 {
+            0 => a.alu_ri(AluOp::Add, Reg::Rax, 3),
+            1 => a.alu_ri(AluOp::Xor, Reg::Rdx, 0x55),
+            _ => a.mov_rr(Reg::Rbx, Reg::Rdx),
+        }
+    }
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn bench_engine_superblock_form(c: &mut Criterion) {
+    use vcfr_isa::SUPERBLOCK_MAX_INSTS;
+    let img = straightline_image(400, 1);
+    // Cold formation: decode-once plus the straight-line walk, the cost
+    // the cache amortises away on every later execution of the block.
+    c.bench_function("sim/engine_superblock_form_403_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(&img));
+            m.form_superblock(0x1000, SUPERBLOCK_MAX_INSTS).expect("block forms").len()
+        })
+    });
+}
+
+fn bench_engine_superblock_replay(c: &mut Criterion) {
+    use vcfr_sim::{Mode, Session, SimConfig};
+    let img = straightline_image(400, 200);
+    let cfg = SimConfig::default();
+    // The no-stall fast path end to end (~80k committed instructions per
+    // iteration), against the same run with the fast path disabled.
+    c.bench_function("sim/engine_superblock_replay_80k", |b| {
+        b.iter(|| {
+            let mut s = Session::new(Mode::Baseline(black_box(&img)), &cfg, 100_000)
+                .unwrap()
+                .with_superblocks(true);
+            s.run().unwrap().output.stats.instructions
+        })
+    });
+    c.bench_function("sim/engine_superblock_off_80k", |b| {
+        b.iter(|| {
+            let mut s = Session::new(Mode::Baseline(black_box(&img)), &cfg, 100_000)
+                .unwrap()
+                .with_superblocks(false);
+            s.run().unwrap().output.stats.instructions
+        })
+    });
+}
+
 criterion_group!(
     components,
     bench_encode_decode,
@@ -141,6 +198,8 @@ criterion_group!(
     bench_dram,
     bench_predictor,
     bench_drc,
-    bench_engine_hot_loop
+    bench_engine_hot_loop,
+    bench_engine_superblock_form,
+    bench_engine_superblock_replay
 );
 criterion_main!(components);

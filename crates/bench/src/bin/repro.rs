@@ -7,6 +7,8 @@
 //! repro obs-smoke      # tiny observability end-to-end check
 //! repro faults         # 11-app fault-injection campaign (base vs VCFR)
 //! repro faults-smoke   # 1-app seeded campaign + determinism check
+//! repro throughput     # superblock fast-path rate on the no-stall program
+//! repro fig3 --scale 4 # matrix over the scale-4 suite (longer runs)
 //! ```
 //!
 //! Whenever the simulation matrix runs, per-run wall-clock timing is
@@ -49,14 +51,72 @@ fn parse_threads(args: &mut Vec<String>) -> usize {
     threads.filter(|&n| n > 0).unwrap_or_else(ex::default_threads)
 }
 
+/// Pulls `--scale N` / `--scale=N` out of `args`, returning the
+/// workload scale factor (default 1, the calibrated suite). `check`
+/// always gates on scale 1 — its bands are calibrated for the unscaled
+/// programs.
+fn parse_scale(args: &mut Vec<String>) -> u64 {
+    let mut scale = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--scale" && i + 1 < args.len() {
+            scale = args[i + 1].parse::<u64>().ok();
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--scale=") {
+            scale = v.parse::<u64>().ok();
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    scale.filter(|&n| n > 0).unwrap_or(1)
+}
+
+/// Runs the no-stall superblock throughput measurement and prints both
+/// rates; returns the fast-path run for the artefact writer.
+fn throughput() -> (ex::RunTiming, ex::RunTiming) {
+    let (on, off) = ex::nostall_throughput();
+    header(
+        "Superblock fast path - no-stall replay throughput",
+        "decode-once straight-line replay with batched cycle accounting",
+    );
+    println!("{:<24} {:>14} {:>14}", "configuration", "insts", "insts/s");
+    for r in [&on, &off] {
+        println!(
+            "{:<24} {:>14} {:>14.2e}",
+            if r.superblock { "superblocks on" } else { "superblocks off" },
+            r.instructions,
+            r.insts_per_s
+        );
+    }
+    println!(
+        "speedup: {:.2}x{}",
+        on.insts_per_s / off.insts_per_s.max(1e-9),
+        if on.insts_per_s >= 100e6 { "  (>= 100M insts/s)" } else { "" }
+    );
+    (on, off)
+}
+
 /// Writes the benchmark artefacts of a matrix run: the timing record
 /// (`BENCH_repro.json`, shared writer in `vcfr-obs`) and one run
 /// manifest per (app, configuration) cell under `results/manifests/`.
 fn write_artifacts(m: &Matrix, t: &MatrixTiming) {
-    match manifests::bench_record(t).write_to(Path::new("BENCH_repro.json")) {
+    // The artefact also records the superblock fast-path rate on the
+    // no-stall program (superblocks on and off), so the throughput
+    // claim regenerates with every matrix run.
+    let (sb_on, sb_off) = ex::nostall_throughput();
+    eprintln!(
+        "superblock no-stall throughput: {:.1}M insts/s on, {:.1}M off",
+        sb_on.insts_per_s / 1e6,
+        sb_off.insts_per_s / 1e6
+    );
+    let mut timed = t.clone();
+    timed.runs.push(sb_on);
+    timed.runs.push(sb_off);
+    match manifests::bench_record(&timed).write_to(Path::new("BENCH_repro.json")) {
         Ok(()) => eprintln!(
             "wrote BENCH_repro.json ({} runs, {:.2}s matrix wall, {} thread{})",
-            t.runs.len(),
+            timed.runs.len(),
             t.wall_s,
             t.threads,
             if t.threads == 1 { "" } else { "s" }
@@ -275,7 +335,11 @@ fn check(threads: usize) -> bool {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
+    let scale = parse_scale(&mut args);
     if args.iter().any(|a| a == "check") {
+        if scale != 1 {
+            eprintln!("note: check gates on the calibrated scale-1 suite; --scale ignored");
+        }
         let ok = check(threads);
         std::process::exit(if ok { 0 } else { 1 });
     }
@@ -285,14 +349,21 @@ fn main() {
     if args.iter().any(|a| a == "faults-smoke") {
         std::process::exit(if faults_smoke() { 0 } else { 1 });
     }
+    if args.iter().any(|a| a == "throughput") {
+        let (on, _) = throughput();
+        std::process::exit(if on.insts_per_s > 0.0 { 0 } else { 1 });
+    }
     if want(&args, "faults") {
         run_faults(&vcfr_workloads::spec_suite(), threads, Path::new("results/faults"));
     }
     let needs_matrix =
         ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));
     let matrix: Option<Matrix> = needs_matrix.then(|| {
-        eprintln!("running the 11-app x 5-config simulation matrix on {threads} thread(s) ...");
-        let (m, timing) = ex::run_matrix_timed(threads);
+        eprintln!(
+            "running the 11-app x 5-config simulation matrix on {threads} thread(s){} ...",
+            if scale != 1 { format!(" at scale {scale}") } else { String::new() }
+        );
+        let (m, timing) = ex::run_matrix_timed_scaled(threads, scale);
         write_artifacts(&m, &timing);
         m
     });

@@ -12,7 +12,7 @@ use vcfr_sim::{
     emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel,
     IntervalSample, Mode, OooConfig, Session, SimConfig, SimStats,
 };
-use vcfr_workloads::{by_name, fig2_suite, spec_suite, Workload};
+use vcfr_workloads::{by_name, fig2_suite, spec_suite, spec_suite_scaled, Workload};
 
 pub use crate::pool::parallel_map;
 pub use crate::{geomean, mean};
@@ -79,6 +79,9 @@ pub struct RunTiming {
     pub wall_s: f64,
     /// Simulated instructions per host second.
     pub insts_per_s: f64,
+    /// Whether the superblock fast path was enabled (the matrix always
+    /// runs with it on; equivalence is pinned by `superblock_equiv`).
+    pub superblock: bool,
     /// Interval samples ([`SAMPLES_PER_RUN`] slices; deterministic — a
     /// pure function of the workload and configuration).
     pub samples: Vec<IntervalSample>,
@@ -145,6 +148,7 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
             instructions,
             wall_s,
             insts_per_s: instructions as f64 / wall_s.max(1e-9),
+            superblock: true,
             samples,
         };
         (out, timing)
@@ -229,6 +233,66 @@ pub fn run_matrix() -> Matrix {
 /// wall-clock timing (the `BENCH_repro.json` payload).
 pub fn run_matrix_timed(threads: usize) -> (Matrix, MatrixTiming) {
     matrix_over(&spec_suite(), threads)
+}
+
+/// [`run_matrix_timed`] over the scale-`scale` suite
+/// (`vcfr_workloads::spec_suite_scaled`): the same programs, with their
+/// outer repeat counts and instruction budgets multiplied, for
+/// longer-horizon timing runs. Scale 1 is the calibrated matrix.
+pub fn run_matrix_timed_scaled(threads: usize, scale: u64) -> (Matrix, MatrixTiming) {
+    matrix_over(&spec_suite_scaled(scale), threads)
+}
+
+/// Measures the superblock fast path on a purpose-built no-stall
+/// program: one straight-line block of 400 register-only ALU
+/// instructions per loop iteration, hot in the IL1 after the first
+/// iteration, so cycle accounting is the only per-instruction work.
+/// Returns the run timing with the fast path on and off (same program,
+/// same budget) — the pair the `BENCH_repro.json` artefact records so
+/// the ≥100M insts/s target stays auditable.
+pub fn nostall_throughput() -> (RunTiming, RunTiming) {
+    use vcfr_isa::{AluOp, Asm, Cond, Reg};
+    const BODY: usize = 400;
+    const LOOPS: i64 = 12_500;
+    let mut a = Asm::new(0x1000);
+    a.mov_ri(Reg::Rcx, LOOPS);
+    let top = a.here();
+    for k in 0..BODY {
+        match k % 4 {
+            0 => a.alu_ri(AluOp::Add, Reg::Rax, 3),
+            1 => a.alu_ri(AluOp::Xor, Reg::Rdx, 0x55),
+            2 => a.alu_rr(AluOp::Add, Reg::Rdx, Reg::Rax),
+            _ => a.mov_rr(Reg::Rbx, Reg::Rdx),
+        }
+    }
+    a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+    a.cmp_i(Reg::Rcx, 0);
+    a.jcc(Cond::Ne, top);
+    a.emit_output(Reg::Rdx);
+    a.halt();
+    let image = a.finish().expect("no-stall program assembles");
+    let budget = (BODY as u64 + 3) * (LOOPS as u64) + 16;
+
+    let cfg = SimConfig::default();
+    let run = |superblocks: bool| {
+        let t = Instant::now();
+        let out = Session::new(Mode::Baseline(&image), &cfg, budget)
+            .map(|s| s.with_superblocks(superblocks))
+            .and_then(|mut s| s.run())
+            .expect("no-stall program runs");
+        let wall_s = t.elapsed().as_secs_f64();
+        let instructions = out.output.stats.instructions;
+        RunTiming {
+            app: "nostall",
+            mode: "base",
+            instructions,
+            wall_s,
+            insts_per_s: instructions as f64 / wall_s.max(1e-9),
+            superblock: superblocks,
+            samples: Vec::new(),
+        }
+    };
+    (run(true), run(false))
 }
 
 // ---------------------------------------------------------------------

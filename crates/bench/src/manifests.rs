@@ -210,7 +210,8 @@ pub fn build_campaign_manifests(cells: &[CampaignCell], threads: usize) -> Vec<M
 }
 
 /// The `BENCH_repro.json` record of one matrix run (shared writer in
-/// `vcfr-obs`; schema v2 with host metadata and per-run throughput).
+/// `vcfr-obs`; schema v3 with host metadata, per-run throughput, and
+/// the superblock flag).
 pub fn bench_record(t: &MatrixTiming) -> BenchRecord {
     let (host_cores, cargo_profile) = BenchRecord::host_defaults();
     BenchRecord {
@@ -228,6 +229,7 @@ pub fn bench_record(t: &MatrixTiming) -> BenchRecord {
                 instructions: r.instructions,
                 wall_s: r.wall_s,
                 insts_per_s: r.insts_per_s,
+                superblock: r.superblock,
             })
             .collect(),
     }

@@ -110,12 +110,14 @@ fn load_image(path: &str) -> Result<Image, CliError> {
     }
 }
 
-/// `vcfr build <workload> -o <file>` — builds a named synthetic workload
-/// and writes its image.
+/// `vcfr build <workload> -o <file> [--scale N]` — builds a named
+/// synthetic workload (with its outer repeat count multiplied by
+/// `--scale`) and writes its image.
 pub fn cmd_build(args: &Args) -> Result<String, CliError> {
     let name = args.positional(0, "workload name")?;
     let out = args.value("o").ok_or_else(|| fail("missing -o/--o output path"))?;
-    let w = vcfr_workloads::by_name(name).ok_or_else(|| {
+    let scale = args.u64_or("scale", 1)?;
+    let w = vcfr_workloads::by_name_scaled(name, scale).ok_or_else(|| {
         fail(format!("unknown workload {name:?}; known: {:?}", vcfr_workloads::SPEC_NAMES))
     })?;
     let bytes = w.image.to_bytes();
@@ -377,9 +379,9 @@ fn single_run_manifest(
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let mode_name = args.value("mode").unwrap_or("baseline");
-    let max = args.u64_or("max", 2_000_000)?;
     let drc_entries = args.u64_or("drc", 128)? as usize;
     let seed = args.u64_or("seed", 0)?;
+    let scale = args.u64_or("scale", 1)?;
     let rerand_epoch = args.u64_or("rerand-epoch", 0)?;
     if rerand_epoch > 0 && mode_name != "vcfr" {
         return Err(fail("--rerand-epoch requires --mode vcfr (live table swaps need the DRC)"));
@@ -392,8 +394,39 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         ..SimConfig::default()
     };
 
-    // Obtain the randomized program where needed.
-    let (image, rp) = match load(path)? {
+    // Obtain the image: an artefact file, or — when the argument names a
+    // known workload instead of a readable file — a fresh build at the
+    // requested `--scale`. Prebuilt artefacts have their trip counts
+    // baked in, so `--scale` only applies to the workload-name form.
+    let (image, workload_budget) = match load(path) {
+        Ok(Artefact::Image(img)) => {
+            if scale != 1 {
+                return Err(fail(
+                    "--scale applies when simulating a workload by name; \
+                     rebuild the image with `vcfr build --scale` instead",
+                ));
+            }
+            (Artefact::Image(img), None)
+        }
+        Ok(rp @ Artefact::Randomized(_)) => {
+            if scale != 1 {
+                return Err(fail(
+                    "--scale applies when simulating a workload by name; \
+                     rebuild the image with `vcfr build --scale` instead",
+                ));
+            }
+            (rp, None)
+        }
+        Err(e) => match vcfr_workloads::by_name_scaled(path, scale) {
+            Some(w) => (Artefact::Image(w.image), Some(w.max_insts)),
+            None => return Err(e),
+        },
+    };
+    let max = match args.value("max") {
+        Some(_) => args.u64_or("max", 2_000_000)?,
+        None => workload_budget.unwrap_or(2_000_000),
+    };
+    let (image, rp) = match image {
         Artefact::Image(img) => {
             let rp = if mode_name != "baseline" {
                 Some(
@@ -422,7 +455,10 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         simulate_ooo(mode, &cfg, OooConfig::default(), max)
             .map_err(|e| CliError::Vcfr(VcfrError::Sim(e)))?
     } else {
-        Session::new(mode, &cfg, max)?.run()?.output
+        Session::new(mode, &cfg, max)?
+            .with_superblocks(!args.flag("no-superblocks"))
+            .run()?
+            .output
     };
     let host_s = host.elapsed().as_secs_f64();
 
@@ -847,6 +883,44 @@ mod tests {
         ))
         .unwrap();
         assert!(r.contains("out-of-order"));
+    }
+
+    #[test]
+    fn simulate_accepts_workload_names_and_scales_them() {
+        let flags: &[&str] = &["ooo", "no-superblocks"];
+        let values: &[&str] = &["mode", "max", "drc", "seed", "scale"];
+        // A workload name instead of a file, scaled 2x: budget follows
+        // the workload's scaled max_insts when --max is absent.
+        let r = cmd_simulate(&parse(&["memcpy", "--scale", "2"], flags, values)).unwrap();
+        assert!(r.contains("IPC:"), "{r}");
+        let insts: u64 = r
+            .lines()
+            .find(|l| l.starts_with("instructions:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        let base = cmd_simulate(&parse(&["memcpy"], flags, values)).unwrap();
+        let base_insts: u64 = base
+            .lines()
+            .find(|l| l.starts_with("instructions:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(insts > base_insts * 3 / 2, "scaled {insts} vs {base_insts}");
+        // The per-instruction path is still reachable for debugging.
+        let slow =
+            cmd_simulate(&parse(&["memcpy", "--no-superblocks"], flags, values)).unwrap();
+        let fast_line = |s: &str| {
+            s.lines().find(|l| l.starts_with("cycles:")).map(str::to_owned).unwrap()
+        };
+        assert_eq!(fast_line(&base), fast_line(&slow), "toggle changed results");
+        // --scale on a prebuilt image is rejected (trip counts are baked).
+        let img_path = tmp("memcpy-scale.img");
+        cmd_build(&parse(&["memcpy", "--o", &img_path], &[], &["o"])).unwrap();
+        let e = cmd_simulate(&parse(&[&img_path, "--scale", "2"], flags, values)).unwrap_err();
+        assert!(e.to_string().contains("vcfr build --scale"), "{e}");
+        // Unknown names still report the original file error.
+        assert!(cmd_simulate(&parse(&["nonesuch"], flags, values)).is_err());
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! `vcfr` — the command-line front end of the VCFR toolchain.
 //!
 //! ```text
-//! vcfr build <workload> --o <file>          build a synthetic workload image
+//! vcfr build <workload> --o <file> [--scale N]  build a synthetic workload image
 //! vcfr disasm <file> [--blocks]             disassemble (optionally as CFG blocks)
 //! vcfr run <file> [--max N]                 execute on the functional interpreter
 //! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
 //!                [--software-returns] [--keep SYM]...
-//! vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+//! vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
 //!                [--max N] [--seed N] [--rerand-epoch N] [--audit]
-//!                [--manifest <out.json>]
+//!                [--scale N] [--no-superblocks] [--manifest <out.json>]
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
 //! vcfr report <manifest-dir> [--against <manifest-dir>]
@@ -29,15 +29,15 @@ const USAGE: &str = "\
 vcfr — hardware-supported instruction address space randomization toolchain
 
 USAGE:
-    vcfr build <workload> --o <file>
+    vcfr build <workload> --o <file> [--scale N]
     vcfr asm <file.s> --o <file> [--base ADDR]
     vcfr disasm <file> [--blocks]
     vcfr run <file> [--max N]
     vcfr randomize <file> --o <out> [--seed N] [--page-confined]
                    [--software-returns] [--keep SYM]...
-    vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+    vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
                    [--max N] [--seed N] [--rerand-epoch N] [--audit]
-                   [--manifest <out.json>]
+                   [--scale N] [--no-superblocks] [--manifest <out.json>]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
@@ -45,14 +45,14 @@ USAGE:
     vcfr serve [--dir D] [--port P] [--workers N] [--queue N]
     vcfr submit <workload> [--mode baseline|naive|vcfr] [--drc N] [--max N]
                    [--seed N] [--rerand-epoch N] [--checkpoint-every N]
-                   [--dir D] [--watch]
+                   [--scale N] [--dir D] [--watch]
     vcfr jobs [--dir D]
     vcfr shutdown [--dir D]
 ";
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
     match cmd {
-        "build" => commands::cmd_build(&Args::parse(rest, &[], &["o"])?),
+        "build" => commands::cmd_build(&Args::parse(rest, &[], &["o", "scale"])?),
         "asm" => commands::cmd_asm(&Args::parse(rest, &[], &["o", "base"])?),
         "disasm" => commands::cmd_disasm(&Args::parse(rest, &["blocks"], &[])?),
         "run" => commands::cmd_run(&Args::parse(rest, &[], &["max"])?),
@@ -63,8 +63,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         )?),
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
-            &["ooo", "audit"],
-            &["mode", "drc", "max", "seed", "rerand-epoch", "manifest"],
+            &["ooo", "audit", "no-superblocks"],
+            &["mode", "drc", "max", "seed", "rerand-epoch", "scale", "manifest"],
         )?),
         "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
@@ -78,7 +78,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "submit" => serve::cmd_submit(&Args::parse(
             rest,
             &["watch"],
-            &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "dir"],
+            &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "scale", "dir"],
         )?),
         "jobs" => serve::cmd_jobs(&Args::parse(rest, &[], &["dir"])?),
         "shutdown" => serve::cmd_shutdown(&Args::parse(rest, &[], &["dir"])?),

@@ -25,7 +25,8 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 }
 
 /// `vcfr submit <workload> [--mode M] [--drc N] [--max N] [--seed N]
-/// [--rerand-epoch N] [--checkpoint-every N] [--dir D] [--watch]`.
+/// [--rerand-epoch N] [--checkpoint-every N] [--scale N] [--dir D]
+/// [--watch]`.
 pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let mut spec = JobSpec::new(args.positional(0, "workload name")?);
     if let Some(mode) = args.value("mode") {
@@ -35,6 +36,7 @@ pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     spec.max_insts = args.u64_or("max", spec.max_insts)?;
     spec.seed = args.u64_or("seed", spec.seed)?;
     spec.checkpoint_every = args.u64_or("checkpoint-every", spec.checkpoint_every)?;
+    spec.scale = args.u64_or("scale", spec.scale)?;
     if args.value("rerand-epoch").is_some() {
         spec.rerand_epoch = Some(args.u64_or("rerand-epoch", 0)?);
     }

@@ -51,6 +51,7 @@ mod mem;
 mod parse;
 mod persist;
 mod reg;
+mod superblock;
 pub mod wire;
 
 pub use asm::{Asm, DataRef, Label};
@@ -66,6 +67,10 @@ pub use mem::Mem;
 pub use parse::{parse_asm, ParseError};
 pub use persist::IMAGE_MAGIC;
 pub use reg::{Reg, ALL_REGS};
+pub use superblock::{
+    superblock_eligible, SbInst, Superblock, SuperblockCache, SuperblockLookup,
+    SUPERBLOCK_MAX_INSTS, SUPERBLOCK_MIN_INSTS,
+};
 
 /// Virtual addresses are 32 bits wide, as in the paper's DRC entries
 /// ("Each entry supports 32-bit instruction address translation").

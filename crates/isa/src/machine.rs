@@ -15,6 +15,7 @@ use crate::error::{DecodeError, ExecError};
 use crate::image::Image;
 use crate::inst::{AluOp, Cond, Inst};
 use crate::mem::Mem;
+use crate::superblock::{superblock_eligible, SbInst, Superblock, SUPERBLOCK_MIN_INSTS};
 use crate::wire::{Reader, WireError, Writer};
 use crate::{decode, Addr, Reg, MAX_INST_LEN, SYS_EXIT, SYS_OUTPUT, SYS_SHELL};
 use std::collections::HashMap;
@@ -610,6 +611,106 @@ impl Machine {
         Ok(Some(StepInfo { pc, inst, len, next_pc: next, control, mem }))
     }
 
+    /// Decodes the maximal superblock starting at `pc`: a straight-line
+    /// run of [`superblock_eligible`] instructions, capped at
+    /// `max_insts`. Formation stops at the first ineligible or
+    /// undecodable instruction, at the edge of the indexed code ranges,
+    /// and at any address with an ILR fall-through override (the
+    /// successor is no longer `pc + len` there). Returns `None` for runs
+    /// shorter than [`SUPERBLOCK_MIN_INSTS`].
+    ///
+    /// Formation is a read-only probe of the image bytes (plus the
+    /// decoded-instruction memo, which is a pure function of the image),
+    /// so attempting it never changes architectural state or when a
+    /// fault would surface.
+    pub fn form_superblock(&mut self, pc: Addr, max_insts: usize) -> Option<Superblock> {
+        let mut insts = Vec::new();
+        let mut cur = pc;
+        while insts.len() < max_insts {
+            if !self.decoded.contains(cur) || self.decoded.fall(cur).is_some() {
+                break;
+            }
+            let Ok(inst) = self.fetch_decode(cur) else {
+                break;
+            };
+            if !superblock_eligible(&inst) {
+                break;
+            }
+            let len = inst.len() as u8;
+            insts.push(SbInst { pc: cur, inst, len });
+            cur = cur.wrapping_add(len as Addr);
+        }
+        if insts.len() < SUPERBLOCK_MIN_INSTS {
+            return None;
+        }
+        Some(Superblock { start: pc, end: cur, insts })
+    }
+
+    /// Replays the first `n` instructions of `sb` through a reduced
+    /// dispatch loop. The caller must be at the block's entry
+    /// (`self.pc == sb.start`) with `1 <= n <= sb.len()`; the effect is
+    /// bit-identical to `n` calls of [`Machine::step`] — eligible
+    /// instructions touch only registers and flags, advance the program
+    /// counter by their encoded length, and cannot fault or stop.
+    pub fn replay_superblock(&mut self, sb: &Superblock, n: usize) {
+        debug_assert_eq!(self.pc, sb.start);
+        debug_assert!(n >= 1 && n <= sb.insts.len());
+        for s in &sb.insts[..n] {
+            match s.inst {
+                Inst::Nop => {}
+                Inst::MovRR { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+                Inst::MovRI { dst, imm } => self.regs[dst.index()] = imm as u64,
+                Inst::Lea { dst, base, disp } => {
+                    self.regs[dst.index()] =
+                        (self.regs[base.index()] as Addr).wrapping_add(disp as Addr) as u64;
+                }
+                Inst::AluRR { op, dst, src } => {
+                    let r = self.alu_nofault(op, self.regs[dst.index()], self.regs[src.index()]);
+                    self.regs[dst.index()] = r;
+                }
+                Inst::AluRI { op, dst, imm } => {
+                    let r = self.alu_nofault(op, self.regs[dst.index()], imm as i64 as u64);
+                    self.regs[dst.index()] = r;
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    self.flags_sub(self.regs[lhs.index()], self.regs[rhs.index()]);
+                }
+                Inst::CmpI { lhs, imm } => {
+                    self.flags_sub(self.regs[lhs.index()], imm as i64 as u64);
+                }
+                Inst::Test { lhs, rhs } => {
+                    self.flags_logic(self.regs[lhs.index()] & self.regs[rhs.index()]);
+                }
+                Inst::Neg { dst } => {
+                    let r = self.flags_sub(0, self.regs[dst.index()]);
+                    self.regs[dst.index()] = r;
+                }
+                Inst::Not { dst } => self.regs[dst.index()] = !self.regs[dst.index()],
+                _ => unreachable!("superblocks hold only eligible instructions"),
+            }
+        }
+        let last = &sb.insts[n - 1];
+        self.pc = last.pc.wrapping_add(last.len as Addr);
+        self.steps += n as u64;
+    }
+
+    /// [`Machine::alu`] restricted to the operations that cannot fault
+    /// (everything but `Div`/`Rem`), for the superblock replay path.
+    fn alu_nofault(&mut self, op: AluOp, a: u64, b: u64) -> u64 {
+        match op {
+            AluOp::Add => self.flags_add(a, b),
+            AluOp::Sub => self.flags_sub(a, b),
+            AluOp::And => self.flags_logic(a & b),
+            AluOp::Or => self.flags_logic(a | b),
+            AluOp::Xor => self.flags_logic(a ^ b),
+            AluOp::Shl => self.flags_logic(a.wrapping_shl((b & 63) as u32)),
+            AluOp::Shr => self.flags_logic(a.wrapping_shr((b & 63) as u32)),
+            AluOp::Sar => self.flags_logic(((a as i64).wrapping_shr((b & 63) as u32)) as u64),
+            AluOp::Mul => self.flags_logic(a.wrapping_mul(b)),
+            AluOp::Div | AluOp::Rem => unreachable!("superblocks exclude faulting ALU ops"),
+        }
+    }
+
     /// Runs until the program stops or `max_steps` instructions have
     /// executed.
     ///
@@ -947,6 +1048,89 @@ mod tests {
         buf[tag_at] = 9;
         let mut r = Reader::with_magic(&buf, *b"VCFRTEST").unwrap();
         assert!(matches!(Machine::restore(&img, &mut r), Err(WireError::BadTag { tag: 9 })));
+    }
+
+    #[test]
+    fn superblock_formation_stops_at_ineligible_instructions() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 1); // eligible
+        a.alu_ri(AluOp::Add, Reg::Rax, 2); // eligible
+        a.cmp_i(Reg::Rax, 3); // eligible
+        a.not(Reg::Rbx); // eligible
+        a.push(Reg::Rax); // memory: stops the block
+        a.halt();
+        let img = a.finish().unwrap();
+        let mut m = Machine::new(&img);
+        let sb = m.form_superblock(0x1000, 512).unwrap();
+        assert_eq!(sb.start, 0x1000);
+        assert_eq!(sb.insts.len(), 4);
+        assert_eq!(sb.end, sb.insts.iter().map(|s| s.len as Addr).sum::<Addr>() + 0x1000);
+        // Too-short runs are rejected: the last two eligible insts alone
+        // are below the minimum.
+        assert!(m.form_superblock(sb.insts[2].pc, 512).is_none());
+    }
+
+    #[test]
+    fn superblock_replay_matches_stepping() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, -5);
+        a.mov_ri(Reg::Rbx, 12);
+        a.alu_rr(AluOp::Add, Reg::Rax, Reg::Rbx); // sets CF/OF/ZF/SF
+        a.lea(Reg::Rcx, Reg::Rbx, 0x30);
+        a.alu_ri(AluOp::Shl, Reg::Rbx, 3);
+        a.cmp(Reg::Rax, Reg::Rbx);
+        a.test(Reg::Rcx, Reg::Rcx);
+        a.neg(Reg::Rax);
+        a.not(Reg::Rcx);
+        a.alu_ri(AluOp::Xor, Reg::Rax, 0x7f);
+        a.halt();
+        let img = a.finish().unwrap();
+
+        let mut stepped = Machine::new(&img);
+        let mut replayed = Machine::new(&img);
+        let sb = replayed.form_superblock(0x1000, 512).unwrap();
+        assert_eq!(sb.insts.len(), 10);
+
+        // Full replay after partial replay covers the n < len case too.
+        replayed.replay_superblock(&sb, 4);
+        for _ in 0..4 {
+            stepped.step().unwrap();
+        }
+        assert_eq!(replayed.pc(), stepped.pc());
+        // Re-form from the middle to continue (blocks are per entry pc).
+        let rest = replayed.form_superblock(replayed.pc(), 512).unwrap();
+        replayed.replay_superblock(&rest, rest.insts.len());
+        for _ in 0..6 {
+            stepped.step().unwrap();
+        }
+        assert_eq!(replayed.pc(), stepped.pc());
+        assert_eq!(replayed.steps(), stepped.steps());
+        // Full architectural state agrees: serialise both and compare.
+        let mut wa = Writer::with_magic(*b"VCFRTEST");
+        stepped.save(&mut wa);
+        let mut wb = Writer::with_magic(*b"VCFRTEST");
+        replayed.save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn superblock_formation_respects_fallthrough_maps() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 1);
+        a.mov_ri(Reg::Rbx, 2);
+        a.mov_ri(Reg::Rcx, 3);
+        a.mov_ri(Reg::Rdx, 4);
+        a.halt();
+        let img = a.finish().unwrap();
+        let mut m = Machine::new(&img);
+        assert!(m.form_superblock(0x1000, 512).is_some());
+        // An ILR successor override inside the run breaks contiguity:
+        // formation must stop before the overridden pc.
+        let mut map = HashMap::new();
+        map.insert(0x1000u32 + 20, 0x1000u32); // third mov (two 10-byte movs before it)
+        let mut m = Machine::new(&img);
+        m.set_fallthrough_map(map);
+        assert!(m.form_superblock(0x1000, 512).is_none(), "run shrinks below the minimum");
     }
 
     #[test]

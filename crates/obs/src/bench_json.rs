@@ -7,8 +7,10 @@
 
 use crate::json::Json;
 
-/// Current `BENCH_repro.json` schema version.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// Current `BENCH_repro.json` schema version. Version 3 added the
+/// per-run `superblock` flag recording whether the superblock fast path
+/// was enabled for that run.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Wall-clock timing of one simulator run.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,6 +25,8 @@ pub struct BenchRun {
     pub wall_s: f64,
     /// Simulated instructions per host second.
     pub insts_per_s: f64,
+    /// Whether the superblock fast path was enabled.
+    pub superblock: bool,
 }
 
 /// The full benchmark artefact: host metadata plus per-run timing.
@@ -91,6 +95,7 @@ impl BenchRecord {
                 } else {
                     o.set("insts_per_s", Json::Str("unmeasured".into()));
                 }
+                o.set("superblock", Json::Bool(r.superblock));
                 o
             })
             .collect();
@@ -127,6 +132,7 @@ mod tests {
                     instructions: 1000,
                     wall_s: 0.25,
                     insts_per_s: 4000.0,
+                    superblock: true,
                 },
                 BenchRun {
                     app: "bzip2".into(),
@@ -134,6 +140,7 @@ mod tests {
                     instructions: 3000,
                     wall_s: 0.75,
                     insts_per_s: 4000.0,
+                    superblock: false,
                 },
             ],
         }
@@ -148,14 +155,11 @@ mod tests {
         assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(BENCH_SCHEMA_VERSION));
         assert_eq!(j.get("cargo_profile").unwrap().as_str(), Some("release"));
         let parsed = parse_json(&j.pretty()).unwrap();
-        assert_eq!(parsed.get("runs").unwrap().as_arr().unwrap().len(), 2);
-        assert_eq!(
-            parsed.get("runs").unwrap().as_arr().unwrap()[1]
-                .get("insts_per_s")
-                .unwrap()
-                .as_f64(),
-            Some(4000.0)
-        );
+        let runs = parsed.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("insts_per_s").unwrap().as_f64(), Some(4000.0));
+        assert_eq!(runs[0].get("superblock"), Some(&Json::Bool(true)));
+        assert_eq!(runs[1].get("superblock"), Some(&Json::Bool(false)));
     }
 
     #[test]
@@ -167,6 +171,7 @@ mod tests {
             instructions: 0,
             wall_s: 0.0,
             insts_per_s: f64::INFINITY,
+            superblock: true,
         });
         let j = r.to_json();
         let runs = j.get("runs").unwrap().as_arr().unwrap();

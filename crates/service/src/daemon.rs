@@ -24,7 +24,7 @@ use vcfr_core::DrcConfig;
 use vcfr_obs::{parse_json, Json};
 use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
 use vcfr_sim::{Mode, Session, SessionStatus, SimConfig};
-use vcfr_workloads::by_name;
+use vcfr_workloads::{by_name, by_name_scaled};
 
 /// How the daemon is configured.
 #[derive(Clone, Debug)]
@@ -222,7 +222,7 @@ fn run_job(inner: &Inner, id: u64) {
         return; // stays queued on disk; the next start re-admits it
     }
 
-    let Some(w) = by_name(&spec.workload) else {
+    let Some(w) = by_name_scaled(&spec.workload, spec.scale) else {
         fail_job(inner, id, format!("unknown workload {:?}", spec.workload));
         return;
     };

@@ -33,6 +33,10 @@ pub struct JobSpec {
     pub rerand_epoch: Option<u64>,
     /// Instructions between engine snapshots.
     pub checkpoint_every: u64,
+    /// Workload scale factor (`vcfr_workloads::by_name_scaled`): multiplies
+    /// the outer repeat count and the instruction budget. 1 is the
+    /// historical unscaled program.
+    pub scale: u64,
 }
 
 impl JobSpec {
@@ -46,6 +50,7 @@ impl JobSpec {
             seed: vcfr_bench::experiments::SEED,
             rerand_epoch: None,
             checkpoint_every: 100_000,
+            scale: 1,
         }
     }
 
@@ -72,6 +77,12 @@ impl JobSpec {
                 "max_insts must be at least 1 instruction".to_string(),
             ));
         }
+        if self.scale == 0 || self.scale > 1024 {
+            return Err(ServiceError::Protocol(format!(
+                "scale must be between 1 and 1024 (got {})",
+                self.scale
+            )));
+        }
         Ok(())
     }
 
@@ -89,6 +100,7 @@ impl JobSpec {
             None => j.set("rerand_epoch", Json::Null),
         };
         j.set("checkpoint_every", Json::U64(self.checkpoint_every));
+        j.set("scale", Json::U64(self.scale));
         j
     }
 
@@ -122,6 +134,7 @@ impl JobSpec {
         spec.max_insts = u64_field("max_insts", spec.max_insts)?;
         spec.seed = u64_field("seed", spec.seed)?;
         spec.checkpoint_every = u64_field("checkpoint_every", spec.checkpoint_every)?;
+        spec.scale = u64_field("scale", spec.scale)?;
         spec.rerand_epoch = match j.get("rerand_epoch") {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or_else(|| {
@@ -248,8 +261,16 @@ mod tests {
         let mut spec = JobSpec::new("bzip2");
         spec.rerand_epoch = Some(40_000);
         spec.max_insts = 123_456;
+        spec.scale = 8;
         let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn absent_scale_defaults_to_one() {
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("scale", Json::Null);
+        assert_eq!(JobSpec::from_json(&j).expect("parses").scale, 1);
     }
 
     #[test]
@@ -259,6 +280,12 @@ mod tests {
         assert!(JobSpec::from_json(&j).is_err());
         let mut j = JobSpec::new("bzip2").to_json();
         j.set("checkpoint_every", Json::U64(0));
+        assert!(JobSpec::from_json(&j).is_err());
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("scale", Json::U64(0));
+        assert!(JobSpec::from_json(&j).is_err());
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("scale", Json::U64(2048));
         assert!(JobSpec::from_json(&j).is_err());
         assert!(JobSpec::from_json(&Json::obj()).is_err());
     }

@@ -257,6 +257,19 @@ pub(crate) struct Engine {
     pub(crate) cur_pc: Addr,
 }
 
+/// Per-instruction timing precompute for superblock replay: everything
+/// `Engine::step` needs from `StepInfo` for an eligible (register-only)
+/// instruction, flattened so the batched path touches no decoder state.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ReplayInst {
+    /// Architectural pc (identical to fetch pc in Baseline/Vcfr modes).
+    pub(crate) pc: Addr,
+    /// Address of the instruction's final byte (`pc + len - 1`).
+    pub(crate) last: Addr,
+    /// Extra execute cycles (`Engine::exec_extra`), e.g. 2 for `mul`.
+    pub(crate) extra: u64,
+}
+
 /// Records one trace event. A free function so call sites can borrow the
 /// ring alongside other `Engine` fields (e.g. while the DRC is borrowed).
 #[inline]
@@ -318,7 +331,11 @@ impl Engine {
 
     fn redirect(&mut self, at: u64) {
         if at > self.redirect_at {
-            self.redirect_stall += at - self.redirect_at.max(self.fetch_time);
+            // A redirect only stalls fetch for the cycles past the point
+            // fetch has already reached. When it lands exactly on (or
+            // behind) `fetch_time`, the front end never waits: the
+            // contribution is zero, not a wrapped subtraction.
+            self.redirect_stall += at.saturating_sub(self.redirect_at.max(self.fetch_time));
             self.redirect_at = at;
             trace_push(
                 &mut self.trace,
@@ -426,6 +443,73 @@ impl Engine {
 
         self.backend_time = exec_end;
         trace_push(&mut self.trace, self.instructions, info.pc, exec_end, TraceEventKind::Commit);
+    }
+
+    /// Replays a run of superblock instructions through the timing model.
+    ///
+    /// Bit-for-bit equivalent to calling [`Engine::step`] once per
+    /// instruction when every instruction is superblock-eligible
+    /// (register-only: no memory accesses, no control flow, no faults)
+    /// and fetch pc equals architectural pc (Baseline/Vcfr modes). The
+    /// per-step work that is provably a no-op for such instructions —
+    /// the DRC flush / rerand epoch checks (the caller caps `insts` so
+    /// no boundary falls inside the batch), `vcfr_events` (iterates an
+    /// empty access list, matches no control), the data-access loop and
+    /// the control-flow hand-off — is skipped; everything else, including
+    /// cache/TLB/prefetcher state advanced by `fetch_line` on *hits* and
+    /// FetchStall/Commit trace events, runs exactly as in `step`.
+    pub(crate) fn replay_block(&mut self, insts: &[ReplayInst]) {
+        let cfg = self.cfg;
+        let line_bytes = cfg.il1.line_bytes as Addr;
+        let line_mask = !(line_bytes - 1);
+        for ri in insts {
+            self.instructions += 1;
+
+            // ---- fetch --------------------------------------------------
+            let mut start = self.fetch_time.max(self.redirect_at);
+            if self.iq.len() >= cfg.iq_entries {
+                if let Some(oldest) = self.iq.pop_front() {
+                    start = start.max(oldest);
+                }
+            }
+            let mut stall = 0;
+            let first = ri.pc & line_mask;
+            let last = ri.last & line_mask;
+            let mut line = first;
+            loop {
+                if self.window_line != Some(line) {
+                    stall += self.hier.fetch_line(line, start);
+                    self.window_line = Some(line);
+                }
+                if line == last {
+                    break;
+                }
+                line += line_bytes;
+            }
+            let fetch_done = start + 1 + stall;
+            self.fetch_stall += stall;
+            self.fetch_time = fetch_done;
+            if stall > 0 {
+                trace_push(
+                    &mut self.trace,
+                    self.instructions,
+                    ri.pc,
+                    fetch_done,
+                    TraceEventKind::FetchStall { cycles: stall },
+                );
+            }
+
+            // ---- backend ------------------------------------------------
+            let exec_start = (self.backend_time + 1).max(fetch_done + DECODE_DEPTH);
+            self.iq.push_back(exec_start);
+            self.exec_extra += ri.extra;
+            let exec_end = exec_start + ri.extra;
+            self.backend_time = exec_end;
+            trace_push(&mut self.trace, self.instructions, ri.pc, exec_end, TraceEventKind::Commit);
+        }
+        if let Some(ri) = insts.last() {
+            self.cur_pc = ri.pc;
+        }
     }
 
     fn vcfr_events(
@@ -1355,7 +1439,7 @@ pub fn simulate_sampled(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vcfr_isa::{AluOp, Asm, Cond, Reg};
+    use vcfr_isa::{AluOp, Asm, Cond, Machine, Reg};
     use vcfr_rewriter::{randomize, RandomizeConfig};
 
     /// A loop calling ~120 small functions per iteration: the hot code
@@ -1384,6 +1468,79 @@ mod tests {
             a.ret();
         }
         a.finish().unwrap()
+    }
+
+    #[test]
+    fn redirect_landing_on_fetch_time_adds_no_stall() {
+        // Pin the boundary semantics of redirect-stall accounting: a
+        // redirect resolving exactly at (or before) the cycle fetch has
+        // already reached costs the front end nothing, but still moves
+        // the resume point so later fetches cannot start earlier.
+        let cfg = SimConfig::default();
+        let mut e = Engine::new(&cfg, None);
+        e.fetch_time = 100;
+
+        // Exactly on fetch_time: zero stall, redirect point recorded.
+        e.redirect(100);
+        assert_eq!(e.redirect_stall, 0);
+        assert_eq!(e.redirect_at, 100);
+
+        // Behind fetch_time but ahead of redirect_at (mid-flight branch
+        // resolved while fetch ran ahead): still free — this is the case
+        // the old unchecked subtraction would have underflowed on.
+        e.fetch_time = 200;
+        e.redirect(150);
+        assert_eq!(e.redirect_stall, 0);
+        assert_eq!(e.redirect_at, 150);
+
+        // Past fetch_time: only the cycles beyond fetch_time count.
+        e.redirect(230);
+        assert_eq!(e.redirect_stall, 30);
+        assert_eq!(e.redirect_at, 230);
+
+        // Not past the previous redirect: ignored entirely.
+        e.redirect(210);
+        assert_eq!(e.redirect_stall, 30);
+        assert_eq!(e.redirect_at, 230);
+    }
+
+    #[test]
+    fn replay_block_matches_stepwise_accounting() {
+        // The batched replay path must leave the engine in the exact
+        // state N individual steps would: serialize both and compare.
+        let mut a = Asm::new(0x1000);
+        for i in 0..24 {
+            a.alu_ri(AluOp::Add, Reg::Rax, i + 1);
+            a.alu_ri(AluOp::Mul, Reg::Rbx, 3); // exercises exec_extra
+            a.cmp_i(Reg::Rax, 7);
+        }
+        a.halt();
+        let img = a.finish().unwrap();
+
+        let cfg = SimConfig::default();
+        let mut stepped = Engine::new(&cfg, None);
+        let mut batched = Engine::new(&cfg, None);
+        let mut m = Machine::new(&img);
+        let mut replay = Vec::new();
+        let ident = |a: Addr| a;
+        for _ in 0..72 {
+            let info = m.step().unwrap().unwrap();
+            replay.push(ReplayInst {
+                pc: info.pc,
+                last: info.pc + info.len as Addr - 1,
+                extra: Engine::exec_extra(&info.inst),
+            });
+            stepped.step(&info, info.pc, &ident, None);
+        }
+        batched.replay_block(&replay);
+
+        let mut wa = Writer::with_magic(*b"VCFRTEST");
+        stepped.save(&mut wa);
+        let mut wb = Writer::with_magic(*b"VCFRTEST");
+        batched.save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+        assert_eq!(batched.instructions, 72);
+        assert_eq!(batched.cur_pc, stepped.cur_pc);
     }
 
     #[test]

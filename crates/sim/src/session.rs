@@ -12,12 +12,15 @@
 
 use crate::checkpoint::{self, CheckpointError, PAYLOAD_MAGIC};
 use crate::config::SimConfig;
-use crate::engine::{Engine, IntervalSample, Mode, SimOutput};
+use crate::engine::{exec_extra_cycles, Engine, IntervalSample, Mode, ReplayInst, SimOutput};
 use crate::error::VcfrError;
 use crate::faults::{FaultPlan, FaultRecord, FaultStats};
 use crate::stats::SimStats;
 use vcfr_isa::wire::{Reader, WireError, Writer};
-use vcfr_isa::{Addr, Machine, RunOutcome};
+use vcfr_isa::{
+    Addr, Machine, RunOutcome, SectionKind, SuperblockCache, SuperblockLookup,
+    SUPERBLOCK_MAX_INSTS,
+};
 use vcfr_rewriter::RandomizedProgram;
 
 /// Everything a finished session produced.
@@ -77,6 +80,17 @@ pub struct Session<'a> {
     stride: u64,
     next_sample: u64,
     finished: Option<SessionOutcome>,
+    /// Whether the superblock fast path is enabled (default on; see
+    /// [`Session::with_superblocks`]). Deliberately *not* part of the
+    /// checkpoint context: on/off runs are bit-identical by construction
+    /// and their checkpoints interchange freely.
+    superblocks: bool,
+    /// Formed superblocks keyed by entry pc. A pure function of the
+    /// image text, so never serialized — rebuilt lazily after restore.
+    sb_cache: SuperblockCache,
+    /// Per-block engine timing precompute, parallel to the cache's
+    /// block ids.
+    sb_timing: Vec<Vec<ReplayInst>>,
 }
 
 impl<'a> Session<'a> {
@@ -121,6 +135,12 @@ impl<'a> Session<'a> {
             }
         }
         let last = engine.stats_now();
+        let mut sb_cache = SuperblockCache::new();
+        for s in &mode.image_ref().sections {
+            if s.kind == SectionKind::Text {
+                sb_cache.add_range(s.base, s.end());
+            }
+        }
         Ok(Session {
             mode,
             cfg: *cfg,
@@ -134,6 +154,9 @@ impl<'a> Session<'a> {
             stride: 0,
             next_sample: u64::MAX,
             finished: None,
+            superblocks: true,
+            sb_cache,
+            sb_timing: Vec::new(),
         })
     }
 
@@ -149,6 +172,18 @@ impl<'a> Session<'a> {
     /// Schedules the faults of `plan` for injection.
     pub fn with_faults(mut self, plan: &FaultPlan) -> Session<'a> {
         self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Enables or disables the superblock fast path (on by default).
+    ///
+    /// The setting changes throughput only, never results: stats,
+    /// samples, fault records, trace events and checkpoint bytes are
+    /// bit-identical either way (`tests/superblock_equiv.rs` enforces
+    /// this). Disabling is useful for differential debugging and for
+    /// timing the per-instruction path.
+    pub fn with_superblocks(mut self, enabled: bool) -> Session<'a> {
+        self.superblocks = enabled;
         self
     }
 
@@ -197,6 +232,13 @@ impl<'a> Session<'a> {
                 };
                 return Ok(SessionStatus::Done(Box::new(self.finish(outcome))));
             }
+            if self.superblocks && self.try_superblock(stop_at) {
+                self.post_step()?;
+                if self.engine.instructions >= stop_at {
+                    return Ok(SessionStatus::Running);
+                }
+                continue;
+            }
             let step = self.machine.step();
             let Some(info) = step.map_err(|e| VcfrError::Sim(self.engine.fault(e)))? else {
                 let outcome = RunOutcome {
@@ -216,38 +258,134 @@ impl<'a> Session<'a> {
                     self.engine.step(&info, info.pc, &identity, Some(program));
                 }
             }
-            if let Some(p) = &self.plan {
-                let image = self.mode.image_ref();
-                let fault_rp: Option<&RandomizedProgram> = match &self.mode {
-                    Mode::Vcfr { program, .. } => Some(program),
-                    _ => None,
-                };
-                while let Some(f) = p.faults.get(self.fault_idx) {
-                    if f.at_inst > self.engine.instructions {
-                        break;
-                    }
-                    let outcome = self
-                        .engine
-                        .inject_fault(f, image, fault_rp, p.policy)
-                        .map_err(VcfrError::Sim)?;
-                    self.engine.fstats.record(outcome);
-                    self.engine.frecords.push(FaultRecord {
-                        at_inst: self.engine.instructions,
-                        target: f.target,
-                        persistence: f.persistence,
-                        outcome,
-                    });
-                    self.fault_idx += 1;
-                }
-            }
-            if self.engine.instructions >= self.next_sample {
-                self.take_sample();
-                self.next_sample += self.stride;
-            }
+            self.post_step()?;
             if self.engine.instructions >= stop_at {
                 return Ok(SessionStatus::Running);
             }
         }
+    }
+
+    /// Attempts to advance the run through a superblock replay. Returns
+    /// `false` when the slow path must handle the next instruction: the
+    /// mode is ineligible (NaiveIlr fetches from scattered addresses),
+    /// the machine is stopped, no block starts at the current pc, or the
+    /// admissible batch length is zero because the very next instruction
+    /// carries a boundary event (sample, scheduled fault, DRC flush,
+    /// rerand epoch, budget edge).
+    ///
+    /// The batch length is capped so that no observability or
+    /// dependability hook can fall *inside* a batch — every hook in
+    /// [`Session::run_for`]'s bookkeeping fires on exactly the same
+    /// instruction boundary the per-instruction path would fire it on.
+    fn try_superblock(&mut self, stop_at: u64) -> bool {
+        let vcfr = match &self.mode {
+            Mode::Baseline(_) => false,
+            Mode::Vcfr { .. } => true,
+            // Naive ILR fetches every instruction from its scattered
+            // randomized address: the fast path's pc-contiguity premise
+            // does not hold.
+            Mode::NaiveIlr(_) => return false,
+        };
+        if self.machine.stop_reason().is_some() {
+            return false;
+        }
+        let pc = self.machine.pc();
+        let id = match self.sb_cache.lookup(pc) {
+            SuperblockLookup::Block(id) => id,
+            SuperblockLookup::NoBlock => return false,
+            SuperblockLookup::Untried => {
+                let formed = self.machine.form_superblock(pc, SUPERBLOCK_MAX_INSTS);
+                match self.sb_cache.record(pc, formed) {
+                    Some(id) => {
+                        let sb = self.sb_cache.get(id);
+                        self.sb_timing.push(
+                            sb.insts
+                                .iter()
+                                .map(|s| ReplayInst {
+                                    pc: s.pc,
+                                    last: s.pc + s.len as Addr - 1,
+                                    extra: exec_extra_cycles(&s.inst),
+                                })
+                                .collect(),
+                        );
+                        id
+                    }
+                    None => return false,
+                }
+            }
+        };
+
+        // Cap the batch at the nearest boundary. All of these are
+        // strictly ahead of the current instruction count (loop/run_for
+        // invariants), so the subtractions cannot wrap — saturating_sub
+        // merely turns a violated invariant into a slow-path fallback.
+        let i = self.engine.instructions;
+        let sb = self.sb_cache.get(id);
+        let mut n = (sb.len() as u64)
+            .min(self.max_insts - i)
+            .min(stop_at - i)
+            .min(self.next_sample.saturating_sub(i));
+        if let Some(p) = &self.plan {
+            if let Some(f) = p.faults.get(self.fault_idx) {
+                n = n.min(f.at_inst.saturating_sub(i));
+            }
+        }
+        if vcfr {
+            // The instruction landing exactly on a flush/epoch multiple
+            // must take the slow path: `Engine::step` performs the flush
+            // or table swap *before* that instruction's fetch.
+            if let Some(q) = self.cfg.drc_flush_interval.and_then(|v| i.checked_div(v)) {
+                let interval = self.cfg.drc_flush_interval.expect("division succeeded");
+                n = n.min((q + 1) * interval - i - 1);
+            }
+            if let Some(q) = self.cfg.rerand_epoch.and_then(|v| i.checked_div(v)) {
+                let epoch = self.cfg.rerand_epoch.expect("division succeeded");
+                n = n.min((q + 1) * epoch - i - 1);
+            }
+        }
+        if n == 0 {
+            return false;
+        }
+        let n = n as usize;
+        self.machine.replay_superblock(self.sb_cache.get(id), n);
+        self.engine.replay_block(&self.sb_timing[id as usize][..n]);
+        true
+    }
+
+    /// Bookkeeping shared by the per-instruction and superblock paths:
+    /// injects any faults now due and folds a sample when the interval
+    /// boundary was reached. Both paths land on identical instruction
+    /// boundaries, so the records and samples are identical too.
+    fn post_step(&mut self) -> Result<(), VcfrError> {
+        if let Some(p) = &self.plan {
+            let image = self.mode.image_ref();
+            let fault_rp: Option<&RandomizedProgram> = match &self.mode {
+                Mode::Vcfr { program, .. } => Some(program),
+                _ => None,
+            };
+            while let Some(f) = p.faults.get(self.fault_idx) {
+                if f.at_inst > self.engine.instructions {
+                    break;
+                }
+                let outcome = self
+                    .engine
+                    .inject_fault(f, image, fault_rp, p.policy)
+                    .map_err(VcfrError::Sim)?;
+                self.engine.fstats.record(outcome);
+                self.engine.frecords.push(FaultRecord {
+                    at_inst: self.engine.instructions,
+                    target: f.target,
+                    persistence: f.persistence,
+                    outcome,
+                });
+                self.fault_idx += 1;
+            }
+        }
+        if self.engine.instructions >= self.next_sample {
+            self.take_sample();
+            self.next_sample += self.stride;
+        }
+        Ok(())
     }
 
     /// Folds the interval since the last sample into `self.samples`.

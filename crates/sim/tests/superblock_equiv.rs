@@ -1,0 +1,135 @@
+//! Differential test for the superblock fast path: for every workload
+//! and a matrix of configurations, a run with superblocks enabled must
+//! be *bit-identical* to the same run with them disabled — same stats
+//! snapshot, same architectural outcome, same interval samples, same
+//! fault records, and same checkpoint bytes at a mid-run boundary.
+//!
+//! This is the contract `docs/superblocks.md` documents: the fast path
+//! is a throughput optimization with no observable footprint.
+
+use vcfr_core::DrcConfig;
+use vcfr_rewriter::{randomize, RandomizeConfig};
+use vcfr_sim::{FaultPlan, Mode, Session, SessionOutcome, SessionStatus, SimConfig};
+use vcfr_workloads::Workload;
+
+const SEED: u64 = 2015;
+
+/// The four configurations of the differential matrix.
+#[derive(Clone, Copy, Debug)]
+enum Config {
+    /// Baseline mode, no randomization.
+    Base,
+    /// VCFR with a 128-entry direct-mapped DRC.
+    Vcfr128,
+    /// VCFR with live re-randomization epochs.
+    Rerand,
+    /// VCFR with a scheduled fault-injection campaign.
+    Faulted,
+}
+
+const CONFIGS: [Config; 4] = [Config::Base, Config::Vcfr128, Config::Rerand, Config::Faulted];
+
+struct Run {
+    outcome: SessionOutcome,
+    mid_checkpoint: Vec<u8>,
+}
+
+/// Runs `w` under `c`, sampling ten intervals, checkpointing once
+/// roughly a third of the way in, with the superblock path forced on
+/// or off.
+fn run(w: &Workload, c: Config, superblocks: bool) -> Run {
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).unwrap();
+    let cfg = match c {
+        Config::Rerand => SimConfig { rerand_epoch: Some(40_000), ..SimConfig::default() },
+        _ => SimConfig::default(),
+    };
+    let mode = match c {
+        Config::Base => Mode::Baseline(&w.image),
+        _ => Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+    };
+    let mut s = Session::new(mode, &cfg, w.max_insts)
+        .unwrap()
+        .with_sampling((w.max_insts / 10).max(1))
+        .with_superblocks(superblocks);
+    if let Config::Faulted = c {
+        s = s.with_faults(&FaultPlan::generate(SEED, 12, w.max_insts / 2));
+    }
+    // `max_insts` is a generous budget, not the actual run length: cap
+    // the pre-checkpoint slice low enough that every workload is still
+    // mid-flight when the checkpoint is taken.
+    let mut mid_checkpoint = Vec::new();
+    match s.run_for((w.max_insts / 3).min(20_000)) {
+        Ok(SessionStatus::Running) => mid_checkpoint = s.checkpoint(),
+        Ok(SessionStatus::Done(_)) => {}
+        Err(e) => panic!("{}/{c:?}: {e}", w.name),
+    }
+    let outcome = s.run().unwrap_or_else(|e| panic!("{}/{c:?}: {e}", w.name));
+    Run { outcome, mid_checkpoint }
+}
+
+fn assert_identical(w: &Workload, c: Config) {
+    let on = run(w, c, true);
+    let off = run(w, c, false);
+    let tag = format!("{}/{c:?}", w.name);
+    assert_eq!(on.outcome.output.stats, off.outcome.output.stats, "{tag}: stats diverge");
+    assert_eq!(on.outcome.output.outcome, off.outcome.output.outcome, "{tag}: outcome diverges");
+    assert_eq!(on.outcome.samples, off.outcome.samples, "{tag}: samples diverge");
+    assert_eq!(on.outcome.records, off.outcome.records, "{tag}: fault records diverge");
+    assert_eq!(on.outcome.faults, off.outcome.faults, "{tag}: fault stats diverge");
+    assert_eq!(on.mid_checkpoint, off.mid_checkpoint, "{tag}: checkpoint bytes diverge");
+}
+
+/// A checkpoint taken under one setting must restore and finish
+/// identically under the other (the toggle is not part of the context
+/// fingerprint).
+#[test]
+fn checkpoints_interchange_across_the_toggle() {
+    let w = vcfr_workloads::by_name("bzip2").unwrap();
+    let on = run(&w, Config::Vcfr128, true);
+    assert!(!on.mid_checkpoint.is_empty());
+
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).unwrap();
+    let cfg = SimConfig::default();
+    let mode = Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+    let mut resumed = Session::new(mode, &cfg, w.max_insts)
+        .unwrap()
+        .with_sampling((w.max_insts / 10).max(1))
+        .with_superblocks(false);
+    resumed.restore(&on.mid_checkpoint).unwrap();
+    let out = resumed.run().unwrap();
+    assert_eq!(out.output.stats, on.outcome.output.stats);
+    assert_eq!(out.output.outcome, on.outcome.output.outcome);
+    assert_eq!(out.samples, on.outcome.samples);
+}
+
+// One test per workload so failures localize and the matrix runs in
+// parallel under the default test harness.
+macro_rules! equiv {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                let w = vcfr_workloads::by_name($name).unwrap();
+                for c in CONFIGS {
+                    assert_identical(&w, c);
+                }
+            }
+        )*
+    };
+}
+
+equiv! {
+    equiv_bzip2 => "bzip2",
+    equiv_gcc => "gcc",
+    equiv_mcf => "mcf",
+    equiv_hmmer => "hmmer",
+    equiv_sjeng => "sjeng",
+    equiv_libquantum => "libquantum",
+    equiv_h264ref => "h264ref",
+    equiv_lbm => "lbm",
+    equiv_xalan => "xalan",
+    equiv_namd => "namd",
+    equiv_soplex => "soplex",
+    equiv_memcpy => "memcpy",
+    equiv_python => "python",
+}

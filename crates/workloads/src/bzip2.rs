@@ -14,8 +14,11 @@ const BLOCK_BYTES: usize = 4096;
 const BLOCKS: i64 = 6;
 const UNROLL: usize = 16;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the block count (the outer
+/// trip count) and the instruction budget; scale 1 is byte-identical to
+/// the historical unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let buf = util::data_random_bytes(&mut a, BLOCK_BYTES, 0xb21b);
@@ -25,7 +28,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R9, 0);
     a.mov_ri(Reg::R8, 0);
     a.mov_ri(Reg::R11, hist.0 as i64);
-    a.mov_ri(Reg::Rbx, BLOCKS);
+    a.mov_ri(Reg::Rbx, BLOCKS.saturating_mul(scale as i64));
 
     let block_loop = a.here();
     a.mov_ri(Reg::Rsi, buf.0 as i64);
@@ -90,7 +93,7 @@ pub fn build() -> Workload {
         name: "bzip2",
         description: "block compression front-end: histogram + run-length scan",
         image: a.finish().expect("bzip2 assembles"),
-        max_insts: 800_000,
+        max_insts: 800_000u64.saturating_mul(scale),
     }
 }
 
@@ -100,7 +103,7 @@ mod tests {
 
     #[test]
     fn runs_and_checksums() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 2);
         // Histogram total is weighted and block count fixed: the checksum
@@ -109,5 +112,15 @@ mod tests {
         assert_eq!(out.output, again.output);
         // Runs exist in pseudo-random data but are rare.
         assert!(out.output[1] < (BLOCK_BYTES as u64) * (BLOCKS as u64) / 16);
+    }
+
+    #[test]
+    fn scale_multiplies_work_without_changing_the_kernel() {
+        let w1 = build(1);
+        let w3 = build(3);
+        let s1 = w1.run_reference().unwrap().steps;
+        let s3 = w3.run_reference().unwrap().steps;
+        assert_eq!(w3.max_insts, 3 * w1.max_insts);
+        assert!(s3 > 2 * s1, "scale 3 ran {s3} vs {s1} at scale 1");
     }
 }

@@ -16,8 +16,11 @@ const PASS_FUNCS: usize = 96;
 const IR_LEN: usize = 4096;
 const PASSES: usize = 5;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
 
@@ -31,7 +34,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R12, ir_data.0 as i64);
     a.mov_ri(Reg::R13, table.0 as i64);
     a.mov_ri(Reg::R9, 0);
-    a.mov_ri(Reg::Rbp, PASSES as i64);
+    a.mov_ri(Reg::Rbp, (PASSES as i64).saturating_mul(scale as i64));
 
     let pass_top = a.here();
     // A few optimizer passes (direct calls into the wide code base).
@@ -115,7 +118,7 @@ pub fn build() -> Workload {
         name: "gcc",
         description: "IR dispatch over a jump table plus a wide battery of pass functions",
         image: a.finish().expect("gcc assembles"),
-        max_insts: 1_500_000,
+        max_insts: 1_500_000u64.saturating_mul(scale),
     }
 }
 
@@ -125,7 +128,7 @@ mod tests {
 
     #[test]
     fn dispatch_reaches_every_handler_class() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert_eq!(out.output, w.run_reference().unwrap().output);
@@ -135,7 +138,7 @@ mod tests {
     fn dispatch_is_table_driven() {
         // One reloc per handler: the jump table the paper's Table II
         // counts as computed control transfers.
-        let w = build();
+        let w = build(1);
         assert_eq!(w.image.relocs.len(), HANDLERS);
         let d = vcfr_isa_disasm(&w.image);
         assert!(d > 2000, "instructions: {d}");
@@ -160,7 +163,7 @@ mod tests {
 
     #[test]
     fn static_footprint_is_large() {
-        let w = build();
+        let w = build(1);
         // gcc is the big-code benchmark: several thousand instructions.
         assert!(w.image.text().bytes.len() > 4000, "{}", w.image.text().bytes.len());
     }

@@ -17,8 +17,11 @@ const SEARCH_SPAN: usize = 21; // ±10 around the block origin
 const MODES: usize = 8;
 const BLOCKS: usize = 3;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let frame = util::data_random_bytes(&mut a, FRAME_DIM * FRAME_DIM, 0x264);
@@ -29,6 +32,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R15, cur.0 as i64);
     a.mov_ri(Reg::R9, 0);
 
+    let rep = util::scale_loop_begin(&mut a, scale, Reg::Rbp);
     for b in 0..BLOCKS {
         let origin = (b * 24 + 12) * FRAME_DIM + (b * 16 + 10);
         a.mov_ri(Reg::Rbx, 0); // dy step index
@@ -59,6 +63,7 @@ pub fn build() -> Workload {
         a.cmp_i(Reg::Rbx, (SEARCH_SPAN / SEARCH_STEP) as i32);
         a.jcc(Cond::Ne, dy_loop);
     }
+    util::scale_loop_end(&mut a, rep, Reg::Rbp);
     a.emit_output(Reg::R9);
     a.halt();
 
@@ -116,7 +121,7 @@ pub fn build() -> Workload {
         name: "h264ref",
         description: "SAD motion search over a reference frame",
         image: a.finish().expect("h264ref assembles"),
-        max_insts: 900_000,
+        max_insts: 900_000u64.saturating_mul(scale),
     }
 }
 
@@ -126,7 +131,7 @@ mod tests {
 
     #[test]
     fn sad_checksum_matches_host_model() {
-        let out = build().run_reference().unwrap();
+        let out = build(1).run_reference().unwrap();
         // Host model of the same search.
         let frame = util::pseudo_bytes(FRAME_DIM * FRAME_DIM, 0x264);
         let cur = util::pseudo_bytes(BLOCK * BLOCK, 0x265);

@@ -12,8 +12,11 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const SEQ: usize = 160;
 const MODEL: usize = 48;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let emis = util::data_random_u64s(&mut a, MODEL * 2, 0x4a11);
@@ -25,7 +28,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R12, row_m.0 as i64);
     a.mov_ri(Reg::R13, row_i.0 as i64);
     a.mov_ri(Reg::R9, 0); // best score accumulator
-    a.mov_ri(Reg::Rbx, SEQ as i64); // sequence position loop
+    a.mov_ri(Reg::Rbx, (SEQ as i64).saturating_mul(scale as i64)); // sequence position loop
 
     let seq_loop = a.here();
     // Per-position helper calls (post-processing, trace-back bookkeeping).
@@ -76,7 +79,7 @@ pub fn build() -> Workload {
         name: "hmmer",
         description: "profile-HMM Viterbi recurrence (DP array walks)",
         image: a.finish().expect("hmmer assembles"),
-        max_insts: 400_000,
+        max_insts: 400_000u64.saturating_mul(scale),
     }
 }
 
@@ -86,7 +89,7 @@ mod tests {
 
     #[test]
     fn dp_is_deterministic_and_nontrivial() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert!(out.output[0] > 0);

@@ -11,14 +11,18 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const DIM: usize = 48;
 const STEPS: usize = 6;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let grid_a = util::data_random_u64s(&mut a, DIM * DIM, 0x1b31);
     let grid_b = a.data_zeroed(DIM * DIM * 8);
     let row_bytes = (DIM * 8) as i32;
 
+    let rep = util::scale_loop_begin(&mut a, scale, Reg::Rbp);
     for step in 0..STEPS {
         let (src, dst) =
             if step % 2 == 0 { (grid_a.0, grid_b.0) } else { (grid_b.0, grid_a.0) };
@@ -61,6 +65,7 @@ pub fn build() -> Workload {
         a.cmp_i(Reg::Rbx, 0);
         a.jcc(Cond::Ne, row_loop);
     }
+    util::scale_loop_end(&mut a, rep, Reg::Rbp);
 
     // Checksum the final grid.
     let final_grid = if STEPS.is_multiple_of(2) { grid_a.0 } else { grid_b.0 };
@@ -82,7 +87,7 @@ pub fn build() -> Workload {
         name: "lbm",
         description: "five-point stencil sweeps over alternating grids",
         image: a.finish().expect("lbm assembles"),
-        max_insts: 600_000,
+        max_insts: 600_000u64.saturating_mul(scale),
     }
 }
 
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn stencil_converges_deterministically() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert_eq!(out.output, w.run_reference().unwrap().output);

@@ -85,29 +85,44 @@ pub const SPEC_NAMES: [&str; 11] = [
 /// Names of the Figure 2 emulation-slowdown set.
 pub const FIG2_NAMES: [&str; 6] = ["bzip2", "h264ref", "hmmer", "memcpy", "python", "xalan"];
 
-/// Builds the workload with the given name.
+/// Builds the workload with the given name at scale 1 (the historical
+/// program, byte for byte).
 pub fn by_name(name: &str) -> Option<Workload> {
+    by_name_scaled(name, 1)
+}
+
+/// Builds the workload with the given name, with its outer repeat count
+/// and instruction budget multiplied by `scale` (clamped to at least 1).
+/// Scale 1 reproduces the unscaled program byte-identically; larger
+/// scales lengthen the run without changing the hot-code footprint or
+/// the per-iteration kernel.
+pub fn by_name_scaled(name: &str, scale: u64) -> Option<Workload> {
     Some(match name {
-        "bzip2" => bzip2::build(),
-        "gcc" => gcc::build(),
-        "mcf" => mcf::build(),
-        "hmmer" => hmmer::build(),
-        "sjeng" => sjeng::build(),
-        "libquantum" => libquantum::build(),
-        "h264ref" => h264ref::build(),
-        "lbm" => lbm::build(),
-        "xalan" => xalan::build(),
-        "namd" => namd::build(),
-        "soplex" => soplex::build(),
-        "memcpy" => memcpy::build(),
-        "python" => python::build(),
+        "bzip2" => bzip2::build(scale),
+        "gcc" => gcc::build(scale),
+        "mcf" => mcf::build(scale),
+        "hmmer" => hmmer::build(scale),
+        "sjeng" => sjeng::build(scale),
+        "libquantum" => libquantum::build(scale),
+        "h264ref" => h264ref::build(scale),
+        "lbm" => lbm::build(scale),
+        "xalan" => xalan::build(scale),
+        "namd" => namd::build(scale),
+        "soplex" => soplex::build(scale),
+        "memcpy" => memcpy::build(scale),
+        "python" => python::build(scale),
         _ => return None,
     })
 }
 
 /// Builds the eleven SPEC-like workloads the performance experiments use.
 pub fn spec_suite() -> Vec<Workload> {
-    SPEC_NAMES.iter().map(|n| by_name(n).expect("known name")).collect()
+    spec_suite_scaled(1)
+}
+
+/// Builds the SPEC-like suite at the given scale.
+pub fn spec_suite_scaled(scale: u64) -> Vec<Workload> {
+    SPEC_NAMES.iter().map(|n| by_name_scaled(n, scale).expect("known name")).collect()
 }
 
 /// Builds the six Figure 2 workloads.
@@ -117,9 +132,14 @@ pub fn fig2_suite() -> Vec<Workload> {
 
 /// Builds every workload.
 pub fn all() -> Vec<Workload> {
-    let mut v = spec_suite();
-    v.push(memcpy::build());
-    v.push(python::build());
+    all_scaled(1)
+}
+
+/// Builds every workload at the given scale.
+pub fn all_scaled(scale: u64) -> Vec<Workload> {
+    let mut v = spec_suite_scaled(scale);
+    v.push(memcpy::build(scale));
+    v.push(python::build(scale));
     v
 }
 
@@ -151,5 +171,30 @@ mod tests {
         assert_eq!(fig2_suite().len(), 6);
         assert_eq!(all().len(), 13);
         assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn scale_one_is_byte_identical_to_the_unscaled_build() {
+        for name in ["bzip2", "h264ref", "sjeng", "lbm"] {
+            let base = by_name(name).unwrap();
+            let scaled = by_name_scaled(name, 1).unwrap();
+            assert_eq!(base.image.sections.len(), scaled.image.sections.len(), "{name}");
+            for (a, b) in base.image.sections.iter().zip(&scaled.image.sections) {
+                assert_eq!(a.bytes, b.bytes, "{name}: scale-1 image bytes changed");
+            }
+            assert_eq!(base.max_insts, scaled.max_insts, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_workload_scales_its_run_length() {
+        for name in SPEC_NAMES.iter().chain(["memcpy", "python"].iter()) {
+            let w1 = by_name_scaled(name, 1).unwrap();
+            let w4 = by_name_scaled(name, 4).unwrap();
+            assert_eq!(w4.max_insts, 4 * w1.max_insts, "{name}");
+            let s1 = w1.run_reference().unwrap_or_else(|e| panic!("{name}: {e}")).steps;
+            let s4 = w4.run_reference().unwrap_or_else(|e| panic!("{name}: {e}")).steps;
+            assert!(s4 > 3 * s1, "{name}: scale 4 ran {s4} steps vs {s1} at scale 1");
+        }
     }
 }

@@ -13,13 +13,17 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const AMPS: usize = 8192;
 const PASSES: usize = 8;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let reg = util::data_random_u64s(&mut a, AMPS, 0x9a37);
 
     a.mov_ri(Reg::R9, 0); // checksum
+    let rep = util::scale_loop_begin(&mut a, scale, Reg::Rbp);
     for p in 0..PASSES {
         // Gate setup helpers before each streaming pass.
         for k in 0..8 {
@@ -66,6 +70,7 @@ pub fn build() -> Workload {
         a.cmp_i(Reg::Rcx, 0);
         a.jcc(Cond::Ne, gate);
     }
+    util::scale_loop_end(&mut a, rep, Reg::Rbp);
     a.emit_output(Reg::R9);
     a.halt();
 
@@ -74,7 +79,7 @@ pub fn build() -> Workload {
         name: "libquantum",
         description: "streaming gate passes over an amplitude array",
         image: a.finish().expect("libquantum assembles"),
-        max_insts: 900_000,
+        max_insts: 900_000u64.saturating_mul(scale),
     }
 }
 
@@ -84,7 +89,7 @@ mod tests {
 
     #[test]
     fn runs_and_is_deterministic() {
-        let w = build();
+        let w = build(1);
         let a = w.run_reference().unwrap();
         let b = w.run_reference().unwrap();
         assert_eq!(a.output, b.output);

@@ -15,8 +15,11 @@ const PASSES: i64 = 10;
 /// Node layout: { next_ptr: u64, payload: u64, pad: 48 bytes }.
 const NODE_BYTES: usize = 64;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
 
@@ -41,7 +44,7 @@ pub fn build() -> Workload {
 
     // rsi = cursor, r9 = checksum.
     a.mov_ri(Reg::R9, 0);
-    a.mov_ri(Reg::Rbx, PASSES);
+    a.mov_ri(Reg::Rbx, PASSES.saturating_mul(scale as i64));
     let pass = a.here();
     // Pricing helpers between iterations (call/return traffic).
     for k in 0..8 {
@@ -100,7 +103,7 @@ pub fn build() -> Workload {
         name: "mcf",
         description: "randomly-permuted linked-list traversal (latency bound)",
         image,
-        max_insts: 1_500_000,
+        max_insts: 1_500_000u64.saturating_mul(scale),
     }
 }
 
@@ -110,7 +113,7 @@ mod tests {
 
     #[test]
     fn traverses_every_node_each_pass() {
-        let out = build().run_reference().unwrap();
+        let out = build(1).run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         // Traversal payload sum plus the pricing-phase folds, per pass.
         let rnd = util::pseudo_u64s(NODES, 0x3cf5);

@@ -12,14 +12,17 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const WORDS: usize = 1024;
 const PASSES: i64 = 24;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let src = util::data_random_u64s(&mut a, WORDS, 0x3333);
     let dst = a.data_zeroed(WORDS * 8);
 
-    a.mov_ri(Reg::Rbx, PASSES);
+    a.mov_ri(Reg::Rbx, PASSES.saturating_mul(scale as i64));
     let pass = a.here();
     a.mov_ri(Reg::Rsi, src.0 as i64);
     a.mov_ri(Reg::Rdi, dst.0 as i64);
@@ -57,7 +60,7 @@ pub fn build() -> Workload {
         name: "memcpy",
         description: "tight word-copy loop (minimal instruction footprint)",
         image: a.finish().expect("memcpy assembles"),
-        max_insts: 300_000,
+        max_insts: 300_000u64.saturating_mul(scale),
     }
 }
 
@@ -67,7 +70,7 @@ mod tests {
 
     #[test]
     fn checksum_matches_source_sum() {
-        let out = build().run_reference().unwrap();
+        let out = build(1).run_reference().unwrap();
         let want: u64 = util::pseudo_u64s(WORDS, 0x3333).iter().fold(0u64, |s, v| s.wrapping_add(*v));
         assert_eq!(out.output, vec![want]);
     }

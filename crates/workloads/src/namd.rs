@@ -13,8 +13,11 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const PARTICLES: usize = 1024;
 const NEIGHBOURS: usize = 12;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let xs = util::data_random_u64s(&mut a, PARTICLES, 0x11a);
@@ -32,6 +35,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R14, zs.0 as i64);
     a.mov_ri(Reg::R15, neigh.0 as i64);
     a.mov_ri(Reg::R9, 0); // energy accumulator
+    let rep = util::scale_loop_begin(&mut a, scale, Reg::Rbp);
     a.mov_ri(Reg::Rbx, 0); // particle index i
 
     let i_loop = a.here();
@@ -78,6 +82,7 @@ pub fn build() -> Workload {
     a.alu_ri(AluOp::Add, Reg::Rbx, 1);
     a.cmp_i(Reg::Rbx, PARTICLES as i32);
     a.jcc(Cond::Ne, i_loop);
+    util::scale_loop_end(&mut a, rep, Reg::Rbp);
 
     a.emit_output(Reg::R9);
     a.halt();
@@ -87,7 +92,7 @@ pub fn build() -> Workload {
         name: "namd",
         description: "pairwise force accumulation over a neighbour list",
         image: a.finish().expect("namd assembles"),
-        max_insts: 600_000,
+        max_insts: 600_000u64.saturating_mul(scale),
     }
 }
 
@@ -97,7 +102,7 @@ mod tests {
 
     #[test]
     fn energy_is_deterministic() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert!(out.output[0] > 0);

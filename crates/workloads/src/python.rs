@@ -14,8 +14,11 @@ const OPCODES: usize = 32;
 const PROGRAM: usize = 512;
 const RUNS: usize = 50;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
 
@@ -32,7 +35,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R12, code_data.0 as i64);
     a.mov_ri(Reg::R13, table.0 as i64);
     a.mov_ri(Reg::R9, 0);
-    a.mov_ri(Reg::Rbp, RUNS as i64);
+    a.mov_ri(Reg::Rbp, (RUNS as i64).saturating_mul(scale as i64));
 
     let run_top = a.here();
     // Reset the operand stack: push two seed values.
@@ -123,7 +126,7 @@ pub fn build() -> Workload {
         name: "python",
         description: "stack-machine bytecode interpreter with table dispatch",
         image: a.finish().expect("python assembles"),
-        max_insts: 900_000,
+        max_insts: 900_000u64.saturating_mul(scale),
     }
 }
 
@@ -133,7 +136,7 @@ mod tests {
 
     #[test]
     fn interpreter_is_deterministic() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert_eq!(out.output, w.run_reference().unwrap().output);
@@ -141,7 +144,7 @@ mod tests {
 
     #[test]
     fn opcode_table_is_fully_relocated() {
-        let w = build();
+        let w = build(1);
         assert_eq!(w.image.relocs.len(), OPCODES);
     }
 
@@ -150,7 +153,7 @@ mod tests {
         // Bounded-depth folding means the run completes without faulting;
         // running to completion IS the bounds check (wild stores would
         // corrupt the code-adjacent data and diverge between runs).
-        let w = build();
+        let w = build(1);
         assert!(w.run_reference().is_ok());
     }
 }

@@ -12,8 +12,11 @@ use vcfr_isa::{AluOp, Cond, Reg};
 const DEPTH: i64 = 4;
 const BRANCHING: i64 = 7;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let piece_table = util::data_random_u64s(&mut a, 256, 0x53e6);
@@ -22,9 +25,11 @@ pub fn build() -> Workload {
     // r13 = piece table, r14 = board.
     a.mov_ri(Reg::R13, piece_table.0 as i64);
     a.mov_ri(Reg::R14, board.0 as i64);
+    let rep = util::scale_loop_begin(&mut a, scale, Reg::Rbp);
     a.mov_ri(Reg::Rdi, DEPTH);
     a.mov_ri(Reg::Rsi, 0x1a2b); // position hash seed
     a.call_named("search");
+    util::scale_loop_end(&mut a, rep, Reg::Rbp);
     a.emit_output(Reg::Rax);
     a.halt();
 
@@ -121,7 +126,7 @@ pub fn build() -> Workload {
         name: "sjeng",
         description: "fixed-depth negamax with table-driven evaluation",
         image: a.finish().expect("sjeng assembles"),
-        max_insts: 1_200_000,
+        max_insts: 1_200_000u64.saturating_mul(scale),
     }
 }
 
@@ -131,7 +136,7 @@ mod tests {
 
     #[test]
     fn search_returns_a_stable_score() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert_eq!(out.output, w.run_reference().unwrap().output);
@@ -139,7 +144,7 @@ mod tests {
 
     #[test]
     fn search_and_evaluate_are_symbols() {
-        let w = build();
+        let w = build(1);
         for name in ["search", "evaluate", "movegen", "lib_init"] {
             assert!(w.image.symbol(name).is_some(), "missing {name}");
         }
@@ -148,7 +153,7 @@ mod tests {
     #[test]
     fn tree_size_is_as_designed() {
         // Nodes = (B^(D+1)-1)/(B-1); instruction count scales with it.
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         let nodes: u64 = (0..=DEPTH).map(|d| (BRANCHING as u64).pow(d as u32)).sum();
         assert!(out.steps > nodes * 10, "steps {} nodes {nodes}", out.steps);

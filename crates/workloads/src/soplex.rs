@@ -14,8 +14,11 @@ const NNZ_PER_ROW: usize = 8;
 const COLS: usize = 4096;
 const PASSES: i64 = 4;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
     let col_idx: Vec<u64> = util::pseudo_u64s(ROWS * NNZ_PER_ROW, 0x50e1)
@@ -32,7 +35,7 @@ pub fn build() -> Workload {
     a.mov_ri(Reg::R14, x.0 as i64);
     a.mov_ri(Reg::R15, y.0 as i64);
     a.mov_ri(Reg::R9, 0);
-    a.mov_ri(Reg::Rbp, PASSES);
+    a.mov_ri(Reg::Rbp, PASSES.saturating_mul(scale as i64));
 
     let pass = a.here();
     a.mov_ri(Reg::Rbx, 0); // row
@@ -91,7 +94,7 @@ pub fn build() -> Workload {
         name: "soplex",
         description: "CSR sparse matrix-vector products (gather loads)",
         image: a.finish().expect("soplex assembles"),
-        max_insts: 1_200_000,
+        max_insts: 1_200_000u64.saturating_mul(scale),
     }
 }
 
@@ -101,7 +104,7 @@ mod tests {
 
     #[test]
     fn spmv_checksum_matches_host_model() {
-        let out = build().run_reference().unwrap();
+        let out = build(1).run_reference().unwrap();
         // Recompute on the host.
         let col_idx: Vec<u64> = util::pseudo_u64s(ROWS * NNZ_PER_ROW, 0x50e1)
             .into_iter()

@@ -1,6 +1,33 @@
 //! Shared helpers for the workload generators.
 
-use vcfr_isa::{AluOp, Asm, Cond, DataRef, Reg};
+use vcfr_isa::{AluOp, Asm, Cond, DataRef, Label, Reg};
+
+/// Opens a runtime repeat loop counted down in `counter`, returning the
+/// loop-top label — or emits nothing and returns `None` at `scale <= 1`,
+/// so scale-1 images stay byte-identical to the historical unscaled
+/// programs. Close with [`scale_loop_end`].
+///
+/// Used by the generators whose outer iteration is unrolled host-side
+/// (no runtime trip-count register to multiply). `counter` must be a
+/// register the wrapped body and every function it calls leave
+/// untouched.
+pub fn scale_loop_begin(a: &mut Asm, scale: u64, counter: Reg) -> Option<Label> {
+    if scale <= 1 {
+        return None;
+    }
+    a.mov_ri(counter, scale as i64);
+    Some(a.here())
+}
+
+/// Closes a repeat loop opened by [`scale_loop_begin`] (no-op when that
+/// call returned `None`).
+pub fn scale_loop_end(a: &mut Asm, top: Option<Label>, counter: Reg) {
+    if let Some(top) = top {
+        a.alu_ri(AluOp::Sub, counter, 1);
+        a.cmp_i(counter, 0);
+        a.jcc(Cond::Ne, top);
+    }
+}
 
 /// Deterministic pseudo-random byte buffer (xorshift-based, host side).
 pub fn pseudo_bytes(len: usize, seed: u64) -> Vec<u8> {

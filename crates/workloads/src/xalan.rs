@@ -18,8 +18,11 @@ const PASSES: usize = 4;
 /// Node layout: { handler: fn ptr, value: u64 }.
 const NODE_STRIDE: i32 = 16;
 
-/// Builds the workload.
-pub fn build() -> Workload {
+/// Builds the workload. `scale` multiplies the outer repeat count and
+/// the instruction budget; scale 1 is byte-identical to the historical
+/// unscaled program.
+pub fn build(scale: u64) -> Workload {
+    let scale = scale.max(1);
     let mut a = vcfr_isa::Asm::new(0x1000);
     a.call_named("lib_init");
 
@@ -40,7 +43,7 @@ pub fn build() -> Workload {
 
     // r12 = node cursor, r9 = checksum, rbp = pass counter.
     a.mov_ri(Reg::R9, 0);
-    a.mov_ri(Reg::Rbp, PASSES as i64);
+    a.mov_ri(Reg::Rbp, (PASSES as i64).saturating_mul(scale as i64));
     let pass_top = a.here();
     // Touch a slice of the template battery (direct calls).
     for k in 0..6 {
@@ -113,7 +116,7 @@ pub fn build() -> Workload {
         name: "xalan",
         description: "virtual dispatch over a node tree (indirect-call heavy)",
         image: a.finish().expect("xalan assembles"),
-        max_insts: 1_200_000,
+        max_insts: 1_200_000u64.saturating_mul(scale),
     }
 }
 
@@ -123,7 +126,7 @@ mod tests {
 
     #[test]
     fn virtual_dispatch_completes() {
-        let w = build();
+        let w = build(1);
         let out = w.run_reference().unwrap();
         assert_eq!(out.output.len(), 1);
         assert_eq!(out.output, w.run_reference().unwrap().output);
@@ -131,7 +134,7 @@ mod tests {
 
     #[test]
     fn every_node_has_a_relocated_handler() {
-        let w = build();
+        let w = build(1);
         assert_eq!(w.image.relocs.len(), NODES);
     }
 }

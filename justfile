@@ -2,16 +2,23 @@
 # cargo command, and `.cargo/config.toml` provides the same commands as
 # `cargo repro-check` / `cargo bench-smoke` when `just` is absent.
 
-# Run the CI gate and the engine hot-loop criterion smoke.
+# Run the CI gate and the engine criterion smoke.
 bench: repro-check bench-smoke
 
 # Recompute the experiment matrix and gate the headline numbers.
 repro-check:
     cargo run --release -p vcfr-bench --bin repro -- check
 
-# Criterion smoke of the cycle engine's per-instruction path.
+# Criterion smoke of the cycle engine: the per-instruction hot loop plus
+# superblock formation and fast-path replay (docs/superblocks.md).
 bench-smoke:
-    cargo bench -p vcfr-bench --bench components -- engine_hot_loop
+    cargo bench -p vcfr-bench --bench components -- engine
+
+# Superblock equivalence smoke: every workload x {base, vcfr, rerand,
+# faulted}, fast path on vs off, byte-identical stats, samples, fault
+# records, and checkpoints (docs/superblocks.md).
+superblock-smoke:
+    cargo test --release -p vcfr-sim --test superblock_equiv
 
 # Observability smoke: manifests byte-identical across thread counts,
 # parse round trip, and audit identity (see docs/observability.md).
@@ -29,6 +36,9 @@ faults-smoke:
 # uninterrupted run (see docs/service.md).
 serve-smoke:
     cargo test --release -p vcfr-cli --test serve_smoke
+
+# Every end-to-end smoke in one go.
+smoke: obs-smoke faults-smoke serve-smoke superblock-smoke
 
 # Full test suite across the workspace.
 test:

@@ -8,6 +8,7 @@
 //! repro faults         # 11-app fault-injection campaign (base vs VCFR)
 //! repro faults-smoke   # 1-app seeded campaign + determinism check
 //! repro throughput     # superblock fast-path rate on the no-stall program
+//! repro telemetry-smoke  # manifests + checkpoints byte-identical, tap on vs off
 //! repro fig3 --scale 4 # matrix over the scale-4 suite (longer runs)
 //! ```
 //!
@@ -204,6 +205,105 @@ fn obs_smoke() -> bool {
     ok
 }
 
+/// End-to-end gate on the telemetry tap's zero-observability cost: the
+/// simulated results must be byte-identical with progress events on or
+/// off. Checks (1) canonical matrix manifests across {tap off, tap on}
+/// × {1, 2} worker threads, (2) mid-run checkpoints from a tapped and
+/// an untapped session, and (3) that the tap actually fired.
+fn telemetry_smoke() -> bool {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use vcfr_core::DrcConfig;
+    use vcfr_sim::{Mode, Session, SimConfig};
+
+    let mut w = vcfr_workloads::by_name("bzip2").expect("bzip2 exists");
+    w.max_insts = w.max_insts.min(60_000);
+    let suite = [w];
+    eprintln!(
+        "telemetry-smoke: bzip2 x 5 configs, {} inst budget, tap on/off x 1/2 threads",
+        suite[0].max_insts
+    );
+    let mut ok = true;
+
+    // (1) Manifests: tap off on one thread is the reference; every other
+    // (tap, threads) combination must produce the same canonical bytes.
+    let (m_ref, t_ref) = ex::matrix_over(&suite, 1);
+    let ms_ref = manifests::build_matrix_manifests(&m_ref, &t_ref);
+    let events = AtomicU64::new(0);
+    for threads in [1usize, 2] {
+        for tap in [false, true] {
+            if threads == 1 && !tap {
+                continue; // that is the reference run
+            }
+            let (m, t) = if tap {
+                ex::matrix_over_tapped(
+                    &suite,
+                    threads,
+                    10_000,
+                    &|_| {
+                        events.fetch_add(1, Ordering::Relaxed);
+                    },
+                    &|_| {},
+                )
+            } else {
+                ex::matrix_over(&suite, threads)
+            };
+            let ms = manifests::build_matrix_manifests(&m, &t);
+            for (a, b) in ms_ref.iter().zip(&ms) {
+                if a.canonical_bytes() == b.canonical_bytes() {
+                    println!(
+                        "PASS {:<22} identical (tap {}, {} thread{})",
+                        a.file_name(),
+                        if tap { "on" } else { "off" },
+                        threads,
+                        if threads == 1 { "" } else { "s" }
+                    );
+                } else {
+                    eprintln!(
+                        "FAIL {}: manifest differs with tap {} on {} thread(s)",
+                        a.file_name(),
+                        if tap { "on" } else { "off" },
+                        threads
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    let fired = events.load(Ordering::Relaxed);
+    if fired == 0 {
+        eprintln!("FAIL: the telemetry tap never fired");
+        ok = false;
+    } else {
+        println!("PASS tap fired {fired} progress events across the tapped runs");
+    }
+
+    // (2) Checkpoints: drive a tapped and an untapped session to the
+    // same instruction boundary; the checkpoint payloads must be
+    // byte-identical (the progress cursor lives outside them).
+    let w = &suite[0];
+    let rp = ex::randomize_workload(&w.image);
+    let cfg = SimConfig::default();
+    let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+    let mut tapped = Session::new(mode(), &cfg, w.max_insts)
+        .expect("session builds")
+        .with_progress(5_000, |_| {});
+    let mut plain = Session::new(mode(), &cfg, w.max_insts).expect("session builds");
+    tapped.run_for(20_000).expect("tapped chunk runs");
+    plain.run_for(20_000).expect("plain chunk runs");
+    if tapped.checkpoint() == plain.checkpoint() {
+        println!(
+            "PASS checkpoint identical at {} instructions, tap on vs off",
+            plain.instructions()
+        );
+    } else {
+        eprintln!("FAIL: checkpoint differs between tapped and untapped sessions");
+        ok = false;
+    }
+
+    println!("telemetry-smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
 /// Runs the fault-injection campaign over `suite`, prints the coverage
 /// table, and writes one manifest per (app, configuration) cell under
 /// `out_dir`.
@@ -349,6 +449,9 @@ fn main() {
     if args.iter().any(|a| a == "faults-smoke") {
         std::process::exit(if faults_smoke() { 0 } else { 1 });
     }
+    if args.iter().any(|a| a == "telemetry-smoke") {
+        std::process::exit(if telemetry_smoke() { 0 } else { 1 });
+    }
     if args.iter().any(|a| a == "throughput") {
         let (on, _) = throughput();
         std::process::exit(if on.insts_per_s > 0.0 { 0 } else { 1 });
@@ -363,7 +466,22 @@ fn main() {
             "running the 11-app x 5-config simulation matrix on {threads} thread(s){} ...",
             if scale != 1 { format!(" at scale {scale}") } else { String::new() }
         );
-        let (m, timing) = ex::run_matrix_timed_scaled(threads, scale);
+        // Live per-cell progress lines (stderr, wall-clock only — the
+        // observer cannot perturb the simulated results).
+        let suite = vcfr_workloads::spec_suite_scaled(scale);
+        let total = suite.len() * ex::MODE_NAMES.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let (m, timing) = ex::matrix_over_observed(&suite, threads, &|r| {
+            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            eprintln!(
+                "  [{n:>3}/{total}] {:<10} {:<8} {:>11} insts in {:>6.2}s ({:>6.1}M insts/s)",
+                r.app,
+                r.mode,
+                r.instructions,
+                r.wall_s,
+                r.insts_per_s / 1e6
+            );
+        });
         write_artifacts(&m, &timing);
         m
     });

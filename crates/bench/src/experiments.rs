@@ -8,6 +8,7 @@ use vcfr_rewriter::{
     analyze_control_flow, disassemble, randomize, ControlFlowStats, RandomizeConfig,
     RandomizedProgram,
 };
+use vcfr_obs::ProgressEvent;
 use vcfr_sim::{
     emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel,
     IntervalSample, Mode, OooConfig, Session, SimConfig, SimStats,
@@ -117,6 +118,35 @@ pub fn default_threads() -> usize {
 /// simulator run (one job per app × configuration), so the fan-out is
 /// `5 × apps` wide and no figure ever re-simulates.
 pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming) {
+    matrix_over_observed(suite, threads, &|_| {})
+}
+
+/// [`matrix_over`] with a per-cell observer: `on_cell` fires from the
+/// worker thread as each (app, configuration) run finishes, with that
+/// run's [`RunTiming`]. The repro binary uses it to print live progress
+/// lines for long matrices; the observer sees wall-clock data only, so
+/// attaching it cannot perturb the simulated results.
+pub fn matrix_over_observed(
+    suite: &[Workload],
+    threads: usize,
+    on_cell: &(dyn Fn(&RunTiming) + Sync),
+) -> (Matrix, MatrixTiming) {
+    matrix_over_tapped(suite, threads, 0, &|_| {}, on_cell)
+}
+
+/// [`matrix_over_observed`] with a telemetry tap on every simulator
+/// session: when `progress_every > 0`, each run emits a
+/// [`ProgressEvent`] at every `progress_every`-instruction boundary,
+/// forwarded to `on_progress` from the worker threads. The simulated
+/// results and manifests are bit-identical with the tap on or off —
+/// `repro telemetry-smoke` gates on exactly that.
+pub fn matrix_over_tapped(
+    suite: &[Workload],
+    threads: usize,
+    progress_every: u64,
+    on_progress: &(dyn Fn(&ProgressEvent) + Sync),
+    on_cell: &(dyn Fn(&RunTiming) + Sync),
+) -> (Matrix, MatrixTiming) {
     let t_total = Instant::now();
     let cfg = SimConfig::default();
 
@@ -137,6 +167,13 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
         let interval = (w.max_insts / SAMPLES_PER_RUN).max(1);
         let outcome = Session::new(matrix_mode(m, &w.image, &programs[a]), &cfg, w.max_insts)
             .map(|s| s.with_sampling(interval))
+            .map(|s| {
+                if progress_every > 0 {
+                    s.with_progress(progress_every, |e| on_progress(e))
+                } else {
+                    s
+                }
+            })
             .and_then(|mut s| s.run())
             .expect("matrix cell runs");
         let (out, samples) = (outcome.output, outcome.samples);
@@ -151,6 +188,7 @@ pub fn matrix_over(suite: &[Workload], threads: usize) -> (Matrix, MatrixTiming)
             superblock: true,
             samples,
         };
+        on_cell(&timing);
         (out, timing)
     });
 

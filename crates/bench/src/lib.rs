@@ -20,14 +20,15 @@ pub use campaign::{
 };
 pub use experiments::{
     default_threads, fig11, fig12, fig13, fig14, fig15, fig2, fig3, fig4, fig9, matrix_over,
-    run_app, run_app_parallel, run_matrix, run_matrix_timed, table1, table2, AppResults,
-    Fig11Row, Fig2Row, Fig3Row, Matrix, MatrixTiming, RunTiming, MODE_NAMES,
+    matrix_over_observed, matrix_over_tapped, run_app, run_app_parallel, run_matrix,
+    run_matrix_timed, table1, table2, AppResults, Fig11Row, Fig2Row, Fig3Row, Matrix,
+    MatrixTiming, RunTiming, MODE_NAMES,
 };
 pub use manifests::{
     bench_record, build_campaign_manifests, build_fault_manifest, build_manifest,
     build_matrix_manifests, write_manifests,
 };
-pub use pool::{parallel_map, PoolFull, WorkerPool};
+pub use pool::{parallel_map, PoolFull, PoolSnapshot, WorkerPool, WorkerStat};
 
 /// Geometric mean of an iterator of positive values.
 pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {

@@ -5,6 +5,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Runs `f` over `items` on `threads` workers, returning the results in
 /// item order. Items are handed out from a shared queue, so reassembly
@@ -52,6 +53,51 @@ where
 #[derive(Debug)]
 pub struct PoolFull<J>(pub J);
 
+/// Cumulative activity of one worker thread, published into the pool's
+/// shared snapshot slot after every job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStat {
+    /// Jobs this worker has completed.
+    pub jobs: u64,
+    /// Wall-clock seconds this worker spent inside the handler.
+    pub busy_secs: f64,
+}
+
+/// A point-in-time view of the pool for telemetry consumers (the
+/// daemon's `metrics` endpoint, `vcfr top`). Reading one never blocks a
+/// worker: the per-worker stats live in their own slot, apart from the
+/// job-queue lock.
+#[derive(Clone, Debug, Default)]
+pub struct PoolSnapshot {
+    /// Jobs waiting in the bounded queue.
+    pub queue_depth: usize,
+    /// Jobs a worker is currently running.
+    pub in_flight: usize,
+    /// Queue capacity (the backpressure bound).
+    pub capacity: usize,
+    /// Seconds since the pool was created.
+    pub uptime_secs: f64,
+    /// One entry per worker thread, in spawn order.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl PoolSnapshot {
+    /// Fraction of the pool's lifetime worker `i` spent busy (0 when
+    /// the pool is brand new).
+    pub fn utilization(&self, i: usize) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            0.0
+        } else {
+            (self.workers[i].busy_secs / self.uptime_secs).min(1.0)
+        }
+    }
+
+    /// Jobs completed across all workers.
+    pub fn jobs_completed(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+}
+
 struct State<J> {
     queue: VecDeque<J>,
     in_flight: usize,
@@ -63,6 +109,10 @@ struct Shared<J> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// The shared snapshot slot: workers publish their cumulative
+    /// stats here, readers clone it out without touching `state`.
+    stats: Mutex<Vec<WorkerStat>>,
+    started: Instant,
 }
 
 /// A long-lived pool of worker threads draining a bounded job queue.
@@ -84,6 +134,7 @@ impl<J: Send + 'static> WorkerPool<J> {
     where
         F: Fn(J) + Send + Sync + 'static,
     {
+        let n_workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -93,10 +144,12 @@ impl<J: Send + 'static> WorkerPool<J> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            stats: Mutex::new(vec![WorkerStat::default(); n_workers]),
+            started: Instant::now(),
         });
         let handler = Arc::new(handler);
-        let threads = (0..workers.max(1))
-            .map(|_| {
+        let threads = (0..n_workers)
+            .map(|w| {
                 let shared = Arc::clone(&shared);
                 let handler = Arc::clone(&handler);
                 std::thread::spawn(move || loop {
@@ -115,7 +168,13 @@ impl<J: Send + 'static> WorkerPool<J> {
                         }
                     };
                     let Some(job) = job else { return };
+                    let t = Instant::now();
                     handler(job);
+                    {
+                        let mut stats = shared.stats.lock().expect("stats lock");
+                        stats[w].jobs += 1;
+                        stats[w].busy_secs += t.elapsed().as_secs_f64();
+                    }
                     shared.state.lock().expect("pool lock").in_flight -= 1;
                     // Wake both submitters waiting for space and
                     // drainers waiting for quiescence.
@@ -142,6 +201,23 @@ impl<J: Send + 'static> WorkerPool<J> {
     pub fn pending(&self) -> usize {
         let st = self.shared.state.lock().expect("pool lock");
         st.queue.len() + st.in_flight
+    }
+
+    /// The current contents of the shared snapshot slot plus queue
+    /// occupancy — everything the daemon's `metrics` endpoint reports
+    /// about the pool.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let (queue_depth, in_flight) = {
+            let st = self.shared.state.lock().expect("pool lock");
+            (st.queue.len(), st.in_flight)
+        };
+        PoolSnapshot {
+            queue_depth,
+            in_flight,
+            capacity: self.shared.capacity,
+            uptime_secs: self.shared.started.elapsed().as_secs_f64(),
+            workers: self.shared.stats.lock().expect("stats lock").clone(),
+        }
     }
 
     /// Blocks until every submitted job has finished.
@@ -198,6 +274,29 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn snapshot_reports_completed_work() {
+        let pool = WorkerPool::new(2, 16, move |_: usize| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        for n in 0..6 {
+            pool.try_submit(n).expect("queue has room");
+        }
+        pool.drain();
+        let snap = pool.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.capacity, 16);
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.jobs_completed(), 6);
+        assert!(snap.workers.iter().map(|w| w.busy_secs).sum::<f64>() > 0.0);
+        assert!(snap.uptime_secs > 0.0);
+        for i in 0..2 {
+            assert!((0.0..=1.0).contains(&snap.utilization(i)));
+        }
+        pool.shutdown();
     }
 
     #[test]

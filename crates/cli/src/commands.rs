@@ -367,15 +367,18 @@ fn single_run_manifest(
 }
 
 /// `vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-/// [--max N] [--seed N] [--rerand-epoch N] [--audit]
-/// [--manifest <out.json>]`.
+/// [--max N] [--seed N] [--rerand-epoch N] [--audit] [--progress]
+/// [--dump-trace] [--manifest <out.json>]`.
 ///
 /// `--audit` appends the cycle-accounting audit and fails the command
 /// when the identity checks do not hold; `--rerand-epoch N` re-randomizes
 /// the live layout every N committed instructions (VCFR only), charging
 /// the quiesce + table-rebuild + DRC-flush pause as rerand stall cycles;
-/// `--manifest` writes the run as a `vcfr-obs` manifest readable by
-/// `vcfr report`.
+/// `--progress` streams ~20 telemetry readings to stderr at
+/// deterministic instruction boundaries (results are unchanged by it);
+/// `--dump-trace` appends the pipeline trace ring to the report on
+/// successful runs; `--manifest` writes the run as a `vcfr-obs`
+/// manifest readable by `vcfr report`.
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let mode_name = args.value("mode").unwrap_or("baseline");
@@ -450,15 +453,43 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         (m, _) => return Err(fail(format!("unknown mode {m:?} (baseline|naive|vcfr)"))),
     };
 
+    if args.flag("ooo") && (args.flag("progress") || args.flag("dump-trace")) {
+        return Err(fail("--progress/--dump-trace need the in-order session (drop --ooo)"));
+    }
+
     let host = std::time::Instant::now();
+    let mut trace_dump = String::new();
     let out = if args.flag("ooo") {
         simulate_ooo(mode, &cfg, OooConfig::default(), max)
             .map_err(|e| CliError::Vcfr(VcfrError::Sim(e)))?
     } else {
-        Session::new(mode, &cfg, max)?
-            .with_superblocks(!args.flag("no-superblocks"))
-            .run()?
-            .output
+        let mut session =
+            Session::new(mode, &cfg, max)?.with_superblocks(!args.flag("no-superblocks"));
+        if args.flag("progress") {
+            // Live progress on stderr (the report itself lands on
+            // stdout at the end): ~20 lines per run, at deterministic
+            // instruction boundaries.
+            session = session.with_progress((max / 20).max(1), |e| {
+                eprintln!(
+                    "progress: {:>12} insts  {:>12} cycles  ipc {:.3}  sb {:>5.1}%",
+                    e.instructions,
+                    e.cycles,
+                    if e.cycles == 0 { 0.0 } else { e.instructions as f64 / e.cycles as f64 },
+                    e.sb_hit_rate() * 100.0,
+                );
+            });
+        }
+        let out = session.run()?.output;
+        if args.flag("dump-trace") {
+            // Until now the trace ring only surfaced inside SimError;
+            // --dump-trace emits it for successful runs too.
+            let events = session.trace_events();
+            let _ = writeln!(trace_dump, "last {} pipeline events:", events.len());
+            for e in &events {
+                let _ = writeln!(trace_dump, "  {e}");
+            }
+        }
+        out
     };
     let host_s = host.elapsed().as_secs_f64();
 
@@ -478,6 +509,9 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         let _ = drc;
         let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(drc_entries)));
         let _ = writeln!(report, "DRC power overhead: {:.3}%", p.drc_overhead_pct());
+    }
+    if !trace_dump.is_empty() {
+        report.push_str(&trace_dump);
     }
     if args.flag("audit") {
         let audit = out.stats.accounting().audit();

@@ -9,12 +9,14 @@
 //! vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
 //!                [--max N] [--seed N] [--rerand-epoch N] [--audit]
 //!                [--scale N] [--no-superblocks] [--manifest <out.json>]
+//!                [--progress] [--dump-trace]
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
 //! vcfr report <manifest-dir> [--against <manifest-dir>]
 //! vcfr serve [--dir D]                      run the batch-simulation daemon
 //! vcfr submit <workload> [--dir D] [...]    queue a job on the daemon
 //! vcfr jobs [--dir D]                       list the daemon's jobs
+//! vcfr top [--dir D] [--once]               live daemon metrics dashboard
 //! vcfr shutdown [--dir D]                   checkpoint everything and exit
 //! ```
 
@@ -38,6 +40,7 @@ USAGE:
     vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
                    [--max N] [--seed N] [--rerand-epoch N] [--audit]
                    [--scale N] [--no-superblocks] [--manifest <out.json>]
+                   [--progress] [--dump-trace]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
@@ -47,6 +50,7 @@ USAGE:
                    [--seed N] [--rerand-epoch N] [--checkpoint-every N]
                    [--scale N] [--dir D] [--watch]
     vcfr jobs [--dir D]
+    vcfr top [--dir D] [--interval MS] [--count N] [--once]
     vcfr shutdown [--dir D]
 ";
 
@@ -63,7 +67,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         )?),
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
-            &["ooo", "audit", "no-superblocks"],
+            &["ooo", "audit", "no-superblocks", "progress", "dump-trace"],
             &["mode", "drc", "max", "seed", "rerand-epoch", "scale", "manifest"],
         )?),
         "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
@@ -81,6 +85,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
             &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "scale", "dir"],
         )?),
         "jobs" => serve::cmd_jobs(&Args::parse(rest, &[], &["dir"])?),
+        "top" => serve::cmd_top(&Args::parse(rest, &["once"], &["dir", "interval", "count"])?),
         "shutdown" => serve::cmd_shutdown(&Args::parse(rest, &[], &["dir"])?),
         other => Err(CliError::Msg(format!("unknown command {other:?}\n\n{USAGE}"))),
     }

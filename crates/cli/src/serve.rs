@@ -1,10 +1,12 @@
 //! The service-facing subcommands: `vcfr serve` runs the daemon,
-//! `vcfr submit` / `vcfr jobs` / `vcfr shutdown` talk to it.
+//! `vcfr submit` / `vcfr jobs` / `vcfr top` / `vcfr shutdown` talk to
+//! it.
 
 use crate::args::Args;
 use crate::commands::CliError;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use vcfr_obs::Json;
 use vcfr_service::{serve, Client, JobSpec, ServeOptions};
 
 fn state_dir(args: &Args) -> PathBuf {
@@ -46,15 +48,43 @@ pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let id = client.submit(&spec)?;
     let mut out = format!("job {id} submitted: {} {}", spec.workload, spec.mode);
     if args.flag("watch") {
+        // Event-driven: the daemon pushes `progress` lines as the
+        // job's telemetry tap fires and `status` lines on phase
+        // changes; between events its watch loop sleeps with capped
+        // exponential backoff, so neither side polls on a fixed tick.
         out.push('\n');
         client.watch(id, |ev| {
-            let insts = ev.get("instructions").and_then(|v| v.as_u64()).unwrap_or(0);
-            let phase = ev.get("phase").and_then(|v| v.as_str()).unwrap_or("?");
-            let _ = writeln!(out, "  job {id}: {phase} at {insts} instructions");
+            let _ = writeln!(out, "  {}", render_watch_event(id, ev));
         })?;
         out.pop();
     }
     Ok(out)
+}
+
+/// One human-readable line per watch event (`progress` or `status`).
+fn render_watch_event(id: u64, ev: &Json) -> String {
+    let num = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+    match ev.get("event").and_then(Json::as_str) {
+        Some("progress") => {
+            let insts = num("instructions");
+            let max = num("max_insts").max(1);
+            let cycles = num("cycles");
+            let sb_insts = ev.get_path("superblock.insts").and_then(Json::as_u64).unwrap_or(0);
+            format!(
+                "job {id}: {insts}/{max} insts ({:.0}%)  ipc {:.3}  sb {:.1}%",
+                insts as f64 / max as f64 * 100.0,
+                if cycles == 0 { 0.0 } else { insts as f64 / cycles as f64 },
+                sb_insts as f64 / insts.max(1) as f64 * 100.0,
+            )
+        }
+        _ => {
+            let phase = ev.get("phase").and_then(Json::as_str).unwrap_or("?");
+            match ev.get("error").and_then(Json::as_str) {
+                Some(e) => format!("job {id}: {phase} at {} instructions  error: {e}", num("instructions")),
+                None => format!("job {id}: {phase} at {} instructions", num("instructions")),
+            }
+        }
+    }
 }
 
 /// `vcfr jobs [--dir D]` — lists every job the daemon knows about.
@@ -89,6 +119,92 @@ pub fn cmd_jobs(args: &Args) -> Result<String, CliError> {
     }
     out.pop();
     Ok(out)
+}
+
+/// Renders one frame of the `vcfr top` dashboard from a `metrics`
+/// response body.
+fn render_top(m: &Json) -> String {
+    let num = |path: &str| m.get_path(path).and_then(Json::as_u64).unwrap_or(0);
+    let fnum = |path: &str| m.get_path(path).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "vcfr serve — up {:.0}s  |  queue {}/{} waiting, {} in flight",
+        fnum("uptime_secs"),
+        num("queue.depth"),
+        num("queue.capacity"),
+        num("queue.in_flight"),
+    );
+    let _ = writeln!(
+        out,
+        "jobs: {} queued  {} running  {} done  {} failed",
+        num("jobs.queued"),
+        num("jobs.running"),
+        num("jobs.done"),
+        num("jobs.failed"),
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {} insts retired  ({:.2}M insts/s)  |  {} progress events",
+        num("throughput.instructions"),
+        fnum("throughput.insts_per_sec") / 1e6,
+        num("progress_events"),
+    );
+    if let Some(workers) = m.get("workers").and_then(Json::as_arr) {
+        for (i, w) in workers.iter().enumerate() {
+            let util = w.get("utilization").and_then(Json::as_f64).unwrap_or(0.0);
+            let bars = (util * 20.0).round() as usize;
+            let _ = writeln!(
+                out,
+                "worker {i}: [{:<20}] {:>5.1}%  {} jobs  busy {:.1}s",
+                "#".repeat(bars.min(20)),
+                util * 100.0,
+                w.get("jobs").and_then(Json::as_u64).unwrap_or(0),
+                w.get("busy_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    let lat = |k: &str| m.get_path(&format!("job_latency_ms.{k}")).and_then(Json::as_u64);
+    if let (Some(n), Some(min), Some(max)) = (lat("count"), lat("min"), lat("max")) {
+        let sum = lat("sum").unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "job latency: {n} finished  min {min}ms  mean {:.0}ms  max {max}ms",
+            sum as f64 / n.max(1) as f64,
+        );
+    }
+    out.pop();
+    out
+}
+
+/// `vcfr top [--dir D] [--interval MS] [--count N] [--once]` — a
+/// polling dashboard over the daemon's `metrics` endpoint: queue
+/// occupancy, per-worker utilization, job phases, throughput totals
+/// and the job-latency histogram. `--once` prints a single frame and
+/// exits (scripting-friendly); otherwise the terminal is redrawn every
+/// `--interval` milliseconds (default 1000), `--count` times (default:
+/// until the daemon goes away).
+pub fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let dir = state_dir(args);
+    let interval = args.u64_or("interval", 1_000)?;
+    let once = args.flag("once");
+    let frames = if once { 1 } else { args.u64_or("count", u64::MAX)? };
+    let mut client = Client::connect(&dir)?;
+    let mut n = 0u64;
+    loop {
+        let metrics = client.metrics()?;
+        let frame = render_top(&metrics);
+        n += 1;
+        if n >= frames {
+            return Ok(frame);
+        }
+        // Clear + home between frames so the dashboard redraws in
+        // place (plain prints under --once / --count 1 keep the output
+        // pipe-friendly).
+        println!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(100)));
+    }
 }
 
 /// `vcfr shutdown [--dir D]` — asks the daemon to checkpoint every

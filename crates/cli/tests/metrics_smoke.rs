@@ -1,0 +1,148 @@
+//! Smoke of the daemon's telemetry surface: start a daemon, keep several
+//! jobs in flight concurrently, and check that the `metrics` endpoint
+//! (via `vcfr top --once`) and the progress-streaming `watch` both
+//! report live, internally consistent state.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const VCFR: &str = env!("CARGO_BIN_EXE_vcfr");
+
+/// Kills the daemon on every exit path so a failing assert never leaks
+/// a background process.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn start_daemon(dir: &Path) -> Daemon {
+    let child = Command::new(VCFR)
+        .args(["serve", "--dir"])
+        .arg(dir)
+        .args(["--workers", "2", "--queue", "8"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    Daemon(child)
+}
+
+fn wait_for(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vcfr-metrics-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One `vcfr top --once` frame, as text.
+fn top_once(dir: &Path) -> String {
+    let out = Command::new(VCFR)
+        .args(["top", "--once", "--dir"])
+        .arg(dir)
+        .output()
+        .expect("top runs");
+    assert!(
+        out.status.success(),
+        "vcfr top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("top output is utf-8")
+}
+
+#[test]
+fn metrics_endpoint_reports_live_state_under_concurrent_jobs() {
+    let dir = fresh_dir();
+    let _daemon = start_daemon(&dir);
+
+    // A frame from the idle daemon: zero jobs everywhere, two workers.
+    wait_for("daemon endpoint", || dir.join("endpoint").exists());
+    let idle = top_once(&dir);
+    assert!(idle.contains("jobs: 0 queued  0 running  0 done  0 failed"), "idle frame:\n{idle}");
+    assert!(idle.contains("worker 0:") && idle.contains("worker 1:"), "idle frame:\n{idle}");
+
+    // Submit four jobs onto two workers, the last one watched to the
+    // end: the watch stream must carry progress lines with a growing
+    // instruction count before the terminal status line.
+    for workload in ["bzip2", "hmmer", "lbm"] {
+        wait_for(&format!("submission of {workload}"), || {
+            Command::new(VCFR)
+                .args(["submit", workload, "--dir"])
+                .arg(dir.to_str().unwrap())
+                .args(["--mode", "vcfr", "--drc", "128", "--max", "2000000"])
+                .output()
+                .expect("submit runs")
+                .status
+                .success()
+        });
+    }
+    let watched = Command::new(VCFR)
+        .args(["submit", "h264ref", "--dir"])
+        .arg(&dir)
+        .args(["--mode", "vcfr", "--drc", "128", "--max", "2000000", "--watch"])
+        .output()
+        .expect("watched submit runs");
+    assert!(watched.status.success(), "{}", String::from_utf8_lossy(&watched.stderr));
+    let watch_text = String::from_utf8_lossy(&watched.stdout);
+    let progress_lines: Vec<&str> =
+        watch_text.lines().filter(|l| l.contains("insts (")).collect();
+    assert!(
+        !progress_lines.is_empty(),
+        "watch stream carried no progress lines:\n{watch_text}"
+    );
+    // The workloads halt naturally before the 2M budget, so the
+    // terminal line reports whatever count the program retired.
+    let done_insts: u64 = watch_text
+        .lines()
+        .find_map(|l| l.split_once(": done at ").map(|(_, r)| r))
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("watch stream never reported completion:\n{watch_text}"));
+    assert!(done_insts > 0, "watched job retired nothing:\n{watch_text}");
+
+    // All four jobs ran to completion, so the final frame must show the
+    // work: 4 done, nothing queued or running, both workers used, and a
+    // non-empty latency line.
+    wait_for("all jobs done", || top_once(&dir).contains("jobs: 0 queued  0 running  4 done"));
+    let done = top_once(&dir);
+    assert!(done.contains("4 done  0 failed"), "final frame:\n{done}");
+    let retired: u64 = done
+        .lines()
+        .find_map(|l| l.split_once("throughput: ").map(|(_, r)| r))
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("throughput line in frame");
+    assert!(
+        retired >= done_insts,
+        "retired total {retired} below the watched job's {done_insts}:\n{done}"
+    );
+    assert!(done.contains("job latency: 4 finished"), "final frame:\n{done}");
+    // Two workers and four equally sized jobs: each worker ran at least
+    // one (the pool balances; a 4-0 split would mean a dead worker).
+    for w in ["worker 0:", "worker 1:"] {
+        let line = done.lines().find(|l| l.starts_with(w)).expect("worker line");
+        assert!(!line.contains(" 0 jobs"), "idle worker in final frame:\n{done}");
+    }
+    // Progress events from the taps reached the hub.
+    let events: u64 = done
+        .lines()
+        .find_map(|l| l.split("  |  ").find_map(|f| f.strip_suffix(" progress events")))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("progress-event counter in frame");
+    assert!(events >= 4, "expected taps to fire for each job, frame:\n{done}");
+
+    // Shut down cleanly so the temp dir can go away.
+    let _ = Command::new(VCFR).args(["shutdown", "--dir"]).arg(&dir).output();
+    let _ = std::fs::remove_dir_all(&dir);
+}

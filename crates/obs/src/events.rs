@@ -1,0 +1,247 @@
+//! Structured progress events and a bounded event log.
+//!
+//! A [`ProgressEvent`] is a point-in-time reading of a running
+//! simulation, taken at a deterministic *instruction-count* boundary.
+//! Every field is derived from simulated state only — there is no
+//! wall-clock inside the event, so the stream a run emits is a pure
+//! function of the run itself (same workload, same config ⇒ identical
+//! events, telemetry on or off, resumed or straight through). Layers
+//! that want wall-clock (the daemon, `vcfr top`) attach it *outside*
+//! the event at emission time, the same way manifests strip their host
+//! block before canonicalisation.
+//!
+//! [`EventLog`] keeps the most recent events in a fixed-capacity
+//! buffer (like [`crate::TraceRing`], but with an explicit dropped
+//! counter surfaced in JSON so consumers can tell a quiet run from a
+//! truncated one).
+
+use crate::json::Json;
+
+/// A progress reading at one deterministic instruction boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Ordinal of this event within the run (0-based).
+    pub seq: u64,
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Simulated cycles elapsed so far.
+    pub cycles: u64,
+    /// Fetch-stall cycles so far.
+    pub fetch_stall_cycles: u64,
+    /// Load-stall cycles so far.
+    pub load_stall_cycles: u64,
+    /// Redirect-stall cycles so far.
+    pub redirect_stall_cycles: u64,
+    /// Re-randomization stall cycles so far.
+    pub rerand_stall_cycles: u64,
+    /// Superblock batches replayed on the fast path so far.
+    pub sb_batches: u64,
+    /// Instructions retired via superblock replay so far.
+    pub sb_insts: u64,
+    /// Faults injected so far.
+    pub faults_injected: u64,
+    /// Faults detected so far.
+    pub faults_detected: u64,
+    /// Re-randomization epochs completed so far.
+    pub rerand_epochs: u64,
+}
+
+impl ProgressEvent {
+    /// Fraction of retired instructions that went through superblock
+    /// replay (`0.0` when nothing has retired yet).
+    pub fn sb_hit_rate(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.sb_insts as f64 / self.instructions as f64
+        }
+    }
+
+    /// Serialises as a flat object with stable keys.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("seq", Json::U64(self.seq));
+        j.set("instructions", Json::U64(self.instructions));
+        j.set("cycles", Json::U64(self.cycles));
+        let mut stall = Json::obj();
+        stall.set("fetch", Json::U64(self.fetch_stall_cycles));
+        stall.set("load", Json::U64(self.load_stall_cycles));
+        stall.set("redirect", Json::U64(self.redirect_stall_cycles));
+        stall.set("rerand", Json::U64(self.rerand_stall_cycles));
+        j.set("stall", stall);
+        let mut sb = Json::obj();
+        sb.set("batches", Json::U64(self.sb_batches));
+        sb.set("insts", Json::U64(self.sb_insts));
+        j.set("superblock", sb);
+        let mut faults = Json::obj();
+        faults.set("injected", Json::U64(self.faults_injected));
+        faults.set("detected", Json::U64(self.faults_detected));
+        j.set("faults", faults);
+        j.set("rerand_epochs", Json::U64(self.rerand_epochs));
+        j
+    }
+
+    /// Parses the [`ProgressEvent::to_json`] shape back; missing keys
+    /// read as zero so older emitters stay readable.
+    pub fn from_json(j: &Json) -> ProgressEvent {
+        let u = |path: &str| j.get_path(path).and_then(Json::as_u64).unwrap_or(0);
+        ProgressEvent {
+            seq: u("seq"),
+            instructions: u("instructions"),
+            cycles: u("cycles"),
+            fetch_stall_cycles: u("stall.fetch"),
+            load_stall_cycles: u("stall.load"),
+            redirect_stall_cycles: u("stall.redirect"),
+            rerand_stall_cycles: u("stall.rerand"),
+            sb_batches: u("superblock.batches"),
+            sb_insts: u("superblock.insts"),
+            faults_injected: u("faults.injected"),
+            faults_detected: u("faults.detected"),
+            rerand_epochs: u("rerand_epochs"),
+        }
+    }
+}
+
+/// A bounded log of the most recent [`ProgressEvent`]s.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    capacity: usize,
+    events: Vec<ProgressEvent>,
+    start: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log keeping at most `capacity` events (0 disables retention —
+    /// every push is counted as dropped).
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog { capacity, events: Vec::new(), start: 0, dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: ProgressEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.start] = event;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or rejected by a zero capacity) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recent event, if any.
+    pub fn latest(&self) -> Option<&ProgressEvent> {
+        if self.events.is_empty() {
+            None
+        } else if self.events.len() < self.capacity {
+            self.events.last()
+        } else {
+            let i = (self.start + self.capacity - 1) % self.capacity;
+            Some(&self.events[i])
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<ProgressEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        for i in 0..self.events.len() {
+            out.push(self.events[(self.start + i) % self.events.len().max(1)]);
+        }
+        out
+    }
+
+    /// Serialises as `{capacity, dropped, events: [...]}` oldest first.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("capacity", Json::U64(self.capacity as u64));
+        j.set("dropped", Json::U64(self.dropped));
+        j.set(
+            "events",
+            Json::Arr(self.to_vec().iter().map(ProgressEvent::to_json).collect()),
+        );
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> ProgressEvent {
+        ProgressEvent { seq, instructions: seq * 1000, ..Default::default() }
+    }
+
+    #[test]
+    fn keeps_latest_and_counts_dropped() {
+        let mut log = EventLog::new(3);
+        for s in 0..5 {
+            log.push(ev(s));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let seqs: Vec<u64> = log.to_vec().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(log.latest().unwrap().seq, 4);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = EventLog::new(0);
+        log.push(ev(0));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+        assert!(log.latest().is_none());
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        let e = ProgressEvent {
+            seq: 3,
+            instructions: 40_000,
+            cycles: 61_234,
+            fetch_stall_cycles: 100,
+            load_stall_cycles: 200,
+            redirect_stall_cycles: 7,
+            rerand_stall_cycles: 9,
+            sb_batches: 12,
+            sb_insts: 30_000,
+            faults_injected: 2,
+            faults_detected: 1,
+            rerand_epochs: 4,
+        };
+        assert_eq!(ProgressEvent::from_json(&e.to_json()), e);
+        assert!((e.sb_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_json_lists_oldest_first() {
+        let mut log = EventLog::new(2);
+        log.push(ev(0));
+        log.push(ev(1));
+        log.push(ev(2));
+        let j = log.to_json();
+        let arr = j.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(arr[1].get("seq").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("dropped").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,228 @@
+//! A deterministic log2-bucketed histogram.
+//!
+//! Buckets are fixed powers of two: value `v` lands in bucket
+//! `bit_width(v)` (so 0 → bucket 0, 1 → bucket 1, 2..=3 → bucket 2,
+//! 4..=7 → bucket 3, …, `u64::MAX` → bucket 64). The bucket layout is a
+//! pure function of the value — no configuration, no float math — so two
+//! histograms built from the same multiset of values are identical
+//! field-for-field and byte-for-byte in JSON, regardless of insertion
+//! order or which daemon/worker recorded them. That makes [`Histogram`]
+//! safe to merge across workers and ship between fleet nodes.
+
+use crate::json::Json;
+
+/// Number of buckets: one per possible `u64` bit width (0..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-layout log2 histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`: its bit width (0 for 0, 64 for
+    /// `u64::MAX`). Monotonic in `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `(low, high)` value range covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Merging is associative and
+    /// commutative: any merge tree over the same samples yields the
+    /// same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the high edge
+    /// of the bucket containing the `ceil(q * count)`-th sample.
+    /// `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(Histogram::bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serialises as `{count, sum, min, max, buckets: [[low, n], ...]}`
+    /// with empty buckets elided; deterministic for identical contents.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("count", Json::U64(self.count));
+        j.set("sum", Json::U64(self.sum));
+        if self.count > 0 {
+            j.set("min", Json::U64(self.min));
+            j.set("max", Json::U64(self.max));
+        }
+        let mut arr = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                let (low, _) = Histogram::bucket_range(i);
+                arr.push(Json::Arr(vec![Json::U64(low), Json::U64(*b)]));
+            }
+        }
+        j.set("buckets", Json::Arr(arr));
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_range_roundtrips_index() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (low, high) = Histogram::bucket_range(i);
+            assert_eq!(Histogram::bucket_index(low), i);
+            assert_eq!(Histogram::bucket_index(high), i);
+        }
+    }
+
+    #[test]
+    fn record_updates_summary() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        h.record(0);
+        h.record(7);
+        h.record(100);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 107);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(7), 1);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 5, 9, 1 << 40, u64::MAX] {
+            if v % 2 == 0 { a.record(v) } else { b.record(v) }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_bound_is_a_bucket_edge() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        assert!((50..=63).contains(&p50), "p50 bound {p50}");
+        assert_eq!(h.quantile_upper_bound(1.0), Some(100));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_elides_empty_buckets() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("buckets").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(j.compact(), h.to_json().compact());
+    }
+}

@@ -10,6 +10,11 @@
 //!   wall-clock spans (`sim.il1.miss`, `sim.drc.walk_cycles`, …);
 //! * [`TraceRing`] — a fixed-capacity ring of the last N pipeline
 //!   events, the simulator's post-mortem trace;
+//! * [`Histogram`] — a deterministic log2-bucketed histogram, safe to
+//!   merge across workers and fleet nodes;
+//! * [`ProgressEvent`] / [`EventLog`] — structured in-flight progress
+//!   readings at deterministic instruction boundaries, with a bounded
+//!   log that counts what it drops;
 //! * [`CycleAccounting`] / [`AuditReport`] — the cycle-accounting audit
 //!   (`busy + stalls ≈ cycles`, tolerance-checked);
 //! * [`Manifest`] — per-(app, config) run manifests with a schema
@@ -22,6 +27,8 @@
 
 mod audit;
 mod bench_json;
+mod events;
+mod histogram;
 mod json;
 mod manifest;
 mod registry;
@@ -29,9 +36,11 @@ mod ring;
 
 pub use audit::{AuditReport, CycleAccounting, DEFAULT_TOLERANCE};
 pub use bench_json::{BenchRecord, BenchRun, BENCH_SCHEMA_VERSION};
+pub use events::{EventLog, ProgressEvent};
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use json::{parse_json, Json, JsonError};
 pub use manifest::{
     fingerprint, Manifest, ManifestError, MANIFEST_KIND, MANIFEST_SCHEMA_VERSION,
 };
-pub use registry::{Registry, Snapshot};
+pub use registry::{Registry, Snapshot, SpanStat};
 pub use ring::TraceRing;

@@ -15,8 +15,24 @@ use std::time::Instant;
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
-    /// Span durations in seconds.
-    spans: BTreeMap<String, f64>,
+    /// Per-span accumulated duration and re-entry count.
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// Accumulated duration and entry count for one named span.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStat {
+    /// Total time spent in the span, in seconds.
+    pub sum_secs: f64,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+impl SpanStat {
+    /// Mean duration per entry, or `None` when never entered.
+    pub fn mean_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_secs / self.count as f64)
+    }
 }
 
 impl Registry {
@@ -35,9 +51,14 @@ impl Registry {
         self.counters.insert(name.to_owned(), value);
     }
 
-    /// Records a span duration in seconds (accumulating re-entries).
+    /// Records a span duration in seconds. Re-entries accumulate both
+    /// the total and an entry count, so snapshots can report means —
+    /// summing alone would make ten 1 ms entries indistinguishable
+    /// from one 10 ms entry.
     pub fn record_span_secs(&mut self, name: &str, secs: f64) {
-        *self.spans.entry(name.to_owned()).or_insert(0.0) += secs;
+        let stat = self.spans.entry(name.to_owned()).or_default();
+        stat.sum_secs += secs;
+        stat.count += 1;
     }
 
     /// Times `f`, recording its duration under `name`.
@@ -68,8 +89,8 @@ impl Registry {
 pub struct Snapshot {
     /// `(name, value)` pairs, sorted by name.
     pub counters: Vec<(String, u64)>,
-    /// `(name, seconds)` pairs, sorted by name.
-    pub spans: Vec<(String, f64)>,
+    /// `(name, stat)` pairs, sorted by name.
+    pub spans: Vec<(String, SpanStat)>,
 }
 
 impl Snapshot {
@@ -93,6 +114,9 @@ impl Snapshot {
     /// Serialises as a *nested* JSON object: dotted names become object
     /// paths (`sim.il1.miss` → `{"sim": {"il1": {"miss": N}}}`), keys
     /// sorted at every level, spans under a top-level `"spans"` object.
+    /// Span values stay the accumulated seconds (the original shape);
+    /// entry counts ride alongside in a sibling `"span_counts"` object
+    /// so existing readers keep working.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
         for (name, v) in &self.counters {
@@ -100,9 +124,12 @@ impl Snapshot {
         }
         if !self.spans.is_empty() {
             let mut spans = Json::obj();
-            for (name, secs) in &self.spans {
-                spans.set(name, Json::F64(*secs));
+            let mut counts = Json::obj();
+            for (name, stat) in &self.spans {
+                spans.set(name, Json::F64(stat.sum_secs));
+                counts.set(name, Json::U64(stat.count));
             }
+            root.set("span_counts", counts);
             root.set("spans", spans);
         }
         root
@@ -165,8 +192,28 @@ mod tests {
         assert_eq!(v, 42);
         let s = r.snapshot();
         assert_eq!(s.spans.len(), 1);
-        assert!(s.spans[0].1 >= 0.0);
+        assert!(s.spans[0].1.sum_secs >= 0.0);
+        assert_eq!(s.spans[0].1.count, 1);
         assert!(s.to_json().get_path("spans").is_some());
+    }
+
+    #[test]
+    fn reentrant_spans_keep_count_and_mean() {
+        let mut r = Registry::new();
+        r.record_span_secs("stage.work", 1.0);
+        r.record_span_secs("stage.work", 3.0);
+        let s = r.snapshot();
+        let stat = s.spans[0].1;
+        assert_eq!(stat.count, 2);
+        assert!((stat.sum_secs - 4.0).abs() < 1e-12);
+        assert_eq!(stat.mean_secs(), Some(2.0));
+        let j = s.to_json();
+        // Backward-compatible shape: `spans` still maps name → summed
+        // seconds; counts ride alongside under `span_counts`.
+        let sum = j.get("spans").unwrap().get("stage.work").unwrap();
+        assert!((sum.as_f64().unwrap() - 4.0).abs() < 1e-12);
+        let n = j.get("span_counts").unwrap().get("stage.work").unwrap();
+        assert_eq!(n.as_u64(), Some(2));
     }
 
     #[test]

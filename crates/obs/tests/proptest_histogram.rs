@@ -1,0 +1,105 @@
+//! Property tests for the log2 [`Histogram`]: bucket boundaries are a
+//! monotonic pure function of the value (zero and `u64::MAX` included),
+//! and merging is associative/commutative — any merge tree over the same
+//! multiset of samples yields the same histogram, which is what makes it
+//! safe to aggregate across daemon workers and fleet nodes.
+
+use proptest::prelude::*;
+use vcfr_obs::{Histogram, HISTOGRAM_BUCKETS};
+
+/// Values biased toward bucket edges: powers of two and their
+/// neighbours, plus arbitrary draws and the 0 / `u64::MAX` extremes.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u64..67).prop_map(|(raw, sel)| match sel {
+        0 => 0,
+        1 => u64::MAX,
+        s if s < 66 => {
+            let p = 1u64 << ((s - 2) % 64);
+            match s % 3 {
+                0 => p,
+                1 => p.saturating_sub(1),
+                _ => p.saturating_add(1),
+            }
+        }
+        _ => raw,
+    })
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Bucket index is monotone non-decreasing in the value, stays in
+    /// range, and each value lies inside its bucket's claimed span.
+    #[test]
+    fn bucket_index_is_monotonic_and_consistent(a in arb_value(), b in arb_value()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (bl, bh) = (Histogram::bucket_index(lo), Histogram::bucket_index(hi));
+        prop_assert!(bl <= bh, "bucket({lo})={bl} > bucket({hi})={bh}");
+        prop_assert!(bh < HISTOGRAM_BUCKETS);
+        for v in [lo, hi] {
+            let (low, high) = Histogram::bucket_range(Histogram::bucket_index(v));
+            prop_assert!(low <= v && v <= high, "{v} outside bucket span [{low}, {high}]");
+        }
+    }
+
+    /// Zero and `u64::MAX` land in the first and last buckets and never
+    /// disturb each other's counts.
+    #[test]
+    fn zero_and_max_edges(n_zero in 0u64..5, n_max in 0u64..5) {
+        let mut h = Histogram::new();
+        for _ in 0..n_zero { h.record(0); }
+        for _ in 0..n_max { h.record(u64::MAX); }
+        prop_assert_eq!(h.bucket(0), n_zero);
+        prop_assert_eq!(h.bucket(HISTOGRAM_BUCKETS - 1), n_max);
+        prop_assert_eq!(h.count(), n_zero + n_max);
+        if n_zero > 0 { prop_assert_eq!(h.min(), Some(0)); }
+        if n_max > 0 { prop_assert_eq!(h.max(), Some(u64::MAX)); }
+    }
+
+    /// Merge is associative and commutative: (a ∪ b) ∪ c == a ∪ (b ∪ c)
+    /// == c ∪ (b ∪ a), and all agree with recording every sample into
+    /// one histogram directly.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(arb_value(), 0..40),
+        ys in proptest::collection::vec(arb_value(), 0..40),
+        zs in proptest::collection::vec(arb_value(), 0..40),
+    ) {
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        // ((a ∪ b) ∪ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // (a ∪ (b ∪ c))
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        // (c ∪ (b ∪ a)) — commuted order.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut rev = c.clone();
+        rev.merge(&ba);
+
+        // Everything recorded into a single histogram.
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&xs);
+        all.extend(&ys);
+        all.extend(&zs);
+        let direct = build(&all);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &rev);
+        prop_assert_eq!(&left, &direct);
+        prop_assert_eq!(left.to_json().compact(), direct.to_json().compact());
+    }
+}

@@ -142,6 +142,20 @@ impl Client {
         }
     }
 
+    /// The daemon-wide metrics object: queue occupancy, per-worker
+    /// utilization, job counts by phase, throughput totals, and the
+    /// job-latency histogram (see `docs/service.md` for the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn metrics(&mut self) -> Result<Json, ServiceError> {
+        let resp = Self::expect_ok(self.roundtrip(&Self::op("metrics"))?)?;
+        resp.get("metrics")
+            .cloned()
+            .ok_or_else(|| ServiceError::Protocol("metrics response lacks a body".to_string()))
+    }
+
     /// Asks the daemon to checkpoint everything and exit.
     ///
     /// # Errors

@@ -11,6 +11,7 @@
 //! <dir>/jobs/job-<id>.manifest.json  canonical run manifest, once done
 //! ```
 
+use crate::metrics::MetricsHub;
 use crate::protocol::{err_response, ok_response, JobPhase, JobSpec, ServiceError, ENDPOINT_FILE};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
@@ -18,10 +19,10 @@ use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vcfr_bench::{build_manifest, WorkerPool};
 use vcfr_core::DrcConfig;
-use vcfr_obs::{parse_json, Json};
+use vcfr_obs::{parse_json, Json, ProgressEvent};
 use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
 use vcfr_sim::{Mode, Session, SessionStatus, SimConfig};
 use vcfr_workloads::{by_name, by_name_scaled};
@@ -60,6 +61,28 @@ struct JobState {
     error: Option<String>,
     /// Bumped on every change so watchers only emit fresh lines.
     seq: u64,
+    /// The latest reading from the job's telemetry tap (deterministic
+    /// fields only; never persisted).
+    progress: Option<ProgressEvent>,
+    /// Progress events received so far — watchers compare against it
+    /// to tell a fresh reading from a mere status bump.
+    progress_count: u64,
+}
+
+impl JobState {
+    fn new(spec: JobSpec, phase: JobPhase, error: Option<String>) -> JobState {
+        JobState {
+            spec,
+            phase,
+            instructions: 0,
+            cycles: 0,
+            checkpoints: 0,
+            error,
+            seq: 0,
+            progress: None,
+            progress_count: 0,
+        }
+    }
 }
 
 struct Inner {
@@ -67,6 +90,7 @@ struct Inner {
     stopping: AtomicBool,
     jobs: Mutex<BTreeMap<u64, JobState>>,
     changed: Condvar,
+    metrics: MetricsHub,
 }
 
 impl Inner {
@@ -169,18 +193,7 @@ fn load_jobs(jobs_dir: &Path) -> (BTreeMap<u64, JobState>, Vec<u64>) {
         if !phase.is_terminal() {
             resumable.push(id);
         }
-        jobs.insert(
-            id,
-            JobState {
-                spec,
-                phase,
-                instructions: 0,
-                cycles: 0,
-                checkpoints: 0,
-                error,
-                seq: 0,
-            },
-        );
+        jobs.insert(id, JobState::new(spec, phase, error));
     }
     resumable.sort_unstable();
     (jobs, resumable)
@@ -196,8 +209,10 @@ fn manifest_mode(spec: &JobSpec) -> String {
     }
 }
 
-/// Marks a job failed, in the registry and on disk.
-fn fail_job(inner: &Inner, id: u64, msg: String) {
+/// Marks a job failed, in the registry, on disk, and in the metrics
+/// hub (`started` anchors its latency sample).
+fn fail_job(inner: &Inner, id: u64, started: Instant, msg: String) {
+    inner.metrics.record_job(started.elapsed().as_millis() as u64, false, 0);
     inner.update(id, |st| {
         st.phase = JobPhase::Failed;
         st.error = Some(msg);
@@ -208,9 +223,17 @@ fn fail_job(inner: &Inner, id: u64, msg: String) {
     }
 }
 
+/// The telemetry-tap interval for a job: ~100 readings across its
+/// instruction budget. A pure function of the spec, so every run of
+/// the same job emits events at identical instruction boundaries.
+fn progress_interval(spec: &JobSpec) -> u64 {
+    (spec.max_insts / 100).max(1)
+}
+
 /// Simulates one job to completion (or to the next graceful-shutdown
 /// window), checkpointing after every chunk.
 fn run_job(inner: &Inner, id: u64) {
+    let started = Instant::now();
     let spec = {
         let jobs = inner.jobs.lock().expect("registry lock");
         match jobs.get(&id) {
@@ -223,7 +246,7 @@ fn run_job(inner: &Inner, id: u64) {
     }
 
     let Some(w) = by_name_scaled(&spec.workload, spec.scale) else {
-        fail_job(inner, id, format!("unknown workload {:?}", spec.workload));
+        fail_job(inner, id, started, format!("unknown workload {:?}", spec.workload));
         return;
     };
     let cfg = match SimConfig::builder()
@@ -233,7 +256,7 @@ fn run_job(inner: &Inner, id: u64) {
     {
         Ok(cfg) => cfg,
         Err(e) => {
-            fail_job(inner, id, e.to_string());
+            fail_job(inner, id, started, e.to_string());
             return;
         }
     };
@@ -243,7 +266,7 @@ fn run_job(inner: &Inner, id: u64) {
         match randomize(&w.image, &RandomizeConfig::with_seed(spec.seed)) {
             Ok(rp) => Some(rp),
             Err(e) => {
-                fail_job(inner, id, format!("randomization failed: {e}"));
+                fail_job(inner, id, started, format!("randomization failed: {e}"));
                 return;
             }
         }
@@ -261,16 +284,29 @@ fn run_job(inner: &Inner, id: u64) {
     let mut session = match session {
         Ok(s) => s,
         Err(e) => {
-            fail_job(inner, id, e.to_string());
+            fail_job(inner, id, started, e.to_string());
             return;
         }
-    };
+    }
+    // The telemetry tap: each reading lands in the registry (waking
+    // watchers, who stream it as a `progress` event) and ticks the
+    // daemon-wide counter. Boundaries are instruction counts, so the
+    // simulated results are byte-identical with or without the tap.
+    .with_progress(progress_interval(&spec), |e| {
+        inner.metrics.record_progress_event();
+        inner.update(id, |st| {
+            st.instructions = e.instructions;
+            st.cycles = e.cycles;
+            st.progress = Some(*e);
+            st.progress_count += 1;
+        });
+    });
 
     // Resume from the latest snapshot, if the previous daemon left one.
     let ckpt_path = ckpt_file(&inner.jobs_dir, id);
     if let Ok(bytes) = std::fs::read(&ckpt_path) {
         if let Err(e) = session.restore(&bytes) {
-            fail_job(inner, id, format!("checkpoint rejected: {e}"));
+            fail_job(inner, id, started, format!("checkpoint rejected: {e}"));
             return;
         }
     }
@@ -290,7 +326,7 @@ fn run_job(inner: &Inner, id: u64) {
         }
         match session.run_for(spec.checkpoint_every) {
             Err(e) => {
-                fail_job(inner, id, e.to_string());
+                fail_job(inner, id, started, e.to_string());
                 return;
             }
             Ok(SessionStatus::Running) => {
@@ -315,6 +351,11 @@ fn run_job(inner: &Inner, id: u64) {
                     manifest.canonical_bytes().as_bytes(),
                 );
                 let _ = std::fs::remove_file(&ckpt_path);
+                inner.metrics.record_job(
+                    started.elapsed().as_millis() as u64,
+                    written.is_ok(),
+                    out.output.stats.instructions,
+                );
                 match written {
                     Ok(()) => inner.update(id, |st| {
                         st.phase = JobPhase::Done;
@@ -359,15 +400,7 @@ fn handle_submit(
         *next += 1;
         id
     };
-    let st = JobState {
-        spec,
-        phase: JobPhase::Queued,
-        instructions: 0,
-        cycles: 0,
-        checkpoints: 0,
-        error: None,
-        seq: 0,
-    };
+    let st = JobState::new(spec, JobPhase::Queued, None);
     // Persist before admitting: a kill right after this line still
     // leaves a resumable job on disk.
     if let Err(e) = persist_job(&inner.jobs_dir, id, &st) {
@@ -384,12 +417,22 @@ fn handle_submit(
     resp
 }
 
-/// Streams `{"event":"status"}` lines for one job until it reaches a
-/// terminal phase (or the daemon starts shutting down).
+/// Streams watch lines for one job until it reaches a terminal phase
+/// (or the daemon starts shutting down): a `{"event":"progress"}` line
+/// for every fresh telemetry reading, and a `{"event":"status"}` line
+/// when the phase changes (plus one up front, so a watcher always sees
+/// where the job stands). The wait between registry changes backs off
+/// exponentially (capped) while nothing moves, so idle watchers cost
+/// the daemon next to nothing; any change snaps it back down.
 fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    const WAIT_FLOOR: Duration = Duration::from_millis(25);
+    const WAIT_CAP: Duration = Duration::from_millis(1_600);
     let mut last_seq: Option<u64> = None;
+    let mut last_progress = 0u64;
+    let mut last_phase: Option<JobPhase> = None;
+    let mut wait = WAIT_FLOOR;
     loop {
-        let (line, terminal) = {
+        let (lines, terminal) = {
             let mut jobs = inner.jobs.lock().expect("registry lock");
             loop {
                 let Some(st) = jobs.get(&id) else {
@@ -397,18 +440,46 @@ fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<
                 };
                 if last_seq != Some(st.seq) || st.phase.is_terminal() || inner.stopping() {
                     last_seq = Some(st.seq);
-                    let mut line = status_json(id, st);
-                    line.set("event", Json::Str("status".to_string()));
-                    break (line, st.phase.is_terminal() || inner.stopping());
+                    wait = WAIT_FLOOR;
+                    let mut lines = Vec::new();
+                    if st.progress_count > last_progress {
+                        if let Some(p) = &st.progress {
+                            let mut line = p.to_json();
+                            line.set("event", Json::Str("progress".to_string()));
+                            line.set("id", Json::U64(id));
+                            line.set("max_insts", Json::U64(st.spec.max_insts));
+                            // Readings that landed while this watcher
+                            // was between wakeups (coalesced away).
+                            line.set(
+                                "coalesced",
+                                Json::U64(st.progress_count - last_progress - 1),
+                            );
+                            lines.push(line);
+                        }
+                        last_progress = st.progress_count;
+                    }
+                    if last_phase != Some(st.phase) || st.phase.is_terminal() || inner.stopping()
+                    {
+                        last_phase = Some(st.phase);
+                        let mut line = status_json(id, st);
+                        line.set("event", Json::Str("status".to_string()));
+                        lines.push(line);
+                    }
+                    if !lines.is_empty() || st.phase.is_terminal() || inner.stopping() {
+                        break (lines, st.phase.is_terminal() || inner.stopping());
+                    }
                 }
-                let (guard, _) = inner
-                    .changed
-                    .wait_timeout(jobs, Duration::from_millis(100))
-                    .expect("registry lock");
+                let (guard, timeout) =
+                    inner.changed.wait_timeout(jobs, wait).expect("registry lock");
                 jobs = guard;
+                if timeout.timed_out() {
+                    wait = (wait * 2).min(WAIT_CAP);
+                }
             }
         };
-        writeln!(out, "{}", line.compact())?;
+        for line in &lines {
+            writeln!(out, "{}", line.compact())?;
+        }
         if terminal {
             let mut end = Json::obj();
             end.set("event", Json::Str("end".to_string()));
@@ -470,6 +541,31 @@ fn handle_conn(
                         }
                     }
                 },
+                Some("metrics") => {
+                    let (by_phase, insts_in_flight) = {
+                        let jobs = inner.jobs.lock().expect("registry lock");
+                        let mut counts = (0u64, 0u64, 0u64, 0u64);
+                        let mut insts = 0u64;
+                        for st in jobs.values() {
+                            match st.phase {
+                                JobPhase::Queued => counts.0 += 1,
+                                JobPhase::Running => counts.1 += 1,
+                                JobPhase::Done => counts.2 += 1,
+                                JobPhase::Failed => counts.3 += 1,
+                            }
+                            if !st.phase.is_terminal() {
+                                insts += st.instructions;
+                            }
+                        }
+                        (counts, insts)
+                    };
+                    let mut r = ok_response();
+                    r.set(
+                        "metrics",
+                        inner.metrics.to_json(&pool.snapshot(), by_phase, insts_in_flight),
+                    );
+                    r
+                }
                 Some("watch") => match req.get("id").and_then(Json::as_u64) {
                     None => err_response("watch needs a job id"),
                     Some(id) => {
@@ -520,6 +616,7 @@ pub fn serve(opts: &ServeOptions) -> Result<(), ServiceError> {
         stopping: AtomicBool::new(false),
         jobs: Mutex::new(jobs),
         changed: Condvar::new(),
+        metrics: MetricsHub::new(),
     });
 
     let listener = TcpListener::bind(("127.0.0.1", opts.port))?;

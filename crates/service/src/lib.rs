@@ -15,8 +15,10 @@
 
 mod client;
 mod daemon;
+mod metrics;
 mod protocol;
 
 pub use client::Client;
 pub use daemon::{serve, ServeOptions};
+pub use metrics::MetricsHub;
 pub use protocol::{JobPhase, JobSpec, ServiceError, ENDPOINT_FILE};

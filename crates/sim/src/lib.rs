@@ -78,6 +78,6 @@ pub use hierarchy::MemoryHierarchy;
 pub use multicore::{simulate_multicore, MultiCoreOutput};
 pub use ooo::{simulate_ooo, OooConfig};
 pub use predict::{BranchStats, Btb, Gshare, Ras};
-pub use session::{Session, SessionOutcome, SessionStatus};
+pub use session::{ProgressSink, Session, SessionOutcome, SessionStatus};
 pub use stats::SimStats;
 pub use tlb::{Tlb, TlbStats};

@@ -21,7 +21,12 @@ use vcfr_isa::{
     Addr, Machine, RunOutcome, SectionKind, SuperblockCache, SuperblockLookup,
     SUPERBLOCK_MAX_INSTS,
 };
+use vcfr_obs::ProgressEvent;
 use vcfr_rewriter::RandomizedProgram;
+
+/// A telemetry callback receiving [`ProgressEvent`]s as the run crosses
+/// instruction-count boundaries (see [`Session::with_progress`]).
+pub type ProgressSink<'a> = Box<dyn FnMut(&ProgressEvent) + Send + 'a>;
 
 /// Everything a finished session produced.
 #[derive(Clone, Debug)]
@@ -91,6 +96,25 @@ pub struct Session<'a> {
     /// Per-block engine timing precompute, parallel to the cache's
     /// block ids.
     sb_timing: Vec<Vec<ReplayInst>>,
+    /// Progress-event interval in instructions (0 = telemetry off). Like
+    /// the superblock toggle, deliberately *not* part of the checkpoint
+    /// context or payload: the tap observes the run, it never shapes it,
+    /// so checkpoints interchange freely between tapped and untapped
+    /// sessions.
+    progress_every: u64,
+    /// The next instruction boundary at which to emit a progress event
+    /// (`u64::MAX` when telemetry is off). Always an exact multiple of
+    /// `progress_every`; recomputed — never serialized — on restore.
+    next_progress: u64,
+    /// Ordinal of the next progress event.
+    progress_seq: u64,
+    /// Where progress events go.
+    progress_sink: Option<ProgressSink<'a>>,
+    /// Superblock batches replayed so far (telemetry only).
+    sb_batches: u64,
+    /// Instructions retired via superblock replay so far (telemetry
+    /// only).
+    sb_insts: u64,
 }
 
 impl<'a> Session<'a> {
@@ -157,6 +181,12 @@ impl<'a> Session<'a> {
             superblocks: true,
             sb_cache,
             sb_timing: Vec::new(),
+            progress_every: 0,
+            next_progress: u64::MAX,
+            progress_seq: 0,
+            progress_sink: None,
+            sb_batches: 0,
+            sb_insts: 0,
         })
     }
 
@@ -172,6 +202,30 @@ impl<'a> Session<'a> {
     /// Schedules the faults of `plan` for injection.
     pub fn with_faults(mut self, plan: &FaultPlan) -> Session<'a> {
         self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Attaches a telemetry tap: `sink` receives a [`ProgressEvent`]
+    /// each time the run crosses a multiple of `every` committed
+    /// instructions (clamped to 1), plus one final event when the run
+    /// finishes. Boundaries are *instruction counts*, not wall-clock,
+    /// so the simulated results — stats, samples, fault records,
+    /// manifests, checkpoint bytes — are byte-identical with the tap
+    /// attached or not, and the deterministic event fields are a pure
+    /// function of the run. Wall-clock belongs to whoever consumes the
+    /// events (the daemon timestamps them at emission), never inside
+    /// them.
+    pub fn with_progress(
+        mut self,
+        every: u64,
+        sink: impl FnMut(&ProgressEvent) + Send + 'a,
+    ) -> Session<'a> {
+        let every = every.max(1);
+        self.progress_every = every;
+        let done = self.engine.instructions;
+        self.next_progress = (done / every + 1).saturating_mul(every);
+        self.progress_seq = done / every;
+        self.progress_sink = Some(Box::new(sink));
         self
     }
 
@@ -195,6 +249,50 @@ impl<'a> Session<'a> {
     /// A snapshot of the counters at this point of the run.
     pub fn stats_now(&self) -> SimStats {
         self.engine.stats_now()
+    }
+
+    /// The engine's post-mortem trace ring, oldest event first (empty
+    /// when `SimConfig::trace_events` is 0). Until now the trace only
+    /// surfaced inside [`crate::SimError`]; this exposes it for
+    /// *successful* runs too (`vcfr simulate --dump-trace`).
+    pub fn trace_events(&self) -> Vec<crate::TraceEvent> {
+        self.engine.trace.to_vec()
+    }
+
+    /// The progress reading the telemetry tap would emit right now
+    /// (deterministic fields only). Useful for a final reading without
+    /// waiting for the next boundary; does not consume a sequence
+    /// number.
+    pub fn progress_now(&self) -> ProgressEvent {
+        let s = self.engine.stats_now();
+        let f = self.engine.fstats;
+        ProgressEvent {
+            seq: self.progress_seq,
+            instructions: s.instructions,
+            cycles: s.cycles,
+            fetch_stall_cycles: s.fetch_stall_cycles,
+            load_stall_cycles: s.load_stall_cycles,
+            redirect_stall_cycles: s.redirect_stall_cycles,
+            rerand_stall_cycles: s.rerand_stall_cycles,
+            sb_batches: self.sb_batches,
+            sb_insts: self.sb_insts,
+            faults_injected: f.injected,
+            faults_detected: f.detected(),
+            rerand_epochs: s.rerand_epochs,
+        }
+    }
+
+    /// Builds the event for the current boundary and hands it to the
+    /// sink (when attached), advancing the sequence number.
+    fn emit_progress(&mut self) {
+        if self.progress_sink.is_none() {
+            return;
+        }
+        let ev = self.progress_now();
+        self.progress_seq += 1;
+        if let Some(sink) = self.progress_sink.as_mut() {
+            sink(&ev);
+        }
     }
 
     /// Runs to completion (or `max_insts`).
@@ -324,7 +422,8 @@ impl<'a> Session<'a> {
         let mut n = (sb.len() as u64)
             .min(self.max_insts - i)
             .min(stop_at - i)
-            .min(self.next_sample.saturating_sub(i));
+            .min(self.next_sample.saturating_sub(i))
+            .min(self.next_progress.saturating_sub(i));
         if let Some(p) = &self.plan {
             if let Some(f) = p.faults.get(self.fault_idx) {
                 n = n.min(f.at_inst.saturating_sub(i));
@@ -349,6 +448,8 @@ impl<'a> Session<'a> {
         let n = n as usize;
         self.machine.replay_superblock(self.sb_cache.get(id), n);
         self.engine.replay_block(&self.sb_timing[id as usize][..n]);
+        self.sb_batches += 1;
+        self.sb_insts += n as u64;
         true
     }
 
@@ -385,6 +486,14 @@ impl<'a> Session<'a> {
             self.take_sample();
             self.next_sample += self.stride;
         }
+        if self.engine.instructions >= self.next_progress {
+            self.emit_progress();
+            // Re-anchor to the next exact multiple (the superblock
+            // clamp and single-stepping both land exactly on the
+            // boundary, but re-deriving keeps the invariant explicit).
+            self.next_progress = (self.engine.instructions / self.progress_every + 1)
+                .saturating_mul(self.progress_every);
+        }
         Ok(())
     }
 
@@ -418,6 +527,10 @@ impl<'a> Session<'a> {
         if self.stride > 0 {
             self.take_sample();
         }
+        // One final reading at the (deterministic) end-of-run
+        // instruction count, so short runs that never cross a boundary
+        // still report.
+        self.emit_progress();
         let out = SessionOutcome {
             output: SimOutput { stats: self.engine.stats_now(), outcome },
             samples: self.samples.clone(),
@@ -521,6 +634,13 @@ impl<'a> Session<'a> {
         self.last = last;
         self.next_sample = next_sample;
         self.finished = None;
+        // The telemetry cursor is never serialized (the tap is outside
+        // the checkpoint context); re-derive it so events keep firing
+        // at the same exact multiples of `progress_every`.
+        if let Some(seq) = self.engine.instructions.checked_div(self.progress_every) {
+            self.next_progress = (seq + 1).saturating_mul(self.progress_every);
+            self.progress_seq = seq;
+        }
         Ok(())
     }
 }
@@ -643,6 +763,145 @@ mod tests {
             same.restore(&bad),
             Err(VcfrError::Checkpoint(CheckpointError::Corrupt))
         ));
+    }
+
+    /// A loop of straight-line ALU work long enough for superblocks to
+    /// form (the call-heavy [`workload`] never replays a batch).
+    fn alu_workload() -> vcfr_isa::Image {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rcx, 500);
+        a.mov_ri(Reg::Rax, 0);
+        let top = a.here();
+        for _ in 0..64 {
+            a.alu_ri(AluOp::Add, Reg::Rax, 1);
+        }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.emit_output(Reg::Rax);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// Runs `f` with a tap at `every` insts, collecting the events.
+    fn collect_events(
+        build: impl Fn() -> vcfr_isa::Image,
+        every: u64,
+        superblocks: bool,
+        chunk: Option<u64>,
+    ) -> (Vec<vcfr_obs::ProgressEvent>, SessionOutcome) {
+        let img = build();
+        let events = std::sync::Mutex::new(Vec::new());
+        let mut s = Session::new(Mode::Baseline(&img), &SimConfig::default(), 50_000)
+            .unwrap()
+            .with_superblocks(superblocks)
+            .with_progress(every, |e| events.lock().unwrap().push(*e));
+        let out = match chunk {
+            None => s.run().unwrap(),
+            Some(budget) => loop {
+                if let SessionStatus::Done(out) = s.run_for(budget).unwrap() {
+                    break *out;
+                }
+            },
+        };
+        drop(s);
+        (events.into_inner().unwrap(), out)
+    }
+
+    #[test]
+    fn progress_events_fire_at_exact_boundaries() {
+        let (events, out) = collect_events(alu_workload, 1_000, true, None);
+        assert!(events.len() >= 2, "expected several events, got {}", events.len());
+        let (final_ev, boundary) = events.split_last().unwrap();
+        for (i, e) in boundary.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.instructions, (i as u64 + 1) * 1_000, "event {i} off-boundary");
+        }
+        // The final event reads the end-of-run state.
+        assert_eq!(final_ev.instructions, out.output.stats.instructions);
+        assert_eq!(final_ev.cycles, out.output.stats.cycles);
+        // Monotone counters throughout.
+        for w in events.windows(2) {
+            assert!(w[0].instructions <= w[1].instructions);
+            assert!(w[0].cycles <= w[1].cycles);
+        }
+        // The fast path actually ran and the hit rate is visible.
+        assert!(final_ev.sb_batches > 0);
+        assert!(final_ev.sb_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn progress_stream_is_identical_chunked_or_straight() {
+        let (straight, out_a) = collect_events(workload, 777, true, None);
+        let (chunked, out_b) = collect_events(workload, 777, true, Some(1_234));
+        assert_eq!(straight, chunked);
+        assert_eq!(out_a.output.stats, out_b.output.stats);
+    }
+
+    #[test]
+    fn results_identical_with_tap_on_or_off() {
+        let img = workload();
+        let cfg = SimConfig::default();
+        let plain =
+            Session::new(Mode::Baseline(&img), &cfg, 50_000).unwrap().run().unwrap();
+        let mut n = 0u64;
+        let tapped = Session::new(Mode::Baseline(&img), &cfg, 50_000)
+            .unwrap()
+            .with_progress(500, |_| n += 1)
+            .run()
+            .unwrap();
+        assert!(n > 0);
+        assert_eq!(plain.output.stats, tapped.output.stats);
+        assert_eq!(plain.output.outcome, tapped.output.outcome);
+    }
+
+    #[test]
+    fn checkpoints_interchange_between_tapped_and_untapped_sessions() {
+        let img = workload();
+        let cfg = SimConfig::default();
+        let mut tapped = Session::new(Mode::Baseline(&img), &cfg, 30_000)
+            .unwrap()
+            .with_progress(1_000, |_| {});
+        assert!(matches!(tapped.run_for(5_000).unwrap(), SessionStatus::Running));
+        let snap = tapped.checkpoint();
+
+        let mut untapped = Session::new(Mode::Baseline(&img), &cfg, 30_000).unwrap();
+        assert!(matches!(untapped.run_for(5_000).unwrap(), SessionStatus::Running));
+        // The tap leaves no trace in the checkpoint: bytes interchange.
+        assert_eq!(snap, untapped.checkpoint());
+        untapped.restore(&snap).unwrap();
+
+        // And a restored tapped session resumes events on the same
+        // exact multiples, with seq picking up where the boundary
+        // count stands.
+        let events = std::sync::Mutex::new(Vec::new());
+        let mut resumed = Session::new(Mode::Baseline(&img), &cfg, 30_000)
+            .unwrap()
+            .with_progress(1_000, |e: &vcfr_obs::ProgressEvent| {
+                events.lock().unwrap().push(*e)
+            });
+        resumed.restore(&snap).unwrap();
+        resumed.run().unwrap();
+        drop(resumed);
+        let events = events.into_inner().unwrap();
+        assert_eq!(events[0].seq, 5, "5 boundaries lie before inst 5000");
+        assert_eq!(events[0].instructions, 6_000);
+    }
+
+    #[test]
+    fn trace_ring_readable_after_successful_run() {
+        let img = workload();
+        let cfg = SimConfig::default();
+        let mut s = Session::new(Mode::Baseline(&img), &cfg, 10_000).unwrap();
+        s.run().unwrap();
+        let trace = s.trace_events();
+        assert!(!trace.is_empty(), "default trace_events retains the tail");
+        assert!(trace.len() <= cfg.trace_events);
+
+        let off = SimConfig { trace_events: 0, ..cfg };
+        let mut s = Session::new(Mode::Baseline(&img), &off, 10_000).unwrap();
+        s.run().unwrap();
+        assert!(s.trace_events().is_empty());
     }
 
     #[test]

@@ -37,8 +37,14 @@ faults-smoke:
 serve-smoke:
     cargo test --release -p vcfr-cli --test serve_smoke
 
+# Telemetry smoke: manifests and checkpoints byte-identical with the
+# progress-event tap on vs off, across worker-thread counts
+# (see docs/observability.md).
+telemetry-smoke:
+    cargo run --release -p vcfr-bench --bin repro -- telemetry-smoke
+
 # Every end-to-end smoke in one go.
-smoke: obs-smoke faults-smoke serve-smoke superblock-smoke
+smoke: obs-smoke faults-smoke serve-smoke superblock-smoke telemetry-smoke
 
 # Full test suite across the workspace.
 test:

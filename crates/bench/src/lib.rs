@@ -11,6 +11,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod manifests;
 pub mod pool;
+pub mod shard;
 
 #[cfg(test)]
 mod tests;
@@ -25,10 +26,14 @@ pub use experiments::{
     MatrixTiming, RunTiming, MODE_NAMES,
 };
 pub use manifests::{
-    bench_record, build_campaign_manifests, build_fault_manifest, build_manifest,
-    build_matrix_manifests, write_manifests,
+    bench_record, build_campaign_manifests, build_fault_manifest, build_fault_manifest_parts,
+    build_manifest, build_matrix_manifests, write_manifests,
 };
 pub use pool::{parallel_map, PoolFull, PoolSnapshot, WorkerPool, WorkerStat};
+pub use shard::{
+    merge_manifest_bytes, merge_manifest_trees, shard_campaign, shard_matrix, MergeOutcome,
+    MergeReport, ShardCell,
+};
 
 /// Geometric mean of an iterator of positive values.
 pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {

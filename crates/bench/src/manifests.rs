@@ -170,11 +170,23 @@ fn fault_config_json(mode: &str) -> Json {
 /// the `derived` block, and the usual cycle-accounting audit (faulted
 /// runs stay auditable — recovery charges are ordinary stall cycles).
 pub fn build_fault_manifest(cell: &CampaignCell, host: Json) -> Manifest {
-    let mode = format!("faults-{}", cell.mode);
-    let mut m = Manifest::new(cell.app, &mode);
-    m.set_config(fault_config_json(cell.mode));
-    let mut counters = cell.stats.snapshot().counters;
-    let f = &cell.faults;
+    build_fault_manifest_parts(cell.app, cell.mode, &cell.faults, &cell.stats, host)
+}
+
+/// [`build_fault_manifest`] from loose parts, for callers (the service
+/// daemon) that hold the run's pieces rather than a [`CampaignCell`].
+/// `mode` is the matrix mode (`base`, `vcfr128`, …); the manifest mode
+/// gets the `faults-` prefix.
+pub fn build_fault_manifest_parts(
+    app: &str,
+    mode: &str,
+    f: &vcfr_sim::FaultStats,
+    stats: &SimStats,
+    host: Json,
+) -> Manifest {
+    let mut m = Manifest::new(app, &format!("faults-{mode}"));
+    m.set_config(fault_config_json(mode));
+    let mut counters = stats.snapshot().counters;
     counters.extend([
         ("fault.injected".to_string(), f.injected),
         ("fault.detected.parity".to_string(), f.detected_parity),
@@ -187,11 +199,11 @@ pub fn build_fault_manifest(cell: &CampaignCell, host: Json) -> Manifest {
         ("fault.emergency_rerands".to_string(), f.emergency_rerands),
     ]);
     m.set_counters(&Snapshot::from_counters(counters));
-    let mut d = derived_json(&cell.stats);
+    let mut d = derived_json(stats);
     d.set("fault_coverage", Json::F64(f.coverage()));
     d.set("fault_detected", Json::U64(f.detected()));
     m.set_derived(d);
-    m.set_audit(audit_json(&cell.stats));
+    m.set_audit(audit_json(stats));
     m.set_host(host);
     m
 }

@@ -18,10 +18,13 @@
 //! vcfr jobs [--dir D]                       list the daemon's jobs
 //! vcfr top [--dir D] [--once]               live daemon metrics dashboard
 //! vcfr shutdown [--dir D]                   checkpoint everything and exit
+//! vcfr fleet serve|join|submit|status|top|shutdown
+//!                                           sharded multi-daemon fleet
 //! ```
 
 mod args;
 mod commands;
+mod fleet;
 mod serve;
 
 use args::Args;
@@ -48,10 +51,18 @@ USAGE:
     vcfr serve [--dir D] [--port P] [--workers N] [--queue N]
     vcfr submit <workload> [--mode baseline|naive|vcfr] [--drc N] [--max N]
                    [--seed N] [--rerand-epoch N] [--checkpoint-every N]
-                   [--scale N] [--dir D] [--watch]
+                   [--scale N] [--dir D] [--faults] [--watch]
     vcfr jobs [--dir D]
     vcfr top [--dir D] [--interval MS] [--count N] [--once]
     vcfr shutdown [--dir D]
+    vcfr fleet serve [--fleet D] [--port P] [--chunks N] [--heartbeat-ms N]
+                   [--heartbeat-cap-ms N] [--lost-after N]
+    vcfr fleet join --fleet D --dir W [--slots N] [--workers N] [--queue N]
+    vcfr fleet submit --apps a,b,c [--modes m,...|--campaign] [--max N]
+                   [--scale N] [--checkpoint-every N] [--fleet D]
+    vcfr fleet status [--fleet D] [--json]
+    vcfr fleet top [--fleet D] [--interval MS] [--count N] [--once]
+    vcfr fleet shutdown [--fleet D] [--keep-workers]
 ";
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
@@ -81,9 +92,41 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         )?),
         "submit" => serve::cmd_submit(&Args::parse(
             rest,
-            &["watch"],
+            &["watch", "faults"],
             &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "scale", "dir"],
         )?),
+        "fleet" => {
+            let Some((sub, rest)) = rest.split_first() else {
+                return Err(CliError::Msg(format!("fleet needs a subcommand\n\n{USAGE}")));
+            };
+            match sub.as_str() {
+                "serve" => fleet::cmd_fleet_serve(&Args::parse(
+                    rest,
+                    &[],
+                    &["fleet", "port", "chunks", "heartbeat-ms", "heartbeat-cap-ms", "lost-after"],
+                )?),
+                "join" => fleet::cmd_fleet_join(&Args::parse(
+                    rest,
+                    &[],
+                    &["fleet", "dir", "slots", "port", "workers", "queue"],
+                )?),
+                "submit" => fleet::cmd_fleet_submit(&Args::parse(
+                    rest,
+                    &["campaign"],
+                    &["fleet", "apps", "modes", "max", "scale", "checkpoint-every"],
+                )?),
+                "status" => fleet::cmd_fleet_status(&Args::parse(rest, &["json"], &["fleet"])?),
+                "top" => fleet::cmd_fleet_top(&Args::parse(
+                    rest,
+                    &["once"],
+                    &["fleet", "interval", "count"],
+                )?),
+                "shutdown" => {
+                    fleet::cmd_fleet_shutdown(&Args::parse(rest, &["keep-workers"], &["fleet"])?)
+                }
+                other => Err(CliError::Msg(format!("unknown fleet subcommand {other:?}\n\n{USAGE}"))),
+            }
+        }
         "jobs" => serve::cmd_jobs(&Args::parse(rest, &[], &["dir"])?),
         "top" => serve::cmd_top(&Args::parse(rest, &["once"], &["dir", "interval", "count"])?),
         "shutdown" => serve::cmd_shutdown(&Args::parse(rest, &[], &["dir"])?),

@@ -28,12 +28,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 
 /// `vcfr submit <workload> [--mode M] [--drc N] [--max N] [--seed N]
 /// [--rerand-epoch N] [--checkpoint-every N] [--scale N] [--dir D]
-/// [--watch]`.
+/// [--faults] [--watch]`.
 pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let mut spec = JobSpec::new(args.positional(0, "workload name")?);
     if let Some(mode) = args.value("mode") {
         spec.mode = mode.to_string();
     }
+    spec.faults = args.flag("faults");
     spec.drc_entries = args.u64_or("drc", spec.drc_entries as u64)? as usize;
     spec.max_insts = args.u64_or("max", spec.max_insts)?;
     spec.seed = args.u64_or("seed", spec.seed)?;
@@ -122,14 +123,15 @@ pub fn cmd_jobs(args: &Args) -> Result<String, CliError> {
 }
 
 /// Renders one frame of the `vcfr top` dashboard from a `metrics`
-/// response body.
-fn render_top(m: &Json) -> String {
+/// response body — also reused by `vcfr fleet top`, whose aggregated
+/// body has the same shape (`title` names the surface).
+pub(crate) fn render_top(title: &str, m: &Json) -> String {
     let num = |path: &str| m.get_path(path).and_then(Json::as_u64).unwrap_or(0);
     let fnum = |path: &str| m.get_path(path).and_then(Json::as_f64).unwrap_or(0.0);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "vcfr serve — up {:.0}s  |  queue {}/{} waiting, {} in flight",
+        "{title} — up {:.0}s  |  queue {}/{} waiting, {} in flight",
         fnum("uptime_secs"),
         num("queue.depth"),
         num("queue.capacity"),
@@ -193,7 +195,7 @@ pub fn cmd_top(args: &Args) -> Result<String, CliError> {
     let mut n = 0u64;
     loop {
         let metrics = client.metrics()?;
-        let frame = render_top(&metrics);
+        let frame = render_top("vcfr serve", &metrics);
         n += 1;
         if n >= frames {
             return Ok(frame);

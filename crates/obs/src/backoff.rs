@@ -1,0 +1,79 @@
+//! A capped exponential backoff timer.
+//!
+//! The wait-loop idiom the telemetry layer introduced (a floor wait that
+//! doubles while nothing happens and snaps back to the floor on any
+//! change) shows up in three places now — the daemon's `watch` streams,
+//! the fleet coordinator's heartbeat pings, and client-side completion
+//! polls — so the arithmetic lives here once. The helper is pure
+//! bookkeeping: callers decide *when* to wait and *what* counts as
+//! activity; [`Backoff`] only tracks the current interval.
+
+use std::time::Duration;
+
+/// Capped exponential backoff: starts at a floor interval, doubles on
+/// every idle step, never exceeds the cap, and resets to the floor when
+/// the caller observes activity.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    floor: Duration,
+    cap: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// A backoff starting (and resetting) at `floor`, saturating at
+    /// `cap`. A cap below the floor is clamped up to the floor.
+    pub fn new(floor: Duration, cap: Duration) -> Backoff {
+        let cap = cap.max(floor);
+        Backoff { floor, cap, current: floor }
+    }
+
+    /// The interval the caller should wait right now.
+    pub fn current(&self) -> Duration {
+        self.current
+    }
+
+    /// Whether the backoff has saturated at its cap.
+    pub fn at_cap(&self) -> bool {
+        self.current >= self.cap
+    }
+
+    /// Records an idle step: returns the interval to wait, then doubles
+    /// it (capped) for the next one.
+    pub fn step(&mut self) -> Duration {
+        let wait = self.current;
+        self.current = (self.current * 2).min(self.cap);
+        wait
+    }
+
+    /// Records activity: the next wait snaps back to the floor.
+    pub fn reset(&mut self) {
+        self.current = self.floor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_to_the_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(25), Duration::from_millis(160));
+        assert_eq!(b.step(), Duration::from_millis(25));
+        assert_eq!(b.step(), Duration::from_millis(50));
+        assert_eq!(b.step(), Duration::from_millis(100));
+        assert_eq!(b.step(), Duration::from_millis(160), "clamped, not 200");
+        assert_eq!(b.step(), Duration::from_millis(160));
+        assert!(b.at_cap());
+        b.reset();
+        assert!(!b.at_cap());
+        assert_eq!(b.current(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn cap_below_floor_is_clamped_up() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(10));
+        assert_eq!(b.step(), Duration::from_millis(100));
+        assert_eq!(b.step(), Duration::from_millis(100));
+    }
+}

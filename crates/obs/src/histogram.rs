@@ -148,6 +148,30 @@ impl Histogram {
         j.set("buckets", Json::Arr(arr));
         j
     }
+
+    /// Rebuilds a histogram from its [`Histogram::to_json`] form, so a
+    /// coordinator can merge latency histograms shipped from worker
+    /// daemons. Returns `None` on a structurally foreign object; the
+    /// summary fields are recomputed from the buckets where possible so
+    /// a roundtrip of a consistent histogram is exact.
+    pub fn from_json(j: &Json) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        h.count = j.get("count")?.as_u64()?;
+        h.sum = j.get("sum")?.as_u64()?;
+        for pair in j.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let (low, n) = (pair[0].as_u64()?, pair[1].as_u64()?);
+            h.buckets[Histogram::bucket_index(low)] += n;
+        }
+        if h.count > 0 {
+            h.min = j.get("min")?.as_u64()?;
+            h.max = j.get("max")?.as_u64()?;
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +237,18 @@ mod tests {
         let p50 = h.quantile_upper_bound(0.5).unwrap();
         assert!((50..=63).contains(&p50), "p50 bound {p50}");
         assert_eq!(h.quantile_upper_bound(1.0), Some(100));
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 300, 1 << 50] {
+            h.record(v);
+        }
+        assert_eq!(Histogram::from_json(&h.to_json()), Some(h));
+        let empty = Histogram::new();
+        assert_eq!(Histogram::from_json(&empty.to_json()), Some(empty));
+        assert_eq!(Histogram::from_json(&Json::obj()), None);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   events, the simulator's post-mortem trace;
 //! * [`Histogram`] — a deterministic log2-bucketed histogram, safe to
 //!   merge across workers and fleet nodes;
+//! * [`Backoff`] — the capped exponential backoff timer shared by the
+//!   daemon's watch streams and the fleet coordinator's heartbeats;
 //! * [`ProgressEvent`] / [`EventLog`] — structured in-flight progress
 //!   readings at deterministic instruction boundaries, with a bounded
 //!   log that counts what it drops;
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod backoff;
 mod bench_json;
 mod events;
 mod histogram;
@@ -35,6 +38,7 @@ mod registry;
 mod ring;
 
 pub use audit::{AuditReport, CycleAccounting, DEFAULT_TOLERANCE};
+pub use backoff::Backoff;
 pub use bench_json::{BenchRecord, BenchRun, BENCH_SCHEMA_VERSION};
 pub use events::{EventLog, ProgressEvent};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};

@@ -1,7 +1,7 @@
 //! A blocking JSON-lines client for the daemon, used by the `vcfr
 //! submit` / `vcfr jobs` subcommands and the smoke tests.
 
-use crate::protocol::{JobSpec, ServiceError, ENDPOINT_FILE};
+use crate::protocol::{hex_encode, JobSpec, ServiceError, ENDPOINT_FILE};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::path::Path;
@@ -84,12 +84,87 @@ impl Client {
     /// [`ServiceError::Protocol`] when the daemon refuses it (invalid
     /// spec, or the bounded queue is full).
     pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServiceError> {
+        self.submit_with(spec, None)
+    }
+
+    /// Submits a job, optionally seeding it with a checkpoint to resume
+    /// from (how the fleet coordinator re-dispatches a lost job onto
+    /// another worker); returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when the daemon refuses it (invalid
+    /// spec, a rejected checkpoint, or the bounded queue is full).
+    pub fn submit_with(
+        &mut self,
+        spec: &JobSpec,
+        ckpt: Option<&[u8]>,
+    ) -> Result<u64, ServiceError> {
         let mut req = Self::op("submit");
         req.set("job", spec.to_json());
+        if let Some(bytes) = ckpt {
+            req.set("ckpt", Json::Str(hex_encode(bytes)));
+        }
         let resp = Self::expect_ok(self.roundtrip(&req)?)?;
         resp.get("id")
             .and_then(Json::as_u64)
             .ok_or_else(|| ServiceError::Protocol("submit response lacks an id".to_string()))
+    }
+
+    /// One job's status plus — once it is done — its canonical manifest
+    /// as `(file_name, text)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] for unknown ids or an unreadable
+    /// manifest.
+    pub fn fetch(&mut self, id: u64) -> Result<(Json, Option<(String, String)>), ServiceError> {
+        let mut req = Self::op("fetch");
+        req.set("id", Json::U64(id));
+        let resp = Self::expect_ok(self.roundtrip(&req)?)?;
+        let job = resp
+            .get("job")
+            .cloned()
+            .ok_or_else(|| ServiceError::Protocol("fetch response lacks a job".to_string()))?;
+        let manifest = match (
+            resp.get("file").and_then(Json::as_str),
+            resp.get("manifest").and_then(Json::as_str),
+        ) {
+            (Some(f), Some(m)) => Some((f.to_string(), m.to_string())),
+            _ => None,
+        };
+        Ok((job, manifest))
+    }
+
+    /// Registers a worker daemon (identified by its state directory)
+    /// with a fleet coordinator; returns the worker id. Idempotent: the
+    /// same directory keeps its id, and re-registering revives a worker
+    /// the coordinator had declared lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn register(&mut self, worker_dir: &Path, slots: u64) -> Result<u64, ServiceError> {
+        let mut req = Self::op("register");
+        req.set("dir", Json::Str(worker_dir.display().to_string()));
+        req.set("slots", Json::U64(slots));
+        let resp = Self::expect_ok(self.roundtrip(&req)?)?;
+        resp.get("worker")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("register response lacks a worker id".to_string()))
+    }
+
+    /// A fleet coordinator's `status` body: worker liveness and the
+    /// chunk table (see `docs/fleet.md` for the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn fleet_status(&mut self) -> Result<Json, ServiceError> {
+        let resp = Self::expect_ok(self.roundtrip(&Self::op("status"))?)?;
+        resp.get("fleet")
+            .cloned()
+            .ok_or_else(|| ServiceError::Protocol("status response lacks a fleet body".to_string()))
     }
 
     /// Lists every job the daemon knows about, as status objects.
@@ -163,6 +238,19 @@ impl Client {
     /// Propagates transport and protocol failures.
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         Self::expect_ok(self.roundtrip(&Self::op("shutdown"))?)?;
+        Ok(())
+    }
+
+    /// Asks a fleet coordinator to exit; `stop_workers` also shuts down
+    /// every registered worker daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn shutdown_fleet(&mut self, stop_workers: bool) -> Result<(), ServiceError> {
+        let mut req = Self::op("shutdown");
+        req.set("workers", Json::Bool(stop_workers));
+        Self::expect_ok(self.roundtrip(&req)?)?;
         Ok(())
     }
 }

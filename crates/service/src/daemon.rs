@@ -12,7 +12,9 @@
 //! ```
 
 use crate::metrics::MetricsHub;
-use crate::protocol::{err_response, ok_response, JobPhase, JobSpec, ServiceError, ENDPOINT_FILE};
+use crate::protocol::{
+    err_response, hex_decode, ok_response, JobPhase, JobSpec, ServiceError, ENDPOINT_FILE,
+};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -20,9 +22,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use vcfr_bench::{build_manifest, WorkerPool};
+use vcfr_bench::{build_fault_manifest_parts, build_manifest, fault_plan_for, WorkerPool};
 use vcfr_core::DrcConfig;
-use vcfr_obs::{parse_json, Json, ProgressEvent};
+use vcfr_obs::{parse_json, Backoff, Json, ProgressEvent};
 use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
 use vcfr_sim::{Mode, Session, SessionStatus, SimConfig};
 use vcfr_workloads::{by_name, by_name_scaled};
@@ -199,16 +201,6 @@ fn load_jobs(jobs_dir: &Path) -> (BTreeMap<u64, JobState>, Vec<u64>) {
     (jobs, resumable)
 }
 
-/// The manifest mode column for a job spec (`base` / `naive` /
-/// `vcfr<entries>`, matching the experiment-matrix vocabulary).
-fn manifest_mode(spec: &JobSpec) -> String {
-    match spec.mode.as_str() {
-        "baseline" => "base".to_string(),
-        "naive" => "naive".to_string(),
-        _ => format!("vcfr{}", spec.drc_entries),
-    }
-}
-
 /// Marks a job failed, in the registry, on disk, and in the metrics
 /// hub (`started` anchors its latency sample).
 fn fail_job(inner: &Inner, id: u64, started: Instant, msg: String) {
@@ -279,8 +271,16 @@ fn run_job(inner: &Inner, id: u64) {
             drc: DrcConfig::direct_mapped(spec.drc_entries),
         },
     };
+    // Campaign cells attach the app's deterministic fault schedule —
+    // the same plan `vcfr_bench::run_campaign` derives from the app
+    // name — so a fleet of daemons reproduces the Figure-11 cells.
+    let plan = spec.faults.then(|| fault_plan_for(&spec.workload, spec.max_insts));
     let session = Session::new(mode, &cfg, spec.max_insts)
-        .map(|s| s.with_sampling((spec.max_insts / 10).max(1)));
+        .map(|s| s.with_sampling((spec.max_insts / 10).max(1)))
+        .map(|s| match &plan {
+            Some(p) => s.with_faults(p),
+            None => s,
+        });
     let mut session = match session {
         Ok(s) => s,
         Err(e) => {
@@ -339,13 +339,23 @@ fn run_job(inner: &Inner, id: u64) {
                 });
             }
             Ok(SessionStatus::Done(out)) => {
-                let manifest = build_manifest(
-                    &spec.workload,
-                    &manifest_mode(&spec),
-                    &out.output.stats,
-                    &out.samples,
-                    Json::obj(),
-                );
+                let manifest = if spec.faults {
+                    build_fault_manifest_parts(
+                        &spec.workload,
+                        &spec.matrix_mode(),
+                        &out.faults,
+                        &out.output.stats,
+                        Json::obj(),
+                    )
+                } else {
+                    build_manifest(
+                        &spec.workload,
+                        &spec.matrix_mode(),
+                        &out.output.stats,
+                        &out.samples,
+                        Json::obj(),
+                    )
+                };
                 let written = write_atomic(
                     &manifest_file(&inner.jobs_dir, id),
                     manifest.canonical_bytes().as_bytes(),
@@ -394,6 +404,17 @@ fn handle_submit(
     if by_name(&spec.workload).is_none() {
         return err_response(&format!("unknown workload {:?}", spec.workload));
     }
+    // A fleet coordinator re-dispatching a lost job attaches the dead
+    // worker's last checkpoint (hex, inside the JSON string); the run
+    // then resumes from it through the ordinary restore path, envelope
+    // validation included.
+    let ckpt = match req.get("ckpt") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_str().and_then(hex_decode) {
+            Some(bytes) => Some(bytes),
+            None => return err_response("ckpt must be a hex string"),
+        },
+    };
     let id = {
         let mut next = next_id.lock().expect("id lock");
         let id = *next;
@@ -406,15 +427,47 @@ fn handle_submit(
     if let Err(e) = persist_job(&inner.jobs_dir, id, &st) {
         return err_response(&format!("cannot persist job: {e}"));
     }
+    if let Some(bytes) = ckpt {
+        if let Err(e) = write_atomic(&ckpt_file(&inner.jobs_dir, id), &bytes) {
+            let _ = std::fs::remove_file(job_file(&inner.jobs_dir, id));
+            return err_response(&format!("cannot persist checkpoint: {e}"));
+        }
+    }
     inner.jobs.lock().expect("registry lock").insert(id, st);
     if pool.try_submit(id).is_err() {
         inner.jobs.lock().expect("registry lock").remove(&id);
         let _ = std::fs::remove_file(job_file(&inner.jobs_dir, id));
+        let _ = std::fs::remove_file(ckpt_file(&inner.jobs_dir, id));
         return err_response("queue full; retry later");
     }
     let mut resp = ok_response();
     resp.set("id", Json::U64(id));
     resp
+}
+
+/// Handles the `fetch` op: one job's status plus, once it is done, the
+/// canonical manifest text and its conventional file name — what the
+/// fleet coordinator merges into the shared `results/` tree.
+fn handle_fetch(inner: &Inner, id: u64) -> Json {
+    let (status, spec, phase) = {
+        let jobs = inner.jobs.lock().expect("registry lock");
+        match jobs.get(&id) {
+            None => return err_response("no such job"),
+            Some(st) => (status_json(id, st), st.spec.clone(), st.phase),
+        }
+    };
+    let mut r = ok_response();
+    r.set("job", status);
+    if phase == JobPhase::Done {
+        match std::fs::read_to_string(manifest_file(&inner.jobs_dir, id)) {
+            Ok(text) => {
+                r.set("file", Json::Str(spec.manifest_file_name()));
+                r.set("manifest", Json::Str(text));
+            }
+            Err(e) => return err_response(&format!("manifest unreadable: {e}")),
+        }
+    }
+    r
 }
 
 /// Streams watch lines for one job until it reaches a terminal phase
@@ -425,12 +478,10 @@ fn handle_submit(
 /// exponentially (capped) while nothing moves, so idle watchers cost
 /// the daemon next to nothing; any change snaps it back down.
 fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<()> {
-    const WAIT_FLOOR: Duration = Duration::from_millis(25);
-    const WAIT_CAP: Duration = Duration::from_millis(1_600);
     let mut last_seq: Option<u64> = None;
     let mut last_progress = 0u64;
     let mut last_phase: Option<JobPhase> = None;
-    let mut wait = WAIT_FLOOR;
+    let mut wait = Backoff::new(Duration::from_millis(25), Duration::from_millis(1_600));
     loop {
         let (lines, terminal) = {
             let mut jobs = inner.jobs.lock().expect("registry lock");
@@ -440,7 +491,7 @@ fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<
                 };
                 if last_seq != Some(st.seq) || st.phase.is_terminal() || inner.stopping() {
                     last_seq = Some(st.seq);
-                    wait = WAIT_FLOOR;
+                    wait.reset();
                     let mut lines = Vec::new();
                     if st.progress_count > last_progress {
                         if let Some(p) = &st.progress {
@@ -470,10 +521,10 @@ fn handle_watch(inner: &Inner, out: &mut TcpStream, id: u64) -> std::io::Result<
                     }
                 }
                 let (guard, timeout) =
-                    inner.changed.wait_timeout(jobs, wait).expect("registry lock");
+                    inner.changed.wait_timeout(jobs, wait.current()).expect("registry lock");
                 jobs = guard;
                 if timeout.timed_out() {
-                    wait = (wait * 2).min(WAIT_CAP);
+                    wait.step();
                 }
             }
         };
@@ -527,6 +578,10 @@ fn handle_conn(
                     );
                     r
                 }
+                Some("fetch") => match req.get("id").and_then(Json::as_u64) {
+                    None => err_response("fetch needs a job id"),
+                    Some(id) => handle_fetch(&inner, id),
+                },
                 Some("status") => match req.get("id").and_then(Json::as_u64) {
                     None => err_response("status needs a job id"),
                     Some(id) => {

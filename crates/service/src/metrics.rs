@@ -129,6 +129,67 @@ impl MetricsHub {
     }
 }
 
+/// Folds the `metrics` bodies of several worker daemons into one
+/// fleet-level view with the same shape a single daemon reports, so
+/// `vcfr top` renders either unchanged: `queue`, `jobs`, `throughput`,
+/// and `progress_events` are summed, `workers` entries are concatenated
+/// (tagged with their `node` id), and the `job_latency_ms` histograms
+/// are merged (associative, so any merge order yields the same bytes).
+/// `uptime_secs` is deliberately absent — it belongs to whoever serves
+/// the aggregate (the coordinator), not to any node.
+pub fn aggregate_node_metrics(nodes: &[(u64, &Json)]) -> Json {
+    let num = |j: &Json, path: &str| j.get_path(path).and_then(Json::as_u64).unwrap_or(0);
+    let fnum = |j: &Json, path: &str| j.get_path(path).and_then(Json::as_f64).unwrap_or(0.0);
+
+    let mut m = Json::obj();
+    let mut queue = Json::obj();
+    for k in ["depth", "in_flight", "capacity"] {
+        queue.set(k, Json::U64(nodes.iter().map(|(_, j)| num(j, &format!("queue.{k}"))).sum()));
+    }
+    m.set("queue", queue);
+
+    let mut workers = Vec::new();
+    for (node, j) in nodes {
+        for w in j.get("workers").and_then(Json::as_arr).unwrap_or(&[]) {
+            let mut wj = w.clone();
+            wj.set("node", Json::U64(*node));
+            workers.push(wj);
+        }
+    }
+    m.set("workers", Json::Arr(workers));
+
+    let mut jobs = Json::obj();
+    for k in ["queued", "running", "done", "failed"] {
+        jobs.set(k, Json::U64(nodes.iter().map(|(_, j)| num(j, &format!("jobs.{k}"))).sum()));
+    }
+    m.set("jobs", jobs);
+
+    let mut tp = Json::obj();
+    tp.set(
+        "instructions",
+        Json::U64(nodes.iter().map(|(_, j)| num(j, "throughput.instructions")).sum()),
+    );
+    tp.set(
+        "insts_per_sec",
+        Json::F64(nodes.iter().map(|(_, j)| fnum(j, "throughput.insts_per_sec")).sum()),
+    );
+    m.set("throughput", tp);
+
+    let mut latency = Histogram::new();
+    for (_, j) in nodes {
+        if let Some(h) = j.get("job_latency_ms").and_then(Histogram::from_json) {
+            latency.merge(&h);
+        }
+    }
+    m.set("job_latency_ms", latency.to_json());
+    m.set(
+        "progress_events",
+        Json::U64(nodes.iter().map(|(_, j)| num(j, "progress_events")).sum()),
+    );
+    m.set("nodes", Json::U64(nodes.len() as u64));
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +217,37 @@ mod tests {
         let workers = j.get("workers").unwrap().as_arr().unwrap();
         assert_eq!(workers.len(), 1);
         assert!((workers[0].get("utilization").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_metrics_aggregate_by_sum_and_histogram_merge() {
+        let node = |latencies: &[u64], insts: u64| {
+            let hub = MetricsHub::new();
+            for l in latencies {
+                hub.record_job(*l, true, insts);
+            }
+            hub.record_progress_event();
+            let pool = PoolSnapshot {
+                queue_depth: 1,
+                in_flight: 1,
+                capacity: 8,
+                uptime_secs: 1.0,
+                workers: vec![vcfr_bench::WorkerStat { jobs: 1, busy_secs: 0.5 }],
+            };
+            hub.to_json(&pool, (1, 1, latencies.len() as u64, 0), 0)
+        };
+        let (a, b) = (node(&[10, 20], 100), node(&[40], 50));
+        let fleet = aggregate_node_metrics(&[(1, &a), (2, &b)]);
+        assert_eq!(fleet.get_path("queue.depth").unwrap().as_u64(), Some(2));
+        assert_eq!(fleet.get_path("jobs.done").unwrap().as_u64(), Some(3));
+        assert_eq!(fleet.get_path("throughput.instructions").unwrap().as_u64(), Some(250));
+        assert_eq!(fleet.get_path("job_latency_ms.count").unwrap().as_u64(), Some(3));
+        assert_eq!(fleet.get_path("job_latency_ms.min").unwrap().as_u64(), Some(10));
+        assert_eq!(fleet.get_path("job_latency_ms.max").unwrap().as_u64(), Some(40));
+        assert_eq!(fleet.get("progress_events").unwrap().as_u64(), Some(2));
+        assert_eq!(fleet.get("nodes").unwrap().as_u64(), Some(2));
+        let workers = fleet.get("workers").unwrap().as_arr().unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[1].get("node").unwrap().as_u64(), Some(2));
     }
 }

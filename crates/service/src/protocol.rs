@@ -37,6 +37,10 @@ pub struct JobSpec {
     /// the outer repeat count and the instruction budget. 1 is the
     /// historical unscaled program.
     pub scale: u64,
+    /// Run the deterministic fault-injection campaign schedule for this
+    /// workload (`vcfr_bench::fault_plan_for`) and emit a fault manifest
+    /// (`faults-<mode>`) instead of a matrix manifest.
+    pub faults: bool,
 }
 
 impl JobSpec {
@@ -51,7 +55,70 @@ impl JobSpec {
             rerand_epoch: None,
             checkpoint_every: 100_000,
             scale: 1,
+            faults: false,
         }
+    }
+
+    /// A spec for one shard cell ([`vcfr_bench::shard::ShardCell`]),
+    /// translating the experiment-matrix mode vocabulary
+    /// (`base`/`naive`/`vcfr<entries>`) into the service's
+    /// (`baseline`/`naive`/`vcfr` + `drc_entries`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on an unknown matrix mode or an
+    /// otherwise invalid cell.
+    pub fn from_cell(cell: &vcfr_bench::shard::ShardCell) -> Result<JobSpec, ServiceError> {
+        let mut spec = JobSpec::new(&cell.app);
+        match cell.mode.as_str() {
+            "base" => spec.mode = "baseline".to_string(),
+            "naive" => spec.mode = "naive".to_string(),
+            m => match m.strip_prefix("vcfr").and_then(|n| n.parse::<usize>().ok()) {
+                Some(entries) => {
+                    spec.mode = "vcfr".to_string();
+                    spec.drc_entries = entries;
+                }
+                None => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unknown matrix mode {m:?} (want base, naive, or vcfr<entries>)"
+                    )))
+                }
+            },
+        }
+        spec.max_insts = cell.max_insts;
+        spec.scale = cell.scale;
+        spec.checkpoint_every = cell.checkpoint_every;
+        spec.faults = cell.faults;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The experiment-matrix mode column this spec simulates:
+    /// `base`, `naive`, or `vcfr<entries>`.
+    pub fn matrix_mode(&self) -> String {
+        match self.mode.as_str() {
+            "baseline" => "base".to_string(),
+            "naive" => "naive".to_string(),
+            _ => format!("vcfr{}", self.drc_entries),
+        }
+    }
+
+    /// The manifest `mode` column this spec produces —
+    /// [`JobSpec::matrix_mode`], prefixed `faults-` for campaign runs.
+    pub fn manifest_mode(&self) -> String {
+        if self.faults {
+            format!("faults-{}", self.matrix_mode())
+        } else {
+            self.matrix_mode()
+        }
+    }
+
+    /// The conventional `results/manifests/` file name of this spec's
+    /// manifest (`<app>__<mode>.json`). Two specs with the same name
+    /// must produce byte-identical canonical manifests; the fleet merge
+    /// treats anything else as a conflict.
+    pub fn manifest_file_name(&self) -> String {
+        format!("{}__{}.json", self.workload, self.manifest_mode())
     }
 
     /// Checks the combinations the service refuses at admission (the
@@ -101,6 +168,7 @@ impl JobSpec {
         };
         j.set("checkpoint_every", Json::U64(self.checkpoint_every));
         j.set("scale", Json::U64(self.scale));
+        j.set("faults", Json::Bool(self.faults));
         j
     }
 
@@ -140,6 +208,13 @@ impl JobSpec {
             Some(v) => Some(v.as_u64().ok_or_else(|| {
                 ServiceError::Protocol("rerand_epoch must be an unsigned integer".to_string())
             })?),
+        };
+        spec.faults = match j.get("faults") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => {
+                return Err(ServiceError::Protocol("faults must be a boolean".to_string()))
+            }
         };
         spec.validate()?;
         Ok(spec)
@@ -252,6 +327,31 @@ pub(crate) fn ok_response() -> Json {
     j
 }
 
+/// Lowercase-hex encoding for binary blobs (checkpoints) carried inside
+/// JSON strings on the wire.
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = std::fmt::Write::write_fmt(&mut s, format_args!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex digits.
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +388,51 @@ mod tests {
         j.set("scale", Json::U64(2048));
         assert!(JobSpec::from_json(&j).is_err());
         assert!(JobSpec::from_json(&Json::obj()).is_err());
+    }
+
+    #[test]
+    fn faulted_spec_round_trips_and_names_its_manifest() {
+        let mut spec = JobSpec::new("bzip2");
+        spec.mode = "baseline".to_string();
+        spec.faults = true;
+        let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(spec, back);
+        assert_eq!(spec.matrix_mode(), "base");
+        assert_eq!(spec.manifest_mode(), "faults-base");
+        assert_eq!(spec.manifest_file_name(), "bzip2__faults-base.json");
+        // Absent field defaults off (wire compatibility with PR 4 clients).
+        let legacy = JobSpec::from_json(&JobSpec::new("bzip2").to_json()).expect("parses");
+        assert!(!legacy.faults);
+        assert_eq!(legacy.manifest_file_name(), "bzip2__vcfr128.json");
+    }
+
+    #[test]
+    fn cells_translate_to_specs() {
+        let cell = vcfr_bench::shard::ShardCell {
+            app: "gcc".to_string(),
+            mode: "vcfr64".to_string(),
+            faults: false,
+            max_insts: 500_000,
+            scale: 2,
+            checkpoint_every: 50_000,
+        };
+        let spec = JobSpec::from_cell(&cell).expect("valid cell");
+        assert_eq!(spec.mode, "vcfr");
+        assert_eq!(spec.drc_entries, 64);
+        assert_eq!(spec.manifest_file_name(), "gcc__vcfr64.json");
+        let mut bad = cell;
+        bad.mode = "turbo".to_string();
+        assert!(JobSpec::from_cell(&bad).is_err());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes = [0u8, 1, 0x7f, 0xff, 0xa5];
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes.to_vec()));
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
     }
 
     #[test]

@@ -43,8 +43,20 @@ serve-smoke:
 telemetry-smoke:
     cargo run --release -p vcfr-bench --bin repro -- telemetry-smoke
 
+# Fleet smoke: coordinator + two worker daemons run a sharded matrix
+# and fault campaign, one worker is SIGKILLed mid-campaign, its chunks
+# resume from checkpoints elsewhere, and the merged manifest tree is
+# byte-identical to a single-daemon run (see docs/fleet.md).
+fleet-smoke:
+    cargo test --release -p vcfr-cli --test fleet_smoke
+
+# Doc CI: every relative markdown link in README.md, EXPERIMENTS.md,
+# ROADMAP.md, DESIGN.md, CHANGELOG.md and docs/*.md must resolve.
+docs-check:
+    cargo test -p vcfr --test docs_check
+
 # Every end-to-end smoke in one go.
-smoke: obs-smoke faults-smoke serve-smoke superblock-smoke telemetry-smoke
+smoke: obs-smoke faults-smoke serve-smoke fleet-smoke superblock-smoke telemetry-smoke docs-check
 
 # Full test suite across the workspace.
 test:

@@ -1,0 +1,104 @@
+//! Doc CI: every relative markdown link in the top-level docs and
+//! `docs/` must resolve to a real file, so the cross-linked doc set
+//! (README → architecture → runbooks) can never silently rot. Std-only
+//! by design — this is the `just docs-check` target and part of the
+//! smoke chain.
+
+use std::path::{Path, PathBuf};
+
+/// The documents under link checking: the top-level entry points plus
+/// everything in `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("EXPERIMENTS.md"),
+        root.join("ROADMAP.md"),
+        root.join("DESIGN.md"),
+        root.join("CHANGELOG.md"),
+    ];
+    let entries = std::fs::read_dir(root.join("docs")).expect("docs/ exists");
+    for e in entries.flatten() {
+        if e.path().extension().is_some_and(|x| x == "md") {
+            files.push(e.path());
+        }
+    }
+    files.sort();
+    files.retain(|f| f.exists());
+    files
+}
+
+/// Extracts the targets of inline `[text](target)` links, skipping
+/// fenced code blocks (``` … ```), images, and bare `()` parens.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](").map(|p| p + i) {
+            let start = open + 2;
+            match line[start..].find(')').map(|p| p + start) {
+                Some(close) if bytes.get(open.wrapping_sub(1)) != Some(&b'!') || open == 0 => {
+                    out.push((lineno + 1, line[start..close].to_string()));
+                    i = close + 1;
+                }
+                Some(close) => i = close + 1,
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// Whether a link target is out of scope for the filesystem check.
+fn external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).expect("doc readable");
+        let base = file.parent().expect("doc has a parent").to_path_buf();
+        for (line, raw) in link_targets(&text) {
+            if external(&raw) {
+                continue;
+            }
+            // `path#fragment` points at a file section; the file is
+            // what must exist.
+            let path_part = raw.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            // Absolute paths point outside the repo — never allowed in
+            // our docs (this is what caught the stale /root/related
+            // references); relative ones must resolve from the doc.
+            let ok = !path_part.starts_with('/') && base.join(path_part).exists();
+            if !ok {
+                broken.push(format!(
+                    "{}:{line}: broken link -> {raw}",
+                    file.strip_prefix(&root).unwrap_or(&file).display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked > 20,
+        "expected the doc set to contain cross-links; only {checked} found (parser regression?)"
+    );
+    assert!(broken.is_empty(), "broken doc links:\n{}", broken.join("\n"));
+}

@@ -9,6 +9,7 @@
 //! repro faults-smoke   # 1-app seeded campaign + determinism check
 //! repro throughput     # superblock fast-path rate on the no-stall program
 //! repro telemetry-smoke  # manifests + checkpoints byte-identical, tap on vs off
+//! repro multicore-smoke  # VCFR+base shared-L2 cells, rerand mid-run, thread-stable
 //! repro fig3 --scale 4 # matrix over the scale-4 suite (longer runs)
 //! ```
 //!
@@ -304,6 +305,94 @@ fn telemetry_smoke() -> bool {
     ok
 }
 
+/// End-to-end gate on the multicore rerand cells: a VCFR core swaps its
+/// live layout mid-run while a baseline sibling streams through the
+/// shared L2. Checks (1) canonical manifests byte-identical across 1
+/// vs 2 worker threads, (2) rerand epochs fired on the VCFR core and
+/// only there, (3) every cell's aggregate cycle accounting audits, and
+/// (4) the VCFR core's architectural output matches a solo in-order
+/// baseline run of the same app.
+fn multicore_smoke() -> bool {
+    use vcfr_sim::{simulate, Mode, SimConfig};
+
+    let budget = 120_000;
+    eprintln!(
+        "multicore-smoke: VCFR+base pairings over the shared L2, {} inst budget per core, \
+         rerand every {} insts",
+        budget,
+        ex::MULTICORE_RERAND_EPOCH
+    );
+    let cells1 = ex::multicore_rerand_cells(1, budget);
+    let cells2 = ex::multicore_rerand_cells(2, budget);
+    let ms1 = manifests::build_multicore_manifests(&cells1, 1);
+    let ms2 = manifests::build_multicore_manifests(&cells2, 2);
+    let mut ok = true;
+
+    for (a, b) in ms1.iter().zip(&ms2) {
+        if a.canonical_bytes() != b.canonical_bytes() {
+            eprintln!(
+                "FAIL {}: canonical manifest differs between 1 and 2 threads",
+                a.file_name()
+            );
+            ok = false;
+        }
+    }
+
+    for (cell, m) in cells1.iter().zip(&ms1) {
+        let (core0, core1) = (&cell.output.per_core[0], &cell.output.per_core[1]);
+        if core0.rerand_epochs == 0 {
+            eprintln!("FAIL {}: the VCFR core never re-randomized", m.file_name());
+            ok = false;
+        }
+        if core1.rerand_epochs != 0 {
+            eprintln!(
+                "FAIL {}: the baseline sibling recorded {} rerand epochs",
+                m.file_name(),
+                core1.rerand_epochs
+            );
+            ok = false;
+        }
+        let report = cell.output.stats.accounting().audit();
+        if !report.passed() {
+            ok = false;
+            for f in &report.failures {
+                eprintln!("FAIL {}: {f}", m.file_name());
+            }
+            continue;
+        }
+        // Re-randomizing next to a streaming sibling must not change
+        // what the program computes: the VCFR core's output equals a
+        // solo in-order baseline run of the same app.
+        let w = vcfr_workloads::by_name(cell.vcfr_app).expect("known workload");
+        let solo = simulate(Mode::Baseline(&w.image), &SimConfig::default(), budget)
+            .expect("solo baseline runs");
+        if cell.output.outcomes[0].output != solo.outcome.output {
+            eprintln!(
+                "FAIL {}: the VCFR core's output differs from the solo baseline",
+                m.file_name()
+            );
+            ok = false;
+            continue;
+        }
+        println!(
+            "PASS {:<28} {:>2} epoch swaps, contention {:>6} cycles, shared-L2 miss {:.1}%",
+            m.file_name(),
+            core0.rerand_epochs,
+            cell.output.stats.contention_stall_cycles,
+            100.0 * cell.output.shared_l2.miss_rate()
+        );
+    }
+
+    if let Err(e) =
+        manifests::write_manifests(Path::new("target/multicore-smoke-manifests"), &ms1)
+    {
+        eprintln!("FAIL: could not write manifests: {e}");
+        ok = false;
+    }
+    println!("multicore-smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
 /// Runs the fault-injection campaign over `suite`, prints the coverage
 /// table, and writes one manifest per (app, configuration) cell under
 /// `out_dir`.
@@ -451,6 +540,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "telemetry-smoke") {
         std::process::exit(if telemetry_smoke() { 0 } else { 1 });
+    }
+    if args.iter().any(|a| a == "multicore-smoke") {
+        std::process::exit(if multicore_smoke() { 0 } else { 1 });
     }
     if args.iter().any(|a| a == "throughput") {
         let (on, _) = throughput();
@@ -655,6 +747,31 @@ fn main() {
         );
         for (p, a, b, l2) in ex::multicore_demo() {
             println!("{p:<16} {a:>16.3} {b:>16.3} {l2:>13.1}%");
+        }
+
+        header(
+            "Multicore rerand cells - VCFR core + baseline sibling",
+            "live re-randomization on one core while the other streams the shared L2",
+        );
+        println!(
+            "{:<18} {:>12} {:>14} {:>18} {:>14}",
+            "pairing", "epoch swaps", "core0 IPC", "contention cycles", "L2 miss rate"
+        );
+        let cells = ex::multicore_rerand_cells(threads, 300_000);
+        for c in &cells {
+            println!(
+                "{:<18} {:>12} {:>14.3} {:>18} {:>13.1}%",
+                format!("{}+{}", c.vcfr_app, c.base_app),
+                c.output.per_core[0].rerand_epochs,
+                c.output.per_core[0].ipc(),
+                c.output.stats.contention_stall_cycles,
+                100.0 * c.output.shared_l2.miss_rate()
+            );
+        }
+        let ms = manifests::build_multicore_manifests(&cells, threads);
+        match manifests::write_manifests(Path::new("results/manifests"), &ms) {
+            Ok(n) => eprintln!("wrote {n} multicore manifests to results/manifests/"),
+            Err(e) => eprintln!("warning: could not write multicore manifests: {e}"),
         }
     }
 

@@ -10,8 +10,8 @@ use vcfr_rewriter::{
 };
 use vcfr_obs::ProgressEvent;
 use vcfr_sim::{
-    emulate, simulate, simulate_multicore, simulate_ooo, DrcBacking, EmulatorCostModel,
-    IntervalSample, Mode, OooConfig, Session, SimConfig, SimStats,
+    emulate, simulate, DrcBacking, EmulatorCostModel, EngineKind, IntervalSample, Mode,
+    MultiCoreOutput, Session, SimConfig, SimStats,
 };
 use vcfr_workloads::{by_name, fig2_suite, spec_suite, spec_suite_scaled, Workload};
 
@@ -717,25 +717,27 @@ pub fn entropy() -> Vec<(&'static str, f64)> {
 }
 
 /// §IX future-work preview: the three machines on a 4-wide out-of-order
-/// core. Returns `(app, baseline IPC, naive normalized, vcfr normalized)`.
+/// core, routed through the same [`Session`] facade as the in-order
+/// matrix. Returns `(app, baseline IPC, naive normalized, vcfr
+/// normalized)`.
 pub fn ooo_preview() -> Vec<(&'static str, f64, f64, f64)> {
-    let cfg = SimConfig::default();
-    let ooo = OooConfig::default();
+    let cfg = SimConfig { engine: EngineKind::Ooo, ..SimConfig::default() };
+    let run = |mode: Mode, budget: u64| {
+        Session::new(mode, &cfg, budget)
+            .and_then(|mut s| s.run())
+            .expect("ooo session runs")
+            .output
+    };
     spec_suite()
         .iter()
         .map(|w| {
             let rp = randomize_workload(&w.image);
-            let base =
-                simulate_ooo(Mode::Baseline(&w.image), &cfg, ooo, w.max_insts).expect("runs");
-            let naive =
-                simulate_ooo(Mode::NaiveIlr(&rp), &cfg, ooo, w.max_insts).expect("runs");
-            let vcfr = simulate_ooo(
+            let base = run(Mode::Baseline(&w.image), w.max_insts);
+            let naive = run(Mode::NaiveIlr(&rp), w.max_insts);
+            let vcfr = run(
                 Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
-                &cfg,
-                ooo,
                 w.max_insts,
-            )
-            .expect("runs");
+            );
             let b = base.stats.ipc();
             (w.name, b, naive.stats.ipc() / b, vcfr.stats.ipc() / b)
         })
@@ -784,21 +786,26 @@ pub fn seed_variance(names: &[&str], seeds: &[u64]) -> Vec<(String, f64, f64, f6
         .collect()
 }
 
+/// Runs a heterogeneous two-core session (shared L2) through the
+/// [`Session`] facade and returns the full per-core breakdown.
+fn duo(modes: Vec<Mode>, cfg: &SimConfig, budget: u64) -> MultiCoreOutput {
+    Session::new_heterogeneous(&modes, cfg, budget)
+        .and_then(|mut s| s.run())
+        .expect("multicore session runs")
+        .multicore
+        .expect("multicore sessions carry the per-core breakdown")
+}
+
 /// §IV-D multi-core demonstration: two cores over a shared L2, each
 /// running a (differently) randomized program. Returns
 /// `(pairing, core0 norm IPC, core1 norm IPC, shared-L2 miss rate %)`.
 pub fn multicore_demo() -> Vec<(String, f64, f64, f64)> {
-    let cfg = SimConfig::default();
+    let cfg = SimConfig { engine: EngineKind::Multicore { cores: 2 }, ..SimConfig::default() };
     let a = by_name("hmmer").expect("known");
     let b = by_name("h264ref").expect("known");
     let budget = 300_000;
 
-    let solo = simulate_multicore(
-        &[Mode::Baseline(&a.image), Mode::Baseline(&b.image)],
-        &cfg,
-        budget,
-    )
-    .expect("runs");
+    let solo = duo(vec![Mode::Baseline(&a.image), Mode::Baseline(&b.image)], &cfg, budget);
     let base0 = solo.per_core[0].ipc();
     let base1 = solo.per_core[1].ipc();
 
@@ -807,27 +814,21 @@ pub fn multicore_demo() -> Vec<(String, f64, f64, f64)> {
         randomize(&b.image, &RandomizeConfig::with_seed(SEED + 1)).expect("randomizes");
 
     let mut rows = Vec::new();
-    let vcfr = simulate_multicore(
-        &[
+    let vcfr = duo(
+        vec![
             Mode::Vcfr { program: &rp_a, drc: DrcConfig::direct_mapped(128) },
             Mode::Vcfr { program: &rp_b, drc: DrcConfig::direct_mapped(128) },
         ],
         &cfg,
         budget,
-    )
-    .expect("runs");
+    );
     rows.push((
         "VCFR + VCFR".to_string(),
         vcfr.per_core[0].ipc() / base0,
         vcfr.per_core[1].ipc() / base1,
         100.0 * vcfr.shared_l2.miss_rate(),
     ));
-    let naive = simulate_multicore(
-        &[Mode::NaiveIlr(&rp_a), Mode::NaiveIlr(&rp_b)],
-        &cfg,
-        budget,
-    )
-    .expect("runs");
+    let naive = duo(vec![Mode::NaiveIlr(&rp_a), Mode::NaiveIlr(&rp_b)], &cfg, budget);
     rows.push((
         "naive + naive".to_string(),
         naive.per_core[0].ipc() / base0,
@@ -835,4 +836,53 @@ pub fn multicore_demo() -> Vec<(String, f64, f64, f64)> {
         100.0 * naive.shared_l2.miss_rate(),
     ));
     rows
+}
+
+/// Live-rerandomization epoch of the multicore matrix cells, in
+/// committed instructions on the VCFR core.
+pub const MULTICORE_RERAND_EPOCH: u64 = 25_000;
+
+/// One cell of the `repro multicore` rerand matrix: a VCFR core swapping
+/// its live layout every [`MULTICORE_RERAND_EPOCH`] committed
+/// instructions while a baseline sibling streams through the shared L2.
+#[derive(Clone, Debug)]
+pub struct MulticoreCell {
+    /// The app the re-randomizing VCFR core (core 0) runs.
+    pub vcfr_app: &'static str,
+    /// The app the baseline sibling (core 1) runs.
+    pub base_app: &'static str,
+    /// Per-core instruction budget.
+    pub budget: u64,
+    /// The full two-core breakdown.
+    pub output: MultiCoreOutput,
+}
+
+/// Runs the multicore rerand cells on `threads` workers. The results
+/// are a pure function of the pairings (the event loop is deterministic
+/// and each cell is independent), so manifests built from them are
+/// byte-identical across worker-thread counts — `repro multicore-smoke`
+/// gates on exactly that.
+pub fn multicore_rerand_cells(threads: usize, budget: u64) -> Vec<MulticoreCell> {
+    let pairings: Vec<(&'static str, &'static str)> =
+        vec![("hmmer", "bzip2"), ("h264ref", "hmmer")];
+    let cfg = SimConfig::builder()
+        .engine(EngineKind::Multicore { cores: 2 })
+        .rerand_epoch(Some(MULTICORE_RERAND_EPOCH))
+        .drc_entries(Some(128))
+        .build()
+        .expect("the multicore rerand config is valid");
+    parallel_map(pairings, threads, |_, (vcfr_app, base_app)| {
+        let v = by_name(vcfr_app).expect("known workload");
+        let b = by_name(base_app).expect("known workload");
+        let rp = randomize_workload(&v.image);
+        let output = duo(
+            vec![
+                Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+                Mode::Baseline(&b.image),
+            ],
+            &cfg,
+            budget,
+        );
+        MulticoreCell { vcfr_app, base_app, budget, output }
+    })
 }

@@ -26,8 +26,8 @@ pub use experiments::{
     MatrixTiming, RunTiming, MODE_NAMES,
 };
 pub use manifests::{
-    bench_record, build_campaign_manifests, build_fault_manifest, build_fault_manifest_parts,
-    build_manifest, build_matrix_manifests, write_manifests,
+    bench_record, build_campaign_manifests, build_engine_manifest, build_fault_manifest,
+    build_fault_manifest_parts, build_manifest, build_matrix_manifests, write_manifests,
 };
 pub use pool::{parallel_map, PoolFull, PoolSnapshot, WorkerPool, WorkerStat};
 pub use shard::{

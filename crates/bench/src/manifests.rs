@@ -8,11 +8,13 @@
 //! of every manifest is identical across worker-thread counts.
 
 use crate::campaign::{CampaignCell, FAULTS_PER_RUN};
-use crate::experiments::{AppResults, Matrix, MatrixTiming, MODE_NAMES, SEED};
+use crate::experiments::{
+    AppResults, Matrix, MatrixTiming, MulticoreCell, MODE_NAMES, MULTICORE_RERAND_EPOCH, SEED,
+};
 use std::io;
 use std::path::Path;
 use vcfr_obs::{fingerprint, BenchRecord, BenchRun, Json, Manifest, Snapshot};
-use vcfr_sim::{IntervalSample, SimConfig, SimStats};
+use vcfr_sim::{EngineKind, IntervalSample, OooConfig, SimConfig, SimStats};
 
 /// DRC entries per matrix column (`None` for the non-VCFR machines).
 fn drc_entries(mode: &str) -> Option<u64> {
@@ -76,8 +78,22 @@ fn derived_json(stats: &SimStats) -> Json {
 /// The manifest `audit` block: the cycle-accounting identity terms plus
 /// the audit verdict at the default tolerance.
 fn audit_json(stats: &SimStats) -> Json {
+    engine_audit_json(EngineKind::InOrder, stats)
+}
+
+/// [`audit_json`] with the identity set matched to the engine that
+/// produced `stats`: the out-of-order core is audited through
+/// `audit_ooo` (its cycles may legitimately undercut the in-order
+/// floor when IPC exceeds 1); the multicore aggregate sums per-core
+/// counters, so the in-order identities close on it unchanged.
+fn engine_audit_json(engine: EngineKind, stats: &SimStats) -> Json {
     let accounting = stats.accounting();
-    let report = accounting.audit();
+    let report = match engine {
+        EngineKind::Ooo => {
+            accounting.audit_ooo(OooConfig::default().width as u64, stats.instructions)
+        }
+        EngineKind::InOrder | EngineKind::Multicore { .. } => accounting.audit(),
+    };
     let mut j = accounting.to_json();
     j.set("tolerance", Json::F64(report.tolerance));
     j.set("passed", Json::Bool(report.passed()));
@@ -92,11 +108,25 @@ pub fn build_manifest(
     samples: &[IntervalSample],
     host: Json,
 ) -> Manifest {
+    build_engine_manifest(app, mode, EngineKind::InOrder, stats, samples, host)
+}
+
+/// [`build_manifest`] for a run of any [`EngineKind`]: same schema,
+/// with the `audit` block computed by the identity set that matches
+/// the engine. The service daemon uses this for `ooo`/`mcN` jobs.
+pub fn build_engine_manifest(
+    app: &str,
+    mode: &str,
+    engine: EngineKind,
+    stats: &SimStats,
+    samples: &[IntervalSample],
+    host: Json,
+) -> Manifest {
     let mut m = Manifest::new(app, mode);
     m.set_config(config_json(mode));
     m.set_counters(&stats.snapshot());
     m.set_derived(derived_json(stats));
-    m.set_audit(audit_json(stats));
+    m.set_audit(engine_audit_json(engine, stats));
     m.set_samples(samples.iter().map(sample_json).collect());
     m.set_host(host);
     m
@@ -217,6 +247,66 @@ pub fn build_campaign_manifests(cells: &[CampaignCell], threads: usize) -> Vec<M
             let mut host = Json::obj();
             host.set("threads", Json::U64(threads as u64));
             build_fault_manifest(c, host)
+        })
+        .collect()
+}
+
+/// The manifest `config` block of a multicore rerand cell: the matrix
+/// configuration plus the engine kind, the pairing, and the rerand
+/// epoch, all folded into the fingerprint.
+fn multicore_config_json(cell: &MulticoreCell) -> Json {
+    let mut j = config_json("vcfr128");
+    j.set("engine", Json::Str("mc2".into()));
+    j.set("rerand_epoch", Json::U64(MULTICORE_RERAND_EPOCH));
+    j.set(
+        "fingerprint",
+        Json::Str(fingerprint(&format!(
+            "multicore vcfr={} base={} budget={} epoch={MULTICORE_RERAND_EPOCH} seed={SEED}",
+            cell.vcfr_app, cell.base_app, cell.budget
+        ))),
+    );
+    j
+}
+
+/// Builds the manifest for one multicore rerand cell: the aggregate
+/// `sim.*` counters (per-core sums; shared L2/DRAM once), a `coreN.*`
+/// breakdown, the shared-L2 view in `derived`, and the usual
+/// cycle-accounting audit — the in-order identities hold on the
+/// aggregate because its cycles are the per-core sum.
+pub fn build_multicore_manifest(cell: &MulticoreCell, host: Json) -> Manifest {
+    let app = format!("{}+{}", cell.vcfr_app, cell.base_app);
+    let mut m = Manifest::new(&app, "mc2-vcfr128");
+    m.set_config(multicore_config_json(cell));
+    let mut counters = cell.output.stats.snapshot().counters;
+    for (i, s) in cell.output.per_core.iter().enumerate() {
+        counters.extend([
+            (format!("core{i}.instructions"), s.instructions),
+            (format!("core{i}.cycles"), s.cycles),
+            (format!("core{i}.rerand.epochs"), s.rerand_epochs),
+            (format!("core{i}.stall.contention"), s.contention_stall_cycles),
+        ]);
+    }
+    counters.push(("mc.makespan_cycles".to_string(), cell.output.cycles));
+    m.set_counters(&Snapshot::from_counters(counters));
+    let mut d = derived_json(&cell.output.stats);
+    d.set("shared_l2_miss_rate", Json::F64(cell.output.shared_l2.miss_rate()));
+    d.set("core0_ipc", Json::F64(cell.output.per_core[0].ipc()));
+    d.set("core1_ipc", Json::F64(cell.output.per_core[1].ipc()));
+    m.set_derived(d);
+    m.set_audit(audit_json(&cell.output.stats));
+    m.set_host(host);
+    m
+}
+
+/// One manifest per multicore rerand cell (host block carries the
+/// thread count only; the canonical bytes are thread-independent).
+pub fn build_multicore_manifests(cells: &[MulticoreCell], threads: usize) -> Vec<Manifest> {
+    cells
+        .iter()
+        .map(|c| {
+            let mut host = Json::obj();
+            host.set("threads", Json::U64(threads as u64));
+            build_multicore_manifest(c, host)
         })
         .collect()
 }

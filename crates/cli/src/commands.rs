@@ -13,7 +13,7 @@ use vcfr_rewriter::{
     PROGRAM_MAGIC,
 };
 use vcfr_obs::{fingerprint, CycleAccounting, Json, Manifest};
-use vcfr_sim::{simulate_ooo, Mode, OooConfig, Session, SimConfig, SimStats, VcfrError};
+use vcfr_sim::{EngineKind, Mode, OooConfig, Session, SimConfig, SimStats, VcfrError};
 
 /// A CLI failure. Usage mistakes exit with status 2, everything else
 /// with status 1; simulation-stack failures stay typed all the way to
@@ -309,6 +309,20 @@ fn render_stats(stats: &SimStats) -> String {
     out
 }
 
+/// The cycle-accounting audit appropriate to the config's engine kind:
+/// the wide core gets the OoO identities (front-end floor, throughput,
+/// containment), everything else the in-order ones (the multicore
+/// aggregate sums per-core counters, so those identities still hold).
+fn run_audit(cfg: &SimConfig, stats: &SimStats) -> vcfr_obs::AuditReport {
+    let accounting = stats.accounting();
+    match cfg.engine {
+        EngineKind::Ooo => {
+            accounting.audit_ooo(OooConfig::default().width as u64, stats.instructions)
+        }
+        _ => accounting.audit(),
+    }
+}
+
 /// Builds the single-run manifest written by `vcfr simulate --manifest`.
 /// Same schema as the experiment-matrix manifests, with an empty sample
 /// array (the one-shot run is not interval-sampled).
@@ -319,15 +333,16 @@ fn single_run_manifest(
     cfg: &SimConfig,
     drc_entries: usize,
     seed: u64,
-    ooo: bool,
     stats: &SimStats,
     host_s: f64,
 ) -> Manifest {
     let mut config = Json::obj();
+    // The engine kind lives inside the config's Debug form, so in-order,
+    // out-of-order and multicore runs fingerprint distinctly.
     config.set(
         "fingerprint",
         Json::Str(fingerprint(&format!(
-            "{cfg:?} mode={mode_name} drc={drc_entries} seed={seed} ooo={ooo}"
+            "{cfg:?} mode={mode_name} drc={drc_entries} seed={seed}"
         ))),
     );
     config.set("seed", Json::U64(seed));
@@ -349,7 +364,7 @@ fn single_run_manifest(
         },
     );
     let accounting = stats.accounting();
-    let audit = accounting.audit();
+    let audit = run_audit(cfg, stats);
     let mut audit_json = accounting.to_json();
     audit_json.set("tolerance", Json::F64(audit.tolerance));
     audit_json.set("passed", Json::Bool(audit.passed()));
@@ -367,18 +382,24 @@ fn single_run_manifest(
 }
 
 /// `vcfr simulate <file> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-/// [--max N] [--seed N] [--rerand-epoch N] [--audit] [--progress]
-/// [--dump-trace] [--manifest <out.json>]`.
+/// [--cores N] [--max N] [--seed N] [--rerand-epoch N] [--audit]
+/// [--progress] [--dump-trace] [--manifest <out.json>]`.
 ///
-/// `--audit` appends the cycle-accounting audit and fails the command
-/// when the identity checks do not hold; `--rerand-epoch N` re-randomizes
-/// the live layout every N committed instructions (VCFR only), charging
-/// the quiesce + table-rebuild + DRC-flush pause as rerand stall cycles;
-/// `--progress` streams ~20 telemetry readings to stderr at
-/// deterministic instruction boundaries (results are unchanged by it);
-/// `--dump-trace` appends the pipeline trace ring to the report on
-/// successful runs; `--manifest` writes the run as a `vcfr-obs`
-/// manifest readable by `vcfr report`.
+/// `--ooo` runs the 4-wide out-of-order core and `--cores N` runs N
+/// in-order cores over the shared L2 (every core executes the same
+/// program/mode); both route through the same [`Session`] facade as the
+/// in-order default, so sampling, progress, audits, manifests and
+/// checkpoints behave identically. `--audit` appends the
+/// cycle-accounting audit — engine-kind-appropriate identities — and
+/// fails the command when the checks do not hold; `--rerand-epoch N`
+/// re-randomizes the live layout every N committed instructions (VCFR
+/// only, on every engine kind), charging the quiesce + table-rebuild +
+/// DRC-flush pause as rerand stall cycles; `--progress` streams ~20
+/// telemetry readings to stderr at deterministic instruction boundaries
+/// (results are unchanged by it); `--dump-trace` appends the pipeline
+/// trace ring to the report on successful runs (in-order only: the
+/// other engines keep no ring); `--manifest` writes the run as a
+/// `vcfr-obs` manifest readable by `vcfr report`.
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let mode_name = args.value("mode").unwrap_or("baseline");
@@ -389,11 +410,26 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if rerand_epoch > 0 && mode_name != "vcfr" {
         return Err(fail("--rerand-epoch requires --mode vcfr (live table swaps need the DRC)"));
     }
-    if rerand_epoch > 0 && args.flag("ooo") {
-        return Err(fail("--rerand-epoch is not modeled on the out-of-order core"));
+    let cores = args.u64_or("cores", 1)?;
+    if cores == 0 {
+        return Err(fail("--cores needs at least 1 core"));
     }
+    if cores > 64 {
+        return Err(fail("--cores is capped at 64"));
+    }
+    if args.flag("ooo") && cores > 1 {
+        return Err(fail("--ooo and --cores select different engines; pick one"));
+    }
+    let engine = if args.flag("ooo") {
+        EngineKind::Ooo
+    } else if cores > 1 {
+        EngineKind::Multicore { cores: cores as u32 }
+    } else {
+        EngineKind::InOrder
+    };
     let cfg = SimConfig {
         rerand_epoch: (rerand_epoch > 0).then_some(rerand_epoch),
+        engine,
         ..SimConfig::default()
     };
 
@@ -453,52 +489,65 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         (m, _) => return Err(fail(format!("unknown mode {m:?} (baseline|naive|vcfr)"))),
     };
 
-    if args.flag("ooo") && (args.flag("progress") || args.flag("dump-trace")) {
-        return Err(fail("--progress/--dump-trace need the in-order session (drop --ooo)"));
+    if args.flag("dump-trace") && !matches!(engine, EngineKind::InOrder) {
+        return Err(fail("--dump-trace needs the in-order engine (only it keeps a trace ring)"));
     }
 
     let host = std::time::Instant::now();
     let mut trace_dump = String::new();
-    let out = if args.flag("ooo") {
-        simulate_ooo(mode, &cfg, OooConfig::default(), max)
-            .map_err(|e| CliError::Vcfr(VcfrError::Sim(e)))?
-    } else {
-        let mut session =
-            Session::new(mode, &cfg, max)?.with_superblocks(!args.flag("no-superblocks"));
-        if args.flag("progress") {
-            // Live progress on stderr (the report itself lands on
-            // stdout at the end): ~20 lines per run, at deterministic
-            // instruction boundaries.
-            session = session.with_progress((max / 20).max(1), |e| {
-                eprintln!(
-                    "progress: {:>12} insts  {:>12} cycles  ipc {:.3}  sb {:>5.1}%",
-                    e.instructions,
-                    e.cycles,
-                    if e.cycles == 0 { 0.0 } else { e.instructions as f64 / e.cycles as f64 },
-                    e.sb_hit_rate() * 100.0,
-                );
-            });
+    let mut session =
+        Session::new(mode, &cfg, max)?.with_superblocks(!args.flag("no-superblocks"));
+    if args.flag("progress") {
+        // Live progress on stderr (the report itself lands on
+        // stdout at the end): ~20 lines per run, at deterministic
+        // instruction boundaries.
+        session = session.with_progress((max / 20).max(1), |e| {
+            eprintln!(
+                "progress: {:>12} insts  {:>12} cycles  ipc {:.3}  sb {:>5.1}%",
+                e.instructions,
+                e.cycles,
+                if e.cycles == 0 { 0.0 } else { e.instructions as f64 / e.cycles as f64 },
+                e.sb_hit_rate() * 100.0,
+            );
+        });
+    }
+    let outcome = session.run()?;
+    let out = outcome.output;
+    if args.flag("dump-trace") {
+        // Until now the trace ring only surfaced inside SimError;
+        // --dump-trace emits it for successful runs too.
+        let events = session.trace_events();
+        let _ = writeln!(trace_dump, "last {} pipeline events:", events.len());
+        for e in &events {
+            let _ = writeln!(trace_dump, "  {e}");
         }
-        let out = session.run()?.output;
-        if args.flag("dump-trace") {
-            // Until now the trace ring only surfaced inside SimError;
-            // --dump-trace emits it for successful runs too.
-            let events = session.trace_events();
-            let _ = writeln!(trace_dump, "last {} pipeline events:", events.len());
-            for e in &events {
-                let _ = writeln!(trace_dump, "  {e}");
-            }
-        }
-        out
-    };
+    }
     let host_s = host.elapsed().as_secs_f64();
 
-    let mut report = format!(
-        "mode: {}{}\n",
-        mode_name,
-        if args.flag("ooo") { " (4-wide out-of-order)" } else { "" }
-    );
+    let engine_note = match engine {
+        EngineKind::InOrder => String::new(),
+        EngineKind::Ooo => " (4-wide out-of-order)".to_string(),
+        EngineKind::Multicore { cores } => format!(" ({cores} in-order cores, shared L2)"),
+    };
+    let mut report = format!("mode: {mode_name}{engine_note}\n");
     report.push_str(&render_stats(&out.stats));
+    if let Some(mc) = &outcome.multicore {
+        for (i, s) in mc.per_core.iter().enumerate() {
+            let _ = writeln!(
+                report,
+                "core {i}: {} insts  {} cycles  ipc {:.3}  contention {} cycles",
+                s.instructions,
+                s.cycles,
+                if s.cycles == 0 { 0.0 } else { s.instructions as f64 / s.cycles as f64 },
+                s.contention_stall_cycles,
+            );
+        }
+        let _ = writeln!(
+            report,
+            "shared L2: {} accesses, {} misses;  makespan: {} cycles",
+            mc.shared_l2.accesses, mc.shared_l2.misses, mc.cycles,
+        );
+    }
     let _ = writeln!(
         report,
         "host wall: {:.3}s ({:.1}M simulated insts/s)",
@@ -514,7 +563,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         report.push_str(&trace_dump);
     }
     if args.flag("audit") {
-        let audit = out.stats.accounting().audit();
+        let audit = run_audit(&cfg, &out.stats);
         report.push_str(&audit.render());
         if !audit.passed() {
             return Err(CliError::Msg(report));
@@ -522,16 +571,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     }
     if let Some(mpath) = args.value("manifest") {
         let app = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path);
-        let m = single_run_manifest(
-            app,
-            mode_name,
-            &cfg,
-            drc_entries,
-            seed,
-            args.flag("ooo"),
-            &out.stats,
-            host_s,
-        );
+        let m = single_run_manifest(app, mode_name, &cfg, drc_entries, seed, &out.stats, host_s);
         fs::write(mpath, m.to_string_pretty())
             .map_err(|e| fail(format!("cannot write {mpath}: {e}")))?;
         let _ = writeln!(report, "manifest: wrote {mpath}");
@@ -988,7 +1028,7 @@ mod tests {
             .unwrap();
         assert!(swaps >= 3, "expected several epoch swaps in 50k insts: {r}");
 
-        // The pause needs VCFR's mediation hardware and the in-order core.
+        // The pause needs VCFR's mediation hardware...
         let e = cmd_simulate(&parse(
             &[&img_path, "--rerand-epoch", "8000", "--max", "50000"],
             flags,
@@ -996,13 +1036,106 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.to_string().contains("--mode vcfr"), "{e}");
+        // ...but not the in-order core: the OoO engine drains, swaps and
+        // flushes just the same (the guard that rejected this is gone).
+        let r = cmd_simulate(&parse(
+            &[
+                &img_path,
+                "--mode",
+                "vcfr",
+                "--ooo",
+                "--rerand-epoch",
+                "8000",
+                "--max",
+                "50000",
+                "--audit",
+            ],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(r.contains("out-of-order"), "{r}");
+        assert!(r.contains("audit: PASS"), "{r}");
+        let swaps: u64 = r
+            .lines()
+            .find(|l| l.starts_with("rerand:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(swaps >= 3, "OoO epoch swaps: {r}");
+    }
+
+    #[test]
+    fn simulate_cores_runs_the_multicore_engine() {
+        let img_path = tmp("hmmer-mc.img");
+        cmd_build(&parse(&["hmmer", "--o", &img_path], &[], &["o"])).unwrap();
+        let flags: &[&str] = &["ooo", "audit"];
+        let values: &[&str] = &["mode", "max", "drc", "seed", "cores"];
+        let r = cmd_simulate(&parse(
+            &[&img_path, "--mode", "vcfr", "--cores", "2", "--max", "30000", "--audit"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(r.contains("2 in-order cores"), "{r}");
+        assert!(r.contains("core 0:") && r.contains("core 1:"), "{r}");
+        assert!(r.contains("shared L2:"), "{r}");
+        assert!(r.contains("audit: PASS"), "{r}");
+        // --cores 1 is the plain in-order engine: no per-core breakdown.
+        let one = cmd_simulate(&parse(
+            &[&img_path, "--cores", "1", "--max", "30000"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(!one.contains("core 0:"), "{one}");
+        // Invalid core counts and engine mixes are named errors.
+        let e = cmd_simulate(&parse(&[&img_path, "--cores", "0"], flags, values)).unwrap_err();
+        assert!(e.to_string().contains("at least 1"), "{e}");
+        let e = cmd_simulate(&parse(&[&img_path, "--cores", "65"], flags, values)).unwrap_err();
+        assert!(e.to_string().contains("capped"), "{e}");
         let e = cmd_simulate(&parse(
-            &[&img_path, "--mode", "vcfr", "--ooo", "--rerand-epoch", "8000"],
+            &[&img_path, "--ooo", "--cores", "2"],
             flags,
             values,
         ))
         .unwrap_err();
-        assert!(e.to_string().contains("out-of-order"), "{e}");
+        assert!(e.to_string().contains("pick one"), "{e}");
+    }
+
+    #[test]
+    fn simulate_progress_works_everywhere_but_trace_stays_inorder() {
+        let img_path = tmp("hmmer-flags.img");
+        cmd_build(&parse(&["hmmer", "--o", &img_path], &[], &["o"])).unwrap();
+        let flags: &[&str] = &["ooo", "progress", "dump-trace"];
+        let values: &[&str] = &["mode", "max", "cores"];
+        // --progress no longer needs the in-order engine.
+        cmd_simulate(&parse(
+            &[&img_path, "--ooo", "--progress", "--max", "30000"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        cmd_simulate(&parse(
+            &[&img_path, "--cores", "2", "--progress", "--max", "30000"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        // --dump-trace still does: only the in-order engine keeps a ring.
+        for extra in [&["--ooo"][..], &["--cores", "2"][..]] {
+            let mut argv = vec![img_path.as_str(), "--dump-trace", "--max", "30000"];
+            argv.extend_from_slice(extra);
+            let e = cmd_simulate(&parse(&argv, flags, values)).unwrap_err();
+            assert!(e.to_string().contains("in-order"), "{e}");
+        }
+        let r = cmd_simulate(&parse(
+            &[&img_path, "--dump-trace", "--max", "30000"],
+            flags,
+            values,
+        ))
+        .unwrap();
+        assert!(r.contains("pipeline events:"), "{r}");
     }
 
     #[test]

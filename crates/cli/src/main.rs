@@ -7,7 +7,7 @@
 //! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
 //!                [--software-returns] [--keep SYM]...
 //! vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-//!                [--max N] [--seed N] [--rerand-epoch N] [--audit]
+//!                [--cores N] [--max N] [--seed N] [--rerand-epoch N] [--audit]
 //!                [--scale N] [--no-superblocks] [--manifest <out.json>]
 //!                [--progress] [--dump-trace]
 //! vcfr gadgets <file> [--against <randomized>]
@@ -41,7 +41,7 @@ USAGE:
     vcfr randomize <file> --o <out> [--seed N] [--page-confined]
                    [--software-returns] [--keep SYM]...
     vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
-                   [--max N] [--seed N] [--rerand-epoch N] [--audit]
+                   [--cores N] [--max N] [--seed N] [--rerand-epoch N] [--audit]
                    [--scale N] [--no-superblocks] [--manifest <out.json>]
                    [--progress] [--dump-trace]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
@@ -51,7 +51,7 @@ USAGE:
     vcfr serve [--dir D] [--port P] [--workers N] [--queue N]
     vcfr submit <workload> [--mode baseline|naive|vcfr] [--drc N] [--max N]
                    [--seed N] [--rerand-epoch N] [--checkpoint-every N]
-                   [--scale N] [--dir D] [--faults] [--watch]
+                   [--scale N] [--ooo] [--cores N] [--dir D] [--faults] [--watch]
     vcfr jobs [--dir D]
     vcfr top [--dir D] [--interval MS] [--count N] [--once]
     vcfr shutdown [--dir D]
@@ -79,7 +79,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
             &["ooo", "audit", "no-superblocks", "progress", "dump-trace"],
-            &["mode", "drc", "max", "seed", "rerand-epoch", "scale", "manifest"],
+            &["mode", "drc", "max", "seed", "rerand-epoch", "scale", "manifest", "cores"],
         )?),
         "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
@@ -92,8 +92,18 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         )?),
         "submit" => serve::cmd_submit(&Args::parse(
             rest,
-            &["watch", "faults"],
-            &["mode", "drc", "max", "seed", "rerand-epoch", "checkpoint-every", "scale", "dir"],
+            &["watch", "faults", "ooo"],
+            &[
+                "mode",
+                "drc",
+                "max",
+                "seed",
+                "rerand-epoch",
+                "checkpoint-every",
+                "scale",
+                "cores",
+                "dir",
+            ],
         )?),
         "fleet" => {
             let Some((sub, rest)) = rest.split_first() else {

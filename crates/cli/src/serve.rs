@@ -27,14 +27,23 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 }
 
 /// `vcfr submit <workload> [--mode M] [--drc N] [--max N] [--seed N]
-/// [--rerand-epoch N] [--checkpoint-every N] [--scale N] [--dir D]
-/// [--faults] [--watch]`.
+/// [--rerand-epoch N] [--checkpoint-every N] [--scale N] [--cores N]
+/// [--dir D] [--ooo] [--faults] [--watch]`.
 pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let mut spec = JobSpec::new(args.positional(0, "workload name")?);
     if let Some(mode) = args.value("mode") {
         spec.mode = mode.to_string();
     }
     spec.faults = args.flag("faults");
+    let cores = args.u64_or("cores", 1)?;
+    if args.flag("ooo") && cores > 1 {
+        return Err(CliError::Msg("--ooo and --cores are different engines; pick one".into()));
+    }
+    if args.flag("ooo") {
+        spec.engine = "ooo".to_string();
+    } else if cores != 1 {
+        spec.engine = format!("mc{cores}");
+    }
     spec.drc_entries = args.u64_or("drc", spec.drc_entries as u64)? as usize;
     spec.max_insts = args.u64_or("max", spec.max_insts)?;
     spec.seed = args.u64_or("seed", spec.seed)?;

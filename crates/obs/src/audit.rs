@@ -22,6 +22,13 @@
 //!    when they complete in the shadow of a store or a correct
 //!    prediction, so on DRC-thrashing workloads they are not bounded by
 //!    wall-clock cycles at all.
+//!
+//! Shared-L2 `contention` cycles (multicore runs queueing behind a
+//! sibling core) are a *contained* term: every contention cycle delayed
+//! exactly one fetch, data, or table-walk access and is already inside
+//! that category's stall count, so the audit checks `contention ≤
+//! fetch_stall + load_stall + drc_walk` instead of adding it to the
+//! disjoint sums.
 
 use crate::json::Json;
 
@@ -48,6 +55,10 @@ pub struct CycleAccounting {
     /// Cycles the whole pipeline paused for epoch re-randomization
     /// (DRC flush + translation-table rebuild; 0 without `--rerand-epoch`).
     pub rerand_stall: u64,
+    /// Cycles queued behind a sibling core at the shared L2/DRAM port
+    /// (multicore runs only; 0 on single-core engines). Contained in the
+    /// fetch/load/walk terms, not added to the disjoint sums.
+    pub contention: u64,
 }
 
 impl CycleAccounting {
@@ -115,6 +126,68 @@ impl CycleAccounting {
                 ));
             }
         }
+        // Contention is contained in the categories whose accesses it
+        // delayed; claiming more wait than those categories hold means
+        // the shared-port accounting double-charged somewhere.
+        if self.contention > self.fetch_stall + self.load_stall + self.drc_walk {
+            failures.push(format!(
+                "containment violated: contention {} > fetch_stall {} + load_stall {} + drc_walk {}",
+                self.contention, self.fetch_stall, self.load_stall, self.drc_walk
+            ));
+        }
+        AuditReport { accounting: *self, tolerance, failures }
+    }
+
+    /// Runs the out-of-order audit at [`DEFAULT_TOLERANCE`].
+    ///
+    /// See [`CycleAccounting::audit_ooo_with_tolerance`].
+    pub fn audit_ooo(&self, width: u64, instructions: u64) -> AuditReport {
+        self.audit_ooo_with_tolerance(width, instructions, DEFAULT_TOLERANCE)
+    }
+
+    /// Audits an out-of-order run. The in-order coverage and overlap
+    /// identities do not transfer to a wide core (at IPC > 2 the busy
+    /// term alone exceeds twice the wall clock), so the OoO audit checks
+    /// the identities that *are* exact on the wide pipeline:
+    ///
+    /// 1. **front-end floor** — `cycles ≥ fetch_stall + redirect_stall +
+    ///    rerand_stall`: the fetch clock absorbs IL1/iTLB stalls,
+    ///    mispredict redirects, and re-randomization pauses serially,
+    ///    and `cycles = max(fetch, commit)` can never undercut it;
+    /// 2. **throughput** — `width · cycles ≥ instructions`: the core
+    ///    commits at most `width` instructions per cycle;
+    /// 3. **containment** — `contention ≤ fetch_stall + load_stall +
+    ///    drc_walk`, exactly as on the in-order audit.
+    ///
+    /// All three are exact; `tolerance` is recorded in the report for
+    /// rendering parity with the in-order audit but no identity here
+    /// needs slack.
+    pub fn audit_ooo_with_tolerance(
+        &self,
+        width: u64,
+        instructions: u64,
+        tolerance: f64,
+    ) -> AuditReport {
+        let mut failures = Vec::new();
+        if self.cycles < self.fetch_stall + self.redirect_stall + self.rerand_stall {
+            failures.push(format!(
+                "front-end floor violated: cycles {} < fetch_stall {} + redirect_stall {} \
+                 + rerand_stall {}",
+                self.cycles, self.fetch_stall, self.redirect_stall, self.rerand_stall
+            ));
+        }
+        if width.saturating_mul(self.cycles) < instructions {
+            failures.push(format!(
+                "throughput bound violated: width {} x cycles {} < {} instructions",
+                width, self.cycles, instructions
+            ));
+        }
+        if self.contention > self.fetch_stall + self.load_stall + self.drc_walk {
+            failures.push(format!(
+                "containment violated: contention {} > fetch_stall {} + load_stall {} + drc_walk {}",
+                self.contention, self.fetch_stall, self.load_stall, self.drc_walk
+            ));
+        }
         AuditReport { accounting: *self, tolerance, failures }
     }
 
@@ -128,13 +201,14 @@ impl CycleAccounting {
         j.set("redirect_stall", Json::U64(self.redirect_stall));
         j.set("drc_walk", Json::U64(self.drc_walk));
         j.set("rerand_stall", Json::U64(self.rerand_stall));
+        j.set("contention", Json::U64(self.contention));
         j.set("coverage", Json::F64(self.coverage()));
         j
     }
 
     /// Rebuilds the terms from a manifest `audit` block. `rerand_stall`
-    /// defaults to 0 so manifests written before the field existed still
-    /// parse.
+    /// and `contention` default to 0 so manifests written before those
+    /// fields existed still parse.
     pub fn from_json(j: &Json) -> Option<CycleAccounting> {
         Some(CycleAccounting {
             cycles: j.get("cycles")?.as_u64()?,
@@ -144,6 +218,7 @@ impl CycleAccounting {
             redirect_stall: j.get("redirect_stall")?.as_u64()?,
             drc_walk: j.get("drc_walk")?.as_u64()?,
             rerand_stall: j.get("rerand_stall").map_or(Some(0), Json::as_u64)?,
+            contention: j.get("contention").map_or(Some(0), Json::as_u64)?,
         })
     }
 }
@@ -178,7 +253,8 @@ impl AuditReport {
         let mut out = format!(
             "cycle accounting: {} cycles; busy {} ({:.1}%), fetch stall {} ({:.1}%), \
              load stall {} ({:.1}%), redirect stall {} ({:.1}%), drc walk {} ({:.1}%), \
-             rerand (DRC flush + table rebuild) {} ({:.1}%)\n\
+             rerand (DRC flush + table rebuild) {} ({:.1}%), \
+             shared-L2 contention {} ({:.1}%)\n\
              coverage {:.3} (tolerance {:.2})\n",
             a.cycles,
             a.busy,
@@ -193,6 +269,8 @@ impl AuditReport {
             pct(a.drc_walk),
             a.rerand_stall,
             pct(a.rerand_stall),
+            a.contention,
+            pct(a.contention),
             a.coverage(),
             self.tolerance,
         );
@@ -223,6 +301,7 @@ mod tests {
             redirect_stall: 40,
             drc_walk: 0,
             rerand_stall: 0,
+            contention: 0,
         };
         let r = a.audit();
         assert!(r.passed(), "{:?}", r.failures);
@@ -254,6 +333,7 @@ mod tests {
             redirect_stall: 100,
             drc_walk: 0,
             rerand_stall: 0,
+            contention: 0,
         };
         assert!(a.audit().failures.iter().any(|f| f.contains("overlap")));
     }
@@ -273,8 +353,90 @@ mod tests {
             redirect_stall: 1,
             drc_walk: 3,
             rerand_stall: 2,
+            contention: 2,
         };
         assert_eq!(CycleAccounting::from_json(&a.to_json()), Some(a));
+    }
+
+    #[test]
+    fn contention_must_be_contained_in_the_access_categories() {
+        // Contained: 30 wait cycles inside 40+20 of categorized stall.
+        let a = CycleAccounting {
+            cycles: 1000,
+            busy: 900,
+            fetch_stall: 40,
+            load_stall: 20,
+            contention: 30,
+            ..CycleAccounting::default()
+        };
+        assert!(a.audit().passed(), "{:?}", a.audit().failures);
+        assert!(a.audit().render().contains("contention"));
+        // Claiming more wait than the categories hold is double-charging.
+        let b = CycleAccounting { contention: 100, ..a };
+        assert!(b.audit().failures.iter().any(|f| f.contains("containment")));
+    }
+
+    #[test]
+    fn ooo_audit_accepts_high_ipc_runs_the_inorder_audit_rejects() {
+        // IPC 3.8 on a width-4 core: busy alone is 3.5x the wall clock,
+        // so the in-order floor/overlap identities reject it outright —
+        // the OoO identities hold.
+        let a = CycleAccounting {
+            cycles: 100,
+            busy: 350,
+            fetch_stall: 20,
+            redirect_stall: 30,
+            ..CycleAccounting::default()
+        };
+        assert!(!a.audit().passed(), "in-order identities must not transfer");
+        let r = a.audit_ooo(4, 380);
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn ooo_front_end_floor_catches_impossible_counts() {
+        let a = CycleAccounting {
+            cycles: 40,
+            fetch_stall: 20,
+            redirect_stall: 30,
+            ..CycleAccounting::default()
+        };
+        assert!(a.audit_ooo(4, 100).failures.iter().any(|f| f.contains("front-end floor")));
+    }
+
+    #[test]
+    fn ooo_throughput_bound_catches_over_commit() {
+        // 50 instructions in 10 cycles on a width-4 core is impossible.
+        let a = CycleAccounting { cycles: 10, busy: 50, ..CycleAccounting::default() };
+        assert!(a.audit_ooo(4, 50).failures.iter().any(|f| f.contains("throughput")));
+        assert!(a.audit_ooo(5, 50).passed());
+    }
+
+    #[test]
+    fn ooo_audit_checks_contention_containment_too() {
+        let a = CycleAccounting {
+            cycles: 1000,
+            busy: 2000,
+            fetch_stall: 40,
+            load_stall: 20,
+            contention: 100,
+            ..CycleAccounting::default()
+        };
+        assert!(a.audit_ooo(4, 2000).failures.iter().any(|f| f.contains("containment")));
+    }
+
+    #[test]
+    fn old_manifests_without_contention_still_parse() {
+        let mut j = Json::obj();
+        j.set("cycles", Json::U64(9));
+        j.set("busy", Json::U64(5));
+        j.set("fetch_stall", Json::U64(1));
+        j.set("load_stall", Json::U64(2));
+        j.set("redirect_stall", Json::U64(1));
+        j.set("drc_walk", Json::U64(3));
+        j.set("rerand_stall", Json::U64(2));
+        let b = CycleAccounting::from_json(&j).unwrap();
+        assert_eq!(b.contention, 0);
     }
 
     #[test]

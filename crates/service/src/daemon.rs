@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use vcfr_bench::{build_fault_manifest_parts, build_manifest, fault_plan_for, WorkerPool};
+use vcfr_bench::{build_engine_manifest, build_fault_manifest_parts, fault_plan_for, WorkerPool};
 use vcfr_core::DrcConfig;
 use vcfr_obs::{parse_json, Backoff, Json, ProgressEvent};
 use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
@@ -241,7 +241,15 @@ fn run_job(inner: &Inner, id: u64) {
         fail_job(inner, id, started, format!("unknown workload {:?}", spec.workload));
         return;
     };
+    let kind = match spec.engine_kind() {
+        Ok(k) => k,
+        Err(e) => {
+            fail_job(inner, id, started, e.to_string());
+            return;
+        }
+    };
     let cfg = match SimConfig::builder()
+        .engine(kind)
         .rerand_epoch(spec.rerand_epoch)
         .drc_entries((spec.mode == "vcfr").then_some(spec.drc_entries))
         .build()
@@ -348,9 +356,16 @@ fn run_job(inner: &Inner, id: u64) {
                         Json::obj(),
                     )
                 } else {
-                    build_manifest(
+                    // `manifest_mode` (not `matrix_mode`): a non-in-order
+                    // job's manifest must carry its engine prefix so the
+                    // fleet merge never conflates it with the in-order
+                    // cell of the same matrix. The faults arm passes the
+                    // bare matrix mode because `build_fault_manifest_parts`
+                    // applies the `faults-` prefix itself.
+                    build_engine_manifest(
                         &spec.workload,
-                        &spec.matrix_mode(),
+                        &spec.manifest_mode(),
+                        kind,
                         &out.output.stats,
                         &out.samples,
                         Json::obj(),

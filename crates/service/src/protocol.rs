@@ -7,7 +7,7 @@
 //! `"ok"` (or, on the `watch` stream, an `"event"` discriminant).
 
 use vcfr_obs::{Json, JsonError};
-use vcfr_sim::VcfrError;
+use vcfr_sim::{EngineKind, VcfrError};
 
 /// File (inside the service state directory) holding the daemon's bound
 /// `host:port`, written on startup and removed on graceful shutdown.
@@ -41,6 +41,11 @@ pub struct JobSpec {
     /// workload (`vcfr_bench::fault_plan_for`) and emit a fault manifest
     /// (`faults-<mode>`) instead of a matrix manifest.
     pub faults: bool,
+    /// Engine selector: `"inorder"` (the default), `"ooo"` (the 4-wide
+    /// out-of-order core), or `"mcN"` (N in-order cores over the shared
+    /// L2, e.g. `"mc2"`). Absent on the wire means `"inorder"`, so
+    /// pre-engine clients keep working unchanged.
+    pub engine: String,
 }
 
 impl JobSpec {
@@ -56,6 +61,28 @@ impl JobSpec {
             checkpoint_every: 100_000,
             scale: 1,
             faults: false,
+            engine: "inorder".to_string(),
+        }
+    }
+
+    /// The [`EngineKind`] this spec's `engine` string selects.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on an unknown selector or a core count
+    /// outside 1..=64.
+    pub fn engine_kind(&self) -> Result<EngineKind, ServiceError> {
+        match self.engine.as_str() {
+            "inorder" => Ok(EngineKind::InOrder),
+            "ooo" => Ok(EngineKind::Ooo),
+            s => match s.strip_prefix("mc").and_then(|n| n.parse::<u32>().ok()) {
+                Some(cores) if (1..=64).contains(&cores) => {
+                    Ok(EngineKind::Multicore { cores })
+                }
+                _ => Err(ServiceError::Protocol(format!(
+                    "engine must be inorder, ooo, or mc<cores 1..=64> (got {s:?})"
+                ))),
+            },
         }
     }
 
@@ -104,10 +131,14 @@ impl JobSpec {
     }
 
     /// The manifest `mode` column this spec produces —
-    /// [`JobSpec::matrix_mode`], prefixed `faults-` for campaign runs.
+    /// [`JobSpec::matrix_mode`], prefixed `faults-` for campaign runs
+    /// and `<engine>-` for non-in-order engines (so an `ooo` or `mc2`
+    /// run never collides with the in-order cell of the same matrix).
     pub fn manifest_mode(&self) -> String {
         if self.faults {
             format!("faults-{}", self.matrix_mode())
+        } else if self.engine != "inorder" {
+            format!("{}-{}", self.engine, self.matrix_mode())
         } else {
             self.matrix_mode()
         }
@@ -150,6 +181,12 @@ impl JobSpec {
                 self.scale
             )));
         }
+        let kind = self.engine_kind()?;
+        if self.faults && kind != EngineKind::InOrder {
+            return Err(ServiceError::Protocol(
+                "fault campaigns are only modeled on the in-order engine".to_string(),
+            ));
+        }
         Ok(())
     }
 
@@ -169,6 +206,7 @@ impl JobSpec {
         j.set("checkpoint_every", Json::U64(self.checkpoint_every));
         j.set("scale", Json::U64(self.scale));
         j.set("faults", Json::Bool(self.faults));
+        j.set("engine", Json::Str(self.engine.clone()));
         j
     }
 
@@ -215,6 +253,15 @@ impl JobSpec {
             Some(_) => {
                 return Err(ServiceError::Protocol("faults must be a boolean".to_string()))
             }
+        };
+        // Absent means in-order: pre-engine specs on disk and on the
+        // wire parse unchanged (the same pattern `faults` uses).
+        spec.engine = match j.get("engine") {
+            None | Some(Json::Null) => "inorder".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ServiceError::Protocol("engine must be a string".to_string()))?
+                .to_string(),
         };
         spec.validate()?;
         Ok(spec)
@@ -423,6 +470,47 @@ mod tests {
         let mut bad = cell;
         bad.mode = "turbo".to_string();
         assert!(JobSpec::from_cell(&bad).is_err());
+    }
+
+    #[test]
+    fn engine_field_selects_a_kind_and_stays_wire_compatible() {
+        // Absent field defaults to the in-order engine (pre-engine specs
+        // on disk parse unchanged).
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("engine", Json::Null);
+        let legacy = JobSpec::from_json(&j).expect("parses");
+        assert_eq!(legacy.engine, "inorder");
+        assert_eq!(legacy.engine_kind().expect("valid"), EngineKind::InOrder);
+        assert_eq!(legacy.manifest_file_name(), "bzip2__vcfr128.json");
+
+        // Explicit selectors round-trip and prefix the manifest name so
+        // engine variants never collide with the in-order matrix cell.
+        let mut spec = JobSpec::new("bzip2");
+        spec.engine = "ooo".to_string();
+        let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(spec, back);
+        assert_eq!(back.engine_kind().expect("valid"), EngineKind::Ooo);
+        assert_eq!(back.manifest_file_name(), "bzip2__ooo-vcfr128.json");
+        spec.engine = "mc2".to_string();
+        assert_eq!(
+            spec.engine_kind().expect("valid"),
+            EngineKind::Multicore { cores: 2 }
+        );
+        assert_eq!(spec.manifest_file_name(), "bzip2__mc2-vcfr128.json");
+
+        // Unknown selectors and impossible core counts are admission errors.
+        for bad in ["turbo", "mc0", "mc65", "mc"] {
+            let mut j = JobSpec::new("bzip2").to_json();
+            j.set("engine", Json::Str(bad.into()));
+            assert!(JobSpec::from_json(&j).is_err(), "{bad} should be rejected");
+        }
+
+        // Fault campaigns stay pinned to the in-order engine.
+        let mut j = JobSpec::new("bzip2").to_json();
+        j.set("faults", Json::Bool(true));
+        j.set("engine", Json::Str("ooo".into()));
+        let e = JobSpec::from_json(&j).unwrap_err();
+        assert!(e.to_string().contains("in-order"), "{e}");
     }
 
     #[test]

@@ -23,7 +23,11 @@ use std::fmt;
 use vcfr_isa::wire::{Reader, WireError, Writer};
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version 2 appended `contention_stall_cycles` to the [`crate::SimStats`]
+/// wire form, extended the hierarchy stream with the shared-port state,
+/// and added the engine-kind-specific session payloads (OoO, multicore).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Magic prefix of the checkpoint envelope.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"VCFRCKP1";

@@ -87,6 +87,23 @@ pub enum DrcBacking {
     },
 }
 
+/// Which timing engine executes the run (the Session facade routes all
+/// three through the same sampling/progress/manifest/checkpoint paths).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's single-issue in-order core (the default).
+    InOrder,
+    /// The wide out-of-order core (§VI-C sensitivity study).
+    Ooo,
+    /// N in-order cores sharing the unified L2 and DRAM behind a
+    /// single-ported shared level (cross-core queueing is charged to
+    /// `sim.stall.contention`).
+    Multicore {
+        /// Number of cores (≥ 1).
+        cores: u32,
+    },
+}
+
 /// Full machine configuration.
 ///
 /// Defaults reproduce the paper's simulated core: a 1.6 GHz single-issue
@@ -143,6 +160,8 @@ pub struct SimConfig {
     /// rounded up to a power of two; 0 disables tracing). The ring is
     /// dumped into [`crate::SimError::Exec`] when a program faults.
     pub trace_events: usize,
+    /// Which timing engine executes the run.
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -227,6 +246,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Which timing engine executes the run.
+    pub fn engine(mut self, v: EngineKind) -> Self {
+        self.cfg.engine = v;
+        self
+    }
+
     /// Declares the DRC size this configuration will run against
     /// (validation only — the DRC itself is picked per [`crate::Mode`]).
     /// `Some(0)` means "VCFR mode with a zero-entry DRC", which is
@@ -275,6 +300,13 @@ impl SimConfigBuilder {
                 ));
             }
         }
+        if let EngineKind::Multicore { cores } = cfg.engine {
+            if cores == 0 {
+                return Err(VcfrError::Config(
+                    "a multicore run needs at least one core (cores = 0)".into(),
+                ));
+            }
+        }
         if self.audit && cfg.trace_events == 0 {
             return Err(VcfrError::Config(
                 "a cycle audit needs the post-mortem trace ring (trace_events = 0 disables it)".into(),
@@ -307,6 +339,7 @@ impl Default for SimConfig {
             drc_flush_interval: None,
             rerand_epoch: None,
             trace_events: 64,
+            engine: EngineKind::InOrder,
         }
     }
 }
@@ -358,6 +391,23 @@ mod tests {
             .is_err());
         assert!(SimConfig::builder().for_audit(true).trace_events(0).build().is_err());
         assert!(SimConfig::builder().drc_flush_interval(Some(0)).build().is_err());
+        assert!(SimConfig::builder()
+            .engine(EngineKind::Multicore { cores: 0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn engine_kind_selects_the_backend_and_defaults_to_inorder() {
+        assert_eq!(SimConfig::default().engine, EngineKind::InOrder);
+        let cfg = SimConfig::builder().engine(EngineKind::Ooo).build().unwrap();
+        assert_eq!(cfg.engine, EngineKind::Ooo);
+        let cfg =
+            SimConfig::builder().engine(EngineKind::Multicore { cores: 2 }).build().unwrap();
+        assert_eq!(cfg.engine, EngineKind::Multicore { cores: 2 });
+        // The kind shows up in the Debug form, which is what the Session
+        // folds into checkpoint context fingerprints.
+        assert!(format!("{cfg:?}").contains("Multicore"));
     }
 
     #[test]

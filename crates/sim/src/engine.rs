@@ -159,6 +159,10 @@ pub enum SimError {
         /// The last pipeline events before the halt.
         trace: Vec<TraceEvent>,
     },
+    /// The engine was asked to mediate a VCFR control transfer but was
+    /// built without a DRC — a mode/configuration mismatch that would
+    /// otherwise corrupt the timing model silently.
+    MissingDrc,
 }
 
 impl fmt::Display for SimError {
@@ -184,6 +188,10 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::MissingDrc => write!(
+                f,
+                "engine has no DRC but was asked to mediate a VCFR transfer (mode/configuration mismatch)"
+            ),
         }
     }
 }
@@ -210,10 +218,10 @@ pub struct SimOutput {
 const DECODE_DEPTH: u64 = 3;
 
 /// Fixed cost of an epoch swap: drain the pipeline, flush the DRC, and
-/// switch the table base registers.
-const RERAND_QUIESCE_CYCLES: u64 = 200;
+/// switch the table base registers. Shared with the out-of-order core.
+pub(crate) const RERAND_QUIESCE_CYCLES: u64 = 200;
 /// Per-entry cost of rebuilding the in-memory translation tables.
-const RERAND_ENTRY_CYCLES: u64 = 2;
+pub(crate) const RERAND_ENTRY_CYCLES: u64 = 2;
 /// Per-slot cost of rewriting a live randomized return address.
 const RERAND_SLOT_CYCLES: u64 = 4;
 
@@ -979,6 +987,7 @@ impl Engine {
             exec_extra_cycles: self.exec_extra,
             rerand_epochs: self.rerand_epochs,
             rerand_stall_cycles: self.rerand_stall,
+            contention_stall_cycles: self.hier.contention_cycles,
         }
     }
 

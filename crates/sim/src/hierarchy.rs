@@ -13,6 +13,51 @@ use crate::tlb::Tlb;
 use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::Addr;
 
+/// Arbitration state of the single-ported shared level (L2 + DRAM).
+///
+/// On a single-core machine every request comes from the same core, so
+/// the port never makes anyone wait and the model is exactly the
+/// pre-multicore one. On a multicore machine the port travels with the
+/// shared L2/DRAM between cores; a demand request from a *different*
+/// core that arrives while the port is still serving the previous one
+/// queues until it frees, and the wait is charged to the requesting
+/// core's `contention_cycles`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SharedPort {
+    /// When the in-flight shared-level access completes.
+    pub busy_until: u64,
+    /// Which core issued it.
+    pub last_core: u8,
+}
+
+impl SharedPort {
+    /// Cycles core `core_id` must wait before its request at `now` can
+    /// enter the shared level (0 when the port is free or held by the
+    /// same core — same-core requests pipeline, as on a single core).
+    fn wait(&self, core_id: u8, now: u64) -> u64 {
+        if self.last_core == core_id {
+            0
+        } else {
+            self.busy_until.saturating_sub(now)
+        }
+    }
+
+    /// Serialises the port (checkpoint support).
+    pub fn save(&self, w: &mut Writer) {
+        w.u64(self.busy_until);
+        w.u8(self.last_core);
+    }
+
+    /// Rebuilds the port from [`SharedPort::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated input.
+    pub fn restore(r: &mut Reader<'_>) -> Result<SharedPort, WireError> {
+        Ok(SharedPort { busy_until: r.u64()?, last_core: r.u8()? })
+    }
+}
+
 /// The full cache/TLB/DRAM stack of one core.
 #[derive(Clone, Debug)]
 pub struct MemoryHierarchy {
@@ -21,16 +66,27 @@ pub struct MemoryHierarchy {
     /// L1 data cache.
     pub dl1: Cache,
     /// Unified L2 (shared by IL1, DL1 and DRC walks, as in the paper).
+    /// On a multicore machine the *shared* L2 is swapped in while this
+    /// core steps; between steps this slot holds a placeholder.
     pub l2: Cache,
     /// Instruction TLB.
     pub itlb: Tlb,
     /// Data TLB.
     pub dtlb: Tlb,
-    /// Main memory.
+    /// Main memory (shared and swapped like the L2 on multicore).
     pub dram: Dram,
     /// Reads issued from the L1s into the L2 — the paper's "L2 pressure"
     /// metric in Figure 3.
     pub l2_reads_from_l1: u64,
+    /// Arbitration state of the shared level (travels with `l2`/`dram`).
+    pub shared_port: SharedPort,
+    /// This core's index at the shared port (always 0 on single-core
+    /// machines, which makes the port a no-op there).
+    pub core_id: u8,
+    /// Cycles this core's demand accesses queued behind a sibling core
+    /// at the shared port. Per-core counter; stays here when the shared
+    /// level is swapped out.
+    pub contention_cycles: u64,
     cfg: SimConfig,
 }
 
@@ -45,20 +101,35 @@ impl MemoryHierarchy {
             dtlb: Tlb::new(cfg.dtlb_entries),
             dram: Dram::new(cfg.dram),
             l2_reads_from_l1: 0,
+            shared_port: SharedPort::default(),
+            core_id: 0,
+            contention_cycles: 0,
             cfg: *cfg,
         }
     }
 
     /// L2 access that falls through to DRAM on a miss; returns the stall
-    /// beyond the requesting level.
-    fn l2_then_dram(&mut self, addr: Addr, now: u64) -> u64 {
+    /// beyond the requesting level. `demand` accesses (whose latency the
+    /// caller charges to a stall category) arbitrate for the shared port
+    /// and may queue behind a sibling core; non-demand traffic
+    /// (prefetches, store-buffer fills) slips through off the critical
+    /// path, exactly as it is charged.
+    fn l2_then_dram(&mut self, addr: Addr, now: u64, demand: bool) -> u64 {
+        let wait = if demand { self.shared_port.wait(self.core_id, now) } else { 0 };
+        self.contention_cycles += wait;
+        let start = now + wait;
         let r = self.l2.access(addr, false);
-        if r.hit {
+        let service = if r.hit {
             self.cfg.l2.latency
         } else {
-            let done = self.dram.access(addr, now + self.cfg.l2.latency);
-            done - now
+            let done = self.dram.access(addr, start + self.cfg.l2.latency);
+            done - start
+        };
+        if demand {
+            self.shared_port =
+                SharedPort { busy_until: start + service, last_core: self.core_id };
         }
+        wait + service
     }
 
     /// An instruction-fetch access for the line containing `addr`.
@@ -75,7 +146,7 @@ impl MemoryHierarchy {
         let first_prefetch_use = self.il1.stats().prefetch_hits > pre_hits;
         if !r.hit {
             self.l2_reads_from_l1 += 1;
-            stall += self.l2_then_dram(addr, now);
+            stall += self.l2_then_dram(addr, now, true);
         }
         if self.cfg.prefetch && (!r.hit || first_prefetch_use) {
             let next = self.il1.line_of(addr).wrapping_add(self.cfg.il1.line_bytes as Addr);
@@ -84,7 +155,7 @@ impl MemoryHierarchy {
                 // path: it contributes L2 pressure and DRAM activity but
                 // no stall.
                 self.l2_reads_from_l1 += 1;
-                let _ = self.l2_then_dram(next, now);
+                let _ = self.l2_then_dram(next, now, false);
                 if let Some(wb) = self.il1.prefetch_fill(next) {
                     let _ = self.l2.access(wb, true);
                 }
@@ -104,7 +175,7 @@ impl MemoryHierarchy {
         let r = self.dl1.access(addr, write);
         if !r.hit {
             self.l2_reads_from_l1 += 1;
-            let miss = self.l2_then_dram(addr, now);
+            let miss = self.l2_then_dram(addr, now, !write);
             if !write {
                 stall += miss;
             }
@@ -123,7 +194,7 @@ impl MemoryHierarchy {
     /// "DRC can share its second level cache with the unified L2"),
     /// then DRAM. Returns the full walk latency.
     pub fn table_walk(&mut self, entry_addr: Addr, now: u64) -> u64 {
-        self.l2_then_dram(entry_addr, now)
+        self.l2_then_dram(entry_addr, now, true)
     }
 
     /// Serialises every component of the hierarchy (checkpoint support).
@@ -135,6 +206,9 @@ impl MemoryHierarchy {
         self.dtlb.save(w);
         self.dram.save(w);
         w.u64(self.l2_reads_from_l1);
+        self.shared_port.save(w);
+        w.u8(self.core_id);
+        w.u64(self.contention_cycles);
     }
 
     /// Rebuilds a hierarchy from [`MemoryHierarchy::save`] output; `cfg`
@@ -152,6 +226,9 @@ impl MemoryHierarchy {
             dtlb: Tlb::restore(r)?,
             dram: Dram::restore(cfg.dram, r)?,
             l2_reads_from_l1: r.u64()?,
+            shared_port: SharedPort::restore(r)?,
+            core_id: r.u8()?,
+            contention_cycles: r.u64()?,
             cfg: *cfg,
         })
     }
@@ -165,6 +242,7 @@ impl MemoryHierarchy {
         self.dtlb.reset_stats();
         self.dram.reset_stats();
         self.l2_reads_from_l1 = 0;
+        self.contention_cycles = 0;
     }
 }
 
@@ -278,6 +356,42 @@ mod tests {
         assert_eq!(back.il1.stats(), h.il1.stats());
         assert_eq!(back.dram.stats(), h.dram.stats());
         assert_eq!(back.l2_reads_from_l1, h.l2_reads_from_l1);
+    }
+
+    #[test]
+    fn shared_port_is_invisible_to_a_single_core() {
+        // Two hierarchies, one probed as core 0 throughout, must behave
+        // exactly like the pre-port model: no wait ever, no contention.
+        let mut h = hierarchy();
+        let mut now = 0;
+        for i in 0..50u32 {
+            now += h.fetch_line(0x1000 + i * 4096, now);
+            now += h.data_access(0x9000 + i * 4096, false, now);
+        }
+        assert_eq!(h.contention_cycles, 0);
+    }
+
+    #[test]
+    fn cross_core_demand_misses_queue_at_the_shared_port() {
+        // Simulate the multicore swap discipline by hand: one shared
+        // L2/DRAM/port, two private front ends.
+        let cfg = SimConfig::default();
+        let mut a = MemoryHierarchy::new(&cfg);
+        let mut b = MemoryHierarchy::new(&cfg);
+        b.core_id = 1;
+        // Core A misses all the way to DRAM at t=0 and holds the port.
+        let a_stall = a.fetch_line(0x1000, 0);
+        assert!(a_stall > 0);
+        // Hand the shared level to core B, which misses a *different*
+        // line one cycle later, while A's access is still in flight.
+        b.l2 = a.l2.clone();
+        b.dram = a.dram.clone();
+        b.shared_port = a.shared_port;
+        let b_stall = b.fetch_line(0x8_0000, 1);
+        assert!(b.contention_cycles > 0, "core B should have queued");
+        assert!(b_stall > b.contention_cycles, "wait is part of the stall");
+        // Same-core back-to-back misses pipeline without queueing.
+        assert_eq!(a.contention_cycles, 0);
     }
 
     #[test]

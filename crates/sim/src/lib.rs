@@ -60,7 +60,8 @@ mod tlb;
 pub use cache::{AccessResult, Cache, CacheStats};
 pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{
-    BtbConfig, CacheConfig, DramConfig, DrcBacking, GshareConfig, SimConfig, SimConfigBuilder,
+    BtbConfig, CacheConfig, DramConfig, DrcBacking, EngineKind, GshareConfig, SimConfig,
+    SimConfigBuilder,
 };
 pub use error::VcfrError;
 pub use dram::{Dram, DramStats};

@@ -2,332 +2,317 @@
 //! instruction address space, which contains read-only data, it can be
 //! applied to multi-core or multi-processor based systems with ease."
 //!
-//! Two (or more) cores, each with private L1s/TLBs/predictors/DRC, share
-//! the unified L2 and DRAM — including the randomization-table walks, so
-//! table traffic from one core competes with the other core's code and
-//! data exactly as the single-core design's shared-L2 argument implies.
+//! N cores, each a full in-order [`Engine`] with private L1s, TLBs,
+//! predictors, DRC, stack hygiene and re-randomization state, share the
+//! unified L2 and DRAM behind a single-ported [`SharedPort`]: a demand
+//! access (fetch-line miss, data-load miss, table walk) issued while the
+//! port is busy with a *different* core's request queues, and the wait is
+//! charged both to the delayed access's stall category and to the core's
+//! `sim.stall.contention` counter. Same-core requests pipeline freely, so
+//! a one-core multicore run is bit-identical to the single-core engine.
 //!
-//! Cores are advanced by a global event loop that always steps the core
-//! with the smallest local backend time, so shared-resource state (L2
-//! contents, DRAM bank timing) is touched in approximately global time
-//! order.
+//! Rather than reimplementing the pipeline, each step temporarily
+//! `mem::swap`s the shared L2/DRAM/port into the stepping core's private
+//! [`crate::MemoryHierarchy`] — the cores inherit every in-order engine
+//! feature (redirect-stall accounting, epoch re-randomization, trace
+//! rings, checkpointing) by construction.
+//!
+//! Cores advance under a deterministic global event loop: always step
+//! the live core with the smallest local time (`max(backend, fetch)`),
+//! ties broken by core index, so shared-resource state is touched in a
+//! reproducible global order regardless of host threading.
 
-use crate::cache::Cache;
-use crate::config::{DrcBacking, SimConfig};
+use crate::cache::{Cache, CacheStats};
+use crate::config::SimConfig;
 use crate::dram::Dram;
-use crate::engine::{exec_extra_cycles, Mode, SimError};
-use crate::predict::{BranchStats, Btb, Gshare, Ras};
+use crate::engine::{Engine, Mode, SimError};
+use crate::hierarchy::SharedPort;
 use crate::stats::SimStats;
-use crate::tlb::Tlb;
-use vcfr_core::{Drc, OrigAddr, RandAddr};
-use vcfr_isa::{Addr, ControlFlow, Machine, StepInfo};
-use vcfr_rewriter::RandomizedProgram;
+use std::mem;
+use vcfr_core::DrcStats;
+use vcfr_isa::wire::{Reader, WireError, Writer};
+use vcfr_isa::{Machine, RunOutcome, StopReason};
 
-/// Per-core results of a multi-core run.
+/// Results of a multi-core run.
 #[derive(Clone, Debug)]
 pub struct MultiCoreOutput {
-    /// Statistics per core (L2/DRAM counters are shared and reported in
-    /// [`MultiCoreOutput::shared_l2`]).
+    /// Statistics per core (L2/DRAM counters are shared across cores and
+    /// reported in [`MultiCoreOutput::shared_l2`] and the aggregate, not
+    /// per core).
     pub per_core: Vec<SimStats>,
     /// The shared L2's counters.
-    pub shared_l2: crate::cache::CacheStats,
-    /// Wall-clock cycles (the slowest core's finish time).
+    pub shared_l2: CacheStats,
+    /// Wall-clock makespan (the slowest core's finish time).
     pub cycles: u64,
+    /// Aggregate statistics: field-wise sum over the cores (so the
+    /// in-order cycle-accounting identities, summed, still hold —
+    /// `cycles` here is total core-cycles, not wall clock) with the
+    /// shared L2/DRAM counted once.
+    pub stats: SimStats,
+    /// Each core's architectural outcome.
+    pub outcomes: Vec<RunOutcome>,
 }
 
-struct Shared {
-    l2: Cache,
-    dram: Dram,
+/// The shared memory-system state, swapped into whichever core is
+/// currently stepping.
+pub(crate) struct SharedLevel {
+    pub(crate) l2: Cache,
+    pub(crate) dram: Dram,
+    pub(crate) port: SharedPort,
 }
 
-impl Shared {
-    fn access(&mut self, addr: Addr, now: u64, l2_latency: u64) -> u64 {
-        let r = self.l2.access(addr, false);
-        if r.hit {
-            l2_latency
-        } else {
-            let done = self.dram.access(addr, now + l2_latency);
-            done - now
-        }
-    }
+/// N in-order cores over a shared L2/DRAM, stepped one instruction at a
+/// time by the deterministic event loop ([`MultiCore::step_next`]).
+pub(crate) struct MultiCore<'a> {
+    modes: Vec<Mode<'a>>,
+    machines: Vec<Machine>,
+    engines: Vec<Engine>,
+    done: Vec<bool>,
+    shared: SharedLevel,
+    max_insts: u64,
 }
 
-struct Core<'a> {
-    machine: Machine,
-    rp: Option<&'a RandomizedProgram>,
-    naive: bool,
-    il1: Cache,
-    dl1: Cache,
-    itlb: Tlb,
-    dtlb: Tlb,
-    gshare: Gshare,
-    btb: Btb,
-    ras: Ras,
-    bstats: BranchStats,
-    drc: Option<Drc>,
-    fetch_time: u64,
-    backend_time: u64,
-    redirect_at: u64,
-    window_line: Option<Addr>,
-    instructions: u64,
-    fetch_stall: u64,
-    load_stall: u64,
-    drc_walk: u64,
-    exec_extra: u64,
-    done: bool,
-}
-
-impl<'a> Core<'a> {
-    fn new(cfg: &SimConfig, mode: &Mode<'a>) -> Core<'a> {
-        let (machine, rp, naive, drc) = match mode {
-            Mode::Baseline(img) => (Machine::new(img), None, false, None),
-            Mode::NaiveIlr(rp) => (Machine::new(&rp.original), Some(*rp), true, None),
-            Mode::Vcfr { program, drc } => {
-                (Machine::new(&program.original), Some(*program), false, Some(Drc::new(*drc)))
-            }
-        };
-        Core {
-            machine,
-            rp,
-            naive,
-            il1: Cache::new(cfg.il1),
-            dl1: Cache::new(cfg.dl1),
-            itlb: Tlb::new(cfg.itlb_entries),
-            dtlb: Tlb::new(cfg.dtlb_entries),
-            gshare: Gshare::new(cfg.gshare),
-            btb: Btb::new(cfg.btb),
-            ras: Ras::new(cfg.ras_entries),
-            bstats: BranchStats::default(),
-            drc,
-            fetch_time: 0,
-            backend_time: 0,
-            redirect_at: 0,
-            window_line: None,
-            instructions: 0,
-            fetch_stall: 0,
-            load_stall: 0,
-            drc_walk: 0,
-            exec_extra: 0,
-            done: false,
-        }
-    }
-
-    fn fetch_addr(&self, pc: Addr) -> Addr {
-        match (self.naive, self.rp) {
-            (true, Some(rp)) => rp.rand_or_orig(pc),
-            _ => pc,
-        }
-    }
-
-    fn key(&self, a: Addr) -> Addr {
-        match (self.naive, self.rp) {
-            (true, Some(rp)) => rp.rand_or_orig(a),
-            _ => a,
-        }
-    }
-
-    fn derand_walk(
-        &mut self,
-        target: Addr,
-        shared: &mut Shared,
-        cfg: &SimConfig,
-        now: u64,
-    ) -> u64 {
-        let (Some(drc), Some(rp)) = (self.drc.as_mut(), self.rp) else { return 0 };
-        let rand = rp.rand_or_orig(target);
-        match drc.derandomize(RandAddr(rand), &rp.table) {
-            Ok(l) if !l.hit => {
-                let w = match cfg.drc_backing {
-                    DrcBacking::SharedL2 => shared.access(l.entry_addr, now, cfg.l2.latency),
-                    DrcBacking::Dedicated { latency } => latency,
+impl<'a> MultiCore<'a> {
+    pub(crate) fn new(modes: &[Mode<'a>], cfg: &SimConfig, max_insts: u64) -> MultiCore<'a> {
+        let machines = modes.iter().map(|m| Machine::new(m.image_ref())).collect();
+        let engines = modes
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let drc = match m {
+                    Mode::Vcfr { drc, .. } => Some(*drc),
+                    _ => None,
                 };
-                self.drc_walk += w;
-                w
-            }
-            _ => 0,
+                let mut e = Engine::new(cfg, drc);
+                e.hier.core_id = i as u8;
+                // Hide the translation-table pages from user space (TLB
+                // page-visibility bit), as Session does for the
+                // single-core engines.
+                if let Mode::Vcfr { program, .. } = m {
+                    let base = program.table.base();
+                    for page in 0..64u32 {
+                        e.hier.dtlb.set_invisible(base + page * 4096);
+                    }
+                }
+                e
+            })
+            .collect();
+        MultiCore {
+            modes: modes.to_vec(),
+            machines,
+            engines,
+            done: vec![false; modes.len()],
+            shared: SharedLevel {
+                l2: Cache::new(cfg.l2),
+                dram: Dram::new(cfg.dram),
+                port: SharedPort::default(),
+            },
+            max_insts,
         }
     }
 
-    /// Steps one instruction; returns `Err` on an architectural fault.
-    fn step(&mut self, shared: &mut Shared, cfg: &SimConfig) -> Result<(), SimError> {
-        let Some(info) = self.machine.step()? else {
-            self.done = true;
-            return Ok(());
+    /// Swaps the shared L2/DRAM/port with core `i`'s private hierarchy
+    /// slots (self-inverse: call before and after the step).
+    fn swap_shared(&mut self, i: usize) {
+        let h = &mut self.engines[i].hier;
+        mem::swap(&mut h.l2, &mut self.shared.l2);
+        mem::swap(&mut h.dram, &mut self.shared.dram);
+        mem::swap(&mut h.shared_port, &mut self.shared.port);
+    }
+
+    fn step_core(&mut self, i: usize) -> Result<(), SimError> {
+        let info = match self.machines[i].step() {
+            Ok(Some(info)) => info,
+            Ok(None) => {
+                self.done[i] = true;
+                return Ok(());
+            }
+            Err(e) => return Err(self.engines[i].fault(e)),
         };
-        let info: StepInfo = info;
-        self.instructions += 1;
-
-        // ---- fetch ----------------------------------------------------
-        let fetch_pc = self.fetch_addr(info.pc);
-        let start = self.fetch_time.max(self.redirect_at);
-        let line_bytes = cfg.il1.line_bytes as Addr;
-        let first = fetch_pc & !(line_bytes - 1);
-        let last = (fetch_pc + info.len as Addr - 1) & !(line_bytes - 1);
-        let mut stall = 0;
-        let mut line = first;
-        loop {
-            if self.window_line != Some(line) {
-                if !self.itlb.access(line, true) {
-                    stall += cfg.tlb_walk_cycles;
-                }
-                let r = self.il1.access(line, false);
-                if !r.hit {
-                    stall += shared.access(line, start, cfg.l2.latency);
-                }
-                self.window_line = Some(line);
+        let engine = &mut self.engines[i];
+        match &self.modes[i] {
+            Mode::Baseline(_) => engine.step(&info, info.pc, &|a| a, None),
+            Mode::NaiveIlr(rp) => {
+                engine.step(&info, rp.rand_or_orig(info.pc), &|a| rp.rand_or_orig(a), None);
             }
-            if line == last {
-                break;
-            }
-            line += line_bytes;
+            Mode::Vcfr { program, .. } => engine.step(&info, info.pc, &|a| a, Some(program)),
         }
-        let fetch_done = start + 1 + stall;
-        self.fetch_stall += stall;
-        self.fetch_time = fetch_done;
-
-        // ---- backend --------------------------------------------------
-        let exec_start = (self.backend_time + 1).max(fetch_done + 3);
-        let extra = exec_extra_cycles(&info.inst);
-        self.exec_extra += extra;
-        let mut exec_end = exec_start + extra;
-        for acc in info.mem_accesses() {
-            if !self.dtlb.access(acc.addr, true) {
-                exec_end += cfg.tlb_walk_cycles;
-            }
-            let r = self.dl1.access(acc.addr, acc.write);
-            if !r.hit && !acc.write {
-                let l = shared.access(acc.addr, exec_start, cfg.l2.latency);
-                self.load_stall += l;
-                exec_end += l;
-            }
-        }
-        // ---- VCFR call-side randomization lookup ------------------------
-        if let (Some(rp), Some(_)) = (self.rp, self.drc.as_ref()) {
-            if !self.naive {
-                if let Some(
-                    ControlFlow::Call { ret_addr, .. } | ControlFlow::IndirectCall { ret_addr, .. },
-                ) = info.control
-                {
-                    let drc = self.drc.as_mut().expect("checked");
-                    if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
-                        if !l.hit {
-                            let w = match cfg.drc_backing {
-                                DrcBacking::SharedL2 => {
-                                    shared.access(l.entry_addr, exec_start, cfg.l2.latency)
-                                }
-                                DrcBacking::Dedicated { latency } => latency,
-                            };
-                            self.drc_walk += w;
-                        }
-                    }
-                }
-            }
-        }
-
-        // ---- control flow -----------------------------------------------
-        if let Some(cf) = info.control {
-            let kpc = self.key(info.pc);
-            let vcfr_active = self.drc.is_some() && !self.naive;
-            match cf {
-                ControlFlow::Branch { taken, target } => {
-                    self.bstats.predictions += 1;
-                    let predicted = self.gshare.predict(kpc);
-                    self.gshare.update(kpc, taken);
-                    if predicted != taken {
-                        self.bstats.mispredictions += 1;
-                        let w = if taken && vcfr_active {
-                            self.derand_walk(target, shared, cfg, exec_end)
-                        } else {
-                            0
-                        };
-                        self.redirect_at =
-                            self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
-                    }
-                }
-                ControlFlow::Jump { target }
-                | ControlFlow::Call { target, .. } => {
-                    let ktarget = self.key(target);
-                    self.bstats.btb_lookups += 1;
-                    if self.btb.lookup(kpc) != Some(ktarget) {
-                        self.bstats.btb_misses += 1;
-                        let w = if vcfr_active {
-                            self.derand_walk(target, shared, cfg, exec_end)
-                        } else {
-                            0
-                        };
-                        self.redirect_at =
-                            self.redirect_at.max(fetch_done + cfg.btb_miss_penalty + w);
-                        self.btb.update(kpc, ktarget);
-                    }
-                    if let ControlFlow::Call { ret_addr, .. } = cf {
-                        self.ras.push(self.key(ret_addr));
-                    }
-                }
-                ControlFlow::IndirectJump { target }
-                | ControlFlow::IndirectCall { target, .. } => {
-                    let ktarget = self.key(target);
-                    self.bstats.btb_lookups += 1;
-                    let w = if vcfr_active {
-                        self.derand_walk(target, shared, cfg, exec_end)
-                    } else {
-                        0
-                    };
-                    if self.btb.lookup(kpc) != Some(ktarget) {
-                        self.bstats.btb_misses += 1;
-                        self.redirect_at =
-                            self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
-                        self.btb.update(kpc, ktarget);
-                    }
-                    if let ControlFlow::IndirectCall { ret_addr, .. } = cf {
-                        self.ras.push(self.key(ret_addr));
-                    }
-                }
-                ControlFlow::Return { target } => {
-                    self.bstats.ras_predictions += 1;
-                    let w = if vcfr_active {
-                        self.derand_walk(target, shared, cfg, exec_end)
-                    } else {
-                        0
-                    };
-                    match self.ras.pop() {
-                        Some(p) if p == self.key(target) => {}
-                        _ => {
-                            self.bstats.ras_mispredictions += 1;
-                            self.redirect_at =
-                                self.redirect_at.max(exec_end + cfg.mispredict_penalty + w);
-                        }
-                    }
-                }
-            }
-            if cf.taken_target().is_some() {
-                self.window_line = None;
-            }
-        }
-        self.backend_time = exec_end;
         Ok(())
     }
 
-    fn stats(&self) -> SimStats {
-        SimStats {
-            instructions: self.instructions,
-            cycles: self.backend_time.max(self.fetch_time),
-            il1: self.il1.stats(),
-            dl1: self.dl1.stats(),
-            itlb: self.itlb.stats(),
-            dtlb: self.dtlb.stats(),
-            branch: self.bstats,
-            drc: self.drc.as_ref().map(|d| d.stats()),
-            drc_walk_cycles: self.drc_walk,
-            fetch_stall_cycles: self.fetch_stall,
-            load_stall_cycles: self.load_stall,
-            exec_extra_cycles: self.exec_extra,
-            ..SimStats::default()
+    /// Advances the live core with the smallest local time by one
+    /// instruction. Returns `false` when every core has finished (or hit
+    /// its instruction budget).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Exec`] when the stepped core's program faults.
+    pub(crate) fn step_next(&mut self) -> Result<bool, SimError> {
+        let next = (0..self.engines.len())
+            .filter(|&i| !self.done[i] && self.engines[i].instructions < self.max_insts)
+            .min_by_key(|&i| {
+                let e = &self.engines[i];
+                (e.backend_time.max(e.fetch_time), i)
+            });
+        let Some(i) = next else { return Ok(false) };
+        self.swap_shared(i);
+        let result = self.step_core(i);
+        self.swap_shared(i);
+        result?;
+        Ok(true)
+    }
+
+    /// Total instructions committed across all cores (the Session's
+    /// sampling/progress clock for multicore runs).
+    pub(crate) fn instructions(&self) -> u64 {
+        self.engines.iter().map(|e| e.instructions).sum()
+    }
+
+    /// Per-core statistics (L2/DRAM zeroed: those live in the shared
+    /// level and are reported once).
+    pub(crate) fn per_core_stats(&self) -> Vec<SimStats> {
+        self.engines.iter().map(Engine::stats_now).collect()
+    }
+
+    /// The aggregate counters at this point of the run (the Session's
+    /// sampling/progress snapshot for multicore runs).
+    pub(crate) fn stats_now(&self) -> SimStats {
+        aggregate(&self.per_core_stats(), &self.shared)
+    }
+
+    /// The finished run, packaged: per-core stats, shared counters, the
+    /// wall-clock makespan, the aggregate, and each core's outcome.
+    pub(crate) fn output(&self) -> MultiCoreOutput {
+        let per_core = self.per_core_stats();
+        let cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+        let stats = aggregate(&per_core, &self.shared);
+        let outcomes = self
+            .machines
+            .iter()
+            .map(|m| RunOutcome {
+                output: m.output().to_vec(),
+                steps: m.steps(),
+                stop: m.stop_reason().unwrap_or(StopReason::Halt),
+            })
+            .collect();
+        MultiCoreOutput { per_core, shared_l2: self.shared.l2.stats(), cycles, stats, outcomes }
+    }
+
+    /// Serialises every core (machine + engine + done flag) and the
+    /// shared level, in core order (checkpoint support).
+    pub(crate) fn save(&self, w: &mut Writer) {
+        w.u64(self.machines.len() as u64);
+        for i in 0..self.machines.len() {
+            self.machines[i].save(w);
+            self.engines[i].save(w);
+            w.u8(u8::from(self.done[i]));
         }
+        self.shared.l2.save(w);
+        self.shared.dram.save(w);
+        self.shared.port.save(w);
+    }
+
+    /// Rebuilds a multicore run from [`MultiCore::save`] output. `modes`
+    /// and `cfg` must match the saved run (the checkpoint envelope's
+    /// context fingerprint enforces this before the bytes get here).
+    pub(crate) fn restore(
+        modes: &[Mode<'a>],
+        cfg: &SimConfig,
+        max_insts: u64,
+        r: &mut Reader<'_>,
+    ) -> Result<MultiCore<'a>, WireError> {
+        let n = r.u64()?;
+        if n as usize != modes.len() {
+            return Err(WireError::LengthOutOfRange { len: n });
+        }
+        let mut machines = Vec::with_capacity(modes.len());
+        let mut engines = Vec::with_capacity(modes.len());
+        let mut done = Vec::with_capacity(modes.len());
+        for m in modes {
+            machines.push(Machine::restore(m.image_ref(), r)?);
+            let drc = match m {
+                Mode::Vcfr { drc, .. } => Some(*drc),
+                _ => None,
+            };
+            engines.push(Engine::restore(cfg, drc, r)?);
+            done.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => return Err(WireError::BadTag { tag }),
+            });
+        }
+        let shared = SharedLevel {
+            l2: Cache::restore(cfg.l2, r)?,
+            dram: Dram::restore(cfg.dram, r)?,
+            port: SharedPort::restore(r)?,
+        };
+        Ok(MultiCore { modes: modes.to_vec(), machines, engines, done, shared, max_insts })
     }
 }
 
-/// Runs several programs concurrently on private cores over a shared
-/// L2 + DRAM, up to `max_insts` instructions per core.
+/// Field-wise sum of the per-core statistics, with the shared L2/DRAM
+/// counted once. `cycles` is total core-cycles (Σ per-core), so the
+/// summed in-order accounting identities still audit cleanly.
+fn aggregate(per_core: &[SimStats], shared: &SharedLevel) -> SimStats {
+    let mut agg = SimStats::default();
+    for s in per_core {
+        agg.instructions += s.instructions;
+        agg.cycles += s.cycles;
+        add_cache(&mut agg.il1, &s.il1);
+        add_cache(&mut agg.dl1, &s.dl1);
+        add_tlb(&mut agg.itlb, &s.itlb);
+        add_tlb(&mut agg.dtlb, &s.dtlb);
+        let b = &mut agg.branch;
+        b.predictions += s.branch.predictions;
+        b.mispredictions += s.branch.mispredictions;
+        b.btb_lookups += s.branch.btb_lookups;
+        b.btb_misses += s.branch.btb_misses;
+        b.btb_wrong_target += s.branch.btb_wrong_target;
+        b.ras_predictions += s.branch.ras_predictions;
+        b.ras_mispredictions += s.branch.ras_mispredictions;
+        agg.drc = match (agg.drc, s.drc) {
+            (None, d) => d,
+            (Some(a), None) => Some(a),
+            (Some(a), Some(d)) => Some(DrcStats {
+                lookups: a.lookups + d.lookups,
+                misses: a.misses + d.misses,
+                derand_lookups: a.derand_lookups + d.derand_lookups,
+                rand_lookups: a.rand_lookups + d.rand_lookups,
+            }),
+        };
+        agg.drc_walk_cycles += s.drc_walk_cycles;
+        agg.fetch_stall_cycles += s.fetch_stall_cycles;
+        agg.load_stall_cycles += s.load_stall_cycles;
+        agg.redirect_stall_cycles += s.redirect_stall_cycles;
+        agg.l2_reads_from_l1 += s.l2_reads_from_l1;
+        agg.exec_extra_cycles += s.exec_extra_cycles;
+        agg.rerand_epochs += s.rerand_epochs;
+        agg.rerand_stall_cycles += s.rerand_stall_cycles;
+        agg.contention_stall_cycles += s.contention_stall_cycles;
+    }
+    agg.l2 = shared.l2.stats();
+    agg.dram = shared.dram.stats();
+    agg
+}
+
+fn add_cache(a: &mut CacheStats, b: &CacheStats) {
+    a.accesses += b.accesses;
+    a.misses += b.misses;
+    a.writes += b.writes;
+    a.writebacks += b.writebacks;
+    a.prefetches_issued += b.prefetches_issued;
+    a.prefetch_hits += b.prefetch_hits;
+    a.prefetch_unused_evictions += b.prefetch_unused_evictions;
+}
+
+fn add_tlb(a: &mut crate::tlb::TlbStats, b: &crate::tlb::TlbStats) {
+    a.accesses += b.accesses;
+    a.misses += b.misses;
+    a.visibility_faults += b.visibility_faults;
+}
+
+/// Runs several programs concurrently on private in-order cores over a
+/// shared L2 + DRAM, up to `max_insts` instructions per core.
 ///
 /// # Errors
 ///
@@ -335,35 +320,21 @@ impl<'a> Core<'a> {
 ///
 /// # Example
 ///
-/// See the `multicore` integration tests.
+/// See the `multicore` module tests.
 pub fn simulate_multicore(
     modes: &[Mode<'_>],
     cfg: &SimConfig,
     max_insts: u64,
 ) -> Result<MultiCoreOutput, SimError> {
-    let mut shared = Shared { l2: Cache::new(cfg.l2), dram: Dram::new(cfg.dram) };
-    let mut cores: Vec<Core<'_>> = modes.iter().map(|m| Core::new(cfg, m)).collect();
-
-    loop {
-        // Advance the live core with the smallest local time.
-        let next = cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.done && c.instructions < max_insts)
-            .min_by_key(|(_, c)| c.backend_time)
-            .map(|(i, _)| i);
-        let Some(i) = next else { break };
-        cores[i].step(&mut shared, cfg)?;
-    }
-
-    let per_core: Vec<SimStats> = cores.iter().map(Core::stats).collect();
-    let cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
-    Ok(MultiCoreOutput { per_core, shared_l2: shared.l2.stats(), cycles })
+    let mut mc = MultiCore::new(modes, cfg, max_insts);
+    while mc.step_next()? {}
+    Ok(mc.output())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate;
     use vcfr_core::DrcConfig;
     use vcfr_rewriter::{randomize, RandomizeConfig};
 
@@ -394,6 +365,26 @@ mod tests {
         a.finish().unwrap()
     }
 
+    /// A wide-striding load loop that misses in the private L1s and
+    /// keeps the shared port busy.
+    fn memory_workload() -> vcfr_isa::Image {
+        use vcfr_isa::{AluOp, Asm, Cond, Reg};
+        let mut a = Asm::new(0x1000);
+        let buf = a.data_zeroed(1 << 16);
+        a.mov_ri(Reg::Rbx, buf.0 as i64);
+        a.mov_ri(Reg::Rcx, 4_000);
+        a.mov_ri(Reg::Rdx, 0);
+        let top = a.here();
+        a.load_idx(Reg::Rax, Reg::Rbx, Reg::Rdx, 3, 0);
+        a.alu_ri(AluOp::Add, Reg::Rdx, 251);
+        a.alu_ri(AluOp::And, Reg::Rdx, 0x1fff);
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
     #[test]
     fn two_baseline_cores_both_finish_correctly() {
         let img = program();
@@ -410,6 +401,8 @@ mod tests {
             assert!(s.ipc() > 0.5);
         }
         assert!(out.shared_l2.accesses > 0);
+        assert_eq!(out.stats.instructions, out.per_core[0].instructions * 2);
+        assert_eq!(out.outcomes[0].output, out.outcomes[1].output);
     }
 
     #[test]
@@ -459,5 +452,157 @@ mod tests {
         // keeps most of its performance.
         assert!(out.per_core[1].ipc() <= out.per_core[0].ipc());
         assert!(out.cycles >= out.per_core[0].cycles);
+    }
+
+    /// The one-core equivalence anchor: a single-core "multicore" run is
+    /// bit-identical to the plain in-order engine — the shared port is
+    /// invisible without a sibling, so the swap discipline provably adds
+    /// nothing.
+    #[test]
+    fn one_core_multicore_matches_the_inorder_engine_exactly() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(7)).unwrap();
+        for mode in [
+            Mode::Baseline(&img),
+            Mode::NaiveIlr(&rp),
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+        ] {
+            let solo = simulate(mode, &cfg, 100_000).unwrap();
+            let multi = simulate_multicore(&[mode], &cfg, 100_000).unwrap();
+            assert_eq!(multi.stats, solo.stats, "one-core aggregate diverged");
+            assert_eq!(multi.cycles, solo.stats.cycles);
+            assert_eq!(multi.outcomes[0].output, solo.outcome.output);
+            assert_eq!(multi.stats.contention_stall_cycles, 0);
+        }
+    }
+
+    /// Cross-core queueing at the shared port is charged to contention —
+    /// and stays contained in the access categories it delayed.
+    #[test]
+    fn sibling_cores_pay_contention_at_the_shared_port() {
+        let img = memory_workload();
+        let cfg = SimConfig::default();
+        let duo = simulate_multicore(
+            &[Mode::Baseline(&img), Mode::Baseline(&img)],
+            &cfg,
+            200_000,
+        )
+        .unwrap();
+        assert!(
+            duo.stats.contention_stall_cycles > 0,
+            "two memory-bound cores never queued: {:?}",
+            duo.stats
+        );
+        // Containment identity: every contention cycle delayed exactly
+        // one fetch, load, or walk access.
+        assert!(
+            duo.stats.contention_stall_cycles
+                <= duo.stats.fetch_stall_cycles
+                    + duo.stats.load_stall_cycles
+                    + duo.stats.drc_walk_cycles,
+            "contention not contained: {:?}",
+            duo.stats
+        );
+        // A lone core on the same workload never waits for itself.
+        let solo = simulate_multicore(&[Mode::Baseline(&img)], &cfg, 200_000).unwrap();
+        assert_eq!(solo.stats.contention_stall_cycles, 0);
+    }
+
+    /// The redirect-stall regression (PR 6's in-order fix, now inherited
+    /// by the multicore cores): mispredict-heavy runs report redirect
+    /// cycles, and the per-core floor identity still holds — a wrapped
+    /// subtraction would blow both up by orders of magnitude.
+    #[test]
+    fn multicore_cores_track_redirect_stall_without_underflow() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let out = simulate_multicore(
+            &[Mode::Baseline(&img), Mode::Baseline(&img)],
+            &cfg,
+            200_000,
+        )
+        .unwrap();
+        for s in &out.per_core {
+            assert!(s.redirect_stall_cycles > 0, "redirects untracked: {s:?}");
+            assert!(
+                s.redirect_stall_cycles < s.cycles,
+                "redirect stall exceeds wall clock (underflow?): {s:?}"
+            );
+            assert!(
+                s.cycles >= s.busy_cycles() + s.load_stall_cycles + s.rerand_stall_cycles,
+                "floor identity violated: {s:?}"
+            );
+        }
+    }
+
+    /// Epoch re-randomization fires on the VCFR core while the sibling
+    /// baseline core streams on, unaffected except through shared-L2
+    /// timing.
+    #[test]
+    fn rerand_fires_on_one_core_while_the_sibling_streams() {
+        let img = program();
+        let cfg = SimConfig::builder()
+            .rerand_epoch(Some(4_000))
+            .drc_entries(Some(128))
+            .build()
+            .unwrap();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(5)).unwrap();
+        let out = simulate_multicore(
+            &[
+                Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+                Mode::Baseline(&img),
+            ],
+            &cfg,
+            100_000,
+        )
+        .unwrap();
+        assert!(out.per_core[0].rerand_epochs >= 3, "{:?}", out.per_core[0].rerand_epochs);
+        assert!(out.per_core[0].rerand_stall_cycles > 0);
+        assert_eq!(out.per_core[1].rerand_epochs, 0, "baseline core must not swap");
+        assert_eq!(out.per_core[1].rerand_stall_cycles, 0);
+        // Both cores still compute the right answers.
+        assert_eq!(out.outcomes[0].output, out.outcomes[1].output);
+    }
+
+    /// Serialise mid-run, restore, and finish: the restored fleet must be
+    /// bit-identical to the uninterrupted one.
+    #[test]
+    fn save_restore_roundtrip_is_bit_identical() {
+        let img = program();
+        let cfg = SimConfig::default();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(9)).unwrap();
+        let modes =
+            [Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(64) }, Mode::Baseline(&img)];
+        let split = 20_000u64;
+        const MAGIC: [u8; 8] = *b"MCORTST1";
+
+        let run = |resume: bool| {
+            let mut mc = MultiCore::new(&modes, &cfg, 100_000);
+            let mut saved: Option<Vec<u8>> = None;
+            loop {
+                if saved.is_none() && mc.instructions() >= split {
+                    let mut w = Writer::with_magic(MAGIC);
+                    mc.save(&mut w);
+                    saved = Some(w.into_bytes());
+                    if resume {
+                        let bytes = saved.clone().unwrap();
+                        let mut r = Reader::with_magic(&bytes, MAGIC).unwrap();
+                        mc = MultiCore::restore(&modes, &cfg, 100_000, &mut r).unwrap();
+                        assert!(r.is_exhausted(), "trailing bytes after restore");
+                    }
+                }
+                if !mc.step_next().unwrap() {
+                    break;
+                }
+            }
+            (mc.output(), saved.unwrap())
+        };
+        let (straight, bytes_a) = run(false);
+        let (resumed, bytes_b) = run(true);
+        assert_eq!(bytes_a, bytes_b, "save is deterministic");
+        assert_eq!(straight.stats, resumed.stats, "resume diverged");
+        assert_eq!(straight.per_core, resumed.per_core);
+        assert_eq!(straight.cycles, resumed.cycles);
     }
 }

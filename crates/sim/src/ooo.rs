@@ -11,14 +11,27 @@
 //! and the VCFR/DRC mediation layer are the same components the in-order
 //! model uses, so the three machines (baseline / naive ILR / VCFR) remain
 //! directly comparable.
+//!
+//! The core is a first-class [`crate::Session`] backend
+//! ([`crate::EngineKind::Ooo`]): it tracks redirect stall cycles, pays
+//! epoch re-randomization pauses, serialises into checkpoints, and keeps
+//! a front-end floor identity the audit can check exactly — the fetch
+//! clock absorbs every fetch, redirect and rerand stall cycle serially,
+//! so `cycles ≥ fetch_stall + redirect_stall + rerand_stall` always.
+//! Unlike the in-order core, the OoO model does not track stack-slot
+//! hygiene, so an epoch swap costs quiesce + table rebuild only (no live
+//! return-address rewrite).
 
 use crate::config::{DrcBacking, SimConfig};
+use crate::engine::{
+    exec_extra_cycles, Mode, SimError, SimOutput, RERAND_ENTRY_CYCLES, RERAND_QUIESCE_CYCLES,
+};
 use crate::hierarchy::MemoryHierarchy;
 use crate::predict::{BranchStats, Btb, Gshare, Ras};
 use crate::stats::SimStats;
-use crate::engine::{Mode, SimError, SimOutput};
 use std::collections::VecDeque;
-use vcfr_core::{Drc, DrcConfig, OrigAddr, RandAddr};
+use vcfr_core::{rerandomize, Drc, DrcConfig, LayoutMap, OrigAddr, RandAddr, TranslationTable};
+use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::{Addr, ControlFlow, Machine, Reg, RunOutcome, StepInfo};
 use vcfr_rewriter::RandomizedProgram;
 
@@ -42,42 +55,50 @@ const DECODE_DEPTH: u64 = 4;
 /// Depth between the last execution cycle and retirement.
 const COMMIT_DEPTH: u64 = 2;
 
-struct OooEngine<'a> {
-    cfg: &'a SimConfig,
-    ooo: OooConfig,
-    hier: MemoryHierarchy,
-    gshare: Gshare,
-    btb: Btb,
-    ras: Ras,
-    bstats: BranchStats,
+pub(crate) struct OooEngine {
+    pub(crate) cfg: SimConfig,
+    pub(crate) ooo: OooConfig,
+    pub(crate) hier: MemoryHierarchy,
+    pub(crate) gshare: Gshare,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) bstats: BranchStats,
     // Front end.
-    fetch_cycle: u64,
-    fetch_slots: usize,
-    redirect_at: u64,
-    window_line: Option<Addr>,
+    pub(crate) fetch_cycle: u64,
+    pub(crate) fetch_slots: usize,
+    pub(crate) redirect_at: u64,
+    pub(crate) window_line: Option<Addr>,
     // Dataflow state.
-    reg_ready: [u64; 16],
-    flags_ready: u64,
-    last_store_done: u64,
+    pub(crate) reg_ready: [u64; 16],
+    pub(crate) flags_ready: u64,
+    pub(crate) last_store_done: u64,
     // In-order retire bookkeeping.
-    rob: VecDeque<u64>,
-    lsq: VecDeque<u64>,
-    commit_cycle: u64,
-    commit_slots: usize,
-    last_retire: u64,
+    pub(crate) rob: VecDeque<u64>,
+    pub(crate) lsq: VecDeque<u64>,
+    pub(crate) commit_cycle: u64,
+    pub(crate) commit_slots: usize,
+    pub(crate) last_retire: u64,
     // VCFR.
-    drc: Option<Drc>,
-    drc_walk: u64,
-    fetch_stall: u64,
-    load_stall: u64,
-    exec_extra: u64,
-    instructions: u64,
+    pub(crate) drc: Option<Drc>,
+    /// Layout of the current re-randomization epoch (None before the
+    /// first swap: `rp.layout` is live).
+    pub(crate) epoch_layout: Option<LayoutMap>,
+    /// Tables of the current epoch, rebuilt at `rp.table.base()`.
+    pub(crate) epoch_table: Option<TranslationTable>,
+    pub(crate) rerand_epochs: u64,
+    pub(crate) rerand_stall: u64,
+    pub(crate) drc_walk: u64,
+    pub(crate) fetch_stall: u64,
+    pub(crate) load_stall: u64,
+    pub(crate) redirect_stall: u64,
+    pub(crate) exec_extra: u64,
+    pub(crate) instructions: u64,
 }
 
-impl<'a> OooEngine<'a> {
-    fn new(cfg: &'a SimConfig, ooo: OooConfig, drc: Option<DrcConfig>) -> OooEngine<'a> {
+impl OooEngine {
+    pub(crate) fn new(cfg: &SimConfig, ooo: OooConfig, drc: Option<DrcConfig>) -> OooEngine {
         OooEngine {
-            cfg,
+            cfg: *cfg,
             ooo,
             hier: MemoryHierarchy::new(cfg),
             gshare: Gshare::new(cfg.gshare),
@@ -97,9 +118,14 @@ impl<'a> OooEngine<'a> {
             commit_slots: 0,
             last_retire: 0,
             drc: drc.map(Drc::new),
+            epoch_layout: None,
+            epoch_table: None,
+            rerand_epochs: 0,
+            rerand_stall: 0,
             drc_walk: 0,
             fetch_stall: 0,
             load_stall: 0,
+            redirect_stall: 0,
             exec_extra: 0,
             instructions: 0,
         }
@@ -112,34 +138,114 @@ impl<'a> OooEngine<'a> {
         }
     }
 
-    fn derand(&mut self, target: Addr, rp: &RandomizedProgram, now: u64) -> u64 {
-        let drc = self.drc.as_mut().expect("vcfr has a DRC");
-        let rand = rp.rand_or_orig(target);
-        match drc.derandomize(RandAddr(rand), &rp.table) {
+    /// De-randomizes a transfer target through the DRC; returns the walk
+    /// latency on a miss (0 on a hit).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingDrc`] when the engine was built without a DRC.
+    fn derand(&mut self, target: Addr, rp: &RandomizedProgram, now: u64) -> Result<u64, SimError> {
+        let table = self.epoch_table.as_ref().unwrap_or(&rp.table);
+        let rand = match &self.epoch_layout {
+            Some(m) => m.to_rand(OrigAddr(target)).map(|r| r.raw()).unwrap_or(target),
+            None => rp.rand_or_orig(target),
+        };
+        let lookup = match self.drc.as_mut() {
+            Some(drc) => drc.derandomize(RandAddr(rand), table),
+            None => return Err(SimError::MissingDrc),
+        };
+        match lookup {
             Ok(l) if !l.hit => {
                 let w = self.walk(l.entry_addr, now);
                 self.drc_walk += w;
-                w
+                Ok(w)
             }
-            _ => 0,
+            _ => Ok(0),
         }
     }
 
-    fn step(
+    /// Drains a pending front-end redirect: fetch jumps forward to the
+    /// resolution point and the skipped cycles are charged as redirect
+    /// stall. A redirect landing on (or behind) the current fetch cycle
+    /// contributes zero — `saturating_sub`, never a wrapped subtraction.
+    fn drain_redirect(&mut self) {
+        let lost = self.redirect_at.saturating_sub(self.fetch_cycle);
+        if lost > 0 {
+            self.redirect_stall += lost;
+            self.fetch_cycle = self.redirect_at;
+            self.fetch_slots = 0;
+        }
+    }
+
+    /// Swaps to a freshly re-randomized layout (§V-C): the whole window
+    /// drains, the DRC is flushed and the tables are rebuilt at the same
+    /// base. Both the fetch and commit clocks advance past the pause, so
+    /// the front-end floor identity stays exact.
+    fn rerand_swap(&mut self, rp: &RandomizedProgram) {
+        self.rerand_epochs += 1;
+        // Deterministic per epoch: seeded by the epoch ordinal alone.
+        let seed = 0x5eed_0000_0000_0000u64 ^ self.rerand_epochs;
+        let cur = self.epoch_layout.as_ref().unwrap_or(&rp.layout);
+        let fresh = rerandomize(cur, rp.region.0, rp.region.1, seed);
+        let mut table = TranslationTable::from_layout(&fresh, rp.table.base());
+        for a in rp.table.unrandomized_addrs() {
+            table.add_unrandomized(a);
+        }
+        if let Some(drc) = self.drc.as_mut() {
+            drc.flush();
+        }
+        // No live stack-slot rewrite: the OoO model does not track stack
+        // hygiene, so the swap costs quiesce + table rebuild only.
+        let cost = RERAND_QUIESCE_CYCLES + table.len() as u64 * RERAND_ENTRY_CYCLES;
+        let now = self.last_retire.max(self.fetch_cycle) + cost;
+        self.rerand_stall += cost;
+        self.fetch_cycle = now;
+        self.fetch_slots = 0;
+        self.redirect_at = self.redirect_at.max(now);
+        self.window_line = None;
+        self.rob.clear();
+        self.lsq.clear();
+        self.commit_cycle = now;
+        self.commit_slots = 0;
+        self.last_retire = now;
+        self.epoch_layout = Some(fresh);
+        self.epoch_table = Some(table);
+    }
+
+    /// One instruction through the timing model.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingDrc`] when a VCFR mediation event fires on an
+    /// engine built without a DRC (mode/configuration mismatch).
+    pub(crate) fn step(
         &mut self,
         info: &StepInfo,
         fetch_pc: Addr,
         key: &impl Fn(Addr) -> Addr,
         vcfr: Option<&RandomizedProgram>,
-    ) {
+    ) -> Result<(), SimError> {
         self.instructions += 1;
         let cfg = self.cfg;
 
-        // ---- fetch (width per cycle, same byte-queue/line model) -------
-        if self.redirect_at > self.fetch_cycle {
-            self.fetch_cycle = self.redirect_at;
-            self.fetch_slots = 0;
+        // Context-switch model: periodically invalidate the DRC (other
+        // processes own it in between).
+        if let (Some(interval), Some(drc)) = (cfg.drc_flush_interval, self.drc.as_mut()) {
+            if interval > 0 && self.instructions.is_multiple_of(interval) {
+                drc.flush();
+            }
         }
+
+        // Live re-randomization (§V-C): every N instructions a VCFR run
+        // swaps to a fresh layout, paying the flush-and-rebuild pause.
+        if let (Some(epoch), Some(rp)) = (cfg.rerand_epoch, vcfr) {
+            if epoch > 0 && self.instructions.is_multiple_of(epoch) {
+                self.rerand_swap(rp);
+            }
+        }
+
+        // ---- fetch (width per cycle, same byte-queue/line model) -------
+        self.drain_redirect();
         let line_bytes = cfg.il1.line_bytes as Addr;
         let first = fetch_pc & !(line_bytes - 1);
         let last = (fetch_pc + info.len as Addr - 1) & !(line_bytes - 1);
@@ -198,7 +304,7 @@ impl<'a> OooEngine<'a> {
             }
         }
 
-        let extra = crate::engine::exec_extra_cycles(&info.inst);
+        let extra = exec_extra_cycles(&info.inst);
         self.exec_extra += extra;
         let mut lat = 1 + extra;
         for acc in info.mem_accesses() {
@@ -215,8 +321,12 @@ impl<'a> OooEngine<'a> {
             match info.control {
                 Some(ControlFlow::Call { ret_addr, .. })
                 | Some(ControlFlow::IndirectCall { ret_addr, .. }) => {
-                    let drc = self.drc.as_mut().expect("vcfr has a DRC");
-                    if let Ok(l) = drc.randomize(OrigAddr(ret_addr), &rp.table) {
+                    let table = self.epoch_table.as_ref().unwrap_or(&rp.table);
+                    let lookup = match self.drc.as_mut() {
+                        Some(drc) => drc.randomize(OrigAddr(ret_addr), table),
+                        None => return Err(SimError::MissingDrc),
+                    };
+                    if let Ok(l) = lookup {
                         if !l.hit {
                             let w = self.walk(l.entry_addr, ready);
                             self.drc_walk += w;
@@ -238,33 +348,33 @@ impl<'a> OooEngine<'a> {
                     if predicted != taken {
                         self.bstats.mispredictions += 1;
                         let w = match (taken, vcfr) {
-                            (true, Some(rp)) => self.derand(target, rp, exec_done),
+                            (true, Some(rp)) => self.derand(target, rp, exec_done)?,
                             _ => 0,
                         };
                         self.redirect_at =
                             self.redirect_at.max(exec_done + cfg.mispredict_penalty + w);
                     } else if taken {
-                        self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                        self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done)?;
                     }
                 }
                 ControlFlow::Jump { target } => {
-                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done)?;
                 }
                 ControlFlow::Call { target, ret_addr } => {
-                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done);
+                    self.taken_lookup(kpc, key(target), target, vcfr, fetch_done, exec_done)?;
                     self.ras.push(key(ret_addr));
                 }
                 ControlFlow::IndirectCall { target, ret_addr } => {
-                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done);
+                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done)?;
                     self.ras.push(key(ret_addr));
                 }
                 ControlFlow::IndirectJump { target } => {
-                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done);
+                    self.indirect_lookup(kpc, key(target), target, vcfr, exec_done)?;
                 }
                 ControlFlow::Return { target } => {
                     self.bstats.ras_predictions += 1;
                     let w = match vcfr {
-                        Some(rp) => self.derand(target, rp, exec_done),
+                        Some(rp) => self.derand(target, rp, exec_done)?,
                         None => 0,
                     };
                     match self.ras.pop() {
@@ -316,6 +426,7 @@ impl<'a> OooEngine<'a> {
         retire = retire.max(self.commit_cycle);
         self.last_retire = retire;
         self.rob.push_back(retire);
+        Ok(())
     }
 
     fn taken_lookup(
@@ -326,7 +437,7 @@ impl<'a> OooEngine<'a> {
         vcfr: Option<&RandomizedProgram>,
         fetch_done: u64,
         exec_done: u64,
-    ) {
+    ) -> Result<(), SimError> {
         self.bstats.btb_lookups += 1;
         match self.btb.lookup(kpc) {
             Some(t) if t == ktarget => {}
@@ -337,7 +448,7 @@ impl<'a> OooEngine<'a> {
                     self.bstats.btb_wrong_target += 1;
                 }
                 let w = match vcfr {
-                    Some(rp) => self.derand(target, rp, exec_done),
+                    Some(rp) => self.derand(target, rp, exec_done)?,
                     None => 0,
                 };
                 self.redirect_at =
@@ -345,6 +456,7 @@ impl<'a> OooEngine<'a> {
                 self.btb.update(kpc, ktarget);
             }
         }
+        Ok(())
     }
 
     fn indirect_lookup(
@@ -354,10 +466,10 @@ impl<'a> OooEngine<'a> {
         target: Addr,
         vcfr: Option<&RandomizedProgram>,
         exec_done: u64,
-    ) {
+    ) -> Result<(), SimError> {
         self.bstats.btb_lookups += 1;
         let w = match vcfr {
-            Some(rp) => self.derand(target, rp, exec_done),
+            Some(rp) => self.derand(target, rp, exec_done)?,
             None => 0,
         };
         match self.btb.lookup(kpc) {
@@ -373,9 +485,10 @@ impl<'a> OooEngine<'a> {
                 self.btb.update(kpc, ktarget);
             }
         }
+        Ok(())
     }
 
-    fn into_stats(self) -> SimStats {
+    pub(crate) fn stats_now(&self) -> SimStats {
         SimStats {
             instructions: self.instructions,
             cycles: self.last_retire.max(self.fetch_cycle),
@@ -390,12 +503,197 @@ impl<'a> OooEngine<'a> {
             drc_walk_cycles: self.drc_walk,
             fetch_stall_cycles: self.fetch_stall,
             load_stall_cycles: self.load_stall,
-            redirect_stall_cycles: 0,
+            redirect_stall_cycles: self.redirect_stall,
             l2_reads_from_l1: self.hier.l2_reads_from_l1,
             exec_extra_cycles: self.exec_extra,
-            rerand_epochs: 0,
-            rerand_stall_cycles: 0,
+            rerand_epochs: self.rerand_epochs,
+            rerand_stall_cycles: self.rerand_stall,
+            contention_stall_cycles: self.hier.contention_cycles,
         }
+    }
+
+    /// Serialises the engine in field-declaration order (checkpoint
+    /// support). The geometry (`width`, `rob_entries`) is written too, so
+    /// a restored engine cannot silently run a different window.
+    pub(crate) fn save(&self, w: &mut Writer) {
+        w.u64(self.ooo.width as u64);
+        w.u64(self.ooo.rob_entries as u64);
+        self.hier.save(w);
+        self.gshare.save(w);
+        self.btb.save(w);
+        self.ras.save(w);
+        let b = &self.bstats;
+        w.u64(b.predictions);
+        w.u64(b.mispredictions);
+        w.u64(b.btb_lookups);
+        w.u64(b.btb_misses);
+        w.u64(b.btb_wrong_target);
+        w.u64(b.ras_predictions);
+        w.u64(b.ras_mispredictions);
+        w.u64(self.fetch_cycle);
+        w.u64(self.fetch_slots as u64);
+        w.u64(self.redirect_at);
+        match self.window_line {
+            Some(line) => {
+                w.u8(1);
+                w.u32(line);
+            }
+            None => w.u8(0),
+        }
+        for r in self.reg_ready {
+            w.u64(r);
+        }
+        w.u64(self.flags_ready);
+        w.u64(self.last_store_done);
+        w.u64(self.rob.len() as u64);
+        for &t in &self.rob {
+            w.u64(t);
+        }
+        w.u64(self.lsq.len() as u64);
+        for &t in &self.lsq {
+            w.u64(t);
+        }
+        w.u64(self.commit_cycle);
+        w.u64(self.commit_slots as u64);
+        w.u64(self.last_retire);
+        match &self.drc {
+            Some(d) => {
+                w.u8(1);
+                d.save(w);
+            }
+            None => w.u8(0),
+        }
+        match &self.epoch_layout {
+            Some(m) => {
+                w.u8(1);
+                m.save(w);
+            }
+            None => w.u8(0),
+        }
+        match &self.epoch_table {
+            Some(t) => {
+                w.u8(1);
+                t.save(w);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.rerand_epochs);
+        w.u64(self.rerand_stall);
+        w.u64(self.drc_walk);
+        w.u64(self.fetch_stall);
+        w.u64(self.load_stall);
+        w.u64(self.redirect_stall);
+        w.u64(self.exec_extra);
+        w.u64(self.instructions);
+    }
+
+    /// Rebuilds an engine from [`OooEngine::save`] output. `cfg` and
+    /// `drc` must match the configuration the saved engine ran under (the
+    /// checkpoint envelope enforces this before the bytes get here).
+    pub(crate) fn restore(
+        cfg: &SimConfig,
+        drc: Option<DrcConfig>,
+        r: &mut Reader<'_>,
+    ) -> Result<OooEngine, WireError> {
+        let width = r.u64()?;
+        let rob_entries = r.u64()?;
+        if width == 0 || width > 1 << 10 || rob_entries > 1 << 20 {
+            return Err(WireError::LengthOutOfRange { len: width.max(rob_entries) });
+        }
+        let ooo = OooConfig { width: width as usize, rob_entries: rob_entries as usize };
+        let hier = MemoryHierarchy::restore(cfg, r)?;
+        let gshare = Gshare::restore(cfg.gshare, r)?;
+        let btb = Btb::restore(cfg.btb, r)?;
+        let ras = Ras::restore(r)?;
+        let bstats = BranchStats {
+            predictions: r.u64()?,
+            mispredictions: r.u64()?,
+            btb_lookups: r.u64()?,
+            btb_misses: r.u64()?,
+            btb_wrong_target: r.u64()?,
+            ras_predictions: r.u64()?,
+            ras_mispredictions: r.u64()?,
+        };
+        let fetch_cycle = r.u64()?;
+        let fetch_slots = r.u64()? as usize;
+        let redirect_at = r.u64()?;
+        let window_line = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        let mut reg_ready = [0u64; 16];
+        for slot in reg_ready.iter_mut() {
+            *slot = r.u64()?;
+        }
+        let flags_ready = r.u64()?;
+        let last_store_done = r.u64()?;
+        let n_rob = r.u64()?;
+        if n_rob > 1 << 20 {
+            return Err(WireError::LengthOutOfRange { len: n_rob });
+        }
+        let mut rob = VecDeque::with_capacity(n_rob as usize);
+        for _ in 0..n_rob {
+            rob.push_back(r.u64()?);
+        }
+        let n_lsq = r.u64()?;
+        if n_lsq > 1 << 20 {
+            return Err(WireError::LengthOutOfRange { len: n_lsq });
+        }
+        let mut lsq = VecDeque::with_capacity(n_lsq as usize);
+        for _ in 0..n_lsq {
+            lsq.push_back(r.u64()?);
+        }
+        let commit_cycle = r.u64()?;
+        let commit_slots = r.u64()? as usize;
+        let last_retire = r.u64()?;
+        let drc = match (r.u8()?, drc) {
+            (0, None) => None,
+            (1, Some(cfg)) => Some(Drc::restore(cfg, r)?),
+            (tag, _) => return Err(WireError::BadTag { tag }),
+        };
+        let epoch_layout = match r.u8()? {
+            0 => None,
+            1 => Some(LayoutMap::restore(r)?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        let epoch_table = match r.u8()? {
+            0 => None,
+            1 => Some(TranslationTable::restore(r)?),
+            tag => return Err(WireError::BadTag { tag }),
+        };
+        Ok(OooEngine {
+            cfg: *cfg,
+            ooo,
+            hier,
+            gshare,
+            btb,
+            ras,
+            bstats,
+            fetch_cycle,
+            fetch_slots,
+            redirect_at,
+            window_line,
+            reg_ready,
+            flags_ready,
+            last_store_done,
+            rob,
+            lsq,
+            commit_cycle,
+            commit_slots,
+            last_retire,
+            drc,
+            epoch_layout,
+            epoch_table,
+            rerand_epochs: r.u64()?,
+            rerand_stall: r.u64()?,
+            drc_walk: r.u64()?,
+            fetch_stall: r.u64()?,
+            load_stall: r.u64()?,
+            redirect_stall: r.u64()?,
+            exec_extra: r.u64()?,
+            instructions: r.u64()?,
+        })
     }
 }
 
@@ -453,18 +751,18 @@ pub fn simulate_ooo(
             };
         };
         match &mode {
-            Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
+            Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None)?,
             Mode::NaiveIlr(rp) => {
                 let key = |a: Addr| rp.rand_or_orig(a);
-                engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
+                engine.step(&info, rp.rand_or_orig(info.pc), &key, None)?;
             }
             Mode::Vcfr { program, .. } => {
-                engine.step(&info, info.pc, &identity, Some(program));
+                engine.step(&info, info.pc, &identity, Some(program))?;
             }
         }
     };
 
-    Ok(SimOutput { stats: engine.into_stats(), outcome })
+    Ok(SimOutput { stats: engine.stats_now(), outcome })
 }
 
 #[cfg(test)]
@@ -501,6 +799,31 @@ mod tests {
             a.alu_ri(AluOp::Add, Reg::Rax, 3);
             a.alu_ri(AluOp::Mul, Reg::Rax, 3);
         }
+        a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
+        a.cmp_i(Reg::Rcx, 0);
+        a.jcc(Cond::Ne, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// Data-dependent branches off an LCG: gshare cannot learn them, so
+    /// the run is mispredict-heavy.
+    fn branchy_workload() -> Image {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Rax, 12345);
+        a.mov_ri(Reg::Rcx, 2_000);
+        let top = a.here();
+        a.alu_ri(AluOp::Mul, Reg::Rax, 1103515);
+        a.alu_ri(AluOp::Add, Reg::Rax, 12345);
+        a.mov_rr(Reg::Rdx, Reg::Rax);
+        // Branch on a *high* bit: the low bits of an LCG are short-period
+        // and gshare learns them.
+        a.alu_ri(AluOp::And, Reg::Rdx, 0x10_0000);
+        a.cmp_i(Reg::Rdx, 0);
+        let skip = a.label();
+        a.jcc(Cond::Eq, skip);
+        a.alu_ri(AluOp::Add, Reg::Rsi, 1);
+        a.bind(skip);
         a.alu_ri(AluOp::Sub, Reg::Rcx, 1);
         a.cmp_i(Reg::Rcx, 0);
         a.jcc(Cond::Ne, top);
@@ -606,5 +929,137 @@ mod tests {
         )
         .unwrap();
         assert!(deep.stats.ipc() >= shallow.stats.ipc());
+    }
+
+    /// The redirect-drain regression (PR 6's fix, ported): a redirect
+    /// landing behind or exactly on the fetch cycle contributes zero
+    /// stall — never a wrapped subtraction — and only the cycles past the
+    /// fetch point are charged.
+    #[test]
+    fn redirect_landing_on_or_behind_fetch_adds_no_stall() {
+        let cfg = SimConfig::default();
+        let mut e = OooEngine::new(&cfg, OooConfig::default(), None);
+        e.fetch_cycle = 100;
+        e.redirect_at = 90; // stale redirect behind fetch
+        e.drain_redirect();
+        assert_eq!(e.redirect_stall, 0);
+        assert_eq!(e.fetch_cycle, 100);
+        e.redirect_at = 100; // landing exactly on the fetch cycle
+        e.drain_redirect();
+        assert_eq!(e.redirect_stall, 0);
+        assert_eq!(e.fetch_cycle, 100);
+        e.redirect_at = 130; // a genuine drain charges the gap
+        e.drain_redirect();
+        assert_eq!(e.redirect_stall, 30);
+        assert_eq!(e.fetch_cycle, 130);
+    }
+
+    /// Mispredict-heavy runs now report their redirect cycles, and the
+    /// front-end floor identity holds: the fetch clock absorbs fetch,
+    /// redirect and rerand stalls serially.
+    #[test]
+    fn mispredicts_charge_redirect_stall_on_the_ooo_core() {
+        let img = branchy_workload();
+        let cfg = SimConfig::default();
+        let out = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 1_000_000)
+            .unwrap();
+        assert!(out.stats.branch.mispredictions > 100, "{:?}", out.stats.branch);
+        assert!(out.stats.redirect_stall_cycles > 0);
+        assert!(
+            out.stats.cycles
+                >= out.stats.fetch_stall_cycles
+                    + out.stats.redirect_stall_cycles
+                    + out.stats.rerand_stall_cycles,
+            "front-end floor violated: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn rerand_epochs_fire_on_the_ooo_core() {
+        let img = ilp_workload();
+        let cfg = SimConfig::builder()
+            .rerand_epoch(Some(8_000))
+            .drc_entries(Some(128))
+            .build()
+            .unwrap();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let base = simulate_ooo(Mode::Baseline(&img), &cfg, OooConfig::default(), 50_000)
+            .unwrap();
+        let vcfr = simulate_ooo(
+            Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) },
+            &cfg,
+            OooConfig::default(),
+            50_000,
+        )
+        .unwrap();
+        assert_eq!(base.outcome.output, vcfr.outcome.output, "swaps must stay transparent");
+        assert!(vcfr.stats.rerand_epochs >= 3, "{:?}", vcfr.stats.rerand_epochs);
+        assert!(vcfr.stats.rerand_stall_cycles > 0);
+        assert!(vcfr.stats.cycles > base.stats.cycles, "the pause must cost cycles");
+    }
+
+    /// Serialise mid-run, restore, and finish: the restored engine must
+    /// produce bit-identical statistics to the uninterrupted run.
+    #[test]
+    fn save_restore_roundtrip_is_bit_identical() {
+        let img = branchy_workload();
+        let cfg = SimConfig::default();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(3)).unwrap();
+        let drc = DrcConfig::direct_mapped(64);
+        let split = 5_000u64;
+
+        let run = |resume: bool| {
+            let mut machine = Machine::new(&rp.original);
+            let mut engine = OooEngine::new(&cfg, OooConfig::default(), Some(drc));
+            let identity = |a: Addr| a;
+            let mut saved: Option<Vec<u8>> = None;
+            while let Some(info) = machine.step().unwrap() {
+                engine.step(&info, info.pc, &identity, Some(&rp)).unwrap();
+                if engine.instructions == split {
+                    const MAGIC: [u8; 8] = *b"OOOTEST1";
+                    let mut w = Writer::with_magic(MAGIC);
+                    engine.save(&mut w);
+                    saved = Some(w.into_bytes());
+                    if resume {
+                        let bytes = saved.clone().unwrap();
+                        let mut r = Reader::with_magic(&bytes, MAGIC).unwrap();
+                        engine = OooEngine::restore(&cfg, Some(drc), &mut r).unwrap();
+                        assert!(r.is_exhausted(), "trailing bytes after restore");
+                    }
+                }
+            }
+            (engine.stats_now(), saved.unwrap())
+        };
+        let (straight, bytes_a) = run(false);
+        let (resumed, bytes_b) = run(true);
+        assert_eq!(bytes_a, bytes_b, "save is deterministic");
+        assert_eq!(straight, resumed, "resume diverged from the uninterrupted run");
+    }
+
+    /// The DRC-less misconfiguration surfaces as a typed error instead of
+    /// a panic: stepping with VCFR mediation on an engine built without a
+    /// DRC reports [`SimError::MissingDrc`].
+    #[test]
+    fn vcfr_step_without_a_drc_is_a_typed_error() {
+        let mut a = Asm::new(0x1000);
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let img = a.finish().unwrap();
+        let rp = randomize(&img, &RandomizeConfig::with_seed(1)).unwrap();
+        let mut machine = Machine::new(&rp.original);
+        let mut engine = OooEngine::new(&SimConfig::default(), OooConfig::default(), None);
+        let identity = |a: Addr| a;
+        let mut saw = None;
+        while let Some(info) = machine.step().unwrap() {
+            if let Err(e) = engine.step(&info, info.pc, &identity, Some(&rp)) {
+                saw = Some(e);
+                break;
+            }
+        }
+        assert_eq!(saw, Some(SimError::MissingDrc));
     }
 }

@@ -3,22 +3,36 @@
 //! harness's experiment matrix, the fault-injection campaign, and the
 //! `vcfr serve` daemon all construct a `Session` and drive it.
 //!
-//! A session owns the functional machine and the timing engine together,
-//! validates the configuration against the mode before the first cycle,
-//! and — unlike the old free-function entry points — can stop at an
-//! instruction budget ([`Session::run_for`]), serialize its complete
-//! state into a versioned checkpoint ([`Session::checkpoint`]) and
-//! resume bit-identically in a fresh process ([`Session::restore`]).
+//! A session owns the functional machine(s) and the timing engine
+//! together, validates the configuration against the mode before the
+//! first cycle, and — unlike the old free-function entry points — can
+//! stop at an instruction budget ([`Session::run_for`]), serialize its
+//! complete state into a versioned checkpoint ([`Session::checkpoint`])
+//! and resume bit-identically in a fresh process ([`Session::restore`]).
+//!
+//! The session is *engine-generic*: [`crate::EngineKind`] on the config
+//! selects the in-order core (default), the wide out-of-order core, or
+//! N in-order cores over a shared L2 ([`crate::EngineKind::Multicore`]),
+//! and all three route through the same sampling, telemetry, manifest
+//! and checkpoint paths. Boundaries are instruction counts (aggregate
+//! across cores for multicore), so results stay bit-deterministic per
+//! kind. Fault injection and superblock replay remain in-order-only:
+//! plans are rejected at [`Session::run_for`] on other kinds, and the
+//! fast path silently falls back to per-instruction stepping.
 
 use crate::checkpoint::{self, CheckpointError, PAYLOAD_MAGIC};
-use crate::config::SimConfig;
-use crate::engine::{exec_extra_cycles, Engine, IntervalSample, Mode, ReplayInst, SimOutput};
+use crate::config::{EngineKind, SimConfig};
+use crate::engine::{
+    exec_extra_cycles, Engine, IntervalSample, Mode, ReplayInst, SimError, SimOutput,
+};
 use crate::error::VcfrError;
 use crate::faults::{FaultPlan, FaultRecord, FaultStats};
+use crate::multicore::{MultiCore, MultiCoreOutput};
+use crate::ooo::{OooConfig, OooEngine};
 use crate::stats::SimStats;
 use vcfr_isa::wire::{Reader, WireError, Writer};
 use vcfr_isa::{
-    Addr, Machine, RunOutcome, SectionKind, SuperblockCache, SuperblockLookup,
+    Addr, Machine, RunOutcome, SectionKind, StopReason, SuperblockCache, SuperblockLookup,
     SUPERBLOCK_MAX_INSTS,
 };
 use vcfr_obs::ProgressEvent;
@@ -31,7 +45,9 @@ pub type ProgressSink<'a> = Box<dyn FnMut(&ProgressEvent) + Send + 'a>;
 /// Everything a finished session produced.
 #[derive(Clone, Debug)]
 pub struct SessionOutcome {
-    /// Timing statistics plus the architectural result.
+    /// Timing statistics plus the architectural result. For multicore
+    /// sessions the stats are the aggregate (see
+    /// [`MultiCoreOutput::stats`]) and the outcome is core 0's.
     pub output: SimOutput,
     /// One entry per sampling interval (empty unless
     /// [`Session::with_sampling`] was used).
@@ -40,6 +56,9 @@ pub struct SessionOutcome {
     pub faults: FaultStats,
     /// Per-fault resolutions, in injection order.
     pub records: Vec<FaultRecord>,
+    /// The full per-core breakdown when the session ran on
+    /// [`crate::EngineKind::Multicore`]; `None` on single-core kinds.
+    pub multicore: Option<MultiCoreOutput>,
 }
 
 /// What [`Session::run_for`] came back with.
@@ -52,7 +71,56 @@ pub enum SessionStatus {
     Done(Box<SessionOutcome>),
 }
 
-/// One simulation run: machine + engine + sampling and fault cursors,
+/// The timing machinery behind a session: which engine kind executes
+/// the run, together with its functional machine(s).
+enum Backend<'a> {
+    /// The paper's single-issue in-order core.
+    InOrder { machine: Machine, engine: Engine },
+    /// The wide out-of-order core.
+    Ooo { machine: Machine, engine: OooEngine },
+    /// N in-order cores over a shared L2/DRAM.
+    Multicore(MultiCore<'a>),
+}
+
+impl Backend<'_> {
+    /// Committed instructions (aggregate across cores for multicore).
+    fn instructions(&self) -> u64 {
+        match self {
+            Backend::InOrder { engine, .. } => engine.instructions,
+            Backend::Ooo { engine, .. } => engine.instructions,
+            Backend::Multicore(mc) => mc.instructions(),
+        }
+    }
+
+    /// Counter snapshot (the multicore aggregate for multicore runs).
+    fn stats_now(&self) -> SimStats {
+        match self {
+            Backend::InOrder { engine, .. } => engine.stats_now(),
+            Backend::Ooo { engine, .. } => engine.stats_now(),
+            Backend::Multicore(mc) => mc.stats_now(),
+        }
+    }
+
+    /// The architectural result as it stands right now (used when the
+    /// instruction window truncates the run).
+    fn current_outcome(&self) -> RunOutcome {
+        match self {
+            Backend::InOrder { machine, .. } | Backend::Ooo { machine, .. } => RunOutcome {
+                output: machine.output().to_vec(),
+                steps: machine.steps(),
+                stop: machine.stop_reason().unwrap_or(StopReason::Halt),
+            },
+            Backend::Multicore(mc) => mc
+                .output()
+                .outcomes
+                .into_iter()
+                .next()
+                .expect("a multicore session has at least one core"),
+        }
+    }
+}
+
+/// One simulation run: machine(s) + engine + sampling and fault cursors,
 /// drivable to completion or in bounded slices.
 ///
 /// # Example
@@ -74,10 +142,13 @@ pub enum SessionStatus {
 /// ```
 pub struct Session<'a> {
     mode: Mode<'a>,
+    /// Per-core modes. One entry for the single-core kinds (aliasing
+    /// `mode`); one per core for multicore (see
+    /// [`Session::new_heterogeneous`]).
+    modes: Vec<Mode<'a>>,
     cfg: SimConfig,
     max_insts: u64,
-    machine: Machine,
-    engine: Engine,
+    backend: Backend<'a>,
     plan: Option<FaultPlan>,
     fault_idx: usize,
     samples: Vec<IntervalSample>,
@@ -88,7 +159,8 @@ pub struct Session<'a> {
     /// Whether the superblock fast path is enabled (default on; see
     /// [`Session::with_superblocks`]). Deliberately *not* part of the
     /// checkpoint context: on/off runs are bit-identical by construction
-    /// and their checkpoints interchange freely.
+    /// and their checkpoints interchange freely. A no-op off the
+    /// in-order engine.
     superblocks: bool,
     /// Formed superblocks keyed by entry pc. A pure function of the
     /// image text, so never serialized — rebuilt lazily after restore.
@@ -117,60 +189,147 @@ pub struct Session<'a> {
     sb_insts: u64,
 }
 
+/// The context-fingerprint description of one mode.
+fn describe_mode(m: &Mode<'_>) -> String {
+    match m {
+        Mode::Baseline(_) => "baseline".to_string(),
+        Mode::NaiveIlr(_) => "naive-ilr".to_string(),
+        Mode::Vcfr { drc, .. } => format!("vcfr drc={drc:?}"),
+    }
+}
+
 impl<'a> Session<'a> {
     /// Builds a session, rejecting configurations the engine cannot
-    /// honour under `mode` before any state is constructed.
+    /// honour under `mode` before any state is constructed. The engine
+    /// kind comes from `cfg.engine`; a multicore kind runs `mode` on
+    /// every core (use [`Session::new_heterogeneous`] for mixed fleets).
     ///
     /// # Errors
     ///
     /// [`VcfrError::Config`] on an inconsistent request — re-randomization
     /// outside VCFR mode, a zero-entry DRC, or a zero-instruction epoch.
     pub fn new(mode: Mode<'a>, cfg: &SimConfig, max_insts: u64) -> Result<Session<'a>, VcfrError> {
+        if let EngineKind::Multicore { cores } = cfg.engine {
+            let modes = vec![mode; cores as usize];
+            return Session::new_heterogeneous(&modes, cfg, max_insts);
+        }
+        Session::validate(std::slice::from_ref(&mode), cfg)?;
+        let machine = Machine::new(mode.image_ref());
+        let drc_cfg = match &mode {
+            Mode::Vcfr { drc, .. } => Some(*drc),
+            _ => None,
+        };
+        let table_base = match &mode {
+            Mode::Vcfr { program, .. } => Some(program.table.base()),
+            _ => None,
+        };
+        let backend = match cfg.engine {
+            EngineKind::InOrder => {
+                let mut engine = Engine::new(cfg, drc_cfg);
+                // Hide the translation-table pages from user space (TLB
+                // page-visibility bit).
+                if let Some(base) = table_base {
+                    for page in 0..64u32 {
+                        engine.hier.dtlb.set_invisible(base + page * 4096);
+                    }
+                }
+                Backend::InOrder { machine, engine }
+            }
+            EngineKind::Ooo => {
+                let mut engine = OooEngine::new(cfg, OooConfig::default(), drc_cfg);
+                if let Some(base) = table_base {
+                    for page in 0..64u32 {
+                        engine.hier.dtlb.set_invisible(base + page * 4096);
+                    }
+                }
+                Backend::Ooo { machine, engine }
+            }
+            EngineKind::Multicore { .. } => unreachable!("routed to new_heterogeneous above"),
+        };
+        Ok(Session::assemble(mode, vec![mode], cfg, max_insts, backend))
+    }
+
+    /// Builds a multicore session running a *different* mode on each
+    /// core (the `repro multicore` cell runs a VCFR core beside a
+    /// baseline core this way). `cfg.engine` must be
+    /// [`EngineKind::Multicore`] with `cores == modes.len()`.
+    ///
+    /// # Errors
+    ///
+    /// [`VcfrError::Config`] when the engine kind is not multicore, the
+    /// core count disagrees with `modes`, or a per-mode validation fails
+    /// (same rules as [`Session::new`]).
+    pub fn new_heterogeneous(
+        modes: &[Mode<'a>],
+        cfg: &SimConfig,
+        max_insts: u64,
+    ) -> Result<Session<'a>, VcfrError> {
+        let EngineKind::Multicore { cores } = cfg.engine else {
+            return Err(VcfrError::Config(
+                "a heterogeneous session needs EngineKind::Multicore in the config".into(),
+            ));
+        };
+        if cores == 0 || cores as usize != modes.len() {
+            return Err(VcfrError::Config(format!(
+                "the engine kind declares {cores} cores but {} modes were given",
+                modes.len()
+            )));
+        }
+        Session::validate(modes, cfg)?;
+        let mc = MultiCore::new(modes, cfg, max_insts);
+        Ok(Session::assemble(modes[0], modes.to_vec(), cfg, max_insts, Backend::Multicore(mc)))
+    }
+
+    /// The mode/config consistency rules shared by both constructors.
+    /// For multicore, `rerand_epoch` needs at least one VCFR core (the
+    /// in-order engines only swap tables under VCFR).
+    fn validate(modes: &[Mode<'a>], cfg: &SimConfig) -> Result<(), VcfrError> {
         if cfg.rerand_epoch == Some(0) {
             return Err(VcfrError::Config(
                 "rerand_epoch of 0 instructions would re-randomize before every instruction"
                     .into(),
             ));
         }
-        if cfg.rerand_epoch.is_some() && !matches!(mode, Mode::Vcfr { .. }) {
+        if cfg.rerand_epoch.is_some() && !modes.iter().any(|m| matches!(m, Mode::Vcfr { .. })) {
             return Err(VcfrError::Config(
                 "rerand_epoch requires a VCFR run (live table swaps flush the DRC)".into(),
             ));
         }
-        if let Mode::Vcfr { drc, .. } = &mode {
-            if drc.entries == 0 {
-                return Err(VcfrError::Config(
-                    "a VCFR run needs a non-empty DRC (entries = 0)".into(),
-                ));
+        for mode in modes {
+            if let Mode::Vcfr { drc, .. } = mode {
+                if drc.entries == 0 {
+                    return Err(VcfrError::Config(
+                        "a VCFR run needs a non-empty DRC (entries = 0)".into(),
+                    ));
+                }
             }
         }
-        let machine = Machine::new(mode.image_ref());
-        let drc_cfg = match &mode {
-            Mode::Vcfr { drc, .. } => Some(*drc),
-            _ => None,
-        };
-        let mut engine = Engine::new(cfg, drc_cfg);
-        // Hide the translation-table pages from user space (TLB
-        // page-visibility bit).
-        if let Mode::Vcfr { program, .. } = &mode {
-            let base = program.table.base();
-            for page in 0..64u32 {
-                engine.hier.dtlb.set_invisible(base + page * 4096);
-            }
-        }
-        let last = engine.stats_now();
+        Ok(())
+    }
+
+    /// Wires the common session fields around a constructed backend.
+    fn assemble(
+        mode: Mode<'a>,
+        modes: Vec<Mode<'a>>,
+        cfg: &SimConfig,
+        max_insts: u64,
+        backend: Backend<'a>,
+    ) -> Session<'a> {
+        let last = backend.stats_now();
         let mut sb_cache = SuperblockCache::new();
-        for s in &mode.image_ref().sections {
-            if s.kind == SectionKind::Text {
-                sb_cache.add_range(s.base, s.end());
+        if matches!(backend, Backend::InOrder { .. }) {
+            for s in &mode.image_ref().sections {
+                if s.kind == SectionKind::Text {
+                    sb_cache.add_range(s.base, s.end());
+                }
             }
         }
-        Ok(Session {
+        Session {
             mode,
+            modes,
             cfg: *cfg,
             max_insts,
-            machine,
-            engine,
+            backend,
             plan: None,
             fault_idx: 0,
             samples: Vec::new(),
@@ -187,7 +346,7 @@ impl<'a> Session<'a> {
             progress_sink: None,
             sb_batches: 0,
             sb_insts: 0,
-        })
+        }
     }
 
     /// Enables interval sampling: one [`IntervalSample`] per `interval`
@@ -199,7 +358,9 @@ impl<'a> Session<'a> {
         self
     }
 
-    /// Schedules the faults of `plan` for injection.
+    /// Schedules the faults of `plan` for injection. Fault injection is
+    /// modeled on the in-order engine only; on other kinds the plan is
+    /// rejected when the session runs.
     pub fn with_faults(mut self, plan: &FaultPlan) -> Session<'a> {
         self.plan = Some(plan.clone());
         self
@@ -208,13 +369,13 @@ impl<'a> Session<'a> {
     /// Attaches a telemetry tap: `sink` receives a [`ProgressEvent`]
     /// each time the run crosses a multiple of `every` committed
     /// instructions (clamped to 1), plus one final event when the run
-    /// finishes. Boundaries are *instruction counts*, not wall-clock,
-    /// so the simulated results — stats, samples, fault records,
-    /// manifests, checkpoint bytes — are byte-identical with the tap
-    /// attached or not, and the deterministic event fields are a pure
-    /// function of the run. Wall-clock belongs to whoever consumes the
-    /// events (the daemon timestamps them at emission), never inside
-    /// them.
+    /// finishes. Boundaries are *instruction counts* (aggregate across
+    /// cores for multicore), not wall-clock, so the simulated results —
+    /// stats, samples, fault records, manifests, checkpoint bytes — are
+    /// byte-identical with the tap attached or not, and the
+    /// deterministic event fields are a pure function of the run.
+    /// Wall-clock belongs to whoever consumes the events (the daemon
+    /// timestamps them at emission), never inside them.
     pub fn with_progress(
         mut self,
         every: u64,
@@ -222,7 +383,7 @@ impl<'a> Session<'a> {
     ) -> Session<'a> {
         let every = every.max(1);
         self.progress_every = every;
-        let done = self.engine.instructions;
+        let done = self.backend.instructions();
         self.next_progress = (done / every + 1).saturating_mul(every);
         self.progress_seq = done / every;
         self.progress_sink = Some(Box::new(sink));
@@ -235,28 +396,50 @@ impl<'a> Session<'a> {
     /// samples, fault records, trace events and checkpoint bytes are
     /// bit-identical either way (`tests/superblock_equiv.rs` enforces
     /// this). Disabling is useful for differential debugging and for
-    /// timing the per-instruction path.
+    /// timing the per-instruction path. A no-op off the in-order engine
+    /// (the out-of-order and multicore backends always step
+    /// per-instruction).
     pub fn with_superblocks(mut self, enabled: bool) -> Session<'a> {
         self.superblocks = enabled;
         self
     }
 
-    /// Committed instructions so far.
+    /// Committed instructions so far (aggregate across cores for
+    /// multicore sessions).
     pub fn instructions(&self) -> u64 {
-        self.engine.instructions
+        self.backend.instructions()
     }
 
-    /// A snapshot of the counters at this point of the run.
+    /// A snapshot of the counters at this point of the run (the
+    /// aggregate for multicore sessions).
     pub fn stats_now(&self) -> SimStats {
-        self.engine.stats_now()
+        self.backend.stats_now()
     }
 
     /// The engine's post-mortem trace ring, oldest event first (empty
-    /// when `SimConfig::trace_events` is 0). Until now the trace only
-    /// surfaced inside [`crate::SimError`]; this exposes it for
-    /// *successful* runs too (`vcfr simulate --dump-trace`).
+    /// when `SimConfig::trace_events` is 0, and always empty off the
+    /// in-order engine — the other kinds do not keep a ring).
     pub fn trace_events(&self) -> Vec<crate::TraceEvent> {
-        self.engine.trace.to_vec()
+        match &self.backend {
+            Backend::InOrder { engine, .. } => engine.trace.to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Aggregate fault counters so far (zero off the in-order engine).
+    fn fault_stats(&self) -> FaultStats {
+        match &self.backend {
+            Backend::InOrder { engine, .. } => engine.fstats,
+            _ => FaultStats::default(),
+        }
+    }
+
+    /// Per-fault records so far (empty off the in-order engine).
+    fn fault_records(&self) -> Vec<FaultRecord> {
+        match &self.backend {
+            Backend::InOrder { engine, .. } => engine.frecords.clone(),
+            _ => Vec::new(),
+        }
     }
 
     /// The progress reading the telemetry tap would emit right now
@@ -264,8 +447,8 @@ impl<'a> Session<'a> {
     /// waiting for the next boundary; does not consume a sequence
     /// number.
     pub fn progress_now(&self) -> ProgressEvent {
-        let s = self.engine.stats_now();
-        let f = self.engine.fstats;
+        let s = self.backend.stats_now();
+        let f = self.fault_stats();
         ProgressEvent {
             seq: self.progress_seq,
             instructions: s.instructions,
@@ -300,7 +483,8 @@ impl<'a> Session<'a> {
     /// # Errors
     ///
     /// [`VcfrError::Sim`] when the program faults architecturally or an
-    /// injected sticky fault halts the machine.
+    /// injected sticky fault halts the machine; [`VcfrError::Config`]
+    /// when a fault plan is attached off the in-order engine.
     pub fn run(&mut self) -> Result<SessionOutcome, VcfrError> {
         match self.run_for(u64::MAX)? {
             SessionStatus::Done(out) => Ok(*out),
@@ -319,63 +503,122 @@ impl<'a> Session<'a> {
         if let Some(out) = &self.finished {
             return Ok(SessionStatus::Done(Box::new(out.clone())));
         }
-        let stop_at = self.engine.instructions.saturating_add(budget.max(1));
-        let identity = |a: Addr| a;
+        if self.plan.is_some() && !matches!(self.backend, Backend::InOrder { .. }) {
+            return Err(VcfrError::Config(
+                "fault injection is only modeled on the in-order engine \
+                 (run with EngineKind::InOrder)"
+                    .into(),
+            ));
+        }
+        let stop_at = self.backend.instructions().saturating_add(budget.max(1));
         loop {
-            if self.engine.instructions >= self.max_insts {
-                let outcome = RunOutcome {
-                    output: self.machine.output().to_vec(),
-                    steps: self.machine.steps(),
-                    stop: self.machine.stop_reason().unwrap_or(vcfr_isa::StopReason::Halt),
-                };
+            // The instruction window. The multicore event loop enforces
+            // its per-core window internally (the aggregate count would
+            // truncate an N-core fleet N times too early).
+            if !matches!(self.backend, Backend::Multicore(_))
+                && self.backend.instructions() >= self.max_insts
+            {
+                let outcome = self.backend.current_outcome();
                 return Ok(SessionStatus::Done(Box::new(self.finish(outcome))));
             }
             if self.superblocks && self.try_superblock(stop_at) {
                 self.post_step()?;
-                if self.engine.instructions >= stop_at {
+                if self.backend.instructions() >= stop_at {
                     return Ok(SessionStatus::Running);
                 }
                 continue;
             }
-            let step = self.machine.step();
-            let Some(info) = step.map_err(|e| VcfrError::Sim(self.engine.fault(e)))? else {
-                let outcome = RunOutcome {
-                    output: self.machine.output().to_vec(),
-                    steps: self.machine.steps(),
-                    stop: self.machine.stop_reason().expect("stopped machine has a reason"),
-                };
+            if let Some(outcome) = self.step_once()? {
                 return Ok(SessionStatus::Done(Box::new(self.finish(outcome))));
-            };
-            match &self.mode {
-                Mode::Baseline(_) => self.engine.step(&info, info.pc, &identity, None),
-                Mode::NaiveIlr(rp) => {
-                    let key = |a: Addr| rp.rand_or_orig(a);
-                    self.engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
-                }
-                Mode::Vcfr { program, .. } => {
-                    self.engine.step(&info, info.pc, &identity, Some(program));
-                }
             }
             self.post_step()?;
-            if self.engine.instructions >= stop_at {
+            if self.backend.instructions() >= stop_at {
                 return Ok(SessionStatus::Running);
+            }
+        }
+    }
+
+    /// Advances the run by one instruction on whichever engine backs it.
+    /// Returns the architectural outcome when the run just finished.
+    fn step_once(&mut self) -> Result<Option<RunOutcome>, VcfrError> {
+        let identity = |a: Addr| a;
+        match &mut self.backend {
+            Backend::InOrder { machine, engine } => {
+                let step = machine.step();
+                let Some(info) = step.map_err(|e| VcfrError::Sim(engine.fault(e)))? else {
+                    return Ok(Some(RunOutcome {
+                        output: machine.output().to_vec(),
+                        steps: machine.steps(),
+                        stop: machine.stop_reason().expect("stopped machine has a reason"),
+                    }));
+                };
+                match &self.mode {
+                    Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
+                    Mode::NaiveIlr(rp) => {
+                        let key = |a: Addr| rp.rand_or_orig(a);
+                        engine.step(&info, rp.rand_or_orig(info.pc), &key, None);
+                    }
+                    Mode::Vcfr { program, .. } => {
+                        engine.step(&info, info.pc, &identity, Some(program));
+                    }
+                }
+                Ok(None)
+            }
+            Backend::Ooo { machine, engine } => {
+                let step = machine.step();
+                let Some(info) = step.map_err(|e| VcfrError::Sim(SimError::from(e)))? else {
+                    return Ok(Some(RunOutcome {
+                        output: machine.output().to_vec(),
+                        steps: machine.steps(),
+                        stop: machine.stop_reason().expect("stopped machine has a reason"),
+                    }));
+                };
+                let stepped = match &self.mode {
+                    Mode::Baseline(_) => engine.step(&info, info.pc, &identity, None),
+                    Mode::NaiveIlr(rp) => {
+                        let key = |a: Addr| rp.rand_or_orig(a);
+                        engine.step(&info, rp.rand_or_orig(info.pc), &key, None)
+                    }
+                    Mode::Vcfr { program, .. } => {
+                        engine.step(&info, info.pc, &identity, Some(program))
+                    }
+                };
+                stepped.map_err(VcfrError::Sim)?;
+                Ok(None)
+            }
+            Backend::Multicore(mc) => {
+                if mc.step_next().map_err(VcfrError::Sim)? {
+                    Ok(None)
+                } else {
+                    Ok(Some(
+                        mc.output()
+                            .outcomes
+                            .into_iter()
+                            .next()
+                            .expect("a multicore session has at least one core"),
+                    ))
+                }
             }
         }
     }
 
     /// Attempts to advance the run through a superblock replay. Returns
     /// `false` when the slow path must handle the next instruction: the
-    /// mode is ineligible (NaiveIlr fetches from scattered addresses),
-    /// the machine is stopped, no block starts at the current pc, or the
-    /// admissible batch length is zero because the very next instruction
-    /// carries a boundary event (sample, scheduled fault, DRC flush,
-    /// rerand epoch, budget edge).
+    /// backend is not the in-order engine, the mode is ineligible
+    /// (NaiveIlr fetches from scattered addresses), the machine is
+    /// stopped, no block starts at the current pc, or the admissible
+    /// batch length is zero because the very next instruction carries a
+    /// boundary event (sample, scheduled fault, DRC flush, rerand epoch,
+    /// budget edge).
     ///
     /// The batch length is capped so that no observability or
     /// dependability hook can fall *inside* a batch — every hook in
     /// [`Session::run_for`]'s bookkeeping fires on exactly the same
     /// instruction boundary the per-instruction path would fire it on.
     fn try_superblock(&mut self, stop_at: u64) -> bool {
+        let Backend::InOrder { machine, engine } = &mut self.backend else {
+            return false;
+        };
         let vcfr = match &self.mode {
             Mode::Baseline(_) => false,
             Mode::Vcfr { .. } => true,
@@ -384,15 +627,15 @@ impl<'a> Session<'a> {
             // does not hold.
             Mode::NaiveIlr(_) => return false,
         };
-        if self.machine.stop_reason().is_some() {
+        if machine.stop_reason().is_some() {
             return false;
         }
-        let pc = self.machine.pc();
+        let pc = machine.pc();
         let id = match self.sb_cache.lookup(pc) {
             SuperblockLookup::Block(id) => id,
             SuperblockLookup::NoBlock => return false,
             SuperblockLookup::Untried => {
-                let formed = self.machine.form_superblock(pc, SUPERBLOCK_MAX_INSTS);
+                let formed = machine.form_superblock(pc, SUPERBLOCK_MAX_INSTS);
                 match self.sb_cache.record(pc, formed) {
                     Some(id) => {
                         let sb = self.sb_cache.get(id);
@@ -417,7 +660,7 @@ impl<'a> Session<'a> {
         // strictly ahead of the current instruction count (loop/run_for
         // invariants), so the subtractions cannot wrap — saturating_sub
         // merely turns a violated invariant into a slow-path fallback.
-        let i = self.engine.instructions;
+        let i = engine.instructions;
         let sb = self.sb_cache.get(id);
         let mut n = (sb.len() as u64)
             .min(self.max_insts - i)
@@ -446,8 +689,8 @@ impl<'a> Session<'a> {
             return false;
         }
         let n = n as usize;
-        self.machine.replay_superblock(self.sb_cache.get(id), n);
-        self.engine.replay_block(&self.sb_timing[id as usize][..n]);
+        machine.replay_superblock(self.sb_cache.get(id), n);
+        engine.replay_block(&self.sb_timing[id as usize][..n]);
         self.sb_batches += 1;
         self.sb_insts += n as u64;
         true
@@ -459,22 +702,23 @@ impl<'a> Session<'a> {
     /// boundaries, so the records and samples are identical too.
     fn post_step(&mut self) -> Result<(), VcfrError> {
         if let Some(p) = &self.plan {
+            let Backend::InOrder { engine, .. } = &mut self.backend else {
+                unreachable!("run_for rejects fault plans off the in-order engine");
+            };
             let image = self.mode.image_ref();
             let fault_rp: Option<&RandomizedProgram> = match &self.mode {
                 Mode::Vcfr { program, .. } => Some(program),
                 _ => None,
             };
             while let Some(f) = p.faults.get(self.fault_idx) {
-                if f.at_inst > self.engine.instructions {
+                if f.at_inst > engine.instructions {
                     break;
                 }
-                let outcome = self
-                    .engine
-                    .inject_fault(f, image, fault_rp, p.policy)
-                    .map_err(VcfrError::Sim)?;
-                self.engine.fstats.record(outcome);
-                self.engine.frecords.push(FaultRecord {
-                    at_inst: self.engine.instructions,
+                let outcome =
+                    engine.inject_fault(f, image, fault_rp, p.policy).map_err(VcfrError::Sim)?;
+                engine.fstats.record(outcome);
+                engine.frecords.push(FaultRecord {
+                    at_inst: engine.instructions,
                     target: f.target,
                     persistence: f.persistence,
                     outcome,
@@ -482,16 +726,16 @@ impl<'a> Session<'a> {
                 self.fault_idx += 1;
             }
         }
-        if self.engine.instructions >= self.next_sample {
+        if self.backend.instructions() >= self.next_sample {
             self.take_sample();
             self.next_sample += self.stride;
         }
-        if self.engine.instructions >= self.next_progress {
+        if self.backend.instructions() >= self.next_progress {
             self.emit_progress();
             // Re-anchor to the next exact multiple (the superblock
             // clamp and single-stepping both land exactly on the
             // boundary, but re-deriving keeps the invariant explicit).
-            self.next_progress = (self.engine.instructions / self.progress_every + 1)
+            self.next_progress = (self.backend.instructions() / self.progress_every + 1)
                 .saturating_mul(self.progress_every);
         }
         Ok(())
@@ -499,7 +743,7 @@ impl<'a> Session<'a> {
 
     /// Folds the interval since the last sample into `self.samples`.
     fn take_sample(&mut self) {
-        let now = self.engine.stats_now();
+        let now = self.backend.stats_now();
         let last = &mut self.last;
         let insts = now.instructions - last.instructions;
         if insts == 0 {
@@ -531,26 +775,30 @@ impl<'a> Session<'a> {
         // instruction count, so short runs that never cross a boundary
         // still report.
         self.emit_progress();
+        let multicore = match &self.backend {
+            Backend::Multicore(mc) => Some(mc.output()),
+            _ => None,
+        };
         let out = SessionOutcome {
-            output: SimOutput { stats: self.engine.stats_now(), outcome },
+            output: SimOutput { stats: self.backend.stats_now(), outcome },
             samples: self.samples.clone(),
-            faults: self.engine.fstats,
-            records: self.engine.frecords.clone(),
+            faults: self.fault_stats(),
+            records: self.fault_records(),
+            multicore,
         };
         self.finished = Some(out.clone());
         out
     }
 
     /// The FNV-1a 64 fingerprint of everything that determines this run:
-    /// configuration, mode (including DRC geometry), instruction window,
-    /// sampling stride and fault plan. Stored in the checkpoint envelope;
-    /// [`Session::restore`] refuses bytes taken under a different one.
+    /// configuration (including the engine kind), per-core modes (with
+    /// DRC geometry), instruction window, sampling stride and fault
+    /// plan. Stored in the checkpoint envelope; [`Session::restore`]
+    /// refuses bytes taken under a different one — including a
+    /// checkpoint of the same program on a different engine kind.
     pub fn context(&self) -> u64 {
-        let mode_desc = match &self.mode {
-            Mode::Baseline(_) => "baseline".to_string(),
-            Mode::NaiveIlr(_) => "naive-ilr".to_string(),
-            Mode::Vcfr { drc, .. } => format!("vcfr drc={drc:?}"),
-        };
+        let mode_desc =
+            self.modes.iter().map(describe_mode).collect::<Vec<_>>().join(" + ");
         checkpoint::context_fingerprint(&format!(
             "{:?} | mode={} | max_insts={} | stride={} | plan={:?}",
             self.cfg, mode_desc, self.max_insts, self.stride, self.plan
@@ -560,11 +808,23 @@ impl<'a> Session<'a> {
     /// Serialises the live session into a self-validating, versioned
     /// checkpoint (see [`crate::checkpoint`] for the format and version
     /// policy). Restoring it with [`Session::restore`] and running on
-    /// produces bit-identical results to never having stopped.
+    /// produces bit-identical results to never having stopped. Every
+    /// engine kind checkpoints: the payload carries the in-order
+    /// machine+engine, the out-of-order engine (window geometry
+    /// included), or the whole multicore fleet plus the shared level.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut w = Writer::with_magic(PAYLOAD_MAGIC);
-        self.machine.save(&mut w);
-        self.engine.save(&mut w);
+        match &self.backend {
+            Backend::InOrder { machine, engine } => {
+                machine.save(&mut w);
+                engine.save(&mut w);
+            }
+            Backend::Ooo { machine, engine } => {
+                machine.save(&mut w);
+                engine.save(&mut w);
+            }
+            Backend::Multicore(mc) => mc.save(&mut w),
+        }
         w.u64(self.fault_idx as u64);
         w.u64(self.samples.len() as u64);
         for s in &self.samples {
@@ -581,8 +841,9 @@ impl<'a> Session<'a> {
     }
 
     /// Replaces this session's state with a checkpoint taken by an
-    /// identically-configured session (same mode, config, window,
-    /// sampling and plan — enforced via the context fingerprint).
+    /// identically-configured session (same mode(s), config — engine
+    /// kind included — window, sampling and plan, enforced via the
+    /// context fingerprint).
     ///
     /// # Errors
     ///
@@ -593,12 +854,26 @@ impl<'a> Session<'a> {
         let payload = checkpoint::open(bytes, self.context())?;
         let wire = |e: WireError| VcfrError::Checkpoint(CheckpointError::Wire(e));
         let mut r = Reader::with_magic(&payload, PAYLOAD_MAGIC).map_err(wire)?;
-        let machine = Machine::restore(self.mode.image_ref(), &mut r).map_err(wire)?;
         let drc_cfg = match &self.mode {
             Mode::Vcfr { drc, .. } => Some(*drc),
             _ => None,
         };
-        let engine = Engine::restore(&self.cfg, drc_cfg, &mut r).map_err(wire)?;
+        let backend = match self.cfg.engine {
+            EngineKind::InOrder => {
+                let machine = Machine::restore(self.mode.image_ref(), &mut r).map_err(wire)?;
+                let engine = Engine::restore(&self.cfg, drc_cfg, &mut r).map_err(wire)?;
+                Backend::InOrder { machine, engine }
+            }
+            EngineKind::Ooo => {
+                let machine = Machine::restore(self.mode.image_ref(), &mut r).map_err(wire)?;
+                let engine = OooEngine::restore(&self.cfg, drc_cfg, &mut r).map_err(wire)?;
+                Backend::Ooo { machine, engine }
+            }
+            EngineKind::Multicore { .. } => Backend::Multicore(
+                MultiCore::restore(&self.modes, &self.cfg, self.max_insts, &mut r)
+                    .map_err(wire)?,
+            ),
+        };
         let fault_idx = r.u64().map_err(wire)? as usize;
         if let Some(p) = &self.plan {
             if fault_idx > p.faults.len() {
@@ -627,8 +902,7 @@ impl<'a> Session<'a> {
         if !r.is_exhausted() {
             return Err(wire(WireError::Truncated));
         }
-        self.machine = machine;
-        self.engine = engine;
+        self.backend = backend;
         self.fault_idx = fault_idx;
         self.samples = samples;
         self.last = last;
@@ -637,7 +911,7 @@ impl<'a> Session<'a> {
         // The telemetry cursor is never serialized (the tap is outside
         // the checkpoint context); re-derive it so events keep firing
         // at the same exact multiples of `progress_every`.
-        if let Some(seq) = self.engine.instructions.checked_div(self.progress_every) {
+        if let Some(seq) = self.backend.instructions().checked_div(self.progress_every) {
             self.next_progress = (seq + 1).saturating_mul(self.progress_every);
             self.progress_seq = seq;
         }
@@ -926,5 +1200,78 @@ mod tests {
             1_000
         )
         .is_err());
+    }
+
+    #[test]
+    fn ooo_session_matches_the_free_function() {
+        let img = workload();
+        let cfg = SimConfig::builder().engine(EngineKind::Ooo).build().unwrap();
+        let legacy = crate::simulate_ooo(
+            Mode::Baseline(&img),
+            &cfg,
+            OooConfig::default(),
+            100_000,
+        )
+        .unwrap();
+        let out =
+            Session::new(Mode::Baseline(&img), &cfg, 100_000).unwrap().run().unwrap();
+        assert_eq!(out.output.stats, legacy.stats);
+        assert_eq!(out.output.outcome, legacy.outcome);
+        assert!(out.multicore.is_none());
+    }
+
+    #[test]
+    fn multicore_session_aggregates_per_core_results() {
+        let img = workload();
+        let cfg = SimConfig::builder()
+            .engine(EngineKind::Multicore { cores: 2 })
+            .build()
+            .unwrap();
+        let out =
+            Session::new(Mode::Baseline(&img), &cfg, 100_000).unwrap().run().unwrap();
+        let mc = out.multicore.expect("multicore sessions report per-core results");
+        assert_eq!(mc.per_core.len(), 2);
+        assert_eq!(out.output.stats, mc.stats);
+        assert_eq!(out.output.outcome.output, mc.outcomes[0].output);
+        assert_eq!(
+            out.output.stats.instructions,
+            mc.per_core[0].instructions + mc.per_core[1].instructions
+        );
+    }
+
+    #[test]
+    fn heterogeneous_session_needs_matching_core_count() {
+        let img = workload();
+        let cfg = SimConfig::builder()
+            .engine(EngineKind::Multicore { cores: 3 })
+            .build()
+            .unwrap();
+        let err = Session::new_heterogeneous(
+            &[Mode::Baseline(&img), Mode::Baseline(&img)],
+            &cfg,
+            10_000,
+        )
+        .err()
+        .expect("2 modes for 3 declared cores");
+        assert!(err.to_string().contains("3 cores"), "{err}");
+        let err = Session::new_heterogeneous(&[Mode::Baseline(&img)], &SimConfig::default(), 1_000)
+            .err()
+            .expect("heterogeneous needs the multicore kind");
+        assert!(err.to_string().contains("Multicore"), "{err}");
+    }
+
+    #[test]
+    fn fault_plans_are_rejected_off_the_inorder_engine() {
+        let img = workload();
+        let plan = FaultPlan::generate(1, 4, 8_000);
+        for kind in [EngineKind::Ooo, EngineKind::Multicore { cores: 2 }] {
+            let cfg = SimConfig::builder().engine(kind).build().unwrap();
+            let err = Session::new(Mode::Baseline(&img), &cfg, 10_000)
+                .unwrap()
+                .with_faults(&plan)
+                .run()
+                .expect_err("fault plans need the in-order engine");
+            assert!(err.to_string().contains("in-order"), "{err}");
+        }
     }
 }

@@ -53,6 +53,12 @@ pub struct SimStats {
     /// Cycles the pipeline paused for epoch re-randomization (DRC flush
     /// plus table rebuild plus stack re-mapping).
     pub rerand_stall_cycles: u64,
+    /// Cycles this core queued behind a sibling core at the shared
+    /// L2/DRAM port (always 0 on single-core engines). The wait is part
+    /// of the fetch/load/walk latencies it delayed, so the audit reports
+    /// it as an overlapping term rather than adding it to the disjoint
+    /// stall sum.
+    pub contention_stall_cycles: u64,
 }
 
 impl SimStats {
@@ -86,6 +92,7 @@ impl SimStats {
             redirect_stall: self.redirect_stall_cycles,
             drc_walk: self.drc_walk_cycles,
             rerand_stall: self.rerand_stall_cycles,
+            contention: self.contention_stall_cycles,
         }
     }
 
@@ -139,6 +146,7 @@ impl SimStats {
         w.u64(self.exec_extra_cycles);
         w.u64(self.rerand_epochs);
         w.u64(self.rerand_stall_cycles);
+        w.u64(self.contention_stall_cycles);
     }
 
     /// Rebuilds the counters from [`SimStats::save`] output.
@@ -201,6 +209,7 @@ impl SimStats {
         s.exec_extra_cycles = r.u64()?;
         s.rerand_epochs = r.u64()?;
         s.rerand_stall_cycles = r.u64()?;
+        s.contention_stall_cycles = r.u64()?;
         Ok(s)
     }
 
@@ -219,6 +228,7 @@ impl SimStats {
             ("sim.drc.walk_cycles".into(), self.drc_walk_cycles),
             ("sim.rerand.epochs".into(), self.rerand_epochs),
             ("sim.stall.rerand".into(), self.rerand_stall_cycles),
+            ("sim.stall.contention".into(), self.contention_stall_cycles),
         ];
         let mut cache = |name: &str, c: &CacheStats| {
             counters.push((format!("sim.{name}.access"), c.accesses));
@@ -283,6 +293,7 @@ mod tests {
             redirect_stall_cycles: 40,
             drc_walk_cycles: 30,
             rerand_stall_cycles: 20,
+            contention_stall_cycles: 10,
             ..SimStats::default()
         };
         let a = s.accounting();
@@ -293,6 +304,7 @@ mod tests {
         assert_eq!(a.redirect_stall, 40);
         assert_eq!(a.drc_walk, 30);
         assert_eq!(a.rerand_stall, 20);
+        assert_eq!(a.contention, 10);
     }
 
     #[test]
@@ -303,6 +315,7 @@ mod tests {
         s.branch.ras_mispredictions = 2;
         s.drc = Some(DrcStats { lookups: 9, misses: 2, derand_lookups: 7, rand_lookups: 2 });
         s.rerand_epochs = 3;
+        s.contention_stall_cycles = 17;
         for stats in [s, SimStats::default()] {
             let mut w = Writer::with_magic(*b"VCFRTEST");
             stats.save(&mut w);

@@ -1,0 +1,153 @@
+//! Differential suite for the engine-generic [`Session`]: the three
+//! [`EngineKind`]s behind the same facade must agree wherever their
+//! semantics overlap.
+//!
+//! - A 1-core multicore session is *bit-identical* to the plain
+//!   in-order session (the shared level is private, the port charges
+//!   no same-core wait).
+//! - The OoO and multicore engines are bit-deterministic: two fresh
+//!   runs of the same spec produce identical stats, outcomes, and
+//!   mid-run checkpoint bytes.
+//! - A mid-run checkpoint round-trips through a fresh session on every
+//!   engine kind; a checkpoint from one kind is rejected by a session
+//!   of another (the kind is part of the context fingerprint).
+//! - Shared-L2 port contention is zero without a sibling and positive
+//!   with one, and stays inside the audit's containment bound.
+
+use vcfr_core::DrcConfig;
+use vcfr_rewriter::{randomize, RandomizeConfig};
+use vcfr_sim::{
+    CheckpointError, EngineKind, Mode, Session, SessionOutcome, SessionStatus, SimConfig,
+    VcfrError,
+};
+use vcfr_workloads::Workload;
+
+const SEED: u64 = 2015;
+
+/// A capped workload so every test finishes quickly in debug builds.
+fn workload() -> Workload {
+    let mut w = vcfr_workloads::by_name("bzip2").expect("bzip2 exists");
+    w.max_insts = w.max_insts.min(60_000);
+    w
+}
+
+fn config(engine: EngineKind) -> SimConfig {
+    SimConfig { engine, ..SimConfig::default() }
+}
+
+/// Runs `mode` on `engine` to completion, sampling ten intervals and
+/// grabbing the checkpoint bytes at a mid-run boundary.
+fn run(mode: Mode, engine: EngineKind, max_insts: u64) -> (SessionOutcome, Vec<u8>) {
+    let cfg = config(engine);
+    let mut s = Session::new(mode, &cfg, max_insts)
+        .expect("session builds")
+        .with_sampling((max_insts / 10).max(1));
+    let mid = match s.run_for(max_insts / 3) {
+        Ok(SessionStatus::Running) => s.checkpoint(),
+        Ok(SessionStatus::Done(_)) => Vec::new(),
+        Err(e) => panic!("{engine:?}: {e}"),
+    };
+    (s.run().expect("session finishes"), mid)
+}
+
+#[test]
+fn one_core_multicore_session_matches_the_inorder_session() {
+    let w = workload();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).expect("randomizes");
+    let modes: [(&str, Mode); 3] = [
+        ("baseline", Mode::Baseline(&w.image)),
+        ("naive", Mode::NaiveIlr(&rp)),
+        ("vcfr", Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) }),
+    ];
+    for (name, mode) in modes {
+        let (inorder, _) = run(mode, EngineKind::InOrder, w.max_insts);
+        let (mc1, _) = run(mode, EngineKind::Multicore { cores: 1 }, w.max_insts);
+        assert_eq!(inorder.output.stats, mc1.output.stats, "{name}: stats diverge");
+        assert_eq!(inorder.output.outcome, mc1.output.outcome, "{name}: outcome diverges");
+        assert_eq!(inorder.samples, mc1.samples, "{name}: samples diverge");
+        let mc = mc1.multicore.expect("multicore sessions carry the breakdown");
+        assert_eq!(mc.per_core.len(), 1, "{name}");
+        assert_eq!(mc.stats.contention_stall_cycles, 0, "{name}: solo core paid contention");
+    }
+}
+
+#[test]
+fn ooo_and_multicore_runs_are_bit_deterministic() {
+    let w = workload();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).expect("randomizes");
+    for engine in [EngineKind::Ooo, EngineKind::Multicore { cores: 2 }] {
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+        let (a, ckpt_a) = run(mode(), engine, w.max_insts);
+        let (b, ckpt_b) = run(mode(), engine, w.max_insts);
+        assert_eq!(a.output.stats, b.output.stats, "{engine:?}: stats diverge");
+        assert_eq!(a.output.outcome, b.output.outcome, "{engine:?}: outcome diverges");
+        assert_eq!(a.samples, b.samples, "{engine:?}: samples diverge");
+        assert!(!ckpt_a.is_empty(), "{engine:?}: run finished before the checkpoint");
+        assert_eq!(ckpt_a, ckpt_b, "{engine:?}: checkpoint bytes diverge");
+    }
+}
+
+#[test]
+fn checkpoints_round_trip_on_every_engine_kind() {
+    let w = workload();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).expect("randomizes");
+    for engine in [EngineKind::InOrder, EngineKind::Ooo, EngineKind::Multicore { cores: 2 }] {
+        let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+        let (reference, mid) = run(mode(), engine, w.max_insts);
+        assert!(!mid.is_empty(), "{engine:?}: run finished before the checkpoint");
+
+        let cfg = config(engine);
+        let mut resumed = Session::new(mode(), &cfg, w.max_insts)
+            .expect("session builds")
+            .with_sampling((w.max_insts / 10).max(1));
+        resumed.restore(&mid).unwrap_or_else(|e| panic!("{engine:?}: restore failed: {e}"));
+        let out = resumed.run().expect("resumed session finishes");
+        assert_eq!(reference.output.stats, out.output.stats, "{engine:?}: stats diverge");
+        assert_eq!(
+            reference.output.outcome, out.output.outcome,
+            "{engine:?}: outcome diverges"
+        );
+        assert_eq!(reference.samples, out.samples, "{engine:?}: samples diverge");
+    }
+}
+
+#[test]
+fn a_checkpoint_from_one_kind_is_rejected_by_another() {
+    let w = workload();
+    let rp = randomize(&w.image, &RandomizeConfig::with_seed(SEED)).expect("randomizes");
+    let mode = || Mode::Vcfr { program: &rp, drc: DrcConfig::direct_mapped(128) };
+    let (_, inorder_ckpt) = run(mode(), EngineKind::InOrder, w.max_insts);
+    assert!(!inorder_ckpt.is_empty());
+    for engine in [EngineKind::Ooo, EngineKind::Multicore { cores: 2 }] {
+        let cfg = config(engine);
+        let mut s = Session::new(mode(), &cfg, w.max_insts).expect("session builds");
+        match s.restore(&inorder_ckpt) {
+            Err(VcfrError::Checkpoint(CheckpointError::ContextMismatch)) => {}
+            other => panic!("{engine:?}: expected a context mismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn contention_appears_only_with_a_sibling_and_stays_contained() {
+    let w = workload();
+    let solo = run(Mode::Baseline(&w.image), EngineKind::Multicore { cores: 1 }, w.max_insts)
+        .0
+        .multicore
+        .expect("breakdown");
+    assert_eq!(solo.stats.contention_stall_cycles, 0, "solo core paid shared-port wait");
+
+    let pair = run(Mode::Baseline(&w.image), EngineKind::Multicore { cores: 2 }, w.max_insts)
+        .0
+        .multicore
+        .expect("breakdown");
+    assert!(
+        pair.stats.contention_stall_cycles > 0,
+        "two cores over one L2 port never collided"
+    );
+    // The new identity: contention is only ever charged under memory
+    // stalls, so it stays inside the audit's containment bound.
+    let a = pair.stats.accounting();
+    assert!(a.contention <= a.fetch_stall + a.load_stall + a.drc_walk, "containment violated");
+    assert!(pair.stats.accounting().audit().passed(), "aggregate audit failed");
+}

@@ -43,6 +43,13 @@ serve-smoke:
 telemetry-smoke:
     cargo run --release -p vcfr-bench --bin repro -- telemetry-smoke
 
+# Multicore smoke: VCFR core + baseline sibling over the shared L2,
+# rerand epochs firing mid-run on one core only, manifests
+# byte-identical across worker-thread counts, outputs equal to solo
+# baseline runs (see docs/architecture.md).
+multicore-smoke:
+    cargo run --release -p vcfr-bench --bin repro -- multicore-smoke
+
 # Fleet smoke: coordinator + two worker daemons run a sharded matrix
 # and fault campaign, one worker is SIGKILLed mid-campaign, its chunks
 # resume from checkpoints elsewhere, and the merged manifest tree is
@@ -56,7 +63,7 @@ docs-check:
     cargo test -p vcfr --test docs_check
 
 # Every end-to-end smoke in one go.
-smoke: obs-smoke faults-smoke serve-smoke fleet-smoke superblock-smoke telemetry-smoke docs-check
+smoke: obs-smoke faults-smoke serve-smoke fleet-smoke superblock-smoke telemetry-smoke multicore-smoke docs-check
 
 # Full test suite across the workspace.
 test:

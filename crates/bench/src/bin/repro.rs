@@ -7,6 +7,9 @@
 //! repro obs-smoke      # tiny observability end-to-end check
 //! repro faults         # 11-app fault-injection campaign (base vs VCFR)
 //! repro faults-smoke   # 1-app seeded campaign + determinism check
+//! repro frontier       # entropy/security frontier sweep (Pareto table)
+//! repro frontier --shard 0/2  # one shard of the sweep (fleet node)
+//! repro frontier-smoke # 2-point sweep + thread-determinism check
 //! repro throughput     # superblock fast-path rate on the no-stall program
 //! repro telemetry-smoke  # manifests + checkpoints byte-identical, tap on vs off
 //! repro multicore-smoke  # VCFR+base shared-L2 cells, rerand mid-run, thread-stable
@@ -72,6 +75,146 @@ fn parse_scale(args: &mut Vec<String>) -> u64 {
         }
     }
     scale.filter(|&n| n > 0).unwrap_or(1)
+}
+
+/// Pulls `--shard i/n` / `--shard=i/n` out of `args`, returning the
+/// shard coordinates when present (the fleet runs one `repro frontier
+/// --shard i/n` per node and merges the manifest trees).
+fn parse_shard(args: &mut Vec<String>) -> Option<(usize, usize)> {
+    let mut shard = None;
+    let mut i = 0;
+    while i < args.len() {
+        let spec = if args[i] == "--shard" && i + 1 < args.len() {
+            let v = args[i + 1].clone();
+            args.drain(i..i + 2);
+            Some(v)
+        } else if let Some(v) = args[i].strip_prefix("--shard=") {
+            let v = v.to_string();
+            args.remove(i);
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        if let Some(v) = spec {
+            shard = v.split_once('/').and_then(|(a, b)| {
+                Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?))
+            });
+        }
+    }
+    shard.filter(|&(i, n)| n > 0 && i < n)
+}
+
+/// The workload the frontier sweeps: compact enough that the region
+/// span — the attacker's search space — is set by `entropy_bits` at
+/// every standard point.
+const FRONTIER_APP: &str = "sjeng";
+
+/// Runs the entropy/security frontier sweep (optionally one shard of
+/// it), prints the Pareto table, and writes one manifest per point to
+/// `out_dir`.
+fn run_frontier_cmd(
+    threads: usize,
+    shard: Option<(usize, usize)>,
+    out_dir: &Path,
+) -> Vec<vcfr_bench::FrontierRow> {
+    let w = vcfr_workloads::by_name(FRONTIER_APP).expect("frontier app exists");
+    let points: Vec<vcfr_bench::FrontierPoint> = match shard {
+        Some((i, n)) => vcfr_bench::shard_frontier(&vcfr_bench::FRONTIER_POINTS, n).swap_remove(i),
+        None => vcfr_bench::FRONTIER_POINTS.to_vec(),
+    };
+    let fz = vcfr_bench::frontier_fuzz_config();
+    eprintln!(
+        "frontier: {FRONTIER_APP} x {} point(s), {} trials x {} probes per point, {} thread(s) ...",
+        points.len(),
+        fz.trials,
+        fz.probes_per_trial,
+        threads
+    );
+    let rows = vcfr_bench::run_frontier(&w, &points, &fz, threads);
+    header(
+        "Entropy/security frontier - Pareto table",
+        "attacker success vs slowdown vs fault-detection coverage per entropy point",
+    );
+    let summaries: Vec<_> = rows.iter().map(|r| r.summary()).collect();
+    print!("{}", vcfr_bench::frontier_pareto_table(&summaries));
+    let ms = manifests::build_frontier_manifests(&rows, &fz, threads);
+    match manifests::write_manifests(out_dir, &ms) {
+        Ok(n) => eprintln!("wrote {n} frontier manifests to {}/", out_dir.display()),
+        Err(e) => eprintln!("warning: could not write frontier manifests: {e}"),
+    }
+    rows
+}
+
+/// Tiny end-to-end check of the frontier: two entropy points on a
+/// capped budget, manifests byte-identical across worker-thread counts,
+/// span strictly growing with entropy, and the manifest round-trip
+/// reproducing every headline number.
+fn frontier_smoke() -> bool {
+    let mut w = vcfr_workloads::by_name(FRONTIER_APP).expect("frontier app exists");
+    w.max_insts = w.max_insts.min(40_000);
+    let points = [
+        vcfr_bench::FrontierPoint { entropy_bits: 13, sparsity: 2 },
+        vcfr_bench::FrontierPoint { entropy_bits: 17, sparsity: 2 },
+    ];
+    let fz = vcfr_gadget::FuzzConfig {
+        trials: 4,
+        probes_per_trial: 24,
+        ..vcfr_bench::frontier_fuzz_config()
+    };
+    eprintln!(
+        "frontier-smoke: {FRONTIER_APP} x {{e13, e17}}, {} inst budget, {} trials x {} probes",
+        w.max_insts, fz.trials, fz.probes_per_trial
+    );
+    let mut ok = true;
+
+    let rows1 = vcfr_bench::run_frontier(&w, &points, &fz, 1);
+    let rows2 = vcfr_bench::run_frontier(&w, &points, &fz, 2);
+    let ms1 = manifests::build_frontier_manifests(&rows1, &fz, 1);
+    let ms2 = manifests::build_frontier_manifests(&rows2, &fz, 2);
+    for (a, b) in ms1.iter().zip(&ms2) {
+        if a.canonical_bytes() != b.canonical_bytes() {
+            eprintln!("FAIL {}: canonical manifest differs between 1 and 2 threads", a.file_name());
+            ok = false;
+        } else {
+            println!("PASS {:<28} thread-stable", a.file_name());
+        }
+    }
+    if rows1[0].span_bytes >= rows1[1].span_bytes {
+        eprintln!(
+            "FAIL: span must grow with entropy ({} vs {})",
+            rows1[0].span_bytes, rows1[1].span_bytes
+        );
+        ok = false;
+    }
+    for (row, m) in rows1.iter().zip(&ms1) {
+        match manifests::frontier_summary_from_manifest(m) {
+            Some(s) if s == row.summary() => {
+                println!(
+                    "PASS {:<28} atk {:.3}, slowdown {:.3}x, cover {:.3}",
+                    m.file_name(),
+                    s.attack_success,
+                    s.slowdown,
+                    s.fault_coverage
+                );
+            }
+            Some(_) => {
+                eprintln!("FAIL {}: manifest summary differs from the run", m.file_name());
+                ok = false;
+            }
+            None => {
+                eprintln!("FAIL {}: manifest does not read back as a frontier point", m.file_name());
+                ok = false;
+            }
+        }
+    }
+    if let Err(e) = manifests::write_manifests(Path::new("target/frontier-smoke-manifests"), &ms1)
+    {
+        eprintln!("FAIL: could not write manifests: {e}");
+        ok = false;
+    }
+    println!("frontier-smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
 }
 
 /// Runs the no-stall superblock throughput measurement and prints both
@@ -525,6 +668,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
     let scale = parse_scale(&mut args);
+    let shard = parse_shard(&mut args);
     if args.iter().any(|a| a == "check") {
         if scale != 1 {
             eprintln!("note: check gates on the calibrated scale-1 suite; --scale ignored");
@@ -538,6 +682,9 @@ fn main() {
     if args.iter().any(|a| a == "faults-smoke") {
         std::process::exit(if faults_smoke() { 0 } else { 1 });
     }
+    if args.iter().any(|a| a == "frontier-smoke") {
+        std::process::exit(if frontier_smoke() { 0 } else { 1 });
+    }
     if args.iter().any(|a| a == "telemetry-smoke") {
         std::process::exit(if telemetry_smoke() { 0 } else { 1 });
     }
@@ -550,6 +697,9 @@ fn main() {
     }
     if want(&args, "faults") {
         run_faults(&vcfr_workloads::spec_suite(), threads, Path::new("results/faults"));
+    }
+    if want(&args, "frontier") {
+        run_frontier_cmd(threads, shard, Path::new("results/frontier"));
     }
     let needs_matrix =
         ["fig3", "fig4", "fig12", "fig13", "fig14", "fig15"].iter().any(|e| want(&args, e));

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 use vcfr_core::DrcConfig;
-use vcfr_gadget::compare_surface;
+use vcfr_gadget::AttackSurface;
 use vcfr_isa::Image;
 use vcfr_rewriter::{
     analyze_control_flow, disassemble, randomize, ControlFlowStats, RandomizeConfig,
@@ -510,7 +510,7 @@ pub fn fig11() -> Vec<Fig11Row> {
             let mut cfg = RandomizeConfig::with_seed(SEED);
             cfg.keep_unrandomized = keep;
             let rp = randomize(&w.image, &cfg).expect("workloads randomize");
-            let c = compare_surface(&w.image, &rp);
+            let c = AttackSurface::scan(&w.image).against(&rp);
             Fig11Row {
                 name: w.name,
                 total_gadgets: c.total_gadgets,

@@ -9,7 +9,9 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod frontier;
 pub mod manifests;
+pub mod modes;
 pub mod pool;
 pub mod shard;
 
@@ -25,10 +27,17 @@ pub use experiments::{
     run_matrix_timed, table1, table2, AppResults, Fig11Row, Fig2Row, Fig3Row, Matrix,
     MatrixTiming, RunTiming, MODE_NAMES,
 };
+pub use frontier::{
+    frontier_fuzz_config, frontier_pareto_table, run_frontier, shard_frontier, FrontierPoint,
+    FrontierRow, FrontierSummary, FRONTIER_POINTS,
+};
 pub use manifests::{
     bench_record, build_campaign_manifests, build_engine_manifest, build_fault_manifest,
-    build_fault_manifest_parts, build_manifest, build_matrix_manifests, write_manifests,
+    build_fault_manifest_parts, build_frontier_manifest, build_frontier_manifests,
+    build_manifest, build_matrix_manifests, frontier_summary_from_manifest, rand_params_json,
+    write_manifests,
 };
+pub use modes::{ModeParseError, ModeSpec, DEFAULT_DRC_ENTRIES};
 pub use pool::{parallel_map, PoolFull, PoolSnapshot, WorkerPool, WorkerStat};
 pub use shard::{
     merge_manifest_bytes, merge_manifest_trees, shard_campaign, shard_matrix, MergeOutcome,

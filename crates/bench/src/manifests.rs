@@ -8,22 +8,37 @@
 //! of every manifest is identical across worker-thread counts.
 
 use crate::campaign::{CampaignCell, FAULTS_PER_RUN};
+use crate::frontier::{FrontierRow, FrontierSummary};
 use crate::experiments::{
     AppResults, Matrix, MatrixTiming, MulticoreCell, MODE_NAMES, MULTICORE_RERAND_EPOCH, SEED,
 };
 use std::io;
 use std::path::Path;
+use vcfr_gadget::FuzzConfig;
 use vcfr_obs::{fingerprint, BenchRecord, BenchRun, Json, Manifest, Snapshot};
 use vcfr_sim::{EngineKind, IntervalSample, OooConfig, SimConfig, SimStats};
 
-/// DRC entries per matrix column (`None` for the non-VCFR machines).
+/// DRC entries per matrix column (`None` for the non-VCFR machines),
+/// read out of the typed [`ModeSpec`] vocabulary.
 fn drc_entries(mode: &str) -> Option<u64> {
-    match mode {
-        "vcfr512" => Some(512),
-        "vcfr128" => Some(128),
-        "vcfr64" => Some(64),
-        _ => None,
-    }
+    mode.parse::<crate::ModeSpec>().ok().and_then(|m| m.drc_entries()).map(|n| n as u64)
+}
+
+/// The `rand` sub-object of a manifest `config` block: the
+/// [`RandParams`] point a frontier run was measured at.
+///
+/// [`RandParams`]: vcfr_core::RandParams
+pub fn rand_params_json(p: &vcfr_core::RandParams) -> Json {
+    let mut j = Json::obj();
+    j.set("entropy_bits", Json::U64(p.entropy_bits as u64));
+    j.set("sparsity", Json::U64(p.sparsity as u64));
+    match p.rerand_epoch {
+        Some(e) => j.set("rerand_epoch", Json::U64(e)),
+        None => j.set("rerand_epoch", Json::Null),
+    };
+    j.set("drc_entries", Json::U64(p.drc.entries as u64));
+    j.set("drc_ways", Json::U64(p.drc.ways as u64));
+    j
 }
 
 /// The manifest `config` block: the standard matrix configuration plus a
@@ -236,6 +251,94 @@ pub fn build_fault_manifest_parts(
     m.set_audit(audit_json(stats));
     m.set_host(host);
     m
+}
+
+/// The manifest `config` block of a frontier point: the machine
+/// configuration, the [`RandParams`](vcfr_core::RandParams) point (as
+/// the `rand` sub-object), and the attacker budget — all folded into the
+/// fingerprint.
+fn frontier_config_json(row: &FrontierRow, fz: &FuzzConfig) -> Json {
+    let cfg = SimConfig::default();
+    let params = row.point.params();
+    let mode = row.point.label();
+    let mut j = Json::obj();
+    j.set(
+        "fingerprint",
+        Json::Str(fingerprint(&format!(
+            "{cfg:?} mode={mode} seed={SEED} rand={params:?} fuzz={fz:?}"
+        ))),
+    );
+    j.set("seed", Json::U64(SEED));
+    j.set("rand", rand_params_json(&params));
+    j.set("drc_entries", Json::U64(params.drc.entries as u64));
+    j.set("fuzz_trials", Json::U64(u64::from(fz.trials)));
+    j.set("fuzz_probes_per_trial", Json::U64(u64::from(fz.probes_per_trial)));
+    j.set("fuzz_exec_budget", Json::U64(fz.exec_budget));
+    j
+}
+
+/// Builds the manifest of one frontier point: the standard `sim.*`
+/// counters of the clean VCFR run, the fault counters of the faulted
+/// run, and the three frontier objectives in the `derived` block.
+pub fn build_frontier_manifest(row: &FrontierRow, fz: &FuzzConfig, host: Json) -> Manifest {
+    let mut m = Manifest::new(row.app, &row.point.label());
+    m.set_config(frontier_config_json(row, fz));
+    let mut counters = row.stats.snapshot().counters;
+    counters.extend([
+        ("fault.injected".to_string(), row.faults.injected),
+        ("fault.silent".to_string(), row.faults.silent),
+        ("fault.detected".to_string(), row.faults.detected()),
+        ("attack.trials".to_string(), u64::from(row.trials)),
+        ("attack.successes".to_string(), u64::from(row.successes)),
+        ("attack.pages_leaked".to_string(), row.pages_leaked as u64),
+    ]);
+    m.set_counters(&Snapshot::from_counters(counters));
+    let mut d = derived_json(&row.stats);
+    d.set("span_bytes", Json::U64(row.span_bytes));
+    d.set("attack_success", Json::F64(row.attack_success));
+    d.set("slowdown", Json::F64(row.slowdown));
+    d.set("base_cycles", Json::U64(row.base_cycles));
+    d.set("fault_coverage", Json::F64(row.fault_coverage));
+    m.set_derived(d);
+    m.set_audit(audit_json(&row.stats));
+    m.set_host(host);
+    m
+}
+
+/// One manifest per frontier row (host block carries the thread count
+/// only; the canonical bytes are thread-independent).
+pub fn build_frontier_manifests(
+    rows: &[FrontierRow],
+    fz: &FuzzConfig,
+    threads: usize,
+) -> Vec<Manifest> {
+    rows.iter()
+        .map(|r| {
+            let mut host = Json::obj();
+            host.set("threads", Json::U64(threads as u64));
+            build_frontier_manifest(r, fz, host)
+        })
+        .collect()
+}
+
+/// Reads a frontier point's headline numbers back out of its manifest
+/// (`None` for manifests of any other campaign) — how `vcfr report
+/// --frontier` rebuilds the Pareto table from a merged tree.
+pub fn frontier_summary_from_manifest(m: &Manifest) -> Option<FrontierSummary> {
+    let bits = m.mode().strip_prefix("frontier-e")?.parse::<u32>().ok()?;
+    let j = m.json();
+    let derived = |key: &str| j.get_path(&format!("derived.{key}"));
+    Some(FrontierSummary {
+        app: m.app().to_string(),
+        entropy_bits: bits,
+        span_bytes: derived("span_bytes")?.as_u64()?,
+        successes: m.counter("attack.successes") as u32,
+        trials: m.counter("attack.trials") as u32,
+        attack_success: derived("attack_success")?.as_f64()?,
+        pages_leaked: m.counter("attack.pages_leaked"),
+        slowdown: derived("slowdown")?.as_f64()?,
+        fault_coverage: derived("fault_coverage")?.as_f64()?,
+    })
 }
 
 /// One manifest per campaign cell (host block carries the thread count

@@ -1,0 +1,56 @@
+//! Property tests pinning the `ModeSpec` vocabulary: the canonical
+//! `Display → FromStr` round-trip is lossless for every spec, the
+//! historical wire dialect (`baseline`, bare `vcfr` + a separate DRC
+//! field) keeps parsing to the same typed values, and junk never
+//! panics the parser.
+
+use proptest::prelude::*;
+use vcfr_bench::{ModeSpec, DEFAULT_DRC_ENTRIES};
+
+fn arb_mode() -> impl Strategy<Value = ModeSpec> {
+    prop_oneof![
+        Just(ModeSpec::Base),
+        Just(ModeSpec::Naive),
+        // The vocabulary only admits power-of-two DRCs (direct-mapped
+        // sets), so that is the space the round-trip is pinned over.
+        (0u32..17).prop_map(|k| ModeSpec::Vcfr { drc_entries: 1usize << k }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_from_str_round_trips(m in arb_mode()) {
+        let shown = m.to_string();
+        prop_assert_eq!(shown.parse::<ModeSpec>(), Ok(m));
+    }
+
+    #[test]
+    fn wire_dialect_agrees_with_canonical(m in arb_mode(), legacy_drc in (0u32..13).prop_map(|k| 1usize << k)) {
+        // The canonical token survives the two-field wire form no
+        // matter what the separate DRC field says (explicit suffix
+        // wins)...
+        prop_assert_eq!(ModeSpec::from_wire(&m.to_string(), legacy_drc), Ok(m));
+        // ...and the legacy aliases land on the same typed values.
+        prop_assert_eq!(ModeSpec::from_wire("baseline", legacy_drc), Ok(ModeSpec::Base));
+        prop_assert_eq!(
+            ModeSpec::from_wire("vcfr", legacy_drc),
+            Ok(ModeSpec::Vcfr { drc_entries: legacy_drc })
+        );
+    }
+
+    #[test]
+    fn parser_rejects_junk_without_panicking(bytes in proptest::collection::vec(0u8..128, 0..12)) {
+        let s: String = bytes.iter().map(|&b| b as char).collect();
+        // Whatever comes back, it must round-trip if it parsed at all.
+        if let Ok(m) = s.parse::<ModeSpec>() {
+            prop_assert_eq!(m.to_string().parse::<ModeSpec>(), Ok(m));
+        }
+    }
+
+}
+
+#[test]
+fn bare_vcfr_defaults_are_stable() {
+    assert_eq!("vcfr".parse::<ModeSpec>(), Ok(ModeSpec::vcfr_default()));
+    assert_eq!(ModeSpec::vcfr_default().drc_entries(), Some(DEFAULT_DRC_ENTRIES));
+}

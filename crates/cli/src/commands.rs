@@ -5,8 +5,9 @@ use crate::args::{Args, ArgsError};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
-use vcfr_core::DrcConfig;
-use vcfr_gadget::{assemble_payload, classify, compare_surface, scan, templates, Capability};
+use vcfr_bench::{rand_params_json, ModeSpec};
+use vcfr_core::{DrcConfig, RandParams};
+use vcfr_gadget::{AttackSurface, Capability};
 use vcfr_isa::{Image, Machine, IMAGE_MAGIC};
 use vcfr_rewriter::{
     analyze_control_flow, disassemble, randomize, Cfg, RandomizeConfig, RandomizedProgram,
@@ -329,16 +330,18 @@ fn run_audit(cfg: &SimConfig, stats: &SimStats) -> vcfr_obs::AuditReport {
 #[allow(clippy::too_many_arguments)]
 fn single_run_manifest(
     app: &str,
-    mode_name: &str,
+    mode: ModeSpec,
     cfg: &SimConfig,
-    drc_entries: usize,
     seed: u64,
     stats: &SimStats,
     host_s: f64,
 ) -> Manifest {
+    let mode_name = mode.to_string();
+    let drc_entries = mode.drc_entries().unwrap_or(0);
     let mut config = Json::obj();
-    // The engine kind lives inside the config's Debug form, so in-order,
-    // out-of-order and multicore runs fingerprint distinctly.
+    // The engine kind and the RandParams point live inside the config's
+    // Debug form, so engine variants and frontier points all fingerprint
+    // distinctly.
     config.set(
         "fingerprint",
         Json::Str(fingerprint(&format!(
@@ -349,8 +352,14 @@ fn single_run_manifest(
     config.set("freq_ghz", Json::F64(cfg.freq_ghz));
     config.set(
         "drc_entries",
-        if mode_name == "vcfr" { Json::U64(drc_entries as u64) } else { Json::Null },
+        match mode.drc_entries() {
+            Some(entries) => Json::U64(entries as u64),
+            None => Json::Null,
+        },
     );
+    if let Some(p) = cfg.rand {
+        config.set("rand", rand_params_json(&p));
+    }
     let mut derived = Json::obj();
     derived.set("ipc", Json::F64(stats.ipc()));
     derived.set("il1_miss_rate", Json::F64(stats.il1.miss_rate()));
@@ -371,7 +380,7 @@ fn single_run_manifest(
     let mut host = Json::obj();
     host.set("wall_s", Json::F64(host_s));
     host.set("insts_per_s", Json::F64(stats.instructions as f64 / host_s.max(1e-9)));
-    let mut m = Manifest::new(app, mode_name);
+    let mut m = Manifest::new(app, &mode_name);
     m.set_config(config);
     m.set_counters(&stats.snapshot());
     m.set_derived(derived);
@@ -402,12 +411,13 @@ fn single_run_manifest(
 /// `vcfr-obs` manifest readable by `vcfr report`.
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
-    let mode_name = args.value("mode").unwrap_or("baseline");
-    let drc_entries = args.u64_or("drc", 128)? as usize;
+    let drc_arg = args.u64_or("drc", vcfr_bench::DEFAULT_DRC_ENTRIES as u64)? as usize;
+    let mode_spec = ModeSpec::from_wire(args.value("mode").unwrap_or("baseline"), drc_arg)
+        .map_err(|e| fail(e.to_string()))?;
     let seed = args.u64_or("seed", 0)?;
     let scale = args.u64_or("scale", 1)?;
     let rerand_epoch = args.u64_or("rerand-epoch", 0)?;
-    if rerand_epoch > 0 && mode_name != "vcfr" {
+    if rerand_epoch > 0 && mode_spec.drc_entries().is_none() {
         return Err(fail("--rerand-epoch requires --mode vcfr (live table swaps need the DRC)"));
     }
     let cores = args.u64_or("cores", 1)?;
@@ -427,11 +437,32 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     } else {
         EngineKind::InOrder
     };
-    let cfg = SimConfig {
-        rerand_epoch: (rerand_epoch > 0).then_some(rerand_epoch),
-        engine,
-        ..SimConfig::default()
+    // --entropy-bits/--sparsity pick a point on the randomization
+    // frontier; a VCFR run always carries its RandParams so the point
+    // lands in the checkpoint fingerprint and the manifest.
+    let rand = match mode_spec.drc_entries() {
+        Some(entries) => Some(RandParams {
+            entropy_bits: args.u64_or("entropy-bits", 12)? as u32,
+            sparsity: args.u64_or("sparsity", 32)? as u32,
+            rerand_epoch: (rerand_epoch > 0).then_some(rerand_epoch),
+            drc: DrcConfig::direct_mapped(entries),
+        }),
+        None => {
+            if args.value("entropy-bits").is_some() || args.value("sparsity").is_some() {
+                return Err(fail(
+                    "--entropy-bits/--sparsity parameterize the randomized layout; \
+                     they need --mode vcfr",
+                ));
+            }
+            None
+        }
     };
+    let cfg = SimConfig::builder()
+        .engine(engine)
+        .rerand_epoch((rerand_epoch > 0).then_some(rerand_epoch))
+        .rand_params(rand)
+        .build()
+        .map_err(|e| fail(e.to_string()))?;
 
     // Obtain the image: an artefact file, or — when the argument names a
     // known workload instead of a readable file — a fresh build at the
@@ -467,11 +498,12 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     };
     let (image, rp) = match image {
         Artefact::Image(img) => {
-            let rp = if mode_name != "baseline" {
-                Some(
-                    randomize(&img, &RandomizeConfig::with_seed(seed))
-                        .map_err(|e| fail(e.to_string()))?,
-                )
+            let rp = if mode_spec != ModeSpec::Base {
+                let rcfg = match &rand {
+                    Some(p) => RandomizeConfig::from_params(seed, p),
+                    None => RandomizeConfig::with_seed(seed),
+                };
+                Some(randomize(&img, &rcfg).map_err(|e| fail(e.to_string()))?)
             } else {
                 None
             };
@@ -480,13 +512,13 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         Artefact::Randomized(rp) => (rp.original.clone(), Some(*rp)),
     };
 
-    let mode = match (mode_name, rp.as_ref()) {
-        ("baseline", _) => Mode::Baseline(&image),
-        ("naive", Some(rp)) => Mode::NaiveIlr(rp),
-        ("vcfr", Some(rp)) => {
+    let mode = match (mode_spec, rp.as_ref()) {
+        (ModeSpec::Base, _) => Mode::Baseline(&image),
+        (ModeSpec::Naive, Some(rp)) => Mode::NaiveIlr(rp),
+        (ModeSpec::Vcfr { drc_entries }, Some(rp)) => {
             Mode::Vcfr { program: rp, drc: DrcConfig::direct_mapped(drc_entries) }
         }
-        (m, _) => return Err(fail(format!("unknown mode {m:?} (baseline|naive|vcfr)"))),
+        (_, None) => return Err(fail("randomized artefact required for this mode")),
     };
 
     if args.flag("dump-trace") && !matches!(engine, EngineKind::InOrder) {
@@ -529,7 +561,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         EngineKind::Ooo => " (4-wide out-of-order)".to_string(),
         EngineKind::Multicore { cores } => format!(" ({cores} in-order cores, shared L2)"),
     };
-    let mut report = format!("mode: {mode_name}{engine_note}\n");
+    let mut report = format!("mode: {mode_spec}{engine_note}\n");
     report.push_str(&render_stats(&out.stats));
     if let Some(mc) = &outcome.multicore {
         for (i, s) in mc.per_core.iter().enumerate() {
@@ -554,9 +586,9 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         host_s,
         out.stats.instructions as f64 / host_s.max(1e-9) / 1e6
     );
-    if let (Some(drc), true) = (out.stats.drc, mode_name == "vcfr") {
+    if let (Some(drc), Some(entries)) = (out.stats.drc, mode_spec.drc_entries()) {
         let _ = drc;
-        let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(drc_entries)));
+        let p = vcfr_power::analyze(&out.stats, &cfg, Some(DrcConfig::direct_mapped(entries)));
         let _ = writeln!(report, "DRC power overhead: {:.3}%", p.drc_overhead_pct());
     }
     if !trace_dump.is_empty() {
@@ -571,7 +603,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     }
     if let Some(mpath) = args.value("manifest") {
         let app = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path);
-        let m = single_run_manifest(app, mode_name, &cfg, drc_entries, seed, &out.stats, host_s);
+        let m = single_run_manifest(app, mode_spec, &cfg, seed, &out.stats, host_s);
         fs::write(mpath, m.to_string_pretty())
             .map_err(|e| fail(format!("cannot write {mpath}: {e}")))?;
         let _ = writeln!(report, "manifest: wrote {mpath}");
@@ -579,17 +611,14 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(report)
 }
 
-/// Column order of the standard experiment matrix; unknown modes sort
-/// after the known ones, alphabetically.
-fn mode_rank(mode: &str) -> usize {
-    match mode {
-        "base" | "baseline" => 0,
-        "naive" => 1,
-        "vcfr512" => 2,
-        "vcfr128" => 3,
-        "vcfr64" => 4,
-        "vcfr" => 5,
-        _ => 6,
+/// Column order of the standard experiment matrix (via
+/// [`ModeSpec::report_rank`]); modes outside the vocabulary — fault and
+/// engine-prefixed manifests, frontier points — sort after the known
+/// ones, alphabetically.
+fn mode_rank(mode: &str) -> (u8, i64) {
+    match mode.parse::<ModeSpec>() {
+        Ok(spec) => spec.report_rank(),
+        Err(_) => (u8::MAX, 0),
     }
 }
 
@@ -626,7 +655,7 @@ fn render_report(dir: &str, manifests: &[Manifest]) -> String {
     use std::collections::{BTreeMap, BTreeSet};
     let mut base_cycles: BTreeMap<&str, u64> = BTreeMap::new();
     for m in manifests {
-        if matches!(m.mode(), "base" | "baseline") {
+        if m.mode().parse::<ModeSpec>() == Ok(ModeSpec::Base) {
             base_cycles.insert(m.app(), m.counter("sim.cycles"));
         }
     }
@@ -645,7 +674,7 @@ fn render_report(dir: &str, manifests: &[Manifest]) -> String {
             .filter(|&&b| b > 0)
             .map(|&b| cycles as f64 / b as f64);
         if let Some(s) = slow {
-            if !matches!(m.mode(), "base" | "baseline") {
+            if m.mode().parse::<ModeSpec>() != Ok(ModeSpec::Base) {
                 slowdowns.entry(m.mode()).or_default().push(s);
             }
         }
@@ -742,6 +771,9 @@ fn render_diff(ours_dir: &str, ours: &[Manifest], theirs_dir: &str, theirs: &[Ma
 pub fn cmd_report(args: &Args) -> Result<String, CliError> {
     let dir = args.positional(0, "manifest directory")?;
     let manifests = load_manifest_dir(dir)?;
+    if args.flag("frontier") {
+        return render_frontier(dir, &manifests);
+    }
     match args.value("against") {
         Some(other) => {
             let theirs = load_manifest_dir(other)?;
@@ -751,35 +783,49 @@ pub fn cmd_report(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `vcfr report <dir> --frontier`: rebuilds the entropy/security Pareto
+/// table from the frontier manifests in `dir` (written by `repro
+/// frontier`, possibly merged from several fleet shards).
+fn render_frontier(dir: &str, manifests: &[Manifest]) -> Result<String, CliError> {
+    let mut rows: Vec<vcfr_bench::FrontierSummary> =
+        manifests.iter().filter_map(vcfr_bench::frontier_summary_from_manifest).collect();
+    if rows.is_empty() {
+        return Err(fail(format!("{dir}: no frontier manifests (run `repro frontier` first)")));
+    }
+    rows.sort_by(|a, b| a.app.cmp(&b.app).then(a.entropy_bits.cmp(&b.entropy_bits)));
+    let mut out = format!("entropy/security frontier ({dir}, {} point(s))\n", rows.len());
+    out.push_str(&vcfr_bench::frontier_pareto_table(&rows));
+    out.push_str("* = Pareto-optimal over (attacker success v, slowdown v, fault coverage ^)\n");
+    Ok(out)
+}
+
 /// `vcfr gadgets <file> [--against <randomized-file>]`.
 pub fn cmd_gadgets(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "input file")?;
     let image = load_image(path)?;
-    let gadgets = scan(&image);
+    let surface = AttackSurface::scan(&image);
     let mut by_cap: std::collections::BTreeMap<&'static str, usize> = Default::default();
-    for g in &gadgets {
-        for c in classify(g) {
-            let name = match c {
-                Capability::LoadReg(_) => "load-register",
-                Capability::WriteMem => "write-memory",
-                Capability::ReadMem => "read-memory",
-                Capability::MoveReg => "move-register",
-                Capability::Arith => "arithmetic",
-                Capability::Syscall => "syscall",
-                Capability::Pivot => "pivot",
-            };
-            *by_cap.entry(name).or_default() += 1;
-        }
+    for (c, n) in surface.capability_census() {
+        let name = match c {
+            Capability::LoadReg(_) => "load-register",
+            Capability::WriteMem => "write-memory",
+            Capability::ReadMem => "read-memory",
+            Capability::MoveReg => "move-register",
+            Capability::Arith => "arithmetic",
+            Capability::Syscall => "syscall",
+            Capability::Pivot => "pivot",
+        };
+        *by_cap.entry(name).or_default() += n;
     }
-    let mut out = format!("{} gadgets in {}\n", gadgets.len(), path);
+    let mut out = format!("{} gadgets in {}\n", surface.gadgets().len(), path);
     for (cap, n) in by_cap {
         let _ = writeln!(out, "  {cap:<14} {n}");
     }
     if args.flag("payloads") {
-        for t in templates() {
-            match assemble_payload(&t, &gadgets, |_| true) {
+        for (t, assembled) in surface.payloads() {
+            match assembled {
                 Some(p) => {
-                    let words = p.stack_words(&gadgets);
+                    let words = surface.stack_words(&p);
                     let _ = writeln!(
                         out,
                         "payload {:<18} chain {:x?} ({} stack words)",
@@ -801,7 +847,7 @@ pub fn cmd_gadgets(args: &Args) -> Result<String, CliError> {
                 return Err(fail(format!("{rand_path}: expected a randomized program")))
             }
         };
-        let c = compare_surface(&image, &rp);
+        let c = surface.against(&rp);
         let _ = writeln!(
             out,
             "against {}: {:.1}% removed ({} of {} usable); payloads {} -> {}",
@@ -1220,7 +1266,7 @@ mod tests {
         // The written manifests validate and carry the run identity.
         let m = Manifest::from_str(&fs::read_to_string(&vcfr_m).unwrap()).unwrap();
         assert_eq!(m.app(), "hmmer-obs");
-        assert_eq!(m.mode(), "vcfr");
+        assert_eq!(m.mode(), "vcfr128", "canonical mode names carry the DRC geometry");
         assert!(m.counter("sim.cycles") > 0);
 
         // The report renders both runs with a slowdown column.
@@ -1242,6 +1288,49 @@ mod tests {
         fs::create_dir_all(&empty).unwrap();
         let e = cmd_report(&parse(&[empty.to_str().unwrap()], &[], &["against"])).unwrap_err();
         assert!(e.to_string().contains("no manifest"), "{e}");
+    }
+
+    #[test]
+    fn report_frontier_renders_pareto_table_from_manifests() {
+        use vcfr_bench::{build_frontier_manifests, run_frontier, write_manifests, FrontierPoint};
+        use vcfr_gadget::FuzzConfig;
+
+        let mut w = vcfr_workloads::by_name("sjeng").unwrap();
+        w.max_insts = w.max_insts.min(30_000);
+        let points = vec![
+            FrontierPoint { entropy_bits: 13, sparsity: 2 },
+            FrontierPoint { entropy_bits: 17, sparsity: 2 },
+        ];
+        let fz = FuzzConfig { seed: 2015, trials: 2, probes_per_trial: 8, exec_budget: 1024 };
+        let rows = run_frontier(&w, &points, &fz, 2);
+        let manifests = build_frontier_manifests(&rows, &fz, 2);
+
+        let dir = std::env::temp_dir().join("vcfr-cli-tests").join("frontier-manifests");
+        let _ = fs::remove_dir_all(&dir);
+        write_manifests(&dir, &manifests).unwrap();
+
+        let dir_s = dir.to_str().unwrap().to_string();
+        let rep =
+            cmd_report(&parse(&[&dir_s, "--frontier"], &["frontier"], &["against"])).unwrap();
+        assert!(rep.contains("sjeng-frontier-e13"), "{rep}");
+        assert!(rep.contains("sjeng-frontier-e17"), "{rep}");
+        assert!(rep.contains("atk-success") && rep.contains("pareto"), "{rep}");
+        assert!(rep.contains("Pareto-optimal"), "{rep}");
+
+        // A directory of ordinary manifests is a clean error under --frontier.
+        let plain = std::env::temp_dir().join("vcfr-cli-tests").join("frontier-plain");
+        let _ = fs::remove_dir_all(&plain);
+        fs::create_dir_all(&plain).unwrap();
+        let mut ordinary = Manifest::new("sjeng", "base");
+        let mut cfg = vcfr_obs::Json::obj();
+        cfg.set("fingerprint", vcfr_obs::Json::Str("VCFRCKP1-test".into()));
+        ordinary.set_config(cfg);
+        ordinary.set_counters(&vcfr_obs::Snapshot::from_counters(std::iter::empty()));
+        fs::write(plain.join(ordinary.file_name()), ordinary.to_string_pretty()).unwrap();
+        let plain_s = plain.to_str().unwrap().to_string();
+        let e = cmd_report(&parse(&[&plain_s, "--frontier"], &["frontier"], &["against"]))
+            .unwrap_err();
+        assert!(e.to_string().contains("no frontier manifests"), "{e}");
     }
 
     #[test]

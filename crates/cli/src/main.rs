@@ -6,13 +6,14 @@
 //! vcfr run <file> [--max N]                 execute on the functional interpreter
 //! vcfr randomize <file> --o <out> [--seed N] [--page-confined]
 //!                [--software-returns] [--keep SYM]...
-//! vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+//! vcfr simulate <file|workload> [--mode base|naive|vcfr<N>] [--drc N] [--ooo]
 //!                [--cores N] [--max N] [--seed N] [--rerand-epoch N] [--audit]
-//!                [--scale N] [--no-superblocks] [--manifest <out.json>]
+//!                [--entropy-bits N] [--sparsity N] [--scale N]
+//!                [--no-superblocks] [--manifest <out.json>]
 //!                [--progress] [--dump-trace]
 //! vcfr gadgets <file> [--against <randomized>]
 //! vcfr stats <file>                         static control-flow statistics
-//! vcfr report <manifest-dir> [--against <manifest-dir>]
+//! vcfr report <manifest-dir> [--against <manifest-dir>] [--frontier]
 //! vcfr serve [--dir D]                      run the batch-simulation daemon
 //! vcfr submit <workload> [--dir D] [...]    queue a job on the daemon
 //! vcfr jobs [--dir D]                       list the daemon's jobs
@@ -40,16 +41,17 @@ USAGE:
     vcfr run <file> [--max N]
     vcfr randomize <file> --o <out> [--seed N] [--page-confined]
                    [--software-returns] [--keep SYM]...
-    vcfr simulate <file|workload> [--mode baseline|naive|vcfr] [--drc N] [--ooo]
+    vcfr simulate <file|workload> [--mode base|naive|vcfr<N>] [--drc N] [--ooo]
                    [--cores N] [--max N] [--seed N] [--rerand-epoch N] [--audit]
-                   [--scale N] [--no-superblocks] [--manifest <out.json>]
+                   [--entropy-bits N] [--sparsity N] [--scale N]
+                   [--no-superblocks] [--manifest <out.json>]
                    [--progress] [--dump-trace]
     vcfr gadgets <file> [--against <randomized>] [--payloads]
     vcfr stats <file>
     vcfr trace <file> [--count N] [--skip N]
-    vcfr report <manifest-dir> [--against <manifest-dir>]
+    vcfr report <manifest-dir> [--against <manifest-dir>] [--frontier]
     vcfr serve [--dir D] [--port P] [--workers N] [--queue N]
-    vcfr submit <workload> [--mode baseline|naive|vcfr] [--drc N] [--max N]
+    vcfr submit <workload> [--mode base|naive|vcfr<N>] [--drc N] [--max N]
                    [--seed N] [--rerand-epoch N] [--checkpoint-every N]
                    [--scale N] [--ooo] [--cores N] [--dir D] [--faults] [--watch]
     vcfr jobs [--dir D]
@@ -79,9 +81,20 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<String, CliError> {
         "simulate" => commands::cmd_simulate(&Args::parse(
             rest,
             &["ooo", "audit", "no-superblocks", "progress", "dump-trace"],
-            &["mode", "drc", "max", "seed", "rerand-epoch", "scale", "manifest", "cores"],
+            &[
+                "mode",
+                "drc",
+                "max",
+                "seed",
+                "rerand-epoch",
+                "scale",
+                "manifest",
+                "cores",
+                "entropy-bits",
+                "sparsity",
+            ],
         )?),
-        "report" => commands::cmd_report(&Args::parse(rest, &[], &["against"])?),
+        "report" => commands::cmd_report(&Args::parse(rest, &["frontier"], &["against"])?),
         "gadgets" => commands::cmd_gadgets(&Args::parse(rest, &["payloads"], &["against"])?),
         "stats" => commands::cmd_stats(&Args::parse(rest, &[], &[])?),
         "trace" => commands::cmd_trace(&Args::parse(rest, &[], &["count", "skip"])?),

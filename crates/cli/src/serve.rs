@@ -31,20 +31,21 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 /// [--dir D] [--ooo] [--faults] [--watch]`.
 pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let mut spec = JobSpec::new(args.positional(0, "workload name")?);
-    if let Some(mode) = args.value("mode") {
-        spec.mode = mode.to_string();
-    }
     spec.faults = args.flag("faults");
     let cores = args.u64_or("cores", 1)?;
     if args.flag("ooo") && cores > 1 {
         return Err(CliError::Msg("--ooo and --cores are different engines; pick one".into()));
     }
     if args.flag("ooo") {
-        spec.engine = "ooo".to_string();
+        spec.engine = vcfr_sim::EngineKind::Ooo;
     } else if cores != 1 {
-        spec.engine = format!("mc{cores}");
+        spec.engine = vcfr_sim::EngineKind::Multicore { cores: cores as u32 };
     }
-    spec.drc_entries = args.u64_or("drc", spec.drc_entries as u64)? as usize;
+    // `--mode` takes both the canonical (`base`/`vcfr128`) and the
+    // historical (`baseline`/`vcfr` + `--drc`) vocabularies.
+    let drc = args.u64_or("drc", vcfr_bench::DEFAULT_DRC_ENTRIES as u64)? as usize;
+    spec.mode = vcfr_bench::ModeSpec::from_wire(args.value("mode").unwrap_or("vcfr"), drc)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
     spec.max_insts = args.u64_or("max", spec.max_insts)?;
     spec.seed = args.u64_or("seed", spec.seed)?;
     spec.checkpoint_every = args.u64_or("checkpoint-every", spec.checkpoint_every)?;

@@ -137,9 +137,21 @@ fn killed_worker_chunks_resume_and_merge_bit_identically() {
     drop(worker1); // SIGKILL, mid-campaign
 
     let merged = fleet.join("results").join("manifests");
-    wait_for("all merged manifests", || {
-        CHUNKS.iter().all(|(file, _)| merged.join(file).exists())
-    });
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !CHUNKS.iter().all(|(file, _)| merged.join(file).exists()) {
+        if Instant::now() >= deadline {
+            let missing: Vec<&str> = CHUNKS
+                .iter()
+                .filter(|(f, _)| !merged.join(f).exists())
+                .map(|(f, _)| *f)
+                .collect();
+            panic!(
+                "timed out waiting for all merged manifests; missing {missing:?}\nstatus: {}",
+                fleet_status_json(&fleet)
+            );
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let status = fleet_status_json(&fleet);
     assert!(
         status.contains("\"alive\": false"),

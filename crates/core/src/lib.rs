@@ -19,7 +19,10 @@
 //! * [`Drc`] — the on-chip de-randomization cache lookup buffer (§IV-B),
 //! * [`StackBitmap`] — the bitmap tracking which stack slots hold
 //!   randomized return addresses (§IV-C),
-//! * [`rerandomize`] — periodic re-randomization support (§V-C).
+//! * [`rerandomize`] — periodic re-randomization support (§V-C),
+//! * [`RandParams`] — the validated randomization parameter surface
+//!   (entropy, sparsity, re-randomization epoch, DRC geometry) the
+//!   security frontier sweeps.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ mod addr;
 mod bitmap;
 mod drc;
 mod layout;
+mod params;
 mod rerand;
 mod table;
 
@@ -52,5 +56,8 @@ pub use addr::{OrigAddr, RandAddr};
 pub use bitmap::StackBitmap;
 pub use drc::{Drc, DrcConfig, DrcLookup, DrcStats};
 pub use layout::{LayoutError, LayoutMap};
+pub use params::{
+    RandParams, RandParamsError, MAX_ENTROPY_BITS, MAX_SPARSITY, MIN_ENTROPY_BITS,
+};
 pub use rerand::rerandomize;
 pub use table::{EntryKind, TableEntry, TranslateError, TranslationTable};

@@ -17,13 +17,25 @@
 //!   randomization: after VCFR only gadgets whose start address the
 //!   translation tables still accept (un-randomized fail-over locations)
 //!   remain mountable — everything else is unaddressable (Figure 11).
+//!
+//! [`AttackSurface`] consolidates the whole pipeline behind one entry
+//! point, and [`fuzz_params`] runs the coverage-guided gadget-chain
+//! fuzzer measuring empirical attacker success probability at one
+//! [`vcfr_core::RandParams`] point — the security half of the
+//! entropy/security frontier.
 
 #![warn(missing_docs)]
 
+mod attack;
+mod fuzz;
 mod payload;
 mod scanner;
 mod surface;
 
+pub use attack::{AttackSurface, ChainRun};
+pub use fuzz::{
+    fuzz_params, fuzz_trial, seed_corpus, splitmix64, FuzzConfig, FuzzReport, TrialReport,
+};
 pub use payload::{assemble_payload, execute_rop, templates, Payload, PayloadTemplate, Requirement};
 pub use scanner::{classify, scan, Capability, Gadget, GadgetEnd, MAX_GADGET_LEN};
 pub use surface::{compare_surface, SurfaceComparison};

@@ -31,6 +31,11 @@ pub struct RandomizeConfig {
     /// instructions rare, which is what destroys fetch locality in the
     /// naive hardware ILR.
     pub spread: u32,
+    /// log2 floor of the region span: the span is at least
+    /// `1 << min_span_bits` bytes regardless of text size. 12 (one
+    /// 4 KiB page) reproduces the historical behaviour; the security
+    /// frontier raises it to trade entropy against locality.
+    pub min_span_bits: u32,
     /// Base of the randomization region.
     pub region_base: Addr,
     /// Base of the in-memory translation-table pages.
@@ -57,6 +62,21 @@ impl RandomizeConfig {
     pub fn with_seed(seed: u64) -> RandomizeConfig {
         RandomizeConfig { seed, ..RandomizeConfig::default() }
     }
+
+    /// A configuration at a [`RandParams`] point: `sparsity` becomes
+    /// the span multiplier and `entropy_bits` the span floor. The
+    /// params should be validated first ([`RandParams::validate`]).
+    ///
+    /// [`RandParams`]: vcfr_core::RandParams
+    /// [`RandParams::validate`]: vcfr_core::RandParams::validate
+    pub fn from_params(seed: u64, params: &vcfr_core::RandParams) -> RandomizeConfig {
+        RandomizeConfig {
+            seed,
+            spread: params.sparsity,
+            min_span_bits: params.entropy_bits,
+            ..RandomizeConfig::default()
+        }
+    }
 }
 
 impl Default for RandomizeConfig {
@@ -64,6 +84,7 @@ impl Default for RandomizeConfig {
         RandomizeConfig {
             seed: 0,
             spread: 32,
+            min_span_bits: 12,
             region_base: 0x2000_0000,
             table_base: 0x4000_0000,
             keep_unrandomized: Vec::new(),
@@ -289,7 +310,7 @@ pub fn randomize(
     let needed: usize = disasm.iter().map(|(_, i)| i.len()).sum();
     let span = (text.bytes.len() as u32)
         .saturating_mul(cfg.spread)
-        .max(4096)
+        .max(1u32 << cfg.min_span_bits.min(31))
         .next_power_of_two();
     if !cfg.page_confined && (needed as u64) * 2 > span as u64 {
         return Err(RandomizeError::RegionTooSmall { needed, span });

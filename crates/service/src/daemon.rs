@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use vcfr_bench::{build_engine_manifest, build_fault_manifest_parts, fault_plan_for, WorkerPool};
+use vcfr_bench::{
+    build_engine_manifest, build_fault_manifest_parts, fault_plan_for, ModeSpec, WorkerPool,
+};
 use vcfr_core::DrcConfig;
 use vcfr_obs::{parse_json, Backoff, Json, ProgressEvent};
 use vcfr_rewriter::{randomize, RandomizeConfig, RandomizedProgram};
@@ -152,7 +154,7 @@ fn status_json(id: u64, st: &JobState) -> Json {
     let mut j = Json::obj();
     j.set("id", Json::U64(id));
     j.set("workload", Json::Str(st.spec.workload.clone()));
-    j.set("mode", Json::Str(st.spec.mode.clone()));
+    j.set("mode", Json::Str(st.spec.mode.to_string()));
     j.set("phase", Json::Str(st.phase.as_str().to_string()));
     j.set("instructions", Json::U64(st.instructions));
     j.set("max_insts", Json::U64(st.spec.max_insts));
@@ -241,17 +243,11 @@ fn run_job(inner: &Inner, id: u64) {
         fail_job(inner, id, started, format!("unknown workload {:?}", spec.workload));
         return;
     };
-    let kind = match spec.engine_kind() {
-        Ok(k) => k,
-        Err(e) => {
-            fail_job(inner, id, started, e.to_string());
-            return;
-        }
-    };
+    let kind = spec.engine;
     let cfg = match SimConfig::builder()
         .engine(kind)
         .rerand_epoch(spec.rerand_epoch)
-        .drc_entries((spec.mode == "vcfr").then_some(spec.drc_entries))
+        .drc_entries(spec.mode.drc_entries())
         .build()
     {
         Ok(cfg) => cfg,
@@ -260,7 +256,7 @@ fn run_job(inner: &Inner, id: u64) {
             return;
         }
     };
-    let rp: Option<RandomizedProgram> = if spec.mode == "baseline" {
+    let rp: Option<RandomizedProgram> = if spec.mode == ModeSpec::Base {
         None
     } else {
         match randomize(&w.image, &RandomizeConfig::with_seed(spec.seed)) {
@@ -271,12 +267,12 @@ fn run_job(inner: &Inner, id: u64) {
             }
         }
     };
-    let mode = match spec.mode.as_str() {
-        "baseline" => Mode::Baseline(&w.image),
-        "naive" => Mode::NaiveIlr(rp.as_ref().expect("non-baseline has a layout")),
-        _ => Mode::Vcfr {
+    let mode = match spec.mode {
+        ModeSpec::Base => Mode::Baseline(&w.image),
+        ModeSpec::Naive => Mode::NaiveIlr(rp.as_ref().expect("non-baseline has a layout")),
+        ModeSpec::Vcfr { drc_entries } => Mode::Vcfr {
             program: rp.as_ref().expect("non-baseline has a layout"),
-            drc: DrcConfig::direct_mapped(spec.drc_entries),
+            drc: DrcConfig::direct_mapped(drc_entries),
         },
     };
     // Campaign cells attach the app's deterministic fault schedule —

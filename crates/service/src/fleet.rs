@@ -374,6 +374,7 @@ fn execute_round(inner: &FleetInner, plan: Plan) -> RoundResult {
             continue;
         }
         result.ok.push(wid);
+        let mut worker_died = false;
         for (cid, remote_id) in holding {
             match client.fetch(remote_id) {
                 Ok((_, Some((file, text)))) => result.done.push((cid, wid, file, text)),
@@ -387,11 +388,26 @@ fn execute_round(inner: &FleetInner, plan: Plan) -> RoundResult {
                         result.failed.push((cid, msg));
                     }
                 }
-                // A job the (restarted) worker no longer knows about:
-                // treat as a miss-less re-queue next round via the
-                // failed path — the chunk spec is still authoritative.
-                Err(_) => result.failed.push((cid, "job lost by worker".to_string())),
+                // The daemon answered but no longer knows the id (it
+                // restarted and lost its queue): the job is truly gone.
+                Err(ServiceError::Protocol(ref msg)) if msg == "no such job" => {
+                    result.failed.push((cid, "job lost by worker".to_string()));
+                }
+                // Transport death mid-poll — the worker was killed
+                // between the ping and this fetch. Count the round as a
+                // missed heartbeat and leave the chunk dispatched, so
+                // lost-worker recovery can resume it from its
+                // checkpoint once the worker is declared dead.
+                Err(_) => {
+                    worker_died = true;
+                    break;
+                }
             }
+        }
+        if worker_died {
+            result.ok.retain(|&w| w != wid);
+            result.missed.push(wid);
+            continue;
         }
         clients.insert(wid, client);
     }

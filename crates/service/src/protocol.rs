@@ -6,6 +6,7 @@
 //! machinery). Requests carry an `"op"` discriminant; responses carry
 //! `"ok"` (or, on the `watch` stream, an `"event"` discriminant).
 
+use vcfr_bench::ModeSpec;
 use vcfr_obs::{Json, JsonError};
 use vcfr_sim::{EngineKind, VcfrError};
 
@@ -21,10 +22,10 @@ pub const ENDPOINT_FILE: &str = "endpoint";
 pub struct JobSpec {
     /// Workload name (`vcfr_workloads::by_name`).
     pub workload: String,
-    /// Machine configuration: `"baseline"`, `"naive"`, or `"vcfr"`.
-    pub mode: String,
-    /// DRC entries for `"vcfr"` runs.
-    pub drc_entries: usize,
+    /// Machine configuration. The typed [`ModeSpec`] carries the DRC
+    /// size inside its `Vcfr` variant; on the wire it is still the
+    /// historical `mode` word plus a `drc` field for compatibility.
+    pub mode: ModeSpec,
     /// Instruction budget.
     pub max_insts: u64,
     /// Randomization seed.
@@ -41,11 +42,10 @@ pub struct JobSpec {
     /// workload (`vcfr_bench::fault_plan_for`) and emit a fault manifest
     /// (`faults-<mode>`) instead of a matrix manifest.
     pub faults: bool,
-    /// Engine selector: `"inorder"` (the default), `"ooo"` (the 4-wide
-    /// out-of-order core), or `"mcN"` (N in-order cores over the shared
-    /// L2, e.g. `"mc2"`). Absent on the wire means `"inorder"`, so
-    /// pre-engine clients keep working unchanged.
-    pub engine: String,
+    /// Which timing engine executes the run. On the wire this is the
+    /// selector vocabulary (`inorder`/`ooo`/`mcN`); absent means
+    /// in-order, so pre-engine clients keep working unchanged.
+    pub engine: EngineKind,
 }
 
 impl JobSpec {
@@ -53,65 +53,29 @@ impl JobSpec {
     pub fn new(workload: &str) -> JobSpec {
         JobSpec {
             workload: workload.to_string(),
-            mode: "vcfr".to_string(),
-            drc_entries: 128,
+            mode: ModeSpec::vcfr_default(),
             max_insts: 1_000_000,
             seed: vcfr_bench::experiments::SEED,
             rerand_epoch: None,
             checkpoint_every: 100_000,
             scale: 1,
             faults: false,
-            engine: "inorder".to_string(),
+            engine: EngineKind::InOrder,
         }
     }
 
-    /// The [`EngineKind`] this spec's `engine` string selects.
+    /// A spec for one shard cell ([`vcfr_bench::shard::ShardCell`]);
+    /// the cell's mode word is the same [`ModeSpec`] vocabulary, so no
+    /// translation happens here anymore.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Protocol`] on an unknown selector or a core count
-    /// outside 1..=64.
-    pub fn engine_kind(&self) -> Result<EngineKind, ServiceError> {
-        match self.engine.as_str() {
-            "inorder" => Ok(EngineKind::InOrder),
-            "ooo" => Ok(EngineKind::Ooo),
-            s => match s.strip_prefix("mc").and_then(|n| n.parse::<u32>().ok()) {
-                Some(cores) if (1..=64).contains(&cores) => {
-                    Ok(EngineKind::Multicore { cores })
-                }
-                _ => Err(ServiceError::Protocol(format!(
-                    "engine must be inorder, ooo, or mc<cores 1..=64> (got {s:?})"
-                ))),
-            },
-        }
-    }
-
-    /// A spec for one shard cell ([`vcfr_bench::shard::ShardCell`]),
-    /// translating the experiment-matrix mode vocabulary
-    /// (`base`/`naive`/`vcfr<entries>`) into the service's
-    /// (`baseline`/`naive`/`vcfr` + `drc_entries`).
-    ///
-    /// # Errors
-    ///
-    /// [`ServiceError::Protocol`] on an unknown matrix mode or an
-    /// otherwise invalid cell.
+    /// [`ServiceError::Protocol`] on an unknown mode or an otherwise
+    /// invalid cell.
     pub fn from_cell(cell: &vcfr_bench::shard::ShardCell) -> Result<JobSpec, ServiceError> {
         let mut spec = JobSpec::new(&cell.app);
-        match cell.mode.as_str() {
-            "base" => spec.mode = "baseline".to_string(),
-            "naive" => spec.mode = "naive".to_string(),
-            m => match m.strip_prefix("vcfr").and_then(|n| n.parse::<usize>().ok()) {
-                Some(entries) => {
-                    spec.mode = "vcfr".to_string();
-                    spec.drc_entries = entries;
-                }
-                None => {
-                    return Err(ServiceError::Protocol(format!(
-                        "unknown matrix mode {m:?} (want base, naive, or vcfr<entries>)"
-                    )))
-                }
-            },
-        }
+        spec.mode =
+            cell.mode.parse().map_err(|e| ServiceError::Protocol(format!("{e}")))?;
         spec.max_insts = cell.max_insts;
         spec.scale = cell.scale;
         spec.checkpoint_every = cell.checkpoint_every;
@@ -121,13 +85,10 @@ impl JobSpec {
     }
 
     /// The experiment-matrix mode column this spec simulates:
-    /// `base`, `naive`, or `vcfr<entries>`.
+    /// `base`, `naive`, or `vcfr<entries>` — [`ModeSpec`]'s canonical
+    /// `Display` form.
     pub fn matrix_mode(&self) -> String {
-        match self.mode.as_str() {
-            "baseline" => "base".to_string(),
-            "naive" => "naive".to_string(),
-            _ => format!("vcfr{}", self.drc_entries),
-        }
+        self.mode.to_string()
     }
 
     /// The manifest `mode` column this spec produces —
@@ -137,7 +98,7 @@ impl JobSpec {
     pub fn manifest_mode(&self) -> String {
         if self.faults {
             format!("faults-{}", self.matrix_mode())
-        } else if self.engine != "inorder" {
+        } else if self.engine != EngineKind::InOrder {
             format!("{}-{}", self.engine, self.matrix_mode())
         } else {
             self.matrix_mode()
@@ -159,12 +120,6 @@ impl JobSpec {
     ///
     /// [`ServiceError::Protocol`] naming the inconsistent field.
     pub fn validate(&self) -> Result<(), ServiceError> {
-        if !matches!(self.mode.as_str(), "baseline" | "naive" | "vcfr") {
-            return Err(ServiceError::Protocol(format!(
-                "mode must be baseline, naive, or vcfr (got {:?})",
-                self.mode
-            )));
-        }
         if self.checkpoint_every == 0 {
             return Err(ServiceError::Protocol(
                 "checkpoint_every must be at least 1 instruction".to_string(),
@@ -181,8 +136,14 @@ impl JobSpec {
                 self.scale
             )));
         }
-        let kind = self.engine_kind()?;
-        if self.faults && kind != EngineKind::InOrder {
+        if let EngineKind::Multicore { cores } = self.engine {
+            if !(1..=64).contains(&cores) {
+                return Err(ServiceError::Protocol(format!(
+                    "engine cores must be in 1..=64 (got {cores})"
+                )));
+            }
+        }
+        if self.faults && self.engine != EngineKind::InOrder {
             return Err(ServiceError::Protocol(
                 "fault campaigns are only modeled on the in-order engine".to_string(),
             ));
@@ -195,8 +156,11 @@ impl JobSpec {
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         j.set("workload", Json::Str(self.workload.clone()));
-        j.set("mode", Json::Str(self.mode.clone()));
-        j.set("drc", Json::U64(self.drc_entries as u64));
+        j.set("mode", Json::Str(self.mode.to_string()));
+        match self.mode.drc_entries() {
+            Some(entries) => j.set("drc", Json::U64(entries as u64)),
+            None => j.set("drc", Json::Null),
+        };
         j.set("max_insts", Json::U64(self.max_insts));
         j.set("seed", Json::U64(self.seed));
         match self.rerand_epoch {
@@ -206,7 +170,7 @@ impl JobSpec {
         j.set("checkpoint_every", Json::U64(self.checkpoint_every));
         j.set("scale", Json::U64(self.scale));
         j.set("faults", Json::Bool(self.faults));
-        j.set("engine", Json::Str(self.engine.clone()));
+        j.set("engine", Json::Str(self.engine.to_string()));
         j
     }
 
@@ -222,12 +186,6 @@ impl JobSpec {
             .and_then(Json::as_str)
             .ok_or_else(|| ServiceError::Protocol("job needs a workload name".to_string()))?;
         let mut spec = JobSpec::new(workload);
-        if let Some(m) = j.get("mode") {
-            spec.mode = m
-                .as_str()
-                .ok_or_else(|| ServiceError::Protocol("mode must be a string".to_string()))?
-                .to_string();
-        }
         let u64_field = |key: &str, default: u64| -> Result<u64, ServiceError> {
             match j.get(key) {
                 None | Some(Json::Null) => Ok(default),
@@ -236,7 +194,25 @@ impl JobSpec {
                 }),
             }
         };
-        spec.drc_entries = u64_field("drc", spec.drc_entries as u64)? as usize;
+        // The wire carries the mode word and the DRC size separately
+        // (the historical format); `ModeSpec::from_wire` folds both
+        // dialects into the typed spec, so old-format specs still admit.
+        let mode_word = match j.get("mode") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(
+                m.as_str()
+                    .ok_or_else(|| ServiceError::Protocol("mode must be a string".to_string()))?,
+            ),
+        };
+        let drc = u64_field("drc", vcfr_bench::DEFAULT_DRC_ENTRIES as u64)? as usize;
+        if let Some(word) = mode_word {
+            spec.mode = ModeSpec::from_wire(word, drc)
+                .map_err(|e| ServiceError::Protocol(format!("{e}")))?;
+        } else if drc != vcfr_bench::DEFAULT_DRC_ENTRIES {
+            // A bare DRC size with no mode word is a legacy VCFR spec.
+            spec.mode = ModeSpec::from_wire("vcfr", drc)
+                .map_err(|e| ServiceError::Protocol(format!("{e}")))?;
+        }
         spec.max_insts = u64_field("max_insts", spec.max_insts)?;
         spec.seed = u64_field("seed", spec.seed)?;
         spec.checkpoint_every = u64_field("checkpoint_every", spec.checkpoint_every)?;
@@ -257,11 +233,12 @@ impl JobSpec {
         // Absent means in-order: pre-engine specs on disk and on the
         // wire parse unchanged (the same pattern `faults` uses).
         spec.engine = match j.get("engine") {
-            None | Some(Json::Null) => "inorder".to_string(),
+            None | Some(Json::Null) => EngineKind::InOrder,
             Some(v) => v
                 .as_str()
                 .ok_or_else(|| ServiceError::Protocol("engine must be a string".to_string()))?
-                .to_string(),
+                .parse()
+                .map_err(|e: VcfrError| ServiceError::Protocol(e.to_string()))?,
         };
         spec.validate()?;
         Ok(spec)
@@ -440,7 +417,7 @@ mod tests {
     #[test]
     fn faulted_spec_round_trips_and_names_its_manifest() {
         let mut spec = JobSpec::new("bzip2");
-        spec.mode = "baseline".to_string();
+        spec.mode = ModeSpec::Base;
         spec.faults = true;
         let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
         assert_eq!(spec, back);
@@ -464,8 +441,7 @@ mod tests {
             checkpoint_every: 50_000,
         };
         let spec = JobSpec::from_cell(&cell).expect("valid cell");
-        assert_eq!(spec.mode, "vcfr");
-        assert_eq!(spec.drc_entries, 64);
+        assert_eq!(spec.mode, ModeSpec::Vcfr { drc_entries: 64 });
         assert_eq!(spec.manifest_file_name(), "gcc__vcfr64.json");
         let mut bad = cell;
         bad.mode = "turbo".to_string();
@@ -479,23 +455,17 @@ mod tests {
         let mut j = JobSpec::new("bzip2").to_json();
         j.set("engine", Json::Null);
         let legacy = JobSpec::from_json(&j).expect("parses");
-        assert_eq!(legacy.engine, "inorder");
-        assert_eq!(legacy.engine_kind().expect("valid"), EngineKind::InOrder);
+        assert_eq!(legacy.engine, EngineKind::InOrder);
         assert_eq!(legacy.manifest_file_name(), "bzip2__vcfr128.json");
 
         // Explicit selectors round-trip and prefix the manifest name so
         // engine variants never collide with the in-order matrix cell.
         let mut spec = JobSpec::new("bzip2");
-        spec.engine = "ooo".to_string();
+        spec.engine = EngineKind::Ooo;
         let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
         assert_eq!(spec, back);
-        assert_eq!(back.engine_kind().expect("valid"), EngineKind::Ooo);
         assert_eq!(back.manifest_file_name(), "bzip2__ooo-vcfr128.json");
-        spec.engine = "mc2".to_string();
-        assert_eq!(
-            spec.engine_kind().expect("valid"),
-            EngineKind::Multicore { cores: 2 }
-        );
+        spec.engine = EngineKind::Multicore { cores: 2 };
         assert_eq!(spec.manifest_file_name(), "bzip2__mc2-vcfr128.json");
 
         // Unknown selectors and impossible core counts are admission errors.

@@ -1,0 +1,52 @@
+//! Pins wire-format backward compatibility: job specs written by
+//! pre-`ModeSpec` clients — the `baseline`/`naive`/`vcfr` mode
+//! vocabulary with a separate `drc` field — still admit, without any
+//! alias-normalization branches left in the protocol module.
+
+use vcfr_service::JobSpec;
+
+fn parse(spec_json: &str) -> Result<JobSpec, Box<dyn std::error::Error>> {
+    let j = vcfr_obs::parse_json(spec_json)?;
+    Ok(JobSpec::from_json(&j)?)
+}
+
+#[test]
+fn old_baseline_specs_still_admit() {
+    let spec = parse(r#"{"workload": "bzip2", "mode": "baseline", "drc": 128}"#).unwrap();
+    assert_eq!(spec.matrix_mode(), "base");
+    assert_eq!(spec.manifest_file_name(), "bzip2__base.json");
+}
+
+#[test]
+fn old_bare_vcfr_specs_take_the_drc_field() {
+    let spec = parse(r#"{"workload": "gcc", "mode": "vcfr", "drc": 64}"#).unwrap();
+    assert_eq!(spec.matrix_mode(), "vcfr64");
+    let spec = parse(r#"{"workload": "gcc", "mode": "vcfr"}"#).unwrap();
+    assert_eq!(spec.matrix_mode(), "vcfr128", "absent drc keeps the paper default");
+}
+
+#[test]
+fn old_modeless_specs_default_to_vcfr() {
+    let spec = parse(r#"{"workload": "mcf", "drc": 512}"#).unwrap();
+    assert_eq!(spec.matrix_mode(), "vcfr512");
+    let spec = parse(r#"{"workload": "mcf"}"#).unwrap();
+    assert_eq!(spec.matrix_mode(), "vcfr128");
+}
+
+#[test]
+fn canonical_modes_admit_too() {
+    for (mode, expect) in [("base", "base"), ("naive", "naive"), ("vcfr64", "vcfr64")] {
+        let spec = parse(&format!(r#"{{"workload": "bzip2", "mode": "{mode}"}}"#)).unwrap();
+        assert_eq!(spec.matrix_mode(), expect);
+    }
+}
+
+#[test]
+fn unknown_modes_are_still_rejected() {
+    for bad in ["turbo", "vcfr0", "vcfr96"] {
+        assert!(
+            parse(&format!(r#"{{"workload": "bzip2", "mode": "{bad}"}}"#)).is_err(),
+            "{bad} should be rejected"
+        );
+    }
+}

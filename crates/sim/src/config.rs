@@ -1,6 +1,9 @@
 //! Machine configuration, defaulting to the paper's §VI-C parameters.
 
 use crate::error::VcfrError;
+use std::fmt;
+use std::str::FromStr;
+use vcfr_core::RandParams;
 
 /// Geometry and latency of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +107,48 @@ pub enum EngineKind {
     },
 }
 
+impl EngineKind {
+    /// Parses the CLI/wire selector vocabulary: `inorder`, `ooo`, or
+    /// `mc<cores>` with 1–64 cores.
+    pub fn from_selector(s: &str) -> Result<EngineKind, VcfrError> {
+        match s {
+            "inorder" => Ok(EngineKind::InOrder),
+            "ooo" => Ok(EngineKind::Ooo),
+            _ => {
+                let cores = s
+                    .strip_prefix("mc")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|&n| (1..=64).contains(&n));
+                match cores {
+                    Some(cores) => Ok(EngineKind::Multicore { cores }),
+                    None => Err(VcfrError::Config(format!(
+                        "engine must be inorder, ooo, or mc<cores 1..=64> (got {s:?})"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    /// The selector vocabulary, round-tripping [`EngineKind::from_selector`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EngineKind::InOrder => write!(f, "inorder"),
+            EngineKind::Ooo => write!(f, "ooo"),
+            EngineKind::Multicore { cores } => write!(f, "mc{cores}"),
+        }
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = VcfrError;
+
+    fn from_str(s: &str) -> Result<EngineKind, VcfrError> {
+        EngineKind::from_selector(s)
+    }
+}
+
 /// Full machine configuration.
 ///
 /// Defaults reproduce the paper's simulated core: a 1.6 GHz single-issue
@@ -162,6 +207,12 @@ pub struct SimConfig {
     pub trace_events: usize,
     /// Which timing engine executes the run.
     pub engine: EngineKind,
+    /// The randomization parameter point of a VCFR run (`None` =
+    /// baseline/naive, or the historical fixed configuration). When
+    /// set, the params are validated at build time and — being part of
+    /// the config's `Debug` form — folded into the VCFRCKP1 context
+    /// fingerprint and run manifests.
+    pub rand: Option<RandParams>,
 }
 
 impl SimConfig {
@@ -252,6 +303,19 @@ impl SimConfigBuilder {
         self
     }
 
+    /// The randomization parameter point of a VCFR run. `Some(params)`
+    /// also sets the re-randomization epoch and declared DRC size from
+    /// the params, keeping the config a single source of truth; the
+    /// params themselves are validated by [`SimConfigBuilder::build`].
+    pub fn rand_params(mut self, v: Option<RandParams>) -> Self {
+        if let Some(p) = v {
+            self.cfg.rerand_epoch = p.rerand_epoch;
+            self.drc_entries = Some(p.drc.entries);
+        }
+        self.cfg.rand = v;
+        self
+    }
+
     /// Declares the DRC size this configuration will run against
     /// (validation only — the DRC itself is picked per [`crate::Mode`]).
     /// `Some(0)` means "VCFR mode with a zero-entry DRC", which is
@@ -278,38 +342,61 @@ impl SimConfigBuilder {
         let cfg = self.cfg;
         if let Some(entries) = self.drc_entries {
             if entries == 0 {
-                return Err(VcfrError::Config("a VCFR run needs a non-empty DRC (entries = 0)".into()));
+                return Err(VcfrError::Config(
+                    "drc_entries must be positive for a VCFR run (use None for a run \
+                     without a DRC) (got 0)"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(p) = cfg.rand {
+            // The params error already names the field; qualify it with
+            // the config field it arrived through.
+            p.validate().map_err(|e| VcfrError::Config(format!("rand.{e}")))?;
+            if p.rerand_epoch != cfg.rerand_epoch {
+                return Err(VcfrError::Config(format!(
+                    "rerand_epoch must match rand.rerand_epoch (set it through \
+                     rand_params) (got {:?} vs {:?})",
+                    cfg.rerand_epoch, p.rerand_epoch
+                )));
             }
         }
         if let Some(epoch) = cfg.rerand_epoch {
             if epoch == 0 {
                 return Err(VcfrError::Config(
-                    "rerand_epoch must be positive (use None to disable re-randomization)".into(),
+                    "rerand_epoch must be positive (use None to disable re-randomization) (got 0)"
+                        .into(),
                 ));
             }
             if self.drc_entries.is_none() {
                 return Err(VcfrError::Config(
-                    "rerand_epoch requires a VCFR run with a DRC (live table swaps flush it)".into(),
+                    "rerand_epoch requires a VCFR run with a DRC (live table swaps \
+                     flush it) (got drc_entries = None)"
+                        .into(),
                 ));
             }
         }
         if let Some(interval) = cfg.drc_flush_interval {
             if interval == 0 {
                 return Err(VcfrError::Config(
-                    "drc_flush_interval must be positive (use None for a single-tenant run)".into(),
+                    "drc_flush_interval must be positive (use None for a single-tenant run) \
+                     (got 0)"
+                        .into(),
                 ));
             }
         }
         if let EngineKind::Multicore { cores } = cfg.engine {
             if cores == 0 {
                 return Err(VcfrError::Config(
-                    "a multicore run needs at least one core (cores = 0)".into(),
+                    "engine cores must be in 1..=64 for a multicore run (got 0)".into(),
                 ));
             }
         }
         if self.audit && cfg.trace_events == 0 {
             return Err(VcfrError::Config(
-                "a cycle audit needs the post-mortem trace ring (trace_events = 0 disables it)".into(),
+                "trace_events must be positive for a cycle audit (it fills the \
+                 post-mortem trace ring) (got 0)"
+                    .into(),
             ));
         }
         Ok(cfg)
@@ -340,6 +427,7 @@ impl Default for SimConfig {
             rerand_epoch: None,
             trace_events: 64,
             engine: EngineKind::InOrder,
+            rand: None,
         }
     }
 }
@@ -408,6 +496,63 @@ mod tests {
         // The kind shows up in the Debug form, which is what the Session
         // folds into checkpoint context fingerprints.
         assert!(format!("{cfg:?}").contains("Multicore"));
+    }
+
+    #[test]
+    fn builder_threads_rand_params() {
+        use vcfr_core::DrcConfig;
+        let p = RandParams {
+            entropy_bits: 16,
+            rerand_epoch: Some(10_000),
+            drc: DrcConfig::direct_mapped(64),
+            ..RandParams::default()
+        };
+        let cfg = SimConfig::builder().rand_params(Some(p)).build().unwrap();
+        assert_eq!(cfg.rand, Some(p));
+        // The params flow into the epoch knob and the Debug form (and
+        // therefore into the checkpoint context fingerprint).
+        assert_eq!(cfg.rerand_epoch, Some(10_000));
+        assert!(format!("{cfg:?}").contains("entropy_bits: 16"));
+
+        let bad = RandParams { entropy_bits: 7, ..RandParams::default() };
+        let err = SimConfig::builder().rand_params(Some(bad)).build().unwrap_err();
+        assert!(err.to_string().contains("rand.entropy_bits"), "{err}");
+
+        // Overriding the epoch after rand_params desynchronizes the two
+        // sources and is rejected.
+        let err = SimConfig::builder()
+            .rand_params(Some(p))
+            .rerand_epoch(Some(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("rand.rerand_epoch"), "{err}");
+    }
+
+    #[test]
+    fn builder_errors_name_the_field() {
+        let cases: [(SimConfigBuilder, &str); 5] = [
+            (SimConfig::builder().drc_entries(Some(0)), "drc_entries"),
+            (SimConfig::builder().rerand_epoch(Some(0)), "rerand_epoch"),
+            (SimConfig::builder().drc_flush_interval(Some(0)), "drc_flush_interval"),
+            (SimConfig::builder().engine(EngineKind::Multicore { cores: 0 }), "cores"),
+            (SimConfig::builder().for_audit(true).trace_events(0), "trace_events"),
+        ];
+        for (b, field) in cases {
+            let msg = b.build().unwrap_err().to_string();
+            assert!(msg.contains(field), "{msg:?} should name {field:?}");
+            assert!(msg.contains("(got"), "{msg:?} should quote the rejected value");
+        }
+    }
+
+    #[test]
+    fn engine_selector_round_trips() {
+        for kind in [EngineKind::InOrder, EngineKind::Ooo, EngineKind::Multicore { cores: 8 }] {
+            assert_eq!(EngineKind::from_selector(&kind.to_string()).unwrap(), kind);
+        }
+        for bad in ["turbo", "mc0", "mc65", "mc", ""] {
+            let err = EngineKind::from_selector(bad).unwrap_err().to_string();
+            assert!(err.contains("inorder, ooo, or mc"), "{err}");
+        }
     }
 
     #[test]

@@ -286,7 +286,7 @@ impl<'a> Session<'a> {
     fn validate(modes: &[Mode<'a>], cfg: &SimConfig) -> Result<(), VcfrError> {
         if cfg.rerand_epoch == Some(0) {
             return Err(VcfrError::Config(
-                "rerand_epoch of 0 instructions would re-randomize before every instruction"
+                "rerand_epoch must be positive (use None to disable re-randomization) (got 0)"
                     .into(),
             ));
         }
@@ -299,7 +299,7 @@ impl<'a> Session<'a> {
             if let Mode::Vcfr { drc, .. } = mode {
                 if drc.entries == 0 {
                     return Err(VcfrError::Config(
-                        "a VCFR run needs a non-empty DRC (entries = 0)".into(),
+                        "DRC entries must be positive for a VCFR mode (got 0)".into(),
                     ));
                 }
             }

@@ -1,0 +1,83 @@
+//! Property test tying the randomization parameter surface into the
+//! checkpoint contract: a mid-run snapshot restores bit-identically
+//! into a session built at the *same* parameter point, and any session
+//! built at a *different* point refuses it with a context mismatch —
+//! for every valid `RandParams`, not just the defaults.
+
+use proptest::prelude::*;
+use vcfr_core::{DrcConfig, RandParams};
+use vcfr_rewriter::{randomize, RandomizeConfig};
+use vcfr_sim::{CheckpointError, Mode, Session, SessionStatus, SimConfig, VcfrError};
+use vcfr_workloads::by_name;
+
+const BUDGET: u64 = 20_000;
+
+/// Small valid parameter points (kept cheap: every case runs real
+/// simulations).
+fn arb_params() -> impl Strategy<Value = RandParams> {
+    (
+        (12u32..17, 1u32..5),
+        (
+            prop_oneof![Just(None), (4_000u64..9_000).prop_map(Some)],
+            prop_oneof![Just(32usize), Just(64usize), Just(128usize)],
+        ),
+    )
+        .prop_map(|((entropy_bits, sparsity), (rerand_epoch, entries))| RandParams {
+            entropy_bits,
+            sparsity,
+            rerand_epoch,
+            drc: DrcConfig::direct_mapped(entries),
+        })
+}
+
+fn session<'a>(
+    rp: &'a vcfr_rewriter::RandomizedProgram,
+    cfg: &SimConfig,
+    params: &RandParams,
+) -> Session<'a> {
+    Session::new(Mode::Vcfr { program: rp, drc: params.drc }, cfg, BUDGET)
+        .expect("session builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn snapshots_bind_to_their_parameter_point(p in arb_params(), q in arb_params()) {
+        let w = by_name("mcf").expect("mcf exists");
+        let rp = randomize(&w.image, &RandomizeConfig::from_params(7, &p))
+            .expect("randomizes");
+        let cfg = SimConfig::builder().rand_params(Some(p)).build().expect("valid params");
+
+        // Snapshot mid-run, then restore into an identically-built
+        // session: the continuation must be bit-identical to never
+        // having stopped.
+        let mut reference = session(&rp, &cfg, &p);
+        let straight = reference.run().expect("straight run finishes");
+
+        let mut first = session(&rp, &cfg, &p);
+        prop_assert!(matches!(
+            first.run_for(BUDGET / 2).expect("chunk runs"),
+            SessionStatus::Running
+        ));
+        let snap = first.checkpoint();
+
+        let mut resumed = session(&rp, &cfg, &p);
+        resumed.restore(&snap).expect("same parameter point restores");
+        let out = resumed.run().expect("resumed run finishes");
+        prop_assert_eq!(&out.output.stats, &straight.output.stats);
+        prop_assert_eq!(reference.checkpoint(), resumed.checkpoint());
+
+        // A session at any *other* parameter point refuses the bytes:
+        // the params are folded into the VCFRCKP1 context fingerprint.
+        if p != q {
+            let rq = randomize(&w.image, &RandomizeConfig::from_params(7, &q))
+                .expect("randomizes");
+            let cfg_q = SimConfig::builder().rand_params(Some(q)).build().expect("valid params");
+            let mut other = session(&rq, &cfg_q, &q);
+            prop_assert!(matches!(
+                other.restore(&snap),
+                Err(VcfrError::Checkpoint(CheckpointError::ContextMismatch))
+            ));
+        }
+    }
+}

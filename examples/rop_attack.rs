@@ -15,7 +15,7 @@
 //! cargo run --release --example rop_attack
 //! ```
 
-use vcfr::gadget::{classify, scan, Capability};
+use vcfr::gadget::{fuzz_params, AttackSurface, Capability, FuzzConfig};
 use vcfr::isa::{Addr, AluOp, Asm, ExecError, Image, Machine, Reg, StopReason};
 use vcfr::rewriter::{randomize, RandomizeConfig};
 
@@ -64,11 +64,9 @@ fn main() {
     let (image, input_addr) = vulnerable_service();
 
     // -- The attacker studies the public binary offline. ----------------
-    let gadgets = scan(&image);
-    let shell_gadget = gadgets
-        .iter()
-        .find(|g| classify(g).contains(&Capability::Syscall))
-        .expect("the binary leaks a syscall gadget");
+    let surface = AttackSurface::scan(&image);
+    let shell_gadget =
+        surface.find(Capability::Syscall).expect("the binary leaks a syscall gadget");
     println!("attacker found a syscall gadget at {:#x}:", shell_gadget.addr);
     for inst in &shell_gadget.insts {
         println!("    {inst}");
@@ -121,4 +119,18 @@ fn main() {
     let verdict = rp.table.derand(vcfr::core::RandAddr(shell_gadget.addr));
     println!("table verdict for {:#x}: {verdict:?}", shell_gadget.addr);
     assert!(verdict.is_err());
+
+    // -- Attack 3: an adaptive attacker guessing inside the region. ------
+    // The coverage-guided fuzzer mounts this same payload methodology as
+    // a seed corpus and probes fresh randomized layouts for entry points.
+    let fz = FuzzConfig { trials: 8, probes_per_trial: 64, ..FuzzConfig::default() };
+    let report = fuzz_params(&image, &vcfr::core::RandParams::default(), &fz);
+    println!(
+        "[fuzzing attacker]  {} of {} layouts cracked (success probability {:.3}, \
+         {} mapped pages leaked)",
+        report.successes(),
+        report.trials.len(),
+        report.success_probability(),
+        report.pages_discovered(),
+    );
 }

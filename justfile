@@ -57,13 +57,19 @@ multicore-smoke:
 fleet-smoke:
     cargo test --release -p vcfr-cli --test fleet_smoke
 
+# Security smoke: a tiny 2-point entropy frontier (coverage-guided
+# gadget fuzzing + slowdown + fault coverage), manifests byte-identical
+# across worker-thread counts (see docs/security.md).
+security-smoke:
+    cargo run --release -p vcfr-bench --bin repro -- frontier-smoke
+
 # Doc CI: every relative markdown link in README.md, EXPERIMENTS.md,
 # ROADMAP.md, DESIGN.md, CHANGELOG.md and docs/*.md must resolve.
 docs-check:
     cargo test -p vcfr --test docs_check
 
 # Every end-to-end smoke in one go.
-smoke: obs-smoke faults-smoke serve-smoke fleet-smoke superblock-smoke telemetry-smoke multicore-smoke docs-check
+smoke: obs-smoke faults-smoke serve-smoke fleet-smoke superblock-smoke telemetry-smoke multicore-smoke security-smoke docs-check
 
 # Full test suite across the workspace.
 test:

@@ -1,7 +1,7 @@
 //! Cross-crate security checks: the Figure 11 / §V-B pipeline on real
 //! workload binaries.
 
-use vcfr::gadget::{assemble_payload, compare_surface, execute_rop, scan, templates};
+use vcfr::gadget::{AttackSurface, Capability};
 use vcfr::rewriter::{randomize, RandomizeConfig};
 
 #[test]
@@ -9,7 +9,7 @@ fn full_randomization_removes_all_gadgets() {
     for name in ["bzip2", "xalan"] {
         let w = vcfr::workloads::by_name(name).unwrap();
         let rp = randomize(&w.image, &RandomizeConfig::with_seed(4)).unwrap();
-        let c = compare_surface(&w.image, &rp);
+        let c = AttackSurface::scan(&w.image).against(&rp);
         assert!(c.total_gadgets > 100, "{name}: only {} gadgets", c.total_gadgets);
         // The conservative pointer scan may pin a few instructions at
         // their original addresses (possible unrelocated code pointers),
@@ -41,7 +41,7 @@ fn failover_residue_is_small_and_insufficient_for_payloads() {
         let mut cfg = RandomizeConfig::with_seed(4);
         cfg.keep_unrandomized = keep;
         let rp = randomize(&w.image, &cfg).unwrap();
-        let c = compare_surface(&w.image, &rp);
+        let c = AttackSurface::scan(&w.image).against(&rp);
         assert!(c.removal_pct() > 90.0, "{name}: {}", c.removal_pct());
         assert_eq!(c.payloads_after, 0, "{name}");
     }
@@ -53,12 +53,10 @@ fn workload_binaries_have_rich_gadget_populations() {
     // enough material that at least two payload templates assemble.
     for name in vcfr::workloads::SPEC_NAMES {
         let w = vcfr::workloads::by_name(name).unwrap();
-        let gadgets = scan(&w.image);
-        assert!(gadgets.len() > 50, "{name}: {} gadgets", gadgets.len());
-        let assembled = templates()
-            .iter()
-            .filter(|t| assemble_payload(t, &gadgets, |_| true).is_some())
-            .count();
+        let surface = AttackSurface::scan(&w.image);
+        assert!(surface.gadgets().len() > 50, "{name}: {} gadgets", surface.gadgets().len());
+        let assembled =
+            surface.payloads().iter().filter(|(_, p)| p.is_some()).count();
         assert!(assembled >= 2, "{name}: only {assembled} templates assemble");
     }
 }
@@ -83,19 +81,20 @@ fn assembled_rop_chains_execute_before_and_fault_after() {
     // chain from a workload binary, execute them, then show the same
     // bytes are inert against the randomized layout.
     let w = vcfr::workloads::by_name("sjeng").unwrap();
-    let gadgets = scan(&w.image);
-    let shell = templates().into_iter().find(|t| t.name == "spawn-shell").unwrap();
-    let payload = assemble_payload(&shell, &gadgets, |_| true).expect("assembles");
-    let words = payload.stack_words(&gadgets);
+    let surface = AttackSurface::scan(&w.image);
+    let (_, payload) =
+        surface.payloads().into_iter().find(|(t, _)| t.name == "spawn-shell").unwrap();
+    let words = surface.stack_words(&payload.expect("assembles"));
 
-    let stop = execute_rop(&w.image, &words, 10_000).expect("chain runs on the original");
-    assert_eq!(stop, vcfr::isa::StopReason::Shell);
+    let run = surface.launch(&words, 10_000);
+    assert!(run.shell(), "chain runs on the original: {:?}", run.result);
 
     let rp = randomize(&w.image, &RandomizeConfig::with_seed(8)).unwrap();
-    let outcome = execute_rop(&rp.scattered, &words, 10_000);
+    let outcome = surface.launch_against(&rp, &words, 10_000);
     assert!(
-        !matches!(outcome, Ok(vcfr::isa::StopReason::Shell)),
-        "chain must not pop a shell on the randomized binary: {outcome:?}"
+        !outcome.shell(),
+        "chain must not pop a shell on the randomized binary: {:?}",
+        outcome.result
     );
 }
 
@@ -106,11 +105,9 @@ fn function_pointer_hijack_is_contained() {
     // executes the gadget; on the randomized binary the stale
     // original-space address is no longer executable code.
     let w = vcfr::workloads::by_name("xalan").unwrap();
-    let gadgets = scan(&w.image);
-    let sys_gadget = gadgets
-        .iter()
-        .find(|g| vcfr::gadget::classify(g).contains(&vcfr::gadget::Capability::Syscall))
-        .expect("xalan leaks a syscall gadget");
+    let surface = AttackSurface::scan(&w.image);
+    let sys_gadget =
+        surface.find(Capability::Syscall).expect("xalan leaks a syscall gadget");
     let slot = w.image.relocs[0].at;
 
     // Original binary: hijack succeeds.
@@ -131,4 +128,21 @@ fn function_pointer_hijack_is_contained() {
         matches!(out, Err(vcfr::isa::ExecError::BadJumpTarget { .. })),
         "hijack must be contained on the randomized binary: {out:?}"
     );
+}
+
+#[test]
+fn fuzzer_success_estimate_is_deterministic() {
+    // The coverage-guided attacker produces the same success-probability
+    // estimate on every run — the property the frontier campaign shards.
+    let w = vcfr::workloads::by_name("lbm").unwrap();
+    let params = vcfr::core::RandParams::default();
+    let fz = vcfr::gadget::FuzzConfig {
+        trials: 3,
+        probes_per_trial: 12,
+        ..vcfr::gadget::FuzzConfig::default()
+    };
+    let a = vcfr::gadget::fuzz_params(&w.image, &params, &fz);
+    let b = vcfr::gadget::fuzz_params(&w.image, &params, &fz);
+    assert_eq!(a, b);
+    assert!((0.0..=1.0).contains(&a.success_probability()));
 }
